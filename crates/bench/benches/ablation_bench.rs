@@ -1,0 +1,49 @@
+//! Ablation benches (A1 skew, A2 strategy): the design-choice comparisons
+//! called out in `DESIGN.md`, measured as simulated rebuild times so the
+//! numbers line up with the `experiments` binary's tables.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use disksim::DiskSpec;
+use layout::{Layout, SparePolicy};
+use oi_raid::{OiRaid, OiRaidConfig, RecoveryStrategy, SkewMode};
+
+fn simulated_secs(array: &OiRaid, strategy: RecoveryStrategy) -> f64 {
+    let cap: u64 = 1_000_000_000_000;
+    let spec = DiskSpec::hdd_7200(cap);
+    let chunk = cap / array.chunks_per_disk() as u64;
+    let plan = array
+        .recovery_plan_with_strategy(0, SparePolicy::Distributed, strategy)
+        .unwrap();
+    plan.simulate(&spec, chunk).rebuild_time.as_secs_f64()
+}
+
+fn bench_skew_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_skew");
+    group.sample_size(10);
+    let rotational = OiRaid::new(OiRaidConfig::new(bibd::fano(), 3, 4).unwrap()).unwrap();
+    let naive =
+        OiRaid::new(OiRaidConfig::with_skew(bibd::fano(), 3, 4, SkewMode::Naive).unwrap())
+            .unwrap();
+    group.bench_function("rotational_outer", |b| {
+        b.iter(|| simulated_secs(black_box(&rotational), RecoveryStrategy::Outer))
+    });
+    group.bench_function("naive_outer", |b| {
+        b.iter(|| simulated_secs(black_box(&naive), RecoveryStrategy::Outer))
+    });
+    group.finish();
+}
+
+fn bench_strategy_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a2_strategy");
+    group.sample_size(10);
+    let array = OiRaid::new(OiRaidConfig::new(bibd::fano(), 3, 4).unwrap()).unwrap();
+    for s in RecoveryStrategy::ALL {
+        group.bench_function(s.label(), |b| {
+            b.iter(|| simulated_secs(black_box(&array), s))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_skew_ablation, bench_strategy_ablation);
+criterion_main!(benches);

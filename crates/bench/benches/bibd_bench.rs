@@ -1,0 +1,24 @@
+//! Construction cost of the block designs behind the layouts: the control
+//! plane of array provisioning (and the backtracking search that covers
+//! the non-prime-power Steiner sizes).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_constructions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bibd");
+    group.sample_size(15);
+    group.bench_function("fano", |b| b.iter(bibd::fano));
+    group.bench_function("bose_sts_33", |b| b.iter(|| bibd::bose_sts(black_box(33))));
+    group.bench_function("netto_sts_31", |b| b.iter(|| bibd::netto_sts(black_box(31))));
+    group.bench_function("projective_plane_8", |b| {
+        b.iter(|| bibd::projective_plane(black_box(8)))
+    });
+    group.bench_function("search_sts_25", |b| {
+        b.iter(|| bibd::search_difference_family(black_box(25), 3, 1_000_000))
+    });
+    group.bench_function("catalogue_57", |b| b.iter(|| bibd::catalogue(black_box(57))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_constructions);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Microbenchmarks of the GF(2^8) kernels that sit under every erasure
+//! code's encode/decode path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use gf::Gf256;
+
+fn bench_gf(c: &mut Criterion) {
+    let f = Gf256::get();
+    let src: Vec<u8> = (0..65536u32).map(|i| (i * 31 + 7) as u8).collect();
+    let mut out = vec![0u8; src.len()];
+
+    let mut group = c.benchmark_group("gf256");
+    group.throughput(Throughput::Bytes(src.len() as u64));
+    group.sample_size(20);
+    group.bench_function("mul_slice_64k", |b| {
+        b.iter(|| f.mul_slice(black_box(0x57), black_box(&src), black_box(&mut out)))
+    });
+    group.bench_function("mul_acc_slice_64k", |b| {
+        b.iter(|| f.mul_acc_slice(black_box(0x57), black_box(&src), black_box(&mut out)))
+    });
+    group.bench_function("scalar_mul", |b| {
+        b.iter(|| {
+            let mut acc = 0u8;
+            for i in 0..=255u8 {
+                acc ^= f.mul(black_box(i), black_box(0x83));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gf);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Recovery-plan construction cost across the layout families — the
+//! control-plane overhead of each scheme.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use layout::{FlatRaid5, Layout, ParityDeclustered, Raid50, SparePolicy};
+use oi_raid::{OiRaid, OiRaidConfig};
+
+fn bench_plans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan");
+    group.sample_size(20);
+    let raid5 = FlatRaid5::new(21, 90).unwrap();
+    group.bench_function("raid5_21x90", |b| {
+        b.iter(|| raid5.recovery_plan(black_box(&[0]), SparePolicy::Dedicated))
+    });
+    let raid50 = Raid50::new(7, 3, 90).unwrap();
+    group.bench_function("raid50_7x3", |b| {
+        b.iter(|| raid50.recovery_plan(black_box(&[0]), SparePolicy::Dedicated))
+    });
+    let pd = ParityDeclustered::new(bibd::find_design(21, 5).unwrap(), 18).unwrap();
+    group.bench_function("pd_21_5", |b| {
+        b.iter(|| pd.recovery_plan(black_box(&[0]), SparePolicy::Distributed))
+    });
+    let oi = OiRaid::new(OiRaidConfig::new(bibd::fano(), 3, 10).unwrap()).unwrap();
+    group.bench_function("oi_raid_fano_c10", |b| {
+        b.iter(|| oi.recovery_plan(black_box(&[0]), SparePolicy::Distributed))
+    });
+    group.finish();
+}
+
+fn bench_survives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("survives");
+    group.sample_size(20);
+    let oi = OiRaid::new(OiRaidConfig::reference()).unwrap();
+    group.bench_function("oi_raid_triple", |b| {
+        b.iter(|| oi.survives(black_box(&[0, 7, 14])))
+    });
+    group.bench_function("oi_raid_fatal_quad", |b| {
+        b.iter(|| oi.survives(black_box(&[0, 1, 3, 4])))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_plans, bench_survives);
+criterion_main!(benches);

@@ -1,0 +1,201 @@
+//! A searchable catalogue of the `(v, k, 1)` designs this crate can build.
+//!
+//! The OI-RAID experiment harness sweeps array sizes; this module answers
+//! "which outer-layer designs are available at `v` groups?" (Experiment E10
+//! in `DESIGN.md`).
+
+use crate::design::Bibd;
+use crate::difference::{known_difference_sets, DifferenceFamily};
+use crate::planes::{affine_plane, projective_plane};
+use crate::sts::steiner_triple_system;
+
+/// One constructible design in the catalogue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogueEntry {
+    /// Number of points.
+    pub v: usize,
+    /// Block size.
+    pub k: usize,
+    /// Number of blocks.
+    pub b: usize,
+    /// Replication (blocks per point).
+    pub r: usize,
+    /// Human-readable construction name.
+    pub method: &'static str,
+}
+
+impl CatalogueEntry {
+    /// Builds the design this entry describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry was not produced by [`catalogue`] (the method
+    /// string drives dispatch).
+    pub fn build(&self) -> Bibd {
+        build_by_method(self.method, self.v, self.k)
+            .unwrap_or_else(|| panic!("catalogue entry {self:?} must be constructible"))
+    }
+}
+
+fn build_by_method(method: &str, v: usize, k: usize) -> Option<Bibd> {
+    match method {
+        "bose-sts" | "netto-sts" => steiner_triple_system(v).ok(),
+        "projective-plane" => {
+            let q = k - 1;
+            projective_plane(q).ok()
+        }
+        "affine-plane" => affine_plane(k).ok(),
+        "difference-set" => {
+            let base = known_difference_sets()
+                .into_iter()
+                .find(|(dv, bb)| *dv == v && bb.len() == k)?
+                .1;
+            Some(DifferenceFamily::new(v, vec![base]).ok()?.develop())
+        }
+        _ => None,
+    }
+}
+
+/// Lists every `(v, k, 1)` design constructible by this crate with `v`
+/// up to `max_v`, sorted by `(v, k)`. Duplicate parameter sets from
+/// different constructions are all listed (e.g. `(7, 3, 1)` appears as a
+/// Bose/Netto STS, as PG(2,2) and as a difference set) — the experiment
+/// harness prefers cyclic (difference-set) instances when available.
+///
+/// ```
+/// let entries = bibd::catalogue(21);
+/// assert!(entries.iter().any(|e| e.v == 21 && e.k == 5));
+/// ```
+pub fn catalogue(max_v: usize) -> Vec<CatalogueEntry> {
+    let mut out = Vec::new();
+    // Steiner triple systems.
+    for v in (3..=max_v).filter(|v| v % 6 == 3) {
+        out.push(CatalogueEntry {
+            v,
+            k: 3,
+            b: v * (v - 1) / 6,
+            r: (v - 1) / 2,
+            method: "bose-sts",
+        });
+    }
+    for v in (7..=max_v).filter(|v| v % 6 == 1 && gf::prime_power(*v).is_some()) {
+        out.push(CatalogueEntry {
+            v,
+            k: 3,
+            b: v * (v - 1) / 6,
+            r: (v - 1) / 2,
+            method: "netto-sts",
+        });
+    }
+    // Projective planes PG(2, q).
+    for q in (2..).take_while(|q| q * q + q + 1 <= max_v) {
+        if gf::prime_power(q).is_some() {
+            let v = q * q + q + 1;
+            out.push(CatalogueEntry {
+                v,
+                k: q + 1,
+                b: v,
+                r: q + 1,
+                method: "projective-plane",
+            });
+        }
+    }
+    // Affine planes AG(2, q).
+    for q in (2..).take_while(|q| q * q <= max_v) {
+        if gf::prime_power(q).is_some() {
+            out.push(CatalogueEntry {
+                v: q * q,
+                k: q,
+                b: q * q + q,
+                r: q + 1,
+                method: "affine-plane",
+            });
+        }
+    }
+    // Cyclic planar difference sets.
+    for (v, base) in known_difference_sets() {
+        if v <= max_v {
+            out.push(CatalogueEntry {
+                v,
+                k: base.len(),
+                b: v,
+                r: base.len(),
+                method: "difference-set",
+            });
+        }
+    }
+    out.sort_by_key(|e| (e.v, e.k, e.method));
+    out
+}
+
+/// Finds and builds a `(v, k, 1)` design, preferring cyclic constructions
+/// (whose rotational symmetry the skewed layouts exploit), then planes, then
+/// STS. Returns `None` if this crate has no construction for `(v, k)`.
+///
+/// ```
+/// let d = bibd::find_design(7, 3).expect("Fano exists");
+/// assert_eq!(d.b(), 7);
+/// assert!(bibd::find_design(8, 3).is_none());
+/// ```
+pub fn find_design(v: usize, k: usize) -> Option<Bibd> {
+    let preference = ["difference-set", "projective-plane", "affine-plane", "bose-sts", "netto-sts"];
+    let entries = catalogue(v);
+    for method in preference {
+        if let Some(e) = entries
+            .iter()
+            .find(|e| e.v == v && e.k == k && e.method == method)
+        {
+            return Some(e.build());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_entry_builds_and_matches_parameters() {
+        for e in catalogue(57) {
+            let d = e.build();
+            assert_eq!(d.v(), e.v, "{e:?}");
+            assert_eq!(d.k(), e.k, "{e:?}");
+            assert_eq!(d.b(), e.b, "{e:?}");
+            assert_eq!(d.r(), e.r, "{e:?}");
+            assert_eq!(d.lambda(), 1, "{e:?}");
+        }
+    }
+
+    #[test]
+    fn catalogue_is_sorted_and_nonempty() {
+        let entries = catalogue(31);
+        assert!(!entries.is_empty());
+        for w in entries.windows(2) {
+            assert!((w[0].v, w[0].k) <= (w[1].v, w[1].k));
+        }
+    }
+
+    #[test]
+    fn find_design_prefers_cyclic() {
+        // (7, 3) exists as difference set, PG(2,2) and Netto STS; the cyclic
+        // one is block-indexed so block t is base+t.
+        let d = find_design(7, 3).unwrap();
+        assert_eq!(d.blocks()[0], vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn find_design_handles_absent_parameters() {
+        assert!(find_design(8, 3).is_none());
+        assert!(find_design(7, 4).is_none());
+        assert!(find_design(55, 3).is_none()); // ≡1 mod 6 but not a prime power
+    }
+
+    #[test]
+    fn find_design_covers_typical_oi_raid_sweeps() {
+        // The E1 sweep uses these (v, k) outer designs.
+        for (v, k) in [(7, 3), (9, 3), (13, 3), (13, 4), (21, 3), (21, 5), (31, 6), (25, 5)] {
+            assert!(find_design(v, k).is_some(), "(v,k)=({v},{k})");
+        }
+    }
+}

@@ -1,0 +1,440 @@
+//! The verified [`Bibd`] type and its construction errors.
+
+use std::fmt;
+
+/// Errors raised when a block family fails BIBD verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesignError {
+    /// `v`/`k` combination can never form a design (e.g. `k < 2`).
+    InvalidParameters {
+        /// Number of points requested.
+        v: usize,
+        /// Block size requested.
+        k: usize,
+    },
+    /// The block list is empty.
+    NoBlocks,
+    /// A block references a point `>= v`.
+    PointOutOfRange {
+        /// Index of the offending block.
+        block: usize,
+        /// The offending point.
+        point: usize,
+    },
+    /// A block contains a repeated point.
+    RepeatedPoint {
+        /// Index of the offending block.
+        block: usize,
+        /// The repeated point.
+        point: usize,
+    },
+    /// Two blocks have different sizes.
+    UnequalBlockSize {
+        /// Index of the offending block.
+        block: usize,
+        /// Size found.
+        found: usize,
+        /// Size expected (from block 0).
+        expected: usize,
+    },
+    /// A pair of points is covered a different number of times than λ.
+    UnbalancedPair {
+        /// First point of the pair.
+        a: usize,
+        /// Second point of the pair.
+        b: usize,
+        /// Number of blocks containing the pair.
+        found: usize,
+        /// λ inferred from the first pair.
+        expected: usize,
+    },
+    /// A point appears in a different number of blocks than `r`.
+    UnbalancedPoint {
+        /// The offending point.
+        point: usize,
+        /// Number of blocks containing it.
+        found: usize,
+        /// Expected replication `r`.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for DesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameters { v, k } => {
+                write!(f, "no design with v={v} points and block size k={k}")
+            }
+            Self::NoBlocks => write!(f, "design has no blocks"),
+            Self::PointOutOfRange { block, point } => {
+                write!(f, "block {block} references point {point} out of range")
+            }
+            Self::RepeatedPoint { block, point } => {
+                write!(f, "block {block} repeats point {point}")
+            }
+            Self::UnequalBlockSize {
+                block,
+                found,
+                expected,
+            } => write!(
+                f,
+                "block {block} has size {found}, expected {expected}"
+            ),
+            Self::UnbalancedPair {
+                a,
+                b,
+                found,
+                expected,
+            } => write!(
+                f,
+                "pair ({a}, {b}) covered by {found} blocks, expected lambda={expected}"
+            ),
+            Self::UnbalancedPoint {
+                point,
+                found,
+                expected,
+            } => write!(
+                f,
+                "point {point} lies in {found} blocks, expected r={expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}
+
+/// A verified `(v, k, λ)` balanced incomplete block design.
+///
+/// Construction through [`Bibd::new`] checks every defining property, so any
+/// value of this type is a genuine BIBD. Blocks are stored with points sorted
+/// ascending; block order is preserved from the constructor (cyclic
+/// constructions rely on this for their symmetry).
+///
+/// # Example
+///
+/// ```
+/// use bibd::Bibd;
+///
+/// // The (7,3,1) Fano plane given explicitly.
+/// let blocks = vec![
+///     vec![0, 1, 3], vec![1, 2, 4], vec![2, 3, 5], vec![3, 4, 6],
+///     vec![0, 4, 5], vec![1, 5, 6], vec![0, 2, 6],
+/// ];
+/// let d = Bibd::new(7, blocks).unwrap();
+/// assert_eq!(d.r(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bibd {
+    v: usize,
+    k: usize,
+    lambda: usize,
+    blocks: Vec<Vec<usize>>,
+    /// For each point, the indices of the blocks containing it (ascending).
+    point_blocks: Vec<Vec<usize>>,
+}
+
+impl Bibd {
+    /// Verifies `blocks` over a `v`-element point set and builds the design.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DesignError`] found: out-of-range or repeated
+    /// points, unequal block sizes, non-uniform point replication, or
+    /// unbalanced pair coverage.
+    pub fn new(v: usize, blocks: Vec<Vec<usize>>) -> Result<Self, DesignError> {
+        if blocks.is_empty() {
+            return Err(DesignError::NoBlocks);
+        }
+        let k = blocks[0].len();
+        if k < 2 || k > v {
+            return Err(DesignError::InvalidParameters { v, k });
+        }
+        let mut blocks: Vec<Vec<usize>> = blocks;
+        for (bi, block) in blocks.iter_mut().enumerate() {
+            if block.len() != k {
+                return Err(DesignError::UnequalBlockSize {
+                    block: bi,
+                    found: block.len(),
+                    expected: k,
+                });
+            }
+            block.sort_unstable();
+            for w in block.windows(2) {
+                if w[0] == w[1] {
+                    return Err(DesignError::RepeatedPoint {
+                        block: bi,
+                        point: w[0],
+                    });
+                }
+            }
+            if let Some(&p) = block.last() {
+                if p >= v {
+                    return Err(DesignError::PointOutOfRange {
+                        block: bi,
+                        point: p,
+                    });
+                }
+            }
+        }
+
+        // Pair coverage: counts[a][b] for a < b, flattened triangular.
+        let mut pair_count = vec![0usize; v * v];
+        let mut point_blocks = vec![Vec::new(); v];
+        for (bi, block) in blocks.iter().enumerate() {
+            for (i, &a) in block.iter().enumerate() {
+                point_blocks[a].push(bi);
+                for &b in &block[i + 1..] {
+                    pair_count[a * v + b] += 1;
+                }
+            }
+        }
+        let lambda = if v >= 2 { pair_count[1] } else { 0 }; // pair (0, 1)
+        for a in 0..v {
+            for b in a + 1..v {
+                let found = pair_count[a * v + b];
+                if found != lambda {
+                    return Err(DesignError::UnbalancedPair {
+                        a,
+                        b,
+                        found,
+                        expected: lambda,
+                    });
+                }
+            }
+        }
+        if lambda == 0 {
+            // Every pair covered zero times means k < 2 or empty — rejected
+            // above, but guard anyway.
+            return Err(DesignError::InvalidParameters { v, k });
+        }
+        let r = point_blocks[0].len();
+        for (p, pb) in point_blocks.iter().enumerate() {
+            if pb.len() != r {
+                return Err(DesignError::UnbalancedPoint {
+                    point: p,
+                    found: pb.len(),
+                    expected: r,
+                });
+            }
+        }
+        Ok(Self {
+            v,
+            k,
+            lambda,
+            blocks,
+            point_blocks,
+        })
+    }
+
+    /// Number of points `v`.
+    pub fn v(&self) -> usize {
+        self.v
+    }
+
+    /// Number of blocks `b`.
+    pub fn b(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Replication `r`: the number of blocks containing each point.
+    pub fn r(&self) -> usize {
+        self.point_blocks[0].len()
+    }
+
+    /// Block size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Pair balance `λ`.
+    pub fn lambda(&self) -> usize {
+        self.lambda
+    }
+
+    /// The blocks, each sorted ascending.
+    pub fn blocks(&self) -> &[Vec<usize>] {
+        &self.blocks
+    }
+
+    /// The blocks containing `point` (ascending block indices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point >= v`.
+    pub fn blocks_containing(&self, point: usize) -> &[usize] {
+        &self.point_blocks[point]
+    }
+
+    /// Indices of blocks containing both `a` and `b`. For a `λ = 1` design
+    /// the result has exactly one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either point is out of range or `a == b`.
+    pub fn pair_blocks(&self, a: usize, b: usize) -> Vec<usize> {
+        assert!(a < self.v && b < self.v && a != b);
+        self.point_blocks[a]
+            .iter()
+            .copied()
+            .filter(|&bi| self.blocks[bi].binary_search(&b).is_ok())
+            .collect()
+    }
+
+    /// Position of `point` inside block `block` (its index within the sorted
+    /// block), or `None` if the block does not contain it.
+    pub fn position_in_block(&self, block: usize, point: usize) -> Option<usize> {
+        self.blocks[block].binary_search(&point).ok()
+    }
+
+    /// Whether this design has `λ = 1` (a *linear space*), the property
+    /// OI-RAID's outer layer requires.
+    pub fn is_steiner(&self) -> bool {
+        self.lambda == 1
+    }
+
+    /// Partitions the blocks into parallel classes (each class covering every
+    /// point exactly once), if the design is resolvable *and* the blocks are
+    /// ordered class-by-class (as [`crate::affine_plane`] produces). Returns
+    /// `None` otherwise.
+    pub fn parallel_classes(&self) -> Option<Vec<Vec<usize>>> {
+        if self.v % self.k != 0 {
+            return None;
+        }
+        let class_size = self.v / self.k;
+        if self.b() % class_size != 0 {
+            return None;
+        }
+        let mut classes = Vec::new();
+        for chunk in (0..self.b()).collect::<Vec<_>>().chunks(class_size) {
+            let mut seen = vec![false; self.v];
+            for &bi in chunk {
+                for &p in &self.blocks[bi] {
+                    if seen[p] {
+                        return None;
+                    }
+                    seen[p] = true;
+                }
+            }
+            if !seen.iter().all(|&s| s) {
+                return None;
+            }
+            classes.push(chunk.to_vec());
+        }
+        Some(classes)
+    }
+}
+
+impl fmt::Display for Bibd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({}, {}, {})-BIBD with b={} blocks, r={}",
+            self.v,
+            self.k,
+            self.lambda,
+            self.b(),
+            self.r()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fano_blocks() -> Vec<Vec<usize>> {
+        vec![
+            vec![0, 1, 3],
+            vec![1, 2, 4],
+            vec![2, 3, 5],
+            vec![3, 4, 6],
+            vec![0, 4, 5],
+            vec![1, 5, 6],
+            vec![0, 2, 6],
+        ]
+    }
+
+    #[test]
+    fn accepts_fano() {
+        let d = Bibd::new(7, fano_blocks()).unwrap();
+        assert_eq!(d.v(), 7);
+        assert_eq!(d.b(), 7);
+        assert_eq!(d.r(), 3);
+        assert_eq!(d.k(), 3);
+        assert_eq!(d.lambda(), 1);
+        assert!(d.is_steiner());
+        // Counting identities.
+        assert_eq!(d.b() * d.k(), d.v() * d.r());
+        assert_eq!(d.lambda() * (d.v() - 1), d.r() * (d.k() - 1));
+    }
+
+    #[test]
+    fn rejects_missing_pair() {
+        let mut blocks = fano_blocks();
+        blocks.pop();
+        let err = Bibd::new(7, blocks).unwrap_err();
+        assert!(matches!(err, DesignError::UnbalancedPair { .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_range_point() {
+        let err = Bibd::new(3, vec![vec![0, 1, 7]]).unwrap_err();
+        assert!(matches!(err, DesignError::PointOutOfRange { point: 7, .. }));
+    }
+
+    #[test]
+    fn rejects_repeated_point() {
+        let err = Bibd::new(4, vec![vec![1, 1, 2]]).unwrap_err();
+        assert!(matches!(err, DesignError::RepeatedPoint { point: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_unequal_blocks() {
+        let err = Bibd::new(5, vec![vec![0, 1, 2], vec![3, 4]]).unwrap_err();
+        assert!(matches!(err, DesignError::UnequalBlockSize { .. }));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Bibd::new(5, vec![]).unwrap_err(), DesignError::NoBlocks);
+    }
+
+    #[test]
+    fn pair_blocks_unique_for_fano() {
+        let d = Bibd::new(7, fano_blocks()).unwrap();
+        for a in 0..7 {
+            for b in (a + 1)..7 {
+                let pb = d.pair_blocks(a, b);
+                assert_eq!(pb.len(), 1, "pair ({a},{b})");
+                let block = &d.blocks()[pb[0]];
+                assert!(block.contains(&a) && block.contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_containing_consistent() {
+        let d = Bibd::new(7, fano_blocks()).unwrap();
+        for p in 0..7 {
+            for &bi in d.blocks_containing(p) {
+                assert!(d.blocks()[bi].contains(&p));
+                assert!(d.position_in_block(bi, p).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn display_summarises() {
+        let d = Bibd::new(7, fano_blocks()).unwrap();
+        assert_eq!(d.to_string(), "(7, 3, 1)-BIBD with b=7 blocks, r=3");
+    }
+
+    #[test]
+    fn pair_regular_but_not_point_regular_is_impossible() {
+        // Fisher-type sanity: pair balance forces point regularity, so the
+        // UnbalancedPoint branch is unreachable for internally consistent
+        // input; feed an inconsistent family to show pair check fires first.
+        let err = Bibd::new(4, vec![vec![0, 1], vec![0, 2], vec![0, 3]]).unwrap_err();
+        assert!(matches!(err, DesignError::UnbalancedPair { .. }));
+    }
+}

@@ -1,0 +1,132 @@
+//! Balanced Incomplete Block Designs (BIBDs).
+//!
+//! A `(v, k, λ)`-BIBD is a family of `b` size-`k` subsets (*blocks*) of a
+//! `v`-element point set such that every point lies in exactly `r` blocks and
+//! every *pair* of distinct points lies in exactly `λ` blocks. The standard
+//! identities `b·k = v·r` and `λ·(v−1) = r·(k−1)` follow by counting.
+//!
+//! OI-RAID's outer layer is driven by `λ = 1` designs: disk *groups* are the
+//! points, and each block names the `k` groups across which one family of
+//! outer stripes is coded. `λ = 1` means two groups co-occur in at most one
+//! block, which (a) spreads single-disk recovery traffic over *all* other
+//! groups and (b) bounds the correlated-failure surface. The classic parity
+//! declustering layout of Holland & Gibson is also block-design driven, so
+//! this crate serves both the contribution and the baseline.
+//!
+//! # Provided constructions
+//!
+//! * [`complete_design`] — all `k`-subsets of `v` points (any `v ≥ k`).
+//! * [`fano`] — the `(7, 3, 1)` Fano plane, OI-RAID's running example.
+//! * [`bose_sts`] — Steiner triple systems for `v ≡ 3 (mod 6)`.
+//! * [`netto_sts`] — Steiner triple systems for prime-power `v ≡ 1 (mod 6)`.
+//! * [`projective_plane`] — `(q²+q+1, q+1, 1)` for prime-power `q`.
+//! * [`affine_plane`] — resolvable `(q², q, 1)` for prime-power `q`.
+//! * [`DifferenceFamily`] — cyclic designs developed from base blocks over
+//!   `Z_v`, including the classical planar difference sets.
+//! * [`catalogue`] — a searchable table of every `(v, k, 1)` design this
+//!   crate can build, used by the experiment harness to sweep array sizes.
+//!
+//! Every constructor runs the full [`Bibd::new`] verification, so a
+//! successfully returned design is *checked*, not assumed.
+//!
+//! # Example
+//!
+//! ```
+//! use bibd::fano;
+//!
+//! let d = fano();
+//! assert_eq!((d.v(), d.b(), d.r(), d.k(), d.lambda()), (7, 7, 3, 3, 1));
+//! // Every pair of points shares exactly one block:
+//! assert!(d.pair_blocks(2, 5).len() == 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalogue;
+mod design;
+mod difference;
+mod planes;
+mod sts;
+
+pub use catalogue::{catalogue, find_design, CatalogueEntry};
+pub use design::{Bibd, DesignError};
+pub use difference::{known_difference_sets, search_difference_family, DifferenceFamily};
+pub use planes::{affine_plane, projective_plane};
+pub use sts::{bose_sts, netto_sts, steiner_triple_system};
+
+/// Builds the `(7, 3, 1)` Fano plane — the smallest nontrivial `λ = 1`
+/// design and the running example of the OI-RAID paper reproduction.
+///
+/// ```
+/// let d = bibd::fano();
+/// assert_eq!(d.blocks().len(), 7);
+/// ```
+pub fn fano() -> Bibd {
+    DifferenceFamily::new(7, vec![vec![0, 1, 3]])
+        .expect("the Fano difference set is valid")
+        .develop()
+}
+
+/// Builds the complete design: all `k`-subsets of `{0, …, v−1}`, which is a
+/// `(v, k, λ)`-BIBD with `λ = C(v−2, k−2)`. Useful as a fallback when no
+/// structured `λ = 1` design exists, and as a test oracle.
+///
+/// # Errors
+///
+/// Returns [`DesignError`] if `k < 2` or `k > v`.
+///
+/// ```
+/// let d = bibd::complete_design(5, 3).unwrap();
+/// assert_eq!(d.b(), 10);
+/// assert_eq!(d.lambda(), 3);
+/// ```
+pub fn complete_design(v: usize, k: usize) -> Result<Bibd, DesignError> {
+    if k < 2 || k > v {
+        return Err(DesignError::InvalidParameters { v, k });
+    }
+    let mut blocks = Vec::new();
+    let mut current = Vec::with_capacity(k);
+    subsets(v, k, 0, &mut current, &mut blocks);
+    Bibd::new(v, blocks)
+}
+
+fn subsets(v: usize, k: usize, start: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    if cur.len() == k {
+        out.push(cur.clone());
+        return;
+    }
+    let needed = k - cur.len();
+    for p in start..=v.saturating_sub(needed) {
+        cur.push(p);
+        subsets(v, k, p + 1, cur, out);
+        cur.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fano_is_verified() {
+        let d = fano();
+        assert_eq!(d.v(), 7);
+        assert_eq!(d.k(), 3);
+        assert_eq!(d.lambda(), 1);
+    }
+
+    #[test]
+    fn complete_design_parameters() {
+        let d = complete_design(6, 3).unwrap();
+        assert_eq!(d.b(), 20);
+        assert_eq!(d.r(), 10);
+        assert_eq!(d.lambda(), 4); // C(4, 1)
+    }
+
+    #[test]
+    fn complete_design_rejects_bad_parameters() {
+        assert!(complete_design(3, 5).is_err());
+        assert!(complete_design(5, 1).is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! Finite projective and affine planes as BIBDs.
+//!
+//! For a prime power `q`, the projective plane PG(2, q) is a
+//! `(q²+q+1, q+1, 1)`-BIBD and the affine plane AG(2, q) is a resolvable
+//! `(q², q, 1)`-BIBD. Both are constructed here coordinate-wise over GF(q)
+//! (via [`gf::ExtField`], so non-prime orders 4, 8, 9, … work too).
+
+use gf::{ExtField, Field};
+
+use crate::design::{Bibd, DesignError};
+
+/// Builds the projective plane PG(2, q) — a `(q²+q+1, q+1, 1)`-BIBD — for a
+/// prime power `q`.
+///
+/// Points are the normalized homogeneous coordinates over GF(q):
+/// `(1, a, b)`, `(0, 1, a)`, `(0, 0, 1)`; lines are defined the same way and
+/// a point lies on a line when the dot product vanishes.
+///
+/// # Errors
+///
+/// Returns [`DesignError::InvalidParameters`] if `q` is not a prime power
+/// or `q < 2`.
+///
+/// ```
+/// let d = bibd::projective_plane(3).unwrap();
+/// assert_eq!((d.v(), d.b(), d.k(), d.lambda()), (13, 13, 4, 1));
+/// ```
+pub fn projective_plane(q: usize) -> Result<Bibd, DesignError> {
+    let Some(f) = ExtField::of_order(q) else {
+        return Err(DesignError::InvalidParameters {
+            v: q * q + q + 1,
+            k: q + 1,
+        });
+    };
+    let coords = normalized_triples(q);
+    let v = coords.len();
+    debug_assert_eq!(v, q * q + q + 1);
+    let mut blocks = Vec::with_capacity(v);
+    for line in &coords {
+        let mut block = Vec::with_capacity(q + 1);
+        for (pi, point) in coords.iter().enumerate() {
+            let dot = (0..3).fold(0, |acc, i| f.add(acc, f.mul(line[i], point[i])));
+            if dot == 0 {
+                block.push(pi);
+            }
+        }
+        blocks.push(block);
+    }
+    Bibd::new(v, blocks)
+}
+
+/// Builds the affine plane AG(2, q) — a resolvable `(q², q, 1)`-BIBD — for a
+/// prime power `q`.
+///
+/// Points are pairs `(x, y) ∈ GF(q)²` encoded as `x·q + y`. Lines come in
+/// `q + 1` parallel classes: for each slope `m` the class
+/// `{ y = m·x + c : c ∈ GF(q) }`, plus the vertical class `{ x = c }`.
+/// Blocks are emitted class-by-class, so [`Bibd::parallel_classes`] succeeds
+/// on the result.
+///
+/// # Errors
+///
+/// Returns [`DesignError::InvalidParameters`] if `q` is not a prime power
+/// or `q < 2`.
+///
+/// ```
+/// let d = bibd::affine_plane(3).unwrap();
+/// assert_eq!((d.v(), d.b(), d.k(), d.lambda()), (9, 12, 3, 1));
+/// assert_eq!(d.parallel_classes().unwrap().len(), 4);
+/// ```
+pub fn affine_plane(q: usize) -> Result<Bibd, DesignError> {
+    let Some(f) = ExtField::of_order(q) else {
+        return Err(DesignError::InvalidParameters { v: q * q, k: q });
+    };
+    let enc = |x: usize, y: usize| x * q + y;
+    let mut blocks = Vec::with_capacity(q * q + q);
+    for m in 0..q {
+        for c in 0..q {
+            let mut block = Vec::with_capacity(q);
+            for x in 0..q {
+                let y = f.add(f.mul(m, x), c);
+                block.push(enc(x, y));
+            }
+            blocks.push(block);
+        }
+    }
+    for c in 0..q {
+        blocks.push((0..q).map(|y| enc(c, y)).collect());
+    }
+    Bibd::new(q * q, blocks)
+}
+
+/// The q² + q + 1 normalized nonzero triples over GF(q), one per projective
+/// point: `(1,a,b)`, `(0,1,a)`, `(0,0,1)`.
+fn normalized_triples(q: usize) -> Vec<[usize; 3]> {
+    let mut out = Vec::with_capacity(q * q + q + 1);
+    for a in 0..q {
+        for b in 0..q {
+            out.push([1, a, b]);
+        }
+    }
+    for a in 0..q {
+        out.push([0, 1, a]);
+    }
+    out.push([0, 0, 1]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projective_planes_small_orders() {
+        for q in [2usize, 3, 4, 5, 7, 8, 9] {
+            let d = projective_plane(q).unwrap_or_else(|e| panic!("q={q}: {e}"));
+            assert_eq!(d.v(), q * q + q + 1, "q={q}");
+            assert_eq!(d.b(), q * q + q + 1);
+            assert_eq!(d.k(), q + 1);
+            assert_eq!(d.r(), q + 1);
+            assert_eq!(d.lambda(), 1);
+        }
+    }
+
+    #[test]
+    fn fano_is_pg_2_2() {
+        let d = projective_plane(2).unwrap();
+        assert_eq!((d.v(), d.b(), d.k()), (7, 7, 3));
+    }
+
+    #[test]
+    fn affine_planes_small_orders() {
+        for q in [2usize, 3, 4, 5, 7, 8, 9] {
+            let d = affine_plane(q).unwrap_or_else(|e| panic!("q={q}: {e}"));
+            assert_eq!(d.v(), q * q);
+            assert_eq!(d.b(), q * q + q);
+            assert_eq!(d.k(), q);
+            assert_eq!(d.r(), q + 1);
+            assert_eq!(d.lambda(), 1);
+        }
+    }
+
+    #[test]
+    fn affine_planes_are_resolvable() {
+        for q in [2usize, 3, 4, 5] {
+            let d = affine_plane(q).unwrap();
+            let classes = d.parallel_classes().expect("affine plane is resolvable");
+            assert_eq!(classes.len(), q + 1, "q={q}");
+            for class in classes {
+                assert_eq!(class.len(), q);
+            }
+        }
+    }
+
+    #[test]
+    fn non_prime_power_orders_rejected() {
+        for q in [6usize, 10, 12] {
+            assert!(projective_plane(q).is_err(), "q={q}");
+            assert!(affine_plane(q).is_err(), "q={q}");
+        }
+    }
+
+    #[test]
+    fn two_lines_meet_in_one_point_pg() {
+        let d = projective_plane(3).unwrap();
+        // Dual property of λ=1 symmetric designs: any two blocks intersect in
+        // exactly one point.
+        let blocks = d.blocks();
+        for i in 0..blocks.len() {
+            for j in i + 1..blocks.len() {
+                let common = blocks[i]
+                    .iter()
+                    .filter(|p| blocks[j].contains(p))
+                    .count();
+                assert_eq!(common, 1, "lines {i} and {j}");
+            }
+        }
+    }
+}

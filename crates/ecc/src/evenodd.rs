@@ -1,0 +1,411 @@
+//! EVENODD (Blaum–Brady–Bruck–Menon, 1995): the classic XOR-only
+//! double-erasure array code. Included as a substrate comparator — RAID6
+//! implementations of the paper's era used EVENODD or RDP rather than
+//! GF(2^8) P+Q, and the inner-layer generalization of OI-RAID can slot any
+//! of them in.
+//!
+//! Geometry: a prime `p`, `p` data columns of `p − 1` symbols each, plus a
+//! row-parity column and a diagonal-parity column. The diagonal parities
+//! share the "S adjuster", the XOR of the one diagonal that has no parity
+//! cell.
+
+use crate::code::{validate_data, validate_units, CodeError, ErasureCode};
+
+/// The EVENODD code: `p` data units (columns) + 2 parity units, tolerating
+/// any two erasures, built from XOR only.
+///
+/// Units are byte columns of `p − 1` symbol rows: unit length must be a
+/// multiple of `p − 1` (each symbol is `len / (p − 1)` bytes).
+///
+/// # Example
+///
+/// ```
+/// use ecc::{ErasureCode, EvenOdd};
+///
+/// let code = EvenOdd::new(5).unwrap(); // p = 5: 5 data + 2 parity columns
+/// assert_eq!(code.total_units(), 7);
+/// assert_eq!(code.fault_tolerance(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvenOdd {
+    p: usize,
+}
+
+impl EvenOdd {
+    /// Creates EVENODD over the prime `p` (`p >= 3`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParameters`] unless `p` is an odd prime.
+    pub fn new(p: usize) -> Result<Self, CodeError> {
+        if p < 3 || !gf::is_prime(p) {
+            return Err(CodeError::InvalidParameters { k: p, m: 2 });
+        }
+        Ok(Self { p })
+    }
+
+    /// The prime parameter.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    fn symbol_size(&self, len: usize) -> Result<usize, CodeError> {
+        let rows = self.p - 1;
+        if len == 0 || len % rows != 0 {
+            return Err(CodeError::UnalignedUnitLength {
+                len,
+                multiple_of: rows,
+            });
+        }
+        Ok(len / rows)
+    }
+
+    /// Symbol `i` of a column (row `p − 1` is the all-zero imaginary row).
+    fn sym<'a>(&self, col: &'a [u8], i: usize, ss: usize) -> Option<&'a [u8]> {
+        (i < self.p - 1).then(|| &col[i * ss..(i + 1) * ss])
+    }
+
+    fn xor_sym(dst: &mut [u8], src: &[u8]) {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+    }
+
+    /// Computes (P column, Q column) from the data columns.
+    fn compute_parity(&self, data: &[Vec<u8>], ss: usize) -> (Vec<u8>, Vec<u8>) {
+        let p = self.p;
+        let rows = p - 1;
+        let mut pcol = vec![0u8; rows * ss];
+        for col in data {
+            for i in 0..rows {
+                Self::xor_sym(&mut pcol[i * ss..(i + 1) * ss], &col[i * ss..(i + 1) * ss]);
+            }
+        }
+        // S = XOR over the diagonal p−1: cells D[(p−1−j) mod p][j].
+        let mut s = vec![0u8; ss];
+        for (j, col) in data.iter().enumerate() {
+            let i = (2 * p - 1 - j) % p;
+            if let Some(sym) = self.sym(col, i, ss) {
+                Self::xor_sym(&mut s, sym);
+            }
+        }
+        // Q[i] = S ⊕ XOR_j D[(i−j) mod p][j].
+        let mut qcol = vec![0u8; rows * ss];
+        for i in 0..rows {
+            let q = &mut qcol[i * ss..(i + 1) * ss];
+            q.copy_from_slice(&s);
+            for (j, col) in data.iter().enumerate() {
+                let r = (i + p - (j % p)) % p;
+                if let Some(sym) = self.sym(col, r, ss) {
+                    Self::xor_sym(q, sym);
+                }
+            }
+        }
+        (pcol, qcol)
+    }
+}
+
+impl ErasureCode for EvenOdd {
+    fn data_units(&self) -> usize {
+        self.p
+    }
+
+    fn parity_units(&self) -> usize {
+        2
+    }
+
+    fn fault_tolerance(&self) -> usize {
+        2
+    }
+
+    fn encode(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, CodeError> {
+        let len = validate_data(data, self.p)?;
+        let ss = self.symbol_size(len)?;
+        let (pcol, qcol) = self.compute_parity(data, ss);
+        Ok(vec![pcol, qcol])
+    }
+
+    fn reconstruct(&self, units: &mut [Option<Vec<u8>>]) -> Result<(), CodeError> {
+        let p = self.p;
+        let len = validate_units(units, p + 2)?;
+        let ss = self.symbol_size(len)?;
+        let rows = p - 1;
+        let erased: Vec<usize> = units
+            .iter()
+            .enumerate()
+            .filter_map(|(i, u)| u.is_none().then_some(i))
+            .collect();
+        if erased.len() > 2 {
+            return Err(CodeError::TooManyErasures {
+                erased: erased.len(),
+                tolerance: 2,
+            });
+        }
+        let pi = p;
+        let qi = p + 1;
+        let data_erased: Vec<usize> = erased.iter().copied().filter(|&e| e < p).collect();
+        match (data_erased.len(), erased.contains(&pi), erased.contains(&qi)) {
+            (0, false, false) => return Ok(()),
+            // Parity-only loss: recompute from data.
+            (0, _, _) => {
+                let data: Vec<Vec<u8>> =
+                    units[..p].iter().map(|u| u.clone().unwrap()).collect();
+                let (pc, qc) = self.compute_parity(&data, ss);
+                if erased.contains(&pi) {
+                    units[pi] = Some(pc);
+                }
+                if erased.contains(&qi) {
+                    units[qi] = Some(qc);
+                }
+                return Ok(());
+            }
+            // One data column, P intact: row-parity rebuild, then Q if needed.
+            (1, false, q_lost) => {
+                let a = data_erased[0];
+                let mut col = vec![0u8; rows * ss];
+                for i in 0..rows {
+                    let dst = &mut col[i * ss..(i + 1) * ss];
+                    dst.copy_from_slice(&units[pi].as_ref().unwrap()[i * ss..(i + 1) * ss]);
+                    for (j, u) in units[..p].iter().enumerate() {
+                        if j != a {
+                            Self::xor_sym(dst, &u.as_ref().unwrap()[i * ss..(i + 1) * ss]);
+                        }
+                    }
+                }
+                units[a] = Some(col);
+                if q_lost {
+                    let data: Vec<Vec<u8>> =
+                        units[..p].iter().map(|u| u.clone().unwrap()).collect();
+                    units[qi] = Some(self.compute_parity(&data, ss).1);
+                }
+                return Ok(());
+            }
+            // One data column + P lost: recover via diagonals (Q).
+            (1, true, false) => {
+                let a = data_erased[0];
+                let qcol = units[qi].clone().unwrap();
+                // S from the diagonal whose column-a cell is the imaginary
+                // row: d0 = (a + p − 1) mod p. For d0 < p−1 the diagonal
+                // equation reads 0 = Q[d0] ⊕ S ⊕ known, so S = Q[d0] ⊕ known;
+                // for d0 = p−1 (a = 0) that diagonal *defines* S directly as
+                // the XOR of its known cells.
+                let d0 = (a + p - 1) % p;
+                let mut s = if d0 < rows {
+                    qcol[d0 * ss..(d0 + 1) * ss].to_vec()
+                } else {
+                    vec![0u8; ss]
+                };
+                for (j, u) in units[..p].iter().enumerate() {
+                    if j == a {
+                        continue;
+                    }
+                    let r = (d0 + p - j) % p;
+                    if let Some(sym) = self.sym(u.as_ref().unwrap(), r, ss) {
+                        Self::xor_sym(&mut s, sym);
+                    }
+                }
+                // Every other diagonal d yields column a's cell at row
+                // (d − a): stored diagonals via Q[d] ⊕ S ⊕ known; the
+                // unstored diagonal p−1 directly via S ⊕ known (its cells
+                // XOR to S by definition).
+                let mut col = vec![0u8; rows * ss];
+                for d in 0..p {
+                    if d == d0 {
+                        continue;
+                    }
+                    let r_a = (d + p - a) % p;
+                    debug_assert!(r_a < rows);
+                    let dst = &mut col[r_a * ss..(r_a + 1) * ss];
+                    if d < rows {
+                        dst.copy_from_slice(&qcol[d * ss..(d + 1) * ss]);
+                        Self::xor_sym(dst, &s);
+                    } else {
+                        dst.copy_from_slice(&s);
+                    }
+                    for (j, u) in units[..p].iter().enumerate() {
+                        if j == a {
+                            continue;
+                        }
+                        let r = (d + p - j) % p;
+                        if let Some(sym) = self.sym(u.as_ref().unwrap(), r, ss) {
+                            Self::xor_sym(dst, sym);
+                        }
+                    }
+                }
+                units[a] = Some(col);
+                let data: Vec<Vec<u8>> =
+                    units[..p].iter().map(|u| u.clone().unwrap()).collect();
+                units[pi] = Some(self.compute_parity(&data, ss).0);
+                return Ok(());
+            }
+            // Two data columns lost: the zig-zag chain.
+            (2, false, false) => {
+                let (a, b) = (data_erased[0], data_erased[1]);
+                let pcol = units[pi].clone().unwrap();
+                let qcol = units[qi].clone().unwrap();
+                // S = XOR of all P symbols ⊕ XOR of all Q symbols.
+                let mut s = vec![0u8; ss];
+                for i in 0..rows {
+                    Self::xor_sym(&mut s, &pcol[i * ss..(i + 1) * ss]);
+                    Self::xor_sym(&mut s, &qcol[i * ss..(i + 1) * ss]);
+                }
+                // Row syndromes S0[i] (over rows incl. imaginary zero row)
+                // and diagonal syndromes S1[d].
+                let mut s0 = vec![0u8; p * ss]; // S0[p−1] stays 0
+                for i in 0..rows {
+                    let dst = &mut s0[i * ss..(i + 1) * ss];
+                    dst.copy_from_slice(&pcol[i * ss..(i + 1) * ss]);
+                    for (j, u) in units[..p].iter().enumerate() {
+                        if j != a && j != b {
+                            Self::xor_sym(dst, &u.as_ref().unwrap()[i * ss..(i + 1) * ss]);
+                        }
+                    }
+                }
+                let mut s1 = vec![0u8; p * ss];
+                for d in 0..p {
+                    let dst = &mut s1[d * ss..(d + 1) * ss];
+                    if d < rows {
+                        dst.copy_from_slice(&qcol[d * ss..(d + 1) * ss]);
+                        Self::xor_sym(dst, &s);
+                    }
+                    // Diagonal p−1 has no stored parity: S1[p−1] = S ⊕ known
+                    // cells on that diagonal.
+                    if d == rows {
+                        dst.copy_from_slice(&s);
+                    }
+                    for (j, u) in units[..p].iter().enumerate() {
+                        if j == a || j == b {
+                            continue;
+                        }
+                        let r = (d + p - j) % p;
+                        if let Some(sym) = self.sym(u.as_ref().unwrap(), r, ss) {
+                            Self::xor_sym(dst, sym);
+                        }
+                    }
+                }
+                // Chain: start from the diagonal through the imaginary cell
+                // of column b, alternate diagonal→row.
+                let mut col_a = vec![0u8; rows * ss];
+                let mut col_b = vec![0u8; rows * ss];
+                let mut d = (b + p - 1) % p; // diagonal with D[p−1][b] = 0
+                for _ in 0..rows {
+                    let r = (d + p - a) % p; // row of column-a cell on diag d
+                    debug_assert!(r < rows, "chain must stay in real rows");
+                    // D[r][a] = S1[d] ⊕ D[(d−b)][b]; the b-cell on diag d is
+                    // the one recovered in the previous step (or imaginary).
+                    let rb_prev = (d + p - b) % p;
+                    let mut cell = s1[d * ss..(d + 1) * ss].to_vec();
+                    if rb_prev < rows {
+                        Self::xor_sym(&mut cell, &col_b[rb_prev * ss..(rb_prev + 1) * ss]);
+                    }
+                    col_a[r * ss..(r + 1) * ss].copy_from_slice(&cell);
+                    // Row r: D[r][b] = S0[r] ⊕ D[r][a].
+                    let mut bcell = s0[r * ss..(r + 1) * ss].to_vec();
+                    Self::xor_sym(&mut bcell, &cell);
+                    col_b[r * ss..(r + 1) * ss].copy_from_slice(&bcell);
+                    d = (r + b) % p;
+                }
+                units[a] = Some(col_a);
+                units[b] = Some(col_b);
+                return Ok(());
+            }
+            _ => unreachable!("all <=2 erasure cases covered"),
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("EVENODD(p={})", self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(p: usize, ss: usize, seed: u64) -> Vec<Vec<u8>> {
+        (0..p)
+            .map(|j| {
+                (0..(p - 1) * ss)
+                    .map(|i| {
+                        (seed
+                            .wrapping_mul(0x9e3779b97f4a7c15)
+                            .wrapping_add((j * 8191 + i * 31) as u64)
+                            >> 21) as u8
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(EvenOdd::new(2).is_err());
+        assert!(EvenOdd::new(4).is_err());
+        assert!(EvenOdd::new(9).is_err());
+        assert!(EvenOdd::new(3).is_ok());
+        assert!(EvenOdd::new(17).is_ok());
+    }
+
+    #[test]
+    fn unaligned_length_rejected() {
+        let code = EvenOdd::new(5).unwrap();
+        let data: Vec<Vec<u8>> = (0..5).map(|_| vec![0u8; 7]).collect(); // not /4
+        assert!(matches!(
+            code.encode(&data),
+            Err(CodeError::UnalignedUnitLength { multiple_of: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn all_double_erasures_for_small_primes() {
+        for p in [3usize, 5, 7] {
+            let code = EvenOdd::new(p).unwrap();
+            let data = sample(p, 3, 0xE0DD + p as u64);
+            let parity = code.encode(&data).unwrap();
+            let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
+            let n = p + 2;
+            for a in 0..n {
+                for b in a..n {
+                    let mut units: Vec<Option<Vec<u8>>> =
+                        full.iter().cloned().map(Some).collect();
+                    units[a] = None;
+                    units[b] = None; // a == b means single erasure
+                    code.reconstruct(&mut units)
+                        .unwrap_or_else(|e| panic!("p={p} ({a},{b}): {e}"));
+                    for (i, u) in units.iter().enumerate() {
+                        assert_eq!(
+                            u.as_deref(),
+                            Some(&full[i][..]),
+                            "p={p} pattern ({a},{b}) unit {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn triple_erasure_rejected() {
+        let code = EvenOdd::new(5).unwrap();
+        let data = sample(5, 2, 1);
+        let parity = code.encode(&data).unwrap();
+        let mut units: Vec<Option<Vec<u8>>> =
+            data.into_iter().chain(parity).map(Some).collect();
+        units[0] = None;
+        units[1] = None;
+        units[2] = None;
+        assert!(matches!(
+            code.reconstruct(&mut units),
+            Err(CodeError::TooManyErasures { erased: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn xor_only_matches_raid6_tolerance_at_lower_cost_model() {
+        // Structural check: EVENODD is MDS-like for 2 erasures with pure
+        // XOR; efficiency p/(p+2).
+        let code = EvenOdd::new(7).unwrap();
+        assert!((code.efficiency() - 7.0 / 9.0).abs() < 1e-12);
+        assert_eq!(code.update_cost().total_writes(), 3);
+    }
+}

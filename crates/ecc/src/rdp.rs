@@ -1,0 +1,369 @@
+//! RDP — Row-Diagonal Parity (Corbett et al., FAST 2004): NetApp's XOR-only
+//! double-erasure array code, the other classic RAID6 construction of the
+//! paper's era. Unlike EVENODD there is no S adjuster: the diagonal parity
+//! covers the row-parity column too.
+//!
+//! Geometry: a prime `p`; `p − 1` data columns of `p − 1` symbols, a row
+//! parity column `P`, and a diagonal parity column `Q`. Cell `(r, c)` for
+//! `c < p` lies on diagonal `(r + c) mod p`; diagonal `p − 1` is not stored.
+
+use crate::code::{validate_data, validate_units, CodeError, ErasureCode};
+
+/// The RDP code: `p − 1` data units + row parity + diagonal parity,
+/// tolerating any two erasures with XOR only.
+///
+/// Unit length must be a multiple of `p − 1` (symbol rows).
+///
+/// # Example
+///
+/// ```
+/// use ecc::{ErasureCode, Rdp};
+///
+/// let code = Rdp::new(5).unwrap(); // 4 data + 2 parity columns
+/// assert_eq!(code.data_units(), 4);
+/// assert_eq!(code.fault_tolerance(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rdp {
+    p: usize,
+}
+
+impl Rdp {
+    /// Creates RDP over the prime `p` (`p >= 3`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParameters`] unless `p` is an odd prime.
+    pub fn new(p: usize) -> Result<Self, CodeError> {
+        if p < 3 || !gf::is_prime(p) {
+            return Err(CodeError::InvalidParameters { k: p - 1, m: 2 });
+        }
+        Ok(Self { p })
+    }
+
+    /// The prime parameter.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    fn symbol_size(&self, len: usize) -> Result<usize, CodeError> {
+        let rows = self.p - 1;
+        if len == 0 || len % rows != 0 {
+            return Err(CodeError::UnalignedUnitLength {
+                len,
+                multiple_of: rows,
+            });
+        }
+        Ok(len / rows)
+    }
+
+    fn xor_sym(dst: &mut [u8], src: &[u8]) {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+    }
+
+    /// Computes (P, Q) columns. The first `p − 1` of `cols` are data.
+    fn compute_parity(&self, data: &[Vec<u8>], ss: usize) -> (Vec<u8>, Vec<u8>) {
+        let p = self.p;
+        let rows = p - 1;
+        let mut pcol = vec![0u8; rows * ss];
+        for col in data {
+            for r in 0..rows {
+                Self::xor_sym(&mut pcol[r * ss..(r + 1) * ss], &col[r * ss..(r + 1) * ss]);
+            }
+        }
+        // Q[d] = XOR over cells (r, c) with (r + c) mod p == d, for the
+        // first p columns (data + P), r < p − 1; diagonal p−1 unstored.
+        let mut qcol = vec![0u8; rows * ss];
+        for c in 0..p {
+            let col: &[u8] = if c < rows { &data[c] } else { &pcol };
+            for r in 0..rows {
+                let d = (r + c) % p;
+                if d < rows {
+                    Self::xor_sym(&mut qcol[d * ss..(d + 1) * ss], &col[r * ss..(r + 1) * ss]);
+                }
+            }
+        }
+        (pcol, qcol)
+    }
+
+    /// Reconstructs two columns among the first `p` (data + P) via the
+    /// diagonal/row chain. `cols[c]` is `None` for the two unknowns.
+    fn chain_recover(
+        &self,
+        cols: &mut [Option<Vec<u8>>],
+        qcol: &[u8],
+        a: usize,
+        b: usize,
+        ss: usize,
+    ) {
+        let p = self.p;
+        let rows = p - 1;
+        // Row syndromes over the extended rows (XOR of all p columns = 0).
+        let mut s0 = vec![0u8; rows * ss];
+        for (c, col) in cols.iter().enumerate().take(p) {
+            if c == a || c == b {
+                continue;
+            }
+            let col = col.as_ref().expect("only a and b unknown");
+            for r in 0..rows {
+                Self::xor_sym(&mut s0[r * ss..(r + 1) * ss], &col[r * ss..(r + 1) * ss]);
+            }
+        }
+        // Diagonal syndromes: S1[d] = Q[d] ⊕ known cells on diag d.
+        let mut s1 = vec![0u8; rows * ss];
+        for d in 0..rows {
+            s1[d * ss..(d + 1) * ss].copy_from_slice(&qcol[d * ss..(d + 1) * ss]);
+        }
+        for (c, col) in cols.iter().enumerate().take(p) {
+            if c == a || c == b {
+                continue;
+            }
+            let col = col.as_ref().expect("known");
+            for r in 0..rows {
+                let d = (r + c) % p;
+                if d < rows {
+                    Self::xor_sym(&mut s1[d * ss..(d + 1) * ss], &col[r * ss..(r + 1) * ss]);
+                }
+            }
+        }
+        // Peeling: the 2(p−1) unknown cells vs (p−1) row equations and
+        // (p−1) stored diagonal equations. Repeatedly solve any equation
+        // with exactly one remaining unknown — the two chains that start at
+        // the diagonals through each column's imaginary row peel everything
+        // (diagonal p−1 carries no equation, which is where each chain ends).
+        let mut cell_a: Vec<Option<Vec<u8>>> = vec![None; rows];
+        let mut cell_b: Vec<Option<Vec<u8>>> = vec![None; rows];
+        let mut remaining = 2 * rows;
+        while remaining > 0 {
+            let mut progressed = false;
+            // Stored diagonal equations.
+            for d in 0..rows {
+                let ra = (d + p - a) % p;
+                let rb = (d + p - b) % p;
+                let a_unknown = ra < rows && cell_a[ra].is_none();
+                let b_unknown = rb < rows && cell_b[rb].is_none();
+                if a_unknown ^ b_unknown {
+                    let mut v = s1[d * ss..(d + 1) * ss].to_vec();
+                    if a_unknown {
+                        if rb < rows {
+                            Self::xor_sym(&mut v, cell_b[rb].as_ref().expect("known"));
+                        }
+                        cell_a[ra] = Some(v);
+                    } else {
+                        if ra < rows {
+                            Self::xor_sym(&mut v, cell_a[ra].as_ref().expect("known"));
+                        }
+                        cell_b[rb] = Some(v);
+                    }
+                    remaining -= 1;
+                    progressed = true;
+                }
+            }
+            // Row equations.
+            for r in 0..rows {
+                let a_unknown = cell_a[r].is_none();
+                let b_unknown = cell_b[r].is_none();
+                if a_unknown ^ b_unknown {
+                    let mut v = s0[r * ss..(r + 1) * ss].to_vec();
+                    if a_unknown {
+                        Self::xor_sym(&mut v, cell_b[r].as_ref().expect("known"));
+                        cell_a[r] = Some(v);
+                    } else {
+                        Self::xor_sym(&mut v, cell_a[r].as_ref().expect("known"));
+                        cell_b[r] = Some(v);
+                    }
+                    remaining -= 1;
+                    progressed = true;
+                }
+            }
+            assert!(progressed, "RDP peeling must make progress (p prime)");
+        }
+        let mut col_a = vec![0u8; rows * ss];
+        let mut col_b = vec![0u8; rows * ss];
+        for r in 0..rows {
+            col_a[r * ss..(r + 1) * ss].copy_from_slice(cell_a[r].as_ref().expect("solved"));
+            col_b[r * ss..(r + 1) * ss].copy_from_slice(cell_b[r].as_ref().expect("solved"));
+        }
+        cols[a] = Some(col_a);
+        cols[b] = Some(col_b);
+    }
+}
+
+impl ErasureCode for Rdp {
+    fn data_units(&self) -> usize {
+        self.p - 1
+    }
+
+    fn parity_units(&self) -> usize {
+        2
+    }
+
+    fn fault_tolerance(&self) -> usize {
+        2
+    }
+
+    fn encode(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, CodeError> {
+        let len = validate_data(data, self.p - 1)?;
+        let ss = self.symbol_size(len)?;
+        let (pcol, qcol) = self.compute_parity(data, ss);
+        Ok(vec![pcol, qcol])
+    }
+
+    fn reconstruct(&self, units: &mut [Option<Vec<u8>>]) -> Result<(), CodeError> {
+        let p = self.p;
+        let len = validate_units(units, p + 1)?;
+        let ss = self.symbol_size(len)?;
+        let erased: Vec<usize> = units
+            .iter()
+            .enumerate()
+            .filter_map(|(i, u)| u.is_none().then_some(i))
+            .collect();
+        if erased.len() > 2 {
+            return Err(CodeError::TooManyErasures {
+                erased: erased.len(),
+                tolerance: 2,
+            });
+        }
+        if erased.is_empty() {
+            return Ok(());
+        }
+        let qi = p; // diagonal parity is the last unit; P is unit p − 1
+        let q_lost = erased.contains(&qi);
+        let first_p_lost: Vec<usize> = erased.iter().copied().filter(|&e| e < p).collect();
+        match (first_p_lost.len(), q_lost) {
+            // Only Q: recompute.
+            (0, true) => {
+                let data: Vec<Vec<u8>> =
+                    units[..p - 1].iter().map(|u| u.clone().unwrap()).collect();
+                units[qi] = Some(self.compute_parity(&data, ss).1);
+                Ok(())
+            }
+            // One of data/P lost (± Q): row equations give it back.
+            (1, q_lost) => {
+                let a = first_p_lost[0];
+                let mut col = vec![0u8; (p - 1) * ss];
+                for (c, u) in units[..p].iter().enumerate() {
+                    if c == a {
+                        continue;
+                    }
+                    let u = u.as_ref().unwrap();
+                    for r in 0..p - 1 {
+                        Self::xor_sym(&mut col[r * ss..(r + 1) * ss], &u[r * ss..(r + 1) * ss]);
+                    }
+                }
+                units[a] = Some(col);
+                if q_lost {
+                    let data: Vec<Vec<u8>> =
+                        units[..p - 1].iter().map(|u| u.clone().unwrap()).collect();
+                    units[qi] = Some(self.compute_parity(&data, ss).1);
+                }
+                Ok(())
+            }
+            // Two among data+P: the RDP chain (Q survives by assumption).
+            (2, false) => {
+                let (a, b) = (first_p_lost[0], first_p_lost[1]);
+                let qcol = units[qi].clone().unwrap();
+                let (head, _) = units.split_at_mut(p);
+                self.chain_recover(head, &qcol, a, b, ss);
+                Ok(())
+            }
+            _ => unreachable!("erasure cases are exhaustive for <= 2"),
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("RDP(p={})", self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(p: usize, ss: usize, seed: u64) -> Vec<Vec<u8>> {
+        (0..p - 1)
+            .map(|j| {
+                (0..(p - 1) * ss)
+                    .map(|i| {
+                        (seed
+                            .wrapping_mul(0x2545F4914F6CDD1D)
+                            .wrapping_add((j * 977 + i * 13) as u64)
+                            >> 19) as u8
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(Rdp::new(2).is_err());
+        assert!(Rdp::new(6).is_err());
+        assert!(Rdp::new(3).is_ok());
+        assert!(Rdp::new(13).is_ok());
+    }
+
+    #[test]
+    fn unaligned_length_rejected() {
+        let code = Rdp::new(5).unwrap();
+        let data: Vec<Vec<u8>> = (0..4).map(|_| vec![0u8; 6]).collect(); // not /4
+        assert!(matches!(
+            code.encode(&data),
+            Err(CodeError::UnalignedUnitLength { multiple_of: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn all_double_erasures_for_small_primes() {
+        for p in [3usize, 5, 7, 11] {
+            let code = Rdp::new(p).unwrap();
+            let data = sample(p, 2, 0x0D9 + p as u64);
+            let parity = code.encode(&data).unwrap();
+            let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
+            let n = p + 1;
+            for a in 0..n {
+                for b in a..n {
+                    let mut units: Vec<Option<Vec<u8>>> =
+                        full.iter().cloned().map(Some).collect();
+                    units[a] = None;
+                    units[b] = None;
+                    code.reconstruct(&mut units)
+                        .unwrap_or_else(|e| panic!("p={p} ({a},{b}): {e}"));
+                    for (i, u) in units.iter().enumerate() {
+                        assert_eq!(
+                            u.as_deref(),
+                            Some(&full[i][..]),
+                            "p={p} pattern ({a},{b}) unit {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn triple_erasure_rejected() {
+        let code = Rdp::new(5).unwrap();
+        let data = sample(5, 2, 9);
+        let parity = code.encode(&data).unwrap();
+        let mut units: Vec<Option<Vec<u8>>> =
+            data.into_iter().chain(parity).map(Some).collect();
+        units[0] = None;
+        units[2] = None;
+        units[5] = None;
+        assert!(matches!(
+            code.reconstruct(&mut units),
+            Err(CodeError::TooManyErasures { erased: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn geometry_and_cost() {
+        let code = Rdp::new(7).unwrap();
+        assert_eq!(code.total_units(), 8);
+        assert!((code.efficiency() - 6.0 / 8.0).abs() < 1e-12);
+        assert_eq!(code.update_cost().total_writes(), 3);
+    }
+}

@@ -1,0 +1,127 @@
+//! n-way replication, the classical high-availability baseline.
+//!
+//! Triple replication tolerates two failures at 200 % overhead; OI-RAID's
+//! "practically low storage overhead" claim (E3) is judged against it.
+
+use crate::code::{validate_data, validate_units, CodeError, ErasureCode, UpdateCost};
+
+/// `n`-way replication of a single data unit: 1 data unit plus `n − 1`
+/// copies; tolerates `n − 1` erasures.
+///
+/// # Example
+///
+/// ```
+/// use ecc::{ErasureCode, Replication};
+///
+/// let code = Replication::new(3).unwrap();
+/// assert_eq!(code.fault_tolerance(), 2);
+/// assert!((code.efficiency() - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Replication {
+    n: usize,
+}
+
+impl Replication {
+    /// Creates `n`-way replication (`n >= 2`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParameters`] if `n < 2`.
+    pub fn new(n: usize) -> Result<Self, CodeError> {
+        if n < 2 {
+            return Err(CodeError::InvalidParameters { k: 1, m: n });
+        }
+        Ok(Self { n })
+    }
+}
+
+impl ErasureCode for Replication {
+    fn data_units(&self) -> usize {
+        1
+    }
+
+    fn parity_units(&self) -> usize {
+        self.n - 1
+    }
+
+    fn fault_tolerance(&self) -> usize {
+        self.n - 1
+    }
+
+    fn encode(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, CodeError> {
+        validate_data(data, 1)?;
+        Ok(vec![data[0].clone(); self.n - 1])
+    }
+
+    fn reconstruct(&self, units: &mut [Option<Vec<u8>>]) -> Result<(), CodeError> {
+        validate_units(units, self.n)?;
+        let source = units
+            .iter()
+            .flatten()
+            .next()
+            .cloned()
+            .expect("validate_units guarantees a survivor");
+        for u in units.iter_mut() {
+            if u.is_none() {
+                *u = Some(source.clone());
+            }
+        }
+        Ok(())
+    }
+
+    fn update_cost(&self) -> UpdateCost {
+        // Every copy is a "data" write; there is no parity computation.
+        UpdateCost::new(self.n, 0)
+    }
+
+    fn name(&self) -> String {
+        format!("{}-replication", self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_validation() {
+        assert!(Replication::new(0).is_err());
+        assert!(Replication::new(1).is_err());
+        assert!(Replication::new(2).is_ok());
+    }
+
+    #[test]
+    fn copies_are_identical() {
+        let code = Replication::new(3).unwrap();
+        let parity = code.encode(&[vec![9u8, 8, 7]]).unwrap();
+        assert_eq!(parity, vec![vec![9u8, 8, 7]; 2]);
+    }
+
+    #[test]
+    fn survives_n_minus_1_failures() {
+        let code = Replication::new(4).unwrap();
+        let mut units = vec![None, None, None, Some(vec![5u8, 5])];
+        code.reconstruct(&mut units).unwrap();
+        for u in units {
+            assert_eq!(u, Some(vec![5u8, 5]));
+        }
+    }
+
+    #[test]
+    fn total_loss_detected() {
+        let code = Replication::new(2).unwrap();
+        let mut units: Vec<Option<Vec<u8>>> = vec![None, None];
+        assert!(matches!(
+            code.reconstruct(&mut units),
+            Err(CodeError::TooManyErasures { .. })
+        ));
+    }
+
+    #[test]
+    fn update_cost_counts_all_copies() {
+        let code = Replication::new(3).unwrap();
+        assert_eq!(code.update_cost().total_writes(), 3);
+        assert_eq!(code.update_cost().data_writes(), 3);
+    }
+}

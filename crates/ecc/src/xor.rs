@@ -1,0 +1,189 @@
+//! Single-parity XOR code — RAID5's per-stripe code, and the code OI-RAID
+//! deploys in both of its layers.
+
+use crate::code::{validate_data, validate_units, CodeError, ErasureCode};
+
+/// RAID5-style single parity: `k` data units protected by one XOR parity
+/// unit. Tolerates any single erasure.
+///
+/// # Example
+///
+/// ```
+/// use ecc::{ErasureCode, XorParity};
+///
+/// let code = XorParity::new(3).unwrap();
+/// let data = vec![vec![1u8, 2], vec![3, 4], vec![5, 6]];
+/// let parity = code.encode(&data).unwrap();
+/// assert_eq!(parity[0], vec![1 ^ 3 ^ 5, 2 ^ 4 ^ 6]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorParity {
+    k: usize,
+}
+
+impl XorParity {
+    /// Creates a `k + 1` single-parity code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParameters`] if `k == 0`.
+    pub fn new(k: usize) -> Result<Self, CodeError> {
+        if k == 0 {
+            return Err(CodeError::InvalidParameters { k, m: 1 });
+        }
+        Ok(Self { k })
+    }
+
+    /// Incrementally patches the parity for an update of one data unit:
+    /// `parity ^= old_data ^ new_data`. This is the read-modify-write path
+    /// whose cost E4 accounts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer lengths differ.
+    pub fn patch_parity(&self, parity: &mut [u8], old_data: &[u8], new_data: &[u8]) {
+        assert_eq!(parity.len(), old_data.len());
+        assert_eq!(parity.len(), new_data.len());
+        for ((p, o), n) in parity.iter_mut().zip(old_data).zip(new_data) {
+            *p ^= o ^ n;
+        }
+    }
+}
+
+impl ErasureCode for XorParity {
+    fn data_units(&self) -> usize {
+        self.k
+    }
+
+    fn parity_units(&self) -> usize {
+        1
+    }
+
+    fn fault_tolerance(&self) -> usize {
+        1
+    }
+
+    fn encode(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, CodeError> {
+        let len = validate_data(data, self.k)?;
+        let mut parity = vec![0u8; len];
+        for unit in data {
+            for (p, d) in parity.iter_mut().zip(unit) {
+                *p ^= d;
+            }
+        }
+        Ok(vec![parity])
+    }
+
+    fn reconstruct(&self, units: &mut [Option<Vec<u8>>]) -> Result<(), CodeError> {
+        let len = validate_units(units, self.k + 1)?;
+        let erased: Vec<usize> = units
+            .iter()
+            .enumerate()
+            .filter_map(|(i, u)| u.is_none().then_some(i))
+            .collect();
+        match erased.len() {
+            0 => Ok(()),
+            1 => {
+                let mut acc = vec![0u8; len];
+                for u in units.iter().flatten() {
+                    for (a, d) in acc.iter_mut().zip(u) {
+                        *a ^= d;
+                    }
+                }
+                units[erased[0]] = Some(acc);
+                Ok(())
+            }
+            e => Err(CodeError::TooManyErasures {
+                erased: e,
+                tolerance: 1,
+            }),
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("RAID5({}+1)", self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_zero_data_units() {
+        assert!(XorParity::new(0).is_err());
+    }
+
+    #[test]
+    fn parity_is_xor() {
+        let code = XorParity::new(2).unwrap();
+        let parity = code.encode(&[vec![0b1010], vec![0b0110]]).unwrap();
+        assert_eq!(parity, vec![vec![0b1100]]);
+    }
+
+    #[test]
+    fn reconstruct_parity_unit_itself() {
+        let code = XorParity::new(2).unwrap();
+        let data = vec![vec![7u8], vec![9u8]];
+        let parity = code.encode(&data).unwrap();
+        let mut units = vec![Some(data[0].clone()), Some(data[1].clone()), None];
+        code.reconstruct(&mut units).unwrap();
+        assert_eq!(units[2], Some(parity[0].clone()));
+    }
+
+    #[test]
+    fn two_erasures_rejected() {
+        let code = XorParity::new(3).unwrap();
+        let mut units = vec![None, None, Some(vec![0u8]), Some(vec![0u8])];
+        assert!(matches!(
+            code.reconstruct(&mut units),
+            Err(CodeError::TooManyErasures { erased: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn patch_parity_equivalent_to_reencode() {
+        let code = XorParity::new(3).unwrap();
+        let mut data = vec![vec![1u8, 2, 3], vec![4, 5, 6], vec![7, 8, 9]];
+        let mut parity = code.encode(&data).unwrap().remove(0);
+        let old = data[1].clone();
+        data[1] = vec![0xaa, 0xbb, 0xcc];
+        code.patch_parity(&mut parity, &old, &data[1]);
+        assert_eq!(parity, code.encode(&data).unwrap()[0]);
+    }
+
+    #[test]
+    fn efficiency_and_names() {
+        let code = XorParity::new(4).unwrap();
+        assert!((code.efficiency() - 0.8).abs() < 1e-12);
+        assert_eq!(code.name(), "RAID5(4+1)");
+        assert_eq!(code.parity_dependencies(2), vec![4]);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_single_erasure(
+            k in 1usize..8,
+            len in 1usize..64,
+            seed in any::<u64>(),
+        ) {
+            let code = XorParity::new(k).unwrap();
+            let data: Vec<Vec<u8>> = (0..k)
+                .map(|i| {
+                    (0..len)
+                        .map(|j| (seed.wrapping_mul(i as u64 + 1).wrapping_add(j as u64) % 251) as u8)
+                        .collect()
+                })
+                .collect();
+            let parity = code.encode(&data).unwrap();
+            let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
+            for lost in 0..=k {
+                let mut units: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+                units[lost] = None;
+                code.reconstruct(&mut units).unwrap();
+                prop_assert_eq!(units[lost].as_deref(), Some(&full[lost][..]));
+            }
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Extension fields GF(p^m) built as GF(p)[x] modulo an irreducible
+//! polynomial. These are what make projective/affine planes of prime-power
+//! order (4, 8, 9, ...) constructible in the `bibd` crate.
+
+use crate::field::Field;
+use crate::poly::Poly;
+use crate::prime::PrimeField;
+
+/// The extension field GF(p^m).
+///
+/// Elements are encoded as base-`p` digit strings packed into a `usize`:
+/// element `e` represents the polynomial `sum_i digit_i(e) * x^i` where
+/// `digit_i(e) = (e / p^i) % p`. Under this encoding `0` and `1` are the
+/// additive and multiplicative identities, as the [`Field`] trait requires.
+///
+/// Multiplication tables are precomputed at construction (`O(q^2)` space), so
+/// keep `q = p^m` modest — design constructions use `q <= 128` or so.
+///
+/// # Example
+///
+/// ```
+/// use gf::{ExtField, Field};
+///
+/// let f = ExtField::new(3, 2).unwrap(); // GF(9)
+/// assert_eq!(f.order(), 9);
+/// let a = 5; // digits (2, 1): 2 + x
+/// assert_eq!(f.mul(a, f.inv(a).unwrap()), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExtField {
+    p: usize,
+    m: usize,
+    order: usize,
+    modulus: Poly,
+    mul_table: Vec<usize>,
+    inv_table: Vec<Option<usize>>,
+}
+
+impl ExtField {
+    /// Creates GF(p^m), searching for an irreducible modulus automatically.
+    /// Returns `None` if `p` is not prime or `m == 0`.
+    pub fn new(p: usize, m: usize) -> Option<Self> {
+        let base = PrimeField::new(p)?;
+        if m == 0 {
+            return None;
+        }
+        let modulus = Poly::find_irreducible(m, &base);
+        Some(Self::with_modulus(base, m, modulus))
+    }
+
+    /// Creates GF(q) for a prime power `q`, returning `None` otherwise.
+    ///
+    /// ```
+    /// use gf::{ExtField, Field};
+    /// assert_eq!(ExtField::of_order(8).unwrap().order(), 8);
+    /// assert!(ExtField::of_order(6).is_none());
+    /// ```
+    pub fn of_order(q: usize) -> Option<Self> {
+        let (p, m) = crate::prime_power(q)?;
+        Self::new(p, m)
+    }
+
+    fn with_modulus(base: PrimeField, m: usize, modulus: Poly) -> Self {
+        let p = base.modulus();
+        let order = p.pow(m as u32);
+        let mut mul_table = vec![0usize; order * order];
+        for a in 0..order {
+            let pa = Self::decode(a, p, m);
+            for b in a..order {
+                let pb = Self::decode(b, p, m);
+                let prod = pa.mul(&pb, &base).rem(&modulus, &base);
+                let enc = Self::encode(&prod, p);
+                mul_table[a * order + b] = enc;
+                mul_table[b * order + a] = enc;
+            }
+        }
+        let mut inv_table = vec![None; order];
+        for a in 1..order {
+            // The group is finite: scan for the inverse (tables make this
+            // O(q^2) total, done once).
+            for b in 1..order {
+                if mul_table[a * order + b] == 1 {
+                    inv_table[a] = Some(b);
+                    break;
+                }
+            }
+            debug_assert!(inv_table[a].is_some(), "nonzero element lacks inverse");
+        }
+        Self {
+            p,
+            m,
+            order,
+            modulus,
+            mul_table,
+            inv_table,
+        }
+    }
+
+    fn decode(e: usize, p: usize, m: usize) -> Poly {
+        let mut coeffs = vec![0usize; m];
+        let mut rest = e;
+        for c in coeffs.iter_mut() {
+            *c = rest % p;
+            rest /= p;
+        }
+        Poly::new(coeffs)
+    }
+
+    fn encode(poly: &Poly, p: usize) -> usize {
+        let mut acc = 0;
+        for &c in poly.coeffs().iter().rev() {
+            acc = acc * p + c;
+        }
+        acc
+    }
+
+    /// The characteristic `p`.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// The extension degree `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The irreducible modulus polynomial over GF(p).
+    pub fn modulus(&self) -> &Poly {
+        &self.modulus
+    }
+}
+
+impl Field for ExtField {
+    fn order(&self) -> usize {
+        self.order
+    }
+
+    fn add(&self, a: usize, b: usize) -> usize {
+        assert!(a < self.order && b < self.order);
+        // Digit-wise addition mod p.
+        let (mut acc, mut pw) = (0usize, 1usize);
+        let (mut x, mut y) = (a, b);
+        for _ in 0..self.m {
+            let s = (x % self.p + y % self.p) % self.p;
+            acc += s * pw;
+            pw *= self.p;
+            x /= self.p;
+            y /= self.p;
+        }
+        acc
+    }
+
+    fn neg(&self, a: usize) -> usize {
+        assert!(a < self.order);
+        let (mut acc, mut pw) = (0usize, 1usize);
+        let mut x = a;
+        for _ in 0..self.m {
+            let d = x % self.p;
+            acc += if d == 0 { 0 } else { self.p - d } * pw;
+            pw *= self.p;
+            x /= self.p;
+        }
+        acc
+    }
+
+    fn mul(&self, a: usize, b: usize) -> usize {
+        assert!(a < self.order && b < self.order);
+        self.mul_table[a * self.order + b]
+    }
+
+    fn inv(&self, a: usize) -> Option<usize> {
+        assert!(a < self.order);
+        self.inv_table[a]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::check_axioms_exhaustive;
+
+    #[test]
+    fn gf4_gf8_gf9_axioms() {
+        check_axioms_exhaustive(&ExtField::new(2, 2).unwrap());
+        check_axioms_exhaustive(&ExtField::new(2, 3).unwrap());
+        check_axioms_exhaustive(&ExtField::new(3, 2).unwrap());
+    }
+
+    #[test]
+    fn of_order_accepts_prime_powers_only() {
+        for q in [2usize, 3, 4, 5, 7, 8, 9, 11, 13, 16, 25, 27] {
+            assert_eq!(ExtField::of_order(q).unwrap().order(), q, "q={q}");
+        }
+        for q in [1usize, 6, 10, 12, 14, 15, 18] {
+            assert!(ExtField::of_order(q).is_none(), "q={q}");
+        }
+    }
+
+    #[test]
+    fn characteristic_is_p() {
+        let f = ExtField::new(3, 2).unwrap();
+        assert_eq!(f.characteristic(), 3);
+        let f = ExtField::new(2, 4).unwrap();
+        assert_eq!(f.characteristic(), 2);
+    }
+
+    #[test]
+    fn multiplicative_group_is_cyclic() {
+        let f = ExtField::new(2, 4).unwrap(); // GF(16)
+        let g = f.primitive_element();
+        let mut seen = vec![false; 16];
+        let mut x = 1usize;
+        for _ in 0..15 {
+            assert!(!seen[x]);
+            seen[x] = true;
+            x = f.mul(x, g);
+        }
+        assert_eq!(x, 1);
+    }
+
+    #[test]
+    fn frobenius_is_additive() {
+        // In characteristic p, (a+b)^p = a^p + b^p.
+        let f = ExtField::new(3, 2).unwrap();
+        for a in 0..9 {
+            for b in 0..9 {
+                let lhs = f.pow(f.add(a, b), 3);
+                let rhs = f.add(f.pow(a, 3), f.pow(b, 3));
+                assert_eq!(lhs, rhs);
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! The [`Field`] trait: a uniform, object-safe interface over all finite
+//! fields in this crate.
+
+use std::fmt::Debug;
+
+/// A finite field whose elements are represented as `usize` indices in
+/// `0..order()`.
+///
+/// `0` is always the additive identity and `1` the multiplicative identity.
+/// Implementations must satisfy the field axioms; the test suites of the
+/// concrete fields check them exhaustively for small orders and by property
+/// testing for larger ones.
+///
+/// The trait is object-safe so that code like the design constructions in
+/// `bibd` can hold a `&dyn Field`.
+///
+/// # Example
+///
+/// ```
+/// use gf::{Field, PrimeField};
+///
+/// let f = PrimeField::new(7).unwrap();
+/// assert_eq!(f.add(5, 4), 2);
+/// assert_eq!(f.mul(3, 5), 1);
+/// assert_eq!(f.inv(3), Some(5));
+/// ```
+pub trait Field: Debug {
+    /// Number of elements in the field.
+    fn order(&self) -> usize;
+
+    /// Field addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is `>= order()`.
+    fn add(&self, a: usize, b: usize) -> usize;
+
+    /// Additive inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a >= order()`.
+    fn neg(&self, a: usize) -> usize;
+
+    /// Field multiplication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is `>= order()`.
+    fn mul(&self, a: usize, b: usize) -> usize;
+
+    /// Multiplicative inverse; `None` for the zero element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a >= order()`.
+    fn inv(&self, a: usize) -> Option<usize>;
+
+    /// Field subtraction, derived from [`Field::add`] and [`Field::neg`].
+    fn sub(&self, a: usize, b: usize) -> usize {
+        self.add(a, self.neg(b))
+    }
+
+    /// Field division; `None` when dividing by zero.
+    fn div(&self, a: usize, b: usize) -> Option<usize> {
+        self.inv(b).map(|bi| self.mul(a, bi))
+    }
+
+    /// Exponentiation by squaring. `pow(0, 0) == 1` by convention.
+    fn pow(&self, a: usize, mut e: u64) -> usize {
+        let mut base = a;
+        let mut acc = 1;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// The characteristic of the field (smallest `c > 0` with `c * 1 == 0`).
+    fn characteristic(&self) -> usize {
+        let mut acc = 1usize; // 1, then 1+1, ...
+        let mut c = 1usize;
+        while acc != 0 {
+            acc = self.add(acc, 1);
+            c += 1;
+            debug_assert!(c <= self.order());
+        }
+        c
+    }
+
+    /// Returns a generator (primitive element) of the multiplicative group,
+    /// found by brute force. Intended for small fields / test support.
+    fn primitive_element(&self) -> usize {
+        let n = (self.order() - 1) as u64;
+        'cand: for g in 2..self.order() {
+            // g is primitive iff its order is exactly n: check g^(n/p) != 1
+            // for every prime divisor p of n.
+            let mut m = n;
+            let mut d = 2;
+            while d * d <= m {
+                if m % d == 0 {
+                    if self.pow(g, n / d) == 1 {
+                        continue 'cand;
+                    }
+                    while m % d == 0 {
+                        m /= d;
+                    }
+                }
+                d += 1;
+            }
+            if m > 1 && self.pow(g, n / m) == 1 {
+                continue 'cand;
+            }
+            return g;
+        }
+        // Order 2: the only unit is 1.
+        1
+    }
+}
+
+/// Checks the field axioms exhaustively. Test helper shared by the concrete
+/// field implementations; cubic in the field order, so only call it for
+/// small fields.
+#[cfg(test)]
+pub(crate) fn check_axioms_exhaustive(f: &dyn Field) {
+    let n = f.order();
+    for a in 0..n {
+        assert_eq!(f.add(a, 0), a, "additive identity");
+        assert_eq!(f.mul(a, 1), a, "multiplicative identity");
+        assert_eq!(f.add(a, f.neg(a)), 0, "additive inverse");
+        assert_eq!(f.mul(a, 0), 0, "multiplication by zero");
+        if a != 0 {
+            let ai = f.inv(a).expect("nonzero element has inverse");
+            assert_eq!(f.mul(a, ai), 1, "multiplicative inverse");
+        } else {
+            assert_eq!(f.inv(a), None, "zero has no inverse");
+        }
+        for b in 0..n {
+            assert_eq!(f.add(a, b), f.add(b, a), "commutative +");
+            assert_eq!(f.mul(a, b), f.mul(b, a), "commutative *");
+            for c in 0..n {
+                assert_eq!(
+                    f.add(f.add(a, b), c),
+                    f.add(a, f.add(b, c)),
+                    "associative +"
+                );
+                assert_eq!(
+                    f.mul(f.mul(a, b), c),
+                    f.mul(a, f.mul(b, c)),
+                    "associative *"
+                );
+                assert_eq!(
+                    f.mul(a, f.add(b, c)),
+                    f.add(f.mul(a, b), f.mul(a, c)),
+                    "distributivity"
+                );
+            }
+        }
+    }
+}

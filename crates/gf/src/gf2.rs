@@ -1,0 +1,379 @@
+//! Binary extension fields GF(2^w) via log/exp tables, plus a shared
+//! GF(2^8) instance with byte-slice kernels for erasure coding.
+
+use std::sync::OnceLock;
+
+use crate::field::Field;
+
+/// Default irreducible polynomials (without the leading x^w term folded in;
+/// the full polynomial is `x^w + poly[w]`). Standard choices: for w = 8 this
+/// is `x^8 + x^4 + x^3 + x^2 + 1` (0x11d), the polynomial used by most
+/// storage Reed–Solomon deployments.
+const DEFAULT_POLY: [u32; 17] = [
+    0, 0x3, 0x7, 0xb, 0x13, 0x25, 0x43, 0x89, 0x11d, 0x211, 0x409, 0x805, 0x1053, 0x201b, 0x4443,
+    0x8003, 0x1100b,
+];
+
+/// A binary extension field GF(2^w), `1 <= w <= 16`.
+///
+/// Elements are bit patterns in `0..2^w`; addition is XOR and multiplication
+/// uses log/exp tables over a generator of the multiplicative group.
+///
+/// # Example
+///
+/// ```
+/// use gf::{Field, Gf2};
+///
+/// let f = Gf2::new(4);
+/// assert_eq!(f.order(), 16);
+/// assert_eq!(f.add(0b1010, 0b0110), 0b1100); // addition is XOR
+/// let a = 7;
+/// assert_eq!(f.mul(a, f.inv(a).unwrap()), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gf2 {
+    w: u32,
+    mask: usize,
+    log: Vec<u16>,
+    exp: Vec<u16>,
+}
+
+impl Gf2 {
+    /// Creates GF(2^w) with a standard irreducible polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is 0 or greater than 16.
+    pub fn new(w: u32) -> Self {
+        assert!((1..=16).contains(&w), "Gf2 supports 1 <= w <= 16, got {w}");
+        Self::with_poly(w, DEFAULT_POLY[w as usize])
+    }
+
+    /// Creates GF(2^w) reducing by `x^w + low_terms` where `low_terms` is the
+    /// bit pattern of the polynomial's lower-degree terms (including the
+    /// constant). The polynomial must be primitive for the tables to be
+    /// well-formed; this is validated at construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range or the polynomial is not primitive
+    /// (i.e. `x` does not generate the multiplicative group).
+    pub fn with_poly(w: u32, low_terms: u32) -> Self {
+        assert!((1..=16).contains(&w));
+        let order = 1usize << w;
+        let mask = order - 1;
+        // Accept either convention: with or without the leading x^w bit.
+        let poly = low_terms as usize & mask;
+        let mut log = vec![0u16; order];
+        let mut exp = vec![0u16; 2 * order];
+        let mut x = 1usize;
+        for i in 0..order - 1 {
+            assert!(
+                i == 0 || x != 1,
+                "polynomial {low_terms:#x} is not primitive for w={w}"
+            );
+            exp[i] = x as u16;
+            log[x] = i as u16;
+            // multiply by the generator `x` (i.e. shift) and reduce by
+            // x^w + low_terms: the overflow bit x^w is replaced by the
+            // polynomial's lower-degree terms.
+            x <<= 1;
+            if x & order != 0 {
+                x = (x & mask) ^ poly;
+            }
+        }
+        // Duplicate exp so exp[log a + log b] needs no modulo.
+        for i in 0..order - 1 {
+            exp[order - 1 + i] = exp[i];
+        }
+        Self { w, mask, log, exp }
+    }
+
+    /// Field width `w` in bits.
+    pub fn width(&self) -> u32 {
+        self.w
+    }
+
+    #[inline]
+    fn mul_raw(&self, a: usize, b: usize) -> usize {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[self.log[a] as usize + self.log[b] as usize] as usize
+        }
+    }
+}
+
+impl Field for Gf2 {
+    fn order(&self) -> usize {
+        self.mask + 1
+    }
+
+    fn add(&self, a: usize, b: usize) -> usize {
+        assert!(a <= self.mask && b <= self.mask);
+        a ^ b
+    }
+
+    fn neg(&self, a: usize) -> usize {
+        assert!(a <= self.mask);
+        a
+    }
+
+    fn mul(&self, a: usize, b: usize) -> usize {
+        assert!(a <= self.mask && b <= self.mask);
+        self.mul_raw(a, b)
+    }
+
+    fn inv(&self, a: usize) -> Option<usize> {
+        assert!(a <= self.mask);
+        if a == 0 {
+            None
+        } else {
+            let n = self.mask; // group order 2^w - 1
+            Some(self.exp[(n - self.log[a] as usize) % n] as usize)
+        }
+    }
+}
+
+/// Shared GF(2^8) field with byte-slice kernels used on erasure-coding hot
+/// paths.
+///
+/// The log/exp tables are built once per process. [`Gf256::mul_slice`] and
+/// [`Gf256::mul_acc_slice`] operate on whole buffers, which is what the `ecc`
+/// crate's Reed–Solomon and RAID6 implementations use.
+///
+/// # Example
+///
+/// ```
+/// use gf::Gf256;
+///
+/// let f = Gf256::get();
+/// let mut out = vec![0u8; 4];
+/// f.mul_acc_slice(0x02, &[1, 2, 3, 4], &mut out);
+/// assert_eq!(out, vec![2, 4, 6, 8]);
+/// ```
+#[derive(Debug)]
+pub struct Gf256 {
+    inner: Gf2,
+}
+
+static GF256: OnceLock<Gf256> = OnceLock::new();
+
+impl Gf256 {
+    /// Returns the process-wide GF(2^8) instance (polynomial 0x11d).
+    pub fn get() -> &'static Gf256 {
+        GF256.get_or_init(|| Gf256 {
+            inner: Gf2::new(8),
+        })
+    }
+
+    /// Multiplies two field elements.
+    #[inline]
+    pub fn mul(&self, a: u8, b: u8) -> u8 {
+        self.inner.mul_raw(a as usize, b as usize) as u8
+    }
+
+    /// Adds two field elements (XOR).
+    #[inline]
+    pub fn add(&self, a: u8, b: u8) -> u8 {
+        a ^ b
+    }
+
+    /// Multiplicative inverse; `None` for zero.
+    pub fn inv(&self, a: u8) -> Option<u8> {
+        self.inner.inv(a as usize).map(|x| x as u8)
+    }
+
+    /// Division; `None` when `b == 0`.
+    pub fn div(&self, a: u8, b: u8) -> Option<u8> {
+        self.inner.div(a as usize, b as usize).map(|x| x as u8)
+    }
+
+    /// Exponentiation.
+    pub fn pow(&self, a: u8, e: u64) -> u8 {
+        self.inner.pow(a as usize, e) as u8
+    }
+
+    /// `out[i] = c * src[i]` for all `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != out.len()`.
+    pub fn mul_slice(&self, c: u8, src: &[u8], out: &mut [u8]) {
+        assert_eq!(src.len(), out.len());
+        match c {
+            0 => out.fill(0),
+            1 => out.copy_from_slice(src),
+            _ => {
+                let lc = self.inner.log[c as usize] as usize;
+                for (s, o) in src.iter().zip(out.iter_mut()) {
+                    *o = if *s == 0 {
+                        0
+                    } else {
+                        self.inner.exp[lc + self.inner.log[*s as usize] as usize] as u8
+                    };
+                }
+            }
+        }
+    }
+
+    /// `out[i] ^= c * src[i]` for all `i` — the GF(2^8) multiply-accumulate
+    /// used by Reed–Solomon encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != out.len()`.
+    pub fn mul_acc_slice(&self, c: u8, src: &[u8], out: &mut [u8]) {
+        assert_eq!(src.len(), out.len());
+        match c {
+            0 => {}
+            1 => {
+                for (s, o) in src.iter().zip(out.iter_mut()) {
+                    *o ^= *s;
+                }
+            }
+            _ => {
+                let lc = self.inner.log[c as usize] as usize;
+                for (s, o) in src.iter().zip(out.iter_mut()) {
+                    if *s != 0 {
+                        *o ^= self.inner.exp[lc + self.inner.log[*s as usize] as usize] as u8;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Access the underlying generic field (element indices are byte values).
+    pub fn as_field(&self) -> &Gf2 {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::check_axioms_exhaustive;
+    use proptest::prelude::*;
+
+    /// Bit-by-bit reference ("Russian peasant") multiplication in GF(2^8)
+    /// with polynomial 0x11d, independent of the table code.
+    fn ref_mul(mut a: u16, mut b: u16) -> u8 {
+        let mut p = 0u16;
+        while b != 0 {
+            if b & 1 != 0 {
+                p ^= a;
+            }
+            a <<= 1;
+            if a & 0x100 != 0 {
+                a ^= 0x11d;
+            }
+            b >>= 1;
+        }
+        p as u8
+    }
+
+    #[test]
+    fn gf16_axioms_exhaustive() {
+        check_axioms_exhaustive(&Gf2::new(4));
+    }
+
+    #[test]
+    fn gf4_and_gf2_axioms_exhaustive() {
+        check_axioms_exhaustive(&Gf2::new(1));
+        check_axioms_exhaustive(&Gf2::new(2));
+    }
+
+    #[test]
+    fn gf256_matches_reference_mul() {
+        let f = Gf256::get();
+        for a in 0..=255u16 {
+            for b in 0..=255u16 {
+                assert_eq!(f.mul(a as u8, b as u8), ref_mul(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn gf256_inverses() {
+        let f = Gf256::get();
+        assert_eq!(f.inv(0), None);
+        for a in 1..=255u8 {
+            let ai = f.inv(a).unwrap();
+            assert_eq!(f.mul(a, ai), 1);
+        }
+    }
+
+    #[test]
+    fn gf2_large_widths_roundtrip() {
+        for w in [9, 12, 16] {
+            let f = Gf2::new(w);
+            // Spot-check a pseudo-random sample of inverses.
+            let step = f.order() / 257 + 1;
+            let mut a = 1;
+            while a < f.order() {
+                let ai = f.inv(a).unwrap();
+                assert_eq!(f.mul(a, ai), 1, "w={w} a={a}");
+                a += step;
+            }
+        }
+    }
+
+    #[test]
+    fn exp_table_has_full_period() {
+        for w in 1..=12 {
+            let f = Gf2::new(w);
+            // x must generate all 2^w - 1 units: the log table is a bijection.
+            let mut seen = vec![false; f.order()];
+            for a in 1..f.order() {
+                let l = f.log[a] as usize;
+                assert!(!seen[l], "w={w}: log value {l} repeated");
+                seen[l] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn mul_slice_matches_scalar() {
+        let f = Gf256::get();
+        let src: Vec<u8> = (0..=255).collect();
+        for c in [0u8, 1, 2, 0x1d, 0xff] {
+            let mut out = vec![0u8; 256];
+            f.mul_slice(c, &src, &mut out);
+            for (i, &s) in src.iter().enumerate() {
+                assert_eq!(out[i], f.mul(c, s));
+            }
+            let mut acc = out.clone();
+            f.mul_acc_slice(c, &src, &mut acc);
+            for i in 0..256 {
+                assert_eq!(acc[i], out[i] ^ f.mul(c, src[i]));
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+        #[test]
+        fn gf2_16_field_axioms_random(a in 0usize..65536, b in 0usize..65536, c in 0usize..65536) {
+            // Exhaustive checks cover small widths; GF(2^16) gets random
+            // triples: associativity, commutativity, distributivity,
+            // inverses.
+            let f = Gf2::new(16);
+            prop_assert_eq!(f.mul(a, b), f.mul(b, a));
+            prop_assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+            prop_assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+            if a != 0 {
+                let ai = f.inv(a).unwrap();
+                prop_assert_eq!(f.mul(a, ai), 1);
+            }
+            prop_assert_eq!(f.pow(a, 65535), if a == 0 { 0 } else { 1 }); // Fermat
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not primitive")]
+    fn non_primitive_poly_rejected() {
+        // x^4 + x^3 + x^2 + x + 1 is irreducible but NOT primitive over GF(2):
+        // x has order 5, not 15.
+        let _ = Gf2::with_poly(4, 0b1111);
+    }
+}

@@ -1,0 +1,116 @@
+//! Finite-field arithmetic and small linear-algebra substrate.
+//!
+//! This crate provides the algebraic machinery that the rest of the OI-RAID
+//! reproduction is built on:
+//!
+//! * [`Gf2`] — binary extension fields GF(2^w) for `1 <= w <= 16`, backed by
+//!   log/exp tables, used by the Reed–Solomon and RAID6 codes in `ecc`.
+//! * [`Gf256`] — a process-wide shared GF(2^8) instance with byte-slice
+//!   kernels (`mul_slice`, `mul_acc_slice`) on the hot encode/decode paths.
+//! * [`PrimeField`] — GF(p) for prime `p`, used by the combinatorial design
+//!   constructions in `bibd` (difference families, planes).
+//! * [`ExtField`] — GF(p^m) extension fields built from an irreducible
+//!   polynomial, enabling projective/affine planes of prime-power order.
+//! * [`Matrix`] — dense matrices over any [`Field`], with Gauss–Jordan
+//!   inversion and Vandermonde construction for MDS code generation.
+//!
+//! All fields represent elements as `usize` indices in `0..order`, with `0`
+//! the additive identity and `1` the multiplicative identity. This uniform
+//! representation keeps the [`Field`] trait object-safe and lets `bibd` and
+//! `ecc` stay generic over the concrete field.
+//!
+//! # Example
+//!
+//! ```
+//! use gf::{Field, Gf2};
+//!
+//! let f = Gf2::new(8);
+//! let a = 0x57;
+//! let b = 0x83;
+//! let p = f.mul(a, b);
+//! assert_eq!(f.div(p, b), Some(a));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ext;
+mod field;
+mod gf2;
+mod matrix;
+mod poly;
+mod prime;
+
+pub use ext::ExtField;
+pub use field::Field;
+pub use gf2::{Gf2, Gf256};
+pub use matrix::Matrix;
+pub use poly::Poly;
+pub use prime::{is_prime, PrimeField};
+
+/// Returns `Some((p, m))` if `q == p^m` for a prime `p` and `m >= 1`.
+///
+/// Used to decide whether a finite field (and hence a projective plane of
+/// order `q`) exists.
+///
+/// ```
+/// assert_eq!(gf::prime_power(9), Some((3, 2)));
+/// assert_eq!(gf::prime_power(12), None);
+/// ```
+pub fn prime_power(q: usize) -> Option<(usize, usize)> {
+    if q < 2 {
+        return None;
+    }
+    // Find the smallest prime factor and check q is a pure power of it.
+    let mut p = 0;
+    let mut d = 2;
+    while d * d <= q {
+        if q % d == 0 {
+            p = d;
+            break;
+        }
+        d += 1;
+    }
+    if p == 0 {
+        return Some((q, 1)); // q itself is prime
+    }
+    let mut rest = q;
+    let mut m = 0;
+    while rest % p == 0 {
+        rest /= p;
+        m += 1;
+    }
+    if rest == 1 {
+        Some((p, m))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prime_power_detects_primes() {
+        assert_eq!(prime_power(2), Some((2, 1)));
+        assert_eq!(prime_power(7), Some((7, 1)));
+        assert_eq!(prime_power(97), Some((97, 1)));
+    }
+
+    #[test]
+    fn prime_power_detects_powers() {
+        assert_eq!(prime_power(4), Some((2, 2)));
+        assert_eq!(prime_power(8), Some((2, 3)));
+        assert_eq!(prime_power(9), Some((3, 2)));
+        assert_eq!(prime_power(27), Some((3, 3)));
+        assert_eq!(prime_power(49), Some((7, 2)));
+    }
+
+    #[test]
+    fn prime_power_rejects_composites() {
+        for q in [0, 1, 6, 10, 12, 15, 18, 20, 24, 36, 100] {
+            assert_eq!(prime_power(q), None, "q={q}");
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! Dense matrices over a [`Field`], with the operations MDS code
+//! construction needs: multiplication, Gauss–Jordan inversion, rank, and
+//! Vandermonde generation.
+
+use crate::field::Field;
+
+/// A dense row-major matrix whose entries are elements of some field (the
+/// field is passed to each operation, matching [`crate::Poly`]'s style).
+///
+/// # Example
+///
+/// ```
+/// use gf::{Field, Gf2, Matrix};
+///
+/// let f = Gf2::new(8);
+/// let m = Matrix::vandermonde(3, 3, &f);
+/// let inv = m.invert(&f).expect("Vandermonde with distinct points is invertible");
+/// assert!(m.mul(&inv, &f).is_identity());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<usize>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<usize>) -> Self {
+        assert_eq!(data.len(), rows * cols, "row-major data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// A `rows x cols` Vandermonde matrix with evaluation points
+    /// `0, 1, ..., rows-1` interpreted as field elements: entry `(i, j)` is
+    /// `i^j` (with `0^0 = 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` exceeds the field order (points must be distinct).
+    pub fn vandermonde(rows: usize, cols: usize, f: &dyn Field) -> Self {
+        assert!(
+            rows <= f.order(),
+            "need {rows} distinct points in a field of order {}",
+            f.order()
+        );
+        let mut m = Self::zero(rows, cols);
+        for i in 0..rows {
+            let mut acc = 1;
+            for j in 0..cols {
+                m.set(i, j, acc);
+                acc = f.mul(acc, i);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn get(&self, r: usize, c: usize) -> usize {
+        assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Entry mutator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn set(&mut self, r: usize, c: usize, v: usize) {
+        assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Returns a copy with row `r` removed.
+    pub fn without_row(&self, r: usize) -> Self {
+        assert!(r < self.rows);
+        let mut data = Vec::with_capacity((self.rows - 1) * self.cols);
+        for i in 0..self.rows {
+            if i != r {
+                data.extend_from_slice(&self.data[i * self.cols..(i + 1) * self.cols]);
+            }
+        }
+        Self {
+            rows: self.rows - 1,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Returns the submatrix keeping only `rows` (in the given order).
+    pub fn select_rows(&self, rows: &[usize]) -> Self {
+        let mut data = Vec::with_capacity(rows.len() * self.cols);
+        for &r in rows {
+            assert!(r < self.rows);
+            data.extend_from_slice(&self.data[r * self.cols..(r + 1) * self.cols]);
+        }
+        Self {
+            rows: rows.len(),
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Matrix product over `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions do not agree.
+    pub fn mul(&self, rhs: &Matrix, f: &dyn Field) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch");
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let v = f.add(out.get(i, j), f.mul(a, rhs.get(k, j)));
+                    out.set(i, j, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product over `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[usize], f: &dyn Field) -> Vec<usize> {
+        assert_eq!(v.len(), self.cols);
+        let mut out = vec![0; self.rows];
+        for i in 0..self.rows {
+            let mut acc = 0;
+            for j in 0..self.cols {
+                acc = f.add(acc, f.mul(self.get(i, j), v[j]));
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Inverts a square matrix by Gauss–Jordan elimination. Returns `None`
+    /// if the matrix is singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn invert(&self, f: &dyn Field) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "only square matrices invert");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+        for col in 0..n {
+            // Find pivot.
+            let pivot = (col..n).find(|&r| a.get(r, col) != 0)?;
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            let pinv = f.inv(a.get(col, col)).expect("pivot is nonzero");
+            a.scale_row(col, pinv, f);
+            inv.scale_row(col, pinv, f);
+            for r in 0..n {
+                if r != col {
+                    let factor = a.get(r, col);
+                    if factor != 0 {
+                        a.axpy_row(r, col, factor, f);
+                        inv.axpy_row(r, col, factor, f);
+                    }
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    /// Rank over `f`, by Gaussian elimination on a copy.
+    pub fn rank(&self, f: &dyn Field) -> usize {
+        let mut a = self.clone();
+        let mut rank = 0;
+        for col in 0..self.cols {
+            if rank == self.rows {
+                break;
+            }
+            let Some(pivot) = (rank..self.rows).find(|&r| a.get(r, col) != 0) else {
+                continue;
+            };
+            a.swap_rows(pivot, rank);
+            let pinv = f.inv(a.get(rank, col)).expect("pivot nonzero");
+            a.scale_row(rank, pinv, f);
+            for r in 0..self.rows {
+                if r != rank {
+                    let factor = a.get(r, col);
+                    if factor != 0 {
+                        a.axpy_row(r, rank, factor, f);
+                    }
+                }
+            }
+            rank += 1;
+        }
+        rank
+    }
+
+    /// Whether the matrix is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.rows == self.cols
+            && (0..self.rows)
+                .all(|i| (0..self.cols).all(|j| self.get(i, j) == usize::from(i == j)))
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for j in 0..self.cols {
+            self.data.swap(a * self.cols + j, b * self.cols + j);
+        }
+    }
+
+    fn scale_row(&mut self, r: usize, c: usize, f: &dyn Field) {
+        for j in 0..self.cols {
+            let v = f.mul(self.get(r, j), c);
+            self.set(r, j, v);
+        }
+    }
+
+    /// `row[dst] -= factor * row[src]`.
+    fn axpy_row(&mut self, dst: usize, src: usize, factor: usize, f: &dyn Field) {
+        for j in 0..self.cols {
+            let v = f.sub(self.get(dst, j), f.mul(factor, self.get(src, j)));
+            self.set(dst, j, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gf2::Gf2;
+    use crate::prime::PrimeField;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_is_identity() {
+        assert!(Matrix::identity(4).is_identity());
+        assert!(!Matrix::zero(3, 3).is_identity());
+    }
+
+    #[test]
+    fn invert_roundtrip_gf256() {
+        let f = Gf2::new(8);
+        let m = Matrix::from_rows(3, 3, vec![1, 2, 3, 4, 5, 6, 7, 8, 10]);
+        let inv = m.invert(&f).expect("invertible");
+        assert!(m.mul(&inv, &f).is_identity());
+        assert!(inv.mul(&m, &f).is_identity());
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let f = PrimeField::new(5).unwrap();
+        // Rows 0 and 1 identical.
+        let m = Matrix::from_rows(2, 2, vec![1, 2, 1, 2]);
+        assert!(m.invert(&f).is_none());
+        assert_eq!(m.rank(&f), 1);
+    }
+
+    #[test]
+    fn vandermonde_square_submatrices_invertible() {
+        // The MDS property RS relies on: any k rows of a (k+m) x k
+        // Vandermonde with distinct points form an invertible matrix.
+        let f = Gf2::new(8);
+        let k = 4;
+        let v = Matrix::vandermonde(k + 3, k, &f);
+        // Check a sample of row subsets.
+        let subsets: [&[usize]; 5] = [
+            &[0, 1, 2, 3],
+            &[3, 4, 5, 6],
+            &[0, 2, 4, 6],
+            &[1, 3, 5, 6],
+            &[0, 1, 5, 6],
+        ];
+        for rows in subsets {
+            let sub = v.select_rows(rows);
+            assert!(sub.invert(&f).is_some(), "rows {rows:?} must be invertible");
+        }
+    }
+
+    #[test]
+    fn mul_vec_matches_mul() {
+        let f = PrimeField::new(7).unwrap();
+        let m = Matrix::from_rows(2, 3, vec![1, 2, 3, 4, 5, 6]);
+        let v = vec![1, 0, 2];
+        let mv = m.mul_vec(&v, &f);
+        assert_eq!(mv, vec![(1 + 6) % 7, (4 + 12) % 7]);
+    }
+
+    #[test]
+    fn without_row_and_select_rows() {
+        let m = Matrix::from_rows(3, 2, vec![0, 1, 2, 3, 4, 5]);
+        let w = m.without_row(1);
+        assert_eq!(w.rows(), 2);
+        assert_eq!(w.get(1, 0), 4);
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s.get(0, 1), 5);
+        assert_eq!(s.get(1, 1), 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn random_matrix_inverse_roundtrips(
+            n in 1usize..6,
+            seed in any::<u64>(),
+        ) {
+            let f = Gf2::new(8);
+            let mut s = seed | 1;
+            let data: Vec<usize> = (0..n * n)
+                .map(|_| {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    ((s >> 33) % 256) as usize
+                })
+                .collect();
+            let m = Matrix::from_rows(n, n, data);
+            match m.invert(&f) {
+                Some(inv) => {
+                    prop_assert!(m.mul(&inv, &f).is_identity());
+                    prop_assert!(inv.mul(&m, &f).is_identity());
+                    prop_assert_eq!(m.rank(&f), n);
+                }
+                None => prop_assert!(m.rank(&f) < n),
+            }
+        }
+    }
+
+    #[test]
+    fn rank_full_for_vandermonde() {
+        let f = Gf2::new(8);
+        let v = Matrix::vandermonde(6, 4, &f);
+        assert_eq!(v.rank(&f), 4);
+    }
+}

@@ -1,0 +1,301 @@
+//! Dense univariate polynomials over a [`Field`], used to construct
+//! extension fields GF(p^m).
+
+use crate::field::Field;
+
+/// A polynomial with coefficients in some field, stored little-endian
+/// (`coeffs[i]` is the coefficient of `x^i`). The zero polynomial is the
+/// empty coefficient vector. All operations take the field explicitly, so
+/// `Poly` itself is plain data.
+///
+/// # Example
+///
+/// ```
+/// use gf::{Poly, PrimeField};
+///
+/// let f = PrimeField::new(3).unwrap();
+/// let p = Poly::new(vec![1, 0, 1]); // 1 + x^2
+/// let q = Poly::new(vec![1, 1]);    // 1 + x
+/// let r = p.mul(&q, &f);
+/// assert_eq!(r.coeffs(), &[1, 1, 1, 1]); // (1+x^2)(1+x) = 1+x+x^2+x^3
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Poly {
+    coeffs: Vec<usize>,
+}
+
+impl Poly {
+    /// Creates a polynomial from little-endian coefficients, trimming
+    /// trailing zeros.
+    pub fn new(mut coeffs: Vec<usize>) -> Self {
+        while coeffs.last() == Some(&0) {
+            coeffs.pop();
+        }
+        Self { coeffs }
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Self { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one() -> Self {
+        Self { coeffs: vec![1] }
+    }
+
+    /// The monomial `x`.
+    pub fn x() -> Self {
+        Self {
+            coeffs: vec![0, 1],
+        }
+    }
+
+    /// Little-endian coefficients (no trailing zeros).
+    pub fn coeffs(&self) -> &[usize] {
+        &self.coeffs
+    }
+
+    /// Degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Whether this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Polynomial addition over `f`.
+    pub fn add(&self, other: &Poly, f: &dyn Field) -> Poly {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = vec![0; n];
+        for (i, o) in out.iter_mut().enumerate() {
+            let a = self.coeffs.get(i).copied().unwrap_or(0);
+            let b = other.coeffs.get(i).copied().unwrap_or(0);
+            *o = f.add(a, b);
+        }
+        Poly::new(out)
+    }
+
+    /// Polynomial subtraction over `f`.
+    pub fn sub(&self, other: &Poly, f: &dyn Field) -> Poly {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = vec![0; n];
+        for (i, o) in out.iter_mut().enumerate() {
+            let a = self.coeffs.get(i).copied().unwrap_or(0);
+            let b = other.coeffs.get(i).copied().unwrap_or(0);
+            *o = f.sub(a, b);
+        }
+        Poly::new(out)
+    }
+
+    /// Polynomial multiplication over `f` (schoolbook).
+    pub fn mul(&self, other: &Poly, f: &dyn Field) -> Poly {
+        if self.is_zero() || other.is_zero() {
+            return Poly::zero();
+        }
+        let mut out = vec![0; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                out[i + j] = f.add(out[i + j], f.mul(a, b));
+            }
+        }
+        Poly::new(out)
+    }
+
+    /// Euclidean division: returns `(quotient, remainder)` with
+    /// `self = q * divisor + r` and `deg r < deg divisor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &Poly, f: &dyn Field) -> (Poly, Poly) {
+        let dd = divisor.degree().expect("division by zero polynomial");
+        let lead_inv = f
+            .inv(divisor.coeffs[dd])
+            .expect("leading coefficient is a unit");
+        let mut rem = self.coeffs.clone();
+        if rem.len() <= dd {
+            return (Poly::zero(), self.clone());
+        }
+        let mut quot = vec![0; rem.len() - dd];
+        for i in (dd..rem.len()).rev() {
+            let c = rem[i];
+            if c == 0 {
+                continue;
+            }
+            let q = f.mul(c, lead_inv);
+            quot[i - dd] = q;
+            for (j, &dc) in divisor.coeffs.iter().enumerate() {
+                rem[i - dd + j] = f.sub(rem[i - dd + j], f.mul(q, dc));
+            }
+        }
+        (Poly::new(quot), Poly::new(rem))
+    }
+
+    /// Remainder of Euclidean division.
+    pub fn rem(&self, divisor: &Poly, f: &dyn Field) -> Poly {
+        self.div_rem(divisor, f).1
+    }
+
+    /// Evaluates the polynomial at `x` (Horner).
+    pub fn eval(&self, x: usize, f: &dyn Field) -> usize {
+        let mut acc = 0;
+        for &c in self.coeffs.iter().rev() {
+            acc = f.add(f.mul(acc, x), c);
+        }
+        acc
+    }
+
+    /// Whether the polynomial is irreducible over `f`, by trial division by
+    /// every monic polynomial of degree `1..=deg/2`. Exponential in the
+    /// degree, so intended for the small degrees used to build GF(p^m).
+    pub fn is_irreducible(&self, f: &dyn Field) -> bool {
+        let deg = match self.degree() {
+            None | Some(0) => return false,
+            Some(1) => return true,
+            Some(d) => d,
+        };
+        for d in 1..=deg / 2 {
+            let mut divisor_coeffs = vec![0usize; d + 1];
+            divisor_coeffs[d] = 1; // monic
+            if Self::any_divisor(self, &mut divisor_coeffs, 0, d, f) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Recursively enumerates all monic degree-`d` polynomials and checks
+    /// divisibility.
+    fn any_divisor(
+        target: &Poly,
+        coeffs: &mut Vec<usize>,
+        pos: usize,
+        d: usize,
+        f: &dyn Field,
+    ) -> bool {
+        if pos == d {
+            let divisor = Poly::new(coeffs.clone());
+            return target.rem(&divisor, f).is_zero();
+        }
+        for c in 0..f.order() {
+            coeffs[pos] = c;
+            if Self::any_divisor(target, coeffs, pos + 1, d, f) {
+                return true;
+            }
+        }
+        coeffs[pos] = 0;
+        false
+    }
+
+    /// Finds a monic irreducible polynomial of degree `m` over `f` by
+    /// lexicographic search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`. (An irreducible polynomial of every degree `m >= 1`
+    /// exists over any finite field, so the search always succeeds.)
+    pub fn find_irreducible(m: usize, f: &dyn Field) -> Poly {
+        assert!(m >= 1, "degree must be at least 1");
+        let q = f.order();
+        let total = q.pow(m as u32);
+        for code in 0..total {
+            let mut coeffs = vec![0usize; m + 1];
+            let mut rest = code;
+            for c in coeffs.iter_mut().take(m) {
+                *c = rest % q;
+                rest /= q;
+            }
+            coeffs[m] = 1;
+            let cand = Poly::new(coeffs);
+            if cand.is_irreducible(f) {
+                return cand;
+            }
+        }
+        unreachable!("an irreducible polynomial of degree {m} exists over GF({q})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prime::PrimeField;
+
+    fn f3() -> PrimeField {
+        PrimeField::new(3).unwrap()
+    }
+
+    #[test]
+    fn construction_trims_zeros() {
+        let p = Poly::new(vec![1, 2, 0, 0]);
+        assert_eq!(p.coeffs(), &[1, 2]);
+        assert_eq!(p.degree(), Some(1));
+        assert!(Poly::new(vec![0, 0]).is_zero());
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let f = f3();
+        let a = Poly::new(vec![1, 2, 1]);
+        let b = Poly::new(vec![2, 2]);
+        let s = a.add(&b, &f);
+        assert_eq!(s.sub(&b, &f), a);
+    }
+
+    #[test]
+    fn mul_matches_known_product() {
+        let f = f3();
+        // (1 + x)(1 + 2x) = 1 + 3x + 2x^2 = 1 + 0x + 2x^2 over GF(3)
+        let a = Poly::new(vec![1, 1]);
+        let b = Poly::new(vec![1, 2]);
+        assert_eq!(a.mul(&b, &f).coeffs(), &[1, 0, 2]);
+    }
+
+    #[test]
+    fn div_rem_reconstructs() {
+        let f = PrimeField::new(5).unwrap();
+        let a = Poly::new(vec![3, 1, 4, 1, 2]);
+        let b = Poly::new(vec![1, 0, 1]);
+        let (q, r) = a.div_rem(&b, &f);
+        let back = q.mul(&b, &f).add(&r, &f);
+        assert_eq!(back, a);
+        assert!(r.degree().map_or(true, |d| d < 2));
+    }
+
+    #[test]
+    fn eval_horner() {
+        let f = PrimeField::new(7).unwrap();
+        let p = Poly::new(vec![2, 0, 1]); // 2 + x^2
+        assert_eq!(p.eval(0, &f), 2);
+        assert_eq!(p.eval(3, &f), (2 + 9) % 7);
+    }
+
+    #[test]
+    fn irreducibility_gf2() {
+        let f = PrimeField::new(2).unwrap();
+        // x^2 + x + 1 irreducible; x^2 + 1 = (x+1)^2 reducible over GF(2).
+        assert!(Poly::new(vec![1, 1, 1]).is_irreducible(&f));
+        assert!(!Poly::new(vec![1, 0, 1]).is_irreducible(&f));
+        // x^8 + x^4 + x^3 + x^2 + 1 (0x11d) is irreducible.
+        assert!(Poly::new(vec![1, 0, 1, 1, 1, 0, 0, 0, 1]).is_irreducible(&f));
+    }
+
+    #[test]
+    fn find_irreducible_has_no_roots() {
+        for p in [2usize, 3, 5] {
+            let f = PrimeField::new(p).unwrap();
+            for m in 2..=3 {
+                let poly = Poly::find_irreducible(m, &f);
+                assert_eq!(poly.degree(), Some(m));
+                for x in 0..p {
+                    assert_ne!(poly.eval(x, &f), 0, "irreducible must have no roots");
+                }
+            }
+        }
+    }
+}

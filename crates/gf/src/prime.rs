@@ -1,0 +1,155 @@
+//! Prime fields GF(p).
+
+use crate::field::Field;
+
+/// Deterministic primality test by trial division — fine for the design-table
+/// sized inputs this crate deals with.
+///
+/// ```
+/// assert!(gf::is_prime(7));
+/// assert!(!gf::is_prime(1));
+/// assert!(!gf::is_prime(91));
+/// ```
+pub fn is_prime(n: usize) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n % 2 == 0 {
+        return n == 2;
+    }
+    let mut d = 3;
+    while d * d <= n {
+        if n % d == 0 {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// The prime field GF(p): integers modulo a prime `p`.
+///
+/// Used by the `bibd` crate for difference-family constructions (which need
+/// primitive roots mod p) and as the base field of [`crate::ExtField`].
+///
+/// # Example
+///
+/// ```
+/// use gf::{Field, PrimeField};
+///
+/// let f = PrimeField::new(13).unwrap();
+/// assert_eq!(f.sub(3, 7), 9);
+/// assert_eq!(f.div(1, 5), f.inv(5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrimeField {
+    p: usize,
+}
+
+impl PrimeField {
+    /// Creates GF(p). Returns `None` if `p` is not prime.
+    pub fn new(p: usize) -> Option<Self> {
+        if is_prime(p) {
+            Some(Self { p })
+        } else {
+            None
+        }
+    }
+
+    /// The prime modulus.
+    pub fn modulus(&self) -> usize {
+        self.p
+    }
+}
+
+impl Field for PrimeField {
+    fn order(&self) -> usize {
+        self.p
+    }
+
+    fn add(&self, a: usize, b: usize) -> usize {
+        assert!(a < self.p && b < self.p);
+        let s = a + b;
+        if s >= self.p {
+            s - self.p
+        } else {
+            s
+        }
+    }
+
+    fn neg(&self, a: usize) -> usize {
+        assert!(a < self.p);
+        if a == 0 {
+            0
+        } else {
+            self.p - a
+        }
+    }
+
+    fn mul(&self, a: usize, b: usize) -> usize {
+        assert!(a < self.p && b < self.p);
+        // usize is 64-bit on all supported targets; p stays far below 2^32
+        // in practice, but use u128 to be safe for large primes.
+        ((a as u128 * b as u128) % self.p as u128) as usize
+    }
+
+    fn inv(&self, a: usize) -> Option<usize> {
+        assert!(a < self.p);
+        if a == 0 {
+            return None;
+        }
+        // Fermat: a^(p-2) mod p.
+        Some(self.pow(a, (self.p - 2) as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::check_axioms_exhaustive;
+
+    #[test]
+    fn rejects_composites() {
+        for n in [0, 1, 4, 6, 9, 15, 21] {
+            assert!(PrimeField::new(n).is_none(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn small_prime_fields_satisfy_axioms() {
+        for p in [2, 3, 5, 7, 11, 13] {
+            check_axioms_exhaustive(&PrimeField::new(p).unwrap());
+        }
+    }
+
+    #[test]
+    fn inverse_via_fermat() {
+        let f = PrimeField::new(101).unwrap();
+        for a in 1..101 {
+            assert_eq!(f.mul(a, f.inv(a).unwrap()), 1);
+        }
+    }
+
+    #[test]
+    fn primitive_element_generates_group() {
+        for p in [3usize, 5, 7, 11, 13, 17, 19, 23] {
+            let f = PrimeField::new(p).unwrap();
+            let g = f.primitive_element();
+            let mut seen = vec![false; p];
+            let mut x = 1;
+            for _ in 0..p - 1 {
+                assert!(!seen[x], "p={p}, g={g}: repeated {x}");
+                seen[x] = true;
+                x = f.mul(x, g);
+            }
+            assert_eq!(x, 1, "g^(p-1) must be 1");
+        }
+    }
+
+    #[test]
+    fn characteristic_equals_p() {
+        for p in [2, 3, 5, 7, 11] {
+            assert_eq!(PrimeField::new(p).unwrap().characteristic(), p);
+        }
+    }
+}

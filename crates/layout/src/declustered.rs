@@ -1,0 +1,262 @@
+//! Parity declustering (Holland & Gibson, 1992) driven by a block design —
+//! the strongest single-failure baseline in the OI-RAID comparison and the
+//! closest prior art to its outer layer.
+//!
+//! Logical RAID5 stripes of width `k` are spread over `n = v` disks by
+//! iterating the blocks of a `(v, k, 1)`-BIBD: stripe `s` occupies one chunk
+//! on each disk of block `s mod b`, with parity rotating within the stripe.
+//! Rebuilding a disk reads only `(k−1)/(n−1)` of each survivor — the
+//! *declustering ratio* — but the array still tolerates just one failure.
+
+use bibd::Bibd;
+
+use crate::plan::{assign_writes, ChunkRecovery, RecoveryPlan, SparePolicy, WriteTarget};
+use crate::traits::{validate_failures, ChunkAddr, Layout, LayoutError, Role};
+
+/// A parity-declustered layout over the points of a `(v, k, 1)`-BIBD.
+///
+/// # Example
+///
+/// ```
+/// use layout::{Layout, ParityDeclustered, SparePolicy};
+///
+/// let design = bibd::fano();
+/// let l = ParityDeclustered::new(design, 4).unwrap(); // 4 design cycles
+/// assert_eq!(l.disks(), 7);
+/// let plan = l.recovery_plan(&[0], SparePolicy::Distributed).unwrap();
+/// // Every survivor contributes reads (all-disk parallelism):
+/// assert!(plan.read_load(7).iter().enumerate().all(|(d, &c)| (c > 0) == (d != 0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParityDeclustered {
+    design: Bibd,
+    cycles: usize,
+    /// `chunk_map[disk][offset] = (stripe, position_in_block)`.
+    chunk_map: Vec<Vec<(usize, usize)>>,
+    /// `stripe_map[stripe][position] = ChunkAddr`.
+    stripe_map: Vec<Vec<ChunkAddr>>,
+}
+
+impl ParityDeclustered {
+    /// Lays `cycles` full passes of the design over its `v` points/disks.
+    /// Each disk receives `r` chunks per cycle.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::InvalidGeometry`] if `cycles == 0` or the design does
+    /// not have `λ = 1`.
+    pub fn new(design: Bibd, cycles: usize) -> Result<Self, LayoutError> {
+        if cycles == 0 {
+            return Err(LayoutError::InvalidGeometry(
+                "cycles must be positive".into(),
+            ));
+        }
+        if !design.is_steiner() {
+            return Err(LayoutError::InvalidGeometry(format!(
+                "parity declustering requires lambda = 1, got {}",
+                design.lambda()
+            )));
+        }
+        let v = design.v();
+        let b = design.b();
+        let k = design.k();
+        let mut chunk_map: Vec<Vec<(usize, usize)>> = vec![Vec::new(); v];
+        let mut stripe_map = Vec::with_capacity(b * cycles);
+        for s in 0..b * cycles {
+            let block = &design.blocks()[s % b];
+            let mut stripe = Vec::with_capacity(k);
+            for (pos, &p) in block.iter().enumerate() {
+                let offset = chunk_map[p].len();
+                chunk_map[p].push((s, pos));
+                stripe.push(ChunkAddr::new(p, offset));
+            }
+            stripe_map.push(stripe);
+        }
+        Ok(Self {
+            design,
+            cycles,
+            chunk_map,
+            stripe_map,
+        })
+    }
+
+    /// The underlying block design.
+    pub fn design(&self) -> &Bibd {
+        &self.design
+    }
+
+    /// Number of design cycles laid out.
+    pub fn cycles(&self) -> usize {
+        self.cycles
+    }
+
+    /// The declustering ratio `α = (k−1)/(n−1)`: the fraction of each
+    /// survivor read during a rebuild.
+    pub fn declustering_ratio(&self) -> f64 {
+        (self.design.k() - 1) as f64 / (self.design.v() - 1) as f64
+    }
+
+    /// Which position within stripe `s` holds parity (rotates per stripe).
+    fn parity_position(&self, stripe: usize) -> usize {
+        stripe % self.design.k()
+    }
+}
+
+impl Layout for ParityDeclustered {
+    fn name(&self) -> String {
+        format!(
+            "PD({},{},1)",
+            self.design.v(),
+            self.design.k()
+        )
+    }
+
+    fn disks(&self) -> usize {
+        self.design.v()
+    }
+
+    fn chunks_per_disk(&self) -> usize {
+        self.design.r() * self.cycles
+    }
+
+    fn fault_tolerance(&self) -> usize {
+        1
+    }
+
+    fn chunk_role(&self, addr: ChunkAddr) -> Role {
+        let (stripe, pos) = self.chunk_map[addr.disk][addr.offset];
+        if pos == self.parity_position(stripe) {
+            Role::Parity
+        } else {
+            Role::Data
+        }
+    }
+
+    fn survives(&self, failed: &[usize]) -> bool {
+        // λ = 1 means any two disks co-occur in some block, hence share a
+        // stripe; two lost chunks of one RAID5 stripe are unrecoverable.
+        failed.len() <= 1 && failed.iter().all(|&d| d < self.disks())
+    }
+
+    fn recovery_plan(
+        &self,
+        failed: &[usize],
+        policy: SparePolicy,
+    ) -> Result<RecoveryPlan, LayoutError> {
+        let failed = validate_failures(failed, self.disks())?;
+        if !self.survives(&failed) {
+            return Err(LayoutError::DataLoss { failed });
+        }
+        let mut items = Vec::new();
+        if let [d] = failed[..] {
+            for offset in 0..self.chunks_per_disk() {
+                let (stripe, pos) = self.chunk_map[d][offset];
+                let reads = self.stripe_map[stripe]
+                    .iter()
+                    .enumerate()
+                    .filter(|&(p, _)| p != pos)
+                    .map(|(_, &a)| a)
+                    .collect();
+                items.push(ChunkRecovery {
+                    lost: ChunkAddr::new(d, offset),
+                    reads,
+                    depends: Vec::new(),
+                    write: WriteTarget::Spare(0),
+                });
+            }
+        }
+        assign_writes(policy, self.disks(), &failed, &mut items);
+        Ok(RecoveryPlan::new(self.disks(), failed, items))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::Layout;
+
+    fn pd(cycles: usize) -> ParityDeclustered {
+        ParityDeclustered::new(bibd::fano(), cycles).unwrap()
+    }
+
+    #[test]
+    fn geometry_from_design() {
+        let l = pd(3);
+        assert_eq!(l.disks(), 7);
+        assert_eq!(l.chunks_per_disk(), 9); // r=3 per cycle x 3
+        assert!((l.declustering_ratio() - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(ParityDeclustered::new(bibd::fano(), 0).is_err());
+        let lambda2 = bibd::complete_design(5, 4).unwrap(); // λ = 3
+        assert!(ParityDeclustered::new(lambda2, 1).is_err());
+    }
+
+    #[test]
+    fn chunk_and_stripe_maps_agree() {
+        let l = pd(2);
+        for d in 0..l.disks() {
+            for o in 0..l.chunks_per_disk() {
+                let (s, pos) = l.chunk_map[d][o];
+                assert_eq!(l.stripe_map[s][pos], ChunkAddr::new(d, o));
+            }
+        }
+    }
+
+    #[test]
+    fn parity_fraction_is_one_over_k() {
+        let l = pd(3);
+        let mut parity = 0;
+        let total = l.disks() * l.chunks_per_disk();
+        for d in 0..l.disks() {
+            for o in 0..l.chunks_per_disk() {
+                if l.chunk_role(ChunkAddr::new(d, o)) == Role::Parity {
+                    parity += 1;
+                }
+            }
+        }
+        assert_eq!(parity * 3, total); // k = 3
+        assert!((l.efficiency() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebuild_load_is_uniform_across_survivors() {
+        // λ = 1 with full cycles ⇒ every survivor serves exactly
+        // (k−1)·chunks/(v−1) reads... for the Fano layout: disk 0 has 3
+        // chunks/cycle, each read pulls 2 chunks from the 2 other disks of
+        // the block; every other disk shares exactly one block with disk 0.
+        let l = pd(5);
+        let plan = l.recovery_plan(&[0], SparePolicy::Distributed).unwrap();
+        let load = plan.read_load(7);
+        assert_eq!(load[0], 0);
+        for d in 1..7 {
+            assert_eq!(load[d], 5, "disk {d}"); // 1 shared block x 1 chunk x 5 cycles... x1
+        }
+        // Reads are perfectly uniform; round-robin writes (15 chunks over 6
+        // survivors) add at most one extra chunk of imbalance.
+        assert!(plan.balance_ratio() < 1.15, "{}", plan.balance_ratio());
+    }
+
+    #[test]
+    fn two_failures_lose_data() {
+        let l = pd(2);
+        assert!(!l.survives(&[0, 1]));
+        assert!(matches!(
+            l.recovery_plan(&[0, 1], SparePolicy::Dedicated),
+            Err(LayoutError::DataLoss { .. })
+        ));
+    }
+
+    #[test]
+    fn larger_design_rebuild_touches_all_disks() {
+        let design = bibd::find_design(13, 4).unwrap();
+        let l = ParityDeclustered::new(design, 2).unwrap();
+        let plan = l.recovery_plan(&[5], SparePolicy::Distributed).unwrap();
+        let load = plan.read_load(13);
+        for (d, &c) in load.iter().enumerate() {
+            assert_eq!(c > 0, d != 5, "disk {d}");
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Disk-array data layouts: the vocabulary shared by OI-RAID and every
+//! baseline it is evaluated against.
+//!
+//! A [`Layout`] maps logical redundancy structure onto physical
+//! `(disk, chunk-offset)` addresses and, crucially for this reproduction,
+//! answers *"what must be read from where to rebuild a failed disk?"* as a
+//! [`RecoveryPlan`]. Recovery plans drive both the analytical load statistics
+//! (per-disk read distribution, bottleneck ratios) and the discrete-event
+//! simulation in [`disksim`] that produces rebuild times.
+//!
+//! # Provided layouts (the paper's comparison set)
+//!
+//! * [`FlatRaid5`] — one RAID5 stripe across all `n` disks with rotating
+//!   parity; rebuild reads *everything* from every survivor.
+//! * [`Raid50`] — independent RAID5 groups (striped); rebuild stays inside
+//!   the afflicted group.
+//! * [`FlatRaid6`] — `n`-wide dual parity; tolerance 2.
+//! * [`ParityDeclustered`] — Holland–Gibson parity declustering driven by a
+//!   `(v, k, 1)`-BIBD: logical RAID5 stripes of width `k` spread over `n = v`
+//!   disks, rebuilding a disk touches all survivors at fraction
+//!   `(k−1)/(n−1)` each.
+//!
+//! OI-RAID itself lives in the `oi-raid` crate and implements the same
+//! [`Layout`] trait, so every experiment treats contribution and baselines
+//! uniformly.
+//!
+//! # Example
+//!
+//! ```
+//! use layout::{FlatRaid5, Layout, SparePolicy};
+//!
+//! let l = FlatRaid5::new(8, 64).unwrap();
+//! let plan = l.recovery_plan(&[3], SparePolicy::Dedicated).unwrap();
+//! // RAID5 reads every surviving chunk of every row:
+//! let load = plan.read_load(l.disks());
+//! assert!(load.iter().enumerate().all(|(d, &c)| c == if d == 3 { 0 } else { 64 }));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod declustered;
+mod plan;
+mod raid5;
+mod raid6;
+mod traits;
+
+pub use declustered::ParityDeclustered;
+pub use plan::{
+    assign_writes, ChunkRecovery, RecoveryPlan, SimulatedRecovery, SparePolicy, WriteTarget,
+};
+pub use raid5::{FlatRaid5, Raid50};
+pub use raid6::FlatRaid6;
+pub use traits::{ChunkAddr, Layout, LayoutError, Role};

@@ -1,0 +1,333 @@
+//! Flat RAID5 and RAID50 — the classical baselines OI-RAID is measured
+//! against for rebuild speed.
+
+use crate::plan::{assign_writes, ChunkRecovery, RecoveryPlan, SparePolicy, WriteTarget};
+use crate::traits::{validate_failures, ChunkAddr, Layout, LayoutError, Role};
+
+/// One RAID5 stripe across all `n` disks with left-symmetric rotating
+/// parity: row `o`'s parity lives on disk `o mod n`.
+///
+/// Rebuilding a failed disk reads **every** chunk of **every** survivor —
+/// the `n−1`-fold read amplification that motivates declustering.
+///
+/// # Example
+///
+/// ```
+/// use layout::{FlatRaid5, Layout};
+///
+/// let l = FlatRaid5::new(5, 10).unwrap();
+/// assert_eq!(l.fault_tolerance(), 1);
+/// assert!((l.efficiency() - 0.8).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatRaid5 {
+    disks: usize,
+    chunks_per_disk: usize,
+}
+
+impl FlatRaid5 {
+    /// Creates an `n`-disk flat RAID5 covering `chunks_per_disk` rows.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::InvalidGeometry`] if `disks < 3` or
+    /// `chunks_per_disk == 0`.
+    pub fn new(disks: usize, chunks_per_disk: usize) -> Result<Self, LayoutError> {
+        if disks < 3 {
+            return Err(LayoutError::InvalidGeometry(format!(
+                "RAID5 needs at least 3 disks, got {disks}"
+            )));
+        }
+        if chunks_per_disk == 0 {
+            return Err(LayoutError::InvalidGeometry(
+                "chunks_per_disk must be positive".into(),
+            ));
+        }
+        Ok(Self {
+            disks,
+            chunks_per_disk,
+        })
+    }
+}
+
+impl Layout for FlatRaid5 {
+    fn name(&self) -> String {
+        format!("RAID5({})", self.disks)
+    }
+
+    fn disks(&self) -> usize {
+        self.disks
+    }
+
+    fn chunks_per_disk(&self) -> usize {
+        self.chunks_per_disk
+    }
+
+    fn fault_tolerance(&self) -> usize {
+        1
+    }
+
+    fn chunk_role(&self, addr: ChunkAddr) -> Role {
+        assert!(addr.disk < self.disks && addr.offset < self.chunks_per_disk);
+        if addr.offset % self.disks == addr.disk {
+            Role::Parity
+        } else {
+            Role::Data
+        }
+    }
+
+    fn survives(&self, failed: &[usize]) -> bool {
+        failed.len() <= 1
+    }
+
+    fn recovery_plan(
+        &self,
+        failed: &[usize],
+        policy: SparePolicy,
+    ) -> Result<RecoveryPlan, LayoutError> {
+        let failed = validate_failures(failed, self.disks)?;
+        if !self.survives(&failed) {
+            return Err(LayoutError::DataLoss { failed });
+        }
+        let mut items = Vec::new();
+        if let [d] = failed[..] {
+            for o in 0..self.chunks_per_disk {
+                let reads = (0..self.disks)
+                    .filter(|&i| i != d)
+                    .map(|i| ChunkAddr::new(i, o))
+                    .collect();
+                items.push(ChunkRecovery {
+                    lost: ChunkAddr::new(d, o),
+                    reads,
+                    depends: Vec::new(),
+                    write: WriteTarget::Spare(0),
+                });
+            }
+        }
+        assign_writes(policy, self.disks, &failed, &mut items);
+        Ok(RecoveryPlan::new(self.disks, failed, items))
+    }
+}
+
+/// RAID50: independent `width`-disk RAID5 groups striped together. Disk
+/// `g·width + i` is member `i` of group `g`.
+///
+/// Rebuild traffic stays inside the afflicted group — fewer disks share the
+/// work than flat RAID5, but the array survives one failure *per group*.
+///
+/// # Example
+///
+/// ```
+/// use layout::{Layout, Raid50, SparePolicy};
+///
+/// let l = Raid50::new(3, 5, 10).unwrap(); // 3 groups x 5 disks
+/// assert_eq!(l.disks(), 15);
+/// assert!(l.survives(&[0, 5, 10])); // one per group
+/// assert!(!l.survives(&[0, 1]));    // two in group 0
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Raid50 {
+    groups: usize,
+    width: usize,
+    chunks_per_disk: usize,
+}
+
+impl Raid50 {
+    /// Creates `groups` independent RAID5 groups of `width` disks each.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::InvalidGeometry`] if `groups == 0`, `width < 3`, or
+    /// `chunks_per_disk == 0`.
+    pub fn new(groups: usize, width: usize, chunks_per_disk: usize) -> Result<Self, LayoutError> {
+        if groups == 0 || width < 3 {
+            return Err(LayoutError::InvalidGeometry(format!(
+                "RAID50 needs >= 1 group of >= 3 disks, got {groups}x{width}"
+            )));
+        }
+        if chunks_per_disk == 0 {
+            return Err(LayoutError::InvalidGeometry(
+                "chunks_per_disk must be positive".into(),
+            ));
+        }
+        Ok(Self {
+            groups,
+            width,
+            chunks_per_disk,
+        })
+    }
+
+    /// The group a disk belongs to.
+    pub fn group_of(&self, disk: usize) -> usize {
+        disk / self.width
+    }
+
+    /// Group count.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Disks per group.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+impl Layout for Raid50 {
+    fn name(&self) -> String {
+        format!("RAID50({}x{})", self.groups, self.width)
+    }
+
+    fn disks(&self) -> usize {
+        self.groups * self.width
+    }
+
+    fn chunks_per_disk(&self) -> usize {
+        self.chunks_per_disk
+    }
+
+    fn fault_tolerance(&self) -> usize {
+        1
+    }
+
+    fn chunk_role(&self, addr: ChunkAddr) -> Role {
+        assert!(addr.disk < self.disks() && addr.offset < self.chunks_per_disk);
+        let member = addr.disk % self.width;
+        if addr.offset % self.width == member {
+            Role::Parity
+        } else {
+            Role::Data
+        }
+    }
+
+    fn survives(&self, failed: &[usize]) -> bool {
+        let mut per_group = vec![0usize; self.groups];
+        for &d in failed {
+            if d >= self.disks() {
+                return false;
+            }
+            per_group[self.group_of(d)] += 1;
+        }
+        per_group.iter().all(|&c| c <= 1)
+    }
+
+    fn recovery_plan(
+        &self,
+        failed: &[usize],
+        policy: SparePolicy,
+    ) -> Result<RecoveryPlan, LayoutError> {
+        let failed = validate_failures(failed, self.disks())?;
+        if !self.survives(&failed) {
+            return Err(LayoutError::DataLoss { failed });
+        }
+        let mut items = Vec::new();
+        for &d in &failed {
+            let g = self.group_of(d);
+            let members: Vec<usize> = (g * self.width..(g + 1) * self.width).collect();
+            for o in 0..self.chunks_per_disk {
+                let reads = members
+                    .iter()
+                    .filter(|&&i| i != d)
+                    .map(|&i| ChunkAddr::new(i, o))
+                    .collect();
+                items.push(ChunkRecovery {
+                    lost: ChunkAddr::new(d, o),
+                    reads,
+                    depends: Vec::new(),
+                    write: WriteTarget::Spare(0),
+                });
+            }
+        }
+        assign_writes(policy, self.disks(), &failed, &mut items);
+        Ok(RecoveryPlan::new(self.disks(), failed, items))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raid5_geometry_validation() {
+        assert!(FlatRaid5::new(2, 10).is_err());
+        assert!(FlatRaid5::new(3, 0).is_err());
+        assert!(FlatRaid5::new(3, 1).is_ok());
+    }
+
+    #[test]
+    fn raid5_parity_rotates() {
+        let l = FlatRaid5::new(4, 8).unwrap();
+        let mut parities_on_disk = vec![0usize; 4];
+        for o in 0..8 {
+            for d in 0..4 {
+                if l.chunk_role(ChunkAddr::new(d, o)) == Role::Parity {
+                    parities_on_disk[d] += 1;
+                }
+            }
+        }
+        assert_eq!(parities_on_disk, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn raid5_recovery_reads_everything() {
+        let l = FlatRaid5::new(5, 20).unwrap();
+        let plan = l.recovery_plan(&[2], SparePolicy::Dedicated).unwrap();
+        let load = plan.read_load(5);
+        assert_eq!(load, vec![20, 20, 0, 20, 20]);
+        assert_eq!(plan.total_writes(), 20);
+    }
+
+    #[test]
+    fn raid5_rejects_double_failure() {
+        let l = FlatRaid5::new(5, 4).unwrap();
+        assert!(matches!(
+            l.recovery_plan(&[0, 1], SparePolicy::Dedicated),
+            Err(LayoutError::DataLoss { .. })
+        ));
+    }
+
+    #[test]
+    fn raid50_roles_balanced_per_group() {
+        let l = Raid50::new(2, 4, 8).unwrap();
+        let mut parity = 0;
+        for d in 0..8 {
+            for o in 0..8 {
+                if l.chunk_role(ChunkAddr::new(d, o)) == Role::Parity {
+                    parity += 1;
+                }
+            }
+        }
+        // 1 parity chunk per group-row: 2 groups * 8 rows = 16.
+        assert_eq!(parity, 16);
+        assert!((l.efficiency() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raid50_recovery_stays_in_group() {
+        let l = Raid50::new(3, 4, 10).unwrap();
+        let plan = l.recovery_plan(&[5], SparePolicy::Dedicated).unwrap();
+        let load = plan.read_load(12);
+        for d in 0..12 {
+            let expect = if (4..8).contains(&d) && d != 5 { 10 } else { 0 };
+            assert_eq!(load[d], expect, "disk {d}");
+        }
+    }
+
+    #[test]
+    fn raid50_multi_group_failures() {
+        let l = Raid50::new(3, 4, 6).unwrap();
+        let plan = l.recovery_plan(&[0, 7], SparePolicy::Dedicated).unwrap();
+        assert_eq!(plan.total_writes(), 12); // two disks x 6 chunks
+        assert!(l.recovery_plan(&[0, 1], SparePolicy::Dedicated).is_err());
+    }
+
+    #[test]
+    fn distributed_writes_balance() {
+        let l = FlatRaid5::new(5, 20).unwrap();
+        let plan = l.recovery_plan(&[2], SparePolicy::Distributed).unwrap();
+        let wl = plan.write_load(5);
+        assert_eq!(wl[2], 0);
+        assert_eq!(wl.iter().sum::<u64>(), 20);
+        assert!(wl.iter().filter(|&&w| w > 0).all(|&w| w == 5));
+    }
+}

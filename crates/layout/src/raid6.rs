@@ -1,0 +1,158 @@
+//! Flat RAID6 — the dual-parity baseline for the reliability comparison.
+
+use crate::plan::{assign_writes, ChunkRecovery, RecoveryPlan, SparePolicy, WriteTarget};
+use crate::traits::{validate_failures, ChunkAddr, Layout, LayoutError, Role};
+
+/// One RAID6 stripe across all `n` disks with rotating P and Q parity:
+/// row `o` places P on disk `o mod n` and Q on disk `(o + 1) mod n`.
+///
+/// # Example
+///
+/// ```
+/// use layout::{FlatRaid6, Layout};
+///
+/// let l = FlatRaid6::new(6, 12).unwrap();
+/// assert_eq!(l.fault_tolerance(), 2);
+/// assert!((l.efficiency() - 4.0 / 6.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatRaid6 {
+    disks: usize,
+    chunks_per_disk: usize,
+}
+
+impl FlatRaid6 {
+    /// Creates an `n`-disk flat RAID6 covering `chunks_per_disk` rows.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::InvalidGeometry`] if `disks < 4` or
+    /// `chunks_per_disk == 0`.
+    pub fn new(disks: usize, chunks_per_disk: usize) -> Result<Self, LayoutError> {
+        if disks < 4 {
+            return Err(LayoutError::InvalidGeometry(format!(
+                "RAID6 needs at least 4 disks, got {disks}"
+            )));
+        }
+        if chunks_per_disk == 0 {
+            return Err(LayoutError::InvalidGeometry(
+                "chunks_per_disk must be positive".into(),
+            ));
+        }
+        Ok(Self {
+            disks,
+            chunks_per_disk,
+        })
+    }
+}
+
+impl Layout for FlatRaid6 {
+    fn name(&self) -> String {
+        format!("RAID6({})", self.disks)
+    }
+
+    fn disks(&self) -> usize {
+        self.disks
+    }
+
+    fn chunks_per_disk(&self) -> usize {
+        self.chunks_per_disk
+    }
+
+    fn fault_tolerance(&self) -> usize {
+        2
+    }
+
+    fn chunk_role(&self, addr: ChunkAddr) -> Role {
+        assert!(addr.disk < self.disks && addr.offset < self.chunks_per_disk);
+        let p = addr.offset % self.disks;
+        let q = (addr.offset + 1) % self.disks;
+        if addr.disk == p || addr.disk == q {
+            Role::Parity
+        } else {
+            Role::Data
+        }
+    }
+
+    fn survives(&self, failed: &[usize]) -> bool {
+        failed.len() <= 2
+    }
+
+    fn recovery_plan(
+        &self,
+        failed: &[usize],
+        policy: SparePolicy,
+    ) -> Result<RecoveryPlan, LayoutError> {
+        let failed = validate_failures(failed, self.disks)?;
+        if !self.survives(&failed) {
+            return Err(LayoutError::DataLoss { failed });
+        }
+        let mut items = Vec::new();
+        for o in 0..self.chunks_per_disk {
+            // All survivors of the row are read once; the first lost chunk of
+            // the row carries the reads, later ones share them.
+            let reads: Vec<ChunkAddr> = (0..self.disks)
+                .filter(|i| !failed.contains(i))
+                .map(|i| ChunkAddr::new(i, o))
+                .collect();
+            for (j, &d) in failed.iter().enumerate() {
+                items.push(ChunkRecovery {
+                    lost: ChunkAddr::new(d, o),
+                    reads: if j == 0 { reads.clone() } else { Vec::new() },
+                    depends: Vec::new(),
+                    write: WriteTarget::Spare(0),
+                });
+            }
+        }
+        assign_writes(policy, self.disks, &failed, &mut items);
+        Ok(RecoveryPlan::new(self.disks, failed, items))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_validation() {
+        assert!(FlatRaid6::new(3, 10).is_err());
+        assert!(FlatRaid6::new(4, 0).is_err());
+        assert!(FlatRaid6::new(4, 2).is_ok());
+    }
+
+    #[test]
+    fn two_parity_chunks_per_row() {
+        let l = FlatRaid6::new(5, 10).unwrap();
+        for o in 0..10 {
+            let parity = (0..5)
+                .filter(|&d| l.chunk_role(ChunkAddr::new(d, o)) == Role::Parity)
+                .count();
+            assert_eq!(parity, 2, "row {o}");
+        }
+    }
+
+    #[test]
+    fn survives_up_to_two() {
+        let l = FlatRaid6::new(6, 4).unwrap();
+        assert!(l.survives(&[1]));
+        assert!(l.survives(&[1, 4]));
+        assert!(!l.survives(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn single_failure_plan_reads_survivors() {
+        let l = FlatRaid6::new(5, 8).unwrap();
+        let plan = l.recovery_plan(&[0], SparePolicy::Dedicated).unwrap();
+        assert_eq!(plan.read_load(5), vec![0, 8, 8, 8, 8]);
+    }
+
+    #[test]
+    fn double_failure_shares_row_reads() {
+        let l = FlatRaid6::new(6, 4).unwrap();
+        let plan = l.recovery_plan(&[1, 3], SparePolicy::Dedicated).unwrap();
+        // 4 rows x 4 survivors read once each.
+        assert_eq!(plan.total_reads(), 16);
+        // 4 rows x 2 lost chunks rebuilt.
+        assert_eq!(plan.total_writes(), 8);
+    }
+}

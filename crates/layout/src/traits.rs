@@ -1,0 +1,210 @@
+//! The [`Layout`] trait and its basic types.
+
+use std::fmt;
+
+use crate::plan::{RecoveryPlan, SparePolicy};
+
+/// Physical address of one chunk: a disk index and a chunk offset on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChunkAddr {
+    /// Disk index in `0..layout.disks()`.
+    pub disk: usize,
+    /// Chunk offset on the disk, in `0..layout.chunks_per_disk()`.
+    pub offset: usize,
+}
+
+impl ChunkAddr {
+    /// Convenience constructor.
+    pub fn new(disk: usize, offset: usize) -> Self {
+        Self { disk, offset }
+    }
+}
+
+impl fmt::Display for ChunkAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}:{}", self.disk, self.offset)
+    }
+}
+
+/// What a chunk holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// User data.
+    Data,
+    /// Redundancy belonging to the (single or outer) code layer.
+    Parity,
+    /// Redundancy belonging to OI-RAID's inner (in-group) layer.
+    InnerParity,
+    /// Reserved distributed-spare space.
+    Spare,
+}
+
+impl Role {
+    /// Whether the chunk holds redundancy rather than data or spare space.
+    pub fn is_parity(self) -> bool {
+        matches!(self, Role::Parity | Role::InnerParity)
+    }
+}
+
+/// Errors from layout queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// Construction parameters are invalid for the layout family.
+    InvalidGeometry(String),
+    /// A failed-disk index is out of range.
+    DiskOutOfRange {
+        /// The offending disk index.
+        disk: usize,
+        /// Number of disks in the layout.
+        disks: usize,
+    },
+    /// The same disk listed twice in a failure set.
+    DuplicateFailure {
+        /// The duplicated disk index.
+        disk: usize,
+    },
+    /// The failure pattern is not survivable by this layout.
+    DataLoss {
+        /// The failure pattern that loses data.
+        failed: Vec<usize>,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidGeometry(msg) => write!(f, "invalid layout geometry: {msg}"),
+            Self::DiskOutOfRange { disk, disks } => {
+                write!(f, "disk {disk} out of range (array has {disks})")
+            }
+            Self::DuplicateFailure { disk } => write!(f, "disk {disk} listed twice"),
+            Self::DataLoss { failed } => {
+                write!(f, "failure pattern {failed:?} is not survivable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// A disk-array data layout: the mapping from redundancy structure to
+/// physical chunks, plus failure analysis and recovery planning.
+///
+/// Implementations must be deterministic: the same geometry yields the same
+/// mapping, so plans and statistics are reproducible.
+pub trait Layout: fmt::Debug {
+    /// Human-readable name (used in experiment tables), e.g. `RAID5(8)`.
+    fn name(&self) -> String;
+
+    /// Number of disks in the array (excluding dedicated hot spares).
+    fn disks(&self) -> usize;
+
+    /// Chunks per disk covered by the layout pattern.
+    fn chunks_per_disk(&self) -> usize;
+
+    /// Number of arbitrary disk failures always survivable.
+    fn fault_tolerance(&self) -> usize;
+
+    /// The role of the chunk at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the array geometry.
+    fn chunk_role(&self, addr: ChunkAddr) -> Role;
+
+    /// Whether the failure pattern `failed` is survivable (no data loss).
+    /// Must accept patterns larger than [`Layout::fault_tolerance`] — many
+    /// are still survivable, and experiment E5 measures exactly that.
+    fn survives(&self, failed: &[usize]) -> bool;
+
+    /// Builds the recovery plan for the failure pattern `failed`.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::DiskOutOfRange`] / [`LayoutError::DuplicateFailure`]
+    /// for malformed patterns and [`LayoutError::DataLoss`] when the pattern
+    /// is not survivable.
+    fn recovery_plan(
+        &self,
+        failed: &[usize],
+        policy: SparePolicy,
+    ) -> Result<RecoveryPlan, LayoutError>;
+
+    /// Fraction of raw capacity holding user data.
+    fn efficiency(&self) -> f64 {
+        let mut data = 0usize;
+        let mut total = 0usize;
+        for d in 0..self.disks() {
+            for o in 0..self.chunks_per_disk() {
+                total += 1;
+                if self.chunk_role(ChunkAddr::new(d, o)) == Role::Data {
+                    data += 1;
+                }
+            }
+        }
+        data as f64 / total as f64
+    }
+
+    /// Storage overhead: redundancy bytes per data byte (e.g. `0.25` for a
+    /// 4+1 RAID5, `2.0` for 3-replication).
+    fn storage_overhead(&self) -> f64 {
+        let e = self.efficiency();
+        (1.0 - e) / e
+    }
+}
+
+/// Validates a failure pattern against an array size: in-range, no
+/// duplicates. Returns a sorted copy.
+pub(crate) fn validate_failures(failed: &[usize], disks: usize) -> Result<Vec<usize>, LayoutError> {
+    let mut sorted = failed.to_vec();
+    sorted.sort_unstable();
+    for w in sorted.windows(2) {
+        if w[0] == w[1] {
+            return Err(LayoutError::DuplicateFailure { disk: w[0] });
+        }
+    }
+    if let Some(&d) = sorted.last() {
+        if d >= disks {
+            return Err(LayoutError::DiskOutOfRange { disk: d, disks });
+        }
+    }
+    Ok(sorted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_addr_display() {
+        assert_eq!(ChunkAddr::new(3, 17).to_string(), "d3:17");
+    }
+
+    #[test]
+    fn role_parity_classification() {
+        assert!(Role::Parity.is_parity());
+        assert!(Role::InnerParity.is_parity());
+        assert!(!Role::Data.is_parity());
+        assert!(!Role::Spare.is_parity());
+    }
+
+    #[test]
+    fn validate_failures_checks() {
+        assert_eq!(validate_failures(&[2, 0], 4).unwrap(), vec![0, 2]);
+        assert!(matches!(
+            validate_failures(&[1, 1], 4),
+            Err(LayoutError::DuplicateFailure { disk: 1 })
+        ));
+        assert!(matches!(
+            validate_failures(&[5], 4),
+            Err(LayoutError::DiskOutOfRange { disk: 5, disks: 4 })
+        ));
+        assert!(validate_failures(&[], 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn error_messages() {
+        let e = LayoutError::DataLoss { failed: vec![1, 2] };
+        assert!(e.to_string().contains("not survivable"));
+    }
+}

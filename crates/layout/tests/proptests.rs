@@ -1,0 +1,102 @@
+//! Property tests over the baseline layout families: the structural
+//! invariants every `Layout` must satisfy for arbitrary geometry.
+
+use layout::{
+    ChunkAddr, FlatRaid5, FlatRaid6, Layout, ParityDeclustered, Raid50, Role, SparePolicy,
+};
+use proptest::prelude::*;
+
+fn layouts(disks: usize, chunks: usize) -> Vec<Box<dyn Layout>> {
+    let mut out: Vec<Box<dyn Layout>> = vec![
+        Box::new(FlatRaid5::new(disks.max(3), chunks).expect("raid5")),
+        Box::new(FlatRaid6::new(disks.max(4), chunks).expect("raid6")),
+    ];
+    if disks % 3 == 0 && disks >= 9 {
+        out.push(Box::new(Raid50::new(disks / 3, 3, chunks).expect("raid50")));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn parity_fraction_matches_efficiency(
+        disks in 4usize..20,
+        chunks in 1usize..12,
+    ) {
+        for l in layouts(disks, chunks) {
+            let mut data = 0usize;
+            let mut total = 0usize;
+            for d in 0..l.disks() {
+                for o in 0..l.chunks_per_disk() {
+                    total += 1;
+                    if l.chunk_role(ChunkAddr::new(d, o)) == Role::Data {
+                        data += 1;
+                    }
+                }
+            }
+            let eff = data as f64 / total as f64;
+            prop_assert!((eff - l.efficiency()).abs() < 1e-12, "{}", l.name());
+        }
+    }
+
+    #[test]
+    fn single_failure_plan_is_complete_and_clean(
+        disks in 4usize..20,
+        chunks in 1usize..10,
+        fail_pick in any::<u32>(),
+    ) {
+        for l in layouts(disks, chunks) {
+            let d = fail_pick as usize % l.disks();
+            for policy in [SparePolicy::Dedicated, SparePolicy::Distributed] {
+                let plan = l.recovery_plan(&[d], policy).expect("single failure");
+                prop_assert_eq!(plan.total_writes() as usize, l.chunks_per_disk());
+                let load = plan.read_load(l.disks());
+                prop_assert_eq!(load[d], 0, "{}: no reads from the failed disk", l.name());
+                // Every lost chunk appears exactly once.
+                let mut offsets: Vec<usize> =
+                    plan.items().iter().map(|i| i.lost.offset).collect();
+                offsets.sort_unstable();
+                offsets.dedup();
+                prop_assert_eq!(offsets.len(), l.chunks_per_disk());
+            }
+        }
+    }
+
+    #[test]
+    fn declustered_layout_balances_for_any_cycles(
+        cycles in 1usize..6,
+        fail_pick in any::<u32>(),
+    ) {
+        let design = bibd::fano();
+        let l = ParityDeclustered::new(design, cycles).expect("pd");
+        let d = fail_pick as usize % l.disks();
+        let plan = l.recovery_plan(&[d], SparePolicy::Distributed).expect("plan");
+        let load = plan.read_load(l.disks());
+        // Perfect read balance is a theorem for λ=1 full cycles.
+        let survivors: Vec<u64> = (0..l.disks()).filter(|&x| x != d).map(|x| load[x]).collect();
+        let first = survivors[0];
+        prop_assert!(survivors.iter().all(|&c| c == first), "{load:?}");
+    }
+
+    #[test]
+    fn survives_agrees_with_tolerance_for_all_small_patterns(
+        disks in 4usize..12,
+        chunks in 1usize..4,
+    ) {
+        for l in layouts(disks, chunks) {
+            let t = l.fault_tolerance();
+            let n = l.disks();
+            // All single and double patterns.
+            for a in 0..n {
+                prop_assert_eq!(l.survives(&[a]), t >= 1, "{}", l.name());
+                for b in a + 1..n {
+                    if t >= 2 {
+                        prop_assert!(l.survives(&[a, b]), "{} [{a},{b}]", l.name());
+                    }
+                }
+            }
+        }
+    }
+}

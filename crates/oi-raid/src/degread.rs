@@ -1,0 +1,211 @@
+//! Degraded-read planning: what must be fetched to serve a *read* of one
+//! data chunk while disks are down — the user-latency side of the recovery
+//! story (rebuilds move whole disks; degraded reads sit on the critical
+//! path of every request that hits a failed disk).
+
+use layout::{ChunkAddr, LayoutError};
+
+use crate::array::OiRaid;
+
+/// How a degraded read is served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadPlan {
+    /// The data disk is healthy: one read.
+    Direct(ChunkAddr),
+    /// Reconstruct from the inner row: `g − miss` surviving row chunks, all
+    /// inside the data chunk's own group.
+    InnerDecode {
+        /// Chunks to read (surviving row chunks).
+        reads: Vec<ChunkAddr>,
+    },
+    /// Reconstruct from the outer stripe: `k − 1` chunks, one in each other
+    /// member group of the block.
+    OuterDecode {
+        /// Chunks to read (surviving stripe chunks).
+        reads: Vec<ChunkAddr>,
+    },
+}
+
+impl ReadPlan {
+    /// Number of chunk reads the plan issues.
+    pub fn read_count(&self) -> usize {
+        match self {
+            ReadPlan::Direct(_) => 1,
+            ReadPlan::InnerDecode { reads } | ReadPlan::OuterDecode { reads } => reads.len(),
+        }
+    }
+}
+
+impl OiRaid {
+    /// Plans the cheapest single-level reconstruction read for logical data
+    /// chunk `idx` under the failure pattern `failed`: direct if healthy,
+    /// else inner-row decode (fewest reads when available), else
+    /// outer-stripe decode.
+    ///
+    /// Reads served this way touch only healthy chunks; deeper cascades
+    /// (both levels broken around the chunk) fall back to the full
+    /// [`layout::Layout::recovery_plan`] machinery and are reported as
+    /// [`LayoutError::DataLoss`] here — a real system would run the rebuild
+    /// rather than serve that read online.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::DiskOutOfRange`] for bad patterns;
+    /// [`LayoutError::DataLoss`] when no single-level decode exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn read_plan(&self, idx: usize, failed: &[usize]) -> Result<ReadPlan, LayoutError> {
+        let geo = self.geometry();
+        if let Some(&d) = failed.iter().find(|&&d| d >= geo.disks()) {
+            return Err(LayoutError::DiskOutOfRange {
+                disk: d,
+                disks: geo.disks(),
+            });
+        }
+        let addr = self.locate_data(idx);
+        let down = |a: &ChunkAddr| failed.contains(&a.disk);
+        if !down(&addr) {
+            return Ok(ReadPlan::Direct(addr));
+        }
+        // Inner row: decodable when the row has at most p_in missing chunks.
+        let grp = geo.group_of(addr.disk);
+        let row = geo.row_chunks(grp, addr.offset);
+        let missing = row.iter().filter(|a| down(a)).count();
+        if missing <= geo.p_in {
+            return Ok(ReadPlan::InnerDecode {
+                reads: row.into_iter().filter(|a| !down(a)).collect(),
+            });
+        }
+        // Outer stripe: decodable when the data chunk is its only loss.
+        let p = geo.payload_pos(addr);
+        let stripe = geo.stripe_chunks(p.block, p.stripe);
+        if stripe.iter().filter(|a| down(a)).count() == 1 {
+            return Ok(ReadPlan::OuterDecode {
+                reads: stripe.into_iter().filter(|a| !down(a)).collect(),
+            });
+        }
+        Err(LayoutError::DataLoss {
+            failed: failed.to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OiRaidConfig;
+    use layout::Layout;
+
+    fn reference() -> OiRaid {
+        OiRaid::new(OiRaidConfig::reference()).unwrap()
+    }
+
+    #[test]
+    fn healthy_reads_are_direct() {
+        let a = reference();
+        for idx in 0..a.data_chunks() {
+            match a.read_plan(idx, &[]).unwrap() {
+                ReadPlan::Direct(addr) => assert_eq!(addr, a.locate_data(idx)),
+                other => panic!("expected direct, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn single_failure_prefers_inner_decode() {
+        let a = reference();
+        for idx in 0..a.data_chunks() {
+            let addr = a.locate_data(idx);
+            let plan = a.read_plan(idx, &[addr.disk]).unwrap();
+            match plan {
+                ReadPlan::InnerDecode { reads } => {
+                    assert_eq!(reads.len(), 2); // g − 1 survivors
+                    assert!(reads.iter().all(|r| r.disk != addr.disk));
+                }
+                other => panic!("idx {idx}: expected inner decode, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn group_loss_falls_back_to_outer_decode() {
+        let a = reference();
+        // Fail all of group 0; data chunks there must decode via the outer
+        // stripe with k − 1 = 2 remote reads.
+        let failed = [0usize, 1, 2];
+        for idx in 0..a.data_chunks() {
+            let addr = a.locate_data(idx);
+            if a.group_of(addr.disk) != 0 {
+                continue;
+            }
+            match a.read_plan(idx, &failed).unwrap() {
+                ReadPlan::OuterDecode { reads } => {
+                    assert_eq!(reads.len(), 2);
+                    assert!(reads.iter().all(|r| a.group_of(r.disk) != 0));
+                }
+                other => panic!("idx {idx}: expected outer decode, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn read_counts_are_monotone_in_damage() {
+        let a = reference();
+        let idx = 10;
+        let addr = a.locate_data(idx);
+        let healthy = a.read_plan(idx, &[]).unwrap().read_count();
+        let one = a.read_plan(idx, &[addr.disk]).unwrap().read_count();
+        assert!(healthy <= one);
+        assert_eq!(healthy, 1);
+    }
+
+    #[test]
+    fn double_level_damage_reports_loss() {
+        let a = reference();
+        // Find a data chunk whose group has 2 failures (inner dead) and
+        // whose outer stripe also lost a second chunk. A whole group plus a
+        // carefully chosen second group does it; scan for a witness.
+        let failed = [0usize, 1, 3, 4];
+        // Pattern is unsurvivable overall, so some chunk must report loss.
+        assert!(!a.survives(&failed));
+        let mut saw_loss = false;
+        for idx in 0..a.data_chunks() {
+            if a.read_plan(idx, &failed).is_err() {
+                saw_loss = true;
+                break;
+            }
+        }
+        assert!(saw_loss);
+    }
+
+    #[test]
+    fn out_of_range_pattern_rejected() {
+        let a = reference();
+        assert!(matches!(
+            a.read_plan(0, &[99]),
+            Err(LayoutError::DiskOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn dual_parity_inner_decode_tolerates_two_in_group() {
+        let cfg = OiRaidConfig::new(bibd::fano(), 5, 1)
+            .unwrap()
+            .with_inner_parities(2)
+            .unwrap();
+        let a = OiRaid::new(cfg).unwrap();
+        let idx = 0;
+        let addr = a.locate_data(idx);
+        let grp = a.group_of(addr.disk);
+        // Fail the data disk plus one more in the same group: still inner.
+        let other = (0..a.disks())
+            .find(|&d| a.group_of(d) == grp && d != addr.disk)
+            .unwrap();
+        match a.read_plan(idx, &[addr.disk, other]).unwrap() {
+            ReadPlan::InnerDecode { reads } => assert_eq!(reads.len(), 3), // g − 2
+            other => panic!("expected inner decode, got {other:?}"),
+        }
+    }
+}

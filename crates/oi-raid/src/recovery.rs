@@ -1,0 +1,283 @@
+//! Single-disk-failure recovery planning: the experiment-critical path.
+//!
+//! When one disk fails, OI-RAID can source reconstruction reads three ways,
+//! and the choice decides the rebuild bottleneck:
+//!
+//! * [`RecoveryStrategy::Inner`] — rebuild every lost chunk from its inner
+//!   row. Minimal total I/O (`(g−1)` reads per chunk), but only the `g−1`
+//!   group survivors work: each reads its whole capacity, like a tiny RAID5.
+//! * [`RecoveryStrategy::Outer`] — rebuild payload chunks from their outer
+//!   stripes (reads fan out over *all* other groups thanks to the skew) and
+//!   recompute inner-parity chunks from their local rows. The group
+//!   survivors' share drops to `1/g` of a disk.
+//! * [`RecoveryStrategy::OuterAll`] — also reconstruct the inputs of lost
+//!   inner-parity chunks from *their* outer stripes, moving even that load
+//!   off the group: maximal parallelism, highest total I/O.
+//! * [`RecoveryStrategy::Hybrid`] — split the inner-parity rows between the
+//!   local and remote methods in the closed-form proportion
+//!   `ψ = (rg − (g−1)) / (rg + (g−1))` that equalises group-survivor and
+//!   remote-disk load — the bottleneck-optimal mix (ablation A2).
+
+use layout::{
+    ChunkAddr, LayoutError, RecoveryPlan, SparePolicy, WriteTarget,
+};
+use layout::ChunkRecovery;
+
+use crate::array::OiRaid;
+
+/// How a single-disk rebuild sources its reads: `Inner` is local and slow,
+/// `Outer` is the paper's declustered default, `OuterAll` moves even
+/// parity-row repairs off the group, and `Hybrid` mixes the last two in the
+/// closed-form bottleneck-optimal proportion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryStrategy {
+    /// Everything from the local inner rows (RAID50-like locality).
+    Inner,
+    /// Payload via outer stripes, inner parity via local rows (the paper's
+    /// default).
+    Outer,
+    /// Everything via outer stripes (fully declustered).
+    OuterAll,
+    /// Load-balanced mix of `Outer` and `OuterAll` for the parity rows.
+    Hybrid,
+}
+
+impl RecoveryStrategy {
+    /// All strategies, for sweeps.
+    pub const ALL: [RecoveryStrategy; 4] = [
+        RecoveryStrategy::Inner,
+        RecoveryStrategy::Outer,
+        RecoveryStrategy::OuterAll,
+        RecoveryStrategy::Hybrid,
+    ];
+
+    /// Short label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryStrategy::Inner => "inner",
+            RecoveryStrategy::Outer => "outer",
+            RecoveryStrategy::OuterAll => "outer-all",
+            RecoveryStrategy::Hybrid => "hybrid",
+        }
+    }
+}
+
+/// The fraction numerator/denominator of inner-parity rows that
+/// [`RecoveryStrategy::Hybrid`] sends to the remote (outer) method,
+/// generalized over the inner parity count `p`:
+/// `ψ = (p·r·g − (g−p)) / (p·(r·g + g − p))`, clamped at 0.
+/// For `p = 1` this is the paper-case `(rg − g + 1)/(rg + g − 1)`.
+pub(crate) fn hybrid_remote_fraction(r: usize, g: usize, p: usize) -> (usize, usize) {
+    let num = (p * r * g).saturating_sub(g - p);
+    let den = p * (r * g + g - p);
+    (num, den)
+}
+
+/// Builds the plan for a single failed disk under `strategy`.
+pub(crate) fn single_failure_plan(
+    array: &OiRaid,
+    failed_disk: usize,
+    policy: SparePolicy,
+    strategy: RecoveryStrategy,
+) -> Result<RecoveryPlan, LayoutError> {
+    let geo = array.geometry();
+    let n = geo.disks();
+    if failed_disk >= n {
+        return Err(LayoutError::DiskOutOfRange {
+            disk: failed_disk,
+            disks: n,
+        });
+    }
+    let grp = geo.group_of(failed_disk);
+    let j = geo.member_of(failed_disk);
+    let (num, den) = hybrid_remote_fraction(geo.r, geo.g, geo.p_in);
+    let mut parity_rows_seen = 0usize;
+    let mut items = Vec::with_capacity(geo.chunks_per_disk);
+    let _ = j;
+    for o in 0..geo.chunks_per_disk {
+        let lost = ChunkAddr::new(failed_disk, o);
+        let reads = if geo.is_inner_parity(lost) {
+            // Inner-parity chunk: rebuild from its row, locally or remotely.
+            let remote = match strategy {
+                RecoveryStrategy::Inner | RecoveryStrategy::Outer => false,
+                RecoveryStrategy::OuterAll => true,
+                RecoveryStrategy::Hybrid => {
+                    // Spread the ψ fraction evenly over the parity rows
+                    // (rounded accumulation, so the total is round(ψ·rows)).
+                    let h = parity_rows_seen;
+                    ((h + 1) * num + den / 2) / den != (h * num + den / 2) / den
+                }
+            };
+            parity_rows_seen += 1;
+            if remote {
+                remote_row_reads(array, grp, o)
+            } else {
+                geo.row_payload(grp, o)
+            }
+        } else {
+            // Payload chunk (data or outer parity).
+            match strategy {
+                RecoveryStrategy::Inner => geo
+                    .row_chunks(grp, o)
+                    .into_iter()
+                    .filter(|a| *a != lost)
+                    .collect(),
+                _ => outer_stripe_reads(array, lost),
+            }
+        };
+        items.push(ChunkRecovery {
+            lost,
+            reads,
+            depends: Vec::new(),
+            write: WriteTarget::Spare(0),
+        });
+    }
+    let failed = vec![failed_disk];
+    layout::assign_writes(policy, n, &failed, &mut items);
+    Ok(RecoveryPlan::new(n, failed, items))
+}
+
+/// The `k − 1` surviving chunks of the outer stripe containing payload
+/// chunk `lost` — all in other groups.
+fn outer_stripe_reads(array: &OiRaid, lost: ChunkAddr) -> Vec<ChunkAddr> {
+    let geo = array.geometry();
+    let p = geo.payload_pos(lost);
+    geo.stripe_chunks(p.block, p.stripe)
+        .into_iter()
+        .filter(|a| *a != lost)
+        .collect()
+}
+
+/// Remote reconstruction of an inner-parity row: for each surviving payload
+/// chunk of the row, read the `k − 1` other chunks of *its* outer stripe
+/// (none of which are in this group). `(g − 1)(k − 1)` remote reads total.
+fn remote_row_reads(array: &OiRaid, grp: usize, row: usize) -> Vec<ChunkAddr> {
+    let geo = array.geometry();
+    let mut reads = Vec::with_capacity((geo.g - 1) * (geo.k - 1));
+    for payload in geo.row_payload(grp, row) {
+        reads.extend(outer_stripe_reads(array, payload));
+    }
+    reads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OiRaidConfig;
+    use layout::Layout;
+
+    fn reference() -> OiRaid {
+        OiRaid::new(OiRaidConfig::reference()).unwrap()
+    }
+
+    fn plan(array: &OiRaid, d: usize, s: RecoveryStrategy) -> RecoveryPlan {
+        array
+            .recovery_plan_with_strategy(d, SparePolicy::Distributed, s)
+            .unwrap()
+    }
+
+    #[test]
+    fn inner_strategy_loads_only_group() {
+        let a = reference();
+        let p = plan(&a, 4, RecoveryStrategy::Inner); // group 1 = disks 3..6
+        let load = p.read_load(21);
+        for d in 0..21 {
+            let in_group = (3..6).contains(&d) && d != 4;
+            assert_eq!(load[d] > 0, in_group, "disk {d}");
+        }
+        // Each group survivor reads the failed disk's full chunk count.
+        assert_eq!(load[3], 9);
+        assert_eq!(load[5], 9);
+    }
+
+    #[test]
+    fn outer_strategy_loads_match_closed_form() {
+        let a = reference();
+        let p = plan(&a, 0, RecoveryStrategy::Outer);
+        let load = p.read_load(21);
+        // Group survivors (disks 1, 2): r·c = 3 chunks each (parity rows).
+        assert_eq!(load[1], 3);
+        assert_eq!(load[2], 3);
+        // Remote disks: total payload reads = P_l(k−1) = 6·2 = 12 over 18
+        // disks, near-uniformly.
+        let remote_total: u64 = (3..21).map(|d| load[d]).sum();
+        assert_eq!(remote_total, 12);
+        let remote_max = (3..21).map(|d| load[d]).max().unwrap();
+        assert!(remote_max <= 2, "remote loads near-uniform: {load:?}");
+    }
+
+    #[test]
+    fn outer_all_strategy_empties_group_reads() {
+        let a = reference();
+        let p = plan(&a, 0, RecoveryStrategy::OuterAll);
+        let load = p.read_load(21);
+        assert_eq!(load[1], 0);
+        assert_eq!(load[2], 0);
+        // Total remote reads: payload 12 + parity rows 3·(g−1)(k−1) = 12.
+        let remote_total: u64 = (3..21).map(|d| load[d]).sum();
+        assert_eq!(remote_total, 24);
+    }
+
+    #[test]
+    fn hybrid_strategy_beats_both_on_bottleneck() {
+        let a = reference();
+        let bottleneck = |s: RecoveryStrategy| {
+            let p = plan(&a, 0, s);
+            let load = p.read_load(21);
+            (0..21).map(|d| load[d]).max().unwrap()
+        };
+        let hybrid = bottleneck(RecoveryStrategy::Hybrid);
+        assert!(hybrid <= bottleneck(RecoveryStrategy::Outer));
+        assert!(hybrid <= bottleneck(RecoveryStrategy::OuterAll));
+        assert!(hybrid < bottleneck(RecoveryStrategy::Inner));
+    }
+
+    #[test]
+    fn hybrid_fraction_formula() {
+        assert_eq!(hybrid_remote_fraction(3, 3, 1), (7, 11));
+        assert_eq!(hybrid_remote_fraction(1, 2, 1), (1, 3));
+        // Dual parity: ψ = (2rg − (g−2)) / (2(rg + g − 2)).
+        assert_eq!(hybrid_remote_fraction(3, 5, 2), (27, 36));
+    }
+
+    #[test]
+    fn all_strategies_cover_every_lost_chunk() {
+        let a = reference();
+        for s in RecoveryStrategy::ALL {
+            let p = plan(&a, 7, s);
+            assert_eq!(p.total_writes(), 9, "{}", s.label());
+            // No read touches the failed disk.
+            assert_eq!(p.read_load(21)[7], 0, "{}", s.label());
+        }
+    }
+
+    #[test]
+    fn out_of_range_disk_rejected() {
+        let a = reference();
+        assert!(matches!(
+            a.recovery_plan_with_strategy(21, SparePolicy::Dedicated, RecoveryStrategy::Outer),
+            Err(LayoutError::DiskOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn outer_reads_avoid_failed_group_for_payload() {
+        let a = reference();
+        let p = plan(&a, 0, RecoveryStrategy::Outer);
+        for item in p.items() {
+            if !a.geometry().is_inner_parity(item.lost) {
+                for r in &item.reads {
+                    assert_ne!(a.group_of(r.disk), 0, "payload read {r} inside group");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_layout_plan_is_outer() {
+        let a = reference();
+        let via_trait = a.recovery_plan(&[0], SparePolicy::Distributed).unwrap();
+        let via_strategy = plan(&a, 0, RecoveryStrategy::Outer);
+        assert_eq!(via_trait.read_load(21), via_strategy.read_load(21));
+    }
+}

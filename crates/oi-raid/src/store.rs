@@ -1,0 +1,936 @@
+//! A byte-level in-memory OI-RAID array: real data, real XOR parity in both
+//! layers, real reconstruction. This is the end-to-end proof that the
+//! geometry and the codes compose correctly — the integration tests write
+//! data, kill three disks, and get every byte back.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ecc::{ErasureCode, Raid6, XorParity};
+use gf::Gf256;
+use layout::{ChunkAddr, Layout};
+
+use crate::array::OiRaid;
+use crate::config::OiRaidConfig;
+use crate::geometry::PayloadPos;
+
+/// Errors from the byte-level store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A data index is out of range.
+    IndexOutOfRange {
+        /// The offending logical index.
+        index: usize,
+        /// Number of data chunks.
+        capacity: usize,
+    },
+    /// A write buffer has the wrong length.
+    WrongChunkSize {
+        /// Bytes supplied.
+        found: usize,
+        /// Chunk size of the store.
+        expected: usize,
+    },
+    /// The operation needs a disk that is currently failed.
+    DiskFailed {
+        /// The failed disk.
+        disk: usize,
+    },
+    /// A disk index is out of range.
+    DiskOutOfRange {
+        /// The offending disk index.
+        disk: usize,
+    },
+    /// The current failure pattern is unrecoverable.
+    DataLoss,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::IndexOutOfRange { index, capacity } => {
+                write!(f, "data index {index} out of range ({capacity} chunks)")
+            }
+            Self::WrongChunkSize { found, expected } => {
+                write!(f, "chunk has {found} bytes, store uses {expected}")
+            }
+            Self::DiskFailed { disk } => write!(f, "disk {disk} is failed"),
+            Self::DiskOutOfRange { disk } => write!(f, "disk {disk} out of range"),
+            Self::DataLoss => write!(f, "failure pattern is unrecoverable"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// An in-memory OI-RAID array storing real bytes.
+///
+/// Writes maintain both parity layers incrementally (1 data + 3 parity chunk
+/// writes — the update-optimal path); reads reconstruct transparently while
+/// disks are failed; [`OiRaidStore::rebuild_disk`] performs actual recovery.
+///
+/// # Example
+///
+/// ```
+/// use oi_raid::{OiRaidConfig, OiRaidStore};
+///
+/// let mut store = OiRaidStore::new(OiRaidConfig::reference(), 64).unwrap();
+/// store.write_data(0, &[7u8; 64]).unwrap();
+/// store.fail_disk(store.locate(0).disk).unwrap();
+/// // Degraded read reconstructs through the redundancy:
+/// assert_eq!(store.read_data(0).unwrap(), vec![7u8; 64]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OiRaidStore {
+    array: OiRaid,
+    chunk_size: usize,
+    /// Per-disk content, `None` while failed. Healthy disks hold
+    /// `chunks_per_disk * chunk_size` bytes.
+    disks: Vec<Option<Vec<u8>>>,
+}
+
+impl OiRaidStore {
+    /// Creates a zero-filled store with `chunk_size` bytes per chunk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from [`OiRaid::new`]; fails on
+    /// `chunk_size == 0` via [`StoreError::WrongChunkSize`].
+    pub fn new(cfg: OiRaidConfig, chunk_size: usize) -> Result<Self, StoreError> {
+        if chunk_size == 0 {
+            return Err(StoreError::WrongChunkSize {
+                found: 0,
+                expected: 1,
+            });
+        }
+        let array = OiRaid::new(cfg).expect("validated config constructs");
+        let per_disk = array.chunks_per_disk() * chunk_size;
+        let disks = vec![Some(vec![0u8; per_disk]); array.disks()];
+        Ok(Self {
+            array,
+            chunk_size,
+            disks,
+        })
+    }
+
+    /// The underlying array.
+    pub fn array(&self) -> &OiRaid {
+        &self.array
+    }
+
+    /// Bytes per chunk.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Number of logical data chunks.
+    pub fn data_chunks(&self) -> usize {
+        self.array.data_chunks()
+    }
+
+    /// Physical address of logical data chunk `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn locate(&self, idx: usize) -> ChunkAddr {
+        self.array.locate_data(idx)
+    }
+
+    /// Currently failed disks (ascending).
+    pub fn failed_disks(&self) -> Vec<usize> {
+        self.disks
+            .iter()
+            .enumerate()
+            .filter_map(|(d, c)| c.is_none().then_some(d))
+            .collect()
+    }
+
+    fn chunk(&self, addr: ChunkAddr) -> Option<&[u8]> {
+        self.disks[addr.disk].as_ref().map(|bytes| {
+            &bytes[addr.offset * self.chunk_size..(addr.offset + 1) * self.chunk_size]
+        })
+    }
+
+    /// The inner-layer row code: RAID5 for `p_in = 1`, RAID6 for `p_in = 2`
+    /// (payload width `g − p_in`).
+    fn inner_code(&self) -> Box<dyn ErasureCode> {
+        let geo = self.array.geometry();
+        match geo.p_in {
+            1 => Box::new(XorParity::new(geo.g - 1).expect("g >= 2")),
+            2 => Box::new(Raid6::new(geo.g - 2).expect("g >= 3")),
+            p => unreachable!("config validates p_in, got {p}"),
+        }
+    }
+
+    /// Applies the inner-parity deltas for an update of `delta` at payload
+    /// chunk `addr` (P gets `Δ`; the RAID6 Q gets `2^pos · Δ`, matching
+    /// [`Raid6::encode`]'s generator).
+    fn patch_row_parities(&mut self, addr: ChunkAddr, delta: &[u8]) -> Result<(), StoreError> {
+        let geo = self.array.geometry();
+        let group = geo.group_of(addr.disk);
+        let row = addr.offset;
+        let pos = geo
+            .row_payload(group, row)
+            .iter()
+            .position(|a| *a == addr)
+            .expect("payload chunk is in its row");
+        let parities = geo.inner_parities_of_row(group, row);
+        for (role, paddr) in parities.into_iter().enumerate() {
+            match role {
+                0 => self.xor_into(paddr, delta)?,
+                1 => {
+                    let w = Raid6::generator_weight(pos);
+                    let mut scaled = vec![0u8; delta.len()];
+                    Gf256::get().mul_slice(w, delta, &mut scaled);
+                    self.xor_into(paddr, &scaled)?;
+                }
+                _ => unreachable!("at most two inner parities"),
+            }
+        }
+        Ok(())
+    }
+
+    fn xor_into(&mut self, addr: ChunkAddr, delta: &[u8]) -> Result<(), StoreError> {
+        let cs = self.chunk_size;
+        let disk = self.disks[addr.disk]
+            .as_mut()
+            .ok_or(StoreError::DiskFailed { disk: addr.disk })?;
+        for (b, d) in disk[addr.offset * cs..(addr.offset + 1) * cs]
+            .iter_mut()
+            .zip(delta)
+        {
+            *b ^= d;
+        }
+        Ok(())
+    }
+
+    /// Writes logical data chunk `idx`, updating both parity layers
+    /// incrementally (4 chunk writes on 4 distinct disks).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::DiskFailed`] if any of the four target disks is failed
+    /// (degraded writes are not supported — rebuild first),
+    /// [`StoreError::IndexOutOfRange`] / [`StoreError::WrongChunkSize`] on
+    /// malformed input.
+    pub fn write_data(&mut self, idx: usize, data: &[u8]) -> Result<(), StoreError> {
+        if idx >= self.data_chunks() {
+            return Err(StoreError::IndexOutOfRange {
+                index: idx,
+                capacity: self.data_chunks(),
+            });
+        }
+        if data.len() != self.chunk_size {
+            return Err(StoreError::WrongChunkSize {
+                found: data.len(),
+                expected: self.chunk_size,
+            });
+        }
+        let addr = self.array.locate_data(idx);
+        let targets = self.array.update_set(addr);
+        if let Some(t) = targets.iter().find(|t| self.disks[t.disk].is_none()) {
+            return Err(StoreError::DiskFailed { disk: t.disk });
+        }
+        let old = self.chunk(addr).expect("checked healthy").to_vec();
+        let delta: Vec<u8> = old.iter().zip(data).map(|(o, n)| o ^ n).collect();
+        // Data chunk and outer parity absorb Δ directly; each affected
+        // row's inner parities absorb the code-weighted Δ.
+        self.xor_into(addr, &delta)?;
+        let outer = targets[1 + self.array.geometry().p_in];
+        debug_assert_eq!(self.array.chunk_role(outer), layout::Role::Parity);
+        self.xor_into(outer, &delta)?;
+        self.patch_row_parities(addr, &delta)?;
+        self.patch_row_parities(outer, &delta)?;
+        Ok(())
+    }
+
+    /// Reads logical data chunk `idx`, reconstructing through the
+    /// redundancy if its disk is failed.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::DataLoss`] if the current failure pattern makes the
+    /// chunk unrecoverable; [`StoreError::IndexOutOfRange`] on bad input.
+    pub fn read_data(&self, idx: usize) -> Result<Vec<u8>, StoreError> {
+        if idx >= self.data_chunks() {
+            return Err(StoreError::IndexOutOfRange {
+                index: idx,
+                capacity: self.data_chunks(),
+            });
+        }
+        let addr = self.array.locate_data(idx);
+        if let Some(bytes) = self.chunk(addr) {
+            return Ok(bytes.to_vec());
+        }
+        let recovered = self.reconstruct_missing()?;
+        Ok(recovered[&addr].clone())
+    }
+
+    /// Marks a disk failed, discarding its contents.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::DiskOutOfRange`] for bad indices (double-failing is a
+    /// no-op).
+    pub fn fail_disk(&mut self, disk: usize) -> Result<(), StoreError> {
+        if disk >= self.disks.len() {
+            return Err(StoreError::DiskOutOfRange { disk });
+        }
+        self.disks[disk] = None;
+        Ok(())
+    }
+
+    /// Rebuilds a failed disk's full contents from the redundancy and
+    /// brings it back online.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::DataLoss`] if the overall failure pattern is
+    /// unrecoverable, [`StoreError::DiskOutOfRange`] on bad input. Rebuilding
+    /// a healthy disk is a no-op.
+    pub fn rebuild_disk(&mut self, disk: usize) -> Result<(), StoreError> {
+        if disk >= self.disks.len() {
+            return Err(StoreError::DiskOutOfRange { disk });
+        }
+        if self.disks[disk].is_some() {
+            return Ok(());
+        }
+        let recovered = self.reconstruct_missing()?;
+        let cs = self.chunk_size;
+        let mut bytes = vec![0u8; self.array.chunks_per_disk() * cs];
+        for o in 0..self.array.chunks_per_disk() {
+            let addr = ChunkAddr::new(disk, o);
+            bytes[o * cs..(o + 1) * cs].copy_from_slice(&recovered[&addr]);
+        }
+        self.disks[disk] = Some(bytes);
+        Ok(())
+    }
+
+    /// Verifies every parity relation in both layers; returns the addresses
+    /// of violated parity chunks (empty = consistent). Failed disks are
+    /// skipped.
+    pub fn check_parity(&self) -> Vec<ChunkAddr> {
+        let geo = self.array.geometry();
+        let cs = self.chunk_size;
+        let code = self.inner_code();
+        let mut bad = Vec::new();
+        // Inner rows: re-encode the payload and compare the stored parities.
+        for grp in 0..geo.v {
+            for row in 0..geo.chunks_per_disk {
+                let chunks: Vec<_> = geo.row_chunks(grp, row);
+                if chunks.iter().any(|a| self.disks[a.disk].is_none()) {
+                    continue;
+                }
+                let payload: Vec<Vec<u8>> = geo
+                    .row_payload(grp, row)
+                    .iter()
+                    .map(|a| self.chunk(*a).expect("healthy").to_vec())
+                    .collect();
+                let expect = code.encode(&payload).expect("row encodes");
+                for (stored, want) in geo
+                    .inner_parities_of_row(grp, row)
+                    .into_iter()
+                    .zip(expect)
+                {
+                    if self.chunk(stored).expect("healthy") != &want[..] {
+                        bad.push(stored);
+                    }
+                }
+            }
+        }
+        // Outer stripes: XOR of all k chunks must be zero.
+        for (block, s) in geo.all_stripes() {
+            let chunks = geo.stripe_chunks(block, s);
+            if chunks.iter().any(|a| self.disks[a.disk].is_none()) {
+                continue;
+            }
+            let mut acc = vec![0u8; cs];
+            for a in &chunks {
+                for (x, b) in acc.iter_mut().zip(self.chunk(*a).expect("healthy")) {
+                    *x ^= b;
+                }
+            }
+            if acc.iter().any(|&x| x != 0) {
+                bad.push(geo.stripe_chunk(PayloadPos {
+                    block,
+                    stripe: s,
+                    pos: geo.outer_parity_pos(s),
+                }));
+            }
+        }
+        bad
+    }
+
+    /// Total user-data capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.data_chunks() as u64 * self.chunk_size as u64
+    }
+
+    /// Reads an arbitrary byte range of the logical data address space
+    /// (block-device style), reconstructing through failures as needed.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::IndexOutOfRange`] if the range exceeds
+    /// [`OiRaidStore::capacity_bytes`]; [`StoreError::DataLoss`] if a
+    /// touched chunk is unrecoverable.
+    pub fn read_bytes(&self, offset: u64, buf: &mut [u8]) -> Result<(), StoreError> {
+        let end = offset
+            .checked_add(buf.len() as u64)
+            .filter(|&e| e <= self.capacity_bytes())
+            .ok_or(StoreError::IndexOutOfRange {
+                index: offset as usize,
+                capacity: self.capacity_bytes() as usize,
+            })?;
+        let _ = end;
+        let cs = self.chunk_size as u64;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let pos = offset + done as u64;
+            let idx = (pos / cs) as usize;
+            let within = (pos % cs) as usize;
+            let take = (self.chunk_size - within).min(buf.len() - done);
+            let chunk = self.read_data(idx)?;
+            buf[done..done + take].copy_from_slice(&chunk[within..within + take]);
+            done += take;
+        }
+        Ok(())
+    }
+
+    /// Writes an arbitrary byte range of the logical data address space,
+    /// maintaining both parity layers (read-modify-write on partial
+    /// chunks).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::IndexOutOfRange`] on range overflow and the
+    /// [`OiRaidStore::write_data`] errors per touched chunk.
+    pub fn write_bytes(&mut self, offset: u64, data: &[u8]) -> Result<(), StoreError> {
+        if offset
+            .checked_add(data.len() as u64)
+            .map_or(true, |e| e > self.capacity_bytes())
+        {
+            return Err(StoreError::IndexOutOfRange {
+                index: offset as usize,
+                capacity: self.capacity_bytes() as usize,
+            });
+        }
+        let cs = self.chunk_size as u64;
+        let mut done = 0usize;
+        while done < data.len() {
+            let pos = offset + done as u64;
+            let idx = (pos / cs) as usize;
+            let within = (pos % cs) as usize;
+            let take = (self.chunk_size - within).min(data.len() - done);
+            let mut chunk = if within == 0 && take == self.chunk_size {
+                vec![0u8; self.chunk_size]
+            } else {
+                self.read_data(idx)? // read-modify-write
+            };
+            chunk[within..within + take].copy_from_slice(&data[done..done + take]);
+            self.write_data(idx, &chunk)?;
+            done += take;
+        }
+        Ok(())
+    }
+
+    /// Flips bits in a stored chunk — a *silent* corruption (the disk still
+    /// answers reads). Test/chaos hook for the scrubbing machinery.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::DiskFailed`] if the disk is down,
+    /// [`StoreError::DiskOutOfRange`] for bad addresses.
+    pub fn corrupt_chunk(&mut self, addr: ChunkAddr, xor_mask: u8) -> Result<(), StoreError> {
+        if addr.disk >= self.disks.len() {
+            return Err(StoreError::DiskOutOfRange { disk: addr.disk });
+        }
+        let mask = vec![xor_mask; self.chunk_size];
+        self.xor_into(addr, &mask)
+    }
+
+    /// Scrub pass: finds chunks whose parity relations are violated and
+    /// repairs them from the redundancy. Returns the repaired addresses.
+    ///
+    /// Identification uses the two layers as cross-checks: a corrupted
+    /// *payload* chunk violates both its inner row and its outer stripe, a
+    /// corrupted *inner parity* violates only its row. Repair recomputes the
+    /// suspect from the other, consistent relation. Assumes at most one
+    /// corruption per inner row and per outer stripe (the regime periodic
+    /// scrubbing is meant to maintain); denser corruption leaves residual
+    /// inconsistencies, visible via [`OiRaidStore::check_parity`].
+    pub fn scrub(&mut self) -> Vec<ChunkAddr> {
+        let geo = self.array.geometry().clone();
+        let cs = self.chunk_size;
+        let mut repaired = Vec::new();
+        // Violated outer stripes (XOR of all k chunks nonzero).
+        let mut bad_stripes: Vec<Vec<ChunkAddr>> = Vec::new();
+        for (block, s) in geo.all_stripes() {
+            let chunks = geo.stripe_chunks(block, s);
+            if chunks.iter().any(|a| self.disks[a.disk].is_none()) {
+                continue;
+            }
+            let mut acc = vec![0u8; cs];
+            for a in &chunks {
+                for (x, b) in acc.iter_mut().zip(self.chunk(*a).expect("healthy")) {
+                    *x ^= b;
+                }
+            }
+            if acc.iter().any(|&x| x != 0) {
+                bad_stripes.push(chunks);
+            }
+        }
+        let in_bad_stripe =
+            |a: &ChunkAddr, bad: &[Vec<ChunkAddr>]| bad.iter().any(|s| s.contains(a));
+        // Violated inner rows: locate the suspect within each.
+        let code = self.inner_code();
+        for grp in 0..geo.v {
+            for row in 0..geo.chunks_per_disk {
+                let chunks = geo.row_chunks(grp, row);
+                if chunks.iter().any(|a| self.disks[a.disk].is_none()) {
+                    continue;
+                }
+                let payload_addrs = geo.row_payload(grp, row);
+                let payload: Vec<Vec<u8>> = payload_addrs
+                    .iter()
+                    .map(|a| self.chunk(*a).expect("healthy").to_vec())
+                    .collect();
+                let expect = code.encode(&payload).expect("row encodes");
+                let parities = geo.inner_parities_of_row(grp, row);
+                let row_violated = parities
+                    .iter()
+                    .zip(&expect)
+                    .any(|(a, want)| self.chunk(*a).expect("healthy") != &want[..]);
+                if !row_violated {
+                    continue;
+                }
+                // Payload suspects sit in a violated outer stripe too.
+                let suspects: Vec<ChunkAddr> = payload_addrs
+                    .iter()
+                    .copied()
+                    .filter(|a| in_bad_stripe(a, &bad_stripes))
+                    .collect();
+                match suspects.as_slice() {
+                    [bad_payload] => {
+                        // Repair from the outer stripe (XOR of the others),
+                        // then refresh the row parities.
+                        let p = geo.payload_pos(*bad_payload);
+                        let mut val = vec![0u8; cs];
+                        for a in geo.stripe_chunks(p.block, p.stripe) {
+                            if a != *bad_payload {
+                                for (x, b) in
+                                    val.iter_mut().zip(self.chunk(a).expect("healthy"))
+                                {
+                                    *x ^= b;
+                                }
+                            }
+                        }
+                        let old = self.chunk(*bad_payload).expect("healthy").to_vec();
+                        let delta: Vec<u8> =
+                            old.iter().zip(&val).map(|(o, n)| o ^ n).collect();
+                        self.xor_into(*bad_payload, &delta).expect("healthy");
+                        repaired.push(*bad_payload);
+                        // Recompute the row parities from the repaired
+                        // payload (they may have been consistent with the
+                        // corrupted value or with the true one).
+                        let fresh: Vec<Vec<u8>> = geo
+                            .row_payload(grp, row)
+                            .iter()
+                            .map(|a| self.chunk(*a).expect("healthy").to_vec())
+                            .collect();
+                        let want = code.encode(&fresh).expect("row encodes");
+                        for (a, w) in parities.iter().zip(want) {
+                            let old = self.chunk(*a).expect("healthy").to_vec();
+                            if old != w {
+                                let delta: Vec<u8> =
+                                    old.iter().zip(&w).map(|(o, n)| o ^ n).collect();
+                                self.xor_into(*a, &delta).expect("healthy");
+                            }
+                        }
+                    }
+                    [] => {
+                        // No payload suspect: the inner parity itself is
+                        // corrupted — recompute it.
+                        for (a, w) in parities.iter().zip(&expect) {
+                            let old = self.chunk(*a).expect("healthy").to_vec();
+                            if old != w[..] {
+                                let delta: Vec<u8> =
+                                    old.iter().zip(w).map(|(o, n)| o ^ n).collect();
+                                self.xor_into(*a, &delta).expect("healthy");
+                                repaired.push(*a);
+                            }
+                        }
+                    }
+                    _ => {
+                        // Multiple suspects in one row: outside the scrub
+                        // contract; leave for check_parity to report.
+                    }
+                }
+            }
+        }
+        repaired
+    }
+
+    /// Value fixpoint: reconstructs every chunk of every failed disk.
+    fn reconstruct_missing(&self) -> Result<HashMap<ChunkAddr, Vec<u8>>, StoreError> {
+        let geo = self.array.geometry();
+        let cs = self.chunk_size;
+        let failed = self.failed_disks();
+        let mut known: HashMap<ChunkAddr, Vec<u8>> = HashMap::new();
+        let mut missing: usize = failed.len() * geo.chunks_per_disk;
+        let value = |known: &HashMap<ChunkAddr, Vec<u8>>, a: ChunkAddr| -> Option<Vec<u8>> {
+            self.chunk(a)
+                .map(|s| s.to_vec())
+                .or_else(|| known.get(&a).cloned())
+        };
+        let mut progressed = true;
+        while missing > 0 && progressed {
+            progressed = false;
+            let try_repair =
+                |chunks: &[ChunkAddr], known: &mut HashMap<ChunkAddr, Vec<u8>>| -> bool {
+                    let unknown: Vec<&ChunkAddr> = chunks
+                        .iter()
+                        .filter(|a| self.chunk(**a).is_none() && !known.contains_key(*a))
+                        .collect();
+                    if unknown.len() != 1 {
+                        return false;
+                    }
+                    let lost = *unknown[0];
+                    let mut acc = vec![0u8; cs];
+                    for a in chunks.iter().filter(|a| **a != lost) {
+                        let v = value(known, *a).expect("all other chunks known");
+                        for (x, b) in acc.iter_mut().zip(&v) {
+                            *x ^= b;
+                        }
+                    }
+                    known.insert(lost, acc);
+                    true
+                };
+            for (block, s) in geo.all_stripes() {
+                if try_repair(&geo.stripe_chunks(block, s), &mut known) {
+                    missing -= 1;
+                    progressed = true;
+                }
+            }
+            // Inner rows decode up to p_in erasures through the row code.
+            let code = self.inner_code();
+            for grp in 0..geo.v {
+                for row in 0..geo.chunks_per_disk {
+                    // Row units in code order: payload ascending, parities
+                    // by role.
+                    let ordered: Vec<ChunkAddr> = geo
+                        .row_payload(grp, row)
+                        .into_iter()
+                        .chain(geo.inner_parities_of_row(grp, row))
+                        .collect();
+                    let unknown: Vec<usize> = ordered
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, a)| self.chunk(**a).is_none() && !known.contains_key(*a))
+                        .map(|(i, _)| i)
+                        .collect();
+                    if unknown.is_empty() || unknown.len() > geo.p_in {
+                        continue;
+                    }
+                    let mut units: Vec<Option<Vec<u8>>> = ordered
+                        .iter()
+                        .map(|a| value(&known, *a))
+                        .collect();
+                    code.reconstruct(&mut units).expect("within tolerance");
+                    for i in unknown {
+                        known.insert(ordered[i], units[i].clone().expect("reconstructed"));
+                        missing -= 1;
+                    }
+                    progressed = true;
+                }
+            }
+        }
+        if missing == 0 {
+            Ok(known)
+        } else {
+            Err(StoreError::DataLoss)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled_store() -> (OiRaidStore, Vec<Vec<u8>>) {
+        let mut store = OiRaidStore::new(OiRaidConfig::reference(), 16).unwrap();
+        let mut expect = Vec::new();
+        for idx in 0..store.data_chunks() {
+            let chunk: Vec<u8> = (0..16).map(|j| (idx * 37 + j * 11 + 5) as u8).collect();
+            store.write_data(idx, &chunk).unwrap();
+            expect.push(chunk);
+        }
+        (store, expect)
+    }
+
+    #[test]
+    fn zero_initialised_store_is_parity_consistent() {
+        let store = OiRaidStore::new(OiRaidConfig::reference(), 8).unwrap();
+        assert!(store.check_parity().is_empty());
+    }
+
+    #[test]
+    fn writes_preserve_parity_in_both_layers() {
+        let (store, _) = filled_store();
+        assert!(store.check_parity().is_empty());
+    }
+
+    #[test]
+    fn read_back_all_data() {
+        let (store, expect) = filled_store();
+        for (idx, e) in expect.iter().enumerate() {
+            assert_eq!(store.read_data(idx).unwrap(), *e, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn overwrites_keep_parity() {
+        let (mut store, _) = filled_store();
+        store.write_data(10, &[0xEE; 16]).unwrap();
+        store.write_data(10, &[0x00; 16]).unwrap();
+        store.write_data(10, &[0x42; 16]).unwrap();
+        assert!(store.check_parity().is_empty());
+        assert_eq!(store.read_data(10).unwrap(), vec![0x42; 16]);
+    }
+
+    #[test]
+    fn degraded_read_single_failure() {
+        let (mut store, expect) = filled_store();
+        store.fail_disk(4).unwrap();
+        for (idx, e) in expect.iter().enumerate() {
+            assert_eq!(store.read_data(idx).unwrap(), *e, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn rebuild_after_triple_failure_restores_everything() {
+        let (mut store, expect) = filled_store();
+        for d in [2, 9, 17] {
+            store.fail_disk(d).unwrap();
+        }
+        for d in [2, 9, 17] {
+            store.rebuild_disk(d).unwrap();
+        }
+        assert!(store.failed_disks().is_empty());
+        assert!(store.check_parity().is_empty());
+        for (idx, e) in expect.iter().enumerate() {
+            assert_eq!(store.read_data(idx).unwrap(), *e, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn whole_group_rebuild() {
+        let (mut store, expect) = filled_store();
+        for d in [6, 7, 8] {
+            store.fail_disk(d).unwrap();
+        }
+        for d in [6, 7, 8] {
+            store.rebuild_disk(d).unwrap();
+        }
+        for (idx, e) in expect.iter().enumerate() {
+            assert_eq!(store.read_data(idx).unwrap(), *e, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn unrecoverable_pattern_reports_data_loss() {
+        let (mut store, _) = filled_store();
+        for d in [0, 1, 3, 4] {
+            store.fail_disk(d).unwrap();
+        }
+        assert_eq!(store.rebuild_disk(0), Err(StoreError::DataLoss));
+    }
+
+    #[test]
+    fn write_to_failed_disk_rejected() {
+        let (mut store, _) = filled_store();
+        let addr = store.locate(0);
+        store.fail_disk(addr.disk).unwrap();
+        assert!(matches!(
+            store.write_data(0, &[0u8; 16]),
+            Err(StoreError::DiskFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn byte_range_io_roundtrips_across_chunk_boundaries() {
+        let (mut store, _) = filled_store();
+        // An unaligned range spanning three chunks.
+        let payload: Vec<u8> = (0..40).map(|i| (i * 7 + 1) as u8).collect();
+        store.write_bytes(10, &payload).unwrap();
+        let mut back = vec![0u8; 40];
+        store.read_bytes(10, &mut back).unwrap();
+        assert_eq!(back, payload);
+        assert!(store.check_parity().is_empty());
+        // Neighbouring bytes are untouched by the read-modify-write.
+        let mut head = vec![0u8; 10];
+        store.read_bytes(0, &mut head).unwrap();
+        let expect_head: Vec<u8> = (0..10).map(|j| (0 * 37 + j * 11 + 5) as u8).collect();
+        assert_eq!(head, expect_head);
+    }
+
+    #[test]
+    fn byte_range_io_survives_failures() {
+        let (mut store, _) = filled_store();
+        let payload = vec![0xABu8; 64];
+        store.write_bytes(100, &payload).unwrap();
+        for d in [1, 8, 15] {
+            store.fail_disk(d).unwrap();
+        }
+        let mut back = vec![0u8; 64];
+        store.read_bytes(100, &mut back).unwrap();
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn byte_range_bounds_checked() {
+        let (mut store, _) = filled_store();
+        let cap = store.capacity_bytes();
+        let mut buf = [0u8; 4];
+        assert!(store.read_bytes(cap - 2, &mut buf).is_err());
+        assert!(store.write_bytes(cap - 2, &[0u8; 4]).is_err());
+        assert!(store.read_bytes(cap - 4, &mut buf).is_ok());
+    }
+
+    #[test]
+    fn scrub_repairs_corrupted_data_chunk() {
+        let (mut store, expect) = filled_store();
+        let addr = store.locate(20);
+        store.corrupt_chunk(addr, 0x5A).unwrap();
+        assert!(!store.check_parity().is_empty(), "corruption is visible");
+        let repaired = store.scrub();
+        assert!(repaired.contains(&addr), "{repaired:?}");
+        assert!(store.check_parity().is_empty());
+        assert_eq!(store.read_data(20).unwrap(), expect[20]);
+    }
+
+    #[test]
+    fn scrub_repairs_corrupted_inner_parity() {
+        let (mut store, _) = filled_store();
+        // Disk 0 offset 0 is inner parity (member 0, row 0).
+        let addr = ChunkAddr::new(0, 0);
+        store.corrupt_chunk(addr, 0xFF).unwrap();
+        let repaired = store.scrub();
+        assert_eq!(repaired, vec![addr]);
+        assert!(store.check_parity().is_empty());
+    }
+
+    #[test]
+    fn scrub_repairs_corrupted_outer_parity() {
+        let (mut store, _) = filled_store();
+        // Find an outer-parity chunk.
+        let geo_total = store.array().chunks_per_disk();
+        let mut target = None;
+        'outer: for d in 0..store.array().disks() {
+            for o in 0..geo_total {
+                let a = ChunkAddr::new(d, o);
+                if store.array().chunk_role(a) == layout::Role::Parity {
+                    target = Some(a);
+                    break 'outer;
+                }
+            }
+        }
+        let addr = target.expect("outer parity exists");
+        store.corrupt_chunk(addr, 0x0F).unwrap();
+        let repaired = store.scrub();
+        assert!(repaired.contains(&addr), "{repaired:?}");
+        assert!(store.check_parity().is_empty());
+    }
+
+    #[test]
+    fn scrub_handles_multiple_scattered_corruptions() {
+        let (mut store, expect) = filled_store();
+        // Corrupt chunks in different rows and stripes (distinct groups).
+        let a1 = store.locate(5);
+        let a2 = store.locate(40);
+        let (g1, g2) = (store.array().group_of(a1.disk), store.array().group_of(a2.disk));
+        if g1 == g2 {
+            return; // geometry places these apart for the reference config
+        }
+        store.corrupt_chunk(a1, 0x11).unwrap();
+        store.corrupt_chunk(a2, 0x22).unwrap();
+        store.scrub();
+        assert!(store.check_parity().is_empty());
+        assert_eq!(store.read_data(5).unwrap(), expect[5]);
+        assert_eq!(store.read_data(40).unwrap(), expect[40]);
+    }
+
+    #[test]
+    fn scrub_on_clean_store_is_a_no_op() {
+        let (mut store, _) = filled_store();
+        assert!(store.scrub().is_empty());
+    }
+
+    #[test]
+    fn dual_parity_store_survives_five_failures() {
+        let cfg = OiRaidConfig::new(bibd::fano(), 5, 1)
+            .unwrap()
+            .with_inner_parities(2)
+            .unwrap();
+        let mut store = OiRaidStore::new(cfg, 16).unwrap();
+        let mut expect = Vec::new();
+        for idx in 0..store.data_chunks() {
+            let chunk: Vec<u8> = (0..16).map(|j| (idx * 61 + j * 19 + 7) as u8).collect();
+            store.write_data(idx, &chunk).unwrap();
+            expect.push(chunk);
+        }
+        assert!(store.check_parity().is_empty(), "dual-parity rows consistent");
+        // Kill five disks (a whole group) and rebuild.
+        for d in [5, 6, 7, 8, 9] {
+            store.fail_disk(d).unwrap();
+        }
+        for d in [5, 6, 7, 8, 9] {
+            store.rebuild_disk(d).unwrap();
+        }
+        assert!(store.check_parity().is_empty());
+        for (idx, e) in expect.iter().enumerate() {
+            assert_eq!(&store.read_data(idx).unwrap(), e, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn dual_parity_update_set_is_six_writes() {
+        let cfg = OiRaidConfig::new(bibd::fano(), 5, 1)
+            .unwrap()
+            .with_inner_parities(2)
+            .unwrap();
+        let store = OiRaidStore::new(cfg, 8).unwrap();
+        let a = store.array();
+        for idx in (0..a.data_chunks()).step_by(11) {
+            let set = a.update_set(a.locate_data(idx));
+            assert_eq!(set.len(), 6, "1 data + 5 parity writes");
+            let disks: std::collections::HashSet<usize> =
+                set.iter().map(|c| c.disk).collect();
+            assert_eq!(disks.len(), 6, "all on distinct disks");
+        }
+    }
+
+    #[test]
+    fn input_validation() {
+        let (mut store, _) = filled_store();
+        assert!(matches!(
+            store.write_data(0, &[0u8; 3]),
+            Err(StoreError::WrongChunkSize { found: 3, .. })
+        ));
+        let cap = store.data_chunks();
+        assert!(matches!(
+            store.write_data(cap, &[0u8; 16]),
+            Err(StoreError::IndexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            store.read_data(cap),
+            Err(StoreError::IndexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            store.fail_disk(99),
+            Err(StoreError::DiskOutOfRange { disk: 99 })
+        ));
+        assert!(OiRaidStore::new(OiRaidConfig::reference(), 0).is_err());
+    }
+}

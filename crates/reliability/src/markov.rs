@@ -1,0 +1,345 @@
+//! Continuous-time Markov MTTDL model (experiment E7).
+//!
+//! States count concurrently failed disks; the chain moves up at the
+//! aggregate failure rate, down at the repair rate, and branches to the
+//! absorbing *data loss* state when a new failure creates an unsurvivable
+//! pattern. The branch weights come from the measured pattern-survival
+//! profile (see [`crate::patterns::survival_profile`]), which is the
+//! standard way to map layout combinatorics onto a tractable chain.
+
+/// A continuous-time Markov chain over states `0..n_states` with one
+/// implicit absorbing state (data loss). Build with [`MttdlModel::new`] and
+/// chained [`MttdlModel::transition`] calls; solved exactly by linear
+/// elimination.
+#[derive(Debug, Clone)]
+pub struct MttdlModel {
+    n_states: usize,
+    /// `rates[i]` = list of `(target, rate)`; target `usize::MAX` = loss.
+    rates: Vec<Vec<(usize, f64)>>,
+}
+
+/// Marker target for the absorbing data-loss state.
+pub const LOSS: usize = usize::MAX;
+
+impl MttdlModel {
+    /// Creates an empty chain with `n_states` transient states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_states == 0`.
+    pub fn new(n_states: usize) -> Self {
+        assert!(n_states > 0, "need at least one state");
+        Self {
+            n_states,
+            rates: vec![Vec::new(); n_states],
+        }
+    }
+
+    /// Adds a transition `from → to` (use [`LOSS`] for the absorbing state)
+    /// at `rate` per hour.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range states or non-positive/non-finite rates.
+    pub fn transition(&mut self, from: usize, to: usize, rate: f64) -> &mut Self {
+        assert!(from < self.n_states, "from out of range");
+        assert!(to < self.n_states || to == LOSS, "to out of range");
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        self.rates[from].push((to, rate));
+        self
+    }
+
+    /// Mean time (hours) from state 0 to the loss state, solved from the
+    /// first-step equations `τ_i = 1/R_i + Σ_j p_ij τ_j` by Gaussian
+    /// elimination. Returns `f64::INFINITY` if loss is unreachable.
+    pub fn mttdl_hours(&self) -> f64 {
+        let n = self.n_states;
+        // Unreachable loss => infinite MTTDL.
+        if !self.loss_reachable() {
+            return f64::INFINITY;
+        }
+        // Build A τ = b where A = diag(R) - rate matrix, b = 1 per state...
+        // more precisely: R_i τ_i - Σ_{j transient} r_ij τ_j = 1.
+        let mut a = vec![vec![0.0f64; n]; n];
+        let mut b = vec![1.0f64; n];
+        for i in 0..n {
+            let total: f64 = self.rates[i].iter().map(|(_, r)| r).sum();
+            if total == 0.0 {
+                // Absorbing non-loss state: data never lost from here.
+                a[i][i] = 1.0;
+                b[i] = f64::INFINITY;
+                continue;
+            }
+            a[i][i] = total;
+            for &(j, r) in &self.rates[i] {
+                if j != LOSS {
+                    a[i][j] -= r;
+                }
+            }
+        }
+        // Gaussian elimination with partial pivoting.
+        let mut m = a;
+        for col in 0..n {
+            let pivot = (col..n)
+                .max_by(|&x, &y| m[x][col].abs().partial_cmp(&m[y][col].abs()).unwrap())
+                .unwrap();
+            if m[pivot][col].abs() < 1e-300 {
+                return f64::INFINITY;
+            }
+            m.swap(col, pivot);
+            b.swap(col, pivot);
+            let d = m[col][col];
+            for j in col..n {
+                m[col][j] /= d;
+            }
+            b[col] /= d;
+            for row in 0..n {
+                if row != col && m[row][col] != 0.0 {
+                    let f = m[row][col];
+                    for j in col..n {
+                        m[row][j] -= f * m[col][j];
+                    }
+                    b[row] -= f * b[col];
+                }
+            }
+        }
+        b[0]
+    }
+
+    fn loss_reachable(&self) -> bool {
+        let mut seen = vec![false; self.n_states];
+        let mut stack = vec![0usize];
+        while let Some(i) = stack.pop() {
+            if seen[i] {
+                continue;
+            }
+            seen[i] = true;
+            for &(j, _) in &self.rates[i] {
+                if j == LOSS {
+                    return true;
+                }
+                stack.push(j);
+            }
+        }
+        false
+    }
+}
+
+/// MTTDL of a birth–death chain with killing, solved by the forward sweep
+/// `τ_f = α_f + β_f·τ_{f+1}` in all-positive arithmetic — numerically stable
+/// even when the MTTDL exceeds 1e20 hours (where dense elimination suffers
+/// catastrophic cancellation).
+///
+/// State `f` has up-rate `up[f]` (to `f+1`), loss-rate `loss[f]` (to the
+/// absorbing state) and down-rate `down[f]` (to `f-1`). `up[m]` of the last
+/// state must be 0.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, are empty, `down[0] != 0`, the
+/// last `up` is nonzero, or any rate is negative/non-finite.
+pub fn birth_death_mttdl(up: &[f64], loss: &[f64], down: &[f64]) -> f64 {
+    let m = up.len();
+    assert!(m > 0 && loss.len() == m && down.len() == m, "length mismatch");
+    assert_eq!(down[0], 0.0, "state 0 has no down transition");
+    assert_eq!(up[m - 1], 0.0, "last state has no up transition");
+    for &r in up.iter().chain(loss).chain(down) {
+        assert!(r.is_finite() && r >= 0.0, "rates must be non-negative");
+    }
+    if loss.iter().all(|&l| l == 0.0) {
+        return f64::INFINITY;
+    }
+    // Forward sweep: τ_f = α_f + β_f τ_{f+1}; track γ_f = 1 − β_f directly
+    // so no subtraction of near-equal quantities ever occurs.
+    let mut alpha = vec![0.0f64; m];
+    let mut gamma = vec![0.0f64; m]; // 1 - beta
+    let mut beta = vec![0.0f64; m];
+    {
+        let d = up[0] + loss[0];
+        assert!(d > 0.0, "state 0 must have an exit");
+        alpha[0] = 1.0 / d;
+        beta[0] = up[0] / d;
+        gamma[0] = loss[0] / d;
+    }
+    for f in 1..m {
+        let d = up[f] + loss[f] + down[f] * gamma[f - 1];
+        assert!(d > 0.0, "state {f} must reach absorption");
+        alpha[f] = (1.0 + down[f] * alpha[f - 1]) / d;
+        beta[f] = up[f] / d;
+        gamma[f] = (loss[f] + down[f] * gamma[f - 1]) / d;
+    }
+    // Back substitution (last state: beta[m-1] == 0 since up is 0).
+    let mut tau = alpha[m - 1];
+    for f in (0..m - 1).rev() {
+        tau = alpha[f] + beta[f] * tau;
+    }
+    tau
+}
+
+/// Builds the standard array model: `n` disks with per-disk failure rate
+/// `1/mttf_hours`, parallel repairs at `1/repair_hours` per failed disk, and
+/// loss branching governed by the survival profile `q` (`q[f]` = probability
+/// a random `f`-failure pattern is survivable; `q.len() - 1` is the highest
+/// tracked failure count — the next failure from that state always loses
+/// data, a conservative cap).
+///
+/// State `f` = `f` disks down. Transition up from `f`:
+/// rate `(n−f)/mttf`, split into survivable (`q_cond`) and loss
+/// (`1 − q_cond`) where `q_cond = q[f+1]/q[f]`.
+///
+/// # Panics
+///
+/// Panics if `q` is empty, `q[0] != 1.0`, or parameters are non-positive.
+pub fn array_mttdl(n: usize, mttf_hours: f64, repair_hours: f64, q: &[f64]) -> f64 {
+    assert!(!q.is_empty() && q[0] == 1.0, "q[0] must be 1.0");
+    assert!(mttf_hours > 0.0 && repair_hours > 0.0);
+    let max_f = q.len() - 1;
+    let lambda = 1.0 / mttf_hours;
+    let mu = 1.0 / repair_hours;
+    let m = max_f + 1;
+    let mut up = vec![0.0f64; m];
+    let mut loss = vec![0.0f64; m];
+    let mut down = vec![0.0f64; m];
+    for f in 0..=max_f {
+        let up_rate = (n - f) as f64 * lambda;
+        if f < max_f && q[f] > 0.0 {
+            let q_cond = (q[f + 1] / q[f]).min(1.0);
+            up[f] = up_rate * q_cond;
+            loss[f] = up_rate * (1.0 - q_cond);
+        } else {
+            // Beyond the tracked horizon: next failure is fatal.
+            loss[f] = up_rate;
+        }
+        if f > 0 {
+            down[f] = f as f64 * mu;
+        }
+    }
+    birth_death_mttdl(&up, &loss, &down)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_disk_mttdl_is_mttf() {
+        // One disk, tolerance 0: MTTDL = MTTF.
+        let m = array_mttdl(1, 100_000.0, 10.0, &[1.0]);
+        assert!((m - 100_000.0).abs() / 100_000.0 < 1e-9);
+    }
+
+    #[test]
+    fn raid5_matches_closed_form() {
+        // Classic approximation: MTTDL ≈ MTTF² / (n(n−1)·MTTR) for n-disk
+        // RAID5 when MTTR << MTTF.
+        let n = 8;
+        let mttf = 1.0e6;
+        let mttr = 24.0;
+        let q = vec![1.0, 1.0]; // survive 1, die on 2nd
+        let exact = array_mttdl(n, mttf, mttr, &q);
+        let approx = mttf * mttf / ((n * (n - 1)) as f64 * mttr);
+        assert!(
+            (exact - approx).abs() / approx < 0.01,
+            "exact {exact} vs approx {approx}"
+        );
+    }
+
+    #[test]
+    fn higher_tolerance_improves_mttdl() {
+        let q1 = vec![1.0, 1.0];
+        let q2 = vec![1.0, 1.0, 1.0];
+        let q3 = vec![1.0, 1.0, 1.0, 1.0];
+        let m1 = array_mttdl(21, 1.0e6, 24.0, &q1);
+        let m2 = array_mttdl(21, 1.0e6, 24.0, &q2);
+        let m3 = array_mttdl(21, 1.0e6, 24.0, &q3);
+        assert!(m1 < m2 && m2 < m3, "{m1} {m2} {m3}");
+    }
+
+    #[test]
+    fn faster_repair_improves_mttdl() {
+        let q = vec![1.0, 1.0, 1.0, 1.0];
+        let slow = array_mttdl(21, 1.0e6, 48.0, &q);
+        let fast = array_mttdl(21, 1.0e6, 6.0, &q);
+        // Three-failure tolerance: repair speed enters cubically.
+        assert!(fast / slow > 100.0, "fast {fast} vs slow {slow}");
+    }
+
+    #[test]
+    fn partial_survival_interpolates() {
+        let full = array_mttdl(12, 1.0e6, 24.0, &[1.0, 1.0, 1.0]);
+        let none = array_mttdl(12, 1.0e6, 24.0, &[1.0, 1.0, 0.0]);
+        let half = array_mttdl(12, 1.0e6, 24.0, &[1.0, 1.0, 0.5]);
+        assert!(none < half && half < full);
+    }
+
+    #[test]
+    fn birth_death_agrees_with_dense_solver() {
+        // At moderate magnitudes both solvers must agree tightly.
+        let q = vec![1.0, 1.0, 0.9, 0.5];
+        let n = 21;
+        let (mttf, repair) = (8_000.0, 200.0);
+        let stable = array_mttdl(n, mttf, repair, &q);
+        // Dense chain equivalent.
+        let lambda = 1.0 / mttf;
+        let mu = 1.0 / repair;
+        let mut chain = MttdlModel::new(4);
+        for f in 0..4usize {
+            let up_rate = (n - f) as f64 * lambda;
+            if f < 3 {
+                let q_cond: f64 = (q[f + 1] / q[f]).min(1.0);
+                if q_cond > 0.0 {
+                    chain.transition(f, f + 1, up_rate * q_cond);
+                }
+                if q_cond < 1.0 {
+                    chain.transition(f, LOSS, up_rate * (1.0 - q_cond));
+                }
+            } else {
+                chain.transition(f, LOSS, up_rate);
+            }
+            if f > 0 {
+                chain.transition(f, f - 1, f as f64 * mu);
+            }
+        }
+        let dense = chain.mttdl_hours();
+        assert!(
+            ((stable - dense) / dense).abs() < 1e-9,
+            "stable {stable} vs dense {dense}"
+        );
+    }
+
+    #[test]
+    fn stable_solver_handles_extreme_mttdl() {
+        // The regime that broke dense elimination: MTTDL beyond 1e20 hours
+        // must come out positive and monotone in MTTF.
+        let q = vec![1.0, 1.0, 1.0, 1.0, 0.97, 0.85];
+        let mut prev = 0.0;
+        for mttf in [100_000.0, 300_000.0, 600_000.0, 1_000_000.0, 1_500_000.0] {
+            let m = array_mttdl(21, mttf, 1.0, &q);
+            assert!(m.is_finite() && m > 0.0, "mttf {mttf}: {m}");
+            assert!(m > prev, "monotone in MTTF: {m} after {prev}");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn birth_death_validates_input() {
+        use std::panic::catch_unwind;
+        assert!(catch_unwind(|| birth_death_mttdl(&[1.0], &[1.0], &[0.0])).is_err()); // up[m-1] != 0
+        assert!(catch_unwind(|| birth_death_mttdl(&[0.0], &[1.0], &[1.0])).is_err()); // down[0] != 0
+        assert_eq!(birth_death_mttdl(&[0.0], &[0.0], &[0.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn unreachable_loss_is_infinite() {
+        let mut chain = MttdlModel::new(2);
+        chain.transition(0, 1, 0.1);
+        chain.transition(1, 0, 1.0);
+        assert_eq!(chain.mttdl_hours(), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn invalid_rate_rejected() {
+        MttdlModel::new(2).transition(0, 1, 0.0);
+    }
+}

@@ -1,0 +1,321 @@
+//! Monte-Carlo lifetime simulation: exponential disk lifetimes, finite
+//! repairs, survivability checked against the real layout on every failure.
+//! Cross-checks the Markov model (which assumes pattern-averaged loss
+//! probabilities) with exact per-pattern decisions.
+
+use layout::Layout;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Disk lifetime distribution.
+///
+/// Field studies (Schroeder & Gibson, FAST 2007) show disk lifetimes are
+/// poorly fit by the memoryless exponential: infant mortality and wear-out
+/// make a Weibull with shape < 1 or > 1 more realistic. Both are provided;
+/// the exponential is the Markov-comparable default.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Lifetime {
+    /// Memoryless exponential (matches the Markov chain's assumptions).
+    Exponential,
+    /// Weibull with the given shape `k` (scale is derived from the MTTF:
+    /// `λ = MTTF / Γ(1 + 1/k)`). `k < 1` models infant mortality, `k > 1`
+    /// wear-out; `k = 1` degenerates to the exponential.
+    Weibull {
+        /// Shape parameter `k > 0`.
+        shape: f64,
+    },
+}
+
+/// Parameters of a lifetime simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct LifetimeConfig {
+    /// Mean time to failure of one disk, hours.
+    pub mttf_hours: f64,
+    /// Time to rebuild one failed disk, hours (repairs run in parallel).
+    pub repair_hours: f64,
+    /// Mission length per trial, hours.
+    pub mission_hours: f64,
+    /// Number of independent trials.
+    pub trials: u32,
+    /// RNG seed.
+    pub seed: u64,
+    /// Lifetime distribution.
+    pub lifetime: Lifetime,
+}
+
+/// Result of a lifetime simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LifetimeResult {
+    /// Trials that lost data within the mission.
+    pub losses: u32,
+    /// Total trials.
+    pub trials: u32,
+    /// Estimated probability of data loss within the mission.
+    pub loss_probability: f64,
+    /// MTTDL estimate in hours: total simulated uptime / losses
+    /// (`f64::INFINITY` when no trial lost data).
+    pub mttdl_estimate_hours: f64,
+}
+
+/// Runs the lifetime simulation for `layout`.
+///
+/// Each trial draws exponential lifetimes per disk; when a disk fails it is
+/// repaired `repair_hours` later (all repairs in parallel) unless the
+/// failure pattern at that instant is unsurvivable, which ends the trial as
+/// a loss. Failed-then-repaired disks fail again later (fresh exponential).
+///
+/// # Panics
+///
+/// Panics if any parameter is non-positive.
+pub fn simulate_lifetime(layout: &dyn Layout, cfg: &LifetimeConfig) -> LifetimeResult {
+    assert!(cfg.mttf_hours > 0.0 && cfg.repair_hours > 0.0 && cfg.mission_hours > 0.0);
+    assert!(cfg.trials > 0);
+    let n = layout.disks();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut losses = 0u32;
+    let mut uptime_total = 0.0f64;
+    for _ in 0..cfg.trials {
+        let (lost, uptime) = run_trial(layout, cfg, n, &mut rng);
+        uptime_total += uptime;
+        if lost {
+            losses += 1;
+        }
+    }
+    LifetimeResult {
+        losses,
+        trials: cfg.trials,
+        loss_probability: losses as f64 / cfg.trials as f64,
+        mttdl_estimate_hours: if losses == 0 {
+            f64::INFINITY
+        } else {
+            uptime_total / losses as f64
+        },
+    }
+}
+
+fn exp_sample(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln() * mean
+}
+
+/// Γ(1 + x) for the Weibull scale, via upward recursion to `z ≥ 8`
+/// followed by a two-term Stirling series — accurate to ~1e-6 over the
+/// shapes used here, far below the Monte-Carlo noise floor.
+fn gamma_1p(x: f64) -> f64 {
+    // Γ(1+x) = Γ(z) / ((1+x)(2+x)…(z−1+x)) after lifting z above 8.
+    let mut z = 1.0 + x;
+    let mut acc = 1.0;
+    while z < 8.0 {
+        acc /= z;
+        z += 1.0;
+    }
+    let stirling = (2.0 * std::f64::consts::PI / z).sqrt()
+        * (z / std::f64::consts::E).powf(z)
+        * (1.0 + 1.0 / (12.0 * z) + 1.0 / (288.0 * z * z));
+    acc * stirling
+}
+
+fn lifetime_sample(rng: &mut StdRng, mttf: f64, lifetime: Lifetime) -> f64 {
+    match lifetime {
+        Lifetime::Exponential => exp_sample(rng, mttf),
+        Lifetime::Weibull { shape } => {
+            assert!(shape > 0.0, "Weibull shape must be positive");
+            // Scale so the mean equals the MTTF: λ = MTTF / Γ(1 + 1/k).
+            let scale = mttf / gamma_1p(1.0 / shape);
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            scale * (-u.ln()).powf(1.0 / shape)
+        }
+    }
+}
+
+fn run_trial(
+    layout: &dyn Layout,
+    cfg: &LifetimeConfig,
+    n: usize,
+    rng: &mut StdRng,
+) -> (bool, f64) {
+    // next_fail[d]: time the (currently healthy) disk d fails;
+    // repair_done[d]: Some(t) while d is down.
+    let mut next_fail: Vec<f64> = (0..n)
+        .map(|_| lifetime_sample(rng, cfg.mttf_hours, cfg.lifetime))
+        .collect();
+    let mut repair_done: Vec<Option<f64>> = vec![None; n];
+    loop {
+        // Next event: earliest failure among healthy disks or repair
+        // completion among failed ones.
+        let mut t_next = f64::INFINITY;
+        let mut which = 0usize;
+        let mut is_repair = false;
+        for d in 0..n {
+            match repair_done[d] {
+                None => {
+                    if next_fail[d] < t_next {
+                        t_next = next_fail[d];
+                        which = d;
+                        is_repair = false;
+                    }
+                }
+                Some(t) => {
+                    if t < t_next {
+                        t_next = t;
+                        which = d;
+                        is_repair = true;
+                    }
+                }
+            }
+        }
+        if t_next > cfg.mission_hours {
+            return (false, cfg.mission_hours);
+        }
+        let now = t_next;
+        if is_repair {
+            repair_done[which] = None;
+            next_fail[which] = now + lifetime_sample(rng, cfg.mttf_hours, cfg.lifetime);
+        } else {
+            repair_done[which] = Some(now + cfg.repair_hours);
+            let failed: Vec<usize> = (0..n).filter(|&d| repair_done[d].is_some()).collect();
+            if !layout.survives(&failed) {
+                return (true, now);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use layout::{FlatRaid5, FlatRaid6};
+    use oi_raid::{OiRaid, OiRaidConfig};
+
+    fn cfg(trials: u32, seed: u64) -> LifetimeConfig {
+        LifetimeConfig {
+            mttf_hours: 10_000.0, // deliberately unreliable disks
+            repair_hours: 100.0,
+            mission_hours: 50_000.0,
+            trials,
+            seed,
+            lifetime: Lifetime::Exponential,
+        }
+    }
+
+    #[test]
+    fn raid5_loses_more_than_raid6() {
+        let r5 = FlatRaid5::new(8, 2).unwrap();
+        let r6 = FlatRaid6::new(8, 2).unwrap();
+        let c = cfg(400, 11);
+        let l5 = simulate_lifetime(&r5, &c);
+        let l6 = simulate_lifetime(&r6, &c);
+        assert!(
+            l5.loss_probability > l6.loss_probability,
+            "raid5 {} vs raid6 {}",
+            l5.loss_probability,
+            l6.loss_probability
+        );
+    }
+
+    #[test]
+    fn oi_raid_outlives_raid5_at_same_scale() {
+        let a = OiRaid::new(OiRaidConfig::reference()).unwrap();
+        let r5 = FlatRaid5::new(21, 2).unwrap();
+        let c = cfg(150, 5);
+        let lo = simulate_lifetime(&a, &c);
+        let l5 = simulate_lifetime(&r5, &c);
+        assert!(
+            lo.loss_probability < l5.loss_probability,
+            "oi {} vs raid5 {}",
+            lo.loss_probability,
+            l5.loss_probability
+        );
+    }
+
+    #[test]
+    fn reproducible_with_same_seed() {
+        let r5 = FlatRaid5::new(6, 2).unwrap();
+        let c = cfg(100, 3);
+        assert_eq!(simulate_lifetime(&r5, &c), simulate_lifetime(&r5, &c));
+    }
+
+    #[test]
+    fn result_fields_consistent() {
+        let r5 = FlatRaid5::new(6, 2).unwrap();
+        let res = simulate_lifetime(&r5, &cfg(200, 1));
+        assert_eq!(res.trials, 200);
+        assert!((res.loss_probability - res.losses as f64 / 200.0).abs() < 1e-12);
+        if res.losses == 0 {
+            assert_eq!(res.mttdl_estimate_hours, f64::INFINITY);
+        } else {
+            assert!(res.mttdl_estimate_hours > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_config_rejected() {
+        let r5 = FlatRaid5::new(6, 2).unwrap();
+        simulate_lifetime(
+            &r5,
+            &LifetimeConfig {
+                mttf_hours: 0.0,
+                repair_hours: 1.0,
+                mission_hours: 1.0,
+                trials: 1,
+                seed: 0,
+                lifetime: Lifetime::Exponential,
+            },
+        );
+    }
+
+    #[test]
+    fn weibull_mean_matches_mttf() {
+        // Sanity on the scale derivation: sample means for several shapes
+        // must land near the requested MTTF.
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(42);
+        for shape in [0.7f64, 1.0, 1.5, 3.0] {
+            let mttf = 1000.0;
+            let n = 40_000;
+            let mean: f64 = (0..n)
+                .map(|_| lifetime_sample(&mut rng, mttf, Lifetime::Weibull { shape }))
+                .sum::<f64>()
+                / n as f64;
+            assert!(
+                (mean - mttf).abs() / mttf < 0.05,
+                "shape {shape}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn weibull_shape_one_matches_exponential_statistics() {
+        let r5 = FlatRaid5::new(8, 2).unwrap();
+        let mut c = cfg(300, 17);
+        let exp = simulate_lifetime(&r5, &c);
+        c.lifetime = Lifetime::Weibull { shape: 1.0 };
+        let wei = simulate_lifetime(&r5, &c);
+        // Same distribution family: loss probabilities within noise.
+        assert!(
+            (exp.loss_probability - wei.loss_probability).abs() < 0.15,
+            "{} vs {}",
+            exp.loss_probability,
+            wei.loss_probability
+        );
+    }
+
+    #[test]
+    fn infant_mortality_hurts_reliability() {
+        // Shape < 1 concentrates failures early and together (high hazard
+        // at t=0 for every disk simultaneously): more correlated double
+        // failures than the memoryless case.
+        let r5 = FlatRaid5::new(12, 2).unwrap();
+        let mut c = cfg(400, 23);
+        let exp = simulate_lifetime(&r5, &c);
+        c.lifetime = Lifetime::Weibull { shape: 0.5 };
+        let infant = simulate_lifetime(&r5, &c);
+        assert!(
+            infant.loss_probability >= exp.loss_probability,
+            "infant {} < exp {}",
+            infant.loss_probability,
+            exp.loss_probability
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Failure-pattern survival analysis (experiment E5).
+
+use layout::Layout;
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::SeedableRng;
+
+/// Number of `f`-subsets of `n` elements, saturating at `u64::MAX`.
+pub fn binomial(n: usize, f: usize) -> u64 {
+    if f > n {
+        return 0;
+    }
+    let f = f.min(n - f);
+    let mut acc: u128 = 1;
+    for i in 0..f {
+        acc = acc * (n - i) as u128 / (i + 1) as u128;
+        if acc > u64::MAX as u128 {
+            return u64::MAX;
+        }
+    }
+    acc as u64
+}
+
+/// Fraction of `f`-disk failure patterns the layout survives.
+///
+/// Exhaustive when `C(n, f) <= budget`, otherwise Monte Carlo with `budget`
+/// samples drawn with the given `seed`. Returns 1.0 for `f = 0`.
+pub fn survivable_fraction(layout: &dyn Layout, f: usize, budget: u64, seed: u64) -> f64 {
+    let n = layout.disks();
+    if f == 0 {
+        return 1.0;
+    }
+    if f > n {
+        return 0.0;
+    }
+    let total = binomial(n, f);
+    if total <= budget {
+        let mut ok = 0u64;
+        let mut pattern = Vec::with_capacity(f);
+        count_survivors(layout, n, f, 0, &mut pattern, &mut ok);
+        ok as f64 / total as f64
+    } else {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ok = 0u64;
+        for _ in 0..budget {
+            let pattern: Vec<usize> = sample(&mut rng, n, f).into_vec();
+            if layout.survives(&pattern) {
+                ok += 1;
+            }
+        }
+        ok as f64 / budget as f64
+    }
+}
+
+fn count_survivors(
+    layout: &dyn Layout,
+    n: usize,
+    f: usize,
+    start: usize,
+    pattern: &mut Vec<usize>,
+    ok: &mut u64,
+) {
+    if pattern.len() == f {
+        if layout.survives(pattern) {
+            *ok += 1;
+        }
+        return;
+    }
+    let needed = f - pattern.len();
+    for d in start..=n - needed {
+        pattern.push(d);
+        count_survivors(layout, n, f, d + 1, pattern, ok);
+        pattern.pop();
+    }
+}
+
+/// The conditional survival probabilities `q[f] = P(random f-pattern
+/// survivable)` for `f = 0..=max_f` — the inputs to the Markov loss
+/// branches.
+pub fn survival_profile(layout: &dyn Layout, max_f: usize, budget: u64, seed: u64) -> Vec<f64> {
+    (0..=max_f)
+        .map(|f| survivable_fraction(layout, f, budget, seed.wrapping_add(f as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use layout::{FlatRaid5, FlatRaid6, Raid50};
+    use oi_raid::{OiRaid, OiRaidConfig};
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(21, 3), 1330);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 6), 0);
+        assert_eq!(binomial(60, 30) > 1_000_000_000, true);
+    }
+
+    #[test]
+    fn raid5_profile_is_step_function() {
+        let l = FlatRaid5::new(8, 4).unwrap();
+        let q = survival_profile(&l, 3, 10_000, 1);
+        assert_eq!(q, vec![1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn raid6_survives_two() {
+        let l = FlatRaid6::new(8, 4).unwrap();
+        let q = survival_profile(&l, 3, 10_000, 1);
+        assert_eq!(q, vec![1.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn raid50_partial_survival_of_two_failures() {
+        // 3 groups x 4 disks: a 2-pattern survives iff the disks are in
+        // different groups: 1 - 3·C(4,2)/C(12,2) = 1 - 18/66.
+        let l = Raid50::new(3, 4, 4).unwrap();
+        let q2 = survivable_fraction(&l, 2, 10_000, 1);
+        assert!((q2 - (1.0 - 18.0 / 66.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oi_raid_survives_all_triples_and_some_quads() {
+        let a = OiRaid::new(OiRaidConfig::reference()).unwrap();
+        assert_eq!(survivable_fraction(&a, 3, 2_000, 7), 1.0);
+        let q4 = survivable_fraction(&a, 4, 500, 7); // Monte Carlo
+        assert!(q4 > 0.5 && q4 < 1.0, "q4 = {q4}");
+    }
+
+    #[test]
+    fn monte_carlo_is_reproducible() {
+        let a = OiRaid::new(OiRaidConfig::reference()).unwrap();
+        let x = survivable_fraction(&a, 5, 300, 9);
+        let y = survivable_fraction(&a, 5, 300, 9);
+        assert_eq!(x, y);
+    }
+}

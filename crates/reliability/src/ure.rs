@@ -1,0 +1,245 @@
+//! Unrecoverable-read-error (URE / latent sector error) modeling.
+//!
+//! The classic failure mode of single-parity arrays is not a second whole
+//! disk but a single unreadable sector met *during* the rebuild, when the
+//! code has no slack left. A scheme with fault tolerance `t` rebuilding
+//! from `f` failures has `t − f` spare erasures; with zero slack, any URE
+//! among the rebuild reads loses data.
+//!
+//! This module quantifies that: per-rebuild URE probabilities from the
+//! bit-error rate and the *actual* number of bytes each layout's recovery
+//! plan reads, folded into the Markov chain by splitting the repair
+//! transition (`μ → μ·(1−u)` down, `μ·u` to loss).
+
+use layout::{Layout, SparePolicy};
+
+use crate::markov::birth_death_mttdl;
+
+/// Probability that reading `bytes` encounters at least one unrecoverable
+/// bit error at bit-error rate `ber` (errors per bit read):
+/// `1 − (1 − ber)^(8·bytes)`, computed stably.
+///
+/// ```
+/// // The classic story: a 10^-15 BER drive array reading 10 TB during a
+/// // rebuild has ~8% chance of hitting a URE.
+/// let p = reliability::ure::p_ure(10_000_000_000_000, 1e-15);
+/// assert!((p - 0.077).abs() < 0.01);
+/// ```
+pub fn p_ure(bytes: u64, ber: f64) -> f64 {
+    assert!((0.0..1.0).contains(&ber), "ber must be in [0, 1)");
+    let bits = bytes as f64 * 8.0;
+    // 1 - (1-ber)^bits = 1 - exp(bits * ln(1-ber)); ln_1p for small ber.
+    -f64::exp_m1(bits * f64::ln_1p(-ber))
+}
+
+/// Per-state rebuild URE exposure `u[f]` for `f = 0..=max_f` concurrent
+/// failures: the probability that the rebuild initiated at state `f` is
+/// killed by a URE.
+///
+/// * `u[0] = 0` (nothing to rebuild).
+/// * For `f` with slack (`f < tolerance`): a single URE is just one more
+///   erasure the code absorbs, so the exposure is second-order and modeled
+///   as 0.
+/// * For `f = tolerance`: any URE among the rebuild's reads is fatal;
+///   `u = p_ure(bytes_read)`, with the byte count taken from the layout's
+///   actual recovery plan for a representative spread-out pattern.
+/// * For `f > tolerance` the state is already loss-bound; exposure 1.
+///
+/// `capacity` is bytes per disk; plans express reads in chunks, scaled by
+/// `capacity / chunks_per_disk`.
+pub fn exposure_profile(layout: &dyn Layout, max_f: usize, capacity: u64, ber: f64) -> Vec<f64> {
+    let t = layout.fault_tolerance();
+    let chunk_bytes = capacity / layout.chunks_per_disk() as u64;
+    (0..=max_f)
+        .map(|f| {
+            if f == 0 || f < t {
+                0.0
+            } else if f == t {
+                match layout.recovery_plan(&spread_pattern(layout.disks(), f), SparePolicy::Distributed)
+                {
+                    Ok(plan) => p_ure(plan.total_reads() * chunk_bytes, ber),
+                    Err(_) => 1.0, // representative pattern already fatal
+                }
+            } else {
+                1.0
+            }
+        })
+        .collect()
+}
+
+/// A maximally spread failure pattern of size `f` over `n` disks (used as
+/// the representative rebuild scenario; spread patterns are the common case
+/// under independent failures).
+fn spread_pattern(n: usize, f: usize) -> Vec<usize> {
+    let stride = (n / f).max(1);
+    (0..f).map(|i| (i * stride) % n).collect()
+}
+
+/// MTTDL with URE-killed rebuilds: like
+/// [`crate::markov::array_mttdl`] but each repair transition from state `f`
+/// succeeds only with probability `1 − u[f]` (the rest goes to loss).
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree, `q[0] != 1`, or parameters are
+/// non-positive.
+pub fn array_mttdl_with_ure(
+    n: usize,
+    mttf_hours: f64,
+    repair_hours: f64,
+    q: &[f64],
+    u: &[f64],
+) -> f64 {
+    assert!(!q.is_empty() && q[0] == 1.0, "q[0] must be 1.0");
+    assert_eq!(q.len(), u.len(), "profiles must align");
+    assert!(mttf_hours > 0.0 && repair_hours > 0.0);
+    let max_f = q.len() - 1;
+    let lambda = 1.0 / mttf_hours;
+    let mu = 1.0 / repair_hours;
+    let m = max_f + 1;
+    let mut up = vec![0.0f64; m];
+    let mut loss = vec![0.0f64; m];
+    let mut down = vec![0.0f64; m];
+    for f in 0..=max_f {
+        let up_rate = (n - f) as f64 * lambda;
+        if f < max_f && q[f] > 0.0 {
+            let q_cond = (q[f + 1] / q[f]).min(1.0);
+            up[f] = up_rate * q_cond;
+            loss[f] = up_rate * (1.0 - q_cond);
+        } else {
+            loss[f] = up_rate;
+        }
+        if f > 0 {
+            let repair_rate = f as f64 * mu;
+            let uf = u[f].clamp(0.0, 1.0);
+            if uf < 1.0 {
+                down[f] = repair_rate * (1.0 - uf);
+            }
+            loss[f] += repair_rate * uf;
+        }
+    }
+    birth_death_mttdl(&up, &loss, &down)
+}
+
+/// Effective bit-error rate under periodic scrubbing.
+///
+/// Latent sector errors accrue roughly uniformly in time and are cleared by
+/// each scrub pass, so at a random failure instant the expected latent
+/// population is proportional to the scrub interval: a drive scrubbed every
+/// `scrub_hours` carries `scrub_hours / unscrubbed_window_hours` of the
+/// latent density an unscrubbed drive accrues over its reference window.
+/// (The instantaneous read-error floor is not scrubbable; this models the
+/// *latent* component that dominates field BER measurements.)
+///
+/// ```
+/// // Weekly scrubs vs a 1-year accrual window: ~52x effective reduction.
+/// let eff = reliability::ure::scrubbed_ber(1e-14, 168.0, 8760.0);
+/// assert!((eff / 1e-14 - 168.0 / 8760.0).abs() < 1e-6);
+/// ```
+///
+/// # Panics
+///
+/// Panics if either interval is non-positive or `ber` is out of `[0, 1)`.
+pub fn scrubbed_ber(ber: f64, scrub_hours: f64, unscrubbed_window_hours: f64) -> f64 {
+    assert!((0.0..1.0).contains(&ber));
+    assert!(scrub_hours > 0.0 && unscrubbed_window_hours > 0.0);
+    ber * (scrub_hours / unscrubbed_window_hours).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::markov::array_mttdl;
+    use layout::{FlatRaid5, FlatRaid6};
+    use oi_raid::{OiRaid, OiRaidConfig};
+
+    const TB: u64 = 1_000_000_000_000;
+
+    #[test]
+    fn p_ure_limits() {
+        assert_eq!(p_ure(0, 1e-15), 0.0);
+        assert_eq!(p_ure(TB, 0.0), 0.0);
+        // Monotone in bytes and in ber.
+        assert!(p_ure(TB, 1e-15) < p_ure(10 * TB, 1e-15));
+        assert!(p_ure(TB, 1e-15) < p_ure(TB, 1e-14));
+        // Full certainty at absurd rates.
+        assert!((p_ure(TB, 0.5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raid5_is_fully_exposed_at_one_failure() {
+        let l = FlatRaid5::new(8, 4).unwrap();
+        let u = exposure_profile(&l, 2, 4 * TB, 1e-15);
+        assert_eq!(u[0], 0.0);
+        assert!(u[1] > 0.15, "4TB x 7 survivors read: u={}", u[1]); // ~0.2
+        assert_eq!(u[2], 1.0);
+    }
+
+    #[test]
+    fn oi_raid_has_slack_until_three() {
+        let a = OiRaid::new(OiRaidConfig::reference()).unwrap();
+        let u = exposure_profile(&a, 4, 4 * TB, 1e-15);
+        assert_eq!(&u[0..3], &[0.0, 0.0, 0.0]);
+        assert!(u[3] > 0.0 && u[3] < 1.0);
+        assert_eq!(u[4], 1.0);
+    }
+
+    #[test]
+    fn ure_degrades_raid5_mttdl_dramatically() {
+        let q = vec![1.0, 1.0];
+        let base = array_mttdl(8, 1.0e6, 24.0, &q);
+        let u = vec![0.0, 0.3];
+        let with_ure = array_mttdl_with_ure(8, 1.0e6, 24.0, &q, &u);
+        // With 30% of rebuilds URE-killed, MTTDL collapses by orders of
+        // magnitude (each entry into state 1 now carries ~0.3 loss odds).
+        assert!(with_ure < base / 1000.0, "base {base} vs ure {with_ure}");
+    }
+
+    #[test]
+    fn zero_exposure_matches_plain_model() {
+        let q = vec![1.0, 1.0, 1.0, 0.9];
+        let u = vec![0.0; 4];
+        let a = array_mttdl(21, 5.0e5, 12.0, &q);
+        let b = array_mttdl_with_ure(21, 5.0e5, 12.0, &q, &u);
+        assert!(((a - b) / a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scrubbing_recovers_mttdl_monotonically() {
+        let l = FlatRaid5::new(8, 4).unwrap();
+        let cap = 4 * TB;
+        let q = vec![1.0, 1.0];
+        let mttdl_at = |ber: f64| {
+            let u = exposure_profile(&l, 1, cap, ber);
+            array_mttdl_with_ure(8, 1.0e6, 24.0, &q, &u)
+        };
+        let raw = 1e-14;
+        let weekly = scrubbed_ber(raw, 168.0, 8760.0);
+        let daily = scrubbed_ber(raw, 24.0, 8760.0);
+        assert!(weekly < raw && daily < weekly);
+        let m_raw = mttdl_at(raw);
+        let m_weekly = mttdl_at(weekly);
+        let m_daily = mttdl_at(daily);
+        assert!(m_raw < m_weekly && m_weekly < m_daily, "{m_raw} {m_weekly} {m_daily}");
+    }
+
+    #[test]
+    fn scrubbing_never_amplifies() {
+        assert_eq!(scrubbed_ber(1e-15, 10_000.0, 100.0), 1e-15); // capped at raw
+    }
+
+    #[test]
+    fn raid6_beats_raid5_under_ure_even_with_equal_tolerance_margin() {
+        // The motivating comparison: at high BER, RAID6's slack during
+        // single-failure rebuilds dominates.
+        let ber = 1e-14;
+        let cap = 4 * TB;
+        let r5 = FlatRaid5::new(8, 4).unwrap();
+        let r6 = FlatRaid6::new(8, 4).unwrap();
+        let u5 = exposure_profile(&r5, 1, cap, ber);
+        let u6 = exposure_profile(&r6, 2, cap, ber);
+        let m5 = array_mttdl_with_ure(8, 1.0e6, 24.0, &[1.0, 1.0], &u5);
+        let m6 = array_mttdl_with_ure(8, 1.0e6, 24.0, &[1.0, 1.0, 1.0], &u6);
+        assert!(m6 > 50.0 * m5, "raid6 {m6} vs raid5 {m5}");
+    }
+}

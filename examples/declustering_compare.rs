@@ -1,0 +1,97 @@
+//! OI-RAID vs classical parity declustering (Holland & Gibson): the
+//! trade-off the paper stakes out. PD spreads rebuild reads thinnest but
+//! tolerates a single failure; OI-RAID pays more storage for 3-failure
+//! tolerance while keeping all-disk rebuild parallelism.
+//!
+//! ```text
+//! cargo run --release --example declustering_compare
+//! ```
+
+use oi_raid_repro::prelude::*;
+
+fn show_load(name: &str, plan: &RecoveryPlan, disks: usize) {
+    let load = plan.read_load(disks);
+    let survivors: Vec<u64> = (0..disks)
+        .filter(|d| !plan.failed().contains(d))
+        .map(|d| load[d])
+        .collect();
+    let max = *survivors.iter().max().expect("survivors");
+    let mean = survivors.iter().sum::<u64>() as f64 / survivors.len() as f64;
+    let busy = survivors.iter().filter(|&&c| c > 0).count();
+    println!(
+        "  {name:<22} reads: total={:<5} busy disks={busy:<3} max/disk={max:<4} balance={:.2}",
+        plan.total_reads(),
+        max as f64 / mean
+    );
+}
+
+fn main() {
+    // Both systems built from block designs over 21 "units":
+    // - PD: a (21,5,1) design over 21 disks directly.
+    // - OI-RAID: the Fano (7,3,1) design over 7 groups x 3 disks.
+    let pd_design = find_design(21, 5).expect("(21,5,1) exists");
+    let pd = ParityDeclustered::new(pd_design, 6).expect("pd layout");
+    let oi = OiRaid::new(OiRaidConfig::new(fano(), 3, 2).expect("config")).expect("oi array");
+
+    println!("single-disk rebuild read distribution (disk 0 fails):\n");
+    show_load(
+        "PD(21,5,1)",
+        &pd.recovery_plan(&[0], SparePolicy::Distributed).expect("plan"),
+        21,
+    );
+    show_load(
+        "OI-RAID outer",
+        &oi.recovery_plan_with_strategy(0, SparePolicy::Distributed, RecoveryStrategy::Outer)
+            .expect("plan"),
+        21,
+    );
+    show_load(
+        "OI-RAID hybrid",
+        &oi.recovery_plan_with_strategy(0, SparePolicy::Distributed, RecoveryStrategy::Hybrid)
+            .expect("plan"),
+        21,
+    );
+
+    println!("\nwhat each scheme gives up:\n");
+    println!(
+        "  {:<14}{:>10}{:>12}{:>22}",
+        "scheme", "tolerance", "efficiency", "declustering ratio"
+    );
+    println!(
+        "  {:<14}{:>10}{:>12.3}{:>22.3}",
+        "PD(21,5,1)",
+        pd.fault_tolerance(),
+        pd.efficiency(),
+        pd.declustering_ratio()
+    );
+    let m = Model::of(&oi);
+    println!(
+        "  {:<14}{:>10}{:>12.3}{:>22.3}",
+        "OI-RAID",
+        oi.fault_tolerance(),
+        oi.efficiency(),
+        m.bottleneck_read_fraction(RecoveryStrategy::Hybrid)
+    );
+
+    println!("\nfailure-pattern survival (20k samples per point):\n");
+    print!("  {:<14}", "scheme");
+    for f in 1..=4 {
+        print!("{:>9}", format!("f={f}"));
+    }
+    println!();
+    for (name, l) in [("PD(21,5,1)", &pd as &dyn Layout), ("OI-RAID", &oi as &dyn Layout)] {
+        print!("  {name:<14}");
+        for f in 1..=4usize {
+            print!(
+                "{:>9.3}",
+                survivable_fraction(l, f, 20_000, 0xDC + f as u64)
+            );
+        }
+        println!();
+    }
+    println!(
+        "\nPD rebuilds fastest but *any* second failure during the rebuild\n\
+         window loses data; OI-RAID keeps nearly the same rebuild parallelism\n\
+         while surviving every triple failure."
+    );
+}

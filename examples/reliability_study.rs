@@ -1,0 +1,78 @@
+//! High reliability (the paper's second headline claim): failure-pattern
+//! survival, Markov MTTDL and a Monte-Carlo cross-check, OI-RAID vs the
+//! classical layouts at the same 21-disk scale.
+//!
+//! ```text
+//! cargo run --release --example reliability_study
+//! ```
+
+use oi_raid_repro::prelude::*;
+
+fn main() {
+    let array = OiRaid::new(OiRaidConfig::reference()).expect("reference");
+    let layouts: Vec<(&str, Box<dyn Layout>)> = vec![
+        ("OI-RAID(7,3,g=3)", Box::new(array)),
+        ("RAID5(21)", Box::new(FlatRaid5::new(21, 9).expect("raid5"))),
+        ("RAID6(21)", Box::new(FlatRaid6::new(21, 9).expect("raid6"))),
+        ("RAID50(7x3)", Box::new(Raid50::new(7, 3, 9).expect("raid50"))),
+    ];
+
+    // 1. Combinatorics: which failure patterns survive?
+    println!("P(survive | f simultaneous disk failures), 21 disks:\n");
+    print!("{:<18}", "layout");
+    for f in 1..=6 {
+        print!("{:>9}", format!("f={f}"));
+    }
+    println!();
+    for (name, l) in &layouts {
+        print!("{name:<18}");
+        for f in 1..=6usize {
+            let q = survivable_fraction(l.as_ref(), f, 20_000, 0xBEEF + f as u64);
+            print!("{:>9.4}", q);
+        }
+        println!();
+    }
+    println!(
+        "\nOI-RAID survives every 1-, 2- and 3-failure pattern (verified\n\
+         exhaustively: C(21,3) = 1330 patterns), plus most larger ones —\n\
+         including the loss of an entire 3-disk group."
+    );
+
+    // 2. Markov MTTDL with repair speed taken from the rebuild simulations.
+    println!("\nMTTDL (hours) at disk MTTF = 600,000 h:");
+    // Repair: OI rebuilds ~3x faster than RAID5 at this scale (see
+    // fast_recovery example); 1 TB at 100 MB/s.
+    let repair_raid5_h = 11_111.0 / 3600.0;
+    let repair_oi_h = 3_333.0 / 3600.0;
+    for (name, l) in &layouts {
+        let q = survival_profile(l.as_ref(), 5, 8_000, 0xCAFE);
+        let repair = if name.starts_with("OI") {
+            repair_oi_h
+        } else {
+            repair_raid5_h
+        };
+        let mttdl = array_mttdl(21, 600_000.0, repair, &q);
+        println!("  {name:<18} {mttdl:>12.3e}");
+    }
+
+    // 3. Monte-Carlo cross-check under deliberately harsh conditions so
+    //    losses actually happen within the trials.
+    println!("\nMonte-Carlo cross-check (MTTF 8,000 h, repair 200 h, 300 trials):");
+    for (name, l) in &layouts {
+        let res = simulate_lifetime(
+            l.as_ref(),
+            &LifetimeConfig {
+                mttf_hours: 8_000.0,
+                repair_hours: 200.0,
+                mission_hours: 100_000.0,
+                trials: 300,
+                seed: 0xD15C,
+                lifetime: Lifetime::Exponential,
+            },
+        );
+        println!(
+            "  {name:<18} P(loss in mission) = {:.3}   MTTDL ~ {:.3e} h",
+            res.loss_probability, res.mttdl_estimate_hours
+        );
+    }
+}

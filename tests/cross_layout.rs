@@ -1,0 +1,131 @@
+//! Cross-crate contract tests: every `Layout` implementation — the
+//! baselines in `layout` and OI-RAID itself — must behave uniformly under
+//! the shared trait, and the shared simulation machinery must order them
+//! the way the paper's comparisons assume.
+
+use oi_raid_repro::prelude::*;
+
+fn all_layouts() -> Vec<(String, Box<dyn Layout>)> {
+    let oi = OiRaid::new(OiRaidConfig::reference()).expect("reference");
+    let pd = ParityDeclustered::new(find_design(21, 5).expect("design"), 3).expect("pd");
+    vec![
+        ("oi".into(), Box::new(oi)),
+        ("raid5".into(), Box::new(FlatRaid5::new(21, 9).expect("r5"))),
+        ("raid6".into(), Box::new(FlatRaid6::new(21, 9).expect("r6"))),
+        ("raid50".into(), Box::new(Raid50::new(7, 3, 9).expect("r50"))),
+        ("pd".into(), Box::new(pd)),
+    ]
+}
+
+#[test]
+fn single_failure_plans_are_well_formed_everywhere() {
+    for (name, l) in all_layouts() {
+        for policy in [SparePolicy::Dedicated, SparePolicy::Distributed] {
+            let plan = l.recovery_plan(&[5], policy).expect("single failure");
+            // Rebuild covers the whole failed disk.
+            assert_eq!(
+                plan.total_writes() as usize,
+                l.chunks_per_disk(),
+                "{name}/{policy:?}"
+            );
+            // Reads avoid the failed disk.
+            assert_eq!(plan.read_load(l.disks())[5], 0, "{name}/{policy:?}");
+            // Every lost chunk is on the failed disk.
+            assert!(plan.items().iter().all(|i| i.lost.disk == 5));
+        }
+    }
+}
+
+#[test]
+fn survives_is_consistent_with_recovery_plan() {
+    // For each layout: recovery_plan succeeds exactly on survivable
+    // patterns (spot-checked over a pattern set that covers both outcomes
+    // for every layout).
+    let patterns: Vec<Vec<usize>> = vec![
+        vec![0],
+        vec![0, 1],
+        vec![0, 3],
+        vec![0, 1, 2],
+        vec![0, 3, 6],
+        vec![0, 1, 3, 4],
+    ];
+    for (name, l) in all_layouts() {
+        for p in &patterns {
+            let survives = l.survives(p);
+            let plan = l.recovery_plan(p, SparePolicy::Distributed);
+            assert_eq!(plan.is_ok(), survives, "{name} pattern {p:?}");
+        }
+    }
+}
+
+#[test]
+fn declared_tolerance_is_honored() {
+    // Every pattern up to the declared fault tolerance must survive.
+    for (name, l) in all_layouts() {
+        let t = l.fault_tolerance();
+        // Sample of patterns at exactly the declared tolerance.
+        let n = l.disks();
+        let samples: Vec<Vec<usize>> = (0..n)
+            .step_by(3)
+            .map(|d| (0..t).map(|i| (d + i * 5) % n).collect::<Vec<_>>())
+            .filter(|p: &Vec<usize>| {
+                let mut q = p.clone();
+                q.sort_unstable();
+                q.dedup();
+                q.len() == t
+            })
+            .collect();
+        for p in samples {
+            assert!(l.survives(&p), "{name} must survive {p:?}");
+        }
+    }
+}
+
+#[test]
+fn efficiency_and_overhead_are_consistent() {
+    for (name, l) in all_layouts() {
+        let e = l.efficiency();
+        assert!(e > 0.0 && e < 1.0, "{name}: {e}");
+        let o = l.storage_overhead();
+        assert!((o - (1.0 - e) / e).abs() < 1e-12, "{name}");
+    }
+}
+
+#[test]
+fn simulated_rebuild_ordering_matches_the_paper() {
+    // With identical disks and the policies each scheme is designed for,
+    // OI-RAID must beat flat RAID5 and RAID50; PD must beat everyone
+    // (it is the 1-fault-tolerant speed ceiling).
+    let cap: u64 = 1_000_000_000_000;
+    let spec = DiskSpec::hdd_7200(cap);
+    let time = |l: &dyn Layout, policy: SparePolicy| {
+        let plan = l.recovery_plan(&[0], policy).expect("plan");
+        plan.simulate(&spec, cap / l.chunks_per_disk() as u64)
+            .rebuild_time
+            .as_secs_f64()
+    };
+    let oi = OiRaid::new(OiRaidConfig::reference()).expect("oi");
+    let raid5 = FlatRaid5::new(21, 9).expect("r5");
+    let raid50 = Raid50::new(7, 3, 9).expect("r50");
+    let pd = ParityDeclustered::new(find_design(21, 5).expect("d"), 3).expect("pd");
+    let t_oi = time(&oi, SparePolicy::Distributed);
+    let t_r5 = time(&raid5, SparePolicy::Dedicated);
+    let t_r50 = time(&raid50, SparePolicy::Dedicated);
+    let t_pd = time(&pd, SparePolicy::Distributed);
+    assert!(t_oi < t_r5, "OI {t_oi} must beat RAID5 {t_r5}");
+    assert!(t_oi < t_r50, "OI {t_oi} must beat RAID50 {t_r50}");
+    assert!(t_pd < t_r5, "PD {t_pd} must beat RAID5 {t_r5}");
+}
+
+#[test]
+fn reliability_ordering_matches_the_paper() {
+    // Survival probabilities at f = 3 must order OI > RAID50 > RAID6 = 0.
+    let oi = OiRaid::new(OiRaidConfig::reference()).expect("oi");
+    let raid50 = Raid50::new(7, 3, 9).expect("r50");
+    let raid6 = FlatRaid6::new(21, 9).expect("r6");
+    let q = |l: &dyn Layout| survivable_fraction(l, 3, 5_000, 0x77);
+    assert_eq!(q(&oi), 1.0);
+    let q50 = q(&raid50);
+    assert!(q50 > 0.0 && q50 < 1.0);
+    assert_eq!(q(&raid6), 0.0);
+}

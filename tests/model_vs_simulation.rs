@@ -1,0 +1,126 @@
+//! Cross-validation of the three measurement layers: the closed-form model
+//! (`oi_raid::analysis`), the plan-level chunk accounting (`layout`), and
+//! the discrete-event simulator (`disksim`) must tell one consistent story.
+
+use oi_raid_repro::prelude::*;
+
+const CAPACITY: u64 = 1_000_000_000_000;
+
+fn rebuild_secs(plan: &RecoveryPlan, chunks_per_disk: usize) -> f64 {
+    plan.simulate(
+        &DiskSpec::hdd_7200(CAPACITY),
+        CAPACITY / chunks_per_disk as u64,
+    )
+    .rebuild_time
+    .as_secs_f64()
+}
+
+#[test]
+fn simulated_time_is_bounded_below_by_the_read_model() {
+    // The simulator can never beat the analytical read bottleneck: reading
+    // `frac` of a disk takes at least frac * capacity / bandwidth seconds.
+    for (v, k, g) in [(7usize, 3usize, 3usize), (13, 4, 5), (21, 5, 5)] {
+        let design = find_design(v, k).expect("design");
+        let array = OiRaid::new(OiRaidConfig::new(design, g, 1).expect("cfg")).expect("array");
+        let m = Model::of(&array);
+        let t = array.chunks_per_disk();
+        for s in RecoveryStrategy::ALL {
+            let plan = array
+                .recovery_plan_with_strategy(0, SparePolicy::Distributed, s)
+                .expect("plan");
+            let sim_secs = rebuild_secs(&plan, t);
+            let bound = m.bottleneck_read_fraction(s) * CAPACITY as f64 / 100e6;
+            // One chunk of slack for hybrid quantization.
+            let slack = CAPACITY as f64 / t as f64 / 100e6;
+            assert!(
+                sim_secs + slack + 1e-6 >= bound,
+                "(v={v},k={k},g={g}) {}: sim {sim_secs} < bound {bound}",
+                s.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn strategy_ordering_is_consistent_across_layers() {
+    // If the model says strategy A has a strictly smaller bottleneck than
+    // B, the simulation must not say the opposite by more than the
+    // quantization slack.
+    let array = OiRaid::new(OiRaidConfig::reference()).unwrap();
+    let m = Model::of(&array);
+    let t = array.chunks_per_disk();
+    let slack = CAPACITY as f64 / t as f64 / 100e6; // one chunk of time
+    let mut results: Vec<(f64, f64)> = Vec::new();
+    for s in RecoveryStrategy::ALL {
+        let plan = array
+            .recovery_plan_with_strategy(0, SparePolicy::Distributed, s)
+            .unwrap();
+        results.push((m.bottleneck_read_fraction(s), rebuild_secs(&plan, t)));
+    }
+    for i in 0..results.len() {
+        for j in 0..results.len() {
+            let (mi, ti) = results[i];
+            let (mj, tj) = results[j];
+            if mi < mj - 1e-9 {
+                assert!(
+                    ti <= tj + 2.0 * slack,
+                    "model says {i} < {j} but sim {ti} > {tj}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn plan_read_totals_drive_total_simulated_busy_time() {
+    // Conservation: total per-disk busy time across the simulation equals
+    // (reads + writes) * chunk service time, independent of scheduling.
+    let array = OiRaid::new(OiRaidConfig::reference()).unwrap();
+    let t = array.chunks_per_disk();
+    let chunk_bytes = CAPACITY / t as u64;
+    let spec = DiskSpec::hdd_7200(CAPACITY);
+    let per_chunk = spec.service_time(chunk_bytes, disksim::AccessKind::Random);
+    let plan = array.recovery_plan(&[0], SparePolicy::Distributed).unwrap();
+    let sim = plan.simulate(&spec, chunk_bytes);
+    let total_busy: f64 = sim
+        .result
+        .disk_stats()
+        .iter()
+        .map(|d| d.busy.as_secs_f64())
+        .sum();
+    let expected =
+        (plan.total_reads() + plan.total_writes()) as f64 * per_chunk.as_secs_f64();
+    assert!(
+        (total_busy - expected).abs() / expected < 1e-9,
+        "busy {total_busy} vs expected {expected}"
+    );
+}
+
+#[test]
+fn dedicated_spare_is_never_faster_than_distributed() {
+    for (v, k, g) in [(7usize, 3usize, 3usize), (13, 4, 5)] {
+        let design = find_design(v, k).expect("design");
+        let array = OiRaid::new(OiRaidConfig::new(design, g, 1).expect("cfg")).expect("array");
+        let t = array.chunks_per_disk();
+        let dedicated = rebuild_secs(
+            &array
+                .recovery_plan_with_strategy(0, SparePolicy::Dedicated, RecoveryStrategy::Outer)
+                .unwrap(),
+            t,
+        );
+        let distributed = rebuild_secs(
+            &array
+                .recovery_plan_with_strategy(
+                    0,
+                    SparePolicy::Distributed,
+                    RecoveryStrategy::Outer,
+                )
+                .unwrap(),
+            t,
+        );
+        assert!(
+            distributed <= dedicated + 1e-9,
+            "(v={v}) distributed {distributed} > dedicated {dedicated}"
+        );
+    }
+}
