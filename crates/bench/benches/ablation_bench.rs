@@ -22,8 +22,7 @@ fn bench_skew_ablation(c: &mut Criterion) {
     group.sample_size(10);
     let rotational = OiRaid::new(OiRaidConfig::new(bibd::fano(), 3, 4).unwrap()).unwrap();
     let naive =
-        OiRaid::new(OiRaidConfig::with_skew(bibd::fano(), 3, 4, SkewMode::Naive).unwrap())
-            .unwrap();
+        OiRaid::new(OiRaidConfig::with_skew(bibd::fano(), 3, 4, SkewMode::Naive).unwrap()).unwrap();
     group.bench_function("rotational_outer", |b| {
         b.iter(|| simulated_secs(black_box(&rotational), RecoveryStrategy::Outer))
     });

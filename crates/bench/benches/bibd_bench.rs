@@ -9,14 +9,18 @@ fn bench_constructions(c: &mut Criterion) {
     group.sample_size(15);
     group.bench_function("fano", |b| b.iter(bibd::fano));
     group.bench_function("bose_sts_33", |b| b.iter(|| bibd::bose_sts(black_box(33))));
-    group.bench_function("netto_sts_31", |b| b.iter(|| bibd::netto_sts(black_box(31))));
+    group.bench_function("netto_sts_31", |b| {
+        b.iter(|| bibd::netto_sts(black_box(31)))
+    });
     group.bench_function("projective_plane_8", |b| {
         b.iter(|| bibd::projective_plane(black_box(8)))
     });
     group.bench_function("search_sts_25", |b| {
         b.iter(|| bibd::search_difference_family(black_box(25), 3, 1_000_000))
     });
-    group.bench_function("catalogue_57", |b| b.iter(|| bibd::catalogue(black_box(57))));
+    group.bench_function("catalogue_57", |b| {
+        b.iter(|| bibd::catalogue(black_box(57)))
+    });
     group.finish();
 }
 

@@ -7,9 +7,7 @@
 
 use disksim::{ArrivalProcess, DiskSpec, SimTime, Workload, WorkloadKind};
 use ecc::{ErasureCode, EvenOdd, Lrc, Raid6 as EccRaid6, Rdp, ReedSolomon, Replication, XorParity};
-use layout::{
-    FlatRaid5, FlatRaid6, Layout, ParityDeclustered, Raid50, RecoveryPlan, SparePolicy,
-};
+use layout::{FlatRaid5, FlatRaid6, Layout, ParityDeclustered, Raid50, RecoveryPlan, SparePolicy};
 use oi_raid::{
     analysis::Model, DegradedScenario, OiRaid, OiRaidConfig, RecoveryStrategy, SkewMode,
 };
@@ -44,8 +42,8 @@ pub fn sweep_parameters() -> Vec<(usize, usize, usize)> {
 /// Panics if the design or config is unavailable (the sweep list is
 /// validated by tests).
 pub fn sweep_array(v: usize, k: usize, g: usize) -> OiRaid {
-    let design = bibd::find_design(v, k)
-        .unwrap_or_else(|| panic!("catalogue must provide ({v},{k},1)"));
+    let design =
+        bibd::find_design(v, k).unwrap_or_else(|| panic!("catalogue must provide ({v},{k},1)"));
     OiRaid::new(OiRaidConfig::new(design, g, 1).expect("valid config")).expect("constructs")
 }
 
@@ -55,18 +53,34 @@ fn hdd() -> DiskSpec {
 
 fn rebuild_secs(plan: &RecoveryPlan, chunks_per_disk: usize) -> f64 {
     let chunk_bytes = CAPACITY / chunks_per_disk as u64;
-    plan.simulate(&hdd(), chunk_bytes).rebuild_time.as_secs_f64()
+    plan.simulate(&hdd(), chunk_bytes)
+        .rebuild_time
+        .as_secs_f64()
 }
 
 /// E1 — single-disk recovery time and speedup vs array size.
 pub fn e1_recovery_speedup() -> Vec<(String, Table)> {
     let mut sim_t = Table::new(&[
-        "n", "v", "k", "g", "RAID5 (s)", "RAID50 (s)", "OI outer (s)", "OI hybrid (s)",
-        "speedup vs RAID5", "speedup vs RAID50",
+        "n",
+        "v",
+        "k",
+        "g",
+        "RAID5 (s)",
+        "RAID50 (s)",
+        "OI outer (s)",
+        "OI hybrid (s)",
+        "speedup vs RAID5",
+        "speedup vs RAID50",
     ]);
     let mut ana_t = Table::new(&[
-        "n", "v", "k", "g", "bottleneck frac (outer)", "bottleneck frac (hybrid)",
-        "model speedup vs RAID5", "PD frac (1-fault baseline)",
+        "n",
+        "v",
+        "k",
+        "g",
+        "bottleneck frac (outer)",
+        "bottleneck frac (hybrid)",
+        "model speedup vs RAID5",
+        "PD frac (1-fault baseline)",
     ]);
     for (v, k, g) in sweep_parameters() {
         let array = sweep_array(v, k, g);
@@ -120,7 +134,10 @@ pub fn e1_recovery_speedup() -> Vec<(String, Table)> {
         ]);
     }
     vec![
-        ("E1a: simulated single-disk rebuild time (1 TB disks)".into(), sim_t),
+        (
+            "E1a: simulated single-disk rebuild time (1 TB disks)".into(),
+            sim_t,
+        ),
         ("E1b: analytical bottleneck model".into(), ana_t),
     ]
 }
@@ -131,8 +148,13 @@ pub fn e2_capacity_sweep() -> Vec<(String, Table)> {
     let t = array.chunks_per_disk();
     let raid5 = FlatRaid5::new(array.disks(), t).unwrap();
     let mut table = Table::new(&[
-        "capacity (GB)", "HDD RAID5 (s)", "HDD OI (s)", "HDD speedup",
-        "SSD RAID5 (s)", "SSD OI (s)", "SSD speedup",
+        "capacity (GB)",
+        "HDD RAID5 (s)",
+        "HDD OI (s)",
+        "HDD speedup",
+        "SSD RAID5 (s)",
+        "SSD OI (s)",
+        "SSD speedup",
     ]);
     for gb in [250u64, 500, 1000, 2000, 4000] {
         let cap = gb * 1_000_000_000;
@@ -259,7 +281,11 @@ pub fn e5_loss_probability() -> Vec<(String, Table)> {
 /// E6 — rebuild read-load distribution and the skew ablation (also A1).
 pub fn e6_load_distribution() -> Vec<(String, Table)> {
     let mut table = Table::new(&[
-        "layout/skew", "strategy", "max load (chunks)", "mean load", "balance (max/mean)",
+        "layout/skew",
+        "strategy",
+        "max load (chunks)",
+        "mean load",
+        "balance (max/mean)",
     ]);
     let mut add = |name: &str, array: &OiRaid, strategy: RecoveryStrategy| {
         let plan = array
@@ -281,10 +307,8 @@ pub fn e6_load_distribution() -> Vec<(String, Table)> {
         ]);
     };
     let skewed = OiRaid::new(OiRaidConfig::new(bibd::fano(), 3, 4).unwrap()).unwrap();
-    let naive = OiRaid::new(
-        OiRaidConfig::with_skew(bibd::fano(), 3, 4, SkewMode::Naive).unwrap(),
-    )
-    .unwrap();
+    let naive =
+        OiRaid::new(OiRaidConfig::with_skew(bibd::fano(), 3, 4, SkewMode::Naive).unwrap()).unwrap();
     for s in RecoveryStrategy::ALL {
         add("OI rotational", &skewed, s);
     }
@@ -314,7 +338,11 @@ pub fn e7_mttdl() -> Vec<(String, Table)> {
         t,
     ) / 3600.0;
     let mut table = Table::new(&[
-        "MTTF (h)", "RAID5(21)", "RAID6(21)", "RAID50(7x3)", "OI-RAID",
+        "MTTF (h)",
+        "RAID5(21)",
+        "RAID6(21)",
+        "RAID50(7x3)",
+        "OI-RAID",
     ]);
     let layouts = reference_layouts();
     let profiles: Vec<(String, Vec<f64>, f64)> = layouts
@@ -374,22 +402,31 @@ pub fn e7_mttdl() -> Vec<(String, Table)> {
         ]);
     }
     vec![
-        ("E7a: MTTDL vs disk MTTF (hours; repair from E1 sims)".into(), table),
-        ("E7b: Markov vs Monte-Carlo (MTTF 8000 h, repair 200 h)".into(), mc),
+        (
+            "E7a: MTTDL vs disk MTTF (hours; repair from E1 sims)".into(),
+            table,
+        ),
+        (
+            "E7b: Markov vs Monte-Carlo (MTTF 8000 h, repair 200 h)".into(),
+            mc,
+        ),
     ]
 }
 
 /// E8 — foreground latency during rebuild (online recovery).
 pub fn e8_degraded_mode() -> Vec<(String, Table)> {
     let mut table = Table::new(&[
-        "layout", "rate (req/s)", "rebuild (s)", "idle p95 (ms)", "degraded p95 (ms)",
+        "layout",
+        "rate (req/s)",
+        "rebuild (s)",
+        "idle p95 (ms)",
+        "degraded p95 (ms)",
         "latency blowup",
     ]);
     // Fine-grained layout (c = 100 → 900 chunks/disk) so rebuild I/O is
     // MB-scale and pacing lets foreground requests interleave, as a real
     // rebuilder would.
-    let array =
-        OiRaid::new(OiRaidConfig::new(bibd::fano(), 3, 100).unwrap()).unwrap();
+    let array = OiRaid::new(OiRaidConfig::new(bibd::fano(), 3, 100).unwrap()).unwrap();
     let t = array.chunks_per_disk();
     let raid5 = FlatRaid5::new(21, t).unwrap();
     // 100 GB toy disks keep the task graphs small; shape is what matters.
@@ -469,7 +506,14 @@ pub fn e9_multi_failure() -> Vec<(String, Table)> {
 /// E10 — the BIBD catalogue and the OI-RAID systems it induces.
 pub fn e10_catalogue() -> Vec<(String, Table)> {
     let mut table = Table::new(&[
-        "v", "k", "b", "r", "construction", "g", "n disks", "efficiency",
+        "v",
+        "k",
+        "b",
+        "r",
+        "construction",
+        "g",
+        "n disks",
+        "efficiency",
     ]);
     for e in bibd::catalogue(60) {
         // Smallest prime group size >= k admits the rotational skew.
@@ -534,10 +578,19 @@ pub fn e12_dual_parity() -> Vec<(String, Table)> {
     )
     .unwrap();
     let mut table = Table::new(&[
-        "variant", "tolerance", "efficiency", "writes/update", "rebuild (s)",
-        "P(loss|f=4)", "P(loss|f=5)", "P(loss|f=6)",
+        "variant",
+        "tolerance",
+        "efficiency",
+        "writes/update",
+        "rebuild (s)",
+        "P(loss|f=4)",
+        "P(loss|f=5)",
+        "P(loss|f=6)",
     ]);
-    for (name, a) in [("OI-RAID (RAID5 inner)", &single), ("OI-RAID^2 (RAID6 inner)", &dual)] {
+    for (name, a) in [
+        ("OI-RAID (RAID5 inner)", &single),
+        ("OI-RAID^2 (RAID6 inner)", &dual),
+    ] {
         let t = a.chunks_per_disk();
         let rebuild = rebuild_secs(
             &a.recovery_plan_with_strategy(0, SparePolicy::Distributed, RecoveryStrategy::Outer)
@@ -564,9 +617,117 @@ pub fn e12_dual_parity() -> Vec<(String, Table)> {
     )]
 }
 
+/// E13 — measured parallel vs serial rebuild on the byte-level store.
+///
+/// Unlike E1 (discrete-event simulation), this runs the plan-driven rebuild
+/// engine against real bytes on latency-injected block devices: each chunk
+/// read sleeps for a disk-like service time, so the wall-clock ratio shows
+/// the genuine payoff of draining every surviving disk concurrently. Also
+/// reports the per-device I/O counters of a parallel single-failure run —
+/// the measured counterpart of the paper's balanced-rebuild-load claim.
+pub fn e13_parallel_rebuild() -> Vec<(String, Table)> {
+    use blockdev::{BlockDevice, FaultConfig, FaultInjectingDevice, MemDevice};
+    use oi_raid::{OiRaidStore, RebuildMode};
+    use std::time::Duration;
+
+    const CHUNK: usize = 4096;
+    let read_latency = Duration::from_micros(300);
+    let cfg = OiRaidConfig::reference();
+    let chunks = {
+        let probe = OiRaidStore::new(cfg.clone(), CHUNK).expect("reference store");
+        probe.devices()[0].chunks()
+    };
+    // Read latency only: filling the store does reads too, and write
+    // latency would just slow both modes identically.
+    let make_store = || {
+        let devices: Vec<_> = (0..21)
+            .map(|_| {
+                FaultInjectingDevice::new(
+                    MemDevice::new(CHUNK, chunks),
+                    FaultConfig::latency(read_latency, Duration::ZERO),
+                )
+            })
+            .collect();
+        let mut store =
+            OiRaidStore::with_devices(cfg.clone(), CHUNK, devices).expect("valid devices");
+        for idx in 0..store.data_chunks() {
+            let chunk: Vec<u8> = (0..CHUNK).map(|j| (idx * 131 + j * 17 + 3) as u8).collect();
+            store.write_data(idx, &chunk).expect("healthy write");
+        }
+        store
+    };
+    // A rebuilt store is bit-identical to its pre-failure self, so the same
+    // two stores serve every failure pattern in sequence.
+    let mut serial = make_store();
+    let mut parallel = make_store();
+    let mut timing = Table::new(&[
+        "failed disks",
+        "chunks",
+        "reads",
+        "serial (ms)",
+        "parallel (ms)",
+        "workers",
+        "speedup",
+    ]);
+    let mut single_report = None;
+    for pattern in [vec![4usize], vec![2, 9], vec![2, 9, 17]] {
+        for &d in &pattern {
+            serial.fail_disk(d).expect("valid disk");
+            parallel.fail_disk(d).expect("valid disk");
+        }
+        let rs = serial
+            .rebuild(RebuildMode::Serial, RecoveryStrategy::Hybrid)
+            .expect("recoverable pattern");
+        let rp = parallel
+            .rebuild(RebuildMode::Parallel, RecoveryStrategy::Hybrid)
+            .expect("recoverable pattern");
+        assert_eq!(rs.total_reads(), rp.total_reads(), "same read schedule");
+        let (s_ms, p_ms) = (rs.wall.as_secs_f64() * 1e3, rp.wall.as_secs_f64() * 1e3);
+        timing.row_owned(vec![
+            format!("{pattern:?}"),
+            rp.chunks_rebuilt.to_string(),
+            rp.total_reads().to_string(),
+            f3(s_ms),
+            f3(p_ms),
+            rp.workers.to_string(),
+            f3(s_ms / p_ms),
+        ]);
+        if pattern.len() == 1 {
+            single_report = Some(rp);
+        }
+    }
+    let mut per_device = Table::new(&["disk", "reads", "writes", "bytes read", "bytes written"]);
+    let report = single_report.expect("single-failure pattern ran");
+    for (disk, io) in report.device_io.iter().enumerate() {
+        per_device.row_owned(vec![
+            disk.to_string(),
+            io.reads.to_string(),
+            io.writes.to_string(),
+            io.bytes_read.to_string(),
+            io.bytes_written.to_string(),
+        ]);
+    }
+    vec![
+        (
+            "E13: measured parallel vs serial rebuild (21 disks, 300us/read devices)".into(),
+            timing,
+        ),
+        (
+            "E13: per-device I/O of the parallel single-failure rebuild (disk 4)".into(),
+            per_device,
+        ),
+    ]
+}
+
 /// A2 — recovery-strategy ablation (simulated times).
 pub fn a2_strategy_ablation() -> Vec<(String, Table)> {
-    let mut table = Table::new(&["config", "strategy", "reads", "time (s)", "speedup vs inner"]);
+    let mut table = Table::new(&[
+        "config",
+        "strategy",
+        "reads",
+        "time (s)",
+        "speedup vs inner",
+    ]);
     for (v, k, g) in [(7usize, 3usize, 3usize), (13, 4, 5)] {
         let array = sweep_array(v, k, g);
         let t = array.chunks_per_disk();
@@ -591,7 +752,7 @@ pub fn a2_strategy_ablation() -> Vec<(String, Table)> {
     vec![("A2: recovery strategy ablation".into(), table)]
 }
 
-/// Runs one experiment by id (`e1`..`e10`, `a1`, `a2`), or `all`.
+/// Runs one experiment by id (`e1`..`e13`, `a1`, `a2`), or `all`.
 /// Returns the rendered tables; unknown ids return `None`.
 pub fn run(id: &str) -> Option<Vec<(String, Table)>> {
     match id {
@@ -607,11 +768,13 @@ pub fn run(id: &str) -> Option<Vec<(String, Table)>> {
         "e10" => Some(e10_catalogue()),
         "e11" => Some(e11_ure_sensitivity()),
         "e12" => Some(e12_dual_parity()),
+        "e13" => Some(e13_parallel_rebuild()),
         "a2" => Some(a2_strategy_ablation()),
         "all" => {
             let mut out = Vec::new();
             for id in [
-                "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "a2",
+                "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+                "a2",
             ] {
                 out.extend(run(id).expect("known id"));
             }

@@ -38,7 +38,8 @@ impl Table {
     /// Panics if the cell count differs from the header count.
     pub fn row(&mut self, cells: &[&str]) -> &mut Self {
         assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
         self
     }
 
@@ -162,9 +163,12 @@ mod tests {
     fn float_formats() {
         assert_eq!(f3(0.0), "0");
         assert_eq!(f3(1234.5), "1234"); // {:.0} rounds half-to-even
-        assert_eq!(f3(3.14159), "3.14");
+        assert_eq!(f3(6.54321), "6.54");
         assert_eq!(f3(0.01234), "0.0123");
         assert_eq!(f3(f64::INFINITY), "inf");
-        assert_eq!(sci(12345.0), "1.234e4".replace("1.234e4", &format!("{:.3e}", 12345.0)));
+        assert_eq!(
+            sci(12345.0),
+            "1.234e4".replace("1.234e4", &format!("{:.3e}", 12345.0))
+        );
     }
 }

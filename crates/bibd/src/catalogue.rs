@@ -88,7 +88,7 @@ pub fn catalogue(max_v: usize) -> Vec<CatalogueEntry> {
         });
     }
     // Projective planes PG(2, q).
-    for q in (2..).take_while(|q| q * q + q + 1 <= max_v) {
+    for q in (2..).take_while(|q| q * q + q < max_v) {
         if gf::prime_power(q).is_some() {
             let v = q * q + q + 1;
             out.push(CatalogueEntry {
@@ -138,7 +138,13 @@ pub fn catalogue(max_v: usize) -> Vec<CatalogueEntry> {
 /// assert!(bibd::find_design(8, 3).is_none());
 /// ```
 pub fn find_design(v: usize, k: usize) -> Option<Bibd> {
-    let preference = ["difference-set", "projective-plane", "affine-plane", "bose-sts", "netto-sts"];
+    let preference = [
+        "difference-set",
+        "projective-plane",
+        "affine-plane",
+        "bose-sts",
+        "netto-sts",
+    ];
     let entries = catalogue(v);
     for method in preference {
         if let Some(e) = entries
@@ -194,7 +200,16 @@ mod tests {
     #[test]
     fn find_design_covers_typical_oi_raid_sweeps() {
         // The E1 sweep uses these (v, k) outer designs.
-        for (v, k) in [(7, 3), (9, 3), (13, 3), (13, 4), (21, 3), (21, 5), (31, 6), (25, 5)] {
+        for (v, k) in [
+            (7, 3),
+            (9, 3),
+            (13, 3),
+            (13, 4),
+            (21, 3),
+            (21, 5),
+            (31, 6),
+            (25, 5),
+        ] {
             assert!(find_design(v, k).is_some(), "(v,k)=({v},{k})");
         }
     }

@@ -76,10 +76,7 @@ impl fmt::Display for DesignError {
                 block,
                 found,
                 expected,
-            } => write!(
-                f,
-                "block {block} has size {found}, expected {expected}"
-            ),
+            } => write!(f, "block {block} has size {found}, expected {expected}"),
             Self::UnbalancedPair {
                 a,
                 b,
@@ -297,11 +294,11 @@ impl Bibd {
     /// ordered class-by-class (as [`crate::affine_plane`] produces). Returns
     /// `None` otherwise.
     pub fn parallel_classes(&self) -> Option<Vec<Vec<usize>>> {
-        if self.v % self.k != 0 {
+        if !self.v.is_multiple_of(self.k) {
             return None;
         }
         let class_size = self.v / self.k;
-        if self.b() % class_size != 0 {
+        if !self.b().is_multiple_of(class_size) {
             return None;
         }
         let mut classes = Vec::new();

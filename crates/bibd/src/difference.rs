@@ -162,12 +162,8 @@ impl fmt::Display for DifferenceFamily {
 /// let df = bibd::search_difference_family(25, 3, 100_000).unwrap();
 /// assert_eq!(df.develop().b(), 100);
 /// ```
-pub fn search_difference_family(
-    v: usize,
-    k: usize,
-    node_budget: u64,
-) -> Option<DifferenceFamily> {
-    if k < 2 || v <= k || (v - 1) % (k * (k - 1)) != 0 {
+pub fn search_difference_family(v: usize, k: usize, node_budget: u64) -> Option<DifferenceFamily> {
+    if k < 2 || v <= k || !(v - 1).is_multiple_of(k * (k - 1)) {
         return None;
     }
     let blocks_needed = (v - 1) / (k * (k - 1));
@@ -247,7 +243,10 @@ fn extend_block(
         for &x in block.iter() {
             let d1 = (v + e - x) % v;
             let d2 = (v + x - e) % v;
-            if covered[d1] || covered[d2] || d1 == d2 || new_diffs.contains(&d1)
+            if covered[d1]
+                || covered[d2]
+                || d1 == d2
+                || new_diffs.contains(&d1)
                 || new_diffs.contains(&d2)
             {
                 ok = false;
@@ -261,8 +260,7 @@ fn extend_block(
         }
         block.push(e);
         // Mark the new differences.
-        for i in 0..block.len() - 1 {
-            let x = block[i];
+        for &x in &block[..block.len() - 1] {
             covered[(v + e - x) % v] = true;
             covered[(v + x - e) % v] = true;
         }
@@ -270,8 +268,7 @@ fn extend_block(
             return true;
         }
         block.pop();
-        for i in 0..block.len() {
-            let x = block[i];
+        for &x in block.iter() {
             covered[(v + e - x) % v] = false;
             covered[(v + x - e) % v] = false;
         }

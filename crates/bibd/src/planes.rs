@@ -168,10 +168,7 @@ mod tests {
         let blocks = d.blocks();
         for i in 0..blocks.len() {
             for j in i + 1..blocks.len() {
-                let common = blocks[i]
-                    .iter()
-                    .filter(|p| blocks[j].contains(p))
-                    .count();
+                let common = blocks[i].iter().filter(|p| blocks[j].contains(p)).count();
                 assert_eq!(common, 1, "lines {i} and {j}");
             }
         }

@@ -1,0 +1,237 @@
+//! Deterministic fault injection and latency modelling around any backend.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::{BlockDevice, CounterSnapshot, DeviceError};
+
+/// Fault-injection policy. All decisions derive from `seed`, so runs are
+/// reproducible.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultConfig {
+    /// Seed for every injection decision.
+    pub seed: u64,
+    /// Per-mille of chunks carrying a *latent sector error*: reads fault
+    /// until the chunk is rewritten (which chunks is a pure function of
+    /// `seed` and the chunk index, independent of I/O order).
+    pub latent_per_mille: u16,
+    /// Per-mille of reads failing *transiently* (depends on the device's
+    /// I/O sequence number, so it is order-sensitive by design).
+    pub transient_read_per_mille: u16,
+    /// Added service latency per read.
+    pub read_latency: Duration,
+    /// Added service latency per write.
+    pub write_latency: Duration,
+}
+
+impl FaultConfig {
+    /// A pure latency model (no faults): the slow-disk configuration the
+    /// rebuild experiments use to make I/O time visible.
+    pub fn latency(read: Duration, write: Duration) -> Self {
+        Self {
+            read_latency: read,
+            write_latency: write,
+            ..Self::default()
+        }
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Wraps any [`BlockDevice`] with seeded fault injection and latency.
+///
+/// Latent sector errors are a deterministic per-chunk property: the same
+/// seed marks the same chunks bad on every run, and a write to a bad chunk
+/// repairs it (sector remapping). Transient read faults are drawn per
+/// operation. Injected faults are visible in the wrapped device's
+/// [`CounterSnapshot::faults`].
+#[derive(Debug)]
+pub struct FaultInjectingDevice<B> {
+    inner: B,
+    cfg: FaultConfig,
+    ops: AtomicU64,
+    /// Latent-bad chunks that have been repaired by a rewrite.
+    remapped: Mutex<HashSet<usize>>,
+    faults: AtomicU64,
+}
+
+impl<B: BlockDevice> FaultInjectingDevice<B> {
+    /// Wraps `inner` under `cfg`.
+    pub fn new(inner: B, cfg: FaultConfig) -> Self {
+        Self {
+            inner,
+            cfg,
+            ops: AtomicU64::new(0),
+            remapped: Mutex::new(HashSet::new()),
+            faults: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the wrapped device.
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+
+    /// Whether `chunk` currently carries a latent sector error.
+    pub fn is_latent_bad(&self, chunk: usize) -> bool {
+        self.latent_bad_by_seed(chunk)
+            && !self.remapped.lock().expect("remap lock").contains(&chunk)
+    }
+
+    fn latent_bad_by_seed(&self, chunk: usize) -> bool {
+        if self.cfg.latent_per_mille == 0 {
+            return false;
+        }
+        splitmix(self.cfg.seed ^ (chunk as u64).wrapping_mul(0x9E37_79B9)) % 1000
+            < self.cfg.latent_per_mille as u64
+    }
+
+    fn transient_fault(&self) -> bool {
+        if self.cfg.transient_read_per_mille == 0 {
+            return false;
+        }
+        let op = self.ops.fetch_add(1, Ordering::Relaxed);
+        splitmix(self.cfg.seed ^ op.wrapping_mul(0xC2B2_AE3D)) % 1000
+            < self.cfg.transient_read_per_mille as u64
+    }
+}
+
+impl<B: BlockDevice> BlockDevice for FaultInjectingDevice<B> {
+    fn chunk_size(&self) -> usize {
+        self.inner.chunk_size()
+    }
+
+    fn chunks(&self) -> usize {
+        self.inner.chunks()
+    }
+
+    fn is_failed(&self) -> bool {
+        self.inner.is_failed()
+    }
+
+    fn read_chunk(&self, chunk: usize, buf: &mut [u8]) -> Result<(), DeviceError> {
+        if !self.cfg.read_latency.is_zero() {
+            std::thread::sleep(self.cfg.read_latency);
+        }
+        if self.is_latent_bad(chunk) || self.transient_fault() {
+            self.faults.fetch_add(1, Ordering::Relaxed);
+            return Err(DeviceError::InjectedFault { chunk });
+        }
+        self.inner.read_chunk(chunk, buf)
+    }
+
+    fn write_chunk(&mut self, chunk: usize, data: &[u8]) -> Result<(), DeviceError> {
+        if !self.cfg.write_latency.is_zero() {
+            std::thread::sleep(self.cfg.write_latency);
+        }
+        self.inner.write_chunk(chunk, data)?;
+        if self.latent_bad_by_seed(chunk) {
+            self.remapped.lock().expect("remap lock").insert(chunk);
+        }
+        Ok(())
+    }
+
+    fn fail(&mut self) {
+        self.inner.fail();
+    }
+
+    fn heal(&mut self) -> Result<(), DeviceError> {
+        self.inner.heal()
+    }
+
+    fn counters(&self) -> CounterSnapshot {
+        let mut c = self.inner.counters();
+        c.faults = self.faults.load(Ordering::Relaxed);
+        c
+    }
+
+    fn reset_counters(&self) {
+        self.inner.reset_counters();
+        self.faults.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDevice;
+
+    #[test]
+    fn latency_only_is_transparent() {
+        let cfg = FaultConfig::latency(Duration::from_micros(1), Duration::from_micros(1));
+        let mut d = FaultInjectingDevice::new(MemDevice::new(8, 4), cfg);
+        d.write_chunk(0, &[5u8; 8]).unwrap();
+        let mut buf = [0u8; 8];
+        d.read_chunk(0, &mut buf).unwrap();
+        assert_eq!(buf, [5u8; 8]);
+        assert_eq!(d.counters().faults, 0);
+    }
+
+    #[test]
+    fn latent_errors_deterministic_and_write_repaired() {
+        let cfg = FaultConfig {
+            seed: 42,
+            latent_per_mille: 300,
+            ..FaultConfig::default()
+        };
+        let chunks = 64;
+        let d = FaultInjectingDevice::new(MemDevice::new(8, chunks), cfg);
+        let bad: Vec<usize> = (0..chunks).filter(|&c| d.is_latent_bad(c)).collect();
+        assert!(!bad.is_empty(), "300‰ of 64 chunks marks some bad");
+        assert!(bad.len() < chunks, "...but not all");
+        // Same seed -> same set.
+        let d2 = FaultInjectingDevice::new(MemDevice::new(8, chunks), cfg);
+        let bad2: Vec<usize> = (0..chunks).filter(|&c| d2.is_latent_bad(c)).collect();
+        assert_eq!(bad, bad2);
+        // Reads fault until a write remaps the sector.
+        let mut d = d;
+        let mut buf = [0u8; 8];
+        let victim = bad[0];
+        assert_eq!(
+            d.read_chunk(victim, &mut buf),
+            Err(DeviceError::InjectedFault { chunk: victim })
+        );
+        assert_eq!(d.counters().faults, 1);
+        d.write_chunk(victim, &[1u8; 8]).unwrap();
+        assert!(d.read_chunk(victim, &mut buf).is_ok());
+        assert_eq!(buf, [1u8; 8]);
+    }
+
+    #[test]
+    fn transient_faults_happen_at_configured_rate() {
+        let cfg = FaultConfig {
+            seed: 7,
+            transient_read_per_mille: 200,
+            ..FaultConfig::default()
+        };
+        let d = FaultInjectingDevice::new(MemDevice::new(8, 4), cfg);
+        let mut buf = [0u8; 8];
+        let faults = (0..1000)
+            .filter(|_| d.read_chunk(0, &mut buf).is_err())
+            .count();
+        assert!((100..350).contains(&faults), "got {faults} of ~200");
+    }
+
+    #[test]
+    fn passthrough_state_management() {
+        let mut d = FaultInjectingDevice::new(MemDevice::new(8, 4), FaultConfig::default());
+        assert_eq!(d.chunk_size(), 8);
+        assert_eq!(d.chunks(), 4);
+        d.fail();
+        assert!(d.is_failed());
+        d.heal().unwrap();
+        assert!(!d.is_failed());
+    }
+}

@@ -1,0 +1,249 @@
+//! Pluggable block-device backends for the OI-RAID store.
+//!
+//! The byte-level array in `oi-raid` used to hard-code an in-memory
+//! `Vec<Option<Vec<u8>>>` per disk. This crate separates *what* the array
+//! stores from *where* the bytes live: a [`BlockDevice`] is a
+//! chunk-granular device with explicit fail/heal state and always-on I/O
+//! counters, and the store is generic over it.
+//!
+//! Three backends ship here:
+//!
+//! * [`MemDevice`] — RAM-backed, the previous behavior.
+//! * [`FileDevice`] — one file per disk via `std::fs`, so arrays larger
+//!   than RAM work and contents survive the process.
+//! * [`FaultInjectingDevice`] — wraps any backend and injects deterministic,
+//!   seeded faults (latent sector errors, transient read failures) and
+//!   configurable per-I/O latency, for robustness tests and for modelling
+//!   disk speed in rebuild experiments.
+//!
+//! All reads take `&self` (counters use atomics) so a rebuild engine can
+//! drain many devices from parallel worker threads; writes take `&mut self`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fault;
+mod file;
+mod mem;
+
+pub use fault::{FaultConfig, FaultInjectingDevice};
+pub use file::FileDevice;
+pub use mem::MemDevice;
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Errors surfaced by block devices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The device is in the failed state and cannot serve I/O.
+    Failed,
+    /// A chunk index is past the end of the device.
+    OutOfRange {
+        /// The offending chunk index.
+        chunk: usize,
+        /// Device capacity in chunks.
+        chunks: usize,
+    },
+    /// A buffer length does not match the device's chunk size.
+    WrongBufferSize {
+        /// Bytes supplied.
+        found: usize,
+        /// The device's chunk size.
+        expected: usize,
+    },
+    /// A deterministic injected fault (latent sector error or transient
+    /// read failure) from a [`FaultInjectingDevice`].
+    InjectedFault {
+        /// The chunk whose read faulted.
+        chunk: usize,
+    },
+    /// An underlying I/O error (file backends).
+    Io(String),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Failed => write!(f, "device is failed"),
+            Self::OutOfRange { chunk, chunks } => {
+                write!(f, "chunk {chunk} out of range ({chunks} chunks)")
+            }
+            Self::WrongBufferSize { found, expected } => {
+                write!(
+                    f,
+                    "buffer has {found} bytes, device chunk size is {expected}"
+                )
+            }
+            Self::InjectedFault { chunk } => write!(f, "injected fault reading chunk {chunk}"),
+            Self::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// A chunk-granular block device with explicit failure state.
+///
+/// `read_chunk` takes `&self` so parallel readers can drain independent
+/// devices inside [`std::thread::scope`]; implementations keep their
+/// counters in atomics. All chunks have the same size, fixed at
+/// construction.
+pub trait BlockDevice: Send + Sync {
+    /// Bytes per chunk.
+    fn chunk_size(&self) -> usize;
+
+    /// Capacity in chunks.
+    fn chunks(&self) -> usize;
+
+    /// Whether the device is currently failed.
+    fn is_failed(&self) -> bool;
+
+    /// Reads chunk `chunk` into `buf` (`buf.len()` must equal
+    /// [`BlockDevice::chunk_size`]).
+    fn read_chunk(&self, chunk: usize, buf: &mut [u8]) -> Result<(), DeviceError>;
+
+    /// Writes `data` (exactly one chunk) to chunk `chunk`.
+    fn write_chunk(&mut self, chunk: usize, data: &[u8]) -> Result<(), DeviceError>;
+
+    /// Marks the device failed and discards its contents.
+    fn fail(&mut self);
+
+    /// Brings a failed device back online, zero-filled (a healed device has
+    /// lost its pre-failure contents — the RAID layer rebuilds them).
+    fn heal(&mut self) -> Result<(), DeviceError>;
+
+    /// A snapshot of the device's I/O counters.
+    fn counters(&self) -> CounterSnapshot;
+
+    /// Resets the I/O counters to zero.
+    fn reset_counters(&self);
+}
+
+/// Always-on per-device I/O counters (atomics: reads count under `&self`).
+#[derive(Debug, Default)]
+pub struct Counters {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    faults: AtomicU64,
+}
+
+impl Counters {
+    pub(crate) fn record_read(&self, bytes: u64) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_write(&self, bytes: u64) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            faults: self.faults.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.faults.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of a device's [`Counters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Chunk reads served.
+    pub reads: u64,
+    /// Chunk writes served.
+    pub writes: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Injected faults observed (always 0 for plain backends).
+    pub faults: u64,
+}
+
+impl CounterSnapshot {
+    /// Counter deltas since `earlier` (saturating).
+    pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            faults: self.faults.saturating_sub(earlier.faults),
+        }
+    }
+
+    /// Total I/O operations (reads + writes).
+    pub fn ops(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+pub(crate) fn check_io(
+    chunk: usize,
+    chunks: usize,
+    buf_len: usize,
+    chunk_size: usize,
+) -> Result<(), DeviceError> {
+    if chunk >= chunks {
+        return Err(DeviceError::OutOfRange { chunk, chunks });
+    }
+    if buf_len != chunk_size {
+        return Err(DeviceError::WrongBufferSize {
+            found: buf_len,
+            expected: chunk_size,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_deltas() {
+        let c = Counters::default();
+        c.record_read(64);
+        c.record_read(64);
+        c.record_write(64);
+        let a = c.snapshot();
+        c.record_read(64);
+        let b = c.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.reads, 1);
+        assert_eq!(d.writes, 0);
+        assert_eq!(d.bytes_read, 64);
+        assert_eq!(b.ops(), 4);
+        c.reset();
+        assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(DeviceError::Failed.to_string().contains("failed"));
+        assert!(DeviceError::OutOfRange {
+            chunk: 9,
+            chunks: 4
+        }
+        .to_string()
+        .contains('9'));
+        assert!(DeviceError::InjectedFault { chunk: 2 }
+            .to_string()
+            .contains("injected"));
+    }
+}

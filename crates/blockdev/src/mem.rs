@@ -1,0 +1,148 @@
+//! RAM-backed device: the original store behavior, now behind the trait.
+
+use crate::{check_io, BlockDevice, CounterSnapshot, Counters, DeviceError};
+
+/// An in-memory block device. Failing it drops the backing allocation;
+/// healing reallocates zero-filled.
+#[derive(Debug)]
+pub struct MemDevice {
+    chunk_size: usize,
+    chunks: usize,
+    /// `None` while failed.
+    data: Option<Vec<u8>>,
+    counters: Counters,
+}
+
+impl MemDevice {
+    /// A healthy zero-filled device of `chunks` chunks of `chunk_size`
+    /// bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size == 0`.
+    pub fn new(chunk_size: usize, chunks: usize) -> Self {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        Self {
+            chunk_size,
+            chunks,
+            data: Some(vec![0u8; chunk_size * chunks]),
+            counters: Counters::default(),
+        }
+    }
+
+    /// An array of `n` identical healthy devices.
+    pub fn array(chunk_size: usize, chunks: usize, n: usize) -> Vec<Self> {
+        (0..n).map(|_| Self::new(chunk_size, chunks)).collect()
+    }
+}
+
+impl Clone for MemDevice {
+    /// Clones contents and failure state; counters start fresh.
+    fn clone(&self) -> Self {
+        Self {
+            chunk_size: self.chunk_size,
+            chunks: self.chunks,
+            data: self.data.clone(),
+            counters: Counters::default(),
+        }
+    }
+}
+
+impl BlockDevice for MemDevice {
+    fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    fn chunks(&self) -> usize {
+        self.chunks
+    }
+
+    fn is_failed(&self) -> bool {
+        self.data.is_none()
+    }
+
+    fn read_chunk(&self, chunk: usize, buf: &mut [u8]) -> Result<(), DeviceError> {
+        check_io(chunk, self.chunks, buf.len(), self.chunk_size)?;
+        let data = self.data.as_ref().ok_or(DeviceError::Failed)?;
+        let start = chunk * self.chunk_size;
+        buf.copy_from_slice(&data[start..start + self.chunk_size]);
+        self.counters.record_read(self.chunk_size as u64);
+        Ok(())
+    }
+
+    fn write_chunk(&mut self, chunk: usize, data: &[u8]) -> Result<(), DeviceError> {
+        check_io(chunk, self.chunks, data.len(), self.chunk_size)?;
+        let store = self.data.as_mut().ok_or(DeviceError::Failed)?;
+        let start = chunk * self.chunk_size;
+        store[start..start + self.chunk_size].copy_from_slice(data);
+        self.counters.record_write(self.chunk_size as u64);
+        Ok(())
+    }
+
+    fn fail(&mut self) {
+        self.data = None;
+    }
+
+    fn heal(&mut self) -> Result<(), DeviceError> {
+        if self.data.is_none() {
+            self.data = Some(vec![0u8; self.chunk_size * self.chunks]);
+        }
+        Ok(())
+    }
+
+    fn counters(&self) -> CounterSnapshot {
+        self.counters.snapshot()
+    }
+
+    fn reset_counters(&self) {
+        self.counters.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_counters() {
+        let mut d = MemDevice::new(8, 4);
+        d.write_chunk(2, &[7u8; 8]).unwrap();
+        let mut buf = [0u8; 8];
+        d.read_chunk(2, &mut buf).unwrap();
+        assert_eq!(buf, [7u8; 8]);
+        let c = d.counters();
+        assert_eq!((c.reads, c.writes), (1, 1));
+        assert_eq!(c.bytes_read, 8);
+    }
+
+    #[test]
+    fn fail_discards_heal_zeroes() {
+        let mut d = MemDevice::new(4, 2);
+        d.write_chunk(0, &[1, 2, 3, 4]).unwrap();
+        d.fail();
+        assert!(d.is_failed());
+        let mut buf = [0u8; 4];
+        assert_eq!(d.read_chunk(0, &mut buf), Err(DeviceError::Failed));
+        assert_eq!(d.write_chunk(0, &[0u8; 4]), Err(DeviceError::Failed));
+        d.heal().unwrap();
+        d.read_chunk(0, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 4]);
+    }
+
+    #[test]
+    fn bounds_and_sizes_checked() {
+        let mut d = MemDevice::new(4, 2);
+        let mut buf = [0u8; 4];
+        assert!(matches!(
+            d.read_chunk(2, &mut buf),
+            Err(DeviceError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            d.write_chunk(0, &[0u8; 3]),
+            Err(DeviceError::WrongBufferSize {
+                found: 3,
+                expected: 4
+            })
+        ));
+    }
+}

@@ -355,7 +355,7 @@ impl Simulation {
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
     fn start_next(
         tasks: &mut [TaskState],
         disks: &[DiskSpec],
@@ -636,7 +636,9 @@ mod tests {
                 .collect();
             let mut s = seed | 1;
             let mut rnd = move || {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (s >> 33) as usize
             };
             let mut ids = Vec::new();

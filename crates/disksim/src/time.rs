@@ -41,10 +41,7 @@ impl SimTime {
     ///
     /// Panics if `secs` is negative, NaN, or too large to represent.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(
-            secs.is_finite() && secs >= 0.0,
-            "invalid sim time {secs} s"
-        );
+        assert!(secs.is_finite() && secs >= 0.0, "invalid sim time {secs} s");
         let ns = secs * 1e9;
         assert!(ns <= u64::MAX as f64, "sim time overflow: {secs} s");
         SimTime(ns.round() as u64)

@@ -51,7 +51,7 @@ impl EvenOdd {
 
     fn symbol_size(&self, len: usize) -> Result<usize, CodeError> {
         let rows = self.p - 1;
-        if len == 0 || len % rows != 0 {
+        if len == 0 || !len.is_multiple_of(rows) {
             return Err(CodeError::UnalignedUnitLength {
                 len,
                 multiple_of: rows,
@@ -144,12 +144,15 @@ impl ErasureCode for EvenOdd {
         let pi = p;
         let qi = p + 1;
         let data_erased: Vec<usize> = erased.iter().copied().filter(|&e| e < p).collect();
-        match (data_erased.len(), erased.contains(&pi), erased.contains(&qi)) {
-            (0, false, false) => return Ok(()),
+        match (
+            data_erased.len(),
+            erased.contains(&pi),
+            erased.contains(&qi),
+        ) {
+            (0, false, false) => Ok(()),
             // Parity-only loss: recompute from data.
             (0, _, _) => {
-                let data: Vec<Vec<u8>> =
-                    units[..p].iter().map(|u| u.clone().unwrap()).collect();
+                let data: Vec<Vec<u8>> = units[..p].iter().map(|u| u.clone().unwrap()).collect();
                 let (pc, qc) = self.compute_parity(&data, ss);
                 if erased.contains(&pi) {
                     units[pi] = Some(pc);
@@ -157,7 +160,7 @@ impl ErasureCode for EvenOdd {
                 if erased.contains(&qi) {
                     units[qi] = Some(qc);
                 }
-                return Ok(());
+                Ok(())
             }
             // One data column, P intact: row-parity rebuild, then Q if needed.
             (1, false, q_lost) => {
@@ -178,7 +181,7 @@ impl ErasureCode for EvenOdd {
                         units[..p].iter().map(|u| u.clone().unwrap()).collect();
                     units[qi] = Some(self.compute_parity(&data, ss).1);
                 }
-                return Ok(());
+                Ok(())
             }
             // One data column + P lost: recover via diagonals (Q).
             (1, true, false) => {
@@ -233,10 +236,9 @@ impl ErasureCode for EvenOdd {
                     }
                 }
                 units[a] = Some(col);
-                let data: Vec<Vec<u8>> =
-                    units[..p].iter().map(|u| u.clone().unwrap()).collect();
+                let data: Vec<Vec<u8>> = units[..p].iter().map(|u| u.clone().unwrap()).collect();
                 units[pi] = Some(self.compute_parity(&data, ss).0);
-                return Ok(());
+                Ok(())
             }
             // Two data columns lost: the zig-zag chain.
             (2, false, false) => {
@@ -307,7 +309,7 @@ impl ErasureCode for EvenOdd {
                 }
                 units[a] = Some(col_a);
                 units[b] = Some(col_b);
-                return Ok(());
+                Ok(())
             }
             _ => unreachable!("all <=2 erasure cases covered"),
         }
@@ -366,8 +368,7 @@ mod tests {
             let n = p + 2;
             for a in 0..n {
                 for b in a..n {
-                    let mut units: Vec<Option<Vec<u8>>> =
-                        full.iter().cloned().map(Some).collect();
+                    let mut units: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
                     units[a] = None;
                     units[b] = None; // a == b means single erasure
                     code.reconstruct(&mut units)
@@ -389,8 +390,7 @@ mod tests {
         let code = EvenOdd::new(5).unwrap();
         let data = sample(5, 2, 1);
         let parity = code.encode(&data).unwrap();
-        let mut units: Vec<Option<Vec<u8>>> =
-            data.into_iter().chain(parity).map(Some).collect();
+        let mut units: Vec<Option<Vec<u8>>> = data.into_iter().chain(parity).map(Some).collect();
         units[0] = None;
         units[1] = None;
         units[2] = None;

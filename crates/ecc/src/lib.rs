@@ -87,7 +87,12 @@ mod tests {
             code.reconstruct(&mut units)
                 .unwrap_or_else(|err| panic!("{}: pattern {erased:?}: {err}", code.name()));
             for (i, u) in units.iter().enumerate() {
-                assert_eq!(u.as_deref(), Some(&full[i][..]), "{}: unit {i}", code.name());
+                assert_eq!(
+                    u.as_deref(),
+                    Some(&full[i][..]),
+                    "{}: unit {i}",
+                    code.name()
+                );
             }
         });
     }

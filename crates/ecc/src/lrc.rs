@@ -51,7 +51,7 @@ impl Lrc {
     /// divide `k`, or the total unit count exceeds 64 (the constructor
     /// measures guaranteed tolerance exhaustively, which needs small `n`).
     pub fn new(k: usize, l: usize, g: usize) -> Result<Self, CodeError> {
-        if k == 0 || l == 0 || g == 0 || k % l != 0 || k + l + g > 64 {
+        if k == 0 || l == 0 || g == 0 || !k.is_multiple_of(l) || k + l + g > 64 {
             return Err(CodeError::InvalidParameters { k, m: l + g });
         }
         // Global coefficients: plain systematic-Vandermonde rows are not
@@ -111,9 +111,7 @@ impl Lrc {
         } else if u < self.k + self.l {
             let grp = u - self.k;
             let size = self.local_group_size();
-            for j in grp * size..(grp + 1) * size {
-                row[j] = 1;
-            }
+            row[grp * size..(grp + 1) * size].fill(1);
         } else {
             row.copy_from_slice(&self.global_rows[u - self.k - self.l]);
         }
@@ -261,12 +259,10 @@ impl ErasureCode for Lrc {
                 m.set(ri, ci, c as usize);
             }
         }
-        let chosen = select_independent_rows(&m, self.k, f).ok_or(
-            CodeError::TooManyErasures {
-                erased: erased.len(),
-                tolerance: self.tolerance,
-            },
-        )?;
+        let chosen = select_independent_rows(&m, self.k, f).ok_or(CodeError::TooManyErasures {
+            erased: erased.len(),
+            tolerance: self.tolerance,
+        })?;
         let sub = m.select_rows(&chosen);
         let inv = sub.invert(f).expect("selected rows are independent");
         let mut data = vec![vec![0u8; len]; self.k];
@@ -327,11 +323,11 @@ fn select_independent_rows(m: &Matrix, k: usize, f: &dyn Field) -> Option<Vec<us
         let pinv = f.inv(work.get(pivot, col)).expect("nonzero pivot");
         // Normalize and eliminate below/above among unused rows.
         let prow: Vec<usize> = (0..cols).map(|c| f.mul(work.get(pivot, c), pinv)).collect();
-        for r in 0..rows {
-            if !used[r] && work.get(r, col) != 0 {
+        for r in (0..rows).filter(|&r| !used[r]) {
+            if work.get(r, col) != 0 {
                 let factor = work.get(r, col);
-                for c in 0..cols {
-                    let v = f.sub(work.get(r, c), f.mul(factor, prow[c]));
+                for (c, &pc) in prow.iter().enumerate() {
+                    let v = f.sub(work.get(r, c), f.mul(factor, pc));
                     work.set(r, c, v);
                 }
             }
@@ -389,8 +385,7 @@ mod tests {
         for a in 0..n {
             for b in a + 1..n {
                 for c in b + 1..n {
-                    let mut units: Vec<Option<Vec<u8>>> =
-                        full.iter().cloned().map(Some).collect();
+                    let mut units: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
                     units[a] = None;
                     units[b] = None;
                     units[c] = None;
@@ -440,7 +435,10 @@ mod tests {
                 }
             }
         }
-        assert!(decodable > 0 && undecodable > 0, "{decodable}/{undecodable}");
+        assert!(
+            decodable > 0 && undecodable > 0,
+            "{decodable}/{undecodable}"
+        );
     }
 
     #[test]

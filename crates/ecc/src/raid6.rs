@@ -108,10 +108,8 @@ impl ErasureCode for Raid6 {
             }
             // Only parity lost: recompute from data.
             &[x] if x == pi || x == qi => {
-                let data: Vec<Vec<u8>> = units[..self.k]
-                    .iter()
-                    .map(|u| u.clone().unwrap())
-                    .collect();
+                let data: Vec<Vec<u8>> =
+                    units[..self.k].iter().map(|u| u.clone().unwrap()).collect();
                 let parity = self.encode(&data)?;
                 units[x] = Some(parity[x - self.k].clone());
                 Ok(())
@@ -164,37 +162,29 @@ impl ErasureCode for Raid6 {
                         let mut da = vec![0u8; len];
                         f.mul_slice(inv, &sq, &mut da);
                         units[a] = Some(da);
-                        let data: Vec<Vec<u8>> = units[..self.k]
-                            .iter()
-                            .map(|u| u.clone().unwrap())
-                            .collect();
+                        let data: Vec<Vec<u8>> =
+                            units[..self.k].iter().map(|u| u.clone().unwrap()).collect();
                         units[pi] = Some(self.encode(&data)?[0].clone());
                         Ok(())
                     }
                     // One data unit + Q lost: recover data via P, then Q.
                     (true, false, x) if x == qi => {
                         let mut acc = units[pi].clone().unwrap();
-                        for u in units[..self.k].iter() {
-                            if let Some(u) = u {
-                                for (s, d) in acc.iter_mut().zip(u) {
-                                    *s ^= d;
-                                }
+                        for u in units[..self.k].iter().flatten() {
+                            for (s, d) in acc.iter_mut().zip(u) {
+                                *s ^= d;
                             }
                         }
                         units[a] = Some(acc);
-                        let data: Vec<Vec<u8>> = units[..self.k]
-                            .iter()
-                            .map(|u| u.clone().unwrap())
-                            .collect();
+                        let data: Vec<Vec<u8>> =
+                            units[..self.k].iter().map(|u| u.clone().unwrap()).collect();
                         units[qi] = Some(self.encode(&data)?[1].clone());
                         Ok(())
                     }
                     // P and Q both lost: recompute from data.
                     (false, false, _) => {
-                        let data: Vec<Vec<u8>> = units[..self.k]
-                            .iter()
-                            .map(|u| u.clone().unwrap())
-                            .collect();
+                        let data: Vec<Vec<u8>> =
+                            units[..self.k].iter().map(|u| u.clone().unwrap()).collect();
                         let parity = self.encode(&data)?;
                         units[pi] = Some(parity[0].clone());
                         units[qi] = Some(parity[1].clone());
@@ -266,7 +256,11 @@ mod tests {
                 code.reconstruct(&mut units)
                     .unwrap_or_else(|e| panic!("pattern ({a},{b}): {e}"));
                 for (i, u) in units.iter().enumerate() {
-                    assert_eq!(u.as_deref(), Some(&full[i][..]), "pattern ({a},{b}) unit {i}");
+                    assert_eq!(
+                        u.as_deref(),
+                        Some(&full[i][..]),
+                        "pattern ({a},{b}) unit {i}"
+                    );
                 }
             }
         }
@@ -277,8 +271,7 @@ mod tests {
         let code = Raid6::new(4).unwrap();
         let data = sample_data(4, 4, 1);
         let parity = code.encode(&data).unwrap();
-        let mut units: Vec<Option<Vec<u8>>> =
-            data.into_iter().chain(parity).map(Some).collect();
+        let mut units: Vec<Option<Vec<u8>>> = data.into_iter().chain(parity).map(Some).collect();
         units[0] = None;
         units[1] = None;
         units[2] = None;

@@ -48,7 +48,7 @@ impl Rdp {
 
     fn symbol_size(&self, len: usize) -> Result<usize, CodeError> {
         let rows = self.p - 1;
-        if len == 0 || len % rows != 0 {
+        if len == 0 || !len.is_multiple_of(rows) {
             return Err(CodeError::UnalignedUnitLength {
                 len,
                 multiple_of: rows,
@@ -76,6 +76,7 @@ impl Rdp {
         // Q[d] = XOR over cells (r, c) with (r + c) mod p == d, for the
         // first p columns (data + P), r < p − 1; diagonal p−1 unstored.
         let mut qcol = vec![0u8; rows * ss];
+        #[allow(clippy::needless_range_loop)] // `c` is a diagonal index, not just a data subscript
         for c in 0..p {
             let col: &[u8] = if c < rows { &data[c] } else { &pcol };
             for r in 0..rows {
@@ -325,8 +326,7 @@ mod tests {
             let n = p + 1;
             for a in 0..n {
                 for b in a..n {
-                    let mut units: Vec<Option<Vec<u8>>> =
-                        full.iter().cloned().map(Some).collect();
+                    let mut units: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
                     units[a] = None;
                     units[b] = None;
                     code.reconstruct(&mut units)
@@ -348,8 +348,7 @@ mod tests {
         let code = Rdp::new(5).unwrap();
         let data = sample(5, 2, 9);
         let parity = code.encode(&data).unwrap();
-        let mut units: Vec<Option<Vec<u8>>> =
-            data.into_iter().chain(parity).map(Some).collect();
+        let mut units: Vec<Option<Vec<u8>>> = data.into_iter().chain(parity).map(Some).collect();
         units[0] = None;
         units[2] = None;
         units[5] = None;

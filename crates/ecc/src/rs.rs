@@ -222,8 +222,7 @@ mod tests {
         for a in 0..n {
             for b in a + 1..n {
                 for c in b + 1..n {
-                    let mut units: Vec<Option<Vec<u8>>> =
-                        full.iter().cloned().map(Some).collect();
+                    let mut units: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
                     units[a] = None;
                     units[b] = None;
                     units[c] = None;
@@ -242,11 +241,8 @@ mod tests {
         let code = ReedSolomon::new(3, 2).unwrap();
         let data = sample_data(3, 4, 5);
         let parity = code.encode(&data).unwrap();
-        let mut units: Vec<Option<Vec<u8>>> =
-            data.into_iter().chain(parity).map(Some).collect();
-        for i in 0..3 {
-            units[i] = None;
-        }
+        let mut units: Vec<Option<Vec<u8>>> = data.into_iter().chain(parity).map(Some).collect();
+        units[..3].fill(None);
         assert!(matches!(
             code.reconstruct(&mut units),
             Err(CodeError::TooManyErasures { erased: 3, .. })

@@ -208,7 +208,7 @@ mod tests {
     fn multiplicative_group_is_cyclic() {
         let f = ExtField::new(2, 4).unwrap(); // GF(16)
         let g = f.primitive_element();
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         let mut x = 1usize;
         for _ in 0..15 {
             assert!(!seen[x]);

@@ -102,11 +102,11 @@ pub trait Field: Debug {
             let mut m = n;
             let mut d = 2;
             while d * d <= m {
-                if m % d == 0 {
+                if m.is_multiple_of(d) {
                     if self.pow(g, n / d) == 1 {
                         continue 'cand;
                     }
-                    while m % d == 0 {
+                    while m.is_multiple_of(d) {
                         m /= d;
                     }
                 }

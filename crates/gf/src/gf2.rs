@@ -67,6 +67,7 @@ impl Gf2 {
         let mut log = vec![0u16; order];
         let mut exp = vec![0u16; 2 * order];
         let mut x = 1usize;
+        #[allow(clippy::needless_range_loop)] // `i` is the discrete log, stored into both tables
         for i in 0..order - 1 {
             assert!(
                 i == 0 || x != 1,
@@ -162,9 +163,7 @@ static GF256: OnceLock<Gf256> = OnceLock::new();
 impl Gf256 {
     /// Returns the process-wide GF(2^8) instance (polynomial 0x11d).
     pub fn get() -> &'static Gf256 {
-        GF256.get_or_init(|| Gf256 {
-            inner: Gf2::new(8),
-        })
+        GF256.get_or_init(|| Gf256 { inner: Gf2::new(8) })
     }
 
     /// Multiplies two field elements.

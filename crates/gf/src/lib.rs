@@ -65,7 +65,7 @@ pub fn prime_power(q: usize) -> Option<(usize, usize)> {
     let mut p = 0;
     let mut d = 2;
     while d * d <= q {
-        if q % d == 0 {
+        if q.is_multiple_of(d) {
             p = d;
             break;
         }
@@ -76,7 +76,7 @@ pub fn prime_power(q: usize) -> Option<(usize, usize)> {
     }
     let mut rest = q;
     let mut m = 0;
-    while rest % p == 0 {
+    while rest.is_multiple_of(p) {
         rest /= p;
         m += 1;
     }

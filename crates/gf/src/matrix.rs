@@ -167,13 +167,13 @@ impl Matrix {
     /// Panics if `v.len() != self.cols()`.
     pub fn mul_vec(&self, v: &[usize], f: &dyn Field) -> Vec<usize> {
         assert_eq!(v.len(), self.cols);
-        let mut out = vec![0; self.rows];
+        let mut out = Vec::with_capacity(self.rows);
         for i in 0..self.rows {
             let mut acc = 0;
-            for j in 0..self.cols {
-                acc = f.add(acc, f.mul(self.get(i, j), v[j]));
+            for (j, &vj) in v.iter().enumerate() {
+                acc = f.add(acc, f.mul(self.get(i, j), vj));
             }
-            out[i] = acc;
+            out.push(acc);
         }
         out
     }
@@ -242,8 +242,7 @@ impl Matrix {
     /// Whether the matrix is the identity.
     pub fn is_identity(&self) -> bool {
         self.rows == self.cols
-            && (0..self.rows)
-                .all(|i| (0..self.cols).all(|j| self.get(i, j) == usize::from(i == j)))
+            && (0..self.rows).all(|i| (0..self.cols).all(|j| self.get(i, j) == usize::from(i == j)))
     }
 
     fn swap_rows(&mut self, a: usize, b: usize) {

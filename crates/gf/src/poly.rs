@@ -46,9 +46,7 @@ impl Poly {
 
     /// The monomial `x`.
     pub fn x() -> Self {
-        Self {
-            coeffs: vec![0, 1],
-        }
+        Self { coeffs: vec![0, 1] }
     }
 
     /// Little-endian coefficients (no trailing zeros).
@@ -264,7 +262,7 @@ mod tests {
         let (q, r) = a.div_rem(&b, &f);
         let back = q.mul(&b, &f).add(&r, &f);
         assert_eq!(back, a);
-        assert!(r.degree().map_or(true, |d| d < 2));
+        assert!(r.degree().is_none_or(|d| d < 2));
     }
 
     #[test]

@@ -104,11 +104,7 @@ impl ParityDeclustered {
 
 impl Layout for ParityDeclustered {
     fn name(&self) -> String {
-        format!(
-            "PD({},{},1)",
-            self.design.v(),
-            self.design.k()
-        )
+        format!("PD({},{},1)", self.design.v(), self.design.k())
     }
 
     fn disks(&self) -> usize {
@@ -231,8 +227,8 @@ mod tests {
         let plan = l.recovery_plan(&[0], SparePolicy::Distributed).unwrap();
         let load = plan.read_load(7);
         assert_eq!(load[0], 0);
-        for d in 1..7 {
-            assert_eq!(load[d], 5, "disk {d}"); // 1 shared block x 1 chunk x 5 cycles... x1
+        for (d, &ld) in load.iter().enumerate().skip(1) {
+            assert_eq!(ld, 5, "disk {d}"); // 1 shared block x 1 chunk x 5 cycles... x1
         }
         // Reads are perfectly uniform; round-robin writes (15 chunks over 6
         // survivors) add at most one extra chunk of imbalance.

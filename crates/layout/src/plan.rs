@@ -149,6 +149,27 @@ impl RecoveryPlan {
         }
     }
 
+    /// Groups the plan's reads by source disk: the per-disk work queues a
+    /// parallel executor drains with one worker thread per surviving disk.
+    ///
+    /// Returns `(disk, queue)` pairs for every disk the plan reads from,
+    /// ascending by disk id; each queue lists `(item_index, addr)` in plan
+    /// order, so a worker draining its queue front-to-back roughly follows
+    /// the planner's intended schedule.
+    pub fn reads_by_disk(&self) -> Vec<(usize, Vec<(usize, ChunkAddr)>)> {
+        let mut queues: Vec<Vec<(usize, ChunkAddr)>> = vec![Vec::new(); self.disks];
+        for (idx, item) in self.items.iter().enumerate() {
+            for r in &item.reads {
+                queues[r.disk].push((idx, *r));
+            }
+        }
+        queues
+            .into_iter()
+            .enumerate()
+            .filter(|(_, q)| !q.is_empty())
+            .collect()
+    }
+
     /// Executes the plan on the discrete-event simulator and returns timing.
     ///
     /// The simulated array has one disk per layout disk (failed ones receive
@@ -157,7 +178,9 @@ impl RecoveryPlan {
     /// read tasks plus one dependent write of `chunk_bytes`.
     pub fn simulate(&self, spec: &DiskSpec, chunk_bytes: u64) -> SimulatedRecovery {
         let mut sim = Simulation::new();
-        let disk_ids: Vec<_> = (0..self.disks).map(|_| sim.add_disk(spec.clone())).collect();
+        let disk_ids: Vec<_> = (0..self.disks)
+            .map(|_| sim.add_disk(spec.clone()))
+            .collect();
         let spare_ids: Vec<_> = self
             .failed
             .iter()
@@ -179,9 +202,7 @@ impl RecoveryPlan {
             for &dep in &item.depends {
                 let dep_write: disksim::TaskId = write_tasks[dep];
                 let dep_target = target_of(self.items[dep].write);
-                reads.push(
-                    sim.add_task(TaskSpec::read(dep_target, chunk_bytes).after(dep_write)),
-                );
+                reads.push(sim.add_task(TaskSpec::read(dep_target, chunk_bytes).after(dep_write)));
             }
             let target = target_of(item.write);
             let w = sim.add_task(TaskSpec::write(target, chunk_bytes).after_all(reads));
@@ -320,6 +341,21 @@ mod tests {
         let t_dedicated = toy_plan().simulate(&spec, 1 << 20).rebuild_time;
         let t_distributed = dist.simulate(&spec, 1 << 20).rebuild_time;
         assert!(t_distributed <= t_dedicated);
+    }
+
+    #[test]
+    fn reads_by_disk_queues_cover_the_plan() {
+        let plan = toy_plan();
+        let queues = plan.reads_by_disk();
+        assert_eq!(queues.len(), 2, "two surviving disks are read");
+        assert_eq!(queues[0].0, 1);
+        assert_eq!(
+            queues[0].1,
+            vec![(0, ChunkAddr::new(1, 0)), (1, ChunkAddr::new(1, 1))]
+        );
+        assert_eq!(queues[1].0, 2);
+        let total: usize = queues.iter().map(|(_, q)| q.len()).sum();
+        assert_eq!(total as u64, plan.total_reads());
     }
 
     #[test]

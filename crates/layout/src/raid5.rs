@@ -259,9 +259,9 @@ mod tests {
         let l = FlatRaid5::new(4, 8).unwrap();
         let mut parities_on_disk = vec![0usize; 4];
         for o in 0..8 {
-            for d in 0..4 {
+            for (d, count) in parities_on_disk.iter_mut().enumerate() {
                 if l.chunk_role(ChunkAddr::new(d, o)) == Role::Parity {
-                    parities_on_disk[d] += 1;
+                    *count += 1;
                 }
             }
         }
@@ -307,9 +307,9 @@ mod tests {
         let l = Raid50::new(3, 4, 10).unwrap();
         let plan = l.recovery_plan(&[5], SparePolicy::Dedicated).unwrap();
         let load = plan.read_load(12);
-        for d in 0..12 {
+        for (d, &ld) in load.iter().enumerate() {
             let expect = if (4..8).contains(&d) && d != 5 { 10 } else { 0 };
-            assert_eq!(load[d], expect, "disk {d}");
+            assert_eq!(ld, expect, "disk {d}");
         }
     }
 

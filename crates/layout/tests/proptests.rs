@@ -11,7 +11,7 @@ fn layouts(disks: usize, chunks: usize) -> Vec<Box<dyn Layout>> {
         Box::new(FlatRaid5::new(disks.max(3), chunks).expect("raid5")),
         Box::new(FlatRaid6::new(disks.max(4), chunks).expect("raid6")),
     ];
-    if disks % 3 == 0 && disks >= 9 {
+    if disks.is_multiple_of(3) && disks >= 9 {
         out.push(Box::new(Raid50::new(disks / 3, 3, chunks).expect("raid50")));
     }
     out

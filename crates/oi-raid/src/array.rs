@@ -134,12 +134,12 @@ impl OiRaid {
         let block = stripe_global / self.geo.stripes_per_block;
         let stripe = stripe_global % self.geo.stripes_per_block;
         let ppos = self.geo.outer_parity_pos(stripe);
-        let pos = if data_pos < ppos { data_pos } else { data_pos + 1 };
-        self.geo.stripe_chunk(PayloadPos {
-            block,
-            stripe,
-            pos,
-        })
+        let pos = if data_pos < ppos {
+            data_pos
+        } else {
+            data_pos + 1
+        };
+        self.geo.stripe_chunk(PayloadPos { block, stripe, pos })
     }
 
     /// Logical index of the data chunk at `addr`, or `None` if `addr` holds
@@ -149,9 +149,7 @@ impl OiRaid {
             ChunkInfo::Data { block, stripe, pos } => {
                 let ppos = self.geo.outer_parity_pos(stripe);
                 let data_pos = if pos < ppos { pos } else { pos - 1 };
-                Some(
-                    (block * self.geo.stripes_per_block + stripe) * (self.geo.k - 1) + data_pos,
-                )
+                Some((block * self.geo.stripes_per_block + stripe) * (self.geo.k - 1) + data_pos)
             }
             _ => None,
         }
@@ -327,7 +325,11 @@ mod tests {
             let mut disks: Vec<usize> = set.iter().map(|c| c.disk).collect();
             disks.sort_unstable();
             disks.dedup();
-            assert_eq!(disks.len(), 4, "idx {idx}: all four writes on distinct disks");
+            assert_eq!(
+                disks.len(),
+                4,
+                "idx {idx}: all four writes on distinct disks"
+            );
             // Writes 1 is inner parity, 2 outer parity, 3 inner parity of 2.
             assert_eq!(a.chunk_role(set[1]), Role::InnerParity);
             assert_eq!(a.chunk_role(set[2]), Role::Parity);

@@ -85,15 +85,13 @@ impl OiRaidConfig {
             ));
         }
         let multipliers = match skew {
-            SkewMode::Rotational => {
-                multiplier_set(group_size, design.k()).ok_or_else(|| {
-                    LayoutError::InvalidGeometry(format!(
-                        "no skew multiplier set for g={group_size}, k={}; \
+            SkewMode::Rotational => multiplier_set(group_size, design.k()).ok_or_else(|| {
+                LayoutError::InvalidGeometry(format!(
+                    "no skew multiplier set for g={group_size}, k={}; \
                          use a prime group size >= k (or SkewMode::Naive)",
-                        design.k()
-                    ))
-                })?
-            }
+                    design.k()
+                ))
+            })?,
             SkewMode::Naive => vec![0; design.k()],
         };
         Ok(Self {
@@ -193,9 +191,8 @@ fn multiplier_set(g: usize, k: usize) -> Option<Vec<usize>> {
     }
     let mut chosen: Vec<usize> = Vec::with_capacity(k);
     for cand in 0..g {
-        if chosen
-            .iter()
-            .all(|&m| gcd(cand - m, g) == 1) // cand > m, so no underflow
+        if chosen.iter().all(|&m| gcd(cand - m, g) == 1)
+        // cand > m, so no underflow
         {
             chosen.push(cand);
             if chosen.len() == k {
@@ -246,7 +243,7 @@ mod tests {
         let m = multiplier_set(9, 3).expect("9 admits 3 multipliers");
         for i in 0..m.len() {
             for j in i + 1..m.len() {
-                assert_eq!((m[j] - m[i]) % 3 != 0, true);
+                assert!(!(m[j] - m[i]).is_multiple_of(3));
             }
         }
     }
@@ -272,10 +269,9 @@ mod tests {
         // p must stay below g.
         let tight = OiRaidConfig::new(bibd::fano(), 2, 1);
         // g=2 < k=3 has no rotational multipliers, so build naive.
-        let tight = tight.or_else(|_| {
-            OiRaidConfig::with_skew(bibd::fano(), 2, 1, SkewMode::Naive)
-        })
-        .unwrap();
+        let tight = tight
+            .or_else(|_| OiRaidConfig::with_skew(bibd::fano(), 2, 1, SkewMode::Naive))
+            .unwrap();
         assert!(tight.with_inner_parities(2).is_err());
     }
 

@@ -120,11 +120,13 @@ impl DegradedScenario {
                         WriteTarget::Spare(i) => spare_ids[i],
                         WriteTarget::Surviving { disk } => disk_ids[disk],
                     };
-                    reads.push(sim.add_task(
-                        TaskSpec::read(dep_target, self.chunk_bytes)
-                            .with_priority(rebuild_priority)
-                            .after(dep_write),
-                    ));
+                    reads.push(
+                        sim.add_task(
+                            TaskSpec::read(dep_target, self.chunk_bytes)
+                                .with_priority(rebuild_priority)
+                                .after(dep_write),
+                        ),
+                    );
                 }
                 let target = match item.write {
                     WriteTarget::Spare(i) => spare_ids[i],

@@ -182,7 +182,9 @@ impl Geometry {
             "offset {o} is inner parity on member {j}"
         );
         let per_band = self.g - self.p_in;
-        let x = (0..within).filter(|&w| !self.member_is_parity(j, w)).count();
+        let x = (0..within)
+            .filter(|&w| !self.member_is_parity(j, w))
+            .count();
         (o / self.g) * per_band + x
     }
 
@@ -342,7 +344,11 @@ mod tests {
 
     #[test]
     fn stripe_chunk_roundtrip_larger_configs() {
-        for (v, k, g_size, c) in [(7usize, 3usize, 5usize, 2usize), (13, 4, 5, 1), (9, 3, 5, 3)] {
+        for (v, k, g_size, c) in [
+            (7usize, 3usize, 5usize, 2usize),
+            (13, 4, 5, 1),
+            (9, 3, 5, 3),
+        ] {
             let design = bibd::find_design(v, k).unwrap();
             let cfg = OiRaidConfig::new(design, g_size, c).unwrap();
             let geom = geo(cfg);
@@ -373,10 +379,10 @@ mod tests {
             }
         }
         // Everything not covered must be inner parity.
-        for d in 0..g.disks() {
-            for o in 0..g.chunks_per_disk {
+        for (d, row) in seen.iter().enumerate() {
+            for (o, &covered) in row.iter().enumerate() {
                 let addr = ChunkAddr::new(d, o);
-                assert_eq!(seen[d][o], !g.is_inner_parity(addr), "{addr}");
+                assert_eq!(covered, !g.is_inner_parity(addr), "{addr}");
             }
         }
     }

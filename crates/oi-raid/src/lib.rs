@@ -38,8 +38,10 @@
 //!   hybrid).
 //! * [`analysis`] — closed-form load/overhead/update-cost model used by the
 //!   experiment harness (and cross-checked against the planners in tests).
-//! * [`OiRaidStore`] — a byte-level in-memory array that actually encodes,
-//!   loses, and reconstructs real data through both layers.
+//! * [`OiRaidStore`] — a byte-level array over pluggable [`blockdev`]
+//!   backends that actually encodes, loses, and reconstructs real data
+//!   through both layers; [`RebuildMode`] / [`RebuildReport`] — the
+//!   plan-driven (optionally parallel) instrumented rebuild engine.
 //!
 //! # Example
 //!
@@ -68,15 +70,17 @@ pub mod analysis;
 mod array;
 mod config;
 mod degraded;
-mod degread;
+mod degraded_read;
 mod geometry;
 mod multifail;
+mod rebuild;
 mod recovery;
 mod store;
 
 pub use array::{ChunkInfo, OiRaid};
 pub use config::{OiRaidConfig, SkewMode};
 pub use degraded::{reference_scenario, DegradedRun, DegradedScenario};
-pub use degread::ReadPlan;
+pub use degraded_read::ReadPlan;
+pub use rebuild::{RebuildMode, RebuildReport};
 pub use recovery::RecoveryStrategy;
 pub use store::{OiRaidStore, StoreError};

@@ -63,7 +63,11 @@ pub(crate) fn multi_failure_plan(
 /// per repaired chunk (reads reference originally-present chunks;
 /// previously repaired inputs become `depends`). Returns whether every
 /// chunk was recovered.
-fn run_fixpoint(array: &OiRaid, failed: &[usize], mut plan: Option<&mut Vec<ChunkRecovery>>) -> bool {
+fn run_fixpoint(
+    array: &OiRaid,
+    failed: &[usize],
+    mut plan: Option<&mut Vec<ChunkRecovery>>,
+) -> bool {
     let geo = array.geometry();
     let n = geo.disks();
     let t = geo.chunks_per_disk;
@@ -245,7 +249,7 @@ mod tests {
         let a = reference();
         let plan = a.recovery_plan(&[0, 3], SparePolicy::Distributed).unwrap();
         assert_eq!(plan.total_writes(), 18); // 2 disks x 9 chunks
-        // No reads from failed disks.
+                                             // No reads from failed disks.
         let load = plan.read_load(21);
         assert_eq!(load[0], 0);
         assert_eq!(load[3], 0);
@@ -254,7 +258,9 @@ mod tests {
     #[test]
     fn whole_group_plan_uses_dependencies() {
         let a = reference();
-        let plan = a.recovery_plan(&[0, 1, 2], SparePolicy::Distributed).unwrap();
+        let plan = a
+            .recovery_plan(&[0, 1, 2], SparePolicy::Distributed)
+            .unwrap();
         assert_eq!(plan.total_writes(), 27);
         // Inner-parity rows of the dead group can only be recomputed from
         // repaired payload: some item must carry dependencies.
@@ -303,19 +309,22 @@ mod tests {
         let a = dual_parity_array();
         assert_eq!(a.fault_tolerance(), 5);
         let n = a.disks(); // 35
-        // Deterministic sample of 5-failure patterns including adversarial
-        // shapes (whole group = 5 disks, 3+2 across block-sharing groups).
+                           // Deterministic sample of 5-failure patterns including adversarial
+                           // shapes (whole group = 5 disks, 3+2 across block-sharing groups).
         let patterns: Vec<Vec<usize>> = vec![
-            vec![0, 1, 2, 3, 4],          // whole group
-            vec![0, 1, 2, 5, 6],          // 3 + 2 in groups sharing a block
-            vec![0, 1, 5, 6, 10],         // 2+2+1
-            vec![0, 7, 14, 21, 28],       // spread
-            vec![30, 31, 32, 33, 34],     // last group
-            vec![0, 1, 2, 3, 34],         // 4 + 1
+            vec![0, 1, 2, 3, 4],      // whole group
+            vec![0, 1, 2, 5, 6],      // 3 + 2 in groups sharing a block
+            vec![0, 1, 5, 6, 10],     // 2+2+1
+            vec![0, 7, 14, 21, 28],   // spread
+            vec![30, 31, 32, 33, 34], // last group
+            vec![0, 1, 2, 3, 34],     // 4 + 1
         ];
         for p in &patterns {
             assert!(a.survives(p), "{p:?}");
-            assert!(a.recovery_plan(p, SparePolicy::Distributed).is_ok(), "{p:?}");
+            assert!(
+                a.recovery_plan(p, SparePolicy::Distributed).is_ok(),
+                "{p:?}"
+            );
         }
         // Pseudo-random sample on top.
         let mut s = 0xD00Du64;
@@ -341,7 +350,10 @@ mod tests {
         // members {0, 3, 4} of groups 0 and 1). Many other 3 + 3 patterns
         // *do* survive through the cascade — tolerance is exactly 5.
         assert!(!a.survives(&[0, 3, 4, 5, 8, 9]));
-        assert!(a.survives(&[0, 1, 2, 5, 6, 7]), "most 3+3 patterns cascade back");
+        assert!(
+            a.survives(&[0, 1, 2, 5, 6, 7]),
+            "most 3+3 patterns cascade back"
+        );
     }
 
     #[test]
@@ -349,7 +361,13 @@ mod tests {
         let design = bibd::find_design(13, 4).unwrap();
         let a = OiRaid::new(OiRaidConfig::new(design, 5, 1).unwrap()).unwrap();
         // Spot-check a spread of triples on the 65-disk array.
-        for (d1, d2, d3) in [(0, 1, 2), (0, 5, 10), (7, 21, 49), (62, 63, 64), (0, 32, 64)] {
+        for (d1, d2, d3) in [
+            (0, 1, 2),
+            (0, 5, 10),
+            (7, 21, 49),
+            (62, 63, 64),
+            (0, 32, 64),
+        ] {
             assert!(a.survives(&[d1, d2, d3]), "[{d1},{d2},{d3}]");
         }
     }

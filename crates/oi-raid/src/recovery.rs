@@ -18,10 +18,8 @@
 //!   `ψ = (rg − (g−1)) / (rg + (g−1))` that equalises group-survivor and
 //!   remote-disk load — the bottleneck-optimal mix (ablation A2).
 
-use layout::{
-    ChunkAddr, LayoutError, RecoveryPlan, SparePolicy, WriteTarget,
-};
 use layout::ChunkRecovery;
+use layout::{ChunkAddr, LayoutError, RecoveryPlan, SparePolicy, WriteTarget};
 
 use crate::array::OiRaid;
 
@@ -181,9 +179,9 @@ mod tests {
         let a = reference();
         let p = plan(&a, 4, RecoveryStrategy::Inner); // group 1 = disks 3..6
         let load = p.read_load(21);
-        for d in 0..21 {
+        for (d, &ld) in load.iter().enumerate() {
             let in_group = (3..6).contains(&d) && d != 4;
-            assert_eq!(load[d] > 0, in_group, "disk {d}");
+            assert_eq!(ld > 0, in_group, "disk {d}");
         }
         // Each group survivor reads the failed disk's full chunk count.
         assert_eq!(load[3], 9);

@@ -1,11 +1,22 @@
-//! A byte-level in-memory OI-RAID array: real data, real XOR parity in both
-//! layers, real reconstruction. This is the end-to-end proof that the
-//! geometry and the codes compose correctly — the integration tests write
-//! data, kill three disks, and get every byte back.
+//! A byte-level OI-RAID array: real data, real XOR parity in both layers,
+//! real reconstruction. This is the end-to-end proof that the geometry and
+//! the codes compose correctly — the integration tests write data, kill
+//! three disks, and get every byte back.
+//!
+//! The store is generic over its backing [`BlockDevice`]: [`MemDevice`]
+//! (RAM, the default), [`FileDevice`] (one file per disk, for arrays larger
+//! than RAM), or [`FaultInjectingDevice`](blockdev::FaultInjectingDevice)
+//! (seeded fault/latency injection for robustness tests and rebuild
+//! experiments). Recovery runs either through the legacy whole-array decode
+//! fixpoint ([`OiRaidStore::rebuild_disk`]) or through the plan-driven
+//! executor in [`crate::rebuild`], which drains all surviving disks in
+//! parallel.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::path::Path;
 
+use blockdev::{BlockDevice, DeviceError, FileDevice, MemDevice};
 use ecc::{ErasureCode, Raid6, XorParity};
 use gf::Gf256;
 use layout::{ChunkAddr, Layout};
@@ -43,6 +54,14 @@ pub enum StoreError {
     },
     /// The current failure pattern is unrecoverable.
     DataLoss,
+    /// A backend device reported an error (injected fault, I/O failure, or
+    /// a geometry mismatch at construction).
+    Device {
+        /// The disk whose device errored.
+        disk: usize,
+        /// The underlying device error.
+        error: DeviceError,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -57,13 +76,14 @@ impl fmt::Display for StoreError {
             Self::DiskFailed { disk } => write!(f, "disk {disk} is failed"),
             Self::DiskOutOfRange { disk } => write!(f, "disk {disk} out of range"),
             Self::DataLoss => write!(f, "failure pattern is unrecoverable"),
+            Self::Device { disk, error } => write!(f, "device {disk}: {error}"),
         }
     }
 }
 
 impl std::error::Error for StoreError {}
 
-/// An in-memory OI-RAID array storing real bytes.
+/// An OI-RAID array storing real bytes on pluggable block devices.
 ///
 /// Writes maintain both parity layers incrementally (1 data + 3 parity chunk
 /// writes — the update-optimal path); reads reconstruct transparently while
@@ -81,16 +101,16 @@ impl std::error::Error for StoreError {}
 /// assert_eq!(store.read_data(0).unwrap(), vec![7u8; 64]);
 /// ```
 #[derive(Debug, Clone)]
-pub struct OiRaidStore {
+pub struct OiRaidStore<B: BlockDevice = MemDevice> {
     array: OiRaid,
     chunk_size: usize,
-    /// Per-disk content, `None` while failed. Healthy disks hold
-    /// `chunks_per_disk * chunk_size` bytes.
-    disks: Vec<Option<Vec<u8>>>,
+    /// One device per disk; failed disks are failed *devices*.
+    devices: Vec<B>,
 }
 
-impl OiRaidStore {
-    /// Creates a zero-filled store with `chunk_size` bytes per chunk.
+impl OiRaidStore<MemDevice> {
+    /// Creates a zero-filled memory-backed store with `chunk_size` bytes
+    /// per chunk.
     ///
     /// # Errors
     ///
@@ -104,18 +124,126 @@ impl OiRaidStore {
             });
         }
         let array = OiRaid::new(cfg).expect("validated config constructs");
-        let per_disk = array.chunks_per_disk() * chunk_size;
-        let disks = vec![Some(vec![0u8; per_disk]); array.disks()];
+        let devices = MemDevice::array(chunk_size, array.chunks_per_disk(), array.disks());
         Ok(Self {
             array,
             chunk_size,
-            disks,
+            devices,
+        })
+    }
+}
+
+impl OiRaidStore<FileDevice> {
+    /// Creates a zero-filled file-backed store: one `disk-NNN.img` file per
+    /// disk under `dir` (created if absent). Arrays larger than RAM work;
+    /// contents persist until the files are deleted.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::WrongChunkSize`] for `chunk_size == 0`,
+    /// [`StoreError::Device`] on filesystem errors.
+    pub fn create_in_dir(
+        cfg: OiRaidConfig,
+        chunk_size: usize,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self, StoreError> {
+        if chunk_size == 0 {
+            return Err(StoreError::WrongChunkSize {
+                found: 0,
+                expected: 1,
+            });
+        }
+        let array = OiRaid::new(cfg).expect("validated config constructs");
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| StoreError::Device {
+            disk: 0,
+            error: DeviceError::Io(e.to_string()),
+        })?;
+        let devices = (0..array.disks())
+            .map(|d| {
+                FileDevice::create(
+                    dir.join(format!("disk-{d:03}.img")),
+                    chunk_size,
+                    array.chunks_per_disk(),
+                )
+                .map_err(|error| StoreError::Device { disk: d, error })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            array,
+            chunk_size,
+            devices,
+        })
+    }
+}
+
+impl<B: BlockDevice> OiRaidStore<B> {
+    /// Wraps caller-provided devices (one per disk, in disk order). Devices
+    /// must all use `chunk_size`-byte chunks and hold exactly
+    /// `chunks_per_disk` chunks.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Device`] with [`DeviceError::WrongBufferSize`] /
+    /// [`DeviceError::OutOfRange`] on geometry mismatches,
+    /// [`StoreError::DiskOutOfRange`] when the device count differs from
+    /// the array's disk count.
+    pub fn with_devices(
+        cfg: OiRaidConfig,
+        chunk_size: usize,
+        devices: Vec<B>,
+    ) -> Result<Self, StoreError> {
+        if chunk_size == 0 {
+            return Err(StoreError::WrongChunkSize {
+                found: 0,
+                expected: 1,
+            });
+        }
+        let array = OiRaid::new(cfg).expect("validated config constructs");
+        if devices.len() != array.disks() {
+            return Err(StoreError::DiskOutOfRange {
+                disk: devices.len(),
+            });
+        }
+        for (d, dev) in devices.iter().enumerate() {
+            if dev.chunk_size() != chunk_size {
+                return Err(StoreError::Device {
+                    disk: d,
+                    error: DeviceError::WrongBufferSize {
+                        found: dev.chunk_size(),
+                        expected: chunk_size,
+                    },
+                });
+            }
+            if dev.chunks() != array.chunks_per_disk() {
+                return Err(StoreError::Device {
+                    disk: d,
+                    error: DeviceError::OutOfRange {
+                        chunk: dev.chunks(),
+                        chunks: array.chunks_per_disk(),
+                    },
+                });
+            }
+        }
+        Ok(Self {
+            array,
+            chunk_size,
+            devices,
         })
     }
 
     /// The underlying array.
     pub fn array(&self) -> &OiRaid {
         &self.array
+    }
+
+    /// The backing devices, in disk order (counters, fault state).
+    pub fn devices(&self) -> &[B] {
+        &self.devices
+    }
+
+    pub(crate) fn devices_mut(&mut self) -> &mut [B] {
+        &mut self.devices
     }
 
     /// Bytes per chunk.
@@ -139,22 +267,46 @@ impl OiRaidStore {
 
     /// Currently failed disks (ascending).
     pub fn failed_disks(&self) -> Vec<usize> {
-        self.disks
+        self.devices
             .iter()
             .enumerate()
-            .filter_map(|(d, c)| c.is_none().then_some(d))
+            .filter_map(|(d, dev)| dev.is_failed().then_some(d))
             .collect()
     }
 
-    fn chunk(&self, addr: ChunkAddr) -> Option<&[u8]> {
-        self.disks[addr.disk].as_ref().map(|bytes| {
-            &bytes[addr.offset * self.chunk_size..(addr.offset + 1) * self.chunk_size]
-        })
+    fn disk_down(&self, disk: usize) -> bool {
+        self.devices[disk].is_failed()
+    }
+
+    /// Reads one chunk. `Ok(None)` when the disk is failed; device-level
+    /// errors (injected faults, I/O failures) surface as
+    /// [`StoreError::Device`].
+    pub(crate) fn chunk(&self, addr: ChunkAddr) -> Result<Option<Vec<u8>>, StoreError> {
+        let dev = &self.devices[addr.disk];
+        if dev.is_failed() {
+            return Ok(None);
+        }
+        let mut buf = vec![0u8; self.chunk_size];
+        match dev.read_chunk(addr.offset, &mut buf) {
+            Ok(()) => Ok(Some(buf)),
+            Err(DeviceError::Failed) => Ok(None),
+            Err(error) => Err(StoreError::Device {
+                disk: addr.disk,
+                error,
+            }),
+        }
+    }
+
+    /// Reads one chunk, mapping *any* unavailability (failed disk, injected
+    /// fault, I/O error) to `None`. Used by scrubbing/verification, which
+    /// skip relations they cannot fully read.
+    fn readable_chunk(&self, addr: ChunkAddr) -> Option<Vec<u8>> {
+        self.chunk(addr).ok().flatten()
     }
 
     /// The inner-layer row code: RAID5 for `p_in = 1`, RAID6 for `p_in = 2`
     /// (payload width `g − p_in`).
-    fn inner_code(&self) -> Box<dyn ErasureCode> {
+    pub(crate) fn inner_code(&self) -> Box<dyn ErasureCode> {
         let geo = self.array.geometry();
         match geo.p_in {
             1 => Box::new(XorParity::new(geo.g - 1).expect("g >= 2")),
@@ -191,18 +343,25 @@ impl OiRaidStore {
         Ok(())
     }
 
+    pub(crate) fn write_chunk(&mut self, addr: ChunkAddr, data: &[u8]) -> Result<(), StoreError> {
+        match self.devices[addr.disk].write_chunk(addr.offset, data) {
+            Ok(()) => Ok(()),
+            Err(DeviceError::Failed) => Err(StoreError::DiskFailed { disk: addr.disk }),
+            Err(error) => Err(StoreError::Device {
+                disk: addr.disk,
+                error,
+            }),
+        }
+    }
+
     fn xor_into(&mut self, addr: ChunkAddr, delta: &[u8]) -> Result<(), StoreError> {
-        let cs = self.chunk_size;
-        let disk = self.disks[addr.disk]
-            .as_mut()
+        let mut bytes = self
+            .chunk(addr)?
             .ok_or(StoreError::DiskFailed { disk: addr.disk })?;
-        for (b, d) in disk[addr.offset * cs..(addr.offset + 1) * cs]
-            .iter_mut()
-            .zip(delta)
-        {
+        for (b, d) in bytes.iter_mut().zip(delta) {
             *b ^= d;
         }
-        Ok(())
+        self.write_chunk(addr, &bytes)
     }
 
     /// Writes logical data chunk `idx`, updating both parity layers
@@ -229,10 +388,12 @@ impl OiRaidStore {
         }
         let addr = self.array.locate_data(idx);
         let targets = self.array.update_set(addr);
-        if let Some(t) = targets.iter().find(|t| self.disks[t.disk].is_none()) {
+        if let Some(t) = targets.iter().find(|t| self.disk_down(t.disk)) {
             return Err(StoreError::DiskFailed { disk: t.disk });
         }
-        let old = self.chunk(addr).expect("checked healthy").to_vec();
+        let old = self
+            .chunk(addr)?
+            .ok_or(StoreError::DiskFailed { disk: addr.disk })?;
         let delta: Vec<u8> = old.iter().zip(data).map(|(o, n)| o ^ n).collect();
         // Data chunk and outer parity absorb Δ directly; each affected
         // row's inner parities absorb the code-weighted Δ.
@@ -260,8 +421,8 @@ impl OiRaidStore {
             });
         }
         let addr = self.array.locate_data(idx);
-        if let Some(bytes) = self.chunk(addr) {
-            return Ok(bytes.to_vec());
+        if let Some(bytes) = self.chunk(addr)? {
+            return Ok(bytes);
         }
         let recovered = self.reconstruct_missing()?;
         Ok(recovered[&addr].clone())
@@ -274,15 +435,17 @@ impl OiRaidStore {
     /// [`StoreError::DiskOutOfRange`] for bad indices (double-failing is a
     /// no-op).
     pub fn fail_disk(&mut self, disk: usize) -> Result<(), StoreError> {
-        if disk >= self.disks.len() {
+        if disk >= self.devices.len() {
             return Err(StoreError::DiskOutOfRange { disk });
         }
-        self.disks[disk] = None;
+        self.devices[disk].fail();
         Ok(())
     }
 
     /// Rebuilds a failed disk's full contents from the redundancy and
-    /// brings it back online.
+    /// brings it back online, using the legacy whole-array decode fixpoint
+    /// (see [`OiRaidStore::rebuild`] for the plan-driven, instrumented,
+    /// parallel-capable engine).
     ///
     /// # Errors
     ///
@@ -290,26 +453,26 @@ impl OiRaidStore {
     /// unrecoverable, [`StoreError::DiskOutOfRange`] on bad input. Rebuilding
     /// a healthy disk is a no-op.
     pub fn rebuild_disk(&mut self, disk: usize) -> Result<(), StoreError> {
-        if disk >= self.disks.len() {
+        if disk >= self.devices.len() {
             return Err(StoreError::DiskOutOfRange { disk });
         }
-        if self.disks[disk].is_some() {
+        if !self.disk_down(disk) {
             return Ok(());
         }
         let recovered = self.reconstruct_missing()?;
-        let cs = self.chunk_size;
-        let mut bytes = vec![0u8; self.array.chunks_per_disk() * cs];
+        self.devices[disk]
+            .heal()
+            .map_err(|error| StoreError::Device { disk, error })?;
         for o in 0..self.array.chunks_per_disk() {
             let addr = ChunkAddr::new(disk, o);
-            bytes[o * cs..(o + 1) * cs].copy_from_slice(&recovered[&addr]);
+            self.write_chunk(addr, &recovered[&addr])?;
         }
-        self.disks[disk] = Some(bytes);
         Ok(())
     }
 
     /// Verifies every parity relation in both layers; returns the addresses
-    /// of violated parity chunks (empty = consistent). Failed disks are
-    /// skipped.
+    /// of violated parity chunks (empty = consistent). Relations touching a
+    /// failed disk — or a chunk the backend cannot read — are skipped.
     pub fn check_parity(&self) -> Vec<ChunkAddr> {
         let geo = self.array.geometry();
         let cs = self.chunk_size;
@@ -319,21 +482,17 @@ impl OiRaidStore {
         for grp in 0..geo.v {
             for row in 0..geo.chunks_per_disk {
                 let chunks: Vec<_> = geo.row_chunks(grp, row);
-                if chunks.iter().any(|a| self.disks[a.disk].is_none()) {
+                if chunks.iter().any(|a| self.readable_chunk(*a).is_none()) {
                     continue;
                 }
                 let payload: Vec<Vec<u8>> = geo
                     .row_payload(grp, row)
                     .iter()
-                    .map(|a| self.chunk(*a).expect("healthy").to_vec())
+                    .map(|a| self.readable_chunk(*a).expect("checked readable"))
                     .collect();
                 let expect = code.encode(&payload).expect("row encodes");
-                for (stored, want) in geo
-                    .inner_parities_of_row(grp, row)
-                    .into_iter()
-                    .zip(expect)
-                {
-                    if self.chunk(stored).expect("healthy") != &want[..] {
+                for (stored, want) in geo.inner_parities_of_row(grp, row).into_iter().zip(expect) {
+                    if self.readable_chunk(stored).as_deref() != Some(&want[..]) {
                         bad.push(stored);
                     }
                 }
@@ -342,12 +501,14 @@ impl OiRaidStore {
         // Outer stripes: XOR of all k chunks must be zero.
         for (block, s) in geo.all_stripes() {
             let chunks = geo.stripe_chunks(block, s);
-            if chunks.iter().any(|a| self.disks[a.disk].is_none()) {
+            let values: Vec<Option<Vec<u8>>> =
+                chunks.iter().map(|a| self.readable_chunk(*a)).collect();
+            if values.iter().any(|v| v.is_none()) {
                 continue;
             }
             let mut acc = vec![0u8; cs];
-            for a in &chunks {
-                for (x, b) in acc.iter_mut().zip(self.chunk(*a).expect("healthy")) {
+            for v in values.iter().flatten() {
+                for (x, b) in acc.iter_mut().zip(v) {
                     *x ^= b;
                 }
             }
@@ -376,14 +537,15 @@ impl OiRaidStore {
     /// [`OiRaidStore::capacity_bytes`]; [`StoreError::DataLoss`] if a
     /// touched chunk is unrecoverable.
     pub fn read_bytes(&self, offset: u64, buf: &mut [u8]) -> Result<(), StoreError> {
-        let end = offset
+        if offset
             .checked_add(buf.len() as u64)
-            .filter(|&e| e <= self.capacity_bytes())
-            .ok_or(StoreError::IndexOutOfRange {
+            .is_none_or(|e| e > self.capacity_bytes())
+        {
+            return Err(StoreError::IndexOutOfRange {
                 index: offset as usize,
                 capacity: self.capacity_bytes() as usize,
-            })?;
-        let _ = end;
+            });
+        }
         let cs = self.chunk_size as u64;
         let mut done = 0usize;
         while done < buf.len() {
@@ -409,7 +571,7 @@ impl OiRaidStore {
     pub fn write_bytes(&mut self, offset: u64, data: &[u8]) -> Result<(), StoreError> {
         if offset
             .checked_add(data.len() as u64)
-            .map_or(true, |e| e > self.capacity_bytes())
+            .is_none_or(|e| e > self.capacity_bytes())
         {
             return Err(StoreError::IndexOutOfRange {
                 index: offset as usize,
@@ -443,7 +605,7 @@ impl OiRaidStore {
     /// [`StoreError::DiskFailed`] if the disk is down,
     /// [`StoreError::DiskOutOfRange`] for bad addresses.
     pub fn corrupt_chunk(&mut self, addr: ChunkAddr, xor_mask: u8) -> Result<(), StoreError> {
-        if addr.disk >= self.disks.len() {
+        if addr.disk >= self.devices.len() {
             return Err(StoreError::DiskOutOfRange { disk: addr.disk });
         }
         let mask = vec![xor_mask; self.chunk_size];
@@ -468,12 +630,14 @@ impl OiRaidStore {
         let mut bad_stripes: Vec<Vec<ChunkAddr>> = Vec::new();
         for (block, s) in geo.all_stripes() {
             let chunks = geo.stripe_chunks(block, s);
-            if chunks.iter().any(|a| self.disks[a.disk].is_none()) {
+            let values: Vec<Option<Vec<u8>>> =
+                chunks.iter().map(|a| self.readable_chunk(*a)).collect();
+            if values.iter().any(|v| v.is_none()) {
                 continue;
             }
             let mut acc = vec![0u8; cs];
-            for a in &chunks {
-                for (x, b) in acc.iter_mut().zip(self.chunk(*a).expect("healthy")) {
+            for v in values.iter().flatten() {
+                for (x, b) in acc.iter_mut().zip(v) {
                     *x ^= b;
                 }
             }
@@ -488,20 +652,19 @@ impl OiRaidStore {
         for grp in 0..geo.v {
             for row in 0..geo.chunks_per_disk {
                 let chunks = geo.row_chunks(grp, row);
-                if chunks.iter().any(|a| self.disks[a.disk].is_none()) {
+                if chunks.iter().any(|a| self.readable_chunk(*a).is_none()) {
                     continue;
                 }
                 let payload_addrs = geo.row_payload(grp, row);
                 let payload: Vec<Vec<u8>> = payload_addrs
                     .iter()
-                    .map(|a| self.chunk(*a).expect("healthy").to_vec())
+                    .map(|a| self.readable_chunk(*a).expect("checked readable"))
                     .collect();
                 let expect = code.encode(&payload).expect("row encodes");
                 let parities = geo.inner_parities_of_row(grp, row);
-                let row_violated = parities
-                    .iter()
-                    .zip(&expect)
-                    .any(|(a, want)| self.chunk(*a).expect("healthy") != &want[..]);
+                let row_violated = parities.iter().zip(&expect).any(|(a, want)| {
+                    self.readable_chunk(*a).expect("checked readable") != want[..]
+                });
                 if !row_violated {
                     continue;
                 }
@@ -519,16 +682,16 @@ impl OiRaidStore {
                         let mut val = vec![0u8; cs];
                         for a in geo.stripe_chunks(p.block, p.stripe) {
                             if a != *bad_payload {
-                                for (x, b) in
-                                    val.iter_mut().zip(self.chunk(a).expect("healthy"))
+                                for (x, b) in val
+                                    .iter_mut()
+                                    .zip(&self.readable_chunk(a).expect("checked readable"))
                                 {
                                     *x ^= b;
                                 }
                             }
                         }
-                        let old = self.chunk(*bad_payload).expect("healthy").to_vec();
-                        let delta: Vec<u8> =
-                            old.iter().zip(&val).map(|(o, n)| o ^ n).collect();
+                        let old = self.readable_chunk(*bad_payload).expect("checked readable");
+                        let delta: Vec<u8> = old.iter().zip(&val).map(|(o, n)| o ^ n).collect();
                         self.xor_into(*bad_payload, &delta).expect("healthy");
                         repaired.push(*bad_payload);
                         // Recompute the row parities from the repaired
@@ -537,11 +700,11 @@ impl OiRaidStore {
                         let fresh: Vec<Vec<u8>> = geo
                             .row_payload(grp, row)
                             .iter()
-                            .map(|a| self.chunk(*a).expect("healthy").to_vec())
+                            .map(|a| self.readable_chunk(*a).expect("checked readable"))
                             .collect();
                         let want = code.encode(&fresh).expect("row encodes");
                         for (a, w) in parities.iter().zip(want) {
-                            let old = self.chunk(*a).expect("healthy").to_vec();
+                            let old = self.readable_chunk(*a).expect("checked readable");
                             if old != w {
                                 let delta: Vec<u8> =
                                     old.iter().zip(&w).map(|(o, n)| o ^ n).collect();
@@ -553,7 +716,7 @@ impl OiRaidStore {
                         // No payload suspect: the inner parity itself is
                         // corrupted — recompute it.
                         for (a, w) in parities.iter().zip(&expect) {
-                            let old = self.chunk(*a).expect("healthy").to_vec();
+                            let old = self.readable_chunk(*a).expect("checked readable");
                             if old != w[..] {
                                 let delta: Vec<u8> =
                                     old.iter().zip(w).map(|(o, n)| o ^ n).collect();
@@ -573,34 +736,43 @@ impl OiRaidStore {
     }
 
     /// Value fixpoint: reconstructs every chunk of every failed disk.
-    fn reconstruct_missing(&self) -> Result<HashMap<ChunkAddr, Vec<u8>>, StoreError> {
+    ///
+    /// Reads every healthy chunk once up front (whole-array decode — the
+    /// plan-driven engine in [`crate::rebuild`] is the memory- and
+    /// I/O-bounded path), then repairs stripes/rows until closed.
+    pub(crate) fn reconstruct_missing(&self) -> Result<HashMap<ChunkAddr, Vec<u8>>, StoreError> {
         let geo = self.array.geometry();
-        let cs = self.chunk_size;
         let failed = self.failed_disks();
         let mut known: HashMap<ChunkAddr, Vec<u8>> = HashMap::new();
+        for d in 0..geo.disks() {
+            if failed.contains(&d) {
+                continue;
+            }
+            for o in 0..geo.chunks_per_disk {
+                let addr = ChunkAddr::new(d, o);
+                let bytes = self
+                    .chunk(addr)?
+                    .ok_or(StoreError::DiskFailed { disk: d })?;
+                known.insert(addr, bytes);
+            }
+        }
         let mut missing: usize = failed.len() * geo.chunks_per_disk;
-        let value = |known: &HashMap<ChunkAddr, Vec<u8>>, a: ChunkAddr| -> Option<Vec<u8>> {
-            self.chunk(a)
-                .map(|s| s.to_vec())
-                .or_else(|| known.get(&a).cloned())
-        };
+        let cs = self.chunk_size;
         let mut progressed = true;
         while missing > 0 && progressed {
             progressed = false;
             let try_repair =
                 |chunks: &[ChunkAddr], known: &mut HashMap<ChunkAddr, Vec<u8>>| -> bool {
-                    let unknown: Vec<&ChunkAddr> = chunks
-                        .iter()
-                        .filter(|a| self.chunk(**a).is_none() && !known.contains_key(*a))
-                        .collect();
+                    let unknown: Vec<&ChunkAddr> =
+                        chunks.iter().filter(|a| !known.contains_key(*a)).collect();
                     if unknown.len() != 1 {
                         return false;
                     }
                     let lost = *unknown[0];
                     let mut acc = vec![0u8; cs];
                     for a in chunks.iter().filter(|a| **a != lost) {
-                        let v = value(known, *a).expect("all other chunks known");
-                        for (x, b) in acc.iter_mut().zip(&v) {
+                        let v = &known[a];
+                        for (x, b) in acc.iter_mut().zip(v) {
                             *x ^= b;
                         }
                     }
@@ -627,16 +799,14 @@ impl OiRaidStore {
                     let unknown: Vec<usize> = ordered
                         .iter()
                         .enumerate()
-                        .filter(|(_, a)| self.chunk(**a).is_none() && !known.contains_key(*a))
+                        .filter(|(_, a)| !known.contains_key(*a))
                         .map(|(i, _)| i)
                         .collect();
                     if unknown.is_empty() || unknown.len() > geo.p_in {
                         continue;
                     }
-                    let mut units: Vec<Option<Vec<u8>>> = ordered
-                        .iter()
-                        .map(|a| value(&known, *a))
-                        .collect();
+                    let mut units: Vec<Option<Vec<u8>>> =
+                        ordered.iter().map(|a| known.get(a).cloned()).collect();
                     code.reconstruct(&mut units).expect("within tolerance");
                     for i in unknown {
                         known.insert(ordered[i], units[i].clone().expect("reconstructed"));
@@ -653,7 +823,6 @@ impl OiRaidStore {
         }
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -771,7 +940,7 @@ mod tests {
         // Neighbouring bytes are untouched by the read-modify-write.
         let mut head = vec![0u8; 10];
         store.read_bytes(0, &mut head).unwrap();
-        let expect_head: Vec<u8> = (0..10).map(|j| (0 * 37 + j * 11 + 5) as u8).collect();
+        let expect_head: Vec<u8> = (0..10).map(|j| ((j * 11) + 5) as u8).collect();
         assert_eq!(head, expect_head);
     }
 
@@ -849,7 +1018,10 @@ mod tests {
         // Corrupt chunks in different rows and stripes (distinct groups).
         let a1 = store.locate(5);
         let a2 = store.locate(40);
-        let (g1, g2) = (store.array().group_of(a1.disk), store.array().group_of(a2.disk));
+        let (g1, g2) = (
+            store.array().group_of(a1.disk),
+            store.array().group_of(a2.disk),
+        );
         if g1 == g2 {
             return; // geometry places these apart for the reference config
         }
@@ -880,7 +1052,10 @@ mod tests {
             store.write_data(idx, &chunk).unwrap();
             expect.push(chunk);
         }
-        assert!(store.check_parity().is_empty(), "dual-parity rows consistent");
+        assert!(
+            store.check_parity().is_empty(),
+            "dual-parity rows consistent"
+        );
         // Kill five disks (a whole group) and rebuild.
         for d in [5, 6, 7, 8, 9] {
             store.fail_disk(d).unwrap();
@@ -905,8 +1080,7 @@ mod tests {
         for idx in (0..a.data_chunks()).step_by(11) {
             let set = a.update_set(a.locate_data(idx));
             assert_eq!(set.len(), 6, "1 data + 5 parity writes");
-            let disks: std::collections::HashSet<usize> =
-                set.iter().map(|c| c.disk).collect();
+            let disks: std::collections::HashSet<usize> = set.iter().map(|c| c.disk).collect();
             assert_eq!(disks.len(), 6, "all on distinct disks");
         }
     }

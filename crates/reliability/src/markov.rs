@@ -89,13 +89,14 @@ impl MttdlModel {
             m.swap(col, pivot);
             b.swap(col, pivot);
             let d = m[col][col];
-            for j in col..n {
-                m[col][j] /= d;
+            for x in m[col][col..n].iter_mut() {
+                *x /= d;
             }
             b[col] /= d;
             for row in 0..n {
                 if row != col && m[row][col] != 0.0 {
                     let f = m[row][col];
+                    #[allow(clippy::needless_range_loop)] // reads row `col` while mutating `row`
                     for j in col..n {
                         m[row][j] -= f * m[col][j];
                     }
@@ -140,7 +141,10 @@ impl MttdlModel {
 /// last `up` is nonzero, or any rate is negative/non-finite.
 pub fn birth_death_mttdl(up: &[f64], loss: &[f64], down: &[f64]) -> f64 {
     let m = up.len();
-    assert!(m > 0 && loss.len() == m && down.len() == m, "length mismatch");
+    assert!(
+        m > 0 && loss.len() == m && down.len() == m,
+        "length mismatch"
+    );
     assert_eq!(down[0], 0.0, "state 0 has no down transition");
     assert_eq!(up[m - 1], 0.0, "last state has no up transition");
     for &r in up.iter().chain(loss).chain(down) {

@@ -128,12 +128,7 @@ fn lifetime_sample(rng: &mut StdRng, mttf: f64, lifetime: Lifetime) -> f64 {
     }
 }
 
-fn run_trial(
-    layout: &dyn Layout,
-    cfg: &LifetimeConfig,
-    n: usize,
-    rng: &mut StdRng,
-) -> (bool, f64) {
+fn run_trial(layout: &dyn Layout, cfg: &LifetimeConfig, n: usize, rng: &mut StdRng) -> (bool, f64) {
     // next_fail[d]: time the (currently healthy) disk d fails;
     // repair_done[d]: Some(t) while d is down.
     let mut next_fail: Vec<f64> = (0..n)

@@ -55,7 +55,8 @@ pub fn exposure_profile(layout: &dyn Layout, max_f: usize, capacity: u64, ber: f
             if f == 0 || f < t {
                 0.0
             } else if f == t {
-                match layout.recovery_plan(&spread_pattern(layout.disks(), f), SparePolicy::Distributed)
+                match layout
+                    .recovery_plan(&spread_pattern(layout.disks(), f), SparePolicy::Distributed)
                 {
                     Ok(plan) => p_ure(plan.total_reads() * chunk_bytes, ber),
                     Err(_) => 1.0, // representative pattern already fatal
@@ -220,7 +221,10 @@ mod tests {
         let m_raw = mttdl_at(raw);
         let m_weekly = mttdl_at(weekly);
         let m_daily = mttdl_at(daily);
-        assert!(m_raw < m_weekly && m_weekly < m_daily, "{m_raw} {m_weekly} {m_daily}");
+        assert!(
+            m_raw < m_weekly && m_weekly < m_daily,
+            "{m_raw} {m_weekly} {m_daily}"
+        );
     }
 
     #[test]

@@ -36,7 +36,8 @@ fn main() {
     println!("single-disk rebuild read distribution (disk 0 fails):\n");
     show_load(
         "PD(21,5,1)",
-        &pd.recovery_plan(&[0], SparePolicy::Distributed).expect("plan"),
+        &pd.recovery_plan(&[0], SparePolicy::Distributed)
+            .expect("plan"),
         21,
     );
     show_load(
@@ -79,7 +80,10 @@ fn main() {
         print!("{:>9}", format!("f={f}"));
     }
     println!();
-    for (name, l) in [("PD(21,5,1)", &pd as &dyn Layout), ("OI-RAID", &oi as &dyn Layout)] {
+    for (name, l) in [
+        ("PD(21,5,1)", &pd as &dyn Layout),
+        ("OI-RAID", &oi as &dyn Layout),
+    ] {
         print!("  {name:<14}");
         for f in 1..=4usize {
             print!(

@@ -33,7 +33,10 @@ fn main() {
             .expect("plan"),
         t,
     );
-    println!("{:<34}{:>12.0}{:>10.2}", "RAID5(21), dedicated spare", raid5_time, 1.0);
+    println!(
+        "{:<34}{:>12.0}{:>10.2}",
+        "RAID5(21), dedicated spare", raid5_time, 1.0
+    );
 
     let raid50 = Raid50::new(7, 3, t).expect("raid50");
     let raid50_time = simulate(

@@ -13,7 +13,10 @@ fn main() {
     // --- Code level: LRC(12, 2, 2), Azure's production parameters. -------
     let lrc = Lrc::new(12, 2, 2).expect("Azure parameters");
     println!("code-level locality: {}", lrc.name());
-    println!("  tolerance          : {} arbitrary erasures", lrc.fault_tolerance());
+    println!(
+        "  tolerance          : {} arbitrary erasures",
+        lrc.fault_tolerance()
+    );
     println!("  efficiency         : {:.3}", lrc.efficiency());
     println!(
         "  single-unit repair : {} reads (its local group) vs {} for RS(12,4)",
@@ -31,14 +34,20 @@ fn main() {
     units[7] = None;
     units[14] = None; // three losses -> global solve
     lrc.reconstruct(&mut units).expect("within tolerance");
-    assert!(units.iter().zip(&full).all(|(u, f)| u.as_deref() == Some(&f[..])));
+    assert!(units
+        .iter()
+        .zip(&full)
+        .all(|(u, f)| u.as_deref() == Some(&f[..])));
     println!("  verified           : triple-erasure decode on real bytes\n");
 
     // --- Layout level: OI-RAID. ------------------------------------------
     let array = OiRaid::new(OiRaidConfig::reference()).expect("reference");
     let m = Model::of(&array);
     println!("layout-level declustering: {}", array.name());
-    println!("  tolerance          : {} arbitrary disk failures", array.fault_tolerance());
+    println!(
+        "  tolerance          : {} arbitrary disk failures",
+        array.fault_tolerance()
+    );
     println!("  efficiency         : {:.3}", array.efficiency());
     println!(
         "  degraded read      : {} reads (inner row) for a chunk on a failed disk",

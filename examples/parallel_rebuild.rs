@@ -1,0 +1,40 @@
+//! File-backed store + parallel rebuild engine, end to end.
+//!
+//! Creates a real on-disk array (one image file per disk), writes data,
+//! fails three disks, rebuilds them with one reader thread per surviving
+//! disk, and verifies the data survived — the runnable version of the
+//! README's storage-backend example.
+
+use oi_raid_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("oi-raid-demo-{}", std::process::id()));
+    let mut store = OiRaidStore::create_in_dir(OiRaidConfig::reference(), 4096, &dir)?;
+    println!(
+        "created {} disk images under {}",
+        store.devices().len(),
+        dir.display()
+    );
+
+    // Fill every payload slot with a recognizable pattern.
+    let slots = store.data_chunks();
+    for s in 0..slots {
+        store.write_data(s, &vec![(s % 251) as u8 + 1; 4096])?;
+    }
+
+    for d in [2, 9, 17] {
+        store.fail_disk(d)?;
+    }
+    println!("failed disks: {:?}", store.failed_disks());
+
+    let report = store.rebuild(RebuildMode::Parallel, RecoveryStrategy::Hybrid)?;
+    println!("{report}");
+
+    for s in 0..slots {
+        assert_eq!(store.read_data(s)?, vec![(s % 251) as u8 + 1; 4096]);
+    }
+    println!("all {slots} payload chunks verified after rebuild");
+
+    std::fs::remove_dir_all(&dir)?;
+    Ok(())
+}

@@ -13,9 +13,20 @@ fn main() {
     let config = OiRaidConfig::reference();
     let array = OiRaid::new(config.clone()).expect("reference config is valid");
     println!("array        : {}", array.name());
-    println!("disks        : {} ({} groups x {})", array.disks(), array.groups(), array.group_size());
-    println!("tolerance    : any {} disk failures", array.fault_tolerance());
-    println!("efficiency   : {:.1}% of raw capacity is data", array.efficiency() * 100.0);
+    println!(
+        "disks        : {} ({} groups x {})",
+        array.disks(),
+        array.groups(),
+        array.group_size()
+    );
+    println!(
+        "tolerance    : any {} disk failures",
+        array.fault_tolerance()
+    );
+    println!(
+        "efficiency   : {:.1}% of raw capacity is data",
+        array.efficiency() * 100.0
+    );
     println!("data chunks  : {}", array.data_chunks());
 
     // A byte-level store over the same geometry: real XOR parity in both
@@ -23,12 +34,19 @@ fn main() {
     let mut store = OiRaidStore::new(config, 4096).expect("store constructs");
     println!("\nwriting {} chunks of data...", store.data_chunks());
     let payload: Vec<Vec<u8>> = (0..store.data_chunks())
-        .map(|i| (0..4096).map(|j| ((i * 2654435761 + j * 97) % 251) as u8).collect())
+        .map(|i| {
+            (0..4096)
+                .map(|j| ((i * 2654435761 + j * 97) % 251) as u8)
+                .collect()
+        })
         .collect();
     for (i, chunk) in payload.iter().enumerate() {
         store.write_data(i, chunk).expect("write succeeds");
     }
-    assert!(store.check_parity().is_empty(), "both parity layers consistent");
+    assert!(
+        store.check_parity().is_empty(),
+        "both parity layers consistent"
+    );
     println!("parity check : OK (inner rows and outer stripes all consistent)");
 
     // Kill three disks — the worst the architecture guarantees against.

@@ -14,7 +14,10 @@ fn main() {
         ("OI-RAID(7,3,g=3)", Box::new(array)),
         ("RAID5(21)", Box::new(FlatRaid5::new(21, 9).expect("raid5"))),
         ("RAID6(21)", Box::new(FlatRaid6::new(21, 9).expect("raid6"))),
-        ("RAID50(7x3)", Box::new(Raid50::new(7, 3, 9).expect("raid50"))),
+        (
+            "RAID50(7x3)",
+            Box::new(Raid50::new(7, 3, 9).expect("raid50")),
+        ),
     ];
 
     // 1. Combinatorics: which failure patterns survive?

@@ -33,13 +33,19 @@ fn main() {
          tolerating 3 erasures is 1 data + 3 parity writes, so OI-RAID is\n\
          update-optimal.",
         set.len(),
-        set.iter().map(|a| a.disk).collect::<std::collections::HashSet<_>>().len()
+        set.iter()
+            .map(|a| a.disk)
+            .collect::<std::collections::HashSet<_>>()
+            .len()
     );
 
     // Verify it holds for *every* data chunk, not just one.
-    let all_optimal = (0..array.data_chunks())
-        .all(|i| array.update_set(array.locate_data(i)).len() == 4);
-    println!("verified over all {} data chunks: {all_optimal}", array.data_chunks());
+    let all_optimal =
+        (0..array.data_chunks()).all(|i| array.update_set(array.locate_data(i)).len() == 4);
+    println!(
+        "verified over all {} data chunks: {all_optimal}",
+        array.data_chunks()
+    );
 
     // Comparison table.
     println!("\nwrites per user write across schemes:");
@@ -47,22 +53,41 @@ fn main() {
         ("OI-RAID (RAID5 x RAID5)".into(), 3, 4),
         {
             let c = XorParity::new(6).expect("raid5");
-            (c.name(), c.fault_tolerance(), c.update_cost().total_writes())
+            (
+                c.name(),
+                c.fault_tolerance(),
+                c.update_cost().total_writes(),
+            )
         },
         {
             let c = Raid6::new(6).expect("raid6");
-            (c.name(), c.fault_tolerance(), c.update_cost().total_writes())
+            (
+                c.name(),
+                c.fault_tolerance(),
+                c.update_cost().total_writes(),
+            )
         },
         {
             let c = ReedSolomon::new(6, 3).expect("rs");
-            (c.name(), c.fault_tolerance(), c.update_cost().total_writes())
+            (
+                c.name(),
+                c.fault_tolerance(),
+                c.update_cost().total_writes(),
+            )
         },
         {
             let c = Replication::new(4).expect("rep");
-            (c.name(), c.fault_tolerance(), c.update_cost().total_writes())
+            (
+                c.name(),
+                c.fault_tolerance(),
+                c.update_cost().total_writes(),
+            )
         },
     ];
-    println!("  {:<26}{:>10}{:>9}{:>10}", "scheme", "tolerance", "writes", "optimal");
+    println!(
+        "  {:<26}{:>10}{:>9}{:>10}",
+        "scheme", "tolerance", "writes", "optimal"
+    );
     for (name, tol, writes) in schemes {
         println!(
             "  {name:<26}{tol:>10}{writes:>9}{:>10}",

@@ -81,8 +81,9 @@ fn next_num(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<usize, 
 }
 
 fn build(v: usize, k: usize, g: usize, o: &Opts) -> Result<OiRaid, String> {
-    let design = bibd::find_design(v, k)
-        .ok_or(format!("no ({v}, {k}, 1) design in the catalogue — try `designs`"))?;
+    let design = bibd::find_design(v, k).ok_or(format!(
+        "no ({v}, {k}, 1) design in the catalogue — try `designs`"
+    ))?;
     let skew = if o.naive_skew {
         SkewMode::Naive
     } else {
@@ -95,7 +96,7 @@ fn build(v: usize, k: usize, g: usize, o: &Opts) -> Result<OiRaid, String> {
 }
 
 fn cmd_designs(max_v: usize) {
-    println!("{:<5}{:<5}{:<7}{:<5}{}", "v", "k", "b", "r", "construction");
+    println!("{:<5}{:<5}{:<7}{:<5}construction", "v", "k", "b", "r");
     for e in bibd::catalogue(max_v) {
         println!("{:<5}{:<5}{:<7}{:<5}{}", e.v, e.k, e.b, e.r, e.method);
     }
@@ -233,7 +234,9 @@ fn cmd_simulate(array: &OiRaid, o: &Opts) -> Result<(), String> {
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        return Err("usage: oi-raidctl <designs|info|layout|plan|simulate> ... (see --help)".into());
+        return Err(
+            "usage: oi-raidctl <designs|info|layout|plan|simulate> ... (see --help)".into(),
+        );
     };
     if cmd == "--help" || cmd == "help" {
         println!(

@@ -18,6 +18,10 @@
 /// One-stop imports for the examples and integration tests.
 pub mod prelude {
     pub use bibd::{fano, find_design, Bibd};
+    pub use blockdev::{
+        BlockDevice, CounterSnapshot, DeviceError, FaultConfig, FaultInjectingDevice, FileDevice,
+        MemDevice,
+    };
     pub use disksim::{ArrivalProcess, DiskSpec, SimTime, Simulation, Workload, WorkloadKind};
     pub use ecc::{ErasureCode, EvenOdd, Lrc, Raid6, Rdp, ReedSolomon, Replication, XorParity};
     pub use layout::{
@@ -26,7 +30,7 @@ pub mod prelude {
     };
     pub use oi_raid::{
         analysis::Model, DegradedScenario, OiRaid, OiRaidConfig, OiRaidStore, ReadPlan,
-        RecoveryStrategy, SkewMode,
+        RebuildMode, RebuildReport, RecoveryStrategy, SkewMode,
     };
     pub use reliability::markov::array_mttdl;
     pub use reliability::montecarlo::{simulate_lifetime, Lifetime, LifetimeConfig};

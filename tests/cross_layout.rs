@@ -12,7 +12,10 @@ fn all_layouts() -> Vec<(String, Box<dyn Layout>)> {
         ("oi".into(), Box::new(oi)),
         ("raid5".into(), Box::new(FlatRaid5::new(21, 9).expect("r5"))),
         ("raid6".into(), Box::new(FlatRaid6::new(21, 9).expect("r6"))),
-        ("raid50".into(), Box::new(Raid50::new(7, 3, 9).expect("r50"))),
+        (
+            "raid50".into(),
+            Box::new(Raid50::new(7, 3, 9).expect("r50")),
+        ),
         ("pd".into(), Box::new(pd)),
     ]
 }

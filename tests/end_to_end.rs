@@ -61,11 +61,11 @@ fn every_triple_failure_recovers_bytes_for_small_sample() {
     // structurally distinct patterns (the full enumeration runs at the
     // chunk-map level in the oi-raid crate's tests).
     let patterns: [[usize; 3]; 7] = [
-        [0, 1, 2],   // whole group
-        [0, 1, 3],   // 2 + 1 adjacent groups
-        [0, 1, 20],  // 2 + 1 distant groups
-        [0, 3, 6],   // three groups, same member
-        [1, 5, 9],   // three groups, distinct members
+        [0, 1, 2],  // whole group
+        [0, 1, 3],  // 2 + 1 adjacent groups
+        [0, 1, 20], // 2 + 1 distant groups
+        [0, 3, 6],  // three groups, same member
+        [1, 5, 9],  // three groups, distinct members
         [18, 19, 20],
         [2, 10, 17],
     ];

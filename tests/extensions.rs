@@ -60,8 +60,7 @@ fn read_plans_agree_with_store_behaviour() {
         // Plans never read failed disks.
         match plan {
             oi_raid::ReadPlan::Direct(a) => assert!(!failed.contains(&a.disk)),
-            oi_raid::ReadPlan::InnerDecode { reads }
-            | oi_raid::ReadPlan::OuterDecode { reads } => {
+            oi_raid::ReadPlan::InnerDecode { reads } | oi_raid::ReadPlan::OuterDecode { reads } => {
                 assert!(reads.iter().all(|r| !failed.contains(&r.disk)));
             }
         }

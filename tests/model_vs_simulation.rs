@@ -88,8 +88,7 @@ fn plan_read_totals_drive_total_simulated_busy_time() {
         .iter()
         .map(|d| d.busy.as_secs_f64())
         .sum();
-    let expected =
-        (plan.total_reads() + plan.total_writes()) as f64 * per_chunk.as_secs_f64();
+    let expected = (plan.total_reads() + plan.total_writes()) as f64 * per_chunk.as_secs_f64();
     assert!(
         (total_busy - expected).abs() / expected < 1e-9,
         "busy {total_busy} vs expected {expected}"
@@ -110,11 +109,7 @@ fn dedicated_spare_is_never_faster_than_distributed() {
         );
         let distributed = rebuild_secs(
             &array
-                .recovery_plan_with_strategy(
-                    0,
-                    SparePolicy::Distributed,
-                    RecoveryStrategy::Outer,
-                )
+                .recovery_plan_with_strategy(0, SparePolicy::Distributed, RecoveryStrategy::Outer)
                 .unwrap(),
             t,
         );
