@@ -1,0 +1,78 @@
+//! Kernel-layer microbenchmarks: the retained scalar references vs the
+//! wide-word and SIMD paths, on the ≥64 KiB buffers the rebuild engine
+//! actually moves. E14 in `EXPERIMENTS.md` records the measured ratios.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use gf::kernels::{scalar, xor_acc, xor_acc_wide, MulTable};
+
+const LEN: usize = 64 << 10;
+
+fn buffers(seed: u64) -> (Vec<u8>, Vec<u8>) {
+    let mut x = seed | 1;
+    let mut next = || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x as u8
+    };
+    let src: Vec<u8> = (0..LEN).map(|_| next()).collect();
+    let dst: Vec<u8> = (0..LEN).map(|_| next()).collect();
+    (src, dst)
+}
+
+fn bench_xor(c: &mut Criterion) {
+    let (src, mut dst) = buffers(0xBE);
+    let mut group = c.benchmark_group("xor_64k");
+    group.throughput(Throughput::Bytes(LEN as u64));
+    group.sample_size(30);
+    group.bench_function("scalar", |b| {
+        b.iter(|| scalar::xor_acc(black_box(&mut dst), black_box(&src)))
+    });
+    group.bench_function("wide", |b| {
+        b.iter(|| xor_acc_wide(black_box(&mut dst), black_box(&src)))
+    });
+    group.bench_function("dispatched", |b| {
+        b.iter(|| xor_acc(black_box(&mut dst), black_box(&src)))
+    });
+    group.finish();
+}
+
+fn bench_mul(c: &mut Criterion) {
+    let (src, dst0) = buffers(0xAF);
+    let t = MulTable::new(0x57);
+    let mut out = vec![0u8; LEN];
+    let mut group = c.benchmark_group("mul_slice_64k");
+    group.throughput(Throughput::Bytes(LEN as u64));
+    group.sample_size(30);
+    group.bench_function("scalar", |b| {
+        b.iter(|| scalar::mul_slice(black_box(0x57), black_box(&src), black_box(&mut out)))
+    });
+    group.bench_function("wide", |b| {
+        b.iter(|| t.mul_slice_wide(black_box(&src), black_box(&mut out)))
+    });
+    group.bench_function("simd", |b| {
+        b.iter(|| t.mul_slice_simd(black_box(&src), black_box(&mut out)))
+    });
+    group.finish();
+
+    let mut acc = dst0;
+    let mut group = c.benchmark_group("mul_acc_slice_64k");
+    group.throughput(Throughput::Bytes(LEN as u64));
+    group.sample_size(30);
+    group.bench_function("scalar", |b| {
+        b.iter(|| scalar::mul_acc_slice(black_box(0x57), black_box(&src), black_box(&mut acc)))
+    });
+    group.bench_function("wide", |b| {
+        b.iter(|| t.mul_acc_slice_wide(black_box(&src), black_box(&mut acc)))
+    });
+    group.bench_function("simd", |b| {
+        b.iter(|| t.mul_acc_slice_simd(black_box(&src), black_box(&mut acc)))
+    });
+    group.bench_function("dispatched", |b| {
+        b.iter(|| t.mul_acc_slice(black_box(&src), black_box(&mut acc)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_xor, bench_mul);
+criterion_main!(benches);

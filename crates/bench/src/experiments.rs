@@ -719,6 +719,166 @@ pub fn e13_parallel_rebuild() -> Vec<(String, Table)> {
     ]
 }
 
+/// E14 — kernel-path ablation: microbenchmark GiB/s of the XOR and
+/// GF(2^8) multiply kernels per dispatch path, and the end-to-end rebuild
+/// throughput they buy on pure in-memory devices (no injected latency, so
+/// wall time is compute plus memcpy — the kernels' share of a rebuild).
+///
+/// Uses [`gf::kernels::force_path`] to pin each path process-wide; the
+/// experiments binary is single-threaded between rebuilds, so the override
+/// is safe here (unlike in the parallel test runner).
+pub fn e14_kernel_throughput() -> Vec<(String, Table)> {
+    use blockdev::{BlockDevice, MemDevice};
+    use gf::kernels::{self, KernelPath, MulTable};
+    use oi_raid::{OiRaidStore, RebuildMode};
+    use std::time::{Duration, Instant};
+
+    /// Measured throughput of `f` over `bytes`-sized passes, in GiB/s.
+    fn gibs(bytes: usize, mut f: impl FnMut()) -> f64 {
+        f(); // warm-up
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < Duration::from_millis(120) {
+            f();
+            iters += 1;
+        }
+        (bytes as u64 * iters) as f64 / start.elapsed().as_secs_f64() / (1u64 << 30) as f64
+    }
+
+    const LEN: usize = 1 << 20;
+    let src: Vec<u8> = (0..LEN).map(|i| (i * 31 + 7) as u8).collect();
+    let mut dst: Vec<u8> = (0..LEN).map(|i| (i * 17 + 3) as u8).collect();
+    let table_57 = MulTable::new(0x57);
+
+    let mut micro = Table::new(&["kernel", "path", "GiB/s", "speedup vs scalar"]);
+    let xor_paths: Vec<(&str, f64)> = {
+        let mut v = vec![
+            (
+                "scalar",
+                gibs(LEN, || kernels::scalar::xor_acc(&mut dst, &src)),
+            ),
+            ("wide", gibs(LEN, || kernels::xor_acc_wide(&mut dst, &src))),
+        ];
+        v.push(("dispatched", gibs(LEN, || kernels::xor_acc(&mut dst, &src))));
+        v
+    };
+    let xor_base = xor_paths[0].1;
+    for (name, rate) in &xor_paths {
+        micro.row_owned(vec![
+            "xor_acc".into(),
+            (*name).into(),
+            f3(*rate),
+            f3(rate / xor_base),
+        ]);
+    }
+    let mul_paths: Vec<(&str, f64)> = {
+        let mut v = vec![
+            (
+                "scalar",
+                gibs(LEN, || kernels::scalar::mul_acc_slice(0x57, &src, &mut dst)),
+            ),
+            (
+                "wide",
+                gibs(LEN, || table_57.mul_acc_slice_wide(&src, &mut dst)),
+            ),
+        ];
+        if kernels::simd_available() {
+            v.push((
+                "simd",
+                gibs(LEN, || {
+                    table_57.mul_acc_slice_simd(&src, &mut dst);
+                }),
+            ));
+        }
+        v.push((
+            "dispatched",
+            gibs(LEN, || table_57.mul_acc_slice(&src, &mut dst)),
+        ));
+        v
+    };
+    let mul_base = mul_paths[0].1;
+    for (name, rate) in &mul_paths {
+        micro.row_owned(vec![
+            "mul_acc_slice".into(),
+            (*name).into(),
+            f3(*rate),
+            f3(rate / mul_base),
+        ]);
+    }
+
+    // End-to-end: rebuild a failed disk of a byte store on raw MemDevices
+    // (reads are memcpy, no latency injection) under each forced path.
+    const CHUNK: usize = 128 << 10;
+    let cfg = OiRaidConfig::new(bibd::fano(), 3, 16).expect("valid config");
+    let chunks = OiRaidStore::new(cfg.clone(), CHUNK)
+        .expect("probe store")
+        .devices()[0]
+        .chunks();
+    let devices: Vec<_> = (0..21).map(|_| MemDevice::new(CHUNK, chunks)).collect();
+    let mut store = OiRaidStore::with_devices(cfg, CHUNK, devices).expect("valid devices");
+    for idx in 0..store.data_chunks() {
+        let chunk: Vec<u8> = (0..CHUNK).map(|j| (idx * 131 + j * 17 + 3) as u8).collect();
+        store.write_data(idx, &chunk).expect("healthy write");
+    }
+    let mut rebuild = Table::new(&[
+        "path",
+        "chunks",
+        "serial (ms)",
+        "serial (MiB/s)",
+        "parallel (ms)",
+        "speedup vs scalar",
+    ]);
+    let forced = [
+        Some(KernelPath::Scalar),
+        Some(KernelPath::Wide),
+        None, // auto: SIMD where available
+    ];
+    let mut scalar_ms = 0.0;
+    for path in forced {
+        kernels::force_path(path);
+        let label = match path {
+            Some(p) => p.name(),
+            None => "auto",
+        };
+        // A rebuilt store is bit-identical to its pre-failure self, so one
+        // store serves every path in sequence.
+        store.fail_disk(4).expect("valid disk");
+        let rs = store
+            .rebuild(RebuildMode::Serial, RecoveryStrategy::Hybrid)
+            .expect("recoverable");
+        store.fail_disk(4).expect("valid disk");
+        let rp = store
+            .rebuild(RebuildMode::Parallel, RecoveryStrategy::Hybrid)
+            .expect("recoverable");
+        let s_ms = rs.wall.as_secs_f64() * 1e3;
+        let p_ms = rp.wall.as_secs_f64() * 1e3;
+        if path == Some(KernelPath::Scalar) {
+            scalar_ms = s_ms;
+        }
+        let mib = (rs.chunks_rebuilt as usize * CHUNK) as f64 / (1 << 20) as f64;
+        rebuild.row_owned(vec![
+            label.into(),
+            rs.chunks_rebuilt.to_string(),
+            f3(s_ms),
+            f3(mib / (s_ms / 1e3)),
+            f3(p_ms),
+            f3(scalar_ms / s_ms),
+        ]);
+    }
+    kernels::force_path(None);
+    vec![
+        (
+            "E14a: kernel microbenchmarks, 1 MiB buffers (GiB/s per path)".into(),
+            micro,
+        ),
+        (
+            "E14b: single-disk rebuild on in-memory devices per kernel path (128 KiB chunks)"
+                .into(),
+            rebuild,
+        ),
+    ]
+}
+
 /// A2 — recovery-strategy ablation (simulated times).
 pub fn a2_strategy_ablation() -> Vec<(String, Table)> {
     let mut table = Table::new(&[
@@ -752,7 +912,7 @@ pub fn a2_strategy_ablation() -> Vec<(String, Table)> {
     vec![("A2: recovery strategy ablation".into(), table)]
 }
 
-/// Runs one experiment by id (`e1`..`e13`, `a1`, `a2`), or `all`.
+/// Runs one experiment by id (`e1`..`e14`, `a1`, `a2`), or `all`.
 /// Returns the rendered tables; unknown ids return `None`.
 pub fn run(id: &str) -> Option<Vec<(String, Table)>> {
     match id {
@@ -769,12 +929,13 @@ pub fn run(id: &str) -> Option<Vec<(String, Table)>> {
         "e11" => Some(e11_ure_sensitivity()),
         "e12" => Some(e12_dual_parity()),
         "e13" => Some(e13_parallel_rebuild()),
+        "e14" => Some(e14_kernel_throughput()),
         "a2" => Some(a2_strategy_ablation()),
         "all" => {
             let mut out = Vec::new();
             for id in [
                 "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-                "a2",
+                "e14", "a2",
             ] {
                 out.extend(run(id).expect("known id"));
             }

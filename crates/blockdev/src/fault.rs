@@ -52,6 +52,11 @@ fn splitmix(mut x: u64) -> u64 {
 /// repairs it (sector remapping). Transient read faults are drawn per
 /// operation. Injected faults are visible in the wrapped device's
 /// [`CounterSnapshot::faults`].
+///
+/// This wrapper deliberately keeps the trait's default per-chunk
+/// [`BlockDevice::read_chunks`] loop: coalesced runs still pay latency and
+/// roll the fault dice once per chunk, so injection semantics do not change
+/// when the rebuild engine batches reads.
 #[derive(Debug)]
 pub struct FaultInjectingDevice<B> {
     inner: B,
@@ -222,6 +227,33 @@ mod tests {
             .filter(|_| d.read_chunk(0, &mut buf).is_err())
             .count();
         assert!((100..350).contains(&faults), "got {faults} of ~200");
+    }
+
+    #[test]
+    fn read_chunks_keeps_per_chunk_fault_semantics() {
+        let cfg = FaultConfig {
+            seed: 42,
+            latent_per_mille: 300,
+            ..FaultConfig::default()
+        };
+        let d = FaultInjectingDevice::new(MemDevice::new(8, 64), cfg);
+        let bad = (0..64).find(|&c| d.is_latent_bad(c)).expect("some bad");
+        // A coalesced run over a latent-bad chunk still faults on exactly
+        // that chunk, and healthy runs count one read op per chunk.
+        let first = bad.saturating_sub(1);
+        let count = (64 - first).min(3);
+        let mut buf = vec![0u8; 8 * count];
+        assert_eq!(
+            d.read_chunks(first, count, &mut buf),
+            Err(DeviceError::InjectedFault { chunk: bad })
+        );
+        let good_run: Option<usize> = (0..62).find(|&c| (c..c + 2).all(|x| !d.is_latent_bad(x)));
+        if let Some(start) = good_run {
+            d.reset_counters();
+            let mut buf = [0u8; 16];
+            d.read_chunks(start, 2, &mut buf).unwrap();
+            assert_eq!(d.counters().reads, 2, "wrapper does not coalesce ops");
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-use crate::{check_io, BlockDevice, CounterSnapshot, Counters, DeviceError};
+use crate::{check_io, check_io_run, BlockDevice, CounterSnapshot, Counters, DeviceError};
 
 /// A block device backed by a single file via `std::fs`.
 ///
@@ -97,6 +97,20 @@ impl BlockDevice for FileDevice {
         Ok(())
     }
 
+    /// One seek + one `read_exact` for the whole run: a single I/O op.
+    fn read_chunks(&self, first: usize, count: usize, buf: &mut [u8]) -> Result<(), DeviceError> {
+        check_io_run(first, count, self.chunks, buf.len(), self.chunk_size)?;
+        if self.failed {
+            return Err(DeviceError::Failed);
+        }
+        let mut file = self.file.lock().expect("file lock");
+        file.seek(SeekFrom::Start((first * self.chunk_size) as u64))
+            .map_err(io_err)?;
+        file.read_exact(buf).map_err(io_err)?;
+        self.counters.record_read(buf.len() as u64);
+        Ok(())
+    }
+
     fn write_chunk(&mut self, chunk: usize, data: &[u8]) -> Result<(), DeviceError> {
         check_io(chunk, self.chunks, data.len(), self.chunk_size)?;
         if self.failed {
@@ -176,6 +190,22 @@ mod tests {
         d.heal().unwrap();
         d.read_chunk(1, &mut buf).unwrap();
         assert_eq!(buf, [0u8; 8], "healed device is zero-filled");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_chunks_is_one_op_on_disk() {
+        let path = temp_path("runs");
+        let mut d = FileDevice::create(&path, 16, 8).unwrap();
+        d.write_chunk(3, &[0x11; 16]).unwrap();
+        d.write_chunk(4, &[0x22; 16]).unwrap();
+        d.reset_counters();
+        let mut buf = [0u8; 32];
+        d.read_chunks(3, 2, &mut buf).unwrap();
+        assert_eq!(&buf[..16], &[0x11; 16]);
+        assert_eq!(&buf[16..], &[0x22; 16]);
+        let c = d.counters();
+        assert_eq!((c.reads, c.bytes_read), (1, 32));
         std::fs::remove_file(&path).ok();
     }
 

@@ -103,6 +103,28 @@ pub trait BlockDevice: Send + Sync {
     /// [`BlockDevice::chunk_size`]).
     fn read_chunk(&self, chunk: usize, buf: &mut [u8]) -> Result<(), DeviceError>;
 
+    /// Reads `count` consecutive chunks starting at `first` into `buf`
+    /// (`buf.len()` must equal `count * chunk_size`).
+    ///
+    /// The default implementation loops over [`BlockDevice::read_chunk`],
+    /// recording one I/O operation per chunk. Backends with contiguous
+    /// storage (memory, files) override this to serve the whole run as a
+    /// single operation — the rebuild engine coalesces adjacent same-disk
+    /// reads into calls to this method.
+    fn read_chunks(&self, first: usize, count: usize, buf: &mut [u8]) -> Result<(), DeviceError> {
+        let cs = self.chunk_size();
+        if buf.len() != count * cs {
+            return Err(DeviceError::WrongBufferSize {
+                found: buf.len(),
+                expected: count * cs,
+            });
+        }
+        for (i, b) in buf.chunks_exact_mut(cs).enumerate() {
+            self.read_chunk(first + i, b)?;
+        }
+        Ok(())
+    }
+
     /// Writes `data` (exactly one chunk) to chunk `chunk`.
     fn write_chunk(&mut self, chunk: usize, data: &[u8]) -> Result<(), DeviceError>;
 
@@ -191,6 +213,28 @@ impl CounterSnapshot {
     pub fn ops(&self) -> u64 {
         self.reads + self.writes
     }
+}
+
+pub(crate) fn check_io_run(
+    first: usize,
+    count: usize,
+    chunks: usize,
+    buf_len: usize,
+    chunk_size: usize,
+) -> Result<(), DeviceError> {
+    if first + count > chunks {
+        return Err(DeviceError::OutOfRange {
+            chunk: (first + count).saturating_sub(1),
+            chunks,
+        });
+    }
+    if buf_len != count * chunk_size {
+        return Err(DeviceError::WrongBufferSize {
+            found: buf_len,
+            expected: count * chunk_size,
+        });
+    }
+    Ok(())
 }
 
 pub(crate) fn check_io(

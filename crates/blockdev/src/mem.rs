@@ -1,6 +1,6 @@
 //! RAM-backed device: the original store behavior, now behind the trait.
 
-use crate::{check_io, BlockDevice, CounterSnapshot, Counters, DeviceError};
+use crate::{check_io, check_io_run, BlockDevice, CounterSnapshot, Counters, DeviceError};
 
 /// An in-memory block device. Failing it drops the backing allocation;
 /// healing reallocates zero-filled.
@@ -70,6 +70,16 @@ impl BlockDevice for MemDevice {
         Ok(())
     }
 
+    /// Contiguous storage: a run of chunks is one copy and one I/O op.
+    fn read_chunks(&self, first: usize, count: usize, buf: &mut [u8]) -> Result<(), DeviceError> {
+        check_io_run(first, count, self.chunks, buf.len(), self.chunk_size)?;
+        let data = self.data.as_ref().ok_or(DeviceError::Failed)?;
+        let start = first * self.chunk_size;
+        buf.copy_from_slice(&data[start..start + count * self.chunk_size]);
+        self.counters.record_read((count * self.chunk_size) as u64);
+        Ok(())
+    }
+
     fn write_chunk(&mut self, chunk: usize, data: &[u8]) -> Result<(), DeviceError> {
         check_io(chunk, self.chunks, data.len(), self.chunk_size)?;
         let store = self.data.as_mut().ok_or(DeviceError::Failed)?;
@@ -127,6 +137,39 @@ mod tests {
         d.heal().unwrap();
         d.read_chunk(0, &mut buf).unwrap();
         assert_eq!(buf, [0u8; 4]);
+    }
+
+    #[test]
+    fn read_chunks_is_one_op() {
+        let mut d = MemDevice::new(4, 8);
+        d.write_chunk(2, &[1u8; 4]).unwrap();
+        d.write_chunk(3, &[2u8; 4]).unwrap();
+        d.write_chunk(4, &[3u8; 4]).unwrap();
+        d.reset_counters();
+        let mut buf = [0u8; 12];
+        d.read_chunks(2, 3, &mut buf).unwrap();
+        assert_eq!(&buf[..4], &[1u8; 4]);
+        assert_eq!(&buf[4..8], &[2u8; 4]);
+        assert_eq!(&buf[8..], &[3u8; 4]);
+        let c = d.counters();
+        assert_eq!((c.reads, c.bytes_read), (1, 12));
+    }
+
+    #[test]
+    fn read_chunks_checks_run_bounds() {
+        let d = MemDevice::new(4, 8);
+        let mut buf = [0u8; 12];
+        assert!(matches!(
+            d.read_chunks(6, 3, &mut buf),
+            Err(DeviceError::OutOfRange { chunk: 8, .. })
+        ));
+        assert!(matches!(
+            d.read_chunks(0, 2, &mut buf),
+            Err(DeviceError::WrongBufferSize {
+                found: 12,
+                expected: 8
+            })
+        ));
     }
 
     #[test]

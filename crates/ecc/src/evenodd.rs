@@ -66,9 +66,7 @@ impl EvenOdd {
     }
 
     fn xor_sym(dst: &mut [u8], src: &[u8]) {
-        for (d, s) in dst.iter_mut().zip(src) {
-            *d ^= s;
-        }
+        gf::kernels::xor_acc(dst, src);
     }
 
     /// Computes (P column, Q column) from the data columns.

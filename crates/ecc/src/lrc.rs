@@ -186,9 +186,7 @@ impl ErasureCode for Lrc {
         for grp in 0..self.l {
             let mut p = vec![0u8; len];
             for unit in &data[grp * size..(grp + 1) * size] {
-                for (x, b) in p.iter_mut().zip(unit) {
-                    *x ^= b;
-                }
+                gf::kernels::xor_acc(&mut p, unit);
             }
             out.push(p);
         }
@@ -234,9 +232,7 @@ impl ErasureCode for Lrc {
                     let mut acc = vec![0u8; len];
                     for &u in &members {
                         if u != target {
-                            for (x, b) in acc.iter_mut().zip(units[u].as_ref().unwrap()) {
-                                *x ^= b;
-                            }
+                            gf::kernels::xor_acc(&mut acc, units[u].as_ref().unwrap());
                         }
                     }
                     units[target] = Some(acc);

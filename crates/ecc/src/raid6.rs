@@ -1,5 +1,6 @@
 //! RAID6 dual parity (P+Q) over GF(2^8).
 
+use gf::kernels::xor_acc;
 use gf::Gf256;
 
 use crate::code::{validate_data, validate_units, CodeError, ErasureCode};
@@ -69,9 +70,7 @@ impl ErasureCode for Raid6 {
         let mut p = vec![0u8; len];
         let mut q = vec![0u8; len];
         for (i, unit) in data.iter().enumerate() {
-            for (pp, d) in p.iter_mut().zip(unit) {
-                *pp ^= d;
-            }
+            xor_acc(&mut p, unit);
             f.mul_acc_slice(Self::weight(i), unit, &mut q);
         }
         Ok(vec![p, q])
@@ -95,9 +94,7 @@ impl ErasureCode for Raid6 {
                     let mut acc = units[pi].clone().unwrap();
                     for (i, u) in units[..self.k].iter().enumerate() {
                         if i != d {
-                            for (a, x) in acc.iter_mut().zip(u.as_ref().unwrap()) {
-                                *a ^= x;
-                            }
+                            xor_acc(&mut acc, u.as_ref().unwrap());
                         }
                     }
                     units[d] = Some(acc);
@@ -123,9 +120,7 @@ impl ErasureCode for Raid6 {
                         let mut sq = units[qi].clone().unwrap();
                         for (i, u) in units[..self.k].iter().enumerate() {
                             if let Some(u) = u {
-                                for (s, x) in sp.iter_mut().zip(u) {
-                                    *s ^= x;
-                                }
+                                xor_acc(&mut sp, u);
                                 f.mul_acc_slice(Self::weight(i), u, &mut sq);
                             }
                         }
@@ -137,15 +132,11 @@ impl ErasureCode for Raid6 {
                         // Da = (sq ^ gb*sp) / (ga ^ gb)
                         let mut da = vec![0u8; len];
                         f.mul_acc_slice(gb, &sp, &mut da);
-                        for (x, s) in da.iter_mut().zip(&sq) {
-                            *x ^= s;
-                        }
+                        xor_acc(&mut da, &sq);
                         let mut da_scaled = vec![0u8; len];
                         f.mul_slice(inv, &da, &mut da_scaled);
                         let mut db = sp;
-                        for (x, d) in db.iter_mut().zip(&da_scaled) {
-                            *x ^= d;
-                        }
+                        xor_acc(&mut db, &da_scaled);
                         units[a] = Some(da_scaled);
                         units[b] = Some(db);
                         Ok(())
@@ -171,9 +162,7 @@ impl ErasureCode for Raid6 {
                     (true, false, x) if x == qi => {
                         let mut acc = units[pi].clone().unwrap();
                         for u in units[..self.k].iter().flatten() {
-                            for (s, d) in acc.iter_mut().zip(u) {
-                                *s ^= d;
-                            }
+                            xor_acc(&mut acc, u);
                         }
                         units[a] = Some(acc);
                         let data: Vec<Vec<u8>> =

@@ -58,9 +58,7 @@ impl Rdp {
     }
 
     fn xor_sym(dst: &mut [u8], src: &[u8]) {
-        for (d, s) in dst.iter_mut().zip(src) {
-            *d ^= s;
-        }
+        gf::kernels::xor_acc(dst, src);
     }
 
     /// Computes (P, Q) columns. The first `p − 1` of `cols` are data.

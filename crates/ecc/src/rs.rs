@@ -28,8 +28,11 @@ use crate::code::{validate_data, validate_units, CodeError, ErasureCode};
 pub struct ReedSolomon {
     k: usize,
     m: usize,
-    /// Parity coefficient rows: `m x k` over GF(2^8); parity_i = Σ row[i][j]·D_j.
-    parity_rows: Vec<Vec<u8>>,
+    /// All `k + m` generator rows over GF(2^8): the first `k` are identity
+    /// rows (systematic), the last `m` are the parity coefficient rows with
+    /// parity_i = Σ row[k+i][j]·D_j. Cached at construction so the decode
+    /// path never allocates per-row.
+    generator_rows: Vec<Vec<u8>>,
 }
 
 impl ReedSolomon {
@@ -52,27 +55,26 @@ impl ReedSolomon {
             .expect("Vandermonde top square with distinct points is invertible");
         let a = v.mul(&top_inv, f);
         debug_assert!(a.select_rows(&(0..k).collect::<Vec<_>>()).is_identity());
-        let parity_rows = (k..k + m)
+        let generator_rows = (0..k + m)
             .map(|r| (0..k).map(|c| a.get(r, c) as u8).collect())
             .collect();
-        Ok(Self { k, m, parity_rows })
+        Ok(Self {
+            k,
+            m,
+            generator_rows,
+        })
     }
 
     /// The `m x k` parity coefficient matrix (row-major).
     pub fn parity_matrix(&self) -> &[Vec<u8>] {
-        &self.parity_rows
+        &self.generator_rows[self.k..]
     }
 
     /// Full generator row for unit `idx`: identity row for data units,
-    /// coefficient row for parity units.
-    fn generator_row(&self, idx: usize) -> Vec<u8> {
-        if idx < self.k {
-            let mut row = vec![0u8; self.k];
-            row[idx] = 1;
-            row
-        } else {
-            self.parity_rows[idx - self.k].clone()
-        }
+    /// coefficient row for parity units. Borrows the cached row — no
+    /// allocation on the decode path.
+    fn generator_row(&self, idx: usize) -> &[u8] {
+        &self.generator_rows[idx]
     }
 }
 
@@ -93,7 +95,7 @@ impl ErasureCode for ReedSolomon {
         let len = validate_data(data, self.k)?;
         let f = Gf256::get();
         let mut parity = vec![vec![0u8; len]; self.m];
-        for (row, out) in self.parity_rows.iter().zip(parity.iter_mut()) {
+        for (row, out) in self.parity_matrix().iter().zip(parity.iter_mut()) {
             for (&c, unit) in row.iter().zip(data) {
                 f.mul_acc_slice(c, unit, out);
             }
@@ -149,7 +151,7 @@ impl ErasureCode for ReedSolomon {
             if e < self.k {
                 units[e] = Some(data[e].clone());
             } else {
-                let row = &self.parity_rows[e - self.k];
+                let row = self.generator_row(e);
                 let mut out = vec![0u8; len];
                 for (&c, unit) in row.iter().zip(&data) {
                     f256.mul_acc_slice(c, unit, &mut out);

@@ -1,6 +1,8 @@
 //! Single-parity XOR code — RAID5's per-stripe code, and the code OI-RAID
 //! deploys in both of its layers.
 
+use gf::kernels::{xor_acc, xor_acc2};
+
 use crate::code::{validate_data, validate_units, CodeError, ErasureCode};
 
 /// RAID5-style single parity: `k` data units protected by one XOR parity
@@ -44,9 +46,7 @@ impl XorParity {
     pub fn patch_parity(&self, parity: &mut [u8], old_data: &[u8], new_data: &[u8]) {
         assert_eq!(parity.len(), old_data.len());
         assert_eq!(parity.len(), new_data.len());
-        for ((p, o), n) in parity.iter_mut().zip(old_data).zip(new_data) {
-            *p ^= o ^ n;
-        }
+        xor_acc2(parity, old_data, new_data);
     }
 }
 
@@ -67,9 +67,7 @@ impl ErasureCode for XorParity {
         let len = validate_data(data, self.k)?;
         let mut parity = vec![0u8; len];
         for unit in data {
-            for (p, d) in parity.iter_mut().zip(unit) {
-                *p ^= d;
-            }
+            xor_acc(&mut parity, unit);
         }
         Ok(vec![parity])
     }
@@ -86,9 +84,7 @@ impl ErasureCode for XorParity {
             1 => {
                 let mut acc = vec![0u8; len];
                 for u in units.iter().flatten() {
-                    for (a, d) in acc.iter_mut().zip(u) {
-                        *a ^= d;
-                    }
+                    xor_acc(&mut acc, u);
                 }
                 units[erased[0]] = Some(acc);
                 Ok(())

@@ -4,6 +4,7 @@
 use std::sync::OnceLock;
 
 use crate::field::Field;
+use crate::kernels::MulTable;
 
 /// Default irreducible polynomials (without the leading x^w term folded in;
 /// the full polynomial is `x^w + poly[w]`). Standard choices: for w = 8 this
@@ -139,9 +140,12 @@ impl Field for Gf2 {
 /// Shared GF(2^8) field with byte-slice kernels used on erasure-coding hot
 /// paths.
 ///
-/// The log/exp tables are built once per process. [`Gf256::mul_slice`] and
-/// [`Gf256::mul_acc_slice`] operate on whole buffers, which is what the `ecc`
-/// crate's Reed–Solomon and RAID6 implementations use.
+/// The log/exp tables are built once per process, along with one
+/// split-nibble [`MulTable`] per coefficient (8 KiB total), so
+/// [`Gf256::mul_slice`] and [`Gf256::mul_acc_slice`] never touch log/exp in
+/// their inner loops — they dispatch straight into the branch-free kernels
+/// of [`crate::kernels`]. This is what the `ecc` crate's Reed–Solomon and
+/// RAID6 implementations use.
 ///
 /// # Example
 ///
@@ -156,6 +160,8 @@ impl Field for Gf2 {
 #[derive(Debug)]
 pub struct Gf256 {
     inner: Gf2,
+    /// One split-nibble table pair per coefficient, indexed by coefficient.
+    tables: Vec<MulTable>,
 }
 
 static GF256: OnceLock<Gf256> = OnceLock::new();
@@ -163,7 +169,16 @@ static GF256: OnceLock<Gf256> = OnceLock::new();
 impl Gf256 {
     /// Returns the process-wide GF(2^8) instance (polynomial 0x11d).
     pub fn get() -> &'static Gf256 {
-        GF256.get_or_init(|| Gf256 { inner: Gf2::new(8) })
+        GF256.get_or_init(|| Gf256 {
+            inner: Gf2::new(8),
+            tables: (0..=255u8).map(MulTable::new).collect(),
+        })
+    }
+
+    /// The cached split-nibble multiplication tables for coefficient `c`.
+    #[inline]
+    pub fn mul_table(&self, c: u8) -> &MulTable {
+        &self.tables[c as usize]
     }
 
     /// Multiplies two field elements.
@@ -195,6 +210,11 @@ impl Gf256 {
 
     /// `out[i] = c * src[i]` for all `i`.
     ///
+    /// `c == 0` and `c == 1` short-circuit to `fill`/`copy` (a
+    /// per-*coefficient* branch); the general case is the branch-free
+    /// split-nibble kernel — zero *data* bytes need no special case because
+    /// the tables map them to zero naturally.
+    ///
     /// # Panics
     ///
     /// Panics if `src.len() != out.len()`.
@@ -203,21 +223,13 @@ impl Gf256 {
         match c {
             0 => out.fill(0),
             1 => out.copy_from_slice(src),
-            _ => {
-                let lc = self.inner.log[c as usize] as usize;
-                for (s, o) in src.iter().zip(out.iter_mut()) {
-                    *o = if *s == 0 {
-                        0
-                    } else {
-                        self.inner.exp[lc + self.inner.log[*s as usize] as usize] as u8
-                    };
-                }
-            }
+            _ => self.tables[c as usize].mul_slice(src, out),
         }
     }
 
     /// `out[i] ^= c * src[i]` for all `i` — the GF(2^8) multiply-accumulate
-    /// used by Reed–Solomon encoding.
+    /// used by Reed–Solomon encoding. `c == 1` degenerates to the wide-word
+    /// XOR kernel; the general case is the branch-free split-nibble kernel.
     ///
     /// # Panics
     ///
@@ -226,19 +238,8 @@ impl Gf256 {
         assert_eq!(src.len(), out.len());
         match c {
             0 => {}
-            1 => {
-                for (s, o) in src.iter().zip(out.iter_mut()) {
-                    *o ^= *s;
-                }
-            }
-            _ => {
-                let lc = self.inner.log[c as usize] as usize;
-                for (s, o) in src.iter().zip(out.iter_mut()) {
-                    if *s != 0 {
-                        *o ^= self.inner.exp[lc + self.inner.log[*s as usize] as usize] as u8;
-                    }
-                }
-            }
+            1 => crate::kernels::xor_acc(out, src),
+            _ => self.tables[c as usize].mul_acc_slice(src, out),
         }
     }
 

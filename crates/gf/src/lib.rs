@@ -7,6 +7,9 @@
 //!   log/exp tables, used by the Reed–Solomon and RAID6 codes in `ecc`.
 //! * [`Gf256`] — a process-wide shared GF(2^8) instance with byte-slice
 //!   kernels (`mul_slice`, `mul_acc_slice`) on the hot encode/decode paths.
+//! * [`kernels`] — the branch-free slice kernels underneath: wide-word XOR
+//!   accumulate and split-nibble-table GF(2^8) multiply, with a
+//!   runtime-dispatched SIMD path on `x86_64` and portable fallbacks.
 //! * [`PrimeField`] — GF(p) for prime `p`, used by the combinatorial design
 //!   constructions in `bibd` (difference families, planes).
 //! * [`ExtField`] — GF(p^m) extension fields built from an irreducible
@@ -31,12 +34,17 @@
 //! assert_eq!(f.div(p, b), Some(a));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is the
+// runtime-dispatched SIMD kernels in `kernels::x86`, which carry their own
+// `allow(unsafe_code)` plus per-call-site SAFETY comments. Everything else
+// stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod ext;
 mod field;
 mod gf2;
+pub mod kernels;
 mod matrix;
 mod poly;
 mod prime;

@@ -1,0 +1,169 @@
+//! Differential tests: every optimized kernel path must be bit-identical to
+//! the retained scalar references in `gf::kernels::scalar`, across all 256
+//! coefficients and lengths 0..=257 (covering empty slices and every odd
+//! tail around the 16/32-byte lane widths).
+//!
+//! These tests deliberately avoid `force_path` (process-global) and instead
+//! call each implementation directly, so they stay safe under the parallel
+//! test runner. CI runs them under both debug and `--release` profiles —
+//! wide-word code paths optimize differently.
+
+use gf::kernels::{scalar, simd_available, xor_acc, xor_acc2, xor_acc_wide, MulTable};
+use gf::Gf256;
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random bytes (xorshift) so the exhaustive sweeps
+/// need no RNG dependency.
+fn sample(len: usize, seed: u64) -> Vec<u8> {
+    let mut x = seed | 1;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x as u8
+        })
+        .collect()
+}
+
+const LENGTHS: [usize; 14] = [0, 1, 2, 7, 15, 16, 17, 31, 32, 33, 63, 64, 65, 257];
+
+#[test]
+fn mul_slice_all_coefficients_all_paths() {
+    for c in 0..=255u8 {
+        let t = MulTable::new(c);
+        for len in LENGTHS {
+            let src = sample(len, 0x1000 + c as u64);
+            let mut reference = vec![0u8; len];
+            scalar::mul_slice(c, &src, &mut reference);
+
+            let mut wide = vec![0u8; len];
+            t.mul_slice_wide(&src, &mut wide);
+            assert_eq!(reference, wide, "wide c={c} len={len}");
+
+            let mut simd = vec![0u8; len];
+            if t.mul_slice_simd(&src, &mut simd) {
+                assert_eq!(reference, simd, "simd c={c} len={len}");
+            }
+
+            let mut dispatched = vec![0u8; len];
+            t.mul_slice(&src, &mut dispatched);
+            assert_eq!(reference, dispatched, "dispatched c={c} len={len}");
+        }
+    }
+}
+
+#[test]
+fn mul_acc_slice_all_coefficients_all_paths() {
+    for c in 0..=255u8 {
+        let t = MulTable::new(c);
+        for len in LENGTHS {
+            let src = sample(len, 0x2000 + c as u64);
+            let acc0 = sample(len, 0x3000 + c as u64);
+
+            let mut reference = acc0.clone();
+            scalar::mul_acc_slice(c, &src, &mut reference);
+
+            let mut wide = acc0.clone();
+            t.mul_acc_slice_wide(&src, &mut wide);
+            assert_eq!(reference, wide, "wide c={c} len={len}");
+
+            let mut simd = acc0.clone();
+            if t.mul_acc_slice_simd(&src, &mut simd) {
+                assert_eq!(reference, simd, "simd c={c} len={len}");
+            }
+
+            let mut dispatched = acc0.clone();
+            t.mul_acc_slice(&src, &mut dispatched);
+            assert_eq!(reference, dispatched, "dispatched c={c} len={len}");
+        }
+    }
+}
+
+#[test]
+fn gf256_slice_entry_points_match_scalar() {
+    let f = Gf256::get();
+    for c in 0..=255u8 {
+        for len in [0usize, 1, 17, 65, 257] {
+            let src = sample(len, 0x4000 + c as u64);
+            let acc0 = sample(len, 0x5000 + c as u64);
+
+            let mut reference = vec![0u8; len];
+            scalar::mul_slice(c, &src, &mut reference);
+            let mut out = vec![0u8; len];
+            f.mul_slice(c, &src, &mut out);
+            assert_eq!(reference, out, "mul_slice c={c} len={len}");
+
+            let mut reference = acc0.clone();
+            scalar::mul_acc_slice(c, &src, &mut reference);
+            let mut out = acc0.clone();
+            f.mul_acc_slice(c, &src, &mut out);
+            assert_eq!(reference, out, "mul_acc_slice c={c} len={len}");
+        }
+    }
+}
+
+#[test]
+fn simd_is_available_on_x86_64_ci() {
+    // Informational guard: on x86_64 the SIMD path must exist, otherwise
+    // the suite above silently skips it.
+    if cfg!(target_arch = "x86_64") {
+        assert!(simd_available(), "x86_64 without SSSE3 is unexpected");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn xor_acc_matches_scalar(len in 0usize..258, s1 in any::<u64>(), s2 in any::<u64>()) {
+        let src = sample(len, s1);
+        let mut reference = sample(len, s2);
+        let mut wide = reference.clone();
+        let mut dispatched = reference.clone();
+        scalar::xor_acc(&mut reference, &src);
+        xor_acc_wide(&mut wide, &src);
+        xor_acc(&mut dispatched, &src);
+        prop_assert_eq!(&reference, &wide);
+        prop_assert_eq!(&reference, &dispatched);
+    }
+
+    #[test]
+    fn xor_acc2_matches_sequential_xors(len in 0usize..258, s1 in any::<u64>(), s2 in any::<u64>(), s3 in any::<u64>()) {
+        let a = sample(len, s1);
+        let b = sample(len, s2);
+        let mut fused = sample(len, s3);
+        let mut reference = fused.clone();
+        scalar::xor_acc(&mut reference, &a);
+        scalar::xor_acc(&mut reference, &b);
+        xor_acc2(&mut fused, &a, &b);
+        prop_assert_eq!(reference, fused);
+    }
+
+    #[test]
+    fn mul_paths_agree_on_random_buffers(c in any::<u8>(), len in 0usize..258, s1 in any::<u64>(), s2 in any::<u64>()) {
+        let t = MulTable::new(c);
+        let src = sample(len, s1);
+        let acc0 = sample(len, s2);
+
+        let mut reference = vec![0u8; len];
+        scalar::mul_slice(c, &src, &mut reference);
+        let mut wide = vec![0u8; len];
+        t.mul_slice_wide(&src, &mut wide);
+        prop_assert_eq!(&reference, &wide);
+        let mut simd = vec![0u8; len];
+        if t.mul_slice_simd(&src, &mut simd) {
+            prop_assert_eq!(&reference, &simd);
+        }
+
+        let mut reference = acc0.clone();
+        scalar::mul_acc_slice(c, &src, &mut reference);
+        let mut wide = acc0.clone();
+        t.mul_acc_slice_wide(&src, &mut wide);
+        prop_assert_eq!(&reference, &wide);
+        let mut simd = acc0;
+        if t.mul_acc_slice_simd(&src, &mut simd) {
+            prop_assert_eq!(&reference, &simd);
+        }
+    }
+}

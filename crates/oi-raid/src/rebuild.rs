@@ -12,11 +12,20 @@
 //! Both modes share one pure combine function per plan item, so serial and
 //! parallel rebuilds are bit-identical by construction (property-tested in
 //! `tests/rebuild_engine.rs`).
+//!
+//! The data path avoids per-chunk allocation: a [`BufPool`] recycles chunk
+//! buffers between readers and the combiner, and adjacent same-disk reads in
+//! each per-disk queue are coalesced into single [`BlockDevice::read_chunks`]
+//! calls. Both modes coalesce from the same [`RecoveryPlan::reads_by_disk`]
+//! queues, so their device read counters stay equal.
 
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::mpsc;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use gf::kernels::xor_acc;
 
 use blockdev::{BlockDevice, CounterSnapshot, DeviceError};
 use ecc::ErasureCode;
@@ -99,28 +108,62 @@ impl fmt::Display for RebuildReport {
     }
 }
 
+/// A shared pool of chunk-sized byte buffers: readers take buffers, the
+/// combiner recycles consumed inputs back, so steady-state rebuild performs
+/// no per-chunk allocation.
+struct BufPool {
+    chunk: usize,
+    free: Mutex<Vec<Vec<u8>>>,
+}
+
+impl BufPool {
+    fn new(chunk: usize) -> Self {
+        Self {
+            chunk,
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A zeroed chunk-sized buffer, recycled when one is available.
+    fn take(&self) -> Vec<u8> {
+        match self.free.lock().expect("pool lock").pop() {
+            Some(mut b) => {
+                b.fill(0);
+                b
+            }
+            None => vec![0u8; self.chunk],
+        }
+    }
+
+    fn put(&self, b: Vec<u8>) {
+        if b.len() == self.chunk {
+            self.free.lock().expect("pool lock").push(b);
+        }
+    }
+}
+
 /// Reconstructs one lost chunk from gathered inputs.
 ///
 /// `inputs` maps every source address (scheduled reads *and* outputs of
-/// dependency items) to its bytes. `decoded` caches whole-row decodes so
+/// dependency items) to its bytes; entries may be consumed (moved out), the
+/// caller recycles whatever remains. `decoded` caches whole-row decodes so
 /// that co-decoded siblings (multi-failure items with no sources of their
 /// own) can pick up their value. Pure in its inputs — this is what makes
 /// serial and parallel execution bit-identical.
 fn combine(
     geo: &Geometry,
     code: &dyn ErasureCode,
-    chunk_size: usize,
     lost: ChunkAddr,
-    inputs: &HashMap<ChunkAddr, Vec<u8>>,
+    inputs: &mut HashMap<ChunkAddr, Vec<u8>>,
     decoded: &mut HashMap<ChunkAddr, Vec<u8>>,
+    pool: &BufPool,
 ) -> Vec<u8> {
     if inputs.is_empty() {
         // Sibling of an earlier whole-row decode (multi-failure plans emit
         // one item carrying the row's shared reads, then read-less items
         // for the other chunks co-decoded from them).
         return decoded
-            .get(&lost)
-            .cloned()
+            .remove(&lost)
             .expect("sibling item follows its row decode");
     }
     let grp = geo.group_of(lost.disk);
@@ -133,23 +176,20 @@ fn combine(
             .into_iter()
             .chain(geo.inner_parities_of_row(grp, row))
             .collect();
-        let mut units: Vec<Option<Vec<u8>>> =
-            ordered.iter().map(|a| inputs.get(a).cloned()).collect();
+        let mut units: Vec<Option<Vec<u8>>> = ordered.iter().map(|a| inputs.remove(a)).collect();
         code.reconstruct(&mut units).expect("within row tolerance");
-        for (a, u) in ordered.iter().zip(&units) {
-            decoded.insert(*a, u.clone().expect("reconstructed"));
+        for (a, u) in ordered.iter().zip(units) {
+            decoded.insert(*a, u.expect("reconstructed"));
         }
-        return decoded[&lost].clone();
+        return decoded.remove(&lost).expect("lost chunk is in its row");
     }
     let stripe_xor = |payload: ChunkAddr| -> Vec<u8> {
         let p = geo.payload_pos(payload);
-        let mut acc = vec![0u8; chunk_size];
+        let mut acc = pool.take();
         for a in geo.stripe_chunks(p.block, p.stripe) {
             if a != payload {
                 let v = inputs.get(&a).expect("stripe source gathered");
-                for (x, b) in acc.iter_mut().zip(v) {
-                    *x ^= b;
-                }
+                xor_acc(&mut acc, v);
             }
         }
         acc
@@ -186,19 +226,25 @@ type Finished = Vec<(ChunkAddr, Vec<u8>)>;
 struct Combiner<'p> {
     geo: &'p Geometry,
     code: &'p dyn ErasureCode,
-    chunk_size: usize,
     plan: &'p RecoveryPlan,
+    pool: &'p BufPool,
     /// Gathered read bytes per item.
     inputs: Vec<HashMap<ChunkAddr, Vec<u8>>>,
     /// Outstanding (reads, dependencies) per item.
     pending: Vec<(usize, usize)>,
-    /// Reverse dependency edges (plan `depends` plus sibling links).
+    /// Reverse dependency edges (plan `depends` plus sibling links); taken
+    /// (consumed) when the item completes.
     dependents: Vec<Vec<usize>>,
     /// Forward dependency edges; sibling links are marked so their output
-    /// is not folded into `inputs` (siblings read the decode cache).
+    /// is not folded into `inputs` (siblings read the decode cache). Taken
+    /// when the item starts computing.
     depends: Vec<Vec<(usize, bool)>>,
-    /// Reconstructed chunk per completed item.
+    /// Reconstructed chunk per completed item, kept only while dependents
+    /// still consume it (see `output_uses`).
     outputs: Vec<Option<Vec<u8>>>,
+    /// Remaining non-sibling dependents per item: the last consumer moves
+    /// the output out instead of cloning.
+    output_uses: Vec<usize>,
     /// Whole-row decode cache for sibling items.
     decoded: HashMap<ChunkAddr, Vec<u8>>,
     /// Items whose inputs are all present, not yet computed.
@@ -212,8 +258,8 @@ impl<'p> Combiner<'p> {
     fn new(
         geo: &'p Geometry,
         code: &'p dyn ErasureCode,
-        chunk_size: usize,
         plan: &'p RecoveryPlan,
+        pool: &'p BufPool,
     ) -> Self {
         let items = plan.items();
         let n = items.len();
@@ -242,11 +288,15 @@ impl<'p> Combiner<'p> {
             depends[idx].push((provider, true));
         }
         let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut output_uses = vec![0usize; n];
         let mut pending = Vec::with_capacity(n);
         let mut ready = Vec::new();
         for (idx, it) in items.iter().enumerate() {
-            for &(d, _) in &depends[idx] {
+            for &(d, sibling) in &depends[idx] {
                 dependents[d].push(idx);
+                if !sibling {
+                    output_uses[d] += 1;
+                }
             }
             pending.push((it.reads.len(), depends[idx].len()));
             if pending[idx] == (0, 0) {
@@ -256,13 +306,14 @@ impl<'p> Combiner<'p> {
         Self {
             geo,
             code,
-            chunk_size,
             plan,
+            pool,
             inputs: vec![HashMap::new(); n],
             pending,
             dependents,
             depends,
             outputs: vec![None; n],
+            output_uses,
             decoded: HashMap::new(),
             ready,
             finished: Vec::new(),
@@ -283,36 +334,89 @@ impl<'p> Combiner<'p> {
     fn drain(&mut self) {
         while let Some(idx) = self.ready.pop() {
             // Fold (non-sibling) dependency outputs into the input map,
-            // keyed by the dependency's lost address.
-            for (d, sibling_link) in self.depends[idx].clone() {
+            // keyed by the dependency's lost address. The last consumer of
+            // an output moves it; earlier consumers clone.
+            for (d, sibling_link) in std::mem::take(&mut self.depends[idx]) {
                 if sibling_link {
                     continue;
                 }
                 let dep_lost = self.plan.items()[d].lost;
-                let out = self.outputs[d].clone().expect("dependency completed");
+                self.output_uses[d] -= 1;
+                let out = if self.output_uses[d] == 0 {
+                    self.outputs[d].take().expect("dependency completed")
+                } else {
+                    self.outputs[d].clone().expect("dependency completed")
+                };
                 self.inputs[idx].insert(dep_lost, out);
             }
             let lost = self.plan.items()[idx].lost;
             let value = combine(
                 self.geo,
                 self.code,
-                self.chunk_size,
                 lost,
-                &self.inputs[idx],
+                &mut self.inputs[idx],
                 &mut self.decoded,
+                self.pool,
             );
-            self.finished.push((lost, value.clone()));
-            for dep in self.dependents[idx].clone() {
+            // Consumed inputs are gone; recycle what combine left behind.
+            for (_, b) in self.inputs[idx].drain() {
+                self.pool.put(b);
+            }
+            for dep in std::mem::take(&mut self.dependents[idx]) {
                 self.pending[dep].1 -= 1;
                 if self.pending[dep] == (0, 0) {
                     self.ready.push(dep);
                 }
             }
-            self.outputs[idx] = Some(value);
-            self.inputs[idx].clear();
+            if self.output_uses[idx] > 0 {
+                self.outputs[idx] = Some(value.clone());
+            }
+            self.finished.push((lost, value));
             self.remaining -= 1;
         }
     }
+}
+
+/// Splits a per-disk read queue into maximal runs of consecutive chunk
+/// offsets, preserving queue order; each run becomes one
+/// [`BlockDevice::read_chunks`] call. Serial and parallel execution coalesce
+/// the same queues, so their device read counts stay equal.
+fn coalesce_runs(queue: &[(usize, ChunkAddr)]) -> Vec<&[(usize, ChunkAddr)]> {
+    let mut runs = Vec::new();
+    let mut start = 0;
+    for i in 1..=queue.len() {
+        if i == queue.len() || queue[i].1.offset != queue[i - 1].1.offset + 1 {
+            runs.push(&queue[start..i]);
+            start = i;
+        }
+    }
+    runs
+}
+
+/// Serves one coalesced run, returning a pooled chunk buffer per scheduled
+/// read.
+fn read_run<B: BlockDevice>(
+    dev: &B,
+    run: &[(usize, ChunkAddr)],
+    chunk_size: usize,
+    pool: &BufPool,
+) -> Result<Vec<(usize, ChunkAddr, Vec<u8>)>, DeviceError> {
+    if let [(idx, addr)] = run {
+        let mut buf = pool.take();
+        dev.read_chunk(addr.offset, &mut buf)?;
+        return Ok(vec![(*idx, *addr, buf)]);
+    }
+    let mut batch = vec![0u8; run.len() * chunk_size];
+    dev.read_chunks(run[0].1.offset, run.len(), &mut batch)?;
+    Ok(run
+        .iter()
+        .zip(batch.chunks_exact(chunk_size))
+        .map(|(&(idx, addr), bytes)| {
+            let mut buf = pool.take();
+            buf.copy_from_slice(bytes);
+            (idx, addr, buf)
+        })
+        .collect())
 }
 
 impl<B: BlockDevice> OiRaidStore<B> {
@@ -405,16 +509,22 @@ impl<B: BlockDevice> OiRaidStore<B> {
     fn execute_serial(&mut self, plan: &RecoveryPlan) -> Result<Finished, StoreError> {
         let geo = self.array().geometry().clone();
         let code = self.inner_code();
-        let mut combiner = Combiner::new(&geo, code.as_ref(), self.chunk_size(), plan);
+        let chunk_size = self.chunk_size();
+        let pool = BufPool::new(chunk_size);
+        let mut combiner = Combiner::new(&geo, code.as_ref(), plan, &pool);
         combiner.drain();
-        for (idx, item) in plan.items().iter().enumerate() {
-            for addr in item.reads.clone() {
-                let bytes = self
-                    .chunk(addr)?
-                    .ok_or(StoreError::DiskFailed { disk: addr.disk })?;
-                combiner.deliver_read(idx, addr, bytes);
+        for (disk, queue) in plan.reads_by_disk() {
+            let dev = &self.devices()[disk];
+            for run in coalesce_runs(&queue) {
+                let batch = read_run(dev, run, chunk_size, &pool).map_err(|error| match error {
+                    DeviceError::Failed => StoreError::DiskFailed { disk },
+                    error => StoreError::Device { disk, error },
+                })?;
+                for (idx, addr, bytes) in batch {
+                    combiner.deliver_read(idx, addr, bytes);
+                }
+                combiner.drain();
             }
-            combiner.drain();
         }
         debug_assert_eq!(combiner.remaining, 0, "plan execution closed");
         Ok(combiner.finished)
@@ -427,13 +537,15 @@ impl<B: BlockDevice> OiRaidStore<B> {
         let chunk_size = self.chunk_size();
         let queues = plan.reads_by_disk();
         let workers = queues.len();
-        let mut combiner = Combiner::new(&geo, code.as_ref(), chunk_size, plan);
+        let pool = BufPool::new(chunk_size);
+        let mut combiner = Combiner::new(&geo, code.as_ref(), plan, &pool);
         combiner.drain();
 
         // Readers only need `&B` (read_chunk takes `&self`), so lend each
         // surviving device to its reader thread by shared reference.
         type ReadMsg = Result<(usize, ChunkAddr, Vec<u8>), (usize, DeviceError)>;
         let devices: &[B] = self.devices();
+        let pool_ref = &pool;
         let mut error: Option<StoreError> = None;
         std::thread::scope(|s| {
             let (tx, rx) = mpsc::channel::<ReadMsg>();
@@ -441,15 +553,19 @@ impl<B: BlockDevice> OiRaidStore<B> {
                 let dev: &B = &devices[*disk];
                 let tx = tx.clone();
                 s.spawn(move || {
-                    for (idx, addr) in queue {
-                        let mut buf = vec![0u8; chunk_size];
-                        let msg = match dev.read_chunk(addr.offset, &mut buf) {
-                            Ok(()) => Ok((*idx, *addr, buf)),
-                            Err(e) => Err((addr.disk, e)),
-                        };
-                        let abort = msg.is_err();
-                        if tx.send(msg).is_err() || abort {
-                            return; // combiner gone or device errored
+                    for run in coalesce_runs(queue) {
+                        match read_run(dev, run, chunk_size, pool_ref) {
+                            Ok(batch) => {
+                                for (idx, addr, buf) in batch {
+                                    if tx.send(Ok((idx, addr, buf))).is_err() {
+                                        return; // combiner gone
+                                    }
+                                }
+                            }
+                            Err(e) => {
+                                let _ = tx.send(Err((*disk, e)));
+                                return;
+                            }
                         }
                     }
                 });

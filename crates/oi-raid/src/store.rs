@@ -358,9 +358,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
         let mut bytes = self
             .chunk(addr)?
             .ok_or(StoreError::DiskFailed { disk: addr.disk })?;
-        for (b, d) in bytes.iter_mut().zip(delta) {
-            *b ^= d;
-        }
+        gf::kernels::xor_acc(&mut bytes, delta);
         self.write_chunk(addr, &bytes)
     }
 

@@ -3,6 +3,10 @@
 //! *bit-identical* to a serial one — and both must reproduce exactly what
 //! the disks held before they failed. Exercised over both the in-memory and
 //! the file-backed block devices.
+//!
+//! Both modes share a pooled-buffer data path and coalesce adjacent
+//! same-disk reads into single device operations, so the comparison also
+//! pins their per-device read counters to each other exactly.
 
 use proptest::prelude::*;
 
@@ -71,6 +75,17 @@ fn assert_parallel_matches_serial<B: BlockDevice>(
     let rp = parallel.rebuild(RebuildMode::Parallel, strategy).unwrap();
     prop_assert_eq!(rs.chunks_rebuilt, rp.chunks_rebuilt);
     prop_assert_eq!(rs.total_reads(), rp.total_reads(), "same read schedule");
+    let serial_io: Vec<(u64, u64)> = rs
+        .device_io
+        .iter()
+        .map(|c| (c.reads, c.bytes_read))
+        .collect();
+    let parallel_io: Vec<(u64, u64)> = rp
+        .device_io
+        .iter()
+        .map(|c| (c.reads, c.bytes_read))
+        .collect();
+    prop_assert_eq!(serial_io, parallel_io, "coalesced runs must match per disk");
     for (&d, want) in failures.iter().zip(&pristine) {
         let s = disk_image(&serial, d);
         let p = disk_image(&parallel, d);
