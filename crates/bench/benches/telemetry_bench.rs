@@ -1,0 +1,93 @@
+//! Telemetry hot-path microbenchmarks: the cost of one histogram record
+//! (the operation instrumented I/O pays per call), a snapshot+quantile,
+//! a span open/drop cycle, and a full registry export. E15 in
+//! `EXPERIMENTS.md` records the measured per-call costs and the end-to-end
+//! rebuild overhead they imply.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use telemetry::{Histogram, Registry, Tracer};
+
+fn bench_histogram(c: &mut Criterion) {
+    telemetry::set_enabled(true);
+    let h = Histogram::new();
+    let mut group = c.benchmark_group("histogram");
+    group.sample_size(50);
+    group.bench_function("record", |b| {
+        let mut x = 0x9E37_79B9u64;
+        b.iter(|| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            h.record(black_box(x >> (x % 48)));
+        })
+    });
+    for _ in 0..100_000 {
+        h.record(rand_like(&h));
+    }
+    group.bench_function("snapshot_p99", |b| b.iter(|| black_box(h.snapshot().p99())));
+    group.finish();
+
+    // The kill switch: a disabled record must be near-free.
+    telemetry::set_enabled(false);
+    let off = Histogram::new();
+    let mut group = c.benchmark_group("histogram_disabled");
+    group.sample_size(50);
+    group.bench_function("record", |b| b.iter(|| off.record(black_box(42))));
+    group.finish();
+    telemetry::set_enabled(true);
+}
+
+/// Cheap deterministic value derived from the histogram's own count.
+fn rand_like(h: &Histogram) -> u64 {
+    let mut x = h.count() | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x >> (x % 48)
+}
+
+fn bench_spans(c: &mut Criterion) {
+    telemetry::set_enabled(true);
+    let t = Tracer::new(4096);
+    let mut group = c.benchmark_group("trace");
+    group.sample_size(50);
+    group.bench_function("span_open_drop", |b| {
+        b.iter(|| {
+            let _s = t.span(black_box("stage"));
+        })
+    });
+    let root = t.span("root");
+    group.bench_function("child_open_drop", |b| {
+        b.iter(|| {
+            let _s = root.child(black_box("item"));
+        })
+    });
+    group.finish();
+}
+
+fn bench_export(c: &mut Criterion) {
+    telemetry::set_enabled(true);
+    let reg = Registry::new();
+    for d in 0..21 {
+        let disk = d.to_string();
+        let h = Arc::new(Histogram::new());
+        for v in 0..1000u64 {
+            h.record(v * 997);
+        }
+        reg.register_histogram("lat_ns", "latency", &[("disk", &disk)], h);
+        reg.counter("reads_total", "reads", &[("disk", &disk)])
+            .inc_by(12345);
+    }
+    let mut group = c.benchmark_group("export");
+    group.sample_size(30);
+    group.bench_function("prometheus_21_disks", |b| {
+        b.iter(|| black_box(reg.prometheus()))
+    });
+    group.bench_function("json_21_disks", |b| b.iter(|| black_box(reg.json())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_histogram, bench_spans, bench_export);
+criterion_main!(benches);

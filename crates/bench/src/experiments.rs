@@ -912,7 +912,127 @@ pub fn a2_strategy_ablation() -> Vec<(String, Table)> {
     vec![("A2: recovery strategy ablation".into(), table)]
 }
 
-/// Runs one experiment by id (`e1`..`e14`, `a1`, `a2`), or `all`.
+/// E15 — telemetry overhead: per-call cost of every hot-path telemetry
+/// primitive, and the end-to-end wall-time cost of running a rebuild fully
+/// observed (stage histograms + spans + progress) versus with telemetry
+/// globally disabled. The observed/off ratio is the number the "always-on"
+/// claim rests on; the target is < 2 % on a compute-bound rebuild (no
+/// injected device latency, so instrumentation has nowhere to hide).
+pub fn e15_telemetry_overhead() -> Vec<(String, Table)> {
+    use oi_raid::{OiRaidStore, RebuildMode, RebuildObserver};
+    use std::time::Instant;
+    use telemetry::{Histogram, Registry, Tracer};
+
+    /// Mean ns per call of `f` over `iters` iterations (one warm-up call).
+    fn ns_per(iters: u64, mut f: impl FnMut()) -> f64 {
+        f();
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        start.elapsed().as_nanos() as f64 / iters as f64
+    }
+
+    telemetry::set_enabled(true);
+    let h = Histogram::new();
+    let mut x = 0x9E37_79B9u64;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x >> (x % 48)
+    };
+    let record_on = ns_per(1_000_000, || h.record(next()));
+    telemetry::set_enabled(false);
+    let record_off = ns_per(1_000_000, || h.record(42));
+    telemetry::set_enabled(true);
+    let snapshot_p99 = ns_per(20_000, || {
+        std::hint::black_box(h.snapshot().p99());
+    });
+    let tracer = Tracer::new(4096);
+    let span = ns_per(200_000, || {
+        let _s = tracer.span("stage");
+    });
+    let reg = Registry::new();
+    reg.register_histogram(
+        "lat_ns",
+        "latency",
+        &[],
+        std::sync::Arc::new(Histogram::new()),
+    );
+    reg.counter("ops_total", "ops", &[]).inc();
+    let export = ns_per(5_000, || {
+        std::hint::black_box(reg.prometheus());
+    });
+
+    let mut hot = Table::new(&["operation", "ns/op"]);
+    for (op, ns) in [
+        ("histogram record (enabled)", record_on),
+        ("histogram record (disabled)", record_off),
+        ("span open + drop", span),
+        ("snapshot + p99", snapshot_p99),
+        ("prometheus export (2 series)", export),
+    ] {
+        hot.row_owned(vec![op.into(), f3(ns)]);
+    }
+
+    // End-to-end: serial rebuild on pure in-memory devices — all compute,
+    // so telemetry has maximal relative weight. Median of repeated runs.
+    const CHUNK: usize = 64 << 10;
+    const RUNS: usize = 5;
+    let cfg = OiRaidConfig::reference();
+    let mut store = OiRaidStore::new(cfg, CHUNK).expect("reference store");
+    for idx in 0..store.data_chunks() {
+        let chunk: Vec<u8> = (0..CHUNK).map(|j| (idx * 131 + j * 17 + 3) as u8).collect();
+        store.write_data(idx, &chunk).expect("healthy write");
+    }
+    let mut median_wall_ms = |observed: bool| -> f64 {
+        let mut walls: Vec<f64> = (0..RUNS)
+            .map(|_| {
+                store.fail_disk(4).expect("valid disk");
+                let report = if observed {
+                    let obs = RebuildObserver::default();
+                    store
+                        .rebuild_observed(RebuildMode::Serial, RecoveryStrategy::Hybrid, &obs)
+                        .expect("recoverable")
+                } else {
+                    store
+                        .rebuild(RebuildMode::Serial, RecoveryStrategy::Hybrid)
+                        .expect("recoverable")
+                };
+                report.wall.as_secs_f64() * 1e3
+            })
+            .collect();
+        walls.sort_by(f64::total_cmp);
+        walls[RUNS / 2]
+    };
+    telemetry::set_enabled(false);
+    let off_ms = median_wall_ms(false);
+    telemetry::set_enabled(true);
+    let on_ms = median_wall_ms(true);
+    let overhead = (on_ms - off_ms) / off_ms * 100.0;
+
+    let mut e2e = Table::new(&["configuration", "median wall (ms)", "overhead (%)"]);
+    e2e.row_owned(vec!["telemetry disabled".into(), f3(off_ms), f3(0.0)]);
+    e2e.row_owned(vec![
+        "fully observed (histograms+spans+progress)".into(),
+        f3(on_ms),
+        f3(overhead),
+    ]);
+
+    vec![
+        ("E15a: telemetry hot-path cost per call".into(), hot),
+        (
+            format!(
+                "E15b: serial rebuild, in-memory devices, {} KiB chunks, median of {RUNS}",
+                CHUNK >> 10
+            ),
+            e2e,
+        ),
+    ]
+}
+
+/// Runs one experiment by id (`e1`..`e15`, `a1`, `a2`), or `all`.
 /// Returns the rendered tables; unknown ids return `None`.
 pub fn run(id: &str) -> Option<Vec<(String, Table)>> {
     match id {
@@ -930,12 +1050,13 @@ pub fn run(id: &str) -> Option<Vec<(String, Table)>> {
         "e12" => Some(e12_dual_parity()),
         "e13" => Some(e13_parallel_rebuild()),
         "e14" => Some(e14_kernel_throughput()),
+        "e15" => Some(e15_telemetry_overhead()),
         "a2" => Some(a2_strategy_ablation()),
         "all" => {
             let mut out = Vec::new();
             for id in [
                 "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-                "e14", "a2",
+                "e14", "e15", "a2",
             ] {
                 out.extend(run(id).expect("known id"));
             }

@@ -3,9 +3,9 @@
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crate::{BlockDevice, CounterSnapshot, DeviceError};
+use crate::{BlockDevice, CounterSnapshot, DeviceError, DeviceLatency};
 
 /// Fault-injection policy. All decisions derive from `seed`, so runs are
 /// reproducible.
@@ -65,6 +65,9 @@ pub struct FaultInjectingDevice<B> {
     /// Latent-bad chunks that have been repaired by a rewrite.
     remapped: Mutex<HashSet<usize>>,
     faults: AtomicU64,
+    injected_latency_ns: AtomicU64,
+    /// Total service time seen by callers (sleep + inner device).
+    latency: DeviceLatency,
 }
 
 impl<B: BlockDevice> FaultInjectingDevice<B> {
@@ -76,7 +79,18 @@ impl<B: BlockDevice> FaultInjectingDevice<B> {
             ops: AtomicU64::new(0),
             remapped: Mutex::new(HashSet::new()),
             faults: AtomicU64::new(0),
+            injected_latency_ns: AtomicU64::new(0),
+            latency: DeviceLatency::default(),
         }
+    }
+
+    fn inject_latency(&self, d: Duration) {
+        if d.is_zero() {
+            return;
+        }
+        std::thread::sleep(d);
+        self.injected_latency_ns
+            .fetch_add(d.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
     }
 
     /// The wrapped device.
@@ -127,24 +141,27 @@ impl<B: BlockDevice> BlockDevice for FaultInjectingDevice<B> {
     }
 
     fn read_chunk(&self, chunk: usize, buf: &mut [u8]) -> Result<(), DeviceError> {
-        if !self.cfg.read_latency.is_zero() {
-            std::thread::sleep(self.cfg.read_latency);
-        }
+        let began = Instant::now();
+        self.inject_latency(self.cfg.read_latency);
         if self.is_latent_bad(chunk) || self.transient_fault() {
             self.faults.fetch_add(1, Ordering::Relaxed);
             return Err(DeviceError::InjectedFault { chunk });
         }
-        self.inner.read_chunk(chunk, buf)
+        let result = self.inner.read_chunk(chunk, buf);
+        if result.is_ok() {
+            self.latency.read.record_duration(began.elapsed());
+        }
+        result
     }
 
     fn write_chunk(&mut self, chunk: usize, data: &[u8]) -> Result<(), DeviceError> {
-        if !self.cfg.write_latency.is_zero() {
-            std::thread::sleep(self.cfg.write_latency);
-        }
+        let began = Instant::now();
+        self.inject_latency(self.cfg.write_latency);
         self.inner.write_chunk(chunk, data)?;
         if self.latent_bad_by_seed(chunk) {
             self.remapped.lock().expect("remap lock").insert(chunk);
         }
+        self.latency.write.record_duration(began.elapsed());
         Ok(())
     }
 
@@ -159,12 +176,23 @@ impl<B: BlockDevice> BlockDevice for FaultInjectingDevice<B> {
     fn counters(&self) -> CounterSnapshot {
         let mut c = self.inner.counters();
         c.faults = self.faults.load(Ordering::Relaxed);
+        c.injected_latency_ns = self.injected_latency_ns.load(Ordering::Relaxed);
         c
     }
 
     fn reset_counters(&self) {
         self.inner.reset_counters();
         self.faults.store(0, Ordering::Relaxed);
+        self.injected_latency_ns.store(0, Ordering::Relaxed);
+        self.latency.read.reset();
+        self.latency.write.reset();
+    }
+
+    /// Service time as seen by callers: injected sleep plus the wrapped
+    /// device's own time (the wrapped device's [`BlockDevice::latency`]
+    /// still reports its raw time separately).
+    fn latency(&self) -> DeviceLatency {
+        self.latency.clone()
     }
 }
 
@@ -182,6 +210,33 @@ mod tests {
         d.read_chunk(0, &mut buf).unwrap();
         assert_eq!(buf, [5u8; 8]);
         assert_eq!(d.counters().faults, 0);
+    }
+
+    #[test]
+    fn injected_latency_is_counted_and_histogrammed() {
+        telemetry::set_enabled(true);
+        let cfg = FaultConfig::latency(Duration::from_micros(200), Duration::from_micros(100));
+        let mut d = FaultInjectingDevice::new(MemDevice::new(8, 4), cfg);
+        let mut buf = [0u8; 8];
+        d.write_chunk(0, &[5u8; 8]).unwrap();
+        d.read_chunk(0, &mut buf).unwrap();
+        d.read_chunk(1, &mut buf).unwrap();
+        let c = d.counters();
+        // Two 200 µs reads + one 100 µs write of configured sleep.
+        assert_eq!(c.injected_latency_ns, 500_000, "{c}");
+        let lat = d.latency();
+        assert_eq!(lat.read.count(), 2);
+        assert!(
+            lat.read.snapshot().p50() >= 200_000,
+            "service time includes the sleep: {}",
+            lat.read.snapshot().summary_ns()
+        );
+        // The wrapped device's own histogram excludes the sleep but was
+        // still recorded.
+        assert_eq!(d.inner().latency().read.count(), 2);
+        d.reset_counters();
+        assert_eq!(d.counters().injected_latency_ns, 0);
+        assert_eq!(d.latency().read.count(), 0);
     }
 
     #[test]

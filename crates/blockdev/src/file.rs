@@ -4,8 +4,11 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
+use std::time::Instant;
 
-use crate::{check_io, check_io_run, BlockDevice, CounterSnapshot, Counters, DeviceError};
+use crate::{
+    check_io, check_io_run, BlockDevice, CounterSnapshot, Counters, DeviceError, DeviceLatency,
+};
 
 /// A block device backed by a single file via `std::fs`.
 ///
@@ -89,11 +92,13 @@ impl BlockDevice for FileDevice {
         if self.failed {
             return Err(DeviceError::Failed);
         }
+        let began = Instant::now();
         let mut file = self.file.lock().expect("file lock");
         file.seek(SeekFrom::Start((chunk * self.chunk_size) as u64))
             .map_err(io_err)?;
         file.read_exact(buf).map_err(io_err)?;
-        self.counters.record_read(self.chunk_size as u64);
+        self.counters
+            .record_read(self.chunk_size as u64, began.elapsed());
         Ok(())
     }
 
@@ -103,11 +108,12 @@ impl BlockDevice for FileDevice {
         if self.failed {
             return Err(DeviceError::Failed);
         }
+        let began = Instant::now();
         let mut file = self.file.lock().expect("file lock");
         file.seek(SeekFrom::Start((first * self.chunk_size) as u64))
             .map_err(io_err)?;
         file.read_exact(buf).map_err(io_err)?;
-        self.counters.record_read(buf.len() as u64);
+        self.counters.record_read(buf.len() as u64, began.elapsed());
         Ok(())
     }
 
@@ -116,11 +122,13 @@ impl BlockDevice for FileDevice {
         if self.failed {
             return Err(DeviceError::Failed);
         }
+        let began = Instant::now();
         let mut file = self.file.lock().expect("file lock");
         file.seek(SeekFrom::Start((chunk * self.chunk_size) as u64))
             .map_err(io_err)?;
         file.write_all(data).map_err(io_err)?;
-        self.counters.record_write(self.chunk_size as u64);
+        self.counters
+            .record_write(self.chunk_size as u64, began.elapsed());
         Ok(())
     }
 
@@ -148,6 +156,10 @@ impl BlockDevice for FileDevice {
 
     fn reset_counters(&self) {
         self.counters.reset();
+    }
+
+    fn latency(&self) -> DeviceLatency {
+        self.counters.latency()
     }
 }
 

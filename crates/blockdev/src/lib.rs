@@ -32,6 +32,10 @@ pub use mem::MemDevice;
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use telemetry::Histogram;
 
 /// Errors surfaced by block devices.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -140,9 +144,28 @@ pub trait BlockDevice: Send + Sync {
 
     /// Resets the I/O counters to zero.
     fn reset_counters(&self);
+
+    /// The device's per-operation service-time histograms. The returned
+    /// handles share storage with the device (they are `Arc`s), so they
+    /// stay live as I/O continues. Backends that do not measure latency
+    /// return empty histograms (the default).
+    fn latency(&self) -> DeviceLatency {
+        DeviceLatency::default()
+    }
 }
 
-/// Always-on per-device I/O counters (atomics: reads count under `&self`).
+/// Shared handles to a device's read/write service-time histograms
+/// (nanoseconds per operation). Cloning shares the underlying storage.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceLatency {
+    /// Service time per read operation, in nanoseconds.
+    pub read: Arc<Histogram>,
+    /// Service time per write operation, in nanoseconds.
+    pub write: Arc<Histogram>,
+}
+
+/// Always-on per-device I/O counters (atomics: reads count under `&self`),
+/// plus shared service-time histograms for [`BlockDevice::latency`].
 #[derive(Debug, Default)]
 pub struct Counters {
     reads: AtomicU64,
@@ -150,17 +173,25 @@ pub struct Counters {
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
     faults: AtomicU64,
+    injected_latency_ns: AtomicU64,
+    latency: DeviceLatency,
 }
 
 impl Counters {
-    pub(crate) fn record_read(&self, bytes: u64) {
+    pub(crate) fn record_read(&self, bytes: u64, took: Duration) {
         self.reads.fetch_add(1, Ordering::Relaxed);
         self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.latency.read.record_duration(took);
     }
 
-    pub(crate) fn record_write(&self, bytes: u64) {
+    pub(crate) fn record_write(&self, bytes: u64, took: Duration) {
         self.writes.fetch_add(1, Ordering::Relaxed);
         self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        self.latency.write.record_duration(took);
+    }
+
+    pub(crate) fn latency(&self) -> DeviceLatency {
+        self.latency.clone()
     }
 
     pub(crate) fn snapshot(&self) -> CounterSnapshot {
@@ -170,6 +201,7 @@ impl Counters {
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             faults: self.faults.load(Ordering::Relaxed),
+            injected_latency_ns: self.injected_latency_ns.load(Ordering::Relaxed),
         }
     }
 
@@ -179,6 +211,9 @@ impl Counters {
         self.bytes_read.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
         self.faults.store(0, Ordering::Relaxed);
+        self.injected_latency_ns.store(0, Ordering::Relaxed);
+        self.latency.read.reset();
+        self.latency.write.reset();
     }
 }
 
@@ -195,6 +230,10 @@ pub struct CounterSnapshot {
     pub bytes_written: u64,
     /// Injected faults observed (always 0 for plain backends).
     pub faults: u64,
+    /// Total artificial latency injected by a [`FaultInjectingDevice`],
+    /// in nanoseconds (always 0 for plain backends) — separates modelled
+    /// device time from engine overhead in rebuild accounting.
+    pub injected_latency_ns: u64,
 }
 
 impl CounterSnapshot {
@@ -206,12 +245,33 @@ impl CounterSnapshot {
             bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
             bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
             faults: self.faults.saturating_sub(earlier.faults),
+            injected_latency_ns: self
+                .injected_latency_ns
+                .saturating_sub(earlier.injected_latency_ns),
         }
     }
 
     /// Total I/O operations (reads + writes).
     pub fn ops(&self) -> u64 {
         self.reads + self.writes
+    }
+}
+
+impl fmt::Display for CounterSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} reads ({} B), {} writes ({} B), {} faults",
+            self.reads, self.bytes_read, self.writes, self.bytes_written, self.faults
+        )?;
+        if self.injected_latency_ns > 0 {
+            write!(
+                f,
+                ", {:.2} ms injected latency",
+                self.injected_latency_ns as f64 / 1e6
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -262,11 +322,12 @@ mod tests {
     #[test]
     fn snapshot_deltas() {
         let c = Counters::default();
-        c.record_read(64);
-        c.record_read(64);
-        c.record_write(64);
+        let t = Duration::from_micros(1);
+        c.record_read(64, t);
+        c.record_read(64, t);
+        c.record_write(64, t);
         let a = c.snapshot();
-        c.record_read(64);
+        c.record_read(64, t);
         let b = c.snapshot();
         let d = b.since(&a);
         assert_eq!(d.reads, 1);
@@ -275,6 +336,45 @@ mod tests {
         assert_eq!(b.ops(), 4);
         c.reset();
         assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn counters_feed_latency_histograms() {
+        telemetry::set_enabled(true);
+        let c = Counters::default();
+        c.record_read(64, Duration::from_micros(5));
+        c.record_write(64, Duration::from_micros(9));
+        let lat = c.latency();
+        assert_eq!(lat.read.count(), 1);
+        assert!(lat.read.max() >= 5_000);
+        assert_eq!(lat.write.count(), 1);
+        c.reset();
+        assert_eq!(lat.read.count(), 0, "reset clears shared histograms");
+    }
+
+    #[test]
+    fn snapshot_display_and_injected_latency_delta() {
+        let a = CounterSnapshot {
+            reads: 2,
+            bytes_read: 128,
+            injected_latency_ns: 1_000_000,
+            ..CounterSnapshot::default()
+        };
+        let b = CounterSnapshot {
+            reads: 5,
+            bytes_read: 320,
+            injected_latency_ns: 4_500_000,
+            ..CounterSnapshot::default()
+        };
+        let d = b.since(&a);
+        assert_eq!(d.injected_latency_ns, 3_500_000);
+        let shown = d.to_string();
+        assert!(shown.contains("3 reads"), "{shown}");
+        assert!(shown.contains("3.50 ms injected latency"), "{shown}");
+        assert!(
+            !CounterSnapshot::default().to_string().contains("injected"),
+            "zero injected latency stays out of the display"
+        );
     }
 
     #[test]

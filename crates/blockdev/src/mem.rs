@@ -1,6 +1,10 @@
 //! RAM-backed device: the original store behavior, now behind the trait.
 
-use crate::{check_io, check_io_run, BlockDevice, CounterSnapshot, Counters, DeviceError};
+use std::time::Instant;
+
+use crate::{
+    check_io, check_io_run, BlockDevice, CounterSnapshot, Counters, DeviceError, DeviceLatency,
+};
 
 /// An in-memory block device. Failing it drops the backing allocation;
 /// healing reallocates zero-filled.
@@ -63,29 +67,35 @@ impl BlockDevice for MemDevice {
 
     fn read_chunk(&self, chunk: usize, buf: &mut [u8]) -> Result<(), DeviceError> {
         check_io(chunk, self.chunks, buf.len(), self.chunk_size)?;
+        let began = Instant::now();
         let data = self.data.as_ref().ok_or(DeviceError::Failed)?;
         let start = chunk * self.chunk_size;
         buf.copy_from_slice(&data[start..start + self.chunk_size]);
-        self.counters.record_read(self.chunk_size as u64);
+        self.counters
+            .record_read(self.chunk_size as u64, began.elapsed());
         Ok(())
     }
 
     /// Contiguous storage: a run of chunks is one copy and one I/O op.
     fn read_chunks(&self, first: usize, count: usize, buf: &mut [u8]) -> Result<(), DeviceError> {
         check_io_run(first, count, self.chunks, buf.len(), self.chunk_size)?;
+        let began = Instant::now();
         let data = self.data.as_ref().ok_or(DeviceError::Failed)?;
         let start = first * self.chunk_size;
         buf.copy_from_slice(&data[start..start + count * self.chunk_size]);
-        self.counters.record_read((count * self.chunk_size) as u64);
+        self.counters
+            .record_read((count * self.chunk_size) as u64, began.elapsed());
         Ok(())
     }
 
     fn write_chunk(&mut self, chunk: usize, data: &[u8]) -> Result<(), DeviceError> {
         check_io(chunk, self.chunks, data.len(), self.chunk_size)?;
+        let began = Instant::now();
         let store = self.data.as_mut().ok_or(DeviceError::Failed)?;
         let start = chunk * self.chunk_size;
         store[start..start + self.chunk_size].copy_from_slice(data);
-        self.counters.record_write(self.chunk_size as u64);
+        self.counters
+            .record_write(self.chunk_size as u64, began.elapsed());
         Ok(())
     }
 
@@ -106,6 +116,10 @@ impl BlockDevice for MemDevice {
 
     fn reset_counters(&self) {
         self.counters.reset();
+    }
+
+    fn latency(&self) -> DeviceLatency {
+        self.counters.latency()
     }
 }
 

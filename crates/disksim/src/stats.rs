@@ -89,17 +89,18 @@ impl fmt::Display for Summary {
 
 /// Nearest-rank percentile of an already **sorted** sample set.
 ///
+/// Delegates to [`telemetry::exact_percentile_sorted`] — the same
+/// implementation the telemetry histograms are property-tested against —
+/// so the simulator's summaries and the live histograms cannot drift.
+///
 /// # Panics
 ///
 /// Panics if `sorted` is empty or `p` is outside `0.0..=100.0`.
 pub fn percentile(sorted: &[SimTime], p: f64) -> SimTime {
     assert!(!sorted.is_empty(), "percentile of empty sample set");
     assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
-    if p == 0.0 {
-        return sorted[0];
-    }
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    let ns: Vec<u64> = sorted.iter().map(|t| t.as_nanos()).collect();
+    SimTime::from_nanos(telemetry::exact_percentile_sorted(&ns, p / 100.0))
 }
 
 #[cfg(test)]

@@ -73,6 +73,7 @@ mod degraded;
 mod degraded_read;
 mod geometry;
 mod multifail;
+pub mod observe;
 mod rebuild;
 mod recovery;
 mod store;
@@ -81,6 +82,7 @@ pub use array::{ChunkInfo, OiRaid};
 pub use config::{OiRaidConfig, SkewMode};
 pub use degraded::{reference_scenario, DegradedRun, DegradedScenario};
 pub use degraded_read::ReadPlan;
+pub use observe::{RebuildObserver, StageSummary, StageTimings};
 pub use rebuild::{RebuildMode, RebuildReport};
 pub use recovery::RecoveryStrategy;
-pub use store::{OiRaidStore, StoreError};
+pub use store::{OiRaidStore, StoreError, StoreTelemetry};

@@ -21,6 +21,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -30,8 +31,10 @@ use gf::kernels::xor_acc;
 use blockdev::{BlockDevice, CounterSnapshot, DeviceError};
 use ecc::ErasureCode;
 use layout::{ChunkAddr, Layout, RecoveryPlan, SparePolicy};
+use telemetry::{HistogramSnapshot, Span};
 
 use crate::geometry::Geometry;
+use crate::observe::{RebuildObserver, StageSummary};
 use crate::recovery::single_failure_plan;
 use crate::store::{OiRaidStore, StoreError};
 use crate::RecoveryStrategy;
@@ -74,6 +77,14 @@ pub struct RebuildReport {
     pub device_io: Vec<CounterSnapshot>,
     /// Injected faults observed across all devices during the run.
     pub injected_faults: u64,
+    /// Per-stage latency summaries (`read`/`coalesce`/`combine`/
+    /// `writeback`), in pipeline order.
+    pub stages: Vec<StageSummary>,
+    /// Busy time per reader thread (time inside device reads), in worker
+    /// order — compare against [`RebuildReport::wall`] for utilization.
+    pub worker_busy: Vec<Duration>,
+    /// Combiner input-queue depth distribution (empty for serial mode).
+    pub queue_depth: HistogramSnapshot,
 }
 
 impl RebuildReport {
@@ -86,6 +97,21 @@ impl RebuildReport {
     /// parallel execution.
     pub fn max_device_reads(&self) -> u64 {
         self.device_io.iter().map(|c| c.reads).max().unwrap_or(0)
+    }
+
+    /// The named stage's latency summary, if it was recorded.
+    pub fn stage(&self, name: &str) -> Option<&StageSummary> {
+        self.stages.iter().find(|s| s.stage == name)
+    }
+
+    /// Mean reader-thread utilization: busy time over wall time, in
+    /// `0.0..=1.0` (0.0 for serial mode).
+    pub fn worker_utilization(&self) -> f64 {
+        if self.worker_busy.is_empty() || self.wall.is_zero() {
+            return 0.0;
+        }
+        let busy: f64 = self.worker_busy.iter().map(Duration::as_secs_f64).sum();
+        (busy / (self.wall.as_secs_f64() * self.worker_busy.len() as f64)).min(1.0)
     }
 }
 
@@ -228,6 +254,7 @@ struct Combiner<'p> {
     code: &'p dyn ErasureCode,
     plan: &'p RecoveryPlan,
     pool: &'p BufPool,
+    obs: &'p RebuildObserver,
     /// Gathered read bytes per item.
     inputs: Vec<HashMap<ChunkAddr, Vec<u8>>>,
     /// Outstanding (reads, dependencies) per item.
@@ -260,6 +287,7 @@ impl<'p> Combiner<'p> {
         code: &'p dyn ErasureCode,
         plan: &'p RecoveryPlan,
         pool: &'p BufPool,
+        obs: &'p RebuildObserver,
     ) -> Self {
         let items = plan.items();
         let n = items.len();
@@ -308,6 +336,7 @@ impl<'p> Combiner<'p> {
             code,
             plan,
             pool,
+            obs,
             inputs: vec![HashMap::new(); n],
             pending,
             dependents,
@@ -333,6 +362,7 @@ impl<'p> Combiner<'p> {
     /// in turn.
     fn drain(&mut self) {
         while let Some(idx) = self.ready.pop() {
+            let began = Instant::now();
             // Fold (non-sibling) dependency outputs into the input map,
             // keyed by the dependency's lost address. The last consumer of
             // an output moves it; earlier consumers clone.
@@ -373,6 +403,8 @@ impl<'p> Combiner<'p> {
             }
             self.finished.push((lost, value));
             self.remaining -= 1;
+            self.obs.stages.combine.record_duration(began.elapsed());
+            self.obs.progress.chunk_combined();
         }
     }
 }
@@ -439,6 +471,25 @@ impl<B: BlockDevice> OiRaidStore<B> {
         mode: RebuildMode,
         strategy: RecoveryStrategy,
     ) -> Result<RebuildReport, StoreError> {
+        self.rebuild_observed(mode, strategy, &RebuildObserver::default())
+    }
+
+    /// [`OiRaidStore::rebuild`] with caller-provided telemetry sinks: the
+    /// observer's [`Progress`](telemetry::Progress) can be polled from
+    /// another thread while this runs, its tracer captures per-stage and
+    /// per-reader spans, and its stage histograms accumulate latencies
+    /// (they are *not* reset per call — hand in a fresh observer to scope
+    /// them to one run).
+    ///
+    /// # Errors
+    ///
+    /// As for [`OiRaidStore::rebuild`].
+    pub fn rebuild_observed(
+        &mut self,
+        mode: RebuildMode,
+        strategy: RecoveryStrategy,
+        obs: &RebuildObserver,
+    ) -> Result<RebuildReport, StoreError> {
         let failed = self.failed_disks();
         let before: Vec<CounterSnapshot> = self.devices().iter().map(|d| d.counters()).collect();
         if failed.is_empty() {
@@ -451,33 +502,52 @@ impl<B: BlockDevice> OiRaidStore<B> {
                 bytes_rebuilt: 0,
                 device_io: vec![CounterSnapshot::default(); before.len()],
                 injected_faults: 0,
+                stages: Vec::new(),
+                worker_busy: Vec::new(),
+                queue_depth: HistogramSnapshot::default(),
             });
         }
-        let plan = if failed.len() == 1 {
-            single_failure_plan(self.array(), failed[0], SparePolicy::Distributed, strategy)
-        } else {
-            Layout::recovery_plan(self.array(), &failed, SparePolicy::Distributed)
-        }
-        .map_err(|_| StoreError::DataLoss)?;
+        let root = obs.tracer.span("rebuild");
+        let plan = {
+            let _s = root.child("plan");
+            if failed.len() == 1 {
+                single_failure_plan(self.array(), failed[0], SparePolicy::Distributed, strategy)
+            } else {
+                Layout::recovery_plan(self.array(), &failed, SparePolicy::Distributed)
+            }
+            .map_err(|_| StoreError::DataLoss)?
+        };
+        obs.progress.begin(plan.items().len() as u64);
 
-        for &d in &failed {
-            self.devices_mut()[d]
-                .heal()
-                .map_err(|error| StoreError::Device { disk: d, error })?;
+        {
+            let _s = root.child("heal");
+            for &d in &failed {
+                self.devices_mut()[d]
+                    .heal()
+                    .map_err(|error| StoreError::Device { disk: d, error })?;
+            }
         }
         let start = Instant::now();
-        let result = match mode {
-            RebuildMode::Serial => self.execute_serial(&plan).map(|f| (f, 0)),
-            RebuildMode::Parallel => self.execute_parallel(&plan),
-        };
-        let write_back = result.and_then(|(finished, workers)| {
-            for (addr, value) in finished {
-                self.write_chunk(addr, &value)?;
+        let result = {
+            let exec = root.child("execute");
+            match mode {
+                RebuildMode::Serial => self.execute_serial(&plan, obs).map(|f| (f, 0, Vec::new())),
+                RebuildMode::Parallel => self.execute_parallel(&plan, obs, &exec),
             }
-            Ok(workers)
+        };
+        let chunk_size = self.chunk_size() as u64;
+        let write_back = result.and_then(|(finished, workers, busy)| {
+            let _s = root.child("writeback");
+            for (addr, value) in finished {
+                let began = Instant::now();
+                self.write_chunk(addr, &value)?;
+                obs.stages.writeback.record_duration(began.elapsed());
+                obs.progress.chunk_written(chunk_size);
+            }
+            Ok((workers, busy))
         });
         let wall = start.elapsed();
-        let workers = match write_back {
+        let (workers, worker_busy) = match write_back {
             Ok(w) => w,
             Err(e) => {
                 // Keep the failure visible: a half-written disk must not
@@ -488,6 +558,8 @@ impl<B: BlockDevice> OiRaidStore<B> {
                 return Err(e);
             }
         };
+        obs.progress.finish();
+        drop(root);
         let device_io: Vec<CounterSnapshot> = self
             .devices()
             .iter()
@@ -500,26 +572,39 @@ impl<B: BlockDevice> OiRaidStore<B> {
             workers,
             wall,
             chunks_rebuilt: plan.items().len() as u64,
-            bytes_rebuilt: plan.items().len() as u64 * self.chunk_size() as u64,
+            bytes_rebuilt: plan.items().len() as u64 * chunk_size,
             injected_faults: device_io.iter().map(|c| c.faults).sum(),
             device_io,
+            stages: obs.stages.summaries(),
+            worker_busy,
+            queue_depth: obs.stages.queue_depth.snapshot(),
         })
     }
 
-    fn execute_serial(&mut self, plan: &RecoveryPlan) -> Result<Finished, StoreError> {
+    fn execute_serial(
+        &mut self,
+        plan: &RecoveryPlan,
+        obs: &RebuildObserver,
+    ) -> Result<Finished, StoreError> {
         let geo = self.array().geometry().clone();
         let code = self.inner_code();
         let chunk_size = self.chunk_size();
         let pool = BufPool::new(chunk_size);
-        let mut combiner = Combiner::new(&geo, code.as_ref(), plan, &pool);
+        let mut combiner = Combiner::new(&geo, code.as_ref(), plan, &pool, obs);
         combiner.drain();
         for (disk, queue) in plan.reads_by_disk() {
             let dev = &self.devices()[disk];
-            for run in coalesce_runs(&queue) {
+            let began = Instant::now();
+            let runs = coalesce_runs(&queue);
+            obs.stages.coalesce.record_duration(began.elapsed());
+            for run in runs {
+                let began = Instant::now();
                 let batch = read_run(dev, run, chunk_size, &pool).map_err(|error| match error {
                     DeviceError::Failed => StoreError::DiskFailed { disk },
                     error => StoreError::Device { disk, error },
                 })?;
+                obs.stages.read.record_duration(began.elapsed());
+                obs.progress.add_bytes_read((run.len() * chunk_size) as u64);
                 for (idx, addr, bytes) in batch {
                     combiner.deliver_read(idx, addr, bytes);
                 }
@@ -530,15 +615,21 @@ impl<B: BlockDevice> OiRaidStore<B> {
         Ok(combiner.finished)
     }
 
-    /// Returns the finished chunks plus the number of reader threads used.
-    fn execute_parallel(&mut self, plan: &RecoveryPlan) -> Result<(Finished, usize), StoreError> {
+    /// Returns the finished chunks, the number of reader threads used, and
+    /// each reader's busy time (time spent inside device reads).
+    fn execute_parallel(
+        &mut self,
+        plan: &RecoveryPlan,
+        obs: &RebuildObserver,
+        exec_span: &Span<'_>,
+    ) -> Result<(Finished, usize, Vec<Duration>), StoreError> {
         let geo = self.array().geometry().clone();
         let code = self.inner_code();
         let chunk_size = self.chunk_size();
         let queues = plan.reads_by_disk();
         let workers = queues.len();
         let pool = BufPool::new(chunk_size);
-        let mut combiner = Combiner::new(&geo, code.as_ref(), plan, &pool);
+        let mut combiner = Combiner::new(&geo, code.as_ref(), plan, &pool, obs);
         combiner.drain();
 
         // Readers only need `&B` (read_chunk takes `&self`), so lend each
@@ -546,24 +637,43 @@ impl<B: BlockDevice> OiRaidStore<B> {
         type ReadMsg = Result<(usize, ChunkAddr, Vec<u8>), (usize, DeviceError)>;
         let devices: &[B] = self.devices();
         let pool_ref = &pool;
+        // In-flight messages: incremented before send, decremented at
+        // receive — the receive-side sample is the combiner's queue depth.
+        let depth = AtomicI64::new(0);
+        let busy: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
         let mut error: Option<StoreError> = None;
         std::thread::scope(|s| {
             let (tx, rx) = mpsc::channel::<ReadMsg>();
-            for (disk, queue) in &queues {
+            for (w, (disk, queue)) in queues.iter().enumerate() {
                 let dev: &B = &devices[*disk];
                 let tx = tx.clone();
+                let disk = *disk;
+                let (depth, busy) = (&depth, &busy[w]);
                 s.spawn(move || {
-                    for run in coalesce_runs(queue) {
+                    let _reader = exec_span.child(format!("reader-disk-{disk}"));
+                    let began = Instant::now();
+                    let runs = coalesce_runs(queue);
+                    obs.stages.coalesce.record_duration(began.elapsed());
+                    for run in runs {
+                        let began = Instant::now();
                         match read_run(dev, run, chunk_size, pool_ref) {
                             Ok(batch) => {
+                                let took = began.elapsed();
+                                obs.stages.read.record_duration(took);
+                                busy.fetch_add(
+                                    took.as_nanos().min(u64::MAX as u128) as u64,
+                                    Ordering::Relaxed,
+                                );
+                                obs.progress.add_bytes_read((run.len() * chunk_size) as u64);
                                 for (idx, addr, buf) in batch {
+                                    depth.fetch_add(1, Ordering::Relaxed);
                                     if tx.send(Ok((idx, addr, buf))).is_err() {
                                         return; // combiner gone
                                     }
                                 }
                             }
                             Err(e) => {
-                                let _ = tx.send(Err((*disk, e)));
+                                let _ = tx.send(Err((disk, e)));
                                 return;
                             }
                         }
@@ -574,6 +684,8 @@ impl<B: BlockDevice> OiRaidStore<B> {
             for msg in rx {
                 match msg {
                     Ok((idx, addr, bytes)) => {
+                        let d = depth.fetch_sub(1, Ordering::Relaxed);
+                        obs.stages.queue_depth.record(d.max(0) as u64);
                         combiner.deliver_read(idx, addr, bytes);
                         combiner.drain();
                     }
@@ -590,7 +702,11 @@ impl<B: BlockDevice> OiRaidStore<B> {
             return Err(e);
         }
         debug_assert_eq!(combiner.remaining, 0, "plan execution closed");
-        Ok((combiner.finished, workers))
+        let worker_busy = busy
+            .iter()
+            .map(|b| Duration::from_nanos(b.load(Ordering::Relaxed)))
+            .collect();
+        Ok((combiner.finished, workers, worker_busy))
     }
 }
 
@@ -767,6 +883,108 @@ mod tests {
             report.chunks_rebuilt * store.chunk_size() as u64
         );
         assert!(report.to_string().contains("parallel"));
+    }
+
+    #[test]
+    fn report_display_format_is_stable() {
+        // Pinned: downstream log scrapers parse this line.
+        let report = RebuildReport {
+            mode: RebuildMode::Parallel,
+            rebuilt_disks: vec![4],
+            workers: 20,
+            wall: Duration::from_millis(12),
+            chunks_rebuilt: 30,
+            bytes_rebuilt: 480,
+            device_io: vec![
+                CounterSnapshot {
+                    reads: 7,
+                    ..CounterSnapshot::default()
+                },
+                CounterSnapshot {
+                    reads: 5,
+                    ..CounterSnapshot::default()
+                },
+            ],
+            injected_faults: 2,
+            stages: Vec::new(),
+            worker_busy: Vec::new(),
+            queue_depth: HistogramSnapshot::default(),
+        };
+        assert_eq!(
+            report.to_string(),
+            "parallel rebuild of [4]: 30 chunks (480 bytes) in 12ms, \
+             12 reads (max 7/disk), 20 workers, 2 injected faults"
+        );
+    }
+
+    #[test]
+    fn observed_rebuild_populates_stages_spans_and_progress() {
+        telemetry::set_enabled(true);
+        let mut store = filled(16);
+        store.fail_disk(4).unwrap();
+        let obs = crate::RebuildObserver::default();
+        let report = store
+            .rebuild_observed(RebuildMode::Parallel, RecoveryStrategy::Hybrid, &obs)
+            .unwrap();
+
+        // Stages: every pipeline stage saw work (coalesce runs once per
+        // queue, the others once per chunk/run).
+        for stage in ["read", "coalesce", "combine", "writeback"] {
+            let s = report.stage(stage).unwrap_or_else(|| panic!("{stage}"));
+            assert!(s.latency.count > 0, "{stage} recorded");
+            assert!(
+                s.latency.p50() <= s.latency.p99() && s.latency.p99() <= s.latency.max,
+                "{stage} quantiles ordered: {}",
+                s.latency.summary_ns()
+            );
+        }
+        assert_eq!(
+            report.stage("combine").unwrap().latency.count,
+            report.chunks_rebuilt
+        );
+        assert_eq!(report.worker_busy.len(), report.workers);
+        assert!(report.worker_utilization() > 0.0);
+        assert!(report.queue_depth.count > 0, "depth sampled at each recv");
+
+        // Progress: complete and internally consistent.
+        let p = obs.progress.snapshot();
+        assert!(p.finished && p.fraction == 1.0, "{p:?}");
+        assert_eq!(p.total_chunks, report.chunks_rebuilt);
+        assert_eq!(p.chunks_written, report.chunks_rebuilt);
+        assert_eq!(p.bytes_written, report.bytes_rebuilt);
+
+        // Spans: the stage children cover (almost) all of the root span.
+        let recs = obs.tracer.records();
+        let root = recs.iter().find(|r| r.label == "rebuild").expect("root");
+        for label in ["plan", "heal", "execute", "writeback"] {
+            assert!(
+                recs.iter().any(|r| r.label == label && r.parent == root.id),
+                "{label} span under root"
+            );
+        }
+        let exec = recs.iter().find(|r| r.label == "execute").unwrap();
+        let readers = recs
+            .iter()
+            .filter(|r| r.parent == exec.id && r.label.starts_with("reader-disk-"))
+            .count();
+        assert_eq!(readers, report.workers, "one reader span per worker");
+        let cov = telemetry::child_coverage(&recs, root.id);
+        assert!(cov >= 0.95, "stage spans cover the rebuild: {cov}");
+    }
+
+    #[test]
+    fn serial_observed_rebuild_records_stages_without_queue() {
+        telemetry::set_enabled(true);
+        let mut store = filled(8);
+        store.fail_disk(2).unwrap();
+        let obs = crate::RebuildObserver::default();
+        let report = store
+            .rebuild_observed(RebuildMode::Serial, RecoveryStrategy::Hybrid, &obs)
+            .unwrap();
+        assert!(report.stage("read").unwrap().latency.count > 0);
+        assert_eq!(report.queue_depth.count, 0, "no queue in serial mode");
+        assert_eq!(report.worker_utilization(), 0.0);
+        assert!(obs.progress.snapshot().finished);
     }
 
     #[test]

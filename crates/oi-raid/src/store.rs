@@ -15,11 +15,15 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 use blockdev::{BlockDevice, DeviceError, FileDevice, MemDevice};
 use ecc::{ErasureCode, Raid6, XorParity};
 use gf::Gf256;
 use layout::{ChunkAddr, Layout};
+use telemetry::{Histogram, Registry};
 
 use crate::array::OiRaid;
 use crate::config::OiRaidConfig;
@@ -83,6 +87,42 @@ impl fmt::Display for StoreError {
 
 impl std::error::Error for StoreError {}
 
+/// Store-level telemetry: degraded-read visibility.
+///
+/// Every [`OiRaidStore`] owns one; reads that had to reconstruct through
+/// the redundancy (their home disk was down) bump the counter and record
+/// their end-to-end latency.
+#[derive(Debug, Default)]
+pub struct StoreTelemetry {
+    degraded_reads: AtomicU64,
+    degraded_latency: Arc<Histogram>,
+}
+
+impl Clone for StoreTelemetry {
+    /// Cloned stores start with fresh telemetry — counters describe one
+    /// store instance's history, not its lineage.
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+impl StoreTelemetry {
+    /// Reads served by reconstruction because the chunk's disk was failed.
+    pub fn degraded_reads(&self) -> u64 {
+        self.degraded_reads.load(Ordering::Relaxed)
+    }
+
+    /// End-to-end latency of degraded reads, in nanoseconds.
+    pub fn degraded_read_latency(&self) -> Arc<Histogram> {
+        Arc::clone(&self.degraded_latency)
+    }
+
+    fn record(&self, took: std::time::Duration) {
+        self.degraded_reads.fetch_add(1, Ordering::Relaxed);
+        self.degraded_latency.record_duration(took);
+    }
+}
+
 /// An OI-RAID array storing real bytes on pluggable block devices.
 ///
 /// Writes maintain both parity layers incrementally (1 data + 3 parity chunk
@@ -106,6 +146,7 @@ pub struct OiRaidStore<B: BlockDevice = MemDevice> {
     chunk_size: usize,
     /// One device per disk; failed disks are failed *devices*.
     devices: Vec<B>,
+    telem: StoreTelemetry,
 }
 
 impl OiRaidStore<MemDevice> {
@@ -129,6 +170,7 @@ impl OiRaidStore<MemDevice> {
             array,
             chunk_size,
             devices,
+            telem: StoreTelemetry::default(),
         })
     }
 }
@@ -173,6 +215,7 @@ impl OiRaidStore<FileDevice> {
             array,
             chunk_size,
             devices,
+            telem: StoreTelemetry::default(),
         })
     }
 }
@@ -229,6 +272,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
             array,
             chunk_size,
             devices,
+            telem: StoreTelemetry::default(),
         })
     }
 
@@ -422,8 +466,71 @@ impl<B: BlockDevice> OiRaidStore<B> {
         if let Some(bytes) = self.chunk(addr)? {
             return Ok(bytes);
         }
+        let began = Instant::now();
         let recovered = self.reconstruct_missing()?;
+        self.telem.record(began.elapsed());
         Ok(recovered[&addr].clone())
+    }
+
+    /// Store-level telemetry (degraded-read counter and latency).
+    pub fn telemetry(&self) -> &StoreTelemetry {
+        &self.telem
+    }
+
+    /// Registers this store's observable state with a metric registry:
+    /// per-device I/O counters (mirrored from the current
+    /// [`BlockDevice::counters`] snapshots — call again to refresh),
+    /// per-device read/write latency histograms (live handles), and the
+    /// degraded-read counter/latency.
+    pub fn export_metrics(&self, reg: &Registry) {
+        for (d, dev) in self.devices.iter().enumerate() {
+            let disk = d.to_string();
+            let labels: &[(&str, &str)] = &[("disk", &disk)];
+            let c = dev.counters();
+            for (name, help, value) in [
+                ("oi_device_reads_total", "Chunk read operations", c.reads),
+                ("oi_device_writes_total", "Chunk write operations", c.writes),
+                ("oi_device_read_bytes_total", "Bytes read", c.bytes_read),
+                (
+                    "oi_device_written_bytes_total",
+                    "Bytes written",
+                    c.bytes_written,
+                ),
+                ("oi_device_faults_total", "Faults observed", c.faults),
+                (
+                    "oi_device_injected_latency_ns_total",
+                    "Injected service latency in nanoseconds",
+                    c.injected_latency_ns,
+                ),
+            ] {
+                reg.counter(name, help, labels).set(value);
+            }
+            let lat = dev.latency();
+            reg.register_histogram(
+                "oi_device_read_latency_ns",
+                "Device read service time in nanoseconds",
+                labels,
+                lat.read,
+            );
+            reg.register_histogram(
+                "oi_device_write_latency_ns",
+                "Device write service time in nanoseconds",
+                labels,
+                lat.write,
+            );
+        }
+        reg.counter(
+            "oi_store_degraded_reads_total",
+            "Reads served by reconstruction because the home disk was failed",
+            &[],
+        )
+        .set(self.telem.degraded_reads());
+        reg.register_histogram(
+            "oi_store_degraded_read_latency_ns",
+            "End-to-end degraded-read latency in nanoseconds",
+            &[],
+            self.telem.degraded_read_latency(),
+        );
     }
 
     /// Marks a disk failed, discarding its contents.
@@ -873,6 +980,48 @@ mod tests {
         for (idx, e) in expect.iter().enumerate() {
             assert_eq!(store.read_data(idx).unwrap(), *e, "idx {idx}");
         }
+    }
+
+    #[test]
+    fn degraded_reads_are_counted_and_timed() {
+        telemetry::set_enabled(true);
+        let (mut store, _) = filled_store();
+        store.read_data(0).unwrap();
+        assert_eq!(store.telemetry().degraded_reads(), 0, "healthy reads free");
+        let victim = store.locate(0).disk;
+        store.fail_disk(victim).unwrap();
+        // Degraded chunks on the failed disk; healthy ones stay free.
+        let degraded: Vec<usize> = (0..store.data_chunks())
+            .filter(|&i| store.locate(i).disk == victim)
+            .take(3)
+            .collect();
+        for &i in &degraded {
+            store.read_data(i).unwrap();
+        }
+        let t = store.telemetry();
+        assert_eq!(t.degraded_reads(), degraded.len() as u64);
+        assert_eq!(t.degraded_read_latency().count(), degraded.len() as u64);
+        let snap = t.degraded_read_latency().snapshot();
+        assert!(snap.p50() <= snap.p99() && snap.p99() <= snap.max);
+        // A cloned store starts clean.
+        assert_eq!(store.clone().telemetry().degraded_reads(), 0);
+    }
+
+    #[test]
+    fn export_metrics_lints_and_mirrors_counters() {
+        telemetry::set_enabled(true);
+        let (mut store, _) = filled_store();
+        store.fail_disk(store.locate(0).disk).unwrap();
+        store.read_data(0).unwrap();
+        let reg = Registry::new();
+        store.export_metrics(&reg);
+        let text = reg.prometheus();
+        telemetry::lint_prometheus(&text).expect("clean exposition");
+        assert!(text.contains("oi_store_degraded_reads_total 1"));
+        assert!(text.contains("oi_device_reads_total{disk=\"0\"}"));
+        assert!(text.contains("# TYPE oi_device_read_latency_ns histogram"));
+        let json = reg.json();
+        assert!(json.contains("\"oi_store_degraded_read_latency_ns\""));
     }
 
     #[test]

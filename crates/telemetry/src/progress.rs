@@ -1,0 +1,242 @@
+//! Live progress for long-running jobs, pollable from other threads.
+//!
+//! A [`Progress`] is shared (e.g. in an `Arc`) between the thread driving
+//! a rebuild and any number of observers. The driver calls
+//! [`Progress::begin`], bumps the atomic counters as work completes, and
+//! calls [`Progress::finish`]; observers call [`Progress::snapshot`] at
+//! any time for fraction done, throughput, and an ETA. All updates are
+//! relaxed atomics — polling never blocks the worker.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Shared, atomically-updated progress state.
+///
+/// Work is counted in *chunks*, each of which passes two gates: it is
+/// first reconstructed (combined) and later written back. The reported
+/// fraction averages the two, so it advances smoothly through both phases
+/// of a rebuild, is monotone, and reaches exactly 1.0 when
+/// [`Progress::finish`] is called.
+#[derive(Debug, Default)]
+pub struct Progress {
+    total_chunks: AtomicU64,
+    chunks_combined: AtomicU64,
+    chunks_written: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    finished: AtomicBool,
+    started: Mutex<Option<Instant>>,
+}
+
+impl Progress {
+    /// A fresh handle (no job started).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts (or restarts) a job of `total_chunks` chunks, resetting all
+    /// counters and the clock.
+    pub fn begin(&self, total_chunks: u64) {
+        self.chunks_combined.store(0, Ordering::Relaxed);
+        self.chunks_written.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.finished.store(false, Ordering::Relaxed);
+        self.total_chunks.store(total_chunks, Ordering::Relaxed);
+        *self.started.lock().expect("progress clock") = Some(Instant::now());
+    }
+
+    /// Records bytes read from surviving devices.
+    pub fn add_bytes_read(&self, n: u64) {
+        self.bytes_read.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one chunk reconstructed.
+    pub fn chunk_combined(&self) {
+        self.chunks_combined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one chunk written back (`bytes` of it).
+    pub fn chunk_written(&self, bytes: u64) {
+        self.chunks_written.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Marks the job complete; the fraction reads exactly 1.0 afterwards.
+    pub fn finish(&self) {
+        self.finished.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`Progress::finish`] has been called.
+    pub fn is_finished(&self) -> bool {
+        self.finished.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time view. Fractions from successive snapshots are
+    /// monotone (counters only increase).
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        let elapsed = self
+            .started
+            .lock()
+            .expect("progress clock")
+            .map(|s| s.elapsed())
+            .unwrap_or(Duration::ZERO);
+        let total = self.total_chunks.load(Ordering::Relaxed);
+        let combined = self.chunks_combined.load(Ordering::Relaxed);
+        let written = self.chunks_written.load(Ordering::Relaxed);
+        let bytes_read = self.bytes_read.load(Ordering::Relaxed);
+        let bytes_written = self.bytes_written.load(Ordering::Relaxed);
+        let finished = self.finished.load(Ordering::Relaxed);
+        let fraction = if finished {
+            1.0
+        } else if total == 0 {
+            0.0
+        } else {
+            ((combined + written) as f64 / (2 * total) as f64).min(1.0)
+        };
+        let secs = elapsed.as_secs_f64();
+        let rate_mib_s = if secs > 0.0 {
+            (bytes_read + bytes_written) as f64 / (1024.0 * 1024.0) / secs
+        } else {
+            0.0
+        };
+        let eta = if finished || fraction <= 0.0 || secs <= 0.0 {
+            None
+        } else {
+            Some(Duration::from_secs_f64(secs * (1.0 - fraction) / fraction))
+        };
+        ProgressSnapshot {
+            total_chunks: total,
+            chunks_combined: combined,
+            chunks_written: written,
+            bytes_read,
+            bytes_written,
+            elapsed,
+            fraction,
+            rate_mib_s,
+            eta,
+            finished,
+        }
+    }
+}
+
+/// A point-in-time view of a [`Progress`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressSnapshot {
+    /// Chunks the job will process in total.
+    pub total_chunks: u64,
+    /// Chunks reconstructed so far.
+    pub chunks_combined: u64,
+    /// Chunks written back so far.
+    pub chunks_written: u64,
+    /// Bytes read from surviving devices so far.
+    pub bytes_read: u64,
+    /// Bytes written back so far.
+    pub bytes_written: u64,
+    /// Time since [`Progress::begin`].
+    pub elapsed: Duration,
+    /// Fraction complete in `0.0..=1.0`; exactly 1.0 once finished.
+    pub fraction: f64,
+    /// Aggregate I/O throughput so far (read + written MiB per second).
+    pub rate_mib_s: f64,
+    /// Estimated time remaining (None before any progress or after
+    /// finishing).
+    pub eta: Option<Duration>,
+    /// Whether the job has finished.
+    pub finished: bool,
+}
+
+impl std::fmt::Display for ProgressSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:5.1}% ({}/{} chunks combined, {} written) {:.1} MiB/s elapsed {:?}",
+            self.fraction * 100.0,
+            self.chunks_combined,
+            self.total_chunks,
+            self.chunks_written,
+            self.rate_mib_s,
+            self.elapsed,
+        )?;
+        if let Some(eta) = self.eta {
+            write!(f, " eta {eta:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_reaches_exactly_one() {
+        let p = Progress::new();
+        assert_eq!(p.snapshot().fraction, 0.0);
+        p.begin(4);
+        assert_eq!(p.snapshot().fraction, 0.0);
+        p.chunk_combined();
+        p.chunk_combined();
+        let mid = p.snapshot();
+        assert!((mid.fraction - 0.25).abs() < 1e-9, "{}", mid.fraction);
+        for _ in 0..2 {
+            p.chunk_combined();
+        }
+        for _ in 0..4 {
+            p.chunk_written(512);
+        }
+        let near = p.snapshot();
+        assert!((near.fraction - 1.0).abs() < 1e-9);
+        assert!(!near.finished);
+        p.finish();
+        let done = p.snapshot();
+        assert_eq!(done.fraction, 1.0);
+        assert!(done.finished);
+        assert_eq!(done.bytes_written, 2048);
+        assert!(done.eta.is_none());
+        assert!(done.to_string().contains("100.0%"));
+    }
+
+    #[test]
+    fn snapshot_fractions_are_monotone() {
+        let p = Progress::new();
+        p.begin(100);
+        let mut last = 0.0;
+        for i in 0..100 {
+            p.chunk_combined();
+            if i >= 50 {
+                p.chunk_written(64);
+            }
+            let f = p.snapshot().fraction;
+            assert!(f >= last, "monotone: {f} >= {last}");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn begin_resets_previous_job() {
+        let p = Progress::new();
+        p.begin(2);
+        p.chunk_combined();
+        p.chunk_written(10);
+        p.finish();
+        p.begin(8);
+        let s = p.snapshot();
+        assert_eq!(s.fraction, 0.0);
+        assert_eq!(s.bytes_written, 0);
+        assert!(!s.finished);
+    }
+
+    #[test]
+    fn rate_and_eta_appear_with_progress() {
+        let p = Progress::new();
+        p.begin(2);
+        std::thread::sleep(Duration::from_millis(2));
+        p.add_bytes_read(1024 * 1024);
+        p.chunk_combined();
+        let s = p.snapshot();
+        assert!(s.rate_mib_s > 0.0);
+        assert!(s.eta.is_some());
+    }
+}

@@ -1,0 +1,306 @@
+//! Labeled metric registry: counters, gauges, and histograms, keyed by
+//! `(name, labels)`, exported via the functions in [`crate::export`].
+//!
+//! The registry is shared by reference (`&Registry` or `Arc<Registry>`);
+//! registration hands back cheap atomic handles ([`Counter`], [`Gauge`],
+//! `Arc<Histogram>`) that are updated without touching the registry lock.
+//! Existing live histograms (e.g. a block device's latency histogram) can
+//! be attached with [`Registry::register_histogram`] so exports always
+//! see current values.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::Histogram;
+
+/// A monotonically-presented counter handle.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn inc_by(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sets the absolute value (exporters mirroring an external counter
+    /// snapshot use this; prefer `inc*` for live counting).
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle (a value that can go up and down).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// `(name, sorted labels)` — the identity of one time series.
+pub(crate) type Key = (String, Vec<(String, String)>);
+
+#[derive(Debug, Default)]
+pub(crate) struct Inner {
+    /// Sorted by key so exports are deterministic and series of one
+    /// metric name are contiguous.
+    pub(crate) metrics: BTreeMap<Key, Metric>,
+    /// Help text per metric name.
+    pub(crate) help: BTreeMap<String, String>,
+}
+
+/// A registry of labeled metrics.
+///
+/// # Example
+///
+/// ```
+/// use telemetry::Registry;
+///
+/// let reg = Registry::new();
+/// let c = reg.counter("oi_chunks_total", "Chunks rebuilt", &[("mode", "parallel")]);
+/// c.inc_by(27);
+/// let text = reg.prometheus();
+/// assert!(text.contains("# TYPE oi_chunks_total counter"));
+/// assert!(text.contains("oi_chunks_total{mode=\"parallel\"} 27"));
+/// telemetry::lint_prometheus(&text).expect("valid exposition");
+/// ```
+#[derive(Debug, Default)]
+pub struct Registry {
+    pub(crate) inner: Mutex<Inner>,
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn make_key(name: &str, labels: &[(&str, &str)]) -> Key {
+    let mut l: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    l.sort();
+    (name.to_string(), l)
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: Metric,
+    ) -> Metric {
+        assert!(valid_name(name), "invalid metric name: {name:?}");
+        assert!(
+            labels.iter().all(|(k, _)| valid_name(k) && *k != "le"),
+            "invalid label name in {labels:?}"
+        );
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner
+            .help
+            .entry(name.to_string())
+            .or_insert_with(|| help.to_string());
+        let key = make_key(name, labels);
+        let entry = inner.metrics.entry(key).or_insert(make);
+        entry.clone()
+    }
+
+    /// Registers (or fetches) a counter series.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid metric/label name, or if `name` is already
+    /// registered with a different metric type.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.get_or_insert(name, help, labels, Metric::Counter(Counter::default())) {
+            Metric::Counter(c) => c,
+            other => panic!("{name} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Registers (or fetches) a gauge series.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Registry::counter`].
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.get_or_insert(name, help, labels, Metric::Gauge(Gauge::default())) {
+            Metric::Gauge(g) => g,
+            other => panic!("{name} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Registers (or fetches) a histogram series owned by the registry.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Registry::counter`].
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        match self.get_or_insert(
+            name,
+            help,
+            labels,
+            Metric::Histogram(Arc::new(Histogram::new())),
+        ) {
+            Metric::Histogram(h) => h,
+            other => panic!("{name} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Attaches an existing live histogram (replacing any histogram
+    /// already registered under the same name and labels), so exports see
+    /// its current contents without copying.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid names or if `name` is registered with a
+    /// non-histogram type.
+    pub fn register_histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        hist: Arc<Histogram>,
+    ) {
+        assert!(valid_name(name), "invalid metric name: {name:?}");
+        assert!(
+            labels.iter().all(|(k, _)| valid_name(k) && *k != "le"),
+            "invalid label name in {labels:?}"
+        );
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner
+            .help
+            .entry(name.to_string())
+            .or_insert_with(|| help.to_string());
+        let key = make_key(name, labels);
+        if let Some(existing) = inner.metrics.get(&key) {
+            assert!(
+                matches!(existing, Metric::Histogram(_)),
+                "{name} already registered as {}",
+                existing.kind()
+            );
+        }
+        inner.metrics.insert(key, Metric::Histogram(hist));
+    }
+
+    /// Number of registered series.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("registry lock").metrics.len()
+    }
+
+    /// Whether no series are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_identity_is_name_plus_sorted_labels() {
+        let reg = Registry::new();
+        let a = reg.counter("x_total", "x", &[("a", "1"), ("b", "2")]);
+        let b = reg.counter("x_total", "x", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        b.inc_by(2);
+        assert_eq!(a.get(), 3, "same series regardless of label order");
+        let c = reg.counter("x_total", "x", &[("a", "2")]);
+        c.inc();
+        assert_eq!(c.get(), 1, "different labels, different series");
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let reg = Registry::new();
+        let g = reg.gauge("depth", "queue depth", &[]);
+        g.set(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn attached_histogram_is_shared() {
+        crate::set_enabled(true);
+        let reg = Registry::new();
+        let h = Arc::new(Histogram::new());
+        reg.register_histogram("lat_ns", "latency", &[("disk", "0")], Arc::clone(&h));
+        h.record(42);
+        let again = reg.histogram("lat_ns", "latency", &[("disk", "0")]);
+        assert_eq!(again.count(), 1, "registry returns the attached one");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_conflicts_panic() {
+        let reg = Registry::new();
+        reg.counter("m", "m", &[]);
+        reg.gauge("m", "m", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_names_rejected() {
+        Registry::new().counter("9bad", "", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid label name")]
+    fn le_label_reserved() {
+        Registry::new().histogram("h", "", &[("le", "5")]);
+    }
+}

@@ -1,0 +1,318 @@
+//! Lightweight tracing spans recorded into a fixed-size ring buffer.
+//!
+//! A [`Span`] measures one stage of work: it captures a start time when
+//! opened and pushes a [`SpanRecord`] (id, parent, label, start offset,
+//! duration, thread) into the tracer's ring when dropped. Spans nest via
+//! [`Span::child`] and can be handed to worker threads (`Span` is `Sync`;
+//! children borrow the same tracer). The ring holds the most recent
+//! `capacity` records; older ones are dropped and counted, so tracing is
+//! always-on without unbounded memory.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One completed span or instantaneous event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique id within the tracer (1-based; ids are allocated at open
+    /// time, so nested spans have higher ids than their parents).
+    pub id: u64,
+    /// Parent span id, 0 for roots.
+    pub parent: u64,
+    /// Stage label.
+    pub label: String,
+    /// Start, in nanoseconds since the tracer was created.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (0 for events).
+    pub duration_ns: u64,
+    /// Ordinal of the recording thread (stable per thread, process-wide).
+    pub thread: u64,
+}
+
+impl SpanRecord {
+    /// End of the span, in nanoseconds since the tracer was created.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.duration_ns
+    }
+}
+
+/// Process-wide stable small integers for threads (`ThreadId` has no
+/// stable numeric accessor).
+fn thread_ordinal() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static ORDINAL: Cell<u64> = const { Cell::new(0) };
+    }
+    ORDINAL.with(|c| {
+        if c.get() == 0 {
+            c.set(NEXT.fetch_add(1, Ordering::Relaxed));
+        }
+        c.get()
+    })
+}
+
+/// A span recorder with a bounded ring buffer.
+#[derive(Debug)]
+pub struct Tracer {
+    epoch: Instant,
+    next_id: AtomicU64,
+    dropped: AtomicU64,
+    capacity: usize,
+    ring: Mutex<VecDeque<SpanRecord>>,
+}
+
+impl Default for Tracer {
+    /// A tracer holding the most recent 4096 records.
+    fn default() -> Self {
+        Self::new(4096)
+    }
+}
+
+impl Tracer {
+    /// A tracer whose ring holds the most recent `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(1),
+            dropped: AtomicU64::new(0),
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 1024))),
+        }
+    }
+
+    /// Opens a root span. The record is captured when the guard drops.
+    pub fn span(&self, label: impl Into<String>) -> Span<'_> {
+        self.open(label.into(), 0)
+    }
+
+    /// Records an instantaneous root event.
+    pub fn event(&self, label: impl Into<String>) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.push(SpanRecord {
+            id,
+            parent: 0,
+            label: label.into(),
+            start_ns: self.now_ns(),
+            duration_ns: 0,
+            thread: thread_ordinal(),
+        });
+    }
+
+    /// Completed records, oldest first (a copy; recording continues).
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.ring
+            .lock()
+            .expect("trace ring")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Records evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    fn open(&self, label: String, parent: u64) -> Span<'_> {
+        Span {
+            tracer: self,
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            parent,
+            label,
+            start: Instant::now(),
+            start_ns: self.now_ns(),
+        }
+    }
+
+    fn push(&self, rec: SpanRecord) {
+        if !crate::enabled() {
+            return;
+        }
+        let mut ring = self.ring.lock().expect("trace ring");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(rec);
+    }
+}
+
+/// An open span; records itself into the tracer's ring on drop.
+#[derive(Debug)]
+pub struct Span<'t> {
+    tracer: &'t Tracer,
+    id: u64,
+    parent: u64,
+    label: String,
+    start: Instant,
+    start_ns: u64,
+}
+
+impl<'t> Span<'t> {
+    /// This span's id (use to correlate records).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Opens a child span (may be used from another thread; the record is
+    /// stamped with the recording thread's ordinal).
+    pub fn child(&self, label: impl Into<String>) -> Span<'t> {
+        self.tracer.open(label.into(), self.id)
+    }
+
+    /// Records an instantaneous event under this span.
+    pub fn event(&self, label: impl Into<String>) {
+        let id = self.tracer.next_id.fetch_add(1, Ordering::Relaxed);
+        self.tracer.push(SpanRecord {
+            id,
+            parent: self.id,
+            label: label.into(),
+            start_ns: self.tracer.now_ns(),
+            duration_ns: 0,
+            thread: thread_ordinal(),
+        });
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.tracer.push(SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            label: std::mem::take(&mut self.label),
+            start_ns: self.start_ns,
+            duration_ns: self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            thread: thread_ordinal(),
+        });
+    }
+}
+
+/// Fraction of `parent`'s duration covered by the union of its direct
+/// children's intervals, from a record list (0.0 when the parent is
+/// missing or zero-length). Used to check that stage spans account for
+/// the whole of a rebuild's wall time.
+pub fn child_coverage(records: &[SpanRecord], parent_id: u64) -> f64 {
+    let Some(parent) = records.iter().find(|r| r.id == parent_id) else {
+        return 0.0;
+    };
+    if parent.duration_ns == 0 {
+        return 0.0;
+    }
+    let mut intervals: Vec<(u64, u64)> = records
+        .iter()
+        .filter(|r| r.parent == parent_id && r.duration_ns > 0)
+        .map(|r| (r.start_ns, r.end_ns()))
+        .collect();
+    intervals.sort_unstable();
+    let mut covered = 0u64;
+    let mut cursor = parent.start_ns;
+    for (s, e) in intervals {
+        let s = s.max(cursor);
+        let e = e.min(parent.end_ns());
+        if e > s {
+            covered += e - s;
+            cursor = e;
+        }
+    }
+    covered as f64 / parent.duration_ns as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_on_drop_with_nesting() {
+        crate::set_enabled(true);
+        let t = Tracer::new(64);
+        {
+            let root = t.span("rebuild");
+            {
+                let child = root.child("read");
+                child.event("chunk");
+            }
+            root.event("checkpoint");
+        }
+        let recs = t.records();
+        // Drop order: event(chunk), span(read), event(checkpoint), span(rebuild).
+        assert_eq!(recs.len(), 4);
+        let root = recs.iter().find(|r| r.label == "rebuild").unwrap();
+        let read = recs.iter().find(|r| r.label == "read").unwrap();
+        let chunk = recs.iter().find(|r| r.label == "chunk").unwrap();
+        assert_eq!(root.parent, 0);
+        assert_eq!(read.parent, root.id);
+        assert_eq!(chunk.parent, read.id);
+        assert_eq!(chunk.duration_ns, 0);
+        assert!(read.duration_ns <= root.duration_ns);
+        assert!(root.thread > 0);
+    }
+
+    #[test]
+    fn ring_wraps_and_counts_drops() {
+        crate::set_enabled(true);
+        let t = Tracer::new(4);
+        for i in 0..10 {
+            t.event(format!("e{i}"));
+        }
+        let recs = t.records();
+        assert_eq!(recs.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        assert_eq!(recs[0].label, "e6", "oldest surviving record");
+        assert_eq!(t.capacity(), 4);
+    }
+
+    #[test]
+    fn coverage_of_sequential_children_is_high() {
+        crate::set_enabled(true);
+        let t = Tracer::new(64);
+        let root_id;
+        {
+            let root = t.span("root");
+            root_id = root.id();
+            for stage in ["a", "b", "c"] {
+                let _s = root.child(stage);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let recs = t.records();
+        let cov = child_coverage(&recs, root_id);
+        assert!(cov > 0.9, "sequential stages cover the root: {cov}");
+        assert_eq!(child_coverage(&recs, 9999), 0.0);
+    }
+
+    #[test]
+    fn spans_from_scoped_threads() {
+        crate::set_enabled(true);
+        let t = Tracer::new(64);
+        let root = t.span("parallel");
+        std::thread::scope(|s| {
+            for d in 0..3 {
+                let r = &root;
+                s.spawn(move || {
+                    let _w = r.child(format!("worker-{d}"));
+                });
+            }
+        });
+        drop(root);
+        let recs = t.records();
+        assert_eq!(recs.len(), 4);
+        let threads: std::collections::HashSet<u64> = recs
+            .iter()
+            .filter(|r| r.label.starts_with("worker"))
+            .map(|r| r.thread)
+            .collect();
+        assert_eq!(threads.len(), 3, "one ordinal per worker thread");
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests pinning the bucketed histogram's quantiles to the exact
+//! nearest-rank oracle ([`telemetry::exact_percentile_sorted`] — the same
+//! function `disksim`'s summaries route through).
+//!
+//! The log-bucketed layout (4 sub-bucket bits) guarantees every quantile
+//! is at least the exact value and overshoots it by at most one part in
+//! sixteen (plus one for integer rounding); values below 16 are exact.
+
+use proptest::prelude::*;
+use telemetry::{exact_percentile_sorted, Histogram};
+
+proptest! {
+    #[test]
+    fn bucketed_quantiles_bound_the_exact_oracle(
+        samples in prop::collection::vec(0u64..2_000_000_000, 1..400),
+        q_permille in prop::collection::vec(0u64..1001, 1..8),
+    ) {
+        telemetry::set_enabled(true);
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(snap.max, *sorted.last().unwrap());
+        for qp in q_permille {
+            let q = qp as f64 / 1000.0;
+            let exact = exact_percentile_sorted(&sorted, q);
+            let bucketed = snap.quantile(q);
+            prop_assert!(
+                bucketed >= exact,
+                "quantile never under-estimates: q={} bucketed={} exact={}",
+                q, bucketed, exact
+            );
+            prop_assert!(
+                bucketed as f64 <= exact as f64 * (1.0 + 1.0 / 16.0) + 1.0,
+                "relative error bounded by one sub-bucket: q={} bucketed={} exact={}",
+                q, bucketed, exact
+            );
+        }
+        // Sanity ordering the exporters rely on.
+        prop_assert!(snap.p50() <= snap.p90());
+        prop_assert!(snap.p90() <= snap.p99());
+        prop_assert!(snap.p99() <= snap.p999());
+        prop_assert!(snap.p999() <= snap.max);
+    }
+
+    #[test]
+    fn small_values_are_exact(
+        samples in prop::collection::vec(0u64..16, 1..200),
+        q_permille in 0u64..1001,
+    ) {
+        telemetry::set_enabled(true);
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples;
+        sorted.sort_unstable();
+        let q = q_permille as f64 / 1000.0;
+        prop_assert_eq!(
+            h.snapshot().quantile(q),
+            exact_percentile_sorted(&sorted, q),
+            "values below 16 land in unit-width buckets"
+        );
+    }
+}

@@ -30,11 +30,16 @@ pub mod prelude {
     };
     pub use oi_raid::{
         analysis::Model, DegradedScenario, OiRaid, OiRaidConfig, OiRaidStore, ReadPlan,
-        RebuildMode, RebuildReport, RecoveryStrategy, SkewMode,
+        RebuildMode, RebuildObserver, RebuildReport, RecoveryStrategy, SkewMode, StageSummary,
+        StageTimings, StoreTelemetry,
     };
     pub use reliability::markov::array_mttdl;
     pub use reliability::montecarlo::{simulate_lifetime, Lifetime, LifetimeConfig};
     pub use reliability::patterns::{survivable_fraction, survival_profile};
+    pub use telemetry::{
+        child_coverage, exact_percentile_sorted, lint_prometheus, Histogram, HistogramSnapshot,
+        Progress, ProgressSnapshot, Registry, SpanRecord, Tracer,
+    };
 }
 
 #[cfg(test)]
