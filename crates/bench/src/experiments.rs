@@ -1032,7 +1032,170 @@ pub fn e15_telemetry_overhead() -> Vec<(String, Table)> {
     ]
 }
 
-/// Runs one experiment by id (`e1`..`e15`, `a1`, `a2`), or `all`.
+/// E16 — self-healing rebuild under injected faults: every surviving disk
+/// faults transiently at 10/25/50‰ (reads *and* writes) with latent sector
+/// errors sprinkled on top, and the rebuild must still finish bit-identical
+/// with zero aborts. The overhead column compares against the fault-free
+/// wall time on the same latency-modelled devices; the second table runs
+/// the repairing scrub over a latent-error field.
+pub fn e16_self_healing() -> Vec<(String, Table)> {
+    use blockdev::{BlockDevice, FaultConfig, FaultInjectingDevice, MemDevice};
+    use oi_raid::{OiRaidStore, RebuildMode};
+    use std::time::Duration;
+
+    const CHUNK: usize = 4096;
+    let read_latency = Duration::from_micros(100);
+    let cfg = OiRaidConfig::reference();
+    let chunks = {
+        let probe = OiRaidStore::new(cfg.clone(), CHUNK).expect("reference store");
+        probe.devices()[0].chunks()
+    };
+    let make_store = || {
+        let devices: Vec<_> = (0..21)
+            .map(|_| {
+                FaultInjectingDevice::new(
+                    MemDevice::new(CHUNK, chunks),
+                    FaultConfig::latency(read_latency, Duration::ZERO),
+                )
+            })
+            .collect();
+        let mut store =
+            OiRaidStore::with_devices(cfg.clone(), CHUNK, devices).expect("valid devices");
+        for idx in 0..store.data_chunks() {
+            let chunk: Vec<u8> = (0..CHUNK).map(|j| (idx * 131 + j * 17 + 3) as u8).collect();
+            store.write_data(idx, &chunk).expect("healthy write");
+        }
+        store
+    };
+    let image = |store: &OiRaidStore<FaultInjectingDevice<MemDevice>>, d: usize| -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut buf = vec![0u8; CHUNK];
+        for o in 0..chunks {
+            store.devices()[d]
+                .read_chunk(o, &mut buf)
+                .expect("readable");
+            out.extend_from_slice(&buf);
+        }
+        out
+    };
+
+    let mut rebuild = Table::new(&[
+        "transient (permille)",
+        "latent (permille)",
+        "outcome",
+        "rounds",
+        "retries",
+        "exhausted",
+        "reroutes",
+        "latent repairs",
+        "wall (ms)",
+        "overhead (x)",
+        "bit-identical",
+    ]);
+    const RUNS: usize = 3;
+    let mut baseline_ms = None;
+    for (transient, latent) in [(0u16, 0u16), (10, 2), (25, 10), (50, 50)] {
+        let mut walls = Vec::with_capacity(RUNS);
+        let mut last = None;
+        let mut identical = true;
+        for run in 0..RUNS {
+            let mut store = make_store();
+            let pristine: Vec<Vec<u8>> = (0..21).map(|d| image(&store, d)).collect();
+            for (d, dev) in store.devices().iter().enumerate() {
+                if d == 4 {
+                    continue;
+                }
+                dev.set_config(FaultConfig {
+                    seed: 0xE16 ^ ((d + 21 * run) as u64).wrapping_mul(0x9E37_79B9),
+                    transient_read_per_mille: transient,
+                    transient_write_per_mille: transient,
+                    latent_per_mille: latent,
+                    read_latency,
+                    ..FaultConfig::default()
+                });
+            }
+            store.fail_disk(4).expect("valid disk");
+            let report = store
+                .rebuild(RebuildMode::Parallel, RecoveryStrategy::Hybrid)
+                .expect("self-healing rebuild never errors on faults");
+            // Disarm (keeping the latency model) before verifying bytes.
+            for dev in store.devices() {
+                dev.set_config(FaultConfig::latency(read_latency, Duration::ZERO));
+            }
+            identical &= (0..21).all(|d| image(&store, d) == pristine[d]);
+            walls.push(report.wall.as_secs_f64() * 1e3);
+            last = Some(report);
+        }
+        walls.sort_by(f64::total_cmp);
+        let ms = walls[RUNS / 2];
+        let report = last.expect("ran");
+        let overhead = match baseline_ms {
+            None => {
+                baseline_ms = Some(ms);
+                1.0
+            }
+            Some(base) => ms / base,
+        };
+        rebuild.row_owned(vec![
+            transient.to_string(),
+            latent.to_string(),
+            report.outcome.to_string(),
+            report.rounds.to_string(),
+            report.retries.to_string(),
+            report.retries_exhausted.to_string(),
+            report.reroutes.to_string(),
+            report.latent_repairs.to_string(),
+            f3(ms),
+            f3(overhead),
+            identical.to_string(),
+        ]);
+    }
+
+    let mut scrub = Table::new(&[
+        "latent (permille)",
+        "scanned",
+        "latent repairs",
+        "unrecoverable",
+        "retries",
+        "wall (ms)",
+        "second pass clean",
+    ]);
+    for latent in [10u16, 25, 50] {
+        let mut store = make_store();
+        for (d, dev) in store.devices().iter().enumerate() {
+            dev.set_config(FaultConfig {
+                seed: 0x5C2B ^ (d as u64).wrapping_mul(0x9E37_79B9),
+                latent_per_mille: latent,
+                read_latency,
+                ..FaultConfig::default()
+            });
+        }
+        let report = store.scrub();
+        let clean = store.scrub().is_clean();
+        scrub.row_owned(vec![
+            latent.to_string(),
+            report.scanned.to_string(),
+            report.repaired_latent.len().to_string(),
+            report.unrecoverable.len().to_string(),
+            report.retries.to_string(),
+            f3(report.wall.as_secs_f64() * 1e3),
+            clean.to_string(),
+        ]);
+    }
+
+    vec![
+        (
+            "E16a: parallel rebuild of disk 4 under injected faults (100us/read devices)".into(),
+            rebuild,
+        ),
+        (
+            "E16b: repairing scrub over a latent-sector field (21 disks)".into(),
+            scrub,
+        ),
+    ]
+}
+
+/// Runs one experiment by id (`e1`..`e16`, `a1`, `a2`), or `all`.
 /// Returns the rendered tables; unknown ids return `None`.
 pub fn run(id: &str) -> Option<Vec<(String, Table)>> {
     match id {
@@ -1051,12 +1214,13 @@ pub fn run(id: &str) -> Option<Vec<(String, Table)>> {
         "e13" => Some(e13_parallel_rebuild()),
         "e14" => Some(e14_kernel_throughput()),
         "e15" => Some(e15_telemetry_overhead()),
+        "e16" => Some(e16_self_healing()),
         "a2" => Some(a2_strategy_ablation()),
         "all" => {
             let mut out = Vec::new();
             for id in [
                 "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-                "e14", "e15", "a2",
+                "e14", "e15", "e16", "a2",
             ] {
                 out.extend(run(id).expect("known id"));
             }

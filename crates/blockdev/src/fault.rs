@@ -1,7 +1,7 @@
 //! Deterministic fault injection and latency modelling around any backend.
 
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -18,8 +18,18 @@ pub struct FaultConfig {
     /// `seed` and the chunk index, independent of I/O order).
     pub latent_per_mille: u16,
     /// Per-mille of reads failing *transiently* (depends on the device's
-    /// I/O sequence number, so it is order-sensitive by design).
+    /// read sequence number, so it is order-sensitive by design).
     pub transient_read_per_mille: u16,
+    /// Per-mille of writes failing *transiently* (independent write
+    /// sequence counter, so enabling write faults does not perturb the
+    /// read-fault sequence).
+    pub transient_write_per_mille: u16,
+    /// If nonzero, the device dies (all I/O returns
+    /// [`DeviceError::Failed`], `is_failed` turns true) once this many
+    /// reads have been served — the deterministic way to stage a
+    /// surviving-disk failure *mid-rebuild*. One-shot: healing the device
+    /// disarms the trigger.
+    pub fail_after_reads: u64,
     /// Added service latency per read.
     pub read_latency: Duration,
     /// Added service latency per write.
@@ -49,9 +59,14 @@ fn splitmix(mut x: u64) -> u64 {
 ///
 /// Latent sector errors are a deterministic per-chunk property: the same
 /// seed marks the same chunks bad on every run, and a write to a bad chunk
-/// repairs it (sector remapping). Transient read faults are drawn per
+/// repairs it (sector remapping). Transient read/write faults are drawn per
 /// operation. Injected faults are visible in the wrapped device's
 /// [`CounterSnapshot::faults`].
+///
+/// The configuration can be swapped at runtime with
+/// [`FaultInjectingDevice::set_config`], so a test can populate the device
+/// cleanly and only then arm faults (or disarm them before comparing
+/// contents).
 ///
 /// This wrapper deliberately keeps the trait's default per-chunk
 /// [`BlockDevice::read_chunks`] loop: coalesced runs still pay latency and
@@ -60,8 +75,15 @@ fn splitmix(mut x: u64) -> u64 {
 #[derive(Debug)]
 pub struct FaultInjectingDevice<B> {
     inner: B,
-    cfg: FaultConfig,
+    cfg: Mutex<FaultConfig>,
+    /// Read-op sequence number for the transient-read dice.
     ops: AtomicU64,
+    /// Write-op sequence number for the transient-write dice.
+    write_ops: AtomicU64,
+    /// Total reads served, for [`FaultConfig::fail_after_reads`].
+    reads_seen: AtomicU64,
+    /// Set when `fail_after_reads` fires; cleared by heal.
+    died: AtomicBool,
     /// Latent-bad chunks that have been repaired by a rewrite.
     remapped: Mutex<HashSet<usize>>,
     faults: AtomicU64,
@@ -75,8 +97,11 @@ impl<B: BlockDevice> FaultInjectingDevice<B> {
     pub fn new(inner: B, cfg: FaultConfig) -> Self {
         Self {
             inner,
-            cfg,
+            cfg: Mutex::new(cfg),
             ops: AtomicU64::new(0),
+            write_ops: AtomicU64::new(0),
+            reads_seen: AtomicU64::new(0),
+            died: AtomicBool::new(false),
             remapped: Mutex::new(HashSet::new()),
             faults: AtomicU64::new(0),
             injected_latency_ns: AtomicU64::new(0),
@@ -103,27 +128,70 @@ impl<B: BlockDevice> FaultInjectingDevice<B> {
         self.inner
     }
 
+    /// The current fault configuration.
+    pub fn config(&self) -> FaultConfig {
+        *self.cfg.lock().expect("cfg lock")
+    }
+
+    /// Replaces the fault configuration and restarts the deterministic
+    /// operation counters (read/write dice sequences and the
+    /// `fail_after_reads` countdown begin again at zero), so the injected
+    /// fault pattern is reproducible relative to the moment of arming.
+    /// Latent-sector remap state is physical and survives reconfiguration.
+    pub fn set_config(&self, cfg: FaultConfig) {
+        *self.cfg.lock().expect("cfg lock") = cfg;
+        self.ops.store(0, Ordering::Relaxed);
+        self.write_ops.store(0, Ordering::Relaxed);
+        self.reads_seen.store(0, Ordering::Relaxed);
+    }
+
     /// Whether `chunk` currently carries a latent sector error.
     pub fn is_latent_bad(&self, chunk: usize) -> bool {
-        self.latent_bad_by_seed(chunk)
+        self.latent_bad_by_seed(&self.config(), chunk)
             && !self.remapped.lock().expect("remap lock").contains(&chunk)
     }
 
-    fn latent_bad_by_seed(&self, chunk: usize) -> bool {
-        if self.cfg.latent_per_mille == 0 {
+    fn latent_bad_by_seed(&self, cfg: &FaultConfig, chunk: usize) -> bool {
+        if cfg.latent_per_mille == 0 {
             return false;
         }
-        splitmix(self.cfg.seed ^ (chunk as u64).wrapping_mul(0x9E37_79B9)) % 1000
-            < self.cfg.latent_per_mille as u64
+        splitmix(cfg.seed ^ (chunk as u64).wrapping_mul(0x9E37_79B9)) % 1000
+            < cfg.latent_per_mille as u64
     }
 
-    fn transient_fault(&self) -> bool {
-        if self.cfg.transient_read_per_mille == 0 {
+    fn transient_read_fault(&self, cfg: &FaultConfig) -> bool {
+        if cfg.transient_read_per_mille == 0 {
             return false;
         }
         let op = self.ops.fetch_add(1, Ordering::Relaxed);
-        splitmix(self.cfg.seed ^ op.wrapping_mul(0xC2B2_AE3D)) % 1000
-            < self.cfg.transient_read_per_mille as u64
+        splitmix(cfg.seed ^ op.wrapping_mul(0xC2B2_AE3D)) % 1000
+            < cfg.transient_read_per_mille as u64
+    }
+
+    fn transient_write_fault(&self, cfg: &FaultConfig) -> bool {
+        if cfg.transient_write_per_mille == 0 {
+            return false;
+        }
+        let op = self.write_ops.fetch_add(1, Ordering::Relaxed);
+        splitmix(cfg.seed ^ op.wrapping_mul(0x27D4_EB2F) ^ 0x5851_F42D) % 1000
+            < cfg.transient_write_per_mille as u64
+    }
+
+    /// Counts one served read against `fail_after_reads`; returns `true`
+    /// if the device just died (or was already dead).
+    fn count_read_toward_death(&self, cfg: &FaultConfig) -> bool {
+        if self.died.load(Ordering::Relaxed) {
+            return true;
+        }
+        if cfg.fail_after_reads == 0 {
+            return false;
+        }
+        let n = self.reads_seen.fetch_add(1, Ordering::Relaxed) + 1;
+        if n > cfg.fail_after_reads {
+            self.died.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
     }
 }
 
@@ -137,15 +205,27 @@ impl<B: BlockDevice> BlockDevice for FaultInjectingDevice<B> {
     }
 
     fn is_failed(&self) -> bool {
-        self.inner.is_failed()
+        self.died.load(Ordering::Relaxed) || self.inner.is_failed()
     }
 
     fn read_chunk(&self, chunk: usize, buf: &mut [u8]) -> Result<(), DeviceError> {
         let began = Instant::now();
-        self.inject_latency(self.cfg.read_latency);
-        if self.is_latent_bad(chunk) || self.transient_fault() {
+        let cfg = self.config();
+        if self.count_read_toward_death(&cfg) {
+            return Err(DeviceError::Failed);
+        }
+        self.inject_latency(cfg.read_latency);
+        let latent = self.is_latent_bad(chunk);
+        if latent || self.transient_read_fault(&cfg) {
             self.faults.fetch_add(1, Ordering::Relaxed);
-            return Err(DeviceError::InjectedFault { chunk });
+            // Faulted reads still consumed service time (the platters
+            // spun, the retry happened inside the drive): record it so
+            // fault latency is visible in the read histogram.
+            self.latency.read.record_duration(began.elapsed());
+            return Err(DeviceError::InjectedFault {
+                chunk,
+                transient: !latent,
+            });
         }
         let result = self.inner.read_chunk(chunk, buf);
         if result.is_ok() {
@@ -156,9 +236,21 @@ impl<B: BlockDevice> BlockDevice for FaultInjectingDevice<B> {
 
     fn write_chunk(&mut self, chunk: usize, data: &[u8]) -> Result<(), DeviceError> {
         let began = Instant::now();
-        self.inject_latency(self.cfg.write_latency);
+        let cfg = self.config();
+        if self.died.load(Ordering::Relaxed) {
+            return Err(DeviceError::Failed);
+        }
+        self.inject_latency(cfg.write_latency);
+        if self.transient_write_fault(&cfg) {
+            self.faults.fetch_add(1, Ordering::Relaxed);
+            self.latency.write.record_duration(began.elapsed());
+            return Err(DeviceError::InjectedFault {
+                chunk,
+                transient: true,
+            });
+        }
         self.inner.write_chunk(chunk, data)?;
-        if self.latent_bad_by_seed(chunk) {
+        if self.latent_bad_by_seed(&cfg, chunk) {
             self.remapped.lock().expect("remap lock").insert(chunk);
         }
         self.latency.write.record_duration(began.elapsed());
@@ -170,7 +262,13 @@ impl<B: BlockDevice> BlockDevice for FaultInjectingDevice<B> {
     }
 
     fn heal(&mut self) -> Result<(), DeviceError> {
-        self.inner.heal()
+        self.inner.heal()?;
+        // A mid-rebuild death is one-shot: bringing the device back
+        // disarms the trigger so the healed replacement doesn't die at
+        // the same read count.
+        self.died.store(false, Ordering::Relaxed);
+        self.cfg.lock().expect("cfg lock").fail_after_reads = 0;
+        Ok(())
     }
 
     fn counters(&self) -> CounterSnapshot {
@@ -240,6 +338,28 @@ mod tests {
     }
 
     #[test]
+    fn faulted_reads_record_service_time() {
+        telemetry::set_enabled(true);
+        let cfg = FaultConfig {
+            seed: 42,
+            latent_per_mille: 300,
+            read_latency: Duration::from_micros(150),
+            ..FaultConfig::default()
+        };
+        let d = FaultInjectingDevice::new(MemDevice::new(8, 64), cfg);
+        let bad = (0..64).find(|&c| d.is_latent_bad(c)).expect("some bad");
+        let mut buf = [0u8; 8];
+        assert!(d.read_chunk(bad, &mut buf).is_err());
+        let lat = d.latency();
+        assert_eq!(lat.read.count(), 1, "fault path records the histogram");
+        assert!(
+            lat.read.max() >= 150_000,
+            "faulted read shows its injected service time: {} ns",
+            lat.read.max()
+        );
+    }
+
+    #[test]
     fn latent_errors_deterministic_and_write_repaired() {
         let cfg = FaultConfig {
             seed: 42,
@@ -261,7 +381,10 @@ mod tests {
         let victim = bad[0];
         assert_eq!(
             d.read_chunk(victim, &mut buf),
-            Err(DeviceError::InjectedFault { chunk: victim })
+            Err(DeviceError::InjectedFault {
+                chunk: victim,
+                transient: false
+            })
         );
         assert_eq!(d.counters().faults, 1);
         d.write_chunk(victim, &[1u8; 8]).unwrap();
@@ -285,6 +408,86 @@ mod tests {
     }
 
     #[test]
+    fn transient_write_faults_happen_and_are_transient() {
+        let cfg = FaultConfig {
+            seed: 7,
+            transient_write_per_mille: 200,
+            ..FaultConfig::default()
+        };
+        let mut d = FaultInjectingDevice::new(MemDevice::new(8, 4), cfg);
+        let mut faults = 0;
+        for i in 0..1000 {
+            match d.write_chunk(i % 4, &[i as u8; 8]) {
+                Ok(()) => {}
+                Err(e) => {
+                    assert!(e.is_transient(), "{e}");
+                    faults += 1;
+                }
+            }
+        }
+        assert!((100..350).contains(&faults), "got {faults} of ~200");
+        // Write faults draw from their own sequence: the read dice are
+        // untouched (reads never fault here).
+        let mut buf = [0u8; 8];
+        for _ in 0..100 {
+            d.read_chunk(0, &mut buf).unwrap();
+        }
+    }
+
+    #[test]
+    fn fail_after_reads_kills_the_device_and_heal_disarms() {
+        let cfg = FaultConfig {
+            fail_after_reads: 3,
+            ..FaultConfig::default()
+        };
+        let mut d = FaultInjectingDevice::new(MemDevice::new(8, 4), cfg);
+        let mut buf = [0u8; 8];
+        for _ in 0..3 {
+            d.read_chunk(0, &mut buf).unwrap();
+        }
+        assert!(!d.is_failed());
+        assert_eq!(d.read_chunk(0, &mut buf), Err(DeviceError::Failed));
+        assert!(d.is_failed(), "death is sticky");
+        assert_eq!(d.read_chunk(1, &mut buf), Err(DeviceError::Failed));
+        assert_eq!(d.write_chunk(0, &[1u8; 8]), Err(DeviceError::Failed));
+        // Heal brings it back and disarms the one-shot trigger.
+        d.fail();
+        d.heal().unwrap();
+        assert!(!d.is_failed());
+        for _ in 0..10 {
+            d.read_chunk(0, &mut buf).unwrap();
+        }
+    }
+
+    #[test]
+    fn set_config_rearms_deterministically() {
+        let quiet = FaultConfig::default();
+        let noisy = FaultConfig {
+            seed: 7,
+            transient_read_per_mille: 500,
+            ..FaultConfig::default()
+        };
+        let d = FaultInjectingDevice::new(MemDevice::new(8, 4), quiet);
+        let mut buf = [0u8; 8];
+        for _ in 0..37 {
+            d.read_chunk(0, &mut buf).unwrap();
+        }
+        d.set_config(noisy);
+        let pattern1: Vec<bool> = (0..64)
+            .map(|_| d.read_chunk(0, &mut buf).is_err())
+            .collect();
+        d.set_config(noisy);
+        let pattern2: Vec<bool> = (0..64)
+            .map(|_| d.read_chunk(0, &mut buf).is_err())
+            .collect();
+        assert_eq!(
+            pattern1, pattern2,
+            "op counters restart at arming, so the fault pattern replays"
+        );
+        assert!(pattern1.iter().any(|&f| f), "500‰ faults somewhere");
+    }
+
+    #[test]
     fn read_chunks_keeps_per_chunk_fault_semantics() {
         let cfg = FaultConfig {
             seed: 42,
@@ -300,7 +503,10 @@ mod tests {
         let mut buf = vec![0u8; 8 * count];
         assert_eq!(
             d.read_chunks(first, count, &mut buf),
-            Err(DeviceError::InjectedFault { chunk: bad })
+            Err(DeviceError::InjectedFault {
+                chunk: bad,
+                transient: false
+            })
         );
         let good_run: Option<usize> = (0..62).find(|&c| (c..c + 2).all(|x| !d.is_latent_bad(x)));
         if let Some(start) = good_run {

@@ -27,7 +27,12 @@ pub struct FileDevice {
 }
 
 fn io_err(e: std::io::Error) -> DeviceError {
-    DeviceError::Io(e.to_string())
+    // Keep the kind: the retry layer classifies Interrupted/TimedOut/
+    // WouldBlock as transient without parsing the message.
+    DeviceError::Io {
+        kind: e.kind(),
+        message: e.to_string(),
+    }
 }
 
 impl FileDevice {

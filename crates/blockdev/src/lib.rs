@@ -25,10 +25,12 @@
 mod fault;
 mod file;
 mod mem;
+mod retry;
 
 pub use fault::{FaultConfig, FaultInjectingDevice};
 pub use file::FileDevice;
 pub use mem::MemDevice;
+pub use retry::{write_chunk_retrying, RetryCounters, RetryPolicy, RetryReader, RetryStats};
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -61,9 +63,61 @@ pub enum DeviceError {
     InjectedFault {
         /// The chunk whose read faulted.
         chunk: usize,
+        /// `true` for a transient fault (a retry may succeed), `false` for
+        /// a latent sector error (persists until the chunk is rewritten).
+        /// Real devices distinguish these in sense data; the injector
+        /// models that so the retry layer can classify without guessing.
+        transient: bool,
     },
-    /// An underlying I/O error (file backends).
-    Io(String),
+    /// An underlying I/O error (file backends). Carries the
+    /// [`std::io::ErrorKind`] so callers can classify transient vs.
+    /// permanent without string-matching the message.
+    Io {
+        /// The kind reported by the OS.
+        kind: std::io::ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Coarse classification of a [`DeviceError`] for retry decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Retrying the same operation may succeed (timeouts, interrupted
+    /// syscalls, injected transient faults).
+    Transient,
+    /// Retrying the identical operation will keep failing: latent sector
+    /// errors (until rewritten), failed devices, caller bugs
+    /// (out-of-range, wrong buffer size), and hard I/O errors.
+    Permanent,
+}
+
+impl DeviceError {
+    /// Classifies the error for retry purposes.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            Self::InjectedFault {
+                transient: true, ..
+            } => ErrorClass::Transient,
+            Self::Io { kind, .. } => match kind {
+                std::io::ErrorKind::Interrupted
+                | std::io::ErrorKind::TimedOut
+                | std::io::ErrorKind::WouldBlock => ErrorClass::Transient,
+                _ => ErrorClass::Permanent,
+            },
+            Self::Failed
+            | Self::OutOfRange { .. }
+            | Self::WrongBufferSize { .. }
+            | Self::InjectedFault {
+                transient: false, ..
+            } => ErrorClass::Permanent,
+        }
+    }
+
+    /// Whether a bounded retry of the same operation is worth attempting.
+    pub fn is_transient(&self) -> bool {
+        self.class() == ErrorClass::Transient
+    }
 }
 
 impl fmt::Display for DeviceError {
@@ -79,8 +133,15 @@ impl fmt::Display for DeviceError {
                     "buffer has {found} bytes, device chunk size is {expected}"
                 )
             }
-            Self::InjectedFault { chunk } => write!(f, "injected fault reading chunk {chunk}"),
-            Self::Io(e) => write!(f, "I/O error: {e}"),
+            Self::InjectedFault { chunk, transient } => {
+                let kind = if *transient {
+                    "transient fault"
+                } else {
+                    "latent sector error"
+                };
+                write!(f, "injected {kind} reading chunk {chunk}")
+            }
+            Self::Io { kind, message } => write!(f, "I/O error ({kind:?}): {message}"),
         }
     }
 }
@@ -386,8 +447,57 @@ mod tests {
         }
         .to_string()
         .contains('9'));
-        assert!(DeviceError::InjectedFault { chunk: 2 }
-            .to_string()
-            .contains("injected"));
+        assert!(DeviceError::InjectedFault {
+            chunk: 2,
+            transient: true
+        }
+        .to_string()
+        .contains("transient"));
+        assert!(DeviceError::InjectedFault {
+            chunk: 2,
+            transient: false
+        }
+        .to_string()
+        .contains("latent"));
+        let io = DeviceError::Io {
+            kind: std::io::ErrorKind::TimedOut,
+            message: "slow disk".into(),
+        };
+        assert!(io.to_string().contains("TimedOut"), "{io}");
+    }
+
+    #[test]
+    fn error_classification() {
+        use std::io::ErrorKind;
+        assert!(DeviceError::InjectedFault {
+            chunk: 0,
+            transient: true
+        }
+        .is_transient());
+        assert!(!DeviceError::InjectedFault {
+            chunk: 0,
+            transient: false
+        }
+        .is_transient());
+        assert!(!DeviceError::Failed.is_transient());
+        assert!(!DeviceError::OutOfRange {
+            chunk: 1,
+            chunks: 1
+        }
+        .is_transient());
+        for (kind, transient) in [
+            (ErrorKind::Interrupted, true),
+            (ErrorKind::TimedOut, true),
+            (ErrorKind::WouldBlock, true),
+            (ErrorKind::NotFound, false),
+            (ErrorKind::PermissionDenied, false),
+            (ErrorKind::UnexpectedEof, false),
+        ] {
+            let e = DeviceError::Io {
+                kind,
+                message: String::new(),
+            };
+            assert_eq!(e.is_transient(), transient, "{kind:?}");
+        }
     }
 }

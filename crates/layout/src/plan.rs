@@ -30,6 +30,11 @@ pub enum WriteTarget {
         /// The surviving disk receiving the chunk.
         disk: usize,
     },
+    /// Back to the lost chunk's own address on its own (healthy or healed)
+    /// disk. Used by chunk-granular repair plans — latent-sector rewrites
+    /// during a self-healing rebuild or scrub — where the "lost" chunk's
+    /// disk is still online and the rewrite remaps the sector.
+    InPlace,
 }
 
 /// Reconstruction of one lost chunk: sources to read, destination to write.
@@ -110,8 +115,10 @@ impl RecoveryPlan {
     pub fn write_load(&self, disks: usize) -> Vec<u64> {
         let mut load = vec![0u64; disks];
         for item in &self.items {
-            if let WriteTarget::Surviving { disk } = item.write {
-                load[disk] += 1;
+            match item.write {
+                WriteTarget::Surviving { disk } => load[disk] += 1,
+                WriteTarget::InPlace => load[item.lost.disk] += 1,
+                WriteTarget::Spare(_) => {}
             }
         }
         load
@@ -186,9 +193,10 @@ impl RecoveryPlan {
             .iter()
             .map(|_| sim.add_disk(spec.clone()))
             .collect();
-        let target_of = |w: WriteTarget| match w {
+        let target_of = |item: &ChunkRecovery| match item.write {
             WriteTarget::Spare(i) => spare_ids[i],
             WriteTarget::Surviving { disk } => disk_ids[disk],
+            WriteTarget::InPlace => disk_ids[item.lost.disk],
         };
         let mut write_tasks = Vec::with_capacity(self.items.len());
         for item in &self.items {
@@ -201,10 +209,10 @@ impl RecoveryPlan {
             // they were written, after that write completed.
             for &dep in &item.depends {
                 let dep_write: disksim::TaskId = write_tasks[dep];
-                let dep_target = target_of(self.items[dep].write);
+                let dep_target = target_of(&self.items[dep]);
                 reads.push(sim.add_task(TaskSpec::read(dep_target, chunk_bytes).after(dep_write)));
             }
-            let target = target_of(item.write);
+            let target = target_of(item);
             let w = sim.add_task(TaskSpec::write(target, chunk_bytes).after_all(reads));
             write_tasks.push(w);
         }
@@ -248,23 +256,32 @@ pub fn assign_writes(
     failed: &[usize],
     items: &mut [ChunkRecovery],
 ) {
+    // Chunk-granular repair plans may carry items whose "lost" chunk sits
+    // on a healthy disk (a latent sector being re-derived): those are
+    // rewritten in place regardless of the spare policy, and they do not
+    // consume a rotation slot.
     match policy {
         SparePolicy::Dedicated => {
             for item in items.iter_mut() {
-                let spare = failed
-                    .iter()
-                    .position(|&d| d == item.lost.disk)
-                    .expect("lost chunk lies on a failed disk");
-                item.write = WriteTarget::Spare(spare);
+                item.write = match failed.iter().position(|&d| d == item.lost.disk) {
+                    Some(spare) => WriteTarget::Spare(spare),
+                    None => WriteTarget::InPlace,
+                };
             }
         }
         SparePolicy::Distributed => {
             let survivors: Vec<usize> = (0..disks).filter(|d| !failed.contains(d)).collect();
             assert!(!survivors.is_empty(), "no surviving disks to hold spares");
-            for (i, item) in items.iter_mut().enumerate() {
+            let mut slot = 0;
+            for item in items.iter_mut() {
+                if !failed.contains(&item.lost.disk) {
+                    item.write = WriteTarget::InPlace;
+                    continue;
+                }
                 item.write = WriteTarget::Surviving {
-                    disk: survivors[i % survivors.len()],
+                    disk: survivors[slot % survivors.len()],
                 };
+                slot += 1;
             }
         }
     }
@@ -320,6 +337,35 @@ mod tests {
         assign_writes(SparePolicy::Distributed, 3, &[0], &mut items);
         assert_eq!(items[0].write, WriteTarget::Surviving { disk: 1 });
         assert_eq!(items[1].write, WriteTarget::Surviving { disk: 2 });
+    }
+
+    #[test]
+    fn assign_writes_in_place_for_healthy_disk_items() {
+        // Item 0's "lost" chunk sits on healthy disk 1 (a latent sector
+        // repair); item 1 is a real loss on failed disk 0.
+        let mut items = vec![
+            item(ChunkAddr::new(1, 5), vec![ChunkAddr::new(2, 0)]),
+            item(ChunkAddr::new(0, 0), vec![ChunkAddr::new(2, 1)]),
+        ];
+        assign_writes(SparePolicy::Distributed, 3, &[0], &mut items);
+        assert_eq!(items[0].write, WriteTarget::InPlace);
+        assert_eq!(
+            items[1].write,
+            WriteTarget::Surviving { disk: 1 },
+            "in-place items do not consume a rotation slot"
+        );
+        assign_writes(SparePolicy::Dedicated, 3, &[0], &mut items);
+        assert_eq!(items[0].write, WriteTarget::InPlace);
+        assert_eq!(items[1].write, WriteTarget::Spare(0));
+        let plan = RecoveryPlan::new(3, vec![0], items);
+        assert_eq!(
+            plan.write_load(3),
+            vec![0, 1, 0],
+            "in-place write lands on the lost chunk's own disk"
+        );
+        // The simulator routes the in-place write to the chunk's own disk.
+        let spec = DiskSpec::new(1 << 20, 1e6, SimTime::ZERO);
+        assert!(plan.simulate(&spec, 1 << 20).rebuild_time > SimTime::ZERO);
     }
 
     #[test]

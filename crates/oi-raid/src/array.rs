@@ -199,6 +199,23 @@ impl OiRaid {
     ) -> Result<RecoveryPlan, LayoutError> {
         recovery::single_failure_plan(self, failed_disk, policy, strategy)
     }
+
+    /// Builds a chunk-granular repair plan for an arbitrary set of
+    /// unreadable chunks (latent sector errors, partially rebuilt disks):
+    /// the alternate-read-set API the self-healing rebuild and repairing
+    /// scrub re-plan through. Chunks outside `missing` are assumed
+    /// readable; all items write in place.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::DiskOutOfRange`] for addresses outside the array,
+    /// [`LayoutError::DataLoss`] when the missing set is not decodable.
+    pub fn chunk_recovery_plan(
+        &self,
+        missing: &std::collections::BTreeSet<ChunkAddr>,
+    ) -> Result<RecoveryPlan, LayoutError> {
+        recovery::chunk_recovery_plan(self, missing)
+    }
 }
 
 impl Layout for OiRaid {

@@ -116,9 +116,11 @@ impl DegradedScenario {
                     .collect();
                 for &dep in &item.depends {
                     let dep_write = rebuild_writes[dep];
-                    let dep_target = match plan.items()[dep].write {
+                    let dep_item = &plan.items()[dep];
+                    let dep_target = match dep_item.write {
                         WriteTarget::Spare(i) => spare_ids[i],
                         WriteTarget::Surviving { disk } => disk_ids[disk],
+                        WriteTarget::InPlace => disk_ids[dep_item.lost.disk],
                     };
                     reads.push(
                         sim.add_task(
@@ -131,6 +133,7 @@ impl DegradedScenario {
                 let target = match item.write {
                     WriteTarget::Spare(i) => spare_ids[i],
                     WriteTarget::Surviving { disk } => disk_ids[disk],
+                    WriteTarget::InPlace => disk_ids[item.lost.disk],
                 };
                 let mut spec = TaskSpec::write(target, self.chunk_bytes)
                     .with_priority(rebuild_priority)

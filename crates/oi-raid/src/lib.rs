@@ -82,7 +82,7 @@ pub use array::{ChunkInfo, OiRaid};
 pub use config::{OiRaidConfig, SkewMode};
 pub use degraded::{reference_scenario, DegradedRun, DegradedScenario};
 pub use degraded_read::ReadPlan;
-pub use observe::{RebuildObserver, StageSummary, StageTimings};
-pub use rebuild::{RebuildMode, RebuildReport};
+pub use observe::{HealCounters, RebuildObserver, StageSummary, StageTimings};
+pub use rebuild::{RebuildMode, RebuildOutcome, RebuildReport};
 pub use recovery::RecoveryStrategy;
-pub use store::{OiRaidStore, StoreError, StoreTelemetry};
+pub use store::{OiRaidStore, ScrubReport, StoreError, StoreTelemetry};

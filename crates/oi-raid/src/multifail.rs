@@ -9,7 +9,7 @@
 //! multi-failure recovery plans (experiment E9) are produced, including
 //! cascades where an outer repair feeds an inner repair.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use layout::{
     assign_writes, ChunkAddr, ChunkRecovery, LayoutError, RecoveryPlan, SparePolicy, WriteTarget,
@@ -25,7 +25,7 @@ pub(crate) fn survives(array: &OiRaid, failed: &[usize]) -> bool {
     if failed.iter().any(|&d| d >= n) {
         return false;
     }
-    run_fixpoint(array, failed, None)
+    run_fixpoint(array, failed, &BTreeSet::new(), None)
 }
 
 /// Builds a recovery plan for an arbitrary survivable failure pattern.
@@ -52,20 +52,24 @@ pub(crate) fn multi_failure_plan(
     if sorted.is_empty() {
         return Ok(RecoveryPlan::new(n, sorted, items));
     }
-    if !run_fixpoint(array, &sorted, Some(&mut items)) {
+    if !run_fixpoint(array, &sorted, &BTreeSet::new(), Some(&mut items)) {
         return Err(LayoutError::DataLoss { failed: sorted });
     }
     assign_writes(policy, n, &sorted, &mut items);
     Ok(RecoveryPlan::new(n, sorted, items))
 }
 
-/// Runs the decode fixpoint. With `plan` set, records one [`ChunkRecovery`]
-/// per repaired chunk (reads reference originally-present chunks;
-/// previously repaired inputs become `depends`). Returns whether every
-/// chunk was recovered.
-fn run_fixpoint(
+/// Runs the decode fixpoint. Initially-missing chunks are every chunk of
+/// the `failed` disks plus the chunk-granular `extra_missing` set (latent
+/// sector errors on otherwise-healthy disks — the alternate-read-set
+/// machinery of the self-healing rebuild). With `plan` set, records one
+/// [`ChunkRecovery`] per repaired chunk (reads reference originally-present
+/// chunks; previously repaired inputs become `depends`). Returns whether
+/// every chunk was recovered.
+pub(crate) fn run_fixpoint(
     array: &OiRaid,
     failed: &[usize],
+    extra_missing: &BTreeSet<ChunkAddr>,
     mut plan: Option<&mut Vec<ChunkRecovery>>,
 ) -> bool {
     let geo = array.geometry();
@@ -79,9 +83,15 @@ fn run_fixpoint(
             missing += 1;
         }
     }
+    for a in extra_missing {
+        if a.disk < n && a.offset < t && present[a.disk * t + a.offset] {
+            present[a.disk * t + a.offset] = false;
+            missing += 1;
+        }
+    }
     // Map repaired chunk -> plan item index, for dependency wiring.
     let mut repaired_item: HashMap<ChunkAddr, usize> = HashMap::new();
-    let originally_failed = |a: ChunkAddr| failed.contains(&a.disk);
+    let originally_failed = |a: ChunkAddr| failed.contains(&a.disk) || extra_missing.contains(&a);
 
     let mut progressed = true;
     while missing > 0 && progressed {

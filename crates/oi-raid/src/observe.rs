@@ -15,7 +15,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use telemetry::{Histogram, HistogramSnapshot, Progress, Registry, Tracer};
+use telemetry::{Counter, Histogram, HistogramSnapshot, Progress, Registry, Tracer};
 
 /// Per-stage service-time histograms for one (or more) rebuild runs, in
 /// nanoseconds. Shared `Arc`s: clone the struct to keep handles across a
@@ -54,6 +54,30 @@ impl StageTimings {
     }
 }
 
+/// Self-healing counters for one (or more) rebuild/scrub runs: how often
+/// the engine retried transient faults, re-routed around unreadable
+/// chunks, escalated after a mid-rebuild disk failure, and repaired latent
+/// sectors by rewrite. Live [`Counter`] handles — clone the struct to keep
+/// watching across runs, attach to a [`Registry`] via
+/// [`RebuildObserver::export_metrics`].
+#[derive(Debug, Clone, Default)]
+pub struct HealCounters {
+    /// Individual read/write attempts retried after a transient fault.
+    pub retries: Counter,
+    /// Operations that exhausted their retry budget (and were then
+    /// re-routed or escalated).
+    pub retries_exhausted: Counter,
+    /// Chunks re-derived through an alternate read set after their
+    /// scheduled source became unreadable.
+    pub reroutes: Counter,
+    /// Mid-rebuild surviving-disk failures absorbed by re-planning.
+    pub escalations: Counter,
+    /// Latent sector errors repaired by rewrite (rebuild or scrub).
+    pub latent_repairs: Counter,
+    /// Total deterministic backoff slept before retries, in nanoseconds.
+    pub backoff_ns: Counter,
+}
+
 /// One stage's latency distribution from a rebuild run.
 #[derive(Debug, Clone)]
 pub struct StageSummary {
@@ -80,6 +104,8 @@ pub struct RebuildObserver {
     pub progress: Arc<Progress>,
     /// Per-stage latency histograms.
     pub stages: StageTimings,
+    /// Self-healing counters (retries, reroutes, escalations, repairs).
+    pub heal: HealCounters,
 }
 
 impl Default for RebuildObserver {
@@ -95,6 +121,7 @@ impl RebuildObserver {
             tracer: Arc::new(Tracer::new(span_capacity)),
             progress: Arc::new(Progress::new()),
             stages: StageTimings::default(),
+            heal: HealCounters::default(),
         }
     }
 
@@ -121,6 +148,40 @@ impl RebuildObserver {
             &[],
             Arc::clone(&self.stages.queue_depth),
         );
+        for (name, help, c) in [
+            (
+                "oi_rebuild_retries_total",
+                "Read/write attempts retried after a transient device fault",
+                &self.heal.retries,
+            ),
+            (
+                "oi_rebuild_retry_exhausted_total",
+                "Operations that exhausted their retry budget",
+                &self.heal.retries_exhausted,
+            ),
+            (
+                "oi_rebuild_reroutes_total",
+                "Chunks re-derived via an alternate read set",
+                &self.heal.reroutes,
+            ),
+            (
+                "oi_rebuild_escalations_total",
+                "Mid-rebuild disk failures absorbed by re-planning",
+                &self.heal.escalations,
+            ),
+            (
+                "oi_rebuild_latent_repairs_total",
+                "Latent sector errors repaired by rewrite",
+                &self.heal.latent_repairs,
+            ),
+            (
+                "oi_rebuild_retry_backoff_ns_total",
+                "Total deterministic retry backoff slept, in nanoseconds",
+                &self.heal.backoff_ns,
+            ),
+        ] {
+            reg.register_counter(name, help, &[], c.clone());
+        }
     }
 }
 
@@ -148,11 +209,13 @@ mod tests {
         let obs = RebuildObserver::default();
         let reg = Registry::new();
         obs.export_metrics(&reg);
-        assert_eq!(reg.len(), 5, "4 stages + queue depth");
+        assert_eq!(reg.len(), 11, "4 stages + queue depth + 6 heal counters");
         // Live: recording after registration shows up in the export.
         obs.stages.combine.record(1234);
+        obs.heal.reroutes.inc_by(3);
         let text = reg.prometheus();
         assert!(text.contains("oi_rebuild_stage_latency_ns_count{stage=\"combine\"} 1"));
+        assert!(text.contains("oi_rebuild_reroutes_total 3"));
         telemetry::lint_prometheus(&text).expect("clean exposition");
     }
 }

@@ -1,17 +1,28 @@
-//! Plan-driven rebuild engine: executes a [`layout::RecoveryPlan`] against
-//! the store's block devices, serially or with one reader thread per
-//! surviving disk, and reports per-device I/O instrumentation.
+//! Self-healing, plan-driven rebuild engine: executes a
+//! [`layout::RecoveryPlan`] against the store's block devices, serially or
+//! with one reader thread per surviving disk, and *absorbs* device faults
+//! instead of dying on them.
 //!
-//! Contrast with [`OiRaidStore::rebuild_disk`], which decodes the *whole
-//! array* into memory — correct but oblivious to the plan's read schedule.
-//! This engine reads exactly what the planner scheduled, so its counters
-//! reproduce the paper's per-disk rebuild-load claims on real bytes, and
-//! the parallel mode demonstrates the declustering payoff: every surviving
-//! disk drains its read queue concurrently.
+//! The engine runs in rounds. Every read goes through a
+//! [`RetryReader`](blockdev::RetryReader): transient faults are retried
+//! with bounded deterministic backoff; coalesced runs degrade to per-chunk
+//! reads so one bad sector costs one chunk, not the batch. A chunk that
+//! stays unreadable after its retry budget (a latent sector error) is
+//! *re-routed*: the next round re-derives it — and everything that needed
+//! it — through an alternate read set via the chunk-granular planner
+//! ([`crate::OiRaid::chunk_recovery_plan`]), then rewrites the bad sector
+//! in place (repairing it). If a surviving disk dies outright mid-rebuild,
+//! the engine *escalates*: the dead disk joins the rebuild targets, the
+//! failure set is re-planned, and already-rebuilt chunks are not re-read.
+//! Escalations are capped at the array's fault tolerance; patterns that
+//! become unrecoverable return [`RebuildOutcome::Aborted`] with the target
+//! disks re-failed — a half-written disk never masquerades as healthy.
 //!
 //! Both modes share one pure combine function per plan item, so serial and
-//! parallel rebuilds are bit-identical by construction (property-tested in
-//! `tests/rebuild_engine.rs`).
+//! parallel rebuilds are bit-identical by construction — including under
+//! injected faults, because re-routed chunks are fixed by the same parity
+//! relations (property-tested in `tests/rebuild_engine.rs` and
+//! `tests/self_healing.rs`).
 //!
 //! The data path avoids per-chunk allocation: a [`BufPool`] recycles chunk
 //! buffers between readers and the combiner, and adjacent same-disk reads in
@@ -19,7 +30,7 @@
 //! calls. Both modes coalesce from the same [`RecoveryPlan::reads_by_disk`]
 //! queues, so their device read counters stay equal.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -28,7 +39,10 @@ use std::time::{Duration, Instant};
 
 use gf::kernels::xor_acc;
 
-use blockdev::{BlockDevice, CounterSnapshot, DeviceError};
+use blockdev::{
+    write_chunk_retrying, BlockDevice, CounterSnapshot, DeviceError, RetryCounters, RetryReader,
+    RetryStats,
+};
 use ecc::ErasureCode;
 use layout::{ChunkAddr, Layout, RecoveryPlan, SparePolicy};
 use telemetry::{HistogramSnapshot, Span};
@@ -58,21 +72,79 @@ impl fmt::Display for RebuildMode {
     }
 }
 
+/// How a rebuild ended — the structured verdict of the self-healing loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RebuildOutcome {
+    /// Every lost chunk rebuilt on the first pass; no faults absorbed.
+    Complete,
+    /// Rebuilt fully, but some source chunks stayed unreadable and were
+    /// re-derived through alternate read sets (and repaired by rewrite).
+    CompletedWithReroutes,
+    /// One or more surviving disks failed mid-rebuild; the engine
+    /// re-planned against the grown failure set and still recovered
+    /// everything.
+    Escalated,
+    /// The failure pattern became unrecoverable (or the loop stalled); the
+    /// rebuild-target disks were re-failed so no partial disk masquerades
+    /// as healthy.
+    Aborted {
+        /// Disks left failed when the rebuild gave up.
+        failed: Vec<usize>,
+    },
+}
+
+impl RebuildOutcome {
+    /// Whether the rebuild recovered all targeted data.
+    pub fn is_recovered(&self) -> bool {
+        !matches!(self, Self::Aborted { .. })
+    }
+}
+
+impl fmt::Display for RebuildOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Complete => write!(f, "complete"),
+            Self::CompletedWithReroutes => write!(f, "complete-with-reroutes"),
+            Self::Escalated => write!(f, "escalated"),
+            Self::Aborted { failed } => write!(f, "aborted (failed {failed:?})"),
+        }
+    }
+}
+
 /// Instrumentation from one [`OiRaidStore::rebuild`] run.
 #[derive(Debug, Clone)]
 pub struct RebuildReport {
     /// Execution mode.
     pub mode: RebuildMode,
-    /// Disks that were failed and have been rebuilt.
+    /// Disks this rebuild targeted: the initially-failed set plus any disk
+    /// escalated into the rebuild after dying mid-run.
     pub rebuilt_disks: Vec<usize>,
-    /// Reader threads used (0 for serial mode).
+    /// How the run ended.
+    pub outcome: RebuildOutcome,
+    /// Execution rounds: 1 for a fault-free run, +1 per re-plan.
+    pub rounds: u32,
+    /// Reader threads used in the first round (0 for serial mode).
     pub workers: usize,
     /// Wall-clock time of plan execution (excludes planning and healing).
     pub wall: Duration,
-    /// Lost chunks reconstructed.
+    /// Lost chunks reconstructed (including latent-sector repairs).
     pub chunks_rebuilt: u64,
     /// Bytes written back to the rebuilt disks.
     pub bytes_rebuilt: u64,
+    /// Individual read/write attempts retried after transient faults.
+    pub retries: u64,
+    /// Operations that exhausted their retry budget while still transient.
+    pub retries_exhausted: u64,
+    /// Total deterministic backoff slept before retries.
+    pub retry_backoff: Duration,
+    /// Source chunks that stayed unreadable and were re-derived through an
+    /// alternate read set.
+    pub reroutes: u64,
+    /// Surviving-disk deaths absorbed mid-rebuild by re-planning.
+    pub escalations: u64,
+    /// Unreadable source sectors repaired by rewriting the re-derived
+    /// value in place.
+    pub latent_repairs: u64,
     /// Per-device I/O deltas over the run, indexed by disk.
     pub device_io: Vec<CounterSnapshot>,
     /// Injected faults observed across all devices during the run.
@@ -120,7 +192,9 @@ impl fmt::Display for RebuildReport {
         write!(
             f,
             "{} rebuild of {:?}: {} chunks ({} bytes) in {:?}, {} reads \
-             (max {}/disk), {} workers, {} injected faults",
+             (max {}/disk), {} workers, {} injected faults; {} after {} \
+             round(s), {} retries ({} exhausted), {} reroutes, \
+             {} escalations, {} latent repairs",
             self.mode,
             self.rebuilt_disks,
             self.chunks_rebuilt,
@@ -130,6 +204,13 @@ impl fmt::Display for RebuildReport {
             self.max_device_reads(),
             self.workers,
             self.injected_faults,
+            self.outcome,
+            self.rounds,
+            self.retries,
+            self.retries_exhausted,
+            self.reroutes,
+            self.escalations,
+            self.latent_repairs,
         )
     }
 }
@@ -425,47 +506,95 @@ fn coalesce_runs(queue: &[(usize, ChunkAddr)]) -> Vec<&[(usize, ChunkAddr)]> {
     runs
 }
 
-/// Serves one coalesced run, returning a pooled chunk buffer per scheduled
-/// read.
-fn read_run<B: BlockDevice>(
-    dev: &B,
+/// Serves one coalesced run through a retrying reader, degrading instead of
+/// failing: transient faults are retried, a chunk that stays unreadable is
+/// reported (for re-routing) without poisoning the rest of the run.
+///
+/// Returns `(delivered reads, unreadable chunks, device died)`.
+#[allow(clippy::type_complexity)]
+fn read_run_healing<B: BlockDevice>(
+    reader: &RetryReader<'_, B>,
     run: &[(usize, ChunkAddr)],
     chunk_size: usize,
     pool: &BufPool,
-) -> Result<Vec<(usize, ChunkAddr, Vec<u8>)>, DeviceError> {
+) -> (
+    Vec<(usize, ChunkAddr, Vec<u8>)>,
+    Vec<(ChunkAddr, DeviceError)>,
+    bool,
+) {
     if let [(idx, addr)] = run {
         let mut buf = pool.take();
-        dev.read_chunk(addr.offset, &mut buf)?;
-        return Ok(vec![(*idx, *addr, buf)]);
+        return match reader.read_chunk(addr.offset, &mut buf) {
+            Ok(()) => (vec![(*idx, *addr, buf)], Vec::new(), false),
+            Err(e) => {
+                pool.put(buf);
+                let died = matches!(e, DeviceError::Failed);
+                (Vec::new(), vec![(*addr, e)], died)
+            }
+        };
     }
     let mut batch = vec![0u8; run.len() * chunk_size];
-    dev.read_chunks(run[0].1.offset, run.len(), &mut batch)?;
-    Ok(run
+    let failures = reader.read_chunks_degrading(run[0].1.offset, run.len(), &mut batch);
+    let died = failures
         .iter()
-        .zip(batch.chunks_exact(chunk_size))
-        .map(|(&(idx, addr), bytes)| {
-            let mut buf = pool.take();
-            buf.copy_from_slice(bytes);
-            (idx, addr, buf)
-        })
-        .collect())
+        .any(|(_, e)| matches!(e, DeviceError::Failed));
+    let bad: HashMap<usize, DeviceError> = failures.into_iter().collect();
+    let mut delivered = Vec::new();
+    let mut unreadable = Vec::new();
+    for (&(idx, addr), bytes) in run.iter().zip(batch.chunks_exact(chunk_size)) {
+        match bad.get(&addr.offset) {
+            Some(e) => unreadable.push((addr, e.clone())),
+            None => {
+                let mut buf = pool.take();
+                buf.copy_from_slice(bytes);
+                delivered.push((idx, addr, buf));
+            }
+        }
+    }
+    (delivered, unreadable, died)
+}
+
+/// What one round of plan execution produced. Rounds are infallible: faults
+/// become entries in `unreadable`/`dead_disks` for the driver loop to heal
+/// around instead of errors that abort the rebuild. Shared with the
+/// repairing scrub in [`crate::store`].
+pub(crate) struct RoundOutput {
+    /// Reconstructed chunks, in completion order.
+    pub(crate) finished: Finished,
+    /// Source chunks that stayed unreadable after their retry budget.
+    pub(crate) unreadable: Vec<(ChunkAddr, DeviceError)>,
+    /// Disks that reported [`DeviceError::Failed`] while serving reads.
+    pub(crate) dead_disks: BTreeSet<usize>,
+    /// Retry activity summed over all of this round's readers.
+    pub(crate) retry: RetryCounters,
+    workers: usize,
+    worker_busy: Vec<Duration>,
 }
 
 impl<B: BlockDevice> OiRaidStore<B> {
     /// Rebuilds *all* currently-failed disks by executing a recovery plan
-    /// against the block devices, and reports per-device instrumentation.
+    /// against the block devices, self-healing around device faults, and
+    /// reports per-device instrumentation plus a structured
+    /// [`RebuildOutcome`].
     ///
     /// Single failures use the strategy-specific planner (`strategy` picks
     /// local-row / outer-stripe / declustered / hybrid reads); larger
     /// patterns use the multi-failure cascade planner. Serial and parallel
-    /// modes produce bit-identical disks.
+    /// modes produce bit-identical disks, with or without faults.
+    ///
+    /// Fault handling (see the module docs): transient faults are retried
+    /// under [`OiRaidStore::retry_policy`], unreadable sectors are
+    /// re-derived through alternate read sets and repaired in place, and
+    /// mid-rebuild disk deaths escalate into the rebuild. None of these
+    /// return `Err` — check [`RebuildReport::outcome`]; an unrecoverable
+    /// run ends in [`RebuildOutcome::Aborted`] with the target disks
+    /// re-failed.
     ///
     /// # Errors
     ///
-    /// [`StoreError::DataLoss`] for unrecoverable patterns (no state is
-    /// changed); [`StoreError::Device`] if a backend errors mid-rebuild —
-    /// the disks under rebuild are re-failed so the store stays consistent
-    /// (retry after clearing the fault).
+    /// [`StoreError::DataLoss`] when the *initial* failure pattern is
+    /// unrecoverable (no state is changed); [`StoreError::Device`] if a
+    /// failed disk cannot be brought back online for writing.
     pub fn rebuild(
         &mut self,
         mode: RebuildMode,
@@ -477,9 +606,10 @@ impl<B: BlockDevice> OiRaidStore<B> {
     /// [`OiRaidStore::rebuild`] with caller-provided telemetry sinks: the
     /// observer's [`Progress`](telemetry::Progress) can be polled from
     /// another thread while this runs, its tracer captures per-stage and
-    /// per-reader spans, and its stage histograms accumulate latencies
-    /// (they are *not* reset per call — hand in a fresh observer to scope
-    /// them to one run).
+    /// per-reader spans, its stage histograms accumulate latencies, and its
+    /// [`HealCounters`](crate::HealCounters) tick live as faults are
+    /// absorbed (none are reset per call — hand in a fresh observer to
+    /// scope them to one run).
     ///
     /// # Errors
     ///
@@ -490,16 +620,24 @@ impl<B: BlockDevice> OiRaidStore<B> {
         strategy: RecoveryStrategy,
         obs: &RebuildObserver,
     ) -> Result<RebuildReport, StoreError> {
-        let failed = self.failed_disks();
+        let initially_failed = self.failed_disks();
         let before: Vec<CounterSnapshot> = self.devices().iter().map(|d| d.counters()).collect();
-        if failed.is_empty() {
+        if initially_failed.is_empty() {
             return Ok(RebuildReport {
                 mode,
-                rebuilt_disks: failed,
+                rebuilt_disks: initially_failed,
+                outcome: RebuildOutcome::Complete,
+                rounds: 0,
                 workers: 0,
                 wall: Duration::ZERO,
                 chunks_rebuilt: 0,
                 bytes_rebuilt: 0,
+                retries: 0,
+                retries_exhausted: 0,
+                retry_backoff: Duration::ZERO,
+                reroutes: 0,
+                escalations: 0,
+                latent_repairs: 0,
                 device_io: vec![CounterSnapshot::default(); before.len()],
                 injected_faults: 0,
                 stages: Vec::new(),
@@ -508,12 +646,17 @@ impl<B: BlockDevice> OiRaidStore<B> {
             });
         }
         let root = obs.tracer.span("rebuild");
-        let plan = {
+        let mut plan = {
             let _s = root.child("plan");
-            if failed.len() == 1 {
-                single_failure_plan(self.array(), failed[0], SparePolicy::Distributed, strategy)
+            if initially_failed.len() == 1 {
+                single_failure_plan(
+                    self.array(),
+                    initially_failed[0],
+                    SparePolicy::Distributed,
+                    strategy,
+                )
             } else {
-                Layout::recovery_plan(self.array(), &failed, SparePolicy::Distributed)
+                Layout::recovery_plan(self.array(), &initially_failed, SparePolicy::Distributed)
             }
             .map_err(|_| StoreError::DataLoss)?
         };
@@ -521,45 +664,194 @@ impl<B: BlockDevice> OiRaidStore<B> {
 
         {
             let _s = root.child("heal");
-            for &d in &failed {
+            for &d in &initially_failed {
                 self.devices_mut()[d]
                     .heal()
                     .map_err(|error| StoreError::Device { disk: d, error })?;
             }
         }
         let start = Instant::now();
-        let result = {
-            let exec = root.child("execute");
-            match mode {
-                RebuildMode::Serial => self.execute_serial(&plan, obs).map(|f| (f, 0, Vec::new())),
-                RebuildMode::Parallel => self.execute_parallel(&plan, obs, &exec),
+        let chunk_size = self.chunk_size();
+        let chunks_per_disk = self.array().chunks_per_disk();
+        let tolerance = self.array().fault_tolerance() as u64;
+        let policy = self.retry_policy();
+        // A generous hard ceiling on rounds: each round must either rebuild
+        // a chunk or grow the avoid set, both bounded by the array size, so
+        // hitting this means the loop is broken, not the disks.
+        let round_cap = 4 * (self.array().disks() * chunks_per_disk) as u32 + 8;
+
+        // The self-healing loop's state. `lost` / `rebuilt` track rebuild
+        // targets; `avoid` is the (near-monotone) set of source chunks that
+        // proved unreadable — never read again, always re-derived;
+        // `repaired` marks avoided chunks whose re-derived value was
+        // rewritten in place (readable again unless they fail anew).
+        let mut target_disks = initially_failed.clone();
+        let mut lost: BTreeSet<ChunkAddr> = initially_failed
+            .iter()
+            .flat_map(|&d| (0..chunks_per_disk).map(move |o| ChunkAddr::new(d, o)))
+            .collect();
+        let mut rebuilt: BTreeSet<ChunkAddr> = BTreeSet::new();
+        let mut avoid: BTreeSet<ChunkAddr> = BTreeSet::new();
+        let mut repaired: BTreeSet<ChunkAddr> = BTreeSet::new();
+
+        let mut rounds = 0u32;
+        let mut escalations = 0u64;
+        let mut reroutes = 0u64;
+        let mut retry = RetryCounters::default();
+        let write_stats = RetryStats::default();
+        let mut workers = 0usize;
+        let mut worker_busy: Vec<Duration> = Vec::new();
+        let mut stall = 0u32;
+        let mut aborted: Option<Vec<usize>> = None;
+
+        loop {
+            rounds += 1;
+            let out = {
+                let exec = root.child("execute");
+                match mode {
+                    RebuildMode::Serial => self.execute_serial_round(&plan, obs),
+                    RebuildMode::Parallel => self.execute_parallel_round(&plan, obs, &exec),
+                }
+            };
+            if rounds == 1 {
+                workers = out.workers;
+                worker_busy = out.worker_busy;
             }
-        };
-        let chunk_size = self.chunk_size() as u64;
-        let write_back = result.and_then(|(finished, workers, busy)| {
-            let _s = root.child("writeback");
-            for (addr, value) in finished {
-                let began = Instant::now();
-                self.write_chunk(addr, &value)?;
-                obs.stages.writeback.record_duration(began.elapsed());
-                obs.progress.chunk_written(chunk_size);
+            retry = retry.merged(&out.retry);
+            let mut died = out.dead_disks;
+            let mut progressed = false;
+            {
+                let _s = root.child("writeback");
+                for (addr, value) in out.finished {
+                    if died.contains(&addr.disk) {
+                        continue;
+                    }
+                    let began = Instant::now();
+                    match write_chunk_retrying(
+                        &mut self.devices_mut()[addr.disk],
+                        &policy,
+                        &write_stats,
+                        addr.offset,
+                        &value,
+                    ) {
+                        Ok(()) => {
+                            obs.stages.writeback.record_duration(began.elapsed());
+                            let mut fresh = false;
+                            if lost.contains(&addr) {
+                                fresh |= rebuilt.insert(addr);
+                            }
+                            if avoid.contains(&addr) && repaired.insert(addr) {
+                                obs.heal.latent_repairs.inc();
+                                fresh = true;
+                            }
+                            if fresh {
+                                obs.progress.chunk_written(chunk_size as u64);
+                                progressed = true;
+                            }
+                        }
+                        Err(e) if e.is_transient() => {
+                            // Write retry budget exhausted: the chunk stays
+                            // un-rebuilt and the next round retries it.
+                        }
+                        Err(_) => {
+                            // The disk died (or broke permanently) under
+                            // write: escalate it.
+                            died.insert(addr.disk);
+                        }
+                    }
+                }
             }
-            Ok((workers, busy))
-        });
+            for (addr, _e) in out.unreadable {
+                if died.contains(&addr.disk) {
+                    continue; // the whole disk escalates instead
+                }
+                let newly_avoided = avoid.insert(addr);
+                let un_repaired = repaired.remove(&addr);
+                if newly_avoided {
+                    reroutes += 1;
+                    obs.heal.reroutes.inc();
+                }
+                progressed |= newly_avoided || un_repaired;
+            }
+            // Mid-rebuild disk deaths: fold each dead disk into the rebuild
+            // targets, void whatever was already credited on it, and bring
+            // its (blank) device back online so re-planned writes land.
+            for &d in &died {
+                let newly_escalated = !target_disks.contains(&d);
+                if newly_escalated {
+                    escalations += 1;
+                    obs.heal.escalations.inc();
+                    target_disks.push(d);
+                    lost.extend((0..chunks_per_disk).map(|o| ChunkAddr::new(d, o)));
+                }
+                let voided = rebuilt.iter().filter(|a| a.disk == d).count()
+                    + repaired.iter().filter(|a| a.disk == d).count();
+                rebuilt.retain(|a| a.disk != d);
+                repaired.retain(|a| a.disk != d);
+                avoid.retain(|a| a.disk != d);
+                let grown = if newly_escalated { chunks_per_disk } else { 0 } + voided;
+                obs.progress.add_total_chunks(grown as u64);
+                self.devices_mut()[d].fail();
+                if let Err(error) = self.devices_mut()[d].heal() {
+                    for &t in &target_disks {
+                        self.devices_mut()[t].fail();
+                    }
+                    return Err(StoreError::Device { disk: d, error });
+                }
+                progressed = true;
+            }
+            if escalations > tolerance {
+                aborted = Some(target_disks.clone());
+                break;
+            }
+            let mut missing: BTreeSet<ChunkAddr> = lost.difference(&rebuilt).copied().collect();
+            missing.extend(avoid.difference(&repaired).copied());
+            if missing.is_empty() {
+                break;
+            }
+            stall = if progressed { 0 } else { stall + 1 };
+            if stall >= 2 || rounds >= round_cap {
+                aborted = Some(target_disks.clone());
+                break;
+            }
+            plan = {
+                let _s = root.child("plan");
+                match self.array().chunk_recovery_plan(&missing) {
+                    Ok(p) => p,
+                    Err(_) => {
+                        aborted = Some(target_disks.clone());
+                        break;
+                    }
+                }
+            };
+        }
         let wall = start.elapsed();
-        let (workers, worker_busy) = match write_back {
-            Ok(w) => w,
-            Err(e) => {
-                // Keep the failure visible: a half-written disk must not
-                // masquerade as healthy.
+        retry = retry.merged(&write_stats.snapshot());
+        obs.heal.retries.inc_by(retry.retries);
+        obs.heal.retries_exhausted.inc_by(retry.exhausted);
+        obs.heal.backoff_ns.inc_by(retry.backoff_ns);
+        let outcome = match aborted {
+            Some(mut failed) => {
+                failed.sort_unstable();
                 for &d in &failed {
                     self.devices_mut()[d].fail();
                 }
-                return Err(e);
+                RebuildOutcome::Aborted { failed }
+            }
+            None => {
+                obs.progress.finish();
+                if escalations > 0 {
+                    RebuildOutcome::Escalated
+                } else if reroutes > 0 {
+                    RebuildOutcome::CompletedWithReroutes
+                } else {
+                    RebuildOutcome::Complete
+                }
             }
         };
-        obs.progress.finish();
         drop(root);
+        target_disks.sort_unstable();
+        let chunks_rebuilt = (rebuilt.len() + repaired.len()) as u64;
         let device_io: Vec<CounterSnapshot> = self
             .devices()
             .iter()
@@ -568,11 +860,19 @@ impl<B: BlockDevice> OiRaidStore<B> {
             .collect();
         Ok(RebuildReport {
             mode,
-            rebuilt_disks: failed,
+            rebuilt_disks: target_disks,
+            outcome,
+            rounds,
             workers,
             wall,
-            chunks_rebuilt: plan.items().len() as u64,
-            bytes_rebuilt: plan.items().len() as u64 * chunk_size,
+            chunks_rebuilt,
+            bytes_rebuilt: chunks_rebuilt * chunk_size as u64,
+            retries: retry.retries,
+            retries_exhausted: retry.exhausted,
+            retry_backoff: Duration::from_nanos(retry.backoff_ns),
+            reroutes,
+            escalations,
+            latent_repairs: repaired.len() as u64,
             injected_faults: device_io.iter().map(|c| c.faults).sum(),
             device_io,
             stages: obs.stages.summaries(),
@@ -581,48 +881,72 @@ impl<B: BlockDevice> OiRaidStore<B> {
         })
     }
 
-    fn execute_serial(
-        &mut self,
+    /// One serial round: drains every per-disk read queue inline, healing
+    /// around faults (never fails — faults land in the [`RoundOutput`]).
+    /// Also the execution engine behind the repairing scrub.
+    pub(crate) fn execute_serial_round(
+        &self,
         plan: &RecoveryPlan,
         obs: &RebuildObserver,
-    ) -> Result<Finished, StoreError> {
+    ) -> RoundOutput {
         let geo = self.array().geometry().clone();
         let code = self.inner_code();
         let chunk_size = self.chunk_size();
         let pool = BufPool::new(chunk_size);
         let mut combiner = Combiner::new(&geo, code.as_ref(), plan, &pool, obs);
         combiner.drain();
+        let mut unreadable = Vec::new();
+        let mut dead_disks = BTreeSet::new();
+        let mut retry = RetryCounters::default();
         for (disk, queue) in plan.reads_by_disk() {
-            let dev = &self.devices()[disk];
+            let reader = RetryReader::new(&self.devices()[disk], self.retry_policy());
             let began = Instant::now();
             let runs = coalesce_runs(&queue);
             obs.stages.coalesce.record_duration(began.elapsed());
             for run in runs {
+                if dead_disks.contains(&disk) {
+                    break; // the disk died mid-queue; the rest is moot
+                }
                 let began = Instant::now();
-                let batch = read_run(dev, run, chunk_size, &pool).map_err(|error| match error {
-                    DeviceError::Failed => StoreError::DiskFailed { disk },
-                    error => StoreError::Device { disk, error },
-                })?;
+                let (batch, failed, died) = read_run_healing(&reader, run, chunk_size, &pool);
                 obs.stages.read.record_duration(began.elapsed());
-                obs.progress.add_bytes_read((run.len() * chunk_size) as u64);
+                obs.progress
+                    .add_bytes_read((batch.len() * chunk_size) as u64);
                 for (idx, addr, bytes) in batch {
                     combiner.deliver_read(idx, addr, bytes);
                 }
                 combiner.drain();
+                unreadable.extend(failed);
+                if died {
+                    dead_disks.insert(disk);
+                }
             }
+            retry = retry.merged(&reader.counters());
         }
-        debug_assert_eq!(combiner.remaining, 0, "plan execution closed");
-        Ok(combiner.finished)
+        debug_assert!(
+            combiner.remaining == 0 || !unreadable.is_empty() || !dead_disks.is_empty(),
+            "a fault-free round completes every item"
+        );
+        RoundOutput {
+            finished: combiner.finished,
+            unreadable,
+            dead_disks,
+            retry,
+            workers: 0,
+            worker_busy: Vec::new(),
+        }
     }
 
-    /// Returns the finished chunks, the number of reader threads used, and
-    /// each reader's busy time (time spent inside device reads).
-    fn execute_parallel(
-        &mut self,
+    /// One parallel round: one retrying reader thread per surviving disk, a
+    /// combiner on the calling thread. Never fails — a reader that hits an
+    /// unreadable chunk reports it and keeps going; a dead disk stops only
+    /// its own thread, the other disks keep draining.
+    fn execute_parallel_round(
+        &self,
         plan: &RecoveryPlan,
         obs: &RebuildObserver,
         exec_span: &Span<'_>,
-    ) -> Result<(Finished, usize, Vec<Duration>), StoreError> {
+    ) -> RoundOutput {
         let geo = self.array().geometry().clone();
         let code = self.inner_code();
         let chunk_size = self.chunk_size();
@@ -632,50 +956,63 @@ impl<B: BlockDevice> OiRaidStore<B> {
         let mut combiner = Combiner::new(&geo, code.as_ref(), plan, &pool, obs);
         combiner.drain();
 
+        enum ReadMsg {
+            Read(usize, ChunkAddr, Vec<u8>),
+            Unreadable(ChunkAddr, DeviceError),
+            Died(usize),
+        }
         // Readers only need `&B` (read_chunk takes `&self`), so lend each
-        // surviving device to its reader thread by shared reference.
-        type ReadMsg = Result<(usize, ChunkAddr, Vec<u8>), (usize, DeviceError)>;
+        // surviving device to its reader thread via a shared retry wrapper.
         let devices: &[B] = self.devices();
+        let readers: Vec<RetryReader<'_, B>> = queues
+            .iter()
+            .map(|(disk, _)| RetryReader::new(&devices[*disk], self.retry_policy()))
+            .collect();
         let pool_ref = &pool;
         // In-flight messages: incremented before send, decremented at
         // receive — the receive-side sample is the combiner's queue depth.
         let depth = AtomicI64::new(0);
         let busy: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
-        let mut error: Option<StoreError> = None;
+        let mut unreadable = Vec::new();
+        let mut dead_disks = BTreeSet::new();
         std::thread::scope(|s| {
             let (tx, rx) = mpsc::channel::<ReadMsg>();
             for (w, (disk, queue)) in queues.iter().enumerate() {
-                let dev: &B = &devices[*disk];
+                let reader = &readers[w];
                 let tx = tx.clone();
                 let disk = *disk;
                 let (depth, busy) = (&depth, &busy[w]);
                 s.spawn(move || {
-                    let _reader = exec_span.child(format!("reader-disk-{disk}"));
+                    let _reader_span = exec_span.child(format!("reader-disk-{disk}"));
                     let began = Instant::now();
                     let runs = coalesce_runs(queue);
                     obs.stages.coalesce.record_duration(began.elapsed());
                     for run in runs {
                         let began = Instant::now();
-                        match read_run(dev, run, chunk_size, pool_ref) {
-                            Ok(batch) => {
-                                let took = began.elapsed();
-                                obs.stages.read.record_duration(took);
-                                busy.fetch_add(
-                                    took.as_nanos().min(u64::MAX as u128) as u64,
-                                    Ordering::Relaxed,
-                                );
-                                obs.progress.add_bytes_read((run.len() * chunk_size) as u64);
-                                for (idx, addr, buf) in batch {
-                                    depth.fetch_add(1, Ordering::Relaxed);
-                                    if tx.send(Ok((idx, addr, buf))).is_err() {
-                                        return; // combiner gone
-                                    }
-                                }
+                        let (batch, failed, died) =
+                            read_run_healing(reader, run, chunk_size, pool_ref);
+                        let took = began.elapsed();
+                        obs.stages.read.record_duration(took);
+                        busy.fetch_add(
+                            took.as_nanos().min(u64::MAX as u128) as u64,
+                            Ordering::Relaxed,
+                        );
+                        obs.progress
+                            .add_bytes_read((batch.len() * chunk_size) as u64);
+                        for (idx, addr, buf) in batch {
+                            depth.fetch_add(1, Ordering::Relaxed);
+                            if tx.send(ReadMsg::Read(idx, addr, buf)).is_err() {
+                                return; // combiner gone
                             }
-                            Err(e) => {
-                                let _ = tx.send(Err((disk, e)));
+                        }
+                        for (addr, e) in failed {
+                            if tx.send(ReadMsg::Unreadable(addr, e)).is_err() {
                                 return;
                             }
+                        }
+                        if died {
+                            let _ = tx.send(ReadMsg::Died(disk));
+                            return; // the rest of this queue is moot
                         }
                     }
                 });
@@ -683,30 +1020,38 @@ impl<B: BlockDevice> OiRaidStore<B> {
             drop(tx);
             for msg in rx {
                 match msg {
-                    Ok((idx, addr, bytes)) => {
+                    ReadMsg::Read(idx, addr, bytes) => {
                         let d = depth.fetch_sub(1, Ordering::Relaxed);
                         obs.stages.queue_depth.record(d.max(0) as u64);
                         combiner.deliver_read(idx, addr, bytes);
                         combiner.drain();
                     }
-                    Err((disk, e)) => {
-                        error = Some(StoreError::Device { disk, error: e });
-                        break;
+                    ReadMsg::Unreadable(addr, e) => unreadable.push((addr, e)),
+                    ReadMsg::Died(disk) => {
+                        dead_disks.insert(disk);
                     }
                 }
             }
-            // Leaving the scope drops `rx`, which unblocks any reader still
-            // sending; the scope join waits for them.
         });
-        if let Some(e) = error {
-            return Err(e);
-        }
-        debug_assert_eq!(combiner.remaining, 0, "plan execution closed");
+        debug_assert!(
+            combiner.remaining == 0 || !unreadable.is_empty() || !dead_disks.is_empty(),
+            "a fault-free round completes every item"
+        );
+        let retry = readers
+            .iter()
+            .fold(RetryCounters::default(), |acc, r| acc.merged(&r.counters()));
         let worker_busy = busy
             .iter()
             .map(|b| Duration::from_nanos(b.load(Ordering::Relaxed)))
             .collect();
-        Ok((combiner.finished, workers, worker_busy))
+        RoundOutput {
+            finished: combiner.finished,
+            unreadable,
+            dead_disks,
+            retry,
+            workers,
+            worker_busy,
+        }
     }
 }
 
@@ -718,6 +1063,28 @@ mod tests {
 
     fn filled(chunk_size: usize) -> OiRaidStore {
         let mut store = OiRaidStore::new(OiRaidConfig::reference(), chunk_size).unwrap();
+        for idx in 0..store.data_chunks() {
+            let chunk: Vec<u8> = (0..chunk_size)
+                .map(|j| (idx * 131 + j * 17 + 3) as u8)
+                .collect();
+            store.write_data(idx, &chunk).unwrap();
+        }
+        store
+    }
+
+    /// A filled store on fault-injecting devices, with no faults armed yet
+    /// (arm per-disk with `set_config` after filling).
+    fn filled_faulty(chunk_size: usize) -> OiRaidStore<FaultInjectingDevice<MemDevice>> {
+        let cfg = OiRaidConfig::reference();
+        let devices: Vec<_> = (0..cfg.disks())
+            .map(|_| {
+                FaultInjectingDevice::new(
+                    MemDevice::new(chunk_size, cfg.chunks_per_disk()),
+                    FaultConfig::default(),
+                )
+            })
+            .collect();
+        let mut store = OiRaidStore::with_devices(cfg, chunk_size, devices).unwrap();
         for idx in 0..store.data_chunks() {
             let chunk: Vec<u8> = (0..chunk_size)
                 .map(|j| (idx * 131 + j * 17 + 3) as u8)
@@ -745,6 +1112,8 @@ mod tests {
             store.fail_disk(4).unwrap();
             let report = store.rebuild(RebuildMode::Serial, strategy).unwrap();
             assert_eq!(report.rebuilt_disks, vec![4]);
+            assert_eq!(report.outcome, RebuildOutcome::Complete);
+            assert_eq!(report.rounds, 1);
             assert!(report.chunks_rebuilt > 0);
             assert!(store.check_parity().is_empty(), "{strategy:?}");
             assert_eq!(
@@ -863,6 +1232,8 @@ mod tests {
             .unwrap();
         assert_eq!(report.chunks_rebuilt, 0);
         assert_eq!(report.total_reads(), 0);
+        assert_eq!(report.outcome, RebuildOutcome::Complete);
+        assert_eq!(report.rounds, 0);
     }
 
     #[test]
@@ -882,6 +1253,8 @@ mod tests {
             report.bytes_rebuilt,
             report.chunks_rebuilt * store.chunk_size() as u64
         );
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.reroutes, 0);
         assert!(report.to_string().contains("parallel"));
     }
 
@@ -891,10 +1264,18 @@ mod tests {
         let report = RebuildReport {
             mode: RebuildMode::Parallel,
             rebuilt_disks: vec![4],
+            outcome: RebuildOutcome::CompletedWithReroutes,
+            rounds: 2,
             workers: 20,
             wall: Duration::from_millis(12),
             chunks_rebuilt: 30,
             bytes_rebuilt: 480,
+            retries: 5,
+            retries_exhausted: 1,
+            retry_backoff: Duration::from_micros(350),
+            reroutes: 1,
+            escalations: 0,
+            latent_repairs: 1,
             device_io: vec![
                 CounterSnapshot {
                     reads: 7,
@@ -913,7 +1294,9 @@ mod tests {
         assert_eq!(
             report.to_string(),
             "parallel rebuild of [4]: 30 chunks (480 bytes) in 12ms, \
-             12 reads (max 7/disk), 20 workers, 2 injected faults"
+             12 reads (max 7/disk), 20 workers, 2 injected faults; \
+             complete-with-reroutes after 2 round(s), 5 retries \
+             (1 exhausted), 1 reroutes, 0 escalations, 1 latent repairs"
         );
     }
 
@@ -988,31 +1371,146 @@ mod tests {
     }
 
     #[test]
-    fn injected_read_fault_aborts_and_refails_disks() {
-        let cfg = OiRaidConfig::reference();
-        let probe = OiRaidStore::new(cfg.clone(), 8).unwrap();
-        let geo_chunks = probe.devices()[0].chunks();
-        let devices: Vec<_> = (0..21)
-            .map(|d| {
-                let mem = MemDevice::new(8, geo_chunks);
-                let fault = if d == 3 {
-                    FaultConfig {
-                        seed: 99,
-                        transient_read_per_mille: 1000,
-                        ..FaultConfig::default()
-                    }
-                } else {
-                    FaultConfig::default()
-                };
-                FaultInjectingDevice::new(mem, fault)
-            })
-            .collect();
-        let mut store = OiRaidStore::with_devices(cfg, 8, devices).unwrap();
-        store.fail_disk(4).unwrap();
-        let err = store
-            .rebuild(RebuildMode::Parallel, RecoveryStrategy::Hybrid)
-            .unwrap_err();
-        assert!(matches!(err, StoreError::Device { .. }), "{err:?}");
-        assert_eq!(store.failed_disks(), vec![4], "rebuilt disk re-failed");
+    fn fully_transient_disk_is_rerouted_around() {
+        // Under the Inner strategy, rebuilding disk 4 reads its row
+        // siblings on disks 3 and 5. Disk 3 faults on *every* read (1000‰
+        // transient): retry cannot save it, so the engine must re-route
+        // every scheduled disk-3 read through alternate read sets — and
+        // still finish bit-identical.
+        for mode in [RebuildMode::Serial, RebuildMode::Parallel] {
+            let reference = filled(8);
+            let mut store = filled_faulty(8);
+            store.set_retry_policy(blockdev::RetryPolicy::immediate(3));
+            store.devices()[3].set_config(FaultConfig {
+                seed: 99,
+                transient_read_per_mille: 1000,
+                ..FaultConfig::default()
+            });
+            store.fail_disk(4).unwrap();
+            let report = store.rebuild(mode, RecoveryStrategy::Inner).unwrap();
+            assert_eq!(
+                report.outcome,
+                RebuildOutcome::CompletedWithReroutes,
+                "{mode}: {report}"
+            );
+            assert!(report.reroutes > 0, "{mode}");
+            assert!(report.retries > 0, "{mode}");
+            assert!(report.retries_exhausted > 0, "{mode}");
+            assert!(report.rounds > 1, "{mode}");
+            assert_eq!(report.escalations, 0, "{mode}");
+            assert!(store.failed_disks().is_empty(), "{mode}");
+            store.devices()[3].set_config(FaultConfig::default());
+            for d in [3, 4] {
+                assert_eq!(
+                    disk_image(&store, d),
+                    disk_image(&reference, d),
+                    "{mode} disk {d}"
+                );
+            }
+            assert!(store.check_parity().is_empty(), "{mode}");
+        }
+    }
+
+    #[test]
+    fn latent_sources_are_rerouted_and_repaired_in_place() {
+        for mode in [RebuildMode::Serial, RebuildMode::Parallel] {
+            let reference = filled(8);
+            let mut store = filled_faulty(8);
+            // Deterministic latent sector errors on disk 5, a row sibling
+            // the Inner strategy must read while rebuilding disk 4.
+            store.devices()[5].set_config(FaultConfig {
+                seed: 7,
+                latent_per_mille: 200,
+                ..FaultConfig::default()
+            });
+            let latent: Vec<usize> = (0..store.array().chunks_per_disk())
+                .filter(|&o| store.devices()[5].is_latent_bad(o))
+                .collect();
+            assert!(!latent.is_empty(), "seed 7 plants at least one latent");
+            store.fail_disk(4).unwrap();
+            let report = store.rebuild(mode, RecoveryStrategy::Inner).unwrap();
+            assert_eq!(
+                report.outcome,
+                RebuildOutcome::CompletedWithReroutes,
+                "{mode}: {report}"
+            );
+            assert_eq!(report.reroutes, latent.len() as u64, "{mode}");
+            assert_eq!(report.latent_repairs, report.reroutes, "{mode}");
+            // Latent sectors were repaired by rewrite (remapped): with the
+            // fault config still armed, every repaired chunk reads clean.
+            for &o in &latent {
+                assert!(!store.devices()[5].is_latent_bad(o), "{mode} chunk {o}");
+            }
+            for d in [4, 5] {
+                assert_eq!(
+                    disk_image(&store, d),
+                    disk_image(&reference, d),
+                    "{mode} disk {d}"
+                );
+            }
+            assert!(store.check_parity().is_empty(), "{mode}");
+        }
+    }
+
+    #[test]
+    fn mid_rebuild_disk_death_escalates_and_recovers() {
+        for mode in [RebuildMode::Serial, RebuildMode::Parallel] {
+            let reference = filled(8);
+            let mut store = filled_faulty(8);
+            // Disk 3 (a row sibling the Inner strategy reads 9 times) dies
+            // after serving 3 rebuild reads.
+            store.devices()[3].set_config(FaultConfig {
+                fail_after_reads: 3,
+                ..FaultConfig::default()
+            });
+            store.fail_disk(4).unwrap();
+            let report = store.rebuild(mode, RecoveryStrategy::Inner).unwrap();
+            assert_eq!(
+                report.outcome,
+                RebuildOutcome::Escalated,
+                "{mode}: {report}"
+            );
+            assert_eq!(report.escalations, 1, "{mode}");
+            assert_eq!(report.rebuilt_disks, vec![3, 4], "{mode}");
+            assert!(report.rounds > 1, "{mode}");
+            assert!(store.failed_disks().is_empty(), "{mode}");
+            for d in [3, 4] {
+                assert_eq!(
+                    disk_image(&store, d),
+                    disk_image(&reference, d),
+                    "{mode} disk {d}"
+                );
+            }
+            assert!(store.check_parity().is_empty(), "{mode}");
+        }
+    }
+
+    #[test]
+    fn unrecoverable_mid_rebuild_aborts_with_failure_set() {
+        // Rebuilding disk 0 under the Inner strategy reads its group
+        // siblings 1 and 2, which both die almost immediately; the re-plan
+        // then fans out over the outer layer, where disks 3 and 4 die too.
+        // Five candidate failures exceed the array's tolerance of three:
+        // the engine must abort (not panic, not error) and re-fail every
+        // rebuild target so no half-written disk looks healthy.
+        for mode in [RebuildMode::Serial, RebuildMode::Parallel] {
+            let mut store = filled_faulty(8);
+            for d in [1, 2, 3, 4] {
+                store.devices()[d].set_config(FaultConfig {
+                    fail_after_reads: 1,
+                    ..FaultConfig::default()
+                });
+            }
+            store.fail_disk(0).unwrap();
+            let report = store.rebuild(mode, RecoveryStrategy::Inner).unwrap();
+            match &report.outcome {
+                RebuildOutcome::Aborted { failed } => {
+                    assert_eq!(failed, &vec![0, 1, 2, 3, 4], "{mode}");
+                }
+                other => panic!("{mode}: expected abort, got {other:?}"),
+            }
+            assert_eq!(store.failed_disks(), vec![0, 1, 2, 3, 4], "{mode}");
+            assert!(!report.outcome.is_recovered());
+        }
     }
 }

@@ -18,10 +18,13 @@
 //!   `ψ = (rg − (g−1)) / (rg + (g−1))` that equalises group-survivor and
 //!   remote-disk load — the bottleneck-optimal mix (ablation A2).
 
+use std::collections::BTreeSet;
+
 use layout::ChunkRecovery;
 use layout::{ChunkAddr, LayoutError, RecoveryPlan, SparePolicy, WriteTarget};
 
 use crate::array::OiRaid;
+use crate::multifail;
 
 /// How a single-disk rebuild sources its reads: `Inner` is local and slow,
 /// `Outer` is the paper's declustered default, `OuterAll` moves even
@@ -133,6 +136,53 @@ pub(crate) fn single_failure_plan(
     let failed = vec![failed_disk];
     layout::assign_writes(policy, n, &failed, &mut items);
     Ok(RecoveryPlan::new(n, failed, items))
+}
+
+/// The alternate-plan API: derives an arbitrary *chunk-granular* missing
+/// set from whatever redundancy is still readable.
+///
+/// This is what makes C4 operational during a rebuild: when a source read
+/// exhausts its retries (latent sector error) or a surviving disk dies
+/// mid-rebuild, the engine collects the unreadable chunks and asks for a
+/// fresh plan that routes around them through the inner/outer codes —
+/// including cross-layer cascades, exactly like whole-disk multi-failure
+/// planning, but seeded with individual chunks instead of disks.
+///
+/// Every chunk **not** in `missing` is assumed readable (already-rebuilt
+/// chunks on a healed disk are legitimate sources, which is how a resumed
+/// rebuild avoids re-reading what it already recovered). All items are
+/// written [`WriteTarget::InPlace`]: the owning disk is online (healed or
+/// healthy) and the rewrite lands at the chunk's own address, remapping
+/// latent sectors as a side effect.
+///
+/// Fails with [`LayoutError::DataLoss`] (listing the affected disks) when
+/// the missing set is not decodable.
+pub(crate) fn chunk_recovery_plan(
+    array: &OiRaid,
+    missing: &BTreeSet<ChunkAddr>,
+) -> Result<RecoveryPlan, LayoutError> {
+    let geo = array.geometry();
+    let n = geo.disks();
+    let t = geo.chunks_per_disk;
+    if let Some(a) = missing.iter().find(|a| a.disk >= n || a.offset >= t) {
+        return Err(LayoutError::DiskOutOfRange {
+            disk: a.disk,
+            disks: n,
+        });
+    }
+    let mut items = Vec::new();
+    if missing.is_empty() {
+        return Ok(RecoveryPlan::new(n, Vec::new(), items));
+    }
+    if !multifail::run_fixpoint(array, &[], missing, Some(&mut items)) {
+        let mut disks: Vec<usize> = missing.iter().map(|a| a.disk).collect();
+        disks.dedup(); // BTreeSet iteration is sorted by disk first
+        return Err(LayoutError::DataLoss { failed: disks });
+    }
+    for item in &mut items {
+        item.write = WriteTarget::InPlace;
+    }
+    Ok(RecoveryPlan::new(n, Vec::new(), items))
 }
 
 /// The `k − 1` surviving chunks of the outer stripe containing payload
@@ -269,6 +319,72 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn chunk_plan_routes_around_missing_sources() {
+        let a = reference();
+        // One missing chunk: derivable from its row or stripe, never read.
+        let victim = ChunkAddr::new(4, 2);
+        let missing: BTreeSet<ChunkAddr> = [victim].into_iter().collect();
+        let plan = a.chunk_recovery_plan(&missing).unwrap();
+        assert_eq!(plan.total_writes(), 1);
+        let item = &plan.items()[0];
+        assert_eq!(item.lost, victim);
+        assert!(!item.reads.is_empty());
+        assert!(!item.reads.contains(&victim));
+        assert_eq!(item.write, WriteTarget::InPlace);
+        assert!(plan.failed().is_empty(), "no whole-disk failures involved");
+    }
+
+    #[test]
+    fn chunk_plan_cascades_through_both_layers() {
+        let a = reference();
+        let geo = a.geometry();
+        // Knock out a whole inner row plus extra scattered chunks: the
+        // row's chunks need the outer layer first, then the inner parity
+        // recomputes from repaired payload (depends wiring).
+        let mut missing: BTreeSet<ChunkAddr> = geo.row_chunks(0, 0).into_iter().collect();
+        missing.insert(ChunkAddr::new(20, 8));
+        let plan = a.chunk_recovery_plan(&missing).unwrap();
+        assert_eq!(plan.total_writes() as usize, missing.len());
+        // No plan read touches a missing chunk.
+        for item in plan.items() {
+            for r in &item.reads {
+                assert!(!missing.contains(r), "read of missing chunk {r}");
+            }
+            for &dep in &item.depends {
+                assert!(dep < plan.items().len());
+            }
+        }
+        assert!(
+            plan.items().iter().any(|i| !i.depends.is_empty()),
+            "a full-row loss must cascade"
+        );
+    }
+
+    #[test]
+    fn chunk_plan_rejects_undecodable_sets_and_bad_addresses() {
+        let a = reference();
+        let geo = a.geometry();
+        let everything: BTreeSet<ChunkAddr> = (0..geo.disks())
+            .flat_map(|d| (0..geo.chunks_per_disk).map(move |o| ChunkAddr::new(d, o)))
+            .collect();
+        assert!(matches!(
+            a.chunk_recovery_plan(&everything),
+            Err(LayoutError::DataLoss { .. })
+        ));
+        let oob: BTreeSet<ChunkAddr> = [ChunkAddr::new(99, 0)].into_iter().collect();
+        assert!(matches!(
+            a.chunk_recovery_plan(&oob),
+            Err(LayoutError::DiskOutOfRange { disk: 99, .. })
+        ));
+        assert_eq!(
+            a.chunk_recovery_plan(&BTreeSet::new())
+                .unwrap()
+                .total_writes(),
+            0
+        );
     }
 
     #[test]

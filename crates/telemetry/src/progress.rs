@@ -47,6 +47,15 @@ impl Progress {
         *self.started.lock().expect("progress clock") = Some(Instant::now());
     }
 
+    /// Grows the job by `n` chunks without resetting counters — used when
+    /// a self-healing rebuild re-plans mid-run (escalation after a second
+    /// disk failure, latent-sector repairs) and discovers more work. The
+    /// fraction may dip when the denominator grows; that is the truthful
+    /// reading of an escalation.
+    pub fn add_total_chunks(&self, n: u64) {
+        self.total_chunks.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Records bytes read from surviving devices.
     pub fn add_bytes_read(&self, n: u64) {
         self.bytes_read.fetch_add(n, Ordering::Relaxed);

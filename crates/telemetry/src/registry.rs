@@ -235,6 +235,38 @@ impl Registry {
         inner.metrics.insert(key, Metric::Histogram(hist));
     }
 
+    /// Attaches an existing live counter handle (replacing any counter
+    /// already registered under the same name and labels), so exports see
+    /// its current value without copying — the counter analogue of
+    /// [`Registry::register_histogram`]. A [`Counter`] created with
+    /// `Counter::default()` works standalone and can be attached later.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid names or if `name` is registered with a
+    /// non-counter type.
+    pub fn register_counter(&self, name: &str, help: &str, labels: &[(&str, &str)], c: Counter) {
+        assert!(valid_name(name), "invalid metric name: {name:?}");
+        assert!(
+            labels.iter().all(|(k, _)| valid_name(k) && *k != "le"),
+            "invalid label name in {labels:?}"
+        );
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner
+            .help
+            .entry(name.to_string())
+            .or_insert_with(|| help.to_string());
+        let key = make_key(name, labels);
+        if let Some(existing) = inner.metrics.get(&key) {
+            assert!(
+                matches!(existing, Metric::Counter(_)),
+                "{name} already registered as {}",
+                existing.kind()
+            );
+        }
+        inner.metrics.insert(key, Metric::Counter(c));
+    }
+
     /// Number of registered series.
     pub fn len(&self) -> usize {
         self.inner.lock().expect("registry lock").metrics.len()
@@ -282,6 +314,17 @@ mod tests {
         h.record(42);
         let again = reg.histogram("lat_ns", "latency", &[("disk", "0")]);
         assert_eq!(again.count(), 1, "registry returns the attached one");
+    }
+
+    #[test]
+    fn attached_counter_is_shared() {
+        let reg = Registry::new();
+        let c = Counter::default();
+        c.inc_by(7); // standalone before attaching
+        reg.register_counter("heals_total", "repairs", &[("kind", "latent")], c.clone());
+        c.inc();
+        let again = reg.counter("heals_total", "repairs", &[("kind", "latent")]);
+        assert_eq!(again.get(), 8, "registry returns the attached handle");
     }
 
     #[test]
