@@ -26,20 +26,20 @@ fn bench_simulated_rebuild(c: &mut Criterion) {
 fn bench_store_reconstruction(c: &mut Criterion) {
     let mut group = c.benchmark_group("store");
     group.sample_size(10);
-    let mut store = OiRaidStore::new(OiRaidConfig::reference(), 4096).unwrap();
+    let store = OiRaidStore::new(OiRaidConfig::reference(), 4096).unwrap();
     for idx in 0..store.data_chunks() {
         store.write_data(idx, &vec![idx as u8; 4096]).unwrap();
     }
     group.bench_function("rebuild_one_disk_4k_chunks", |b| {
         b.iter(|| {
-            let mut s = store.clone();
+            let s = store.clone();
             s.fail_disk(4).unwrap();
             s.rebuild_disk(4).unwrap();
             s
         })
     });
     group.bench_function("write_update_path", |b| {
-        let mut s = store.clone();
+        let s = store.clone();
         let buf = vec![0xAAu8; 4096];
         b.iter(|| s.write_data(black_box(17), black_box(&buf)))
     });

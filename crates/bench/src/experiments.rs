@@ -219,7 +219,11 @@ pub fn e4_update_complexity() -> Vec<(String, Table)> {
     let array = OiRaid::new(OiRaidConfig::reference()).unwrap();
     // Measure by actually counting the update set over every data chunk.
     let counts: Vec<usize> = (0..array.data_chunks())
-        .map(|i| array.update_set(array.locate_data(i)).len())
+        .map(|i| {
+            array
+                .update_set(array.locate_data(i))
+                .map_or(0, |s| s.len())
+        })
         .collect();
     assert!(counts.iter().all(|&c| c == 4));
     table.row(&["OI-RAID (measured over all chunks)", "3", "4", "yes"]);
@@ -597,7 +601,7 @@ pub fn e12_dual_parity() -> Vec<(String, Table)> {
                 .unwrap(),
             t,
         );
-        let writes = a.update_set(a.locate_data(0)).len();
+        let writes = a.update_set(a.locate_data(0)).map_or(0, |s| s.len());
         let mut cells = vec![
             name.to_string(),
             a.fault_tolerance().to_string(),
@@ -648,8 +652,7 @@ pub fn e13_parallel_rebuild() -> Vec<(String, Table)> {
                 )
             })
             .collect();
-        let mut store =
-            OiRaidStore::with_devices(cfg.clone(), CHUNK, devices).expect("valid devices");
+        let store = OiRaidStore::with_devices(cfg.clone(), CHUNK, devices).expect("valid devices");
         for idx in 0..store.data_chunks() {
             let chunk: Vec<u8> = (0..CHUNK).map(|j| (idx * 131 + j * 17 + 3) as u8).collect();
             store.write_data(idx, &chunk).expect("healthy write");
@@ -658,8 +661,8 @@ pub fn e13_parallel_rebuild() -> Vec<(String, Table)> {
     };
     // A rebuilt store is bit-identical to its pre-failure self, so the same
     // two stores serve every failure pattern in sequence.
-    let mut serial = make_store();
-    let mut parallel = make_store();
+    let serial = make_store();
+    let parallel = make_store();
     let mut timing = Table::new(&[
         "failed disks",
         "chunks",
@@ -815,7 +818,7 @@ pub fn e14_kernel_throughput() -> Vec<(String, Table)> {
         .devices()[0]
         .chunks();
     let devices: Vec<_> = (0..21).map(|_| MemDevice::new(CHUNK, chunks)).collect();
-    let mut store = OiRaidStore::with_devices(cfg, CHUNK, devices).expect("valid devices");
+    let store = OiRaidStore::with_devices(cfg, CHUNK, devices).expect("valid devices");
     for idx in 0..store.data_chunks() {
         let chunk: Vec<u8> = (0..CHUNK).map(|j| (idx * 131 + j * 17 + 3) as u8).collect();
         store.write_data(idx, &chunk).expect("healthy write");
@@ -981,12 +984,12 @@ pub fn e15_telemetry_overhead() -> Vec<(String, Table)> {
     const CHUNK: usize = 64 << 10;
     const RUNS: usize = 5;
     let cfg = OiRaidConfig::reference();
-    let mut store = OiRaidStore::new(cfg, CHUNK).expect("reference store");
+    let store = OiRaidStore::new(cfg, CHUNK).expect("reference store");
     for idx in 0..store.data_chunks() {
         let chunk: Vec<u8> = (0..CHUNK).map(|j| (idx * 131 + j * 17 + 3) as u8).collect();
         store.write_data(idx, &chunk).expect("healthy write");
     }
-    let mut median_wall_ms = |observed: bool| -> f64 {
+    let median_wall_ms = |observed: bool| -> f64 {
         let mut walls: Vec<f64> = (0..RUNS)
             .map(|_| {
                 store.fail_disk(4).expect("valid disk");
@@ -1059,8 +1062,7 @@ pub fn e16_self_healing() -> Vec<(String, Table)> {
                 )
             })
             .collect();
-        let mut store =
-            OiRaidStore::with_devices(cfg.clone(), CHUNK, devices).expect("valid devices");
+        let store = OiRaidStore::with_devices(cfg.clone(), CHUNK, devices).expect("valid devices");
         for idx in 0..store.data_chunks() {
             let chunk: Vec<u8> = (0..CHUNK).map(|j| (idx * 131 + j * 17 + 3) as u8).collect();
             store.write_data(idx, &chunk).expect("healthy write");
@@ -1099,7 +1101,7 @@ pub fn e16_self_healing() -> Vec<(String, Table)> {
         let mut last = None;
         let mut identical = true;
         for run in 0..RUNS {
-            let mut store = make_store();
+            let store = make_store();
             let pristine: Vec<Vec<u8>> = (0..21).map(|d| image(&store, d)).collect();
             for (d, dev) in store.devices().iter().enumerate() {
                 if d == 4 {
@@ -1161,7 +1163,7 @@ pub fn e16_self_healing() -> Vec<(String, Table)> {
         "second pass clean",
     ]);
     for latent in [10u16, 25, 50] {
-        let mut store = make_store();
+        let store = make_store();
         for (d, dev) in store.devices().iter().enumerate() {
             dev.set_config(FaultConfig {
                 seed: 0x5C2B ^ (d as u64).wrapping_mul(0x9E37_79B9),
@@ -1195,7 +1197,158 @@ pub fn e16_self_healing() -> Vec<(String, Table)> {
     ]
 }
 
-/// Runs one experiment by id (`e1`..`e16`, `a1`, `a2`), or `all`.
+/// E17 — online I/O during rebuild (claims C2/C5): foreground read latency
+/// and rebuild-time inflation at several `QosConfig` throttle settings.
+///
+/// Devices carry a per-read service latency behind a spindle mutex, so
+/// rebuild reads and foreground reads genuinely contend. Per setting, a
+/// rebuild storm (fail disk 4 → rebuild, repeatedly) runs on one thread
+/// while the main thread issues foreground reads of chunks on the other
+/// 20 disks; the store's foreground histogram yields p50/p99. The
+/// foreground workload avoids the failed disk on purpose: degraded-read
+/// amplification is measured by E8, this experiment isolates scheduler
+/// interference.
+pub fn e17_online_qos() -> Vec<(String, Table)> {
+    use blockdev::{BlockDevice, FaultConfig, FaultInjectingDevice, MemDevice};
+    use oi_raid::{OiRaidStore, QosConfig, RebuildMode, RebuildOutcome};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::{Duration, Instant};
+
+    telemetry::set_enabled(true);
+    const CHUNK: usize = 4096;
+    /// Each setting's rebuild storm runs at least this long, so every row's
+    /// foreground percentiles rest on comparable sample counts.
+    const STORM: Duration = Duration::from_millis(250);
+    let read_latency = Duration::from_micros(300);
+    let cfg = OiRaidConfig::reference();
+    let chunks = {
+        let probe = OiRaidStore::new(cfg.clone(), CHUNK).expect("reference store");
+        probe.devices()[0].chunks()
+    };
+    let make_store = || {
+        let devices: Vec<_> = (0..21)
+            .map(|_| {
+                FaultInjectingDevice::new(
+                    MemDevice::new(CHUNK, chunks),
+                    FaultConfig::latency(read_latency, Duration::ZERO),
+                )
+            })
+            .collect();
+        let store = OiRaidStore::with_devices(cfg.clone(), CHUNK, devices).expect("valid devices");
+        for idx in 0..store.data_chunks() {
+            let chunk: Vec<u8> = (0..CHUNK).map(|j| (idx * 131 + j * 17 + 3) as u8).collect();
+            store.write_data(idx, &chunk).expect("healthy write");
+        }
+        store
+    };
+    // Foreground working set: data chunks that do not live on disk 4.
+    let fg_set = |store: &OiRaidStore<FaultInjectingDevice<MemDevice>>| -> Vec<usize> {
+        (0..store.data_chunks())
+            .filter(|&i| store.locate(i).disk != 4)
+            .collect()
+    };
+
+    // Healthy baseline: the same foreground loop with no rebuild running.
+    let (healthy_p50, healthy_p99) = {
+        let store = make_store();
+        let set = fg_set(&store);
+        for i in 0..1500usize {
+            store.read_data(set[i % set.len()]).expect("healthy read");
+        }
+        let snap = store.telemetry().foreground_read_latency().snapshot();
+        (snap.p50(), snap.p99())
+    };
+
+    let mut table = Table::new(&[
+        "throttle (chunks/s)",
+        "rebuilds",
+        "wall/rebuild (ms)",
+        "inflation (x)",
+        "waits/rebuild",
+        "fg reads",
+        "fg p50 (us)",
+        "fg p99 (us)",
+        "p99 vs healthy (x)",
+    ]);
+    let mut base_wall = None;
+    for setting in [None, Some(3000.0), Some(1000.0), Some(300.0)] {
+        let store = make_store();
+        match setting {
+            None => store.set_qos(QosConfig::unlimited()),
+            Some(rate) => {
+                let mut q = QosConfig::throttled(rate);
+                q.burst_chunks = 4;
+                store.set_qos(q);
+            }
+        }
+        let set = fg_set(&store);
+        let done = AtomicBool::new(false);
+        let (cycles, wall, waits) = std::thread::scope(|s| {
+            let storm = s.spawn(|| {
+                let began = Instant::now();
+                let (mut cycles, mut wall, mut waits) = (0u32, Duration::ZERO, 0u64);
+                while began.elapsed() < STORM || cycles == 0 {
+                    store.fail_disk(4).expect("valid disk");
+                    let r = store
+                        .rebuild(RebuildMode::Parallel, RecoveryStrategy::Hybrid)
+                        .expect("rebuild");
+                    assert_eq!(r.outcome, RebuildOutcome::Complete);
+                    cycles += 1;
+                    wall += r.wall;
+                    waits += r.throttle_waits;
+                }
+                done.store(true, Ordering::Relaxed);
+                (cycles, wall, waits)
+            });
+            let mut i = 0usize;
+            while !done.load(Ordering::Relaxed) && i < 2_000_000 {
+                store.read_data(set[i % set.len()]).expect("online read");
+                i += 1;
+            }
+            storm.join().expect("rebuild storm")
+        });
+        let snap = store.telemetry().foreground_read_latency().snapshot();
+        let per_cycle_ms = wall.as_secs_f64() * 1e3 / f64::from(cycles);
+        let inflation = match base_wall {
+            None => {
+                base_wall = Some(per_cycle_ms);
+                1.0
+            }
+            Some(base) => per_cycle_ms / base,
+        };
+        table.row_owned(vec![
+            setting.map_or("unlimited".into(), |r| format!("{r:.0}")),
+            cycles.to_string(),
+            f3(per_cycle_ms),
+            f3(inflation),
+            f3(waits as f64 / f64::from(cycles)),
+            snap.count.to_string(),
+            f3(snap.p50() as f64 / 1e3),
+            f3(snap.p99() as f64 / 1e3),
+            f3(snap.p99() as f64 / healthy_p99 as f64),
+        ]);
+    }
+    table.row_owned(vec![
+        "healthy (no rebuild)".into(),
+        "0".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "1500".into(),
+        f3(healthy_p50 as f64 / 1e3),
+        f3(healthy_p99 as f64 / 1e3),
+        "1.000".into(),
+    ]);
+
+    vec![(
+        "E17: foreground read latency vs rebuild throttle (300us/read spindles, \
+         rebuild storm on disk 4)"
+            .into(),
+        table,
+    )]
+}
+
+/// Runs one experiment by id (`e1`..`e17`, `a1`, `a2`), or `all`.
 /// Returns the rendered tables; unknown ids return `None`.
 pub fn run(id: &str) -> Option<Vec<(String, Table)>> {
     match id {
@@ -1215,12 +1368,13 @@ pub fn run(id: &str) -> Option<Vec<(String, Table)>> {
         "e14" => Some(e14_kernel_throughput()),
         "e15" => Some(e15_telemetry_overhead()),
         "e16" => Some(e16_self_healing()),
+        "e17" => Some(e17_online_qos()),
         "a2" => Some(a2_strategy_ablation()),
         "all" => {
             let mut out = Vec::new();
             for id in [
                 "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-                "e14", "e15", "e16", "a2",
+                "e14", "e15", "e16", "e17", "a2",
             ] {
                 out.extend(run(id).expect("known id"));
             }

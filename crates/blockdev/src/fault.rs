@@ -72,10 +72,17 @@ fn splitmix(mut x: u64) -> u64 {
 /// [`BlockDevice::read_chunks`] loop: coalesced runs still pay latency and
 /// roll the fault dice once per chunk, so injection semantics do not change
 /// when the rebuild engine batches reads.
+///
+/// When latency injection is configured, the sleep is served under a
+/// per-device lock: the device models a single spindle that serves one
+/// operation at a time, so concurrent callers (foreground I/O during a
+/// rebuild) queue behind each other exactly as they would on real media.
 #[derive(Debug)]
 pub struct FaultInjectingDevice<B> {
     inner: B,
     cfg: Mutex<FaultConfig>,
+    /// Serializes the injected service time (one op in flight per device).
+    spindle: Mutex<()>,
     /// Read-op sequence number for the transient-read dice.
     ops: AtomicU64,
     /// Write-op sequence number for the transient-write dice.
@@ -98,6 +105,7 @@ impl<B: BlockDevice> FaultInjectingDevice<B> {
         Self {
             inner,
             cfg: Mutex::new(cfg),
+            spindle: Mutex::new(()),
             ops: AtomicU64::new(0),
             write_ops: AtomicU64::new(0),
             reads_seen: AtomicU64::new(0),
@@ -113,6 +121,7 @@ impl<B: BlockDevice> FaultInjectingDevice<B> {
         if d.is_zero() {
             return;
         }
+        let _spindle = self.spindle.lock().expect("spindle lock");
         std::thread::sleep(d);
         self.injected_latency_ns
             .fetch_add(d.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
@@ -234,7 +243,7 @@ impl<B: BlockDevice> BlockDevice for FaultInjectingDevice<B> {
         result
     }
 
-    fn write_chunk(&mut self, chunk: usize, data: &[u8]) -> Result<(), DeviceError> {
+    fn write_chunk(&self, chunk: usize, data: &[u8]) -> Result<(), DeviceError> {
         let began = Instant::now();
         let cfg = self.config();
         if self.died.load(Ordering::Relaxed) {
@@ -257,11 +266,11 @@ impl<B: BlockDevice> BlockDevice for FaultInjectingDevice<B> {
         Ok(())
     }
 
-    fn fail(&mut self) {
+    fn fail(&self) {
         self.inner.fail();
     }
 
-    fn heal(&mut self) -> Result<(), DeviceError> {
+    fn heal(&self) -> Result<(), DeviceError> {
         self.inner.heal()?;
         // A mid-rebuild death is one-shot: bringing the device back
         // disarms the trigger so the healed replacement doesn't die at
@@ -302,7 +311,7 @@ mod tests {
     #[test]
     fn latency_only_is_transparent() {
         let cfg = FaultConfig::latency(Duration::from_micros(1), Duration::from_micros(1));
-        let mut d = FaultInjectingDevice::new(MemDevice::new(8, 4), cfg);
+        let d = FaultInjectingDevice::new(MemDevice::new(8, 4), cfg);
         d.write_chunk(0, &[5u8; 8]).unwrap();
         let mut buf = [0u8; 8];
         d.read_chunk(0, &mut buf).unwrap();
@@ -314,7 +323,7 @@ mod tests {
     fn injected_latency_is_counted_and_histogrammed() {
         telemetry::set_enabled(true);
         let cfg = FaultConfig::latency(Duration::from_micros(200), Duration::from_micros(100));
-        let mut d = FaultInjectingDevice::new(MemDevice::new(8, 4), cfg);
+        let d = FaultInjectingDevice::new(MemDevice::new(8, 4), cfg);
         let mut buf = [0u8; 8];
         d.write_chunk(0, &[5u8; 8]).unwrap();
         d.read_chunk(0, &mut buf).unwrap();
@@ -376,7 +385,6 @@ mod tests {
         let bad2: Vec<usize> = (0..chunks).filter(|&c| d2.is_latent_bad(c)).collect();
         assert_eq!(bad, bad2);
         // Reads fault until a write remaps the sector.
-        let mut d = d;
         let mut buf = [0u8; 8];
         let victim = bad[0];
         assert_eq!(
@@ -414,7 +422,7 @@ mod tests {
             transient_write_per_mille: 200,
             ..FaultConfig::default()
         };
-        let mut d = FaultInjectingDevice::new(MemDevice::new(8, 4), cfg);
+        let d = FaultInjectingDevice::new(MemDevice::new(8, 4), cfg);
         let mut faults = 0;
         for i in 0..1000 {
             match d.write_chunk(i % 4, &[i as u8; 8]) {
@@ -440,7 +448,7 @@ mod tests {
             fail_after_reads: 3,
             ..FaultConfig::default()
         };
-        let mut d = FaultInjectingDevice::new(MemDevice::new(8, 4), cfg);
+        let d = FaultInjectingDevice::new(MemDevice::new(8, 4), cfg);
         let mut buf = [0u8; 8];
         for _ in 0..3 {
             d.read_chunk(0, &mut buf).unwrap();
@@ -519,7 +527,7 @@ mod tests {
 
     #[test]
     fn passthrough_state_management() {
-        let mut d = FaultInjectingDevice::new(MemDevice::new(8, 4), FaultConfig::default());
+        let d = FaultInjectingDevice::new(MemDevice::new(8, 4), FaultConfig::default());
         assert_eq!(d.chunk_size(), 8);
         assert_eq!(d.chunks(), 4);
         d.fail();

@@ -3,6 +3,7 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -21,7 +22,7 @@ pub struct FileDevice {
     path: PathBuf,
     chunk_size: usize,
     chunks: usize,
-    failed: bool,
+    failed: AtomicBool,
     file: Mutex<File>,
     counters: Counters,
 }
@@ -67,7 +68,7 @@ impl FileDevice {
             path,
             chunk_size,
             chunks,
-            failed: false,
+            failed: AtomicBool::new(false),
             file: Mutex::new(file),
             counters: Counters::default(),
         })
@@ -89,12 +90,12 @@ impl BlockDevice for FileDevice {
     }
 
     fn is_failed(&self) -> bool {
-        self.failed
+        self.failed.load(Ordering::Relaxed)
     }
 
     fn read_chunk(&self, chunk: usize, buf: &mut [u8]) -> Result<(), DeviceError> {
         check_io(chunk, self.chunks, buf.len(), self.chunk_size)?;
-        if self.failed {
+        if self.is_failed() {
             return Err(DeviceError::Failed);
         }
         let began = Instant::now();
@@ -110,7 +111,7 @@ impl BlockDevice for FileDevice {
     /// One seek + one `read_exact` for the whole run: a single I/O op.
     fn read_chunks(&self, first: usize, count: usize, buf: &mut [u8]) -> Result<(), DeviceError> {
         check_io_run(first, count, self.chunks, buf.len(), self.chunk_size)?;
-        if self.failed {
+        if self.is_failed() {
             return Err(DeviceError::Failed);
         }
         let began = Instant::now();
@@ -122,9 +123,9 @@ impl BlockDevice for FileDevice {
         Ok(())
     }
 
-    fn write_chunk(&mut self, chunk: usize, data: &[u8]) -> Result<(), DeviceError> {
+    fn write_chunk(&self, chunk: usize, data: &[u8]) -> Result<(), DeviceError> {
         check_io(chunk, self.chunks, data.len(), self.chunk_size)?;
-        if self.failed {
+        if self.is_failed() {
             return Err(DeviceError::Failed);
         }
         let began = Instant::now();
@@ -137,12 +138,12 @@ impl BlockDevice for FileDevice {
         Ok(())
     }
 
-    fn fail(&mut self) {
-        self.failed = true;
+    fn fail(&self) {
+        self.failed.store(true, Ordering::Relaxed);
     }
 
-    fn heal(&mut self) -> Result<(), DeviceError> {
-        if !self.failed {
+    fn heal(&self) -> Result<(), DeviceError> {
+        if !self.is_failed() {
             return Ok(());
         }
         // Re-zero by truncating then extending (sparse on most filesystems).
@@ -151,7 +152,7 @@ impl BlockDevice for FileDevice {
         file.set_len((self.chunk_size * self.chunks) as u64)
             .map_err(io_err)?;
         drop(file);
-        self.failed = false;
+        self.failed.store(false, Ordering::Relaxed);
         Ok(())
     }
 
@@ -185,7 +186,7 @@ mod tests {
     #[test]
     fn roundtrip_on_disk() {
         let path = temp_path("roundtrip");
-        let mut d = FileDevice::create(&path, 16, 8).unwrap();
+        let d = FileDevice::create(&path, 16, 8).unwrap();
         d.write_chunk(5, &[0xAB; 16]).unwrap();
         let mut buf = [0u8; 16];
         d.read_chunk(5, &mut buf).unwrap();
@@ -199,7 +200,7 @@ mod tests {
     #[test]
     fn fail_blocks_io_heal_zeroes() {
         let path = temp_path("fail");
-        let mut d = FileDevice::create(&path, 8, 4).unwrap();
+        let d = FileDevice::create(&path, 8, 4).unwrap();
         d.write_chunk(1, &[9u8; 8]).unwrap();
         d.fail();
         let mut buf = [0u8; 8];
@@ -213,7 +214,7 @@ mod tests {
     #[test]
     fn read_chunks_is_one_op_on_disk() {
         let path = temp_path("runs");
-        let mut d = FileDevice::create(&path, 16, 8).unwrap();
+        let d = FileDevice::create(&path, 16, 8).unwrap();
         d.write_chunk(3, &[0x11; 16]).unwrap();
         d.write_chunk(4, &[0x22; 16]).unwrap();
         d.reset_counters();

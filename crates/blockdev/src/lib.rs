@@ -16,8 +16,10 @@
 //!   configurable per-I/O latency, for robustness tests and for modelling
 //!   disk speed in rebuild experiments.
 //!
-//! All reads take `&self` (counters use atomics) so a rebuild engine can
-//! drain many devices from parallel worker threads; writes take `&mut self`.
+//! All I/O — reads *and* writes, plus fail/heal — takes `&self`: counters
+//! use atomics and contents sit behind interior locks, so a rebuild engine
+//! can drain many devices from parallel worker threads while foreground
+//! writes land on the same devices concurrently.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -150,10 +152,11 @@ impl std::error::Error for DeviceError {}
 
 /// A chunk-granular block device with explicit failure state.
 ///
-/// `read_chunk` takes `&self` so parallel readers can drain independent
-/// devices inside [`std::thread::scope`]; implementations keep their
-/// counters in atomics. All chunks have the same size, fixed at
-/// construction.
+/// Every operation takes `&self` so parallel readers can drain independent
+/// devices inside [`std::thread::scope`] while writers (foreground I/O,
+/// rebuild writeback) touch the same devices; implementations keep their
+/// counters in atomics and their contents behind interior locks. All
+/// chunks have the same size, fixed at construction.
 pub trait BlockDevice: Send + Sync {
     /// Bytes per chunk.
     fn chunk_size(&self) -> usize;
@@ -191,14 +194,14 @@ pub trait BlockDevice: Send + Sync {
     }
 
     /// Writes `data` (exactly one chunk) to chunk `chunk`.
-    fn write_chunk(&mut self, chunk: usize, data: &[u8]) -> Result<(), DeviceError>;
+    fn write_chunk(&self, chunk: usize, data: &[u8]) -> Result<(), DeviceError>;
 
     /// Marks the device failed and discards its contents.
-    fn fail(&mut self);
+    fn fail(&self);
 
     /// Brings a failed device back online, zero-filled (a healed device has
     /// lost its pre-failure contents — the RAID layer rebuilds them).
-    fn heal(&mut self) -> Result<(), DeviceError>;
+    fn heal(&self) -> Result<(), DeviceError>;
 
     /// A snapshot of the device's I/O counters.
     fn counters(&self) -> CounterSnapshot;

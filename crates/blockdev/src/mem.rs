@@ -1,5 +1,6 @@
 //! RAM-backed device: the original store behavior, now behind the trait.
 
+use std::sync::RwLock;
 use std::time::Instant;
 
 use crate::{
@@ -7,13 +8,14 @@ use crate::{
 };
 
 /// An in-memory block device. Failing it drops the backing allocation;
-/// healing reallocates zero-filled.
+/// healing reallocates zero-filled. Contents sit behind an `RwLock`, so
+/// concurrent readers proceed in parallel and writers take `&self`.
 #[derive(Debug)]
 pub struct MemDevice {
     chunk_size: usize,
     chunks: usize,
     /// `None` while failed.
-    data: Option<Vec<u8>>,
+    data: RwLock<Option<Vec<u8>>>,
     counters: Counters,
 }
 
@@ -29,7 +31,7 @@ impl MemDevice {
         Self {
             chunk_size,
             chunks,
-            data: Some(vec![0u8; chunk_size * chunks]),
+            data: RwLock::new(Some(vec![0u8; chunk_size * chunks])),
             counters: Counters::default(),
         }
     }
@@ -46,7 +48,7 @@ impl Clone for MemDevice {
         Self {
             chunk_size: self.chunk_size,
             chunks: self.chunks,
-            data: self.data.clone(),
+            data: RwLock::new(self.data.read().expect("mem lock").clone()),
             counters: Counters::default(),
         }
     }
@@ -62,13 +64,14 @@ impl BlockDevice for MemDevice {
     }
 
     fn is_failed(&self) -> bool {
-        self.data.is_none()
+        self.data.read().expect("mem lock").is_none()
     }
 
     fn read_chunk(&self, chunk: usize, buf: &mut [u8]) -> Result<(), DeviceError> {
         check_io(chunk, self.chunks, buf.len(), self.chunk_size)?;
         let began = Instant::now();
-        let data = self.data.as_ref().ok_or(DeviceError::Failed)?;
+        let guard = self.data.read().expect("mem lock");
+        let data = guard.as_ref().ok_or(DeviceError::Failed)?;
         let start = chunk * self.chunk_size;
         buf.copy_from_slice(&data[start..start + self.chunk_size]);
         self.counters
@@ -80,7 +83,8 @@ impl BlockDevice for MemDevice {
     fn read_chunks(&self, first: usize, count: usize, buf: &mut [u8]) -> Result<(), DeviceError> {
         check_io_run(first, count, self.chunks, buf.len(), self.chunk_size)?;
         let began = Instant::now();
-        let data = self.data.as_ref().ok_or(DeviceError::Failed)?;
+        let guard = self.data.read().expect("mem lock");
+        let data = guard.as_ref().ok_or(DeviceError::Failed)?;
         let start = first * self.chunk_size;
         buf.copy_from_slice(&data[start..start + count * self.chunk_size]);
         self.counters
@@ -88,10 +92,11 @@ impl BlockDevice for MemDevice {
         Ok(())
     }
 
-    fn write_chunk(&mut self, chunk: usize, data: &[u8]) -> Result<(), DeviceError> {
+    fn write_chunk(&self, chunk: usize, data: &[u8]) -> Result<(), DeviceError> {
         check_io(chunk, self.chunks, data.len(), self.chunk_size)?;
         let began = Instant::now();
-        let store = self.data.as_mut().ok_or(DeviceError::Failed)?;
+        let mut guard = self.data.write().expect("mem lock");
+        let store = guard.as_mut().ok_or(DeviceError::Failed)?;
         let start = chunk * self.chunk_size;
         store[start..start + self.chunk_size].copy_from_slice(data);
         self.counters
@@ -99,13 +104,14 @@ impl BlockDevice for MemDevice {
         Ok(())
     }
 
-    fn fail(&mut self) {
-        self.data = None;
+    fn fail(&self) {
+        *self.data.write().expect("mem lock") = None;
     }
 
-    fn heal(&mut self) -> Result<(), DeviceError> {
-        if self.data.is_none() {
-            self.data = Some(vec![0u8; self.chunk_size * self.chunks]);
+    fn heal(&self) -> Result<(), DeviceError> {
+        let mut guard = self.data.write().expect("mem lock");
+        if guard.is_none() {
+            *guard = Some(vec![0u8; self.chunk_size * self.chunks]);
         }
         Ok(())
     }
@@ -129,7 +135,7 @@ mod tests {
 
     #[test]
     fn roundtrip_and_counters() {
-        let mut d = MemDevice::new(8, 4);
+        let d = MemDevice::new(8, 4);
         d.write_chunk(2, &[7u8; 8]).unwrap();
         let mut buf = [0u8; 8];
         d.read_chunk(2, &mut buf).unwrap();
@@ -141,7 +147,7 @@ mod tests {
 
     #[test]
     fn fail_discards_heal_zeroes() {
-        let mut d = MemDevice::new(4, 2);
+        let d = MemDevice::new(4, 2);
         d.write_chunk(0, &[1, 2, 3, 4]).unwrap();
         d.fail();
         assert!(d.is_failed());
@@ -155,7 +161,7 @@ mod tests {
 
     #[test]
     fn read_chunks_is_one_op() {
-        let mut d = MemDevice::new(4, 8);
+        let d = MemDevice::new(4, 8);
         d.write_chunk(2, &[1u8; 4]).unwrap();
         d.write_chunk(3, &[2u8; 4]).unwrap();
         d.write_chunk(4, &[3u8; 4]).unwrap();
@@ -188,7 +194,7 @@ mod tests {
 
     #[test]
     fn bounds_and_sizes_checked() {
-        let mut d = MemDevice::new(4, 2);
+        let d = MemDevice::new(4, 2);
         let mut buf = [0u8; 4];
         assert!(matches!(
             d.read_chunk(2, &mut buf),

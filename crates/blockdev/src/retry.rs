@@ -67,13 +67,20 @@ impl RetryPolicy {
     }
 
     /// The sleep before retry number `retry` (1-based).
+    ///
+    /// Saturates: once the doubling series overflows the shift width, the
+    /// factor clamps to `u32::MAX` (and the product to `max_backoff`), so
+    /// arbitrarily high retry counts always sleep the cap — never zero.
     pub fn backoff(&self, retry: u32) -> Duration {
         if self.base_backoff.is_zero() {
             return Duration::ZERO;
         }
-        let factor = 1u32
-            .checked_shl(retry.saturating_sub(1))
-            .unwrap_or(u32::MAX);
+        let shift = retry.saturating_sub(1);
+        let factor = if shift >= u32::BITS {
+            u32::MAX
+        } else {
+            1u32 << shift
+        };
         self.base_backoff
             .saturating_mul(factor)
             .min(self.max_backoff)
@@ -246,11 +253,8 @@ impl<'d, B: BlockDevice + ?Sized> RetryReader<'d, B> {
 }
 
 /// [`BlockDevice::write_chunk`] with bounded retry of transient faults.
-///
-/// Free function because writes need `&mut B`, which the shared
-/// [`RetryReader`] deliberately cannot hold.
 pub fn write_chunk_retrying<B: BlockDevice + ?Sized>(
-    dev: &mut B,
+    dev: &B,
     policy: &RetryPolicy,
     stats: &RetryStats,
     chunk: usize,
@@ -280,6 +284,25 @@ mod tests {
     }
 
     #[test]
+    fn backoff_saturates_past_the_shift_width() {
+        // retry 33 onward shifts past u32::BITS; the factor must clamp to
+        // the cap, never wrap to a zero-delay sleep.
+        let p = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_millis(2),
+        };
+        for retry in [32, 33, 63, 64, 1000, u32::MAX] {
+            assert_eq!(
+                p.backoff(retry),
+                Duration::from_millis(2),
+                "retry {retry} must sleep the cap"
+            );
+            assert!(!p.backoff(retry).is_zero(), "retry {retry} slept zero");
+        }
+    }
+
+    #[test]
     fn transient_faults_are_retried_to_success() {
         // 1000‰ transient would never succeed; 500‰ with a healthy budget
         // converges. Use a rate guaranteed to both fault and recover.
@@ -288,7 +311,7 @@ mod tests {
             transient_read_per_mille: 500,
             ..FaultConfig::default()
         };
-        let mut d = FaultInjectingDevice::new(MemDevice::new(8, 4), cfg);
+        let d = FaultInjectingDevice::new(MemDevice::new(8, 4), cfg);
         d.set_config(FaultConfig::default());
         d.write_chunk(0, &[7u8; 8]).unwrap();
         d.set_config(cfg);
@@ -344,7 +367,7 @@ mod tests {
             latent_per_mille: 300,
             ..FaultConfig::default()
         };
-        let mut d = FaultInjectingDevice::new(MemDevice::new(8, 64), cfg);
+        let d = FaultInjectingDevice::new(MemDevice::new(8, 64), cfg);
         let bad = (1..63)
             .find(|&c| d.is_latent_bad(c) && !d.is_latent_bad(c - 1) && !d.is_latent_bad(c + 1))
             .expect("an isolated bad chunk");
@@ -371,11 +394,11 @@ mod tests {
             transient_write_per_mille: 500,
             ..FaultConfig::default()
         };
-        let mut d = FaultInjectingDevice::new(MemDevice::new(8, 4), cfg);
+        let d = FaultInjectingDevice::new(MemDevice::new(8, 4), cfg);
         let policy = RetryPolicy::immediate(64);
         let stats = RetryStats::default();
         for i in 0..50 {
-            write_chunk_retrying(&mut d, &policy, &stats, i % 4, &[i as u8; 8]).unwrap();
+            write_chunk_retrying(&d, &policy, &stats, i % 4, &[i as u8; 8]).unwrap();
         }
         assert!(stats.snapshot().retries > 0, "{:?}", stats.snapshot());
     }

@@ -68,6 +68,14 @@ pub enum LayoutError {
         /// The failure pattern that loses data.
         failed: Vec<usize>,
     },
+    /// An operation that requires a data chunk was handed a parity or
+    /// spare address.
+    NotDataChunk {
+        /// Disk index of the offending address.
+        disk: usize,
+        /// Chunk offset of the offending address.
+        offset: usize,
+    },
 }
 
 impl fmt::Display for LayoutError {
@@ -80,6 +88,9 @@ impl fmt::Display for LayoutError {
             Self::DuplicateFailure { disk } => write!(f, "disk {disk} listed twice"),
             Self::DataLoss { failed } => {
                 write!(f, "failure pattern {failed:?} is not survivable")
+            }
+            Self::NotDataChunk { disk, offset } => {
+                write!(f, "chunk d{disk}:{offset} does not hold data")
             }
         }
     }
@@ -206,5 +217,7 @@ mod tests {
     fn error_messages() {
         let e = LayoutError::DataLoss { failed: vec![1, 2] };
         assert!(e.to_string().contains("not survivable"));
+        let e = LayoutError::NotDataChunk { disk: 3, offset: 7 };
+        assert!(e.to_string().contains("d3:7"), "{e}");
     }
 }

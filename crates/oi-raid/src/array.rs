@@ -162,12 +162,20 @@ impl OiRaid {
     /// tolerant code (claim C6 / experiment E4; `p_in = 1` gives the
     /// paper's 4 writes).
     ///
+    /// # Errors
+    ///
+    /// [`LayoutError::NotDataChunk`] if `addr` holds parity rather than
+    /// user data.
+    ///
     /// # Panics
     ///
-    /// Panics if `addr` does not hold user data.
-    pub fn update_set(&self, addr: ChunkAddr) -> Vec<ChunkAddr> {
+    /// Panics if `addr` is outside the array geometry.
+    pub fn update_set(&self, addr: ChunkAddr) -> Result<Vec<ChunkAddr>, LayoutError> {
         let ChunkInfo::Data { block, stripe, .. } = self.chunk_info(addr) else {
-            panic!("update_set requires a data chunk, {addr} holds parity");
+            return Err(LayoutError::NotDataChunk {
+                disk: addr.disk,
+                offset: addr.offset,
+            });
         };
         let my_group = self.geo.group_of(addr.disk);
         let outer = self.geo.stripe_chunk(PayloadPos {
@@ -180,7 +188,7 @@ impl OiRaid {
         set.extend(self.geo.inner_parities_of_row(my_group, addr.offset));
         set.push(outer);
         set.extend(self.geo.inner_parities_of_row(outer_group, outer.offset));
-        set
+        Ok(set)
     }
 
     /// Builds a single-failure recovery plan with an explicit strategy
@@ -336,7 +344,7 @@ mod tests {
         let a = reference();
         for idx in 0..a.data_chunks() {
             let addr = a.locate_data(idx);
-            let set = a.update_set(addr);
+            let set = a.update_set(addr).unwrap();
             assert_eq!(set.len(), 4, "idx {idx}");
             assert_eq!(set[0], addr);
             let mut disks: Vec<usize> = set.iter().map(|c| c.disk).collect();
@@ -355,11 +363,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "requires a data chunk")]
-    fn update_set_rejects_parity() {
+    fn update_set_rejects_parity_with_an_error() {
         let a = reference();
         // Offset 0 on disk 0 is inner parity (member 0, 0 mod 3 == 0).
-        a.update_set(ChunkAddr::new(0, 0));
+        assert_eq!(
+            a.update_set(ChunkAddr::new(0, 0)),
+            Err(LayoutError::NotDataChunk { disk: 0, offset: 0 })
+        );
+        // Every parity chunk errors; every data chunk succeeds.
+        for d in 0..a.disks() {
+            for o in 0..a.chunks_per_disk() {
+                let addr = ChunkAddr::new(d, o);
+                let want_ok = a.chunk_role(addr) == Role::Data;
+                assert_eq!(a.update_set(addr).is_ok(), want_ok, "{addr}");
+            }
+        }
     }
 
     #[test]
@@ -373,7 +391,7 @@ mod tests {
         for idx in (0..a.data_chunks()).step_by(7) {
             let addr = a.locate_data(idx);
             assert_eq!(a.data_index(addr), Some(idx));
-            assert_eq!(a.update_set(addr).len(), 4);
+            assert_eq!(a.update_set(addr).unwrap().len(), 4);
         }
     }
 }

@@ -40,8 +40,11 @@
 //!   experiment harness (and cross-checked against the planners in tests).
 //! * [`OiRaidStore`] — a byte-level array over pluggable [`blockdev`]
 //!   backends that actually encodes, loses, and reconstructs real data
-//!   through both layers; [`RebuildMode`] / [`RebuildReport`] — the
-//!   plan-driven (optionally parallel) instrumented rebuild engine.
+//!   through both layers — and keeps serving (degraded) reads *and writes*
+//!   while disks are down or a rebuild is in flight; [`RebuildMode`] /
+//!   [`RebuildReport`] — the plan-driven (optionally parallel) instrumented
+//!   rebuild engine; [`QosConfig`] — the foreground/rebuild bandwidth
+//!   throttle (`OI_RAID_REBUILD_THROTTLE`).
 //!
 //! # Example
 //!
@@ -74,6 +77,8 @@ mod degraded_read;
 mod geometry;
 mod multifail;
 pub mod observe;
+mod online;
+mod qos;
 mod rebuild;
 mod recovery;
 mod store;
@@ -83,6 +88,7 @@ pub use config::{OiRaidConfig, SkewMode};
 pub use degraded::{reference_scenario, DegradedRun, DegradedScenario};
 pub use degraded_read::ReadPlan;
 pub use observe::{HealCounters, RebuildObserver, StageSummary, StageTimings};
+pub use qos::{QosConfig, QosCounters};
 pub use rebuild::{RebuildMode, RebuildOutcome, RebuildReport};
 pub use recovery::RecoveryStrategy;
 pub use store::{OiRaidStore, ScrubReport, StoreError, StoreTelemetry};

@@ -1,0 +1,218 @@
+//! Online-rebuild coordination: chunk availability during a rebuild and
+//! the dirty-region tracker that keeps foreground writes from being
+//! clobbered by stale reconstructed data.
+//!
+//! While a rebuild is in flight the target disks are physically healed
+//! (writable) but their contents are garbage until the rebuilder writes
+//! each chunk back. The [`RebuildWindow`] records which disks are in that
+//! state and which of their chunks have already been restored, so every
+//! read path can treat not-yet-rebuilt chunks as missing.
+//!
+//! Foreground writes that land while the window is open mark the parity
+//! *relations* they touch — an outer stripe or an inner row — dirty. A
+//! rebuild round reads source chunks without the update lock, so a
+//! concurrent write can hand it a torn view (new data, old parity, or any
+//! mix); reconstructions derived from a dirtied relation are discarded at
+//! writeback instead of overwriting the foreground data, and the next
+//! round recomputes them from the updated parity.
+
+use std::collections::{BTreeSet, HashSet};
+use std::sync::{Mutex, MutexGuard};
+
+use layout::ChunkAddr;
+
+/// One parity relation of the two-layer code, used as the granularity of
+/// dirty tracking: a foreground write invalidates reconstructions that
+/// read any chunk of a relation it modified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum Region {
+    /// An outer stripe: `(block, stripe)`.
+    Stripe(usize, usize),
+    /// An inner row: `(group, row)`.
+    Row(usize, usize),
+}
+
+/// Availability + dirty state for one in-flight rebuild.
+#[derive(Debug, Default)]
+pub(crate) struct RebuildWindow {
+    /// Disks whose devices are healed but whose contents are only valid
+    /// where `valid` says so.
+    pub disks: BTreeSet<usize>,
+    /// Chunks on `disks` that have been written back and are trustworthy.
+    pub valid: HashSet<ChunkAddr>,
+    /// Relations modified by foreground writes since the last round
+    /// started.
+    pub dirty: HashSet<Region>,
+}
+
+/// Per-store online-I/O state. Cloning a store starts with fresh state
+/// (no rebuild in flight), mirroring how telemetry clones.
+#[derive(Debug, Default)]
+pub(crate) struct OnlineState {
+    /// Serializes every parity read-modify-write cycle: foreground
+    /// writes, degraded reconstructions, and rebuild writebacks.
+    update_lock: Mutex<()>,
+    window: Mutex<Option<RebuildWindow>>,
+}
+
+impl Clone for OnlineState {
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+impl OnlineState {
+    /// Takes the update lock. Hold the guard across the whole
+    /// read-modify-write of a parity relation.
+    pub fn lock_updates(&self) -> MutexGuard<'_, ()> {
+        match self.update_lock.lock() {
+            Ok(g) => g,
+            // A panic while holding the lock (e.g. an assert in a test
+            // thread) must not wedge every subsequent I/O.
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn window(&self) -> MutexGuard<'_, Option<RebuildWindow>> {
+        match self.window.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Opens a rebuild window over `disks`: their chunks read as missing
+    /// until marked valid. Call *before* healing the devices.
+    pub fn begin(&self, disks: impl IntoIterator<Item = usize>) {
+        let mut w = self.window();
+        *w = Some(RebuildWindow {
+            disks: disks.into_iter().collect(),
+            ..RebuildWindow::default()
+        });
+    }
+
+    /// Closes the window (rebuild finished or aborted).
+    pub fn end(&self) {
+        *self.window() = None;
+    }
+
+    /// Whether a rebuild window is currently open.
+    #[cfg(test)]
+    pub fn active(&self) -> bool {
+        self.window().is_some()
+    }
+
+    /// Whether `addr` must be treated as missing even though its device
+    /// answers reads: it sits on a mid-rebuild disk and has not been
+    /// written back yet.
+    pub fn chunk_invalid(&self, addr: ChunkAddr) -> bool {
+        match self.window().as_ref() {
+            Some(w) => w.disks.contains(&addr.disk) && !w.valid.contains(&addr),
+            None => false,
+        }
+    }
+
+    /// Records that `addr` now holds trustworthy data.
+    pub fn mark_valid(&self, addr: ChunkAddr) {
+        if let Some(w) = self.window().as_mut() {
+            if w.disks.contains(&addr.disk) {
+                w.valid.insert(addr);
+            }
+        }
+    }
+
+    /// Adds a freshly failed disk to the window (mid-rebuild escalation):
+    /// everything on it is garbage again. Call *before* healing it.
+    pub fn escalate(&self, disk: usize) {
+        if let Some(w) = self.window().as_mut() {
+            w.disks.insert(disk);
+            w.valid.retain(|a| a.disk != disk);
+        }
+    }
+
+    /// Marks relations touched by a foreground write. A no-op without an
+    /// open window.
+    pub fn mark_dirty(&self, regions: impl IntoIterator<Item = Region>) {
+        if let Some(w) = self.window().as_mut() {
+            w.dirty.extend(regions);
+        }
+    }
+
+    /// Clears the dirty set (at the start of a rebuild round, under the
+    /// update lock, so the round's reads see a consistent epoch).
+    pub fn clear_dirty(&self) {
+        if let Some(w) = self.window().as_mut() {
+            w.dirty.clear();
+        }
+    }
+
+    /// Whether any of `regions` was dirtied since the round began.
+    pub fn any_dirty(&self, regions: &[Region]) -> bool {
+        match self.window().as_ref() {
+            Some(w) => !w.dirty.is_empty() && regions.iter().any(|r| w.dirty.contains(r)),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_lifecycle_gates_availability() {
+        let s = OnlineState::default();
+        let a = ChunkAddr::new(4, 2);
+        assert!(!s.chunk_invalid(a));
+        s.begin([4]);
+        assert!(s.active());
+        assert!(s.chunk_invalid(a));
+        assert!(!s.chunk_invalid(ChunkAddr::new(5, 2)));
+        s.mark_valid(a);
+        assert!(!s.chunk_invalid(a));
+        s.end();
+        assert!(!s.active());
+        assert!(!s.chunk_invalid(ChunkAddr::new(4, 7)));
+    }
+
+    #[test]
+    fn escalation_invalidates_the_new_disk() {
+        let s = OnlineState::default();
+        s.begin([1]);
+        s.mark_valid(ChunkAddr::new(1, 0));
+        s.escalate(2);
+        assert!(s.chunk_invalid(ChunkAddr::new(2, 0)));
+        assert!(
+            !s.chunk_invalid(ChunkAddr::new(1, 0)),
+            "disk 1 progress kept"
+        );
+        // Re-escalating the same disk wipes its progress.
+        s.escalate(1);
+        assert!(s.chunk_invalid(ChunkAddr::new(1, 0)));
+    }
+
+    #[test]
+    fn dirty_marks_only_inside_a_window() {
+        let s = OnlineState::default();
+        s.mark_dirty([Region::Row(0, 3)]);
+        s.begin([0]);
+        assert!(
+            !s.any_dirty(&[Region::Row(0, 3)]),
+            "pre-window marks dropped"
+        );
+        s.mark_dirty([Region::Row(0, 3), Region::Stripe(2, 5)]);
+        assert!(s.any_dirty(&[Region::Stripe(2, 5)]));
+        assert!(!s.any_dirty(&[Region::Stripe(2, 4)]));
+        s.clear_dirty();
+        assert!(!s.any_dirty(&[Region::Row(0, 3)]));
+    }
+
+    #[test]
+    fn marks_for_non_window_disks_are_ignored() {
+        let s = OnlineState::default();
+        s.begin([7]);
+        s.mark_valid(ChunkAddr::new(3, 0));
+        assert!(!s.chunk_invalid(ChunkAddr::new(3, 0)));
+        s.escalate(3);
+        assert!(s.chunk_invalid(ChunkAddr::new(3, 0)), "stale mark not kept");
+    }
+}

@@ -29,8 +29,20 @@
 //! each per-disk queue are coalesced into single [`BlockDevice::read_chunks`]
 //! calls. Both modes coalesce from the same [`RecoveryPlan::reads_by_disk`]
 //! queues, so their device read counters stay equal.
+//!
+//! While a rebuild is in flight the store stays **online**: the engine opens
+//! a rebuild window (see `crate::online`) before healing the target devices,
+//! so foreground reads treat not-yet-rebuilt chunks as missing and
+//! foreground writes land degraded, marking the parity relations they touch
+//! dirty. Each round clears the dirty set under the update lock; a
+//! reconstruction whose (transitive) inputs intersect a dirtied relation is
+//! discarded at writeback — the next round recomputes it from the updated
+//! parity, so stale reconstructions never clobber foreground writes.
+//! Rebuild read batches are paced by the store's
+//! [`QosConfig`](crate::QosConfig) token bucket whenever foreground traffic
+//! is active.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -49,6 +61,7 @@ use telemetry::{HistogramSnapshot, Span};
 
 use crate::geometry::Geometry;
 use crate::observe::{RebuildObserver, StageSummary};
+use crate::online::Region;
 use crate::recovery::single_failure_plan;
 use crate::store::{OiRaidStore, StoreError};
 use crate::RecoveryStrategy;
@@ -145,6 +158,11 @@ pub struct RebuildReport {
     /// Unreadable source sectors repaired by rewriting the re-derived
     /// value in place.
     pub latent_repairs: u64,
+    /// Rebuild read batches that slept for QoS tokens (foreground traffic
+    /// was active and a throttle rate was configured).
+    pub throttle_waits: u64,
+    /// Total time rebuild readers slept waiting for QoS tokens.
+    pub throttle_wait: Duration,
     /// Per-device I/O deltas over the run, indexed by disk.
     pub device_io: Vec<CounterSnapshot>,
     /// Injected faults observed across all devices during the run.
@@ -590,13 +608,19 @@ impl<B: BlockDevice> OiRaidStore<B> {
     /// run ends in [`RebuildOutcome::Aborted`] with the target disks
     /// re-failed.
     ///
+    /// The store stays **online** throughout: foreground reads and writes
+    /// keep working against not-yet-rebuilt chunks (served degraded), and
+    /// stripes written during the rebuild are never clobbered by stale
+    /// reconstructed data. Rebuild reads yield to foreground traffic per
+    /// the store's [`QosConfig`](crate::QosConfig).
+    ///
     /// # Errors
     ///
     /// [`StoreError::DataLoss`] when the *initial* failure pattern is
     /// unrecoverable (no state is changed); [`StoreError::Device`] if a
     /// failed disk cannot be brought back online for writing.
     pub fn rebuild(
-        &mut self,
+        &self,
         mode: RebuildMode,
         strategy: RecoveryStrategy,
     ) -> Result<RebuildReport, StoreError> {
@@ -615,7 +639,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
     ///
     /// As for [`OiRaidStore::rebuild`].
     pub fn rebuild_observed(
-        &mut self,
+        &self,
         mode: RebuildMode,
         strategy: RecoveryStrategy,
         obs: &RebuildObserver,
@@ -638,6 +662,8 @@ impl<B: BlockDevice> OiRaidStore<B> {
                 reroutes: 0,
                 escalations: 0,
                 latent_repairs: 0,
+                throttle_waits: 0,
+                throttle_wait: Duration::ZERO,
                 device_io: vec![CounterSnapshot::default(); before.len()],
                 injected_faults: 0,
                 stages: Vec::new(),
@@ -664,12 +690,21 @@ impl<B: BlockDevice> OiRaidStore<B> {
 
         {
             let _s = root.child("heal");
+            // Open the rebuild window *before* healing: the instant a device
+            // answers reads again, its not-yet-rebuilt chunks must already
+            // read as missing to concurrent foreground I/O.
+            self.online().begin(initially_failed.iter().copied());
             for &d in &initially_failed {
-                self.devices_mut()[d]
-                    .heal()
-                    .map_err(|error| StoreError::Device { disk: d, error })?;
+                if let Err(error) = self.devices()[d].heal() {
+                    for &t in &initially_failed {
+                        self.devices()[t].fail();
+                    }
+                    self.online().end();
+                    return Err(StoreError::Device { disk: d, error });
+                }
             }
         }
+        let qos_before = self.qos().counters();
         let start = Instant::now();
         let chunk_size = self.chunk_size();
         let chunks_per_disk = self.array().chunks_per_disk();
@@ -706,6 +741,24 @@ impl<B: BlockDevice> OiRaidStore<B> {
 
         loop {
             rounds += 1;
+            let (regions, item_of) = {
+                let _s = root.child("plan");
+                {
+                    // New dirty epoch: writes completed before this point
+                    // are visible to every read this round issues; writes
+                    // that land later re-mark their relations and are
+                    // caught at writeback.
+                    let _g = self.online().lock_updates();
+                    self.online().clear_dirty();
+                }
+                let item_of: HashMap<ChunkAddr, usize> = plan
+                    .items()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, it)| (it.lost, i))
+                    .collect();
+                (self.plan_regions(&plan), item_of)
+            };
             let out = {
                 let exec = root.child("execute");
                 match mode {
@@ -720,6 +773,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
             retry = retry.merged(&out.retry);
             let mut died = out.dead_disks;
             let mut progressed = false;
+            let mut dirty_skips = 0u32;
             {
                 let _s = root.child("writeback");
                 for (addr, value) in out.finished {
@@ -727,13 +781,35 @@ impl<B: BlockDevice> OiRaidStore<B> {
                         continue;
                     }
                     let began = Instant::now();
-                    match write_chunk_retrying(
-                        &mut self.devices_mut()[addr.disk],
+                    // The dirty check, the write, and the validity mark form
+                    // one atom under the update lock: no foreground write
+                    // can slip between "inputs were clean" and "chunk is
+                    // live" and then be clobbered.
+                    let guard = self.online().lock_updates();
+                    if item_of
+                        .get(&addr)
+                        .is_some_and(|&i| self.online().any_dirty(&regions[i]))
+                    {
+                        // A foreground write touched a relation this value
+                        // was derived from: the reconstruction may be stale
+                        // or torn. Drop it; next round recomputes it from
+                        // the updated parity.
+                        drop(guard);
+                        dirty_skips += 1;
+                        continue;
+                    }
+                    let wrote = write_chunk_retrying(
+                        &self.devices()[addr.disk],
                         &policy,
                         &write_stats,
                         addr.offset,
                         &value,
-                    ) {
+                    );
+                    if wrote.is_ok() {
+                        self.online().mark_valid(addr);
+                    }
+                    drop(guard);
+                    match wrote {
                         Ok(()) => {
                             obs.stages.writeback.record_duration(began.elapsed());
                             let mut fresh = false;
@@ -791,11 +867,15 @@ impl<B: BlockDevice> OiRaidStore<B> {
                 avoid.retain(|a| a.disk != d);
                 let grown = if newly_escalated { chunks_per_disk } else { 0 } + voided;
                 obs.progress.add_total_chunks(grown as u64);
-                self.devices_mut()[d].fail();
-                if let Err(error) = self.devices_mut()[d].heal() {
+                // Fold the dead disk into the window (its contents are
+                // garbage again) *before* healing brings it back online.
+                self.online().escalate(d);
+                self.devices()[d].fail();
+                if let Err(error) = self.devices()[d].heal() {
                     for &t in &target_disks {
-                        self.devices_mut()[t].fail();
+                        self.devices()[t].fail();
                     }
+                    self.online().end();
                     return Err(StoreError::Device { disk: d, error });
                 }
                 progressed = true;
@@ -809,7 +889,17 @@ impl<B: BlockDevice> OiRaidStore<B> {
             if missing.is_empty() {
                 break;
             }
-            stall = if progressed { 0 } else { stall + 1 };
+            // Dirty-skipped writebacks are deferred work, not a stall: the
+            // next round recomputes them from the updated parity. Only
+            // rounds that neither progressed nor deferred count toward the
+            // stall abort (round_cap still bounds a pathological writer).
+            stall = if progressed {
+                0
+            } else if dirty_skips > 0 {
+                stall
+            } else {
+                stall + 1
+            };
             if stall >= 2 || rounds >= round_cap {
                 aborted = Some(target_disks.clone());
                 break;
@@ -834,7 +924,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
             Some(mut failed) => {
                 failed.sort_unstable();
                 for &d in &failed {
-                    self.devices_mut()[d].fail();
+                    self.devices()[d].fail();
                 }
                 RebuildOutcome::Aborted { failed }
             }
@@ -849,8 +939,12 @@ impl<B: BlockDevice> OiRaidStore<B> {
                 }
             }
         };
+        // Close the window only after an abort has re-failed the targets:
+        // their half-written contents must never become readable.
+        self.online().end();
         drop(root);
         target_disks.sort_unstable();
+        let qos = self.qos().counters();
         let chunks_rebuilt = (rebuilt.len() + repaired.len()) as u64;
         let device_io: Vec<CounterSnapshot> = self
             .devices()
@@ -873,12 +967,52 @@ impl<B: BlockDevice> OiRaidStore<B> {
             reroutes,
             escalations,
             latent_repairs: repaired.len() as u64,
+            throttle_waits: qos.throttle_waits.saturating_sub(qos_before.throttle_waits),
+            throttle_wait: Duration::from_nanos(
+                qos.throttle_wait_ns
+                    .saturating_sub(qos_before.throttle_wait_ns),
+            ),
             injected_faults: device_io.iter().map(|c| c.faults).sum(),
             device_io,
             stages: obs.stages.summaries(),
             worker_busy,
             queue_depth: obs.stages.queue_depth.snapshot(),
         })
+    }
+
+    /// The conservative dirty-dependency footprint of every plan item: the
+    /// parity relations of the lost chunk itself plus those of every chunk
+    /// its reconstruction (transitively) reads. A writeback is discarded
+    /// when a foreground write dirtied any of these since the round began.
+    fn plan_regions(&self, plan: &RecoveryPlan) -> Vec<Vec<Region>> {
+        let geo = self.array().geometry();
+        let items = plan.items();
+        let mut out: Vec<Vec<Region>> = Vec::with_capacity(items.len());
+        for (idx, it) in items.iter().enumerate() {
+            let mut rs: HashSet<Region> = self.regions_for(it.lost).into_iter().collect();
+            for &r in &it.reads {
+                rs.extend(self.regions_for(r));
+            }
+            for &d in &it.depends {
+                rs.extend(out[d].iter().copied());
+            }
+            if it.reads.is_empty() && it.depends.is_empty() {
+                // Co-decoded sibling: its value comes from an earlier
+                // same-row decode, so it inherits that provider's footprint
+                // (the same linkage rule the combiner uses).
+                let (grp, row) = (geo.group_of(it.lost.disk), it.lost.offset);
+                if let Some(p) = (0..idx).rev().find(|&j| {
+                    let l = items[j].lost;
+                    geo.group_of(l.disk) == grp
+                        && l.offset == row
+                        && !(items[j].reads.is_empty() && items[j].depends.is_empty())
+                }) {
+                    rs.extend(out[p].iter().copied());
+                }
+            }
+            out.push(rs.into_iter().collect());
+        }
+        out
     }
 
     /// One serial round: drains every per-disk read queue inline, healing
@@ -907,6 +1041,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
                 if dead_disks.contains(&disk) {
                     break; // the disk died mid-queue; the rest is moot
                 }
+                self.qos().throttle_rebuild(run.len());
                 let began = Instant::now();
                 let (batch, failed, died) = read_run_healing(&reader, run, chunk_size, &pool);
                 obs.stages.read.record_duration(began.elapsed());
@@ -969,6 +1104,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
             .map(|(disk, _)| RetryReader::new(&devices[*disk], self.retry_policy()))
             .collect();
         let pool_ref = &pool;
+        let qos = self.qos();
         // In-flight messages: incremented before send, decremented at
         // receive — the receive-side sample is the combiner's queue depth.
         let depth = AtomicI64::new(0);
@@ -988,6 +1124,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
                     let runs = coalesce_runs(queue);
                     obs.stages.coalesce.record_duration(began.elapsed());
                     for run in runs {
+                        qos.throttle_rebuild(run.len());
                         let began = Instant::now();
                         let (batch, failed, died) =
                             read_run_healing(reader, run, chunk_size, pool_ref);
@@ -1062,7 +1199,7 @@ mod tests {
     use blockdev::{FaultConfig, FaultInjectingDevice, MemDevice};
 
     fn filled(chunk_size: usize) -> OiRaidStore {
-        let mut store = OiRaidStore::new(OiRaidConfig::reference(), chunk_size).unwrap();
+        let store = OiRaidStore::new(OiRaidConfig::reference(), chunk_size).unwrap();
         for idx in 0..store.data_chunks() {
             let chunk: Vec<u8> = (0..chunk_size)
                 .map(|j| (idx * 131 + j * 17 + 3) as u8)
@@ -1084,7 +1221,7 @@ mod tests {
                 )
             })
             .collect();
-        let mut store = OiRaidStore::with_devices(cfg, chunk_size, devices).unwrap();
+        let store = OiRaidStore::with_devices(cfg, chunk_size, devices).unwrap();
         for idx in 0..store.data_chunks() {
             let chunk: Vec<u8> = (0..chunk_size)
                 .map(|j| (idx * 131 + j * 17 + 3) as u8)
@@ -1108,7 +1245,7 @@ mod tests {
     fn serial_rebuild_matches_legacy_for_every_strategy() {
         for strategy in RecoveryStrategy::ALL {
             let reference = filled(16);
-            let mut store = filled(16);
+            let store = filled(16);
             store.fail_disk(4).unwrap();
             let report = store.rebuild(RebuildMode::Serial, strategy).unwrap();
             assert_eq!(report.rebuilt_disks, vec![4]);
@@ -1127,8 +1264,8 @@ mod tests {
     #[test]
     fn parallel_rebuild_bit_identical_to_serial_single_failure() {
         for strategy in RecoveryStrategy::ALL {
-            let mut serial = filled(16);
-            let mut parallel = filled(16);
+            let serial = filled(16);
+            let parallel = filled(16);
             serial.fail_disk(7).unwrap();
             parallel.fail_disk(7).unwrap();
             let rs = serial.rebuild(RebuildMode::Serial, strategy).unwrap();
@@ -1148,7 +1285,7 @@ mod tests {
     #[test]
     fn parallel_rebuild_triple_failure() {
         let reference = filled(8);
-        let mut store = filled(8);
+        let store = filled(8);
         for d in [2, 9, 17] {
             store.fail_disk(d).unwrap();
         }
@@ -1167,7 +1304,7 @@ mod tests {
     fn whole_group_rebuild_both_modes() {
         for mode in [RebuildMode::Serial, RebuildMode::Parallel] {
             let reference = filled(8);
-            let mut store = filled(8);
+            let store = filled(8);
             for d in [6, 7, 8] {
                 store.fail_disk(d).unwrap();
             }
@@ -1189,7 +1326,7 @@ mod tests {
             .with_inner_parities(2)
             .unwrap();
         for mode in [RebuildMode::Serial, RebuildMode::Parallel] {
-            let mut store = OiRaidStore::new(cfg.clone(), 8).unwrap();
+            let store = OiRaidStore::new(cfg.clone(), 8).unwrap();
             for idx in 0..store.data_chunks() {
                 let chunk: Vec<u8> = (0..8).map(|j| (idx * 61 + j * 19 + 7) as u8).collect();
                 store.write_data(idx, &chunk).unwrap();
@@ -1213,7 +1350,7 @@ mod tests {
 
     #[test]
     fn unrecoverable_pattern_is_rejected_without_state_change() {
-        let mut store = filled(8);
+        let store = filled(8);
         for d in [0, 1, 3, 4] {
             store.fail_disk(d).unwrap();
         }
@@ -1226,7 +1363,7 @@ mod tests {
 
     #[test]
     fn rebuild_with_nothing_failed_is_a_no_op() {
-        let mut store = filled(8);
+        let store = filled(8);
         let report = store
             .rebuild(RebuildMode::Parallel, RecoveryStrategy::Hybrid)
             .unwrap();
@@ -1238,7 +1375,7 @@ mod tests {
 
     #[test]
     fn report_counters_reflect_the_plan() {
-        let mut store = filled(16);
+        let store = filled(16);
         store.fail_disk(4).unwrap();
         let report = store
             .rebuild(RebuildMode::Parallel, RecoveryStrategy::Hybrid)
@@ -1276,6 +1413,8 @@ mod tests {
             reroutes: 1,
             escalations: 0,
             latent_repairs: 1,
+            throttle_waits: 0,
+            throttle_wait: Duration::ZERO,
             device_io: vec![
                 CounterSnapshot {
                     reads: 7,
@@ -1303,7 +1442,7 @@ mod tests {
     #[test]
     fn observed_rebuild_populates_stages_spans_and_progress() {
         telemetry::set_enabled(true);
-        let mut store = filled(16);
+        let store = filled(16);
         store.fail_disk(4).unwrap();
         let obs = crate::RebuildObserver::default();
         let report = store
@@ -1358,7 +1497,7 @@ mod tests {
     #[test]
     fn serial_observed_rebuild_records_stages_without_queue() {
         telemetry::set_enabled(true);
-        let mut store = filled(8);
+        let store = filled(8);
         store.fail_disk(2).unwrap();
         let obs = crate::RebuildObserver::default();
         let report = store
@@ -1415,7 +1554,7 @@ mod tests {
     fn latent_sources_are_rerouted_and_repaired_in_place() {
         for mode in [RebuildMode::Serial, RebuildMode::Parallel] {
             let reference = filled(8);
-            let mut store = filled_faulty(8);
+            let store = filled_faulty(8);
             // Deterministic latent sector errors on disk 5, a row sibling
             // the Inner strategy must read while rebuilding disk 4.
             store.devices()[5].set_config(FaultConfig {
@@ -1456,7 +1595,7 @@ mod tests {
     fn mid_rebuild_disk_death_escalates_and_recovers() {
         for mode in [RebuildMode::Serial, RebuildMode::Parallel] {
             let reference = filled(8);
-            let mut store = filled_faulty(8);
+            let store = filled_faulty(8);
             // Disk 3 (a row sibling the Inner strategy reads 9 times) dies
             // after serving 3 rebuild reads.
             store.devices()[3].set_config(FaultConfig {
@@ -1494,7 +1633,7 @@ mod tests {
         // the engine must abort (not panic, not error) and re-fail every
         // rebuild target so no half-written disk looks healthy.
         for mode in [RebuildMode::Serial, RebuildMode::Parallel] {
-            let mut store = filled_faulty(8);
+            let store = filled_faulty(8);
             for d in [1, 2, 3, 4] {
                 store.devices()[d].set_config(FaultConfig {
                     fail_after_reads: 1,

@@ -11,6 +11,15 @@
 //! fixpoint ([`OiRaidStore::rebuild_disk`]) or through the plan-driven
 //! executor in [`crate::rebuild`], which drains all surviving disks in
 //! parallel.
+//!
+//! The store is **online**: every I/O entry point takes `&self` (devices
+//! are interior-mutable), reads *and writes* keep working while disks are
+//! failed or a rebuild is in flight, and a rebuild window (see
+//! [`crate::online`]) keeps mid-rebuild chunks reading as missing until
+//! they are written back. Degraded writes reconstruct the old value under
+//! the update lock, apply the XOR delta to every *available* member of the
+//! update set, and leave the missing members to the rebuilder — the parity
+//! relations then imply the *new* values, so nothing is lost.
 
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
@@ -25,13 +34,15 @@ use blockdev::{
 };
 use ecc::{ErasureCode, Raid6, XorParity};
 use gf::Gf256;
-use layout::{ChunkAddr, Layout};
+use layout::{ChunkAddr, Layout, LayoutError};
 use telemetry::{Histogram, Registry};
 
 use crate::array::OiRaid;
 use crate::config::OiRaidConfig;
 use crate::geometry::{Geometry, PayloadPos};
 use crate::observe::RebuildObserver;
+use crate::online::{OnlineState, Region};
+use crate::qos::{QosConfig, QosCounters, QosState};
 
 /// Errors from the byte-level store.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,6 +81,12 @@ pub enum StoreError {
         /// The underlying device error.
         error: DeviceError,
     },
+    /// A layout-level query rejected the operation (e.g. the update set of
+    /// a parity address).
+    Layout {
+        /// The underlying layout error.
+        error: LayoutError,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -85,6 +102,7 @@ impl fmt::Display for StoreError {
             Self::DiskOutOfRange { disk } => write!(f, "disk {disk} out of range"),
             Self::DataLoss => write!(f, "failure pattern is unrecoverable"),
             Self::Device { disk, error } => write!(f, "device {disk}: {error}"),
+            Self::Layout { error } => write!(f, "layout: {error}"),
         }
     }
 }
@@ -136,15 +154,23 @@ impl fmt::Display for ScrubReport {
     }
 }
 
-/// Store-level telemetry: degraded-read visibility.
+/// Store-level telemetry: foreground and degraded I/O visibility.
 ///
-/// Every [`OiRaidStore`] owns one; reads that had to reconstruct through
-/// the redundancy (their home disk was down) bump the counter and record
-/// their end-to-end latency.
+/// Every [`OiRaidStore`] owns one. All foreground requests
+/// ([`OiRaidStore::read_data`] / [`OiRaidStore::write_data`] and the byte
+/// paths) record per-class latency; requests that had to reconstruct
+/// through the redundancy additionally bump the degraded counters. The
+/// foreground histograms are what experiment E17 reads its p99 from.
 #[derive(Debug, Default)]
 pub struct StoreTelemetry {
     degraded_reads: AtomicU64,
     degraded_latency: Arc<Histogram>,
+    degraded_writes: AtomicU64,
+    degraded_write_latency: Arc<Histogram>,
+    foreground_reads: AtomicU64,
+    foreground_read_latency: Arc<Histogram>,
+    foreground_writes: AtomicU64,
+    foreground_write_latency: Arc<Histogram>,
 }
 
 impl Clone for StoreTelemetry {
@@ -166,9 +192,55 @@ impl StoreTelemetry {
         Arc::clone(&self.degraded_latency)
     }
 
-    fn record(&self, took: std::time::Duration) {
+    /// Writes that found part of their update set unavailable and went
+    /// through the degraded (reconstruct + partial-patch) path.
+    pub fn degraded_writes(&self) -> u64 {
+        self.degraded_writes.load(Ordering::Relaxed)
+    }
+
+    /// End-to-end latency of degraded writes, in nanoseconds.
+    pub fn degraded_write_latency(&self) -> Arc<Histogram> {
+        Arc::clone(&self.degraded_write_latency)
+    }
+
+    /// All foreground chunk reads served (healthy and degraded).
+    pub fn foreground_reads(&self) -> u64 {
+        self.foreground_reads.load(Ordering::Relaxed)
+    }
+
+    /// End-to-end foreground read latency, in nanoseconds.
+    pub fn foreground_read_latency(&self) -> Arc<Histogram> {
+        Arc::clone(&self.foreground_read_latency)
+    }
+
+    /// All foreground chunk writes served (healthy and degraded).
+    pub fn foreground_writes(&self) -> u64 {
+        self.foreground_writes.load(Ordering::Relaxed)
+    }
+
+    /// End-to-end foreground write latency, in nanoseconds.
+    pub fn foreground_write_latency(&self) -> Arc<Histogram> {
+        Arc::clone(&self.foreground_write_latency)
+    }
+
+    fn record(&self, took: Duration) {
         self.degraded_reads.fetch_add(1, Ordering::Relaxed);
         self.degraded_latency.record_duration(took);
+    }
+
+    fn record_degraded_write(&self, took: Duration) {
+        self.degraded_writes.fetch_add(1, Ordering::Relaxed);
+        self.degraded_write_latency.record_duration(took);
+    }
+
+    fn record_foreground_read(&self, took: Duration) {
+        self.foreground_reads.fetch_add(1, Ordering::Relaxed);
+        self.foreground_read_latency.record_duration(took);
+    }
+
+    fn record_foreground_write(&self, took: Duration) {
+        self.foreground_writes.fetch_add(1, Ordering::Relaxed);
+        self.foreground_write_latency.record_duration(took);
     }
 }
 
@@ -176,18 +248,26 @@ impl StoreTelemetry {
 ///
 /// Writes maintain both parity layers incrementally (1 data + 3 parity chunk
 /// writes — the update-optimal path); reads reconstruct transparently while
-/// disks are failed; [`OiRaidStore::rebuild_disk`] performs actual recovery.
+/// disks are failed; writes against failed disks take the degraded path
+/// (reconstruct old value, patch the surviving members);
+/// [`OiRaidStore::rebuild_disk`] performs actual recovery. All I/O entry
+/// points take `&self` and are safe to call concurrently — including while
+/// [`OiRaidStore::rebuild`] runs on another thread.
 ///
 /// # Example
 ///
 /// ```
 /// use oi_raid::{OiRaidConfig, OiRaidStore};
 ///
-/// let mut store = OiRaidStore::new(OiRaidConfig::reference(), 64).unwrap();
+/// let store = OiRaidStore::new(OiRaidConfig::reference(), 64).unwrap();
 /// store.write_data(0, &[7u8; 64]).unwrap();
 /// store.fail_disk(store.locate(0).disk).unwrap();
 /// // Degraded read reconstructs through the redundancy:
 /// assert_eq!(store.read_data(0).unwrap(), vec![7u8; 64]);
+/// // Degraded write: the lost chunk's new value is implied by the
+/// // updated parities and materialises on rebuild.
+/// store.write_data(0, &[9u8; 64]).unwrap();
+/// assert_eq!(store.read_data(0).unwrap(), vec![9u8; 64]);
 /// ```
 #[derive(Debug, Clone)]
 pub struct OiRaidStore<B: BlockDevice = MemDevice> {
@@ -198,6 +278,10 @@ pub struct OiRaidStore<B: BlockDevice = MemDevice> {
     telem: StoreTelemetry,
     /// Retry policy for rebuild/scrub device I/O.
     retry: RetryPolicy,
+    /// Rebuild-window availability + dirty tracking for online rebuilds.
+    online: OnlineState,
+    /// Foreground/rebuild bandwidth arbitration.
+    qos: QosState,
 }
 
 impl OiRaidStore<MemDevice> {
@@ -223,6 +307,8 @@ impl OiRaidStore<MemDevice> {
             devices,
             telem: StoreTelemetry::default(),
             retry: RetryPolicy::default(),
+            online: OnlineState::default(),
+            qos: QosState::new(QosConfig::from_env()),
         })
     }
 }
@@ -272,6 +358,8 @@ impl OiRaidStore<FileDevice> {
             devices,
             telem: StoreTelemetry::default(),
             retry: RetryPolicy::default(),
+            online: OnlineState::default(),
+            qos: QosState::new(QosConfig::from_env()),
         })
     }
 }
@@ -330,6 +418,8 @@ impl<B: BlockDevice> OiRaidStore<B> {
             devices,
             telem: StoreTelemetry::default(),
             retry: RetryPolicy::default(),
+            online: OnlineState::default(),
+            qos: QosState::new(QosConfig::from_env()),
         })
     }
 
@@ -343,8 +433,29 @@ impl<B: BlockDevice> OiRaidStore<B> {
         &self.devices
     }
 
-    pub(crate) fn devices_mut(&mut self) -> &mut [B] {
-        &mut self.devices
+    pub(crate) fn online(&self) -> &OnlineState {
+        &self.online
+    }
+
+    pub(crate) fn qos(&self) -> &QosState {
+        &self.qos
+    }
+
+    /// The current rebuild-bandwidth policy.
+    pub fn qos_config(&self) -> QosConfig {
+        self.qos.config()
+    }
+
+    /// Replaces the rebuild-bandwidth policy (rate cap, burst size,
+    /// foreground-activity window). Takes effect on the next rebuild
+    /// batch, including mid-rebuild.
+    pub fn set_qos(&self, cfg: QosConfig) {
+        self.qos.set_config(cfg);
+    }
+
+    /// Cumulative rebuild-throttle counters for this store instance.
+    pub fn qos_counters(&self) -> QosCounters {
+        self.qos.counters()
     }
 
     /// Bytes per chunk.
@@ -391,16 +502,40 @@ impl<B: BlockDevice> OiRaidStore<B> {
         self.devices[disk].is_failed()
     }
 
-    /// Reads one chunk. `Ok(None)` when the disk is failed; device-level
-    /// errors (injected faults, I/O failures) surface as
+    /// Whether `addr` currently holds trustworthy bytes: its device is up
+    /// and it is not an un-rebuilt chunk inside an open rebuild window.
+    fn chunk_available(&self, addr: ChunkAddr) -> bool {
+        !self.disk_down(addr.disk) && !self.online.chunk_invalid(addr)
+    }
+
+    /// The parity relations `addr` participates in (its inner row, plus
+    /// its outer stripe for payload chunks) — the granularity of the
+    /// online dirty tracker.
+    pub(crate) fn regions_for(&self, addr: ChunkAddr) -> Vec<Region> {
+        let geo = self.array.geometry();
+        let mut regions = vec![Region::Row(geo.group_of(addr.disk), addr.offset)];
+        if !geo.is_inner_parity(addr) {
+            let p = geo.payload_pos(addr);
+            regions.push(Region::Stripe(p.block, p.stripe));
+        }
+        regions
+    }
+
+    /// Reads one chunk. `Ok(None)` when the disk is failed or the chunk is
+    /// inside an open rebuild window and not yet restored. Transient
+    /// device faults are retried under the store policy; errors that
+    /// outlast it (latent sectors, exhausted retries) surface as
     /// [`StoreError::Device`].
     pub(crate) fn chunk(&self, addr: ChunkAddr) -> Result<Option<Vec<u8>>, StoreError> {
+        if self.online.chunk_invalid(addr) {
+            return Ok(None);
+        }
         let dev = &self.devices[addr.disk];
         if dev.is_failed() {
             return Ok(None);
         }
         let mut buf = vec![0u8; self.chunk_size];
-        match dev.read_chunk(addr.offset, &mut buf) {
+        match RetryReader::new(dev, self.retry).read_chunk(addr.offset, &mut buf) {
             Ok(()) => Ok(Some(buf)),
             Err(DeviceError::Failed) => Ok(None),
             Err(error) => Err(StoreError::Device {
@@ -411,11 +546,14 @@ impl<B: BlockDevice> OiRaidStore<B> {
     }
 
     /// Reads one chunk, mapping *any* persistent unavailability (failed
-    /// disk, latent sector, exhausted retries) to `None`. Transient errors
-    /// are retried under the store policy first, so scrubbing/verification
-    /// — which skip relations they cannot fully read — see a stable view
-    /// of flaky media.
+    /// disk, un-rebuilt window chunk, latent sector, exhausted retries) to
+    /// `None`. Transient errors are retried under the store policy first,
+    /// so scrubbing/verification — which skip relations they cannot fully
+    /// read — see a stable view of flaky media.
     fn readable_chunk(&self, addr: ChunkAddr) -> Option<Vec<u8>> {
+        if self.online.chunk_invalid(addr) {
+            return None;
+        }
         let dev = &self.devices[addr.disk];
         if dev.is_failed() {
             return None;
@@ -440,8 +578,11 @@ impl<B: BlockDevice> OiRaidStore<B> {
 
     /// Applies the inner-parity deltas for an update of `delta` at payload
     /// chunk `addr` (P gets `Δ`; the RAID6 Q gets `2^pos · Δ`, matching
-    /// [`Raid6::encode`]'s generator).
-    fn patch_row_parities(&mut self, addr: ChunkAddr, delta: &[u8]) -> Result<(), StoreError> {
+    /// [`Raid6::encode`]'s generator). Parity chunks that are currently
+    /// unavailable (failed disk, un-rebuilt window chunk) are skipped —
+    /// their implied value tracks the update through the surviving
+    /// relations and the rebuilder re-derives them at the new state.
+    fn patch_row_parities(&self, addr: ChunkAddr, delta: &[u8]) -> Result<(), StoreError> {
         let geo = self.array.geometry();
         let group = geo.group_of(addr.disk);
         let row = addr.offset;
@@ -452,6 +593,9 @@ impl<B: BlockDevice> OiRaidStore<B> {
             .expect("payload chunk is in its row");
         let parities = geo.inner_parities_of_row(group, row);
         for (role, paddr) in parities.into_iter().enumerate() {
+            if !self.chunk_available(paddr) {
+                continue;
+            }
             match role {
                 0 => self.xor_into(paddr, delta)?,
                 1 => {
@@ -466,8 +610,18 @@ impl<B: BlockDevice> OiRaidStore<B> {
         Ok(())
     }
 
-    pub(crate) fn write_chunk(&mut self, addr: ChunkAddr, data: &[u8]) -> Result<(), StoreError> {
-        match self.devices[addr.disk].write_chunk(addr.offset, data) {
+    /// Writes one chunk, retrying transient device faults under the store
+    /// policy so a flaky sector does not abort a multi-chunk parity update
+    /// half-way through.
+    pub(crate) fn write_chunk(&self, addr: ChunkAddr, data: &[u8]) -> Result<(), StoreError> {
+        let stats = RetryStats::default();
+        match write_chunk_retrying(
+            &self.devices[addr.disk],
+            &self.retry,
+            &stats,
+            addr.offset,
+            data,
+        ) {
             Ok(()) => Ok(()),
             Err(DeviceError::Failed) => Err(StoreError::DiskFailed { disk: addr.disk }),
             Err(error) => Err(StoreError::Device {
@@ -477,7 +631,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
         }
     }
 
-    fn xor_into(&mut self, addr: ChunkAddr, delta: &[u8]) -> Result<(), StoreError> {
+    fn xor_into(&self, addr: ChunkAddr, delta: &[u8]) -> Result<(), StoreError> {
         let mut bytes = self
             .chunk(addr)?
             .ok_or(StoreError::DiskFailed { disk: addr.disk })?;
@@ -486,15 +640,22 @@ impl<B: BlockDevice> OiRaidStore<B> {
     }
 
     /// Writes logical data chunk `idx`, updating both parity layers
-    /// incrementally (4 chunk writes on 4 distinct disks).
+    /// incrementally (4 chunk writes on 4 distinct disks on the healthy
+    /// path).
+    ///
+    /// **Degraded writes work.** When members of the update set are
+    /// unavailable (failed disk, or not yet restored by an in-flight
+    /// rebuild), the old value is reconstructed through the redundancy and
+    /// the XOR delta is applied to every *available* member; the missing
+    /// members' implied values then already reflect the new data, so a
+    /// subsequent rebuild materialises the write rather than losing it.
     ///
     /// # Errors
     ///
-    /// [`StoreError::DiskFailed`] if any of the four target disks is failed
-    /// (degraded writes are not supported — rebuild first),
-    /// [`StoreError::IndexOutOfRange`] / [`StoreError::WrongChunkSize`] on
-    /// malformed input.
-    pub fn write_data(&mut self, idx: usize, data: &[u8]) -> Result<(), StoreError> {
+    /// [`StoreError::DataLoss`] if the failure pattern makes the old value
+    /// unrecoverable, [`StoreError::IndexOutOfRange`] /
+    /// [`StoreError::WrongChunkSize`] on malformed input.
+    pub fn write_data(&self, idx: usize, data: &[u8]) -> Result<(), StoreError> {
         if idx >= self.data_chunks() {
             return Err(StoreError::IndexOutOfRange {
                 index: idx,
@@ -507,28 +668,55 @@ impl<B: BlockDevice> OiRaidStore<B> {
                 expected: self.chunk_size,
             });
         }
+        self.qos.note_foreground();
+        let began = Instant::now();
         let addr = self.array.locate_data(idx);
-        let targets = self.array.update_set(addr);
-        if let Some(t) = targets.iter().find(|t| self.disk_down(t.disk)) {
-            return Err(StoreError::DiskFailed { disk: t.disk });
-        }
-        let old = self
-            .chunk(addr)?
-            .ok_or(StoreError::DiskFailed { disk: addr.disk })?;
-        let delta: Vec<u8> = old.iter().zip(data).map(|(o, n)| o ^ n).collect();
-        // Data chunk and outer parity absorb Δ directly; each affected
-        // row's inner parities absorb the code-weighted Δ.
-        self.xor_into(addr, &delta)?;
+        let targets = self
+            .array
+            .update_set(addr)
+            .map_err(|error| StoreError::Layout { error })?;
         let outer = targets[1 + self.array.geometry().p_in];
         debug_assert_eq!(self.array.chunk_role(outer), layout::Role::Parity);
-        self.xor_into(outer, &delta)?;
+        // The whole read-modify-write runs under the update lock: parity
+        // deltas from concurrent writers must not interleave, and the
+        // rebuilder's writebacks must not race the patches.
+        let _guard = self.online.lock_updates();
+        let degraded = targets.iter().any(|t| !self.chunk_available(*t));
+        let old = match self.chunk(addr)? {
+            Some(bytes) => bytes,
+            None => self.reconstruct_chunk(addr)?,
+        };
+        let delta: Vec<u8> = old.iter().zip(data).map(|(o, n)| o ^ n).collect();
+        // Data chunk: we hold the full new value, so any writable device
+        // takes it — including a mid-rebuild disk, whose chunk becomes
+        // valid right here.
+        if !self.disk_down(addr.disk) {
+            self.write_chunk(addr, data)?;
+            self.online.mark_valid(addr);
+        }
+        // Outer parity absorbs Δ directly; each affected row's inner
+        // parities absorb the code-weighted Δ. Unavailable members are
+        // skipped (see above).
+        if self.chunk_available(outer) {
+            self.xor_into(outer, &delta)?;
+        }
         self.patch_row_parities(addr, &delta)?;
         self.patch_row_parities(outer, &delta)?;
+        // Tell an in-flight rebuild that these relations changed under it:
+        // reconstructions read from them this round are stale.
+        let mut regions = self.regions_for(addr);
+        regions.extend(self.regions_for(outer));
+        self.online.mark_dirty(regions);
+        drop(_guard);
+        if degraded {
+            self.telem.record_degraded_write(began.elapsed());
+        }
+        self.telem.record_foreground_write(began.elapsed());
         Ok(())
     }
 
     /// Reads logical data chunk `idx`, reconstructing through the
-    /// redundancy if its disk is failed.
+    /// redundancy if its disk is failed (or mid-rebuild).
     ///
     /// # Errors
     ///
@@ -541,14 +729,82 @@ impl<B: BlockDevice> OiRaidStore<B> {
                 capacity: self.data_chunks(),
             });
         }
+        self.qos.note_foreground();
+        let began = Instant::now();
         let addr = self.array.locate_data(idx);
         if let Some(bytes) = self.chunk(addr)? {
+            self.telem.record_foreground_read(began.elapsed());
             return Ok(bytes);
         }
-        let began = Instant::now();
-        let recovered = self.reconstruct_missing()?;
+        let _guard = self.online.lock_updates();
+        // Re-check under the lock: the rebuilder (or a degraded write) may
+        // have restored the chunk while we waited.
+        if let Some(bytes) = self.chunk(addr)? {
+            self.telem.record_foreground_read(began.elapsed());
+            return Ok(bytes);
+        }
+        let value = self.reconstruct_chunk(addr)?;
+        drop(_guard);
         self.telem.record(began.elapsed());
-        Ok(recovered[&addr].clone())
+        self.telem.record_foreground_read(began.elapsed());
+        Ok(value)
+    }
+
+    /// Reconstructs the current value of a single unavailable chunk
+    /// through the cheapest decodable relation: its inner row (`g − 1`
+    /// reads, up to `p_in` erasures), else its outer stripe (`k − 1`
+    /// reads; payload chunks only), else the whole-array decode fixpoint.
+    /// Callers must hold the update lock.
+    fn reconstruct_chunk(&self, addr: ChunkAddr) -> Result<Vec<u8>, StoreError> {
+        let geo = self.array.geometry();
+        let grp = geo.group_of(addr.disk);
+        let row = addr.offset;
+        // Inner row: units in code order (payload ascending, parities by
+        // role), the target counted as an erasure.
+        let ordered: Vec<ChunkAddr> = geo
+            .row_payload(grp, row)
+            .into_iter()
+            .chain(geo.inner_parities_of_row(grp, row))
+            .collect();
+        let mut units: Vec<Option<Vec<u8>>> = ordered
+            .iter()
+            .map(|a| (*a != addr).then(|| self.readable_chunk(*a)).flatten())
+            .collect();
+        if units.iter().filter(|u| u.is_none()).count() <= geo.p_in {
+            let pos = ordered
+                .iter()
+                .position(|a| *a == addr)
+                .expect("chunk is in its own row");
+            if self.inner_code().reconstruct(&mut units).is_ok() {
+                if let Some(bytes) = units.swap_remove(pos) {
+                    return Ok(bytes);
+                }
+            }
+        }
+        // Outer stripe: XOR of the other k − 1 chunks.
+        if !geo.is_inner_parity(addr) {
+            let p = geo.payload_pos(addr);
+            let mut acc = vec![0u8; self.chunk_size];
+            let mut complete = true;
+            for a in geo.stripe_chunks(p.block, p.stripe) {
+                if a == addr {
+                    continue;
+                }
+                match self.readable_chunk(a) {
+                    Some(v) => gf::kernels::xor_acc(&mut acc, &v),
+                    None => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            if complete {
+                return Ok(acc);
+            }
+        }
+        // Dense failure patterns need multi-hop decoding across relations.
+        let recovered = self.reconstruct_missing()?;
+        recovered.get(&addr).cloned().ok_or(StoreError::DataLoss)
     }
 
     /// Store-level telemetry (degraded-read counter and latency).
@@ -610,6 +866,54 @@ impl<B: BlockDevice> OiRaidStore<B> {
             &[],
             self.telem.degraded_read_latency(),
         );
+        reg.counter(
+            "oi_store_degraded_writes_total",
+            "Writes that patched around unavailable update-set members",
+            &[],
+        )
+        .set(self.telem.degraded_writes());
+        reg.register_histogram(
+            "oi_store_degraded_write_latency_ns",
+            "End-to-end degraded-write latency in nanoseconds",
+            &[],
+            self.telem.degraded_write_latency(),
+        );
+        for (name, help, value) in [
+            (
+                "oi_store_foreground_reads_total",
+                "Foreground chunk reads served (healthy and degraded)",
+                self.telem.foreground_reads(),
+            ),
+            (
+                "oi_store_foreground_writes_total",
+                "Foreground chunk writes served (healthy and degraded)",
+                self.telem.foreground_writes(),
+            ),
+            (
+                "oi_store_rebuild_throttle_waits_total",
+                "Rebuild batches delayed by the foreground QoS throttle",
+                self.qos.counters().throttle_waits,
+            ),
+            (
+                "oi_store_rebuild_throttle_wait_ns_total",
+                "Total time rebuild readers slept for the QoS throttle",
+                self.qos.counters().throttle_wait_ns,
+            ),
+        ] {
+            reg.counter(name, help, &[]).set(value);
+        }
+        reg.register_histogram(
+            "oi_store_foreground_read_latency_ns",
+            "End-to-end foreground read latency in nanoseconds",
+            &[],
+            self.telem.foreground_read_latency(),
+        );
+        reg.register_histogram(
+            "oi_store_foreground_write_latency_ns",
+            "End-to-end foreground write latency in nanoseconds",
+            &[],
+            self.telem.foreground_write_latency(),
+        );
     }
 
     /// Marks a disk failed, discarding its contents.
@@ -618,7 +922,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
     ///
     /// [`StoreError::DiskOutOfRange`] for bad indices (double-failing is a
     /// no-op).
-    pub fn fail_disk(&mut self, disk: usize) -> Result<(), StoreError> {
+    pub fn fail_disk(&self, disk: usize) -> Result<(), StoreError> {
         if disk >= self.devices.len() {
             return Err(StoreError::DiskOutOfRange { disk });
         }
@@ -635,14 +939,17 @@ impl<B: BlockDevice> OiRaidStore<B> {
     ///
     /// [`StoreError::DataLoss`] if the overall failure pattern is
     /// unrecoverable, [`StoreError::DiskOutOfRange`] on bad input. Rebuilding
-    /// a healthy disk is a no-op.
-    pub fn rebuild_disk(&mut self, disk: usize) -> Result<(), StoreError> {
+    /// a healthy disk is a no-op. Holds the update lock for the whole
+    /// operation, so concurrent foreground writes serialize behind it (the
+    /// windowed engine in [`OiRaidStore::rebuild`] is the online path).
+    pub fn rebuild_disk(&self, disk: usize) -> Result<(), StoreError> {
         if disk >= self.devices.len() {
             return Err(StoreError::DiskOutOfRange { disk });
         }
         if !self.disk_down(disk) {
             return Ok(());
         }
+        let _guard = self.online.lock_updates();
         let recovered = self.reconstruct_missing()?;
         self.devices[disk]
             .heal()
@@ -752,7 +1059,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
     ///
     /// [`StoreError::IndexOutOfRange`] on range overflow and the
     /// [`OiRaidStore::write_data`] errors per touched chunk.
-    pub fn write_bytes(&mut self, offset: u64, data: &[u8]) -> Result<(), StoreError> {
+    pub fn write_bytes(&self, offset: u64, data: &[u8]) -> Result<(), StoreError> {
         if offset
             .checked_add(data.len() as u64)
             .is_none_or(|e| e > self.capacity_bytes())
@@ -788,7 +1095,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
     ///
     /// [`StoreError::DiskFailed`] if the disk is down,
     /// [`StoreError::DiskOutOfRange`] for bad addresses.
-    pub fn corrupt_chunk(&mut self, addr: ChunkAddr, xor_mask: u8) -> Result<(), StoreError> {
+    pub fn corrupt_chunk(&self, addr: ChunkAddr, xor_mask: u8) -> Result<(), StoreError> {
         if addr.disk >= self.devices.len() {
             return Err(StoreError::DiskOutOfRange { disk: addr.disk });
         }
@@ -820,7 +1127,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
     /// Failed disks are skipped (they are [`OiRaidStore::rebuild`]'s job)
     /// but their chunks are excluded from repair read sets, so scrubbing a
     /// degraded array is safe.
-    pub fn scrub(&mut self) -> ScrubReport {
+    pub fn scrub(&self) -> ScrubReport {
         self.scrub_observed(&RebuildObserver::default())
     }
 
@@ -828,7 +1135,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
     /// observer's [`HealCounters`](crate::HealCounters) tick as latent
     /// sectors are retried, re-routed, and repaired, and its stage
     /// histograms time the repair reads/decodes.
-    pub fn scrub_observed(&mut self, obs: &RebuildObserver) -> ScrubReport {
+    pub fn scrub_observed(&self, obs: &RebuildObserver) -> ScrubReport {
         let start = Instant::now();
         let policy = self.retry;
         let failed = self.failed_disks();
@@ -873,7 +1180,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
                     for addr in &bad {
                         let repaired = values.remove(addr).is_some_and(|v| {
                             write_chunk_retrying(
-                                &mut self.devices[addr.disk],
+                                &self.devices[addr.disk],
                                 &policy,
                                 &write_stats,
                                 addr.offset,
@@ -910,7 +1217,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
 
     /// The corruption sweep of [`OiRaidStore::scrub`]: locate and repair
     /// silently-corrupted chunks via the two parity layers' cross-check.
-    fn scrub_corruption(&mut self) -> Vec<ChunkAddr> {
+    fn scrub_corruption(&self) -> Vec<ChunkAddr> {
         let geo = self.array.geometry().clone();
         let cs = self.chunk_size;
         let mut repaired = Vec::new();
@@ -950,8 +1257,10 @@ impl<B: BlockDevice> OiRaidStore<B> {
     /// row to a later pass — as soon as any chunk involved is unreadable
     /// or a repair write fails persistently; a partial repair left behind
     /// surfaces as a plain parity violation the next sweep closes.
+    /// Runs under the update lock so repairs cannot interleave with
+    /// foreground parity patches.
     fn scrub_row(
-        &mut self,
+        &self,
         geo: &Geometry,
         code: &dyn ErasureCode,
         grp: usize,
@@ -959,6 +1268,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
         bad_stripes: &[Vec<ChunkAddr>],
         repaired: &mut Vec<ChunkAddr>,
     ) -> Option<()> {
+        let _guard = self.online.lock_updates();
         let cs = self.chunk_size;
         let payload_addrs = geo.row_payload(grp, row);
         let payload: Vec<Vec<u8>> = payload_addrs
@@ -1038,13 +1348,13 @@ impl<B: BlockDevice> OiRaidStore<B> {
 
     /// [`OiRaidStore::xor_into`] through the retry layer: scrub repairs
     /// must survive transient write faults. `None` on persistent failure.
-    fn xor_into_retrying(&mut self, addr: ChunkAddr, delta: &[u8]) -> Option<()> {
+    fn xor_into_retrying(&self, addr: ChunkAddr, delta: &[u8]) -> Option<()> {
         let mut bytes = self.readable_chunk(addr)?;
         gf::kernels::xor_acc(&mut bytes, delta);
         let policy = self.retry;
         let stats = RetryStats::default();
         write_chunk_retrying(
-            &mut self.devices[addr.disk],
+            &self.devices[addr.disk],
             &policy,
             &stats,
             addr.offset,
@@ -1062,19 +1372,22 @@ impl<B: BlockDevice> OiRaidStore<B> {
         let geo = self.array.geometry();
         let failed = self.failed_disks();
         let mut known: HashMap<ChunkAddr, Vec<u8>> = HashMap::new();
+        let mut missing: usize = 0;
         for d in 0..geo.disks() {
-            if failed.contains(&d) {
-                continue;
-            }
             for o in 0..geo.chunks_per_disk {
                 let addr = ChunkAddr::new(d, o);
+                // Un-rebuilt chunks inside an open window count as missing
+                // alongside failed disks' chunks.
+                if failed.contains(&d) || self.online.chunk_invalid(addr) {
+                    missing += 1;
+                    continue;
+                }
                 let bytes = self
                     .chunk(addr)?
                     .ok_or(StoreError::DiskFailed { disk: d })?;
                 known.insert(addr, bytes);
             }
         }
-        let mut missing: usize = failed.len() * geo.chunks_per_disk;
         let cs = self.chunk_size;
         let mut progressed = true;
         while missing > 0 && progressed {
@@ -1146,7 +1459,7 @@ mod tests {
     use super::*;
 
     fn filled_store() -> (OiRaidStore, Vec<Vec<u8>>) {
-        let mut store = OiRaidStore::new(OiRaidConfig::reference(), 16).unwrap();
+        let store = OiRaidStore::new(OiRaidConfig::reference(), 16).unwrap();
         let mut expect = Vec::new();
         for idx in 0..store.data_chunks() {
             let chunk: Vec<u8> = (0..16).map(|j| (idx * 37 + j * 11 + 5) as u8).collect();
@@ -1178,7 +1491,7 @@ mod tests {
 
     #[test]
     fn overwrites_keep_parity() {
-        let (mut store, _) = filled_store();
+        let (store, _) = filled_store();
         store.write_data(10, &[0xEE; 16]).unwrap();
         store.write_data(10, &[0x00; 16]).unwrap();
         store.write_data(10, &[0x42; 16]).unwrap();
@@ -1188,7 +1501,7 @@ mod tests {
 
     #[test]
     fn degraded_read_single_failure() {
-        let (mut store, expect) = filled_store();
+        let (store, expect) = filled_store();
         store.fail_disk(4).unwrap();
         for (idx, e) in expect.iter().enumerate() {
             assert_eq!(store.read_data(idx).unwrap(), *e, "idx {idx}");
@@ -1198,7 +1511,7 @@ mod tests {
     #[test]
     fn degraded_reads_are_counted_and_timed() {
         telemetry::set_enabled(true);
-        let (mut store, _) = filled_store();
+        let (store, _) = filled_store();
         store.read_data(0).unwrap();
         assert_eq!(store.telemetry().degraded_reads(), 0, "healthy reads free");
         let victim = store.locate(0).disk;
@@ -1223,7 +1536,7 @@ mod tests {
     #[test]
     fn export_metrics_lints_and_mirrors_counters() {
         telemetry::set_enabled(true);
-        let (mut store, _) = filled_store();
+        let (store, _) = filled_store();
         store.fail_disk(store.locate(0).disk).unwrap();
         store.read_data(0).unwrap();
         let reg = Registry::new();
@@ -1239,7 +1552,7 @@ mod tests {
 
     #[test]
     fn rebuild_after_triple_failure_restores_everything() {
-        let (mut store, expect) = filled_store();
+        let (store, expect) = filled_store();
         for d in [2, 9, 17] {
             store.fail_disk(d).unwrap();
         }
@@ -1255,7 +1568,7 @@ mod tests {
 
     #[test]
     fn whole_group_rebuild() {
-        let (mut store, expect) = filled_store();
+        let (store, expect) = filled_store();
         for d in [6, 7, 8] {
             store.fail_disk(d).unwrap();
         }
@@ -1269,7 +1582,7 @@ mod tests {
 
     #[test]
     fn unrecoverable_pattern_reports_data_loss() {
-        let (mut store, _) = filled_store();
+        let (store, _) = filled_store();
         for d in [0, 1, 3, 4] {
             store.fail_disk(d).unwrap();
         }
@@ -1277,19 +1590,74 @@ mod tests {
     }
 
     #[test]
-    fn write_to_failed_disk_rejected() {
-        let (mut store, _) = filled_store();
+    fn degraded_write_to_failed_disk_roundtrips() {
+        telemetry::set_enabled(true);
+        let (store, _) = filled_store();
         let addr = store.locate(0);
         store.fail_disk(addr.disk).unwrap();
-        assert!(matches!(
-            store.write_data(0, &[0u8; 16]),
-            Err(StoreError::DiskFailed { .. })
-        ));
+        store.write_data(0, &[0xA5u8; 16]).unwrap();
+        // The lost chunk's new value is implied by the updated parities.
+        assert_eq!(store.read_data(0).unwrap(), vec![0xA5u8; 16]);
+        assert_eq!(store.telemetry().degraded_writes(), 1);
+        assert_eq!(store.telemetry().degraded_write_latency().count(), 1);
+        // After rebuild, the write has materialised and parity is clean.
+        store.rebuild_disk(addr.disk).unwrap();
+        assert!(store.check_parity().is_empty());
+        assert_eq!(store.read_data(0).unwrap(), vec![0xA5u8; 16]);
+    }
+
+    #[test]
+    fn degraded_writes_survive_triple_failure_and_rebuild() {
+        let (store, mut expect) = filled_store();
+        for d in [2, 9, 17] {
+            store.fail_disk(d).unwrap();
+        }
+        // Overwrite every fifth chunk while three disks are down.
+        for idx in (0..store.data_chunks()).step_by(5) {
+            let chunk: Vec<u8> = (0..16).map(|j| (idx * 53 + j * 29 + 11) as u8).collect();
+            store.write_data(idx, &chunk).unwrap();
+            expect[idx] = chunk;
+        }
+        for (idx, e) in expect.iter().enumerate() {
+            assert_eq!(store.read_data(idx).unwrap(), *e, "degraded idx {idx}");
+        }
+        for d in [2, 9, 17] {
+            store.rebuild_disk(d).unwrap();
+        }
+        assert!(store.check_parity().is_empty());
+        for (idx, e) in expect.iter().enumerate() {
+            assert_eq!(store.read_data(idx).unwrap(), *e, "rebuilt idx {idx}");
+        }
+    }
+
+    #[test]
+    fn degraded_write_errors_with_data_loss_when_unrecoverable() {
+        let (store, _) = filled_store();
+        // Four failures in a pattern the layout cannot survive: chunks
+        // that still decode locally accept writes, the rest report the
+        // loss as an error instead of panicking.
+        for d in [0, 1, 3, 4] {
+            store.fail_disk(d).unwrap();
+        }
+        let mut losses = 0;
+        for idx in 0..store.data_chunks() {
+            if ![0usize, 1, 3, 4].contains(&store.locate(idx).disk) {
+                continue;
+            }
+            match store.write_data(idx, &[0x3Cu8; 16]) {
+                Ok(()) => assert_eq!(store.read_data(idx).unwrap(), vec![0x3Cu8; 16]),
+                Err(e) => {
+                    assert_eq!(e, StoreError::DataLoss, "idx {idx}");
+                    losses += 1;
+                }
+            }
+        }
+        assert!(losses > 0, "pattern [0,1,3,4] must lose some chunk");
     }
 
     #[test]
     fn byte_range_io_roundtrips_across_chunk_boundaries() {
-        let (mut store, _) = filled_store();
+        let (store, _) = filled_store();
         // An unaligned range spanning three chunks.
         let payload: Vec<u8> = (0..40).map(|i| (i * 7 + 1) as u8).collect();
         store.write_bytes(10, &payload).unwrap();
@@ -1306,7 +1674,7 @@ mod tests {
 
     #[test]
     fn byte_range_io_survives_failures() {
-        let (mut store, _) = filled_store();
+        let (store, _) = filled_store();
         let payload = vec![0xABu8; 64];
         store.write_bytes(100, &payload).unwrap();
         for d in [1, 8, 15] {
@@ -1318,8 +1686,61 @@ mod tests {
     }
 
     #[test]
+    fn unaligned_tail_chunk_rmw_roundtrips() {
+        // Partial write into the *last* chunk of the array at an unaligned
+        // offset with an unaligned length: the read-modify-write must
+        // preserve the untouched head and tail bytes.
+        let (store, expect) = filled_store();
+        let cap = store.capacity_bytes();
+        let last = store.data_chunks() - 1;
+        store.write_bytes(cap - 7, &[0x77u8; 5]).unwrap();
+        let mut want = expect[last].clone();
+        for b in &mut want[9..14] {
+            *b = 0x77;
+        }
+        assert_eq!(store.read_data(last).unwrap(), want);
+        assert!(store.check_parity().is_empty());
+        // And via the byte path, straddling the untouched tail.
+        let mut back = vec![0u8; 16];
+        store.read_bytes(cap - 16, &mut back).unwrap();
+        assert_eq!(back, want);
+    }
+
+    #[test]
+    fn unaligned_tail_chunk_rmw_roundtrips_degraded() {
+        // The same partial-tail read-modify-write with the home disk down:
+        // the RMW read reconstructs, the write takes the degraded path.
+        let (store, expect) = filled_store();
+        let cap = store.capacity_bytes();
+        let last = store.data_chunks() - 1;
+        store.fail_disk(store.locate(last).disk).unwrap();
+        store.write_bytes(cap - 3, &[0x88u8; 3]).unwrap();
+        let mut want = expect[last].clone();
+        for b in &mut want[13..16] {
+            *b = 0x88;
+        }
+        let mut back = vec![0u8; 16];
+        store.read_bytes(cap - 16, &mut back).unwrap();
+        assert_eq!(back, want);
+        assert!(store.telemetry().degraded_writes() >= 1);
+        // Unaligned range spanning a healthy/degraded chunk boundary.
+        let mid = (last as u64 - 1) * 16 + 11; // 5 bytes in last-1, 9 in last
+        store.write_bytes(mid, &[0x99u8; 14]).unwrap();
+        let mut span = vec![0u8; 14];
+        store.read_bytes(mid, &mut span).unwrap();
+        assert_eq!(span, vec![0x99u8; 14]);
+        // Rebuild materialises everything bit-identically.
+        store.rebuild_disk(store.locate(last).disk).unwrap();
+        assert!(store.check_parity().is_empty());
+        let mut final_back = vec![0u8; 16];
+        store.read_bytes(cap - 16, &mut final_back).unwrap();
+        assert_eq!(&final_back[13..16], &[0x88u8; 3]);
+        assert_eq!(&final_back[0..9], &[0x99u8; 9]);
+    }
+
+    #[test]
     fn byte_range_bounds_checked() {
-        let (mut store, _) = filled_store();
+        let (store, _) = filled_store();
         let cap = store.capacity_bytes();
         let mut buf = [0u8; 4];
         assert!(store.read_bytes(cap - 2, &mut buf).is_err());
@@ -1329,7 +1750,7 @@ mod tests {
 
     #[test]
     fn scrub_repairs_corrupted_data_chunk() {
-        let (mut store, expect) = filled_store();
+        let (store, expect) = filled_store();
         let addr = store.locate(20);
         store.corrupt_chunk(addr, 0x5A).unwrap();
         assert!(!store.check_parity().is_empty(), "corruption is visible");
@@ -1347,7 +1768,7 @@ mod tests {
 
     #[test]
     fn scrub_repairs_corrupted_inner_parity() {
-        let (mut store, _) = filled_store();
+        let (store, _) = filled_store();
         // Disk 0 offset 0 is inner parity (member 0, row 0).
         let addr = ChunkAddr::new(0, 0);
         store.corrupt_chunk(addr, 0xFF).unwrap();
@@ -1358,7 +1779,7 @@ mod tests {
 
     #[test]
     fn scrub_repairs_corrupted_outer_parity() {
-        let (mut store, _) = filled_store();
+        let (store, _) = filled_store();
         // Find an outer-parity chunk.
         let geo_total = store.array().chunks_per_disk();
         let mut target = None;
@@ -1384,7 +1805,7 @@ mod tests {
 
     #[test]
     fn scrub_handles_multiple_scattered_corruptions() {
-        let (mut store, expect) = filled_store();
+        let (store, expect) = filled_store();
         // Corrupt chunks in different rows and stripes (distinct groups).
         let a1 = store.locate(5);
         let a2 = store.locate(40);
@@ -1405,7 +1826,7 @@ mod tests {
 
     #[test]
     fn scrub_on_clean_store_is_a_no_op() {
-        let (mut store, _) = filled_store();
+        let (store, _) = filled_store();
         let report = store.scrub();
         assert!(report.is_clean(), "{report}");
         assert_eq!(
@@ -1428,7 +1849,7 @@ mod tests {
                 )
             })
             .collect();
-        let mut store = OiRaidStore::with_devices(cfg, 16, devices).unwrap();
+        let store = OiRaidStore::with_devices(cfg, 16, devices).unwrap();
         let mut expect = Vec::new();
         for idx in 0..store.data_chunks() {
             let chunk: Vec<u8> = (0..16).map(|j| (idx * 37 + j * 11 + 5) as u8).collect();
@@ -1480,7 +1901,7 @@ mod tests {
                 )
             })
             .collect();
-        let mut store = OiRaidStore::with_devices(cfg, 8, devices).unwrap();
+        let store = OiRaidStore::with_devices(cfg, 8, devices).unwrap();
         for idx in 0..store.data_chunks() {
             let chunk: Vec<u8> = (0..8).map(|j| (idx * 37 + j * 11 + 5) as u8).collect();
             store.write_data(idx, &chunk).unwrap();
@@ -1523,7 +1944,7 @@ mod tests {
                 )
             })
             .collect();
-        let mut store = OiRaidStore::with_devices(cfg, 16, devices).unwrap();
+        let store = OiRaidStore::with_devices(cfg, 16, devices).unwrap();
         let mut expect = Vec::new();
         for idx in 0..store.data_chunks() {
             let chunk: Vec<u8> = (0..16).map(|j| (idx * 37 + j * 11 + 5) as u8).collect();
@@ -1565,7 +1986,7 @@ mod tests {
             .unwrap()
             .with_inner_parities(2)
             .unwrap();
-        let mut store = OiRaidStore::new(cfg, 16).unwrap();
+        let store = OiRaidStore::new(cfg, 16).unwrap();
         let mut expect = Vec::new();
         for idx in 0..store.data_chunks() {
             let chunk: Vec<u8> = (0..16).map(|j| (idx * 61 + j * 19 + 7) as u8).collect();
@@ -1598,7 +2019,7 @@ mod tests {
         let store = OiRaidStore::new(cfg, 8).unwrap();
         let a = store.array();
         for idx in (0..a.data_chunks()).step_by(11) {
-            let set = a.update_set(a.locate_data(idx));
+            let set = a.update_set(a.locate_data(idx)).unwrap();
             assert_eq!(set.len(), 6, "1 data + 5 parity writes");
             let disks: std::collections::HashSet<usize> = set.iter().map(|c| c.disk).collect();
             assert_eq!(disks.len(), 6, "all on distinct disks");
@@ -1607,7 +2028,7 @@ mod tests {
 
     #[test]
     fn input_validation() {
-        let (mut store, _) = filled_store();
+        let (store, _) = filled_store();
         assert!(matches!(
             store.write_data(0, &[0u8; 3]),
             Err(StoreError::WrongChunkSize { found: 3, .. })

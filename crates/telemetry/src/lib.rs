@@ -38,7 +38,7 @@ mod trace;
 pub use export::lint_prometheus;
 pub use histogram::{exact_percentile_sorted, Histogram, HistogramSnapshot, BUCKETS};
 pub use progress::{Progress, ProgressSnapshot};
-pub use registry::{Counter, Gauge, Registry};
+pub use registry::{Counter, Gauge, Registry, RegistryError};
 pub use trace::{child_coverage, Span, SpanRecord, Tracer};
 
 use std::sync::atomic::{AtomicU8, Ordering};

@@ -82,6 +82,42 @@ impl Metric {
 /// `(name, sorted labels)` — the identity of one time series.
 pub(crate) type Key = (String, Vec<(String, String)>);
 
+/// Error from fallible registration ([`Registry::try_counter`] and
+/// friends): the series name is already taken by a different metric type.
+///
+/// Same-kind duplicates are *not* errors — registration is idempotent and
+/// returns the existing handle, so two subsystems exporting the same
+/// series coexist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// `name` is already registered with a different metric type.
+    KindMismatch {
+        /// The conflicting metric name.
+        name: String,
+        /// The kind already registered under `name`.
+        existing: &'static str,
+        /// The kind the caller asked for.
+        requested: &'static str,
+    },
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::KindMismatch {
+                name,
+                existing,
+                requested,
+            } => write!(
+                f,
+                "{name} already registered as {existing} (requested {requested})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
 #[derive(Debug, Default)]
 pub(crate) struct Inner {
     /// Sorted by key so exports are deterministic and series of one
@@ -157,16 +193,69 @@ impl Registry {
         entry.clone()
     }
 
+    /// Registers (or fetches) a counter series. Idempotent: a duplicate
+    /// registration with the same kind returns the existing handle.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::KindMismatch`] if `name` is already registered
+    /// with a different metric type.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid metric/label name (a caller bug, not a runtime
+    /// condition).
+    pub fn try_counter(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Result<Counter, RegistryError> {
+        match self.get_or_insert(name, help, labels, Metric::Counter(Counter::default())) {
+            Metric::Counter(c) => Ok(c),
+            other => Err(RegistryError::KindMismatch {
+                name: name.to_string(),
+                existing: other.kind(),
+                requested: "counter",
+            }),
+        }
+    }
+
     /// Registers (or fetches) a counter series.
     ///
     /// # Panics
     ///
     /// Panics on an invalid metric/label name, or if `name` is already
-    /// registered with a different metric type.
+    /// registered with a different metric type (use
+    /// [`Registry::try_counter`] to handle that without panicking).
     pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
-        match self.get_or_insert(name, help, labels, Metric::Counter(Counter::default())) {
-            Metric::Counter(c) => c,
-            other => panic!("{name} already registered as {}", other.kind()),
+        self.try_counter(name, help, labels)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Registers (or fetches) a gauge series. Idempotent like
+    /// [`Registry::try_counter`].
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::KindMismatch`] on a metric-type conflict.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid metric/label name.
+    pub fn try_gauge(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Result<Gauge, RegistryError> {
+        match self.get_or_insert(name, help, labels, Metric::Gauge(Gauge::default())) {
+            Metric::Gauge(g) => Ok(g),
+            other => Err(RegistryError::KindMismatch {
+                name: name.to_string(),
+                existing: other.kind(),
+                requested: "gauge",
+            }),
         }
     }
 
@@ -174,11 +263,40 @@ impl Registry {
     ///
     /// # Panics
     ///
-    /// As for [`Registry::counter`].
+    /// As for [`Registry::counter`]; see [`Registry::try_gauge`].
     pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
-        match self.get_or_insert(name, help, labels, Metric::Gauge(Gauge::default())) {
-            Metric::Gauge(g) => g,
-            other => panic!("{name} already registered as {}", other.kind()),
+        self.try_gauge(name, help, labels)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Registers (or fetches) a histogram series owned by the registry.
+    /// Idempotent like [`Registry::try_counter`].
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::KindMismatch`] on a metric-type conflict.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid metric/label name.
+    pub fn try_histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Result<Arc<Histogram>, RegistryError> {
+        match self.get_or_insert(
+            name,
+            help,
+            labels,
+            Metric::Histogram(Arc::new(Histogram::new())),
+        ) {
+            Metric::Histogram(h) => Ok(h),
+            other => Err(RegistryError::KindMismatch {
+                name: name.to_string(),
+                existing: other.kind(),
+                requested: "histogram",
+            }),
         }
     }
 
@@ -186,17 +304,63 @@ impl Registry {
     ///
     /// # Panics
     ///
-    /// As for [`Registry::counter`].
+    /// As for [`Registry::counter`]; see [`Registry::try_histogram`].
     pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
-        match self.get_or_insert(
-            name,
-            help,
-            labels,
-            Metric::Histogram(Arc::new(Histogram::new())),
-        ) {
-            Metric::Histogram(h) => h,
-            other => panic!("{name} already registered as {}", other.kind()),
+        self.try_histogram(name, help, labels)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn attach(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        metric: Metric,
+    ) -> Result<(), RegistryError> {
+        assert!(valid_name(name), "invalid metric name: {name:?}");
+        assert!(
+            labels.iter().all(|(k, _)| valid_name(k) && *k != "le"),
+            "invalid label name in {labels:?}"
+        );
+        let mut inner = self.inner.lock().expect("registry lock");
+        let key = make_key(name, labels);
+        if let Some(existing) = inner.metrics.get(&key) {
+            if existing.kind() != metric.kind() {
+                return Err(RegistryError::KindMismatch {
+                    name: name.to_string(),
+                    existing: existing.kind(),
+                    requested: metric.kind(),
+                });
+            }
         }
+        inner
+            .help
+            .entry(name.to_string())
+            .or_insert_with(|| help.to_string());
+        inner.metrics.insert(key, metric);
+        Ok(())
+    }
+
+    /// Attaches an existing live histogram (replacing any histogram
+    /// already registered under the same name and labels), so exports see
+    /// its current contents without copying.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::KindMismatch`] if `name` is registered with a
+    /// non-histogram type.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid metric/label names.
+    pub fn try_register_histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        hist: Arc<Histogram>,
+    ) -> Result<(), RegistryError> {
+        self.attach(name, help, labels, Metric::Histogram(hist))
     }
 
     /// Attaches an existing live histogram (replacing any histogram
@@ -206,7 +370,8 @@ impl Registry {
     /// # Panics
     ///
     /// Panics on invalid names or if `name` is registered with a
-    /// non-histogram type.
+    /// non-histogram type (use [`Registry::try_register_histogram`] to
+    /// handle that without panicking).
     pub fn register_histogram(
         &self,
         name: &str,
@@ -214,57 +379,44 @@ impl Registry {
         labels: &[(&str, &str)],
         hist: Arc<Histogram>,
     ) {
-        assert!(valid_name(name), "invalid metric name: {name:?}");
-        assert!(
-            labels.iter().all(|(k, _)| valid_name(k) && *k != "le"),
-            "invalid label name in {labels:?}"
-        );
-        let mut inner = self.inner.lock().expect("registry lock");
-        inner
-            .help
-            .entry(name.to_string())
-            .or_insert_with(|| help.to_string());
-        let key = make_key(name, labels);
-        if let Some(existing) = inner.metrics.get(&key) {
-            assert!(
-                matches!(existing, Metric::Histogram(_)),
-                "{name} already registered as {}",
-                existing.kind()
-            );
-        }
-        inner.metrics.insert(key, Metric::Histogram(hist));
+        self.try_register_histogram(name, help, labels, hist)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Attaches an existing live counter handle (replacing any counter
     /// already registered under the same name and labels), so exports see
     /// its current value without copying — the counter analogue of
-    /// [`Registry::register_histogram`]. A [`Counter`] created with
+    /// [`Registry::try_register_histogram`]. A [`Counter`] created with
     /// `Counter::default()` works standalone and can be attached later.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::KindMismatch`] if `name` is registered with a
+    /// non-counter type.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid metric/label names.
+    pub fn try_register_counter(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        c: Counter,
+    ) -> Result<(), RegistryError> {
+        self.attach(name, help, labels, Metric::Counter(c))
+    }
+
+    /// Attaches an existing live counter handle, panicking on conflict.
     ///
     /// # Panics
     ///
     /// Panics on invalid names or if `name` is registered with a
-    /// non-counter type.
+    /// non-counter type (use [`Registry::try_register_counter`] to handle
+    /// that without panicking).
     pub fn register_counter(&self, name: &str, help: &str, labels: &[(&str, &str)], c: Counter) {
-        assert!(valid_name(name), "invalid metric name: {name:?}");
-        assert!(
-            labels.iter().all(|(k, _)| valid_name(k) && *k != "le"),
-            "invalid label name in {labels:?}"
-        );
-        let mut inner = self.inner.lock().expect("registry lock");
-        inner
-            .help
-            .entry(name.to_string())
-            .or_insert_with(|| help.to_string());
-        let key = make_key(name, labels);
-        if let Some(existing) = inner.metrics.get(&key) {
-            assert!(
-                matches!(existing, Metric::Counter(_)),
-                "{name} already registered as {}",
-                existing.kind()
-            );
-        }
-        inner.metrics.insert(key, Metric::Counter(c));
+        self.try_register_counter(name, help, labels, c)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Number of registered series.
@@ -333,6 +485,67 @@ mod tests {
         let reg = Registry::new();
         reg.counter("m", "m", &[]);
         reg.gauge("m", "m", &[]);
+    }
+
+    #[test]
+    fn duplicate_same_kind_is_idempotent() {
+        let reg = Registry::new();
+        let a = reg.try_counter("dup_total", "d", &[]).unwrap();
+        a.inc_by(3);
+        let b = reg.try_counter("dup_total", "d", &[]).unwrap();
+        assert_eq!(b.get(), 3, "second registration returns the same handle");
+        assert_eq!(reg.len(), 1);
+        reg.try_gauge("g", "g", &[]).unwrap();
+        reg.try_gauge("g", "g", &[]).unwrap();
+        reg.try_histogram("h", "h", &[]).unwrap();
+        reg.try_histogram("h", "h", &[]).unwrap();
+        assert_eq!(reg.len(), 3);
+    }
+
+    #[test]
+    fn kind_mismatch_is_an_error_not_a_crash() {
+        let reg = Registry::new();
+        reg.try_counter("m_total", "m", &[]).unwrap();
+        let err = reg.try_gauge("m_total", "m", &[]).unwrap_err();
+        assert_eq!(
+            err,
+            RegistryError::KindMismatch {
+                name: "m_total".into(),
+                existing: "counter",
+                requested: "gauge",
+            }
+        );
+        assert!(err.to_string().contains("already registered"), "{err}");
+        let err = reg
+            .try_histogram("m_total", "m", &[])
+            .expect_err("histogram over counter");
+        assert!(matches!(err, RegistryError::KindMismatch { .. }));
+        // The original series is untouched and still usable.
+        let c = reg.try_counter("m_total", "m", &[]).unwrap();
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn attach_conflicts_are_errors_and_do_not_clobber() {
+        let reg = Registry::new();
+        let c = reg.counter("series", "s", &[]);
+        c.inc_by(5);
+        let err = reg
+            .try_register_histogram("series", "s", &[], Arc::new(Histogram::new()))
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::KindMismatch { .. }));
+        assert_eq!(
+            reg.counter("series", "s", &[]).get(),
+            5,
+            "failed attach leaves the existing series intact"
+        );
+        let g = reg.gauge("depth", "d", &[]);
+        g.set(2);
+        let err = reg
+            .try_register_counter("depth", "d", &[], Counter::default())
+            .unwrap_err();
+        assert!(err.to_string().contains("gauge"), "{err}");
     }
 
     #[test]

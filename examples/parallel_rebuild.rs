@@ -9,7 +9,7 @@ use oi_raid_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::temp_dir().join(format!("oi-raid-demo-{}", std::process::id()));
-    let mut store = OiRaidStore::create_in_dir(OiRaidConfig::reference(), 4096, &dir)?;
+    let store = OiRaidStore::create_in_dir(OiRaidConfig::reference(), 4096, &dir)?;
     println!(
         "created {} disk images under {}",
         store.devices().len(),

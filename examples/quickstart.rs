@@ -31,7 +31,7 @@ fn main() {
 
     // A byte-level store over the same geometry: real XOR parity in both
     // layers, 4 KiB chunks.
-    let mut store = OiRaidStore::new(config, 4096).expect("store constructs");
+    let store = OiRaidStore::new(config, 4096).expect("store constructs");
     println!("\nwriting {} chunks of data...", store.data_chunks());
     let payload: Vec<Vec<u8>> = (0..store.data_chunks())
         .map(|i| {

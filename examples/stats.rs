@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let devices: Vec<_> = (0..probe.array().disks())
         .map(|_| FaultInjectingDevice::new(MemDevice::new(CHUNK, chunks), latency))
         .collect();
-    let mut store = OiRaidStore::with_devices(cfg, CHUNK, devices)?;
+    let store = OiRaidStore::with_devices(cfg, CHUNK, devices)?;
     for idx in 0..store.data_chunks() {
         store.write_data(idx, &vec![(idx % 251) as u8 + 1; CHUNK])?;
     }

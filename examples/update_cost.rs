@@ -14,7 +14,7 @@ fn main() {
     // Trace one update through the geometry.
     let idx = 17;
     let addr = array.locate_data(idx);
-    let set = array.update_set(addr);
+    let set = array.update_set(addr).expect("data chunk");
     println!("updating logical data chunk {idx} (at {addr}):");
     let labels = [
         "data chunk itself",
@@ -40,8 +40,11 @@ fn main() {
     );
 
     // Verify it holds for *every* data chunk, not just one.
-    let all_optimal =
-        (0..array.data_chunks()).all(|i| array.update_set(array.locate_data(i)).len() == 4);
+    let all_optimal = (0..array.data_chunks()).all(|i| {
+        array
+            .update_set(array.locate_data(i))
+            .is_ok_and(|s| s.len() == 4)
+    });
     println!(
         "verified over all {} data chunks: {all_optimal}",
         array.data_chunks()
@@ -96,7 +99,7 @@ fn main() {
     }
 
     // And the real thing: count bytes actually touched by the byte store.
-    let mut store = OiRaidStore::new(OiRaidConfig::reference(), 1024).expect("store");
+    let store = OiRaidStore::new(OiRaidConfig::reference(), 1024).expect("store");
     store.write_data(idx, &[0x5A; 1024]).expect("write");
     assert!(store.check_parity().is_empty());
     println!("\nbyte-level store: the incremental update left both parity layers consistent.");

@@ -121,7 +121,9 @@ fn cmd_info(array: &OiRaid, o: &Opts) {
     );
     println!(
         "update cost  : {} writes per data-chunk write",
-        array.update_set(array.locate_data(0)).len()
+        array
+            .update_set(array.locate_data(0))
+            .map_or(0, |s| s.len())
     );
     if array.config().inner_parities() == 1 {
         println!(

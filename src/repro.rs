@@ -30,8 +30,9 @@ pub mod prelude {
     };
     pub use oi_raid::{
         analysis::Model, DegradedScenario, HealCounters, OiRaid, OiRaidConfig, OiRaidStore,
-        ReadPlan, RebuildMode, RebuildObserver, RebuildOutcome, RebuildReport, RecoveryStrategy,
-        ScrubReport, SkewMode, StageSummary, StageTimings, StoreTelemetry,
+        QosConfig, QosCounters, ReadPlan, RebuildMode, RebuildObserver, RebuildOutcome,
+        RebuildReport, RecoveryStrategy, ScrubReport, SkewMode, StageSummary, StageTimings,
+        StoreError, StoreTelemetry,
     };
     pub use reliability::markov::array_mttdl;
     pub use reliability::montecarlo::{simulate_lifetime, Lifetime, LifetimeConfig};

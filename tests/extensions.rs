@@ -20,7 +20,7 @@ fn dual_parity_store_full_lifecycle_with_degraded_reads() {
         .unwrap()
         .with_inner_parities(2)
         .unwrap();
-    let mut store = OiRaidStore::new(cfg, 32).unwrap();
+    let store = OiRaidStore::new(cfg, 32).unwrap();
     let mut expect = Vec::new();
     for i in 0..store.data_chunks() {
         let data: Vec<u8> = (0..32).map(|j| ((i * 73 + j * 29) % 251) as u8).collect();
@@ -45,7 +45,7 @@ fn read_plans_agree_with_store_behaviour() {
     // Wherever read_plan says "direct"/"inner"/"outer", the store must be
     // able to serve the read; where it reports loss, rebuild must fail too.
     let array = OiRaid::new(OiRaidConfig::reference()).unwrap();
-    let mut store = OiRaidStore::new(OiRaidConfig::reference(), 8).unwrap();
+    let store = OiRaidStore::new(OiRaidConfig::reference(), 8).unwrap();
     for i in 0..store.data_chunks() {
         store.write_data(i, &[i as u8; 8]).unwrap();
     }

@@ -1,0 +1,292 @@
+//! Online-I/O integration: the store must keep serving reads *and writes*
+//! while disks are failed and while a rebuild is in flight, and the rebuild
+//! must never clobber data written concurrently with it.
+//!
+//! The tests drive foreground traffic from the test thread while the rebuild
+//! engine runs in a scoped thread against the same `&OiRaidStore` — the
+//! whole I/O surface takes `&self`. Latency-injecting devices stretch the
+//! rebuild so the two phases genuinely overlap. Set `OI_DEGRADED_IO=1` to
+//! additionally run the heavy concurrent sweep with transient faults armed
+//! (the CI degraded-io job does).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use oi_raid_repro::prelude::*;
+
+type FaultyMemStore = OiRaidStore<FaultInjectingDevice<MemDevice>>;
+
+/// A reference-config store on fault-injecting memory devices.
+fn faulty_mem_store(chunk_size: usize) -> FaultyMemStore {
+    let cfg = OiRaidConfig::reference();
+    let devices: Vec<_> = (0..cfg.disks())
+        .map(|_| {
+            FaultInjectingDevice::new(
+                MemDevice::new(chunk_size, cfg.chunks_per_disk()),
+                FaultConfig::default(),
+            )
+        })
+        .collect();
+    OiRaidStore::with_devices(cfg, chunk_size, devices).unwrap()
+}
+
+/// Fills every data chunk with a deterministic pattern and returns the
+/// expected contents by logical index.
+fn fill<B: BlockDevice>(store: &OiRaidStore<B>, seed: u64) -> Vec<Vec<u8>> {
+    let cs = store.chunk_size();
+    let mut x = seed | 1;
+    let mut expect = Vec::new();
+    for idx in 0..store.data_chunks() {
+        let chunk: Vec<u8> = (0..cs)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        store.write_data(idx, &chunk).unwrap();
+        expect.push(chunk);
+    }
+    expect
+}
+
+/// Arms every device with symmetric read/write latency (a crude spindle).
+fn arm_latency(store: &FaultyMemStore, lat: Duration) {
+    for dev in store.devices() {
+        dev.set_config(FaultConfig::latency(lat, lat));
+    }
+}
+
+fn disarm(store: &FaultyMemStore) {
+    for dev in store.devices() {
+        dev.set_config(FaultConfig::default());
+    }
+}
+
+/// Runs `writer` on the test thread while the rebuild engine recovers
+/// `fail` on another; returns the report and the foreground writes made.
+fn rebuild_with_foreground_writes(
+    store: &FaultyMemStore,
+    fail: &[usize],
+    stride: usize,
+) -> (RebuildReport, HashMap<usize, Vec<u8>>) {
+    let cs = store.chunk_size();
+    for &d in fail {
+        store.fail_disk(d).unwrap();
+    }
+    let done = AtomicBool::new(false);
+    let mut written: HashMap<usize, Vec<u8>> = HashMap::new();
+    let report = std::thread::scope(|s| {
+        let rebuild = s.spawn(|| {
+            let r = store
+                .rebuild(RebuildMode::Parallel, RecoveryStrategy::Hybrid)
+                .unwrap();
+            done.store(true, Ordering::Relaxed);
+            r
+        });
+        let mut round = 0usize;
+        while !done.load(Ordering::Relaxed) && round < 10_000 {
+            for idx in (round % stride..store.data_chunks()).step_by(stride) {
+                let val: Vec<u8> = (0..cs).map(|j| (idx * 31 + j * 7 + round) as u8).collect();
+                store.write_data(idx, &val).unwrap();
+                written.insert(idx, val);
+            }
+            round += 1;
+        }
+        rebuild.join().expect("rebuild thread")
+    });
+    (report, written)
+}
+
+/// Every chunk — foreground-written or original — must read back exactly,
+/// and both parity layers must be consistent.
+fn verify_store(store: &FaultyMemStore, expect: &[Vec<u8>], written: &HashMap<usize, Vec<u8>>) {
+    for (idx, orig) in expect.iter().enumerate() {
+        let want = written.get(&idx).unwrap_or(orig);
+        assert_eq!(&store.read_data(idx).unwrap(), want, "chunk {idx}");
+    }
+    assert!(store.check_parity().is_empty());
+}
+
+#[test]
+fn foreground_writes_during_rebuild_are_never_clobbered() {
+    let store = faulty_mem_store(16);
+    let expect = fill(&store, 11);
+    // Enough per-read latency that the rebuild is still running while the
+    // foreground writer makes several passes.
+    arm_latency(&store, Duration::from_micros(300));
+    let (report, written) = rebuild_with_foreground_writes(&store, &[4], 7);
+    assert!(report.outcome.is_recovered(), "{report}");
+    disarm(&store);
+    assert!(!written.is_empty());
+    verify_store(&store, &expect, &written);
+}
+
+#[test]
+fn foreground_writes_survive_triple_failure_rebuild() {
+    let store = faulty_mem_store(16);
+    let expect = fill(&store, 23);
+    arm_latency(&store, Duration::from_micros(200));
+    let (report, written) = rebuild_with_foreground_writes(&store, &[2, 9, 17], 5);
+    assert!(report.outcome.is_recovered(), "{report}");
+    assert_eq!(report.rebuilt_disks, vec![2, 9, 17]);
+    disarm(&store);
+    verify_store(&store, &expect, &written);
+}
+
+#[test]
+fn degraded_writes_roundtrip_after_engine_rebuild() {
+    // 1, 2, and 3 failed disks: writes land while the disks are down, read
+    // back degraded, and the engine's rebuild materializes them.
+    for fail in [vec![2usize], vec![2, 9], vec![2, 9, 17]] {
+        let store = faulty_mem_store(8);
+        let expect = fill(&store, 42);
+        for &d in &fail {
+            store.fail_disk(d).unwrap();
+        }
+        let mut written = HashMap::new();
+        for idx in (0..store.data_chunks()).step_by(4) {
+            let val: Vec<u8> = (0..8).map(|j| (idx * 53 + j * 29 + 11) as u8).collect();
+            store.write_data(idx, &val).unwrap();
+            written.insert(idx, val);
+        }
+        // Degraded readback before any recovery.
+        for (idx, val) in &written {
+            assert_eq!(&store.read_data(*idx).unwrap(), val, "{fail:?} degraded");
+        }
+        let report = store
+            .rebuild(RebuildMode::Serial, RecoveryStrategy::Hybrid)
+            .unwrap();
+        assert!(report.outcome.is_recovered(), "{fail:?}: {report}");
+        verify_store(&store, &expect, &written);
+    }
+}
+
+#[test]
+fn partial_byte_io_rmw_roundtrips_healthy_and_degraded() {
+    let store = faulty_mem_store(16);
+    let expect = fill(&store, 7);
+    let cap = store.capacity_bytes();
+    let last = store.data_chunks() - 1;
+
+    // Healthy: unaligned offset and length into the tail chunk.
+    store.write_bytes(cap - 7, &[0x5Au8; 5]).unwrap();
+    let mut want = expect[last].clone();
+    for b in &mut want[9..14] {
+        *b = 0x5A;
+    }
+    assert_eq!(store.read_data(last).unwrap(), want);
+
+    // Degraded: fail the tail chunk's disk, then byte-RMW both the tail and
+    // a chunk-spanning range; the old bytes must be reconstructed.
+    store.fail_disk(store.locate(last).disk).unwrap();
+    store.write_bytes(cap - 3, &[0x6Bu8; 3]).unwrap();
+    for b in &mut want[13..16] {
+        *b = 0x6B;
+    }
+    let mut got = vec![0u8; 16];
+    store.read_bytes(cap - 16, &mut got).unwrap();
+    assert_eq!(got, want, "degraded byte readback");
+
+    let report = store
+        .rebuild(RebuildMode::Parallel, RecoveryStrategy::Hybrid)
+        .unwrap();
+    assert!(report.outcome.is_recovered());
+    assert_eq!(store.read_data(last).unwrap(), want);
+    assert!(store.check_parity().is_empty());
+}
+
+#[test]
+fn rebuild_throttle_yields_to_foreground_traffic() {
+    let store = faulty_mem_store(16);
+    fill(&store, 3);
+    // A tight budget (well below the rebuild's appetite) with an ample
+    // foreground window so the whole run counts as contended.
+    let mut qos = QosConfig::throttled(500.0);
+    qos.burst_chunks = 1;
+    qos.foreground_window = Duration::from_secs(5);
+    store.set_qos(qos);
+    store.fail_disk(4).unwrap();
+    store.read_data(0).unwrap(); // stamp foreground activity
+    let report = store
+        .rebuild(RebuildMode::Parallel, RecoveryStrategy::Hybrid)
+        .unwrap();
+    assert!(report.outcome.is_recovered(), "{report}");
+    assert!(report.throttle_waits > 0, "throttle engaged: {report}");
+    assert!(report.throttle_wait > Duration::ZERO);
+    let c = store.qos_counters();
+    assert!(c.throttle_waits >= report.throttle_waits);
+    assert!(store.check_parity().is_empty());
+
+    // Unthrottled control: no waits.
+    store.set_qos(QosConfig::unlimited());
+    store.fail_disk(9).unwrap();
+    let free = store
+        .rebuild(RebuildMode::Parallel, RecoveryStrategy::Hybrid)
+        .unwrap();
+    assert_eq!(free.throttle_waits, 0);
+}
+
+#[test]
+fn foreground_latency_metrics_are_exported() {
+    telemetry::set_enabled(true);
+    let store = faulty_mem_store(8);
+    fill(&store, 5);
+    store.fail_disk(3).unwrap();
+    for idx in 0..store.data_chunks() {
+        store.read_data(idx).unwrap();
+    }
+    store.write_data(0, &[1u8; 8]).unwrap();
+    let reg = Registry::new();
+    store.export_metrics(&reg);
+    let text = reg.prometheus();
+    lint_prometheus(&text).expect("prometheus output is lint-clean");
+    for series in [
+        "oi_store_foreground_reads_total",
+        "oi_store_foreground_writes_total",
+        "oi_store_foreground_read_latency_ns",
+        "oi_store_foreground_write_latency_ns",
+        "oi_store_degraded_writes_total",
+        "oi_store_rebuild_throttle_waits_total",
+    ] {
+        assert!(text.contains(series), "{series} missing from:\n{text}");
+    }
+}
+
+/// The heavy sweep: concurrent foreground writes during rebuild *with*
+/// transient faults armed on the surviving disks. Gated behind
+/// `OI_DEGRADED_IO=1` (the CI degraded-io job sets it).
+#[test]
+fn degraded_io_matrix_with_transient_faults() {
+    if std::env::var("OI_DEGRADED_IO").is_err() {
+        eprintln!("skipping: set OI_DEGRADED_IO=1 to run the degraded-io matrix");
+        return;
+    }
+    for (seed, fail, per_mille) in [
+        (101u64, vec![4usize], 30u16),
+        (202, vec![2, 9], 20),
+        (303, vec![0, 1, 2], 10), // a whole group
+    ] {
+        let store = faulty_mem_store(16);
+        let expect = fill(&store, seed);
+        for (d, dev) in store.devices().iter().enumerate() {
+            if fail.contains(&d) {
+                continue;
+            }
+            dev.set_config(FaultConfig {
+                seed: seed ^ (d as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                transient_read_per_mille: per_mille,
+                transient_write_per_mille: per_mille,
+                read_latency: Duration::from_micros(100),
+                write_latency: Duration::from_micros(100),
+                ..FaultConfig::default()
+            });
+        }
+        let (report, written) = rebuild_with_foreground_writes(&store, &fail, 6);
+        assert!(report.outcome.is_recovered(), "{fail:?}: {report}");
+        disarm(&store);
+        verify_store(&store, &expect, &written);
+    }
+}

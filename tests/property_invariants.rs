@@ -44,7 +44,7 @@ proptest! {
     fn update_sets_are_always_optimal(cfg in configs(), pick in any::<u32>()) {
         let array = OiRaid::new(cfg).unwrap();
         let idx = pick as usize % array.data_chunks();
-        let set = array.update_set(array.locate_data(idx));
+        let set = array.update_set(array.locate_data(idx)).unwrap();
         prop_assert_eq!(set.len(), 4);
         let disks: std::collections::HashSet<usize> = set.iter().map(|a| a.disk).collect();
         prop_assert_eq!(disks.len(), 4, "writes land on distinct disks");
@@ -93,7 +93,7 @@ proptest! {
     ) {
         let array = OiRaid::new(cfg.clone()).unwrap();
         let n = array.disks();
-        let mut store = OiRaidStore::new(cfg, 8).unwrap();
+        let store = OiRaidStore::new(cfg, 8).unwrap();
         // Write a pseudo-random subset of chunks.
         let mut s = seed | 1;
         let mut written = std::collections::HashMap::new();

@@ -61,8 +61,8 @@ fn pick_failures(n: usize, count: usize, seed: u64) -> Vec<usize> {
 
 /// Runs the serial-vs-parallel comparison on two identically-filled stores.
 fn assert_parallel_matches_serial<B: BlockDevice>(
-    mut serial: OiRaidStore<B>,
-    mut parallel: OiRaidStore<B>,
+    serial: OiRaidStore<B>,
+    parallel: OiRaidStore<B>,
     failures: &[usize],
     strategy: RecoveryStrategy,
 ) -> Result<(), TestCaseError> {

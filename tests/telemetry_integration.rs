@@ -25,7 +25,7 @@ fn slow_store(
             )
         })
         .collect();
-    let mut store = OiRaidStore::with_devices(cfg, chunk_size, devices).unwrap();
+    let store = OiRaidStore::with_devices(cfg, chunk_size, devices).unwrap();
     let mut x = 0x5EED_u64;
     for idx in 0..store.data_chunks() {
         let chunk: Vec<u8> = (0..chunk_size)
@@ -44,7 +44,7 @@ fn slow_store(
 #[test]
 fn progress_polled_mid_rebuild_is_monotone_and_reaches_one() {
     telemetry::set_enabled(true);
-    let mut store = slow_store(16, Duration::from_micros(300));
+    let store = slow_store(16, Duration::from_micros(300));
     store.fail_disk(4).unwrap();
 
     let obs = RebuildObserver::default();
@@ -85,7 +85,7 @@ fn progress_polled_mid_rebuild_is_monotone_and_reaches_one() {
 #[test]
 fn stage_spans_cover_the_rebuild_wall_time() {
     telemetry::set_enabled(true);
-    let mut store = slow_store(16, Duration::from_micros(200));
+    let store = slow_store(16, Duration::from_micros(200));
     store.fail_disk(7).unwrap();
     let obs = RebuildObserver::default();
     let report = store
@@ -115,7 +115,7 @@ fn stage_spans_cover_the_rebuild_wall_time() {
 #[test]
 fn full_run_exports_lint_clean() {
     telemetry::set_enabled(true);
-    let mut store = slow_store(8, Duration::from_micros(50));
+    let store = slow_store(8, Duration::from_micros(50));
     store.fail_disk(2).unwrap();
     let obs = RebuildObserver::default();
     let report = store
