@@ -1348,7 +1348,230 @@ pub fn e17_online_qos() -> Vec<(String, Table)> {
     )]
 }
 
-/// Runs one experiment by id (`e1`..`e17`, `a1`, `a2`), or `all`.
+/// E18 — DAG-scheduled rebuild vs the barrier-round engine.
+///
+/// Two tables. **E18a** rebuilds the same 2-disk failure (disks 4 and 9)
+/// on 300 µs spindles with the parallel barrier engine and with the DAG
+/// executor at several pool sizes: the barrier engine serializes every
+/// writeback into the driver thread after each read phase, while the DAG
+/// overlaps writebacks with reads on other disks, so the speedup column
+/// isolates exactly the barrier cost. **E18b** runs a rebuild storm on one
+/// thread while the main thread issues foreground RMW `write_data` calls
+/// to chunks off the failed disks, and reports the foreground write
+/// percentiles per engine — degraded RMW now enters through striped
+/// per-region locks rather than a store-wide update lock, so foreground
+/// writes keep flowing under either engine. The `degraded` column counts
+/// writes whose update set had unavailable members mid-rebuild: those skip
+/// the missing devices (the implied value already reflects the write) and
+/// finish in microseconds, which pulls the p50 down while a storm runs.
+///
+/// The fill phase runs with faults disarmed; the spindle latency is armed
+/// (reads *and* writes) only once the data is in place, so every measured
+/// rebuild op pays the device.
+pub fn e18_dag_scheduler() -> Vec<(String, Table)> {
+    use blockdev::{BlockDevice, FaultConfig, FaultInjectingDevice, MemDevice};
+    use oi_raid::{OiRaidStore, RebuildMode, RebuildOutcome};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::{Duration, Instant};
+
+    telemetry::set_enabled(true);
+    const CHUNK: usize = 4096;
+    /// Each engine's rebuild storm in E18b runs at least this long.
+    const STORM: Duration = Duration::from_millis(250);
+    let latency = Duration::from_micros(300);
+    let failed = [4usize, 9];
+    let cfg = OiRaidConfig::reference();
+    let chunks = {
+        let probe = OiRaidStore::new(cfg.clone(), CHUNK).expect("reference store");
+        probe.devices()[0].chunks()
+    };
+    let make_store = || {
+        let devices: Vec<_> = (0..21)
+            .map(|_| {
+                FaultInjectingDevice::new(MemDevice::new(CHUNK, chunks), FaultConfig::default())
+            })
+            .collect();
+        let store = OiRaidStore::with_devices(cfg.clone(), CHUNK, devices).expect("valid devices");
+        for idx in 0..store.data_chunks() {
+            let chunk: Vec<u8> = (0..CHUNK).map(|j| (idx * 197 + j * 13 + 7) as u8).collect();
+            store.write_data(idx, &chunk).expect("healthy write");
+        }
+        for dev in store.devices() {
+            dev.set_config(FaultConfig::latency(latency, latency));
+        }
+        store
+    };
+
+    // E18a: engine/pool sweep over the identical 2-disk rebuild. Each
+    // configuration rebuilds three times on fresh stores and keeps the
+    // fastest run — wall clocks in the single-digit-millisecond range are
+    // noisy on a shared machine, and the minimum is the stable estimator
+    // of what the engine actually costs.
+    let run_engine = |mode: RebuildMode, pool: Option<usize>| {
+        let mut best: Option<oi_raid::RebuildReport> = None;
+        for _ in 0..3 {
+            let mut store = make_store();
+            store.set_dag_workers(pool);
+            for &d in &failed {
+                store.fail_disk(d).expect("valid disk");
+            }
+            let report = store
+                .rebuild(mode, RecoveryStrategy::Hybrid)
+                .expect("rebuild");
+            assert_eq!(report.outcome, RebuildOutcome::Complete);
+            if best.as_ref().is_none_or(|b| report.wall < b.wall) {
+                best = Some(report);
+            }
+        }
+        best.expect("three trials ran")
+    };
+    let mut t1 = Table::new(&[
+        "engine",
+        "pool",
+        "wall (ms)",
+        "speedup (x)",
+        "utilization",
+        "steals",
+        "peak ready",
+        "peak disk queue",
+    ]);
+    let base = run_engine(RebuildMode::Parallel, None);
+    let base_ms = base.wall.as_secs_f64() * 1e3;
+    let mut auto_speedup = 0.0;
+    let runs = [
+        ("parallel (barrier)", None, base),
+        ("dag", Some(1), run_engine(RebuildMode::Dag, Some(1))),
+        ("dag", Some(4), run_engine(RebuildMode::Dag, Some(4))),
+        ("dag (auto)", None, run_engine(RebuildMode::Dag, None)),
+    ];
+    for (name, _, r) in &runs {
+        let wall_ms = r.wall.as_secs_f64() * 1e3;
+        let speedup = base_ms / wall_ms;
+        if *name == "dag (auto)" {
+            auto_speedup = speedup;
+        }
+        let peak_queue = r
+            .device_io
+            .iter()
+            .map(|s| s.max_inflight)
+            .max()
+            .unwrap_or(0);
+        t1.row_owned(vec![
+            (*name).into(),
+            r.workers.to_string(),
+            f3(wall_ms),
+            f3(speedup),
+            f3(r.worker_utilization()),
+            r.sched.steals.to_string(),
+            r.sched.max_ready_depth.to_string(),
+            peak_queue.to_string(),
+        ]);
+    }
+    // The headline acceptance bound: the DAG engine at its default pool
+    // size beats the barrier engine by >= 1.5x on this workload.
+    assert!(
+        auto_speedup >= 1.5,
+        "dag speedup {auto_speedup:.3} below the 1.5x bound"
+    );
+
+    // E18b: foreground RMW latency while each engine's rebuild storm runs.
+    let fg_set = |store: &OiRaidStore<FaultInjectingDevice<MemDevice>>| -> Vec<usize> {
+        (0..store.data_chunks())
+            .filter(|&i| !failed.contains(&store.locate(i).disk))
+            .collect()
+    };
+    let payload =
+        |i: usize| -> Vec<u8> { (0..CHUNK).map(|j| (i * 41 + j * 11 + 5) as u8).collect() };
+    let (healthy_p50, healthy_p99, healthy_count) = {
+        let store = make_store();
+        let set = fg_set(&store);
+        for i in 0..300usize {
+            store
+                .write_data(set[i % set.len()], &payload(i))
+                .expect("healthy write");
+        }
+        let snap = store.telemetry().foreground_write_latency().snapshot();
+        (snap.p50(), snap.p99(), snap.count)
+    };
+    let mut t2 = Table::new(&[
+        "engine",
+        "rebuild cycles",
+        "fg writes",
+        "degraded",
+        "fg p50 (ms)",
+        "fg p99 (ms)",
+        "p99 vs healthy (x)",
+    ]);
+    t2.row_owned(vec![
+        "healthy (no rebuild)".into(),
+        "0".into(),
+        healthy_count.to_string(),
+        "0".into(),
+        f3(healthy_p50 as f64 / 1e6),
+        f3(healthy_p99 as f64 / 1e6),
+        "1.000".into(),
+    ]);
+    for (name, mode) in [
+        ("parallel (barrier)", RebuildMode::Parallel),
+        ("dag (auto)", RebuildMode::Dag),
+    ] {
+        let store = make_store();
+        let set = fg_set(&store);
+        let done = AtomicBool::new(false);
+        let (cycles, writes) = std::thread::scope(|s| {
+            let storm = s.spawn(|| {
+                let began = Instant::now();
+                let mut cycles = 0u32;
+                while began.elapsed() < STORM || cycles == 0 {
+                    for &d in &failed {
+                        store.fail_disk(d).expect("valid disk");
+                    }
+                    let r = store
+                        .rebuild(mode, RecoveryStrategy::Hybrid)
+                        .expect("rebuild");
+                    assert_eq!(r.outcome, RebuildOutcome::Complete);
+                    cycles += 1;
+                }
+                done.store(true, Ordering::Relaxed);
+                cycles
+            });
+            let mut i = 0usize;
+            while !done.load(Ordering::Relaxed) && i < 2_000_000 {
+                store
+                    .write_data(set[i % set.len()], &payload(i))
+                    .expect("online write");
+                i += 1;
+            }
+            (storm.join().expect("rebuild storm"), i)
+        });
+        let snap = store.telemetry().foreground_write_latency().snapshot();
+        assert!(writes > 0, "foreground made no progress under {name}");
+        t2.row_owned(vec![
+            name.into(),
+            cycles.to_string(),
+            snap.count.to_string(),
+            store.telemetry().degraded_writes().to_string(),
+            f3(snap.p50() as f64 / 1e6),
+            f3(snap.p99() as f64 / 1e6),
+            f3(snap.p99() as f64 / healthy_p99 as f64),
+        ]);
+    }
+
+    vec![
+        (
+            "E18a: rebuild engine wall clock — disks {4, 9} failed, 300us spindles \
+             (reads and writes)"
+                .into(),
+            t1,
+        ),
+        (
+            "E18b: foreground RMW write latency during a 2-disk rebuild storm".into(),
+            t2,
+        ),
+    ]
+}
+
+/// Runs one experiment by id (`e1`..`e18`, `a1`, `a2`), or `all`.
 /// Returns the rendered tables; unknown ids return `None`.
 pub fn run(id: &str) -> Option<Vec<(String, Table)>> {
     match id {
@@ -1369,12 +1592,13 @@ pub fn run(id: &str) -> Option<Vec<(String, Table)>> {
         "e15" => Some(e15_telemetry_overhead()),
         "e16" => Some(e16_self_healing()),
         "e17" => Some(e17_online_qos()),
+        "e18" => Some(e18_dag_scheduler()),
         "a2" => Some(a2_strategy_ablation()),
         "all" => {
             let mut out = Vec::new();
             for id in [
                 "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-                "e14", "e15", "e16", "e17", "a2",
+                "e14", "e15", "e16", "e17", "e18", "a2",
             ] {
                 out.extend(run(id).expect("known id"));
             }

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use crate::{BlockDevice, CounterSnapshot, DeviceError, DeviceLatency};
+use crate::{BlockDevice, CounterSnapshot, DeviceError, DeviceLatency, InflightTracker};
 
 /// Fault-injection policy. All decisions derive from `seed`, so runs are
 /// reproducible.
@@ -95,6 +95,9 @@ pub struct FaultInjectingDevice<B> {
     remapped: Mutex<HashSet<usize>>,
     faults: AtomicU64,
     injected_latency_ns: AtomicU64,
+    /// Queue depth as seen by callers: covers the injected sleep, which
+    /// the wrapped device's own tracker never sees.
+    inflight: InflightTracker,
     /// Total service time seen by callers (sleep + inner device).
     latency: DeviceLatency,
 }
@@ -113,6 +116,7 @@ impl<B: BlockDevice> FaultInjectingDevice<B> {
             remapped: Mutex::new(HashSet::new()),
             faults: AtomicU64::new(0),
             injected_latency_ns: AtomicU64::new(0),
+            inflight: InflightTracker::default(),
             latency: DeviceLatency::default(),
         }
     }
@@ -218,6 +222,7 @@ impl<B: BlockDevice> BlockDevice for FaultInjectingDevice<B> {
     }
 
     fn read_chunk(&self, chunk: usize, buf: &mut [u8]) -> Result<(), DeviceError> {
+        let _io = self.inflight.begin();
         let began = Instant::now();
         let cfg = self.config();
         if self.count_read_toward_death(&cfg) {
@@ -244,6 +249,7 @@ impl<B: BlockDevice> BlockDevice for FaultInjectingDevice<B> {
     }
 
     fn write_chunk(&self, chunk: usize, data: &[u8]) -> Result<(), DeviceError> {
+        let _io = self.inflight.begin();
         let began = Instant::now();
         let cfg = self.config();
         if self.died.load(Ordering::Relaxed) {
@@ -284,6 +290,7 @@ impl<B: BlockDevice> BlockDevice for FaultInjectingDevice<B> {
         let mut c = self.inner.counters();
         c.faults = self.faults.load(Ordering::Relaxed);
         c.injected_latency_ns = self.injected_latency_ns.load(Ordering::Relaxed);
+        c.max_inflight = c.max_inflight.max(self.inflight.peak());
         c
     }
 
@@ -291,6 +298,7 @@ impl<B: BlockDevice> BlockDevice for FaultInjectingDevice<B> {
         self.inner.reset_counters();
         self.faults.store(0, Ordering::Relaxed);
         self.injected_latency_ns.store(0, Ordering::Relaxed);
+        self.inflight.reset();
         self.latency.read.reset();
         self.latency.write.reset();
     }

@@ -95,6 +95,7 @@ impl BlockDevice for FileDevice {
 
     fn read_chunk(&self, chunk: usize, buf: &mut [u8]) -> Result<(), DeviceError> {
         check_io(chunk, self.chunks, buf.len(), self.chunk_size)?;
+        let _io = self.counters.begin_io();
         if self.is_failed() {
             return Err(DeviceError::Failed);
         }
@@ -111,6 +112,7 @@ impl BlockDevice for FileDevice {
     /// One seek + one `read_exact` for the whole run: a single I/O op.
     fn read_chunks(&self, first: usize, count: usize, buf: &mut [u8]) -> Result<(), DeviceError> {
         check_io_run(first, count, self.chunks, buf.len(), self.chunk_size)?;
+        let _io = self.counters.begin_io();
         if self.is_failed() {
             return Err(DeviceError::Failed);
         }
@@ -125,6 +127,7 @@ impl BlockDevice for FileDevice {
 
     fn write_chunk(&self, chunk: usize, data: &[u8]) -> Result<(), DeviceError> {
         check_io(chunk, self.chunks, data.len(), self.chunk_size)?;
+        let _io = self.counters.begin_io();
         if self.is_failed() {
             return Err(DeviceError::Failed);
         }

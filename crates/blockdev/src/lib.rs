@@ -228,6 +228,50 @@ pub struct DeviceLatency {
     pub write: Arc<Histogram>,
 }
 
+/// Live queue-depth accounting: how many operations are inside the device
+/// right now, and the deepest it has ever been. Scheduler experiments use
+/// the peak to verify that an engine actually kept a device's queue full
+/// (or, for single-spindle models, that it didn't oversubscribe).
+#[derive(Debug, Default)]
+pub struct InflightTracker {
+    inflight: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl InflightTracker {
+    /// Marks one operation in flight until the returned guard drops.
+    pub fn begin(&self) -> InflightGuard<'_> {
+        let now = self.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+        InflightGuard { tracker: self }
+    }
+
+    /// Deepest concurrent-operation count observed so far.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Resets the peak to the current in-flight count (not to zero: the
+    /// operations currently inside the device are still in flight).
+    pub fn reset(&self) {
+        self.peak
+            .store(self.inflight.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+/// RAII marker for one in-flight operation; dropping it decrements the
+/// device's live queue depth.
+#[derive(Debug)]
+pub struct InflightGuard<'a> {
+    tracker: &'a InflightTracker,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.tracker.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// Always-on per-device I/O counters (atomics: reads count under `&self`),
 /// plus shared service-time histograms for [`BlockDevice::latency`].
 #[derive(Debug, Default)]
@@ -238,6 +282,7 @@ pub struct Counters {
     bytes_written: AtomicU64,
     faults: AtomicU64,
     injected_latency_ns: AtomicU64,
+    inflight: InflightTracker,
     latency: DeviceLatency,
 }
 
@@ -258,6 +303,12 @@ impl Counters {
         self.latency.clone()
     }
 
+    /// Marks one operation in flight for queue-depth accounting; hold the
+    /// guard for the operation's full duration.
+    pub(crate) fn begin_io(&self) -> InflightGuard<'_> {
+        self.inflight.begin()
+    }
+
     pub(crate) fn snapshot(&self) -> CounterSnapshot {
         CounterSnapshot {
             reads: self.reads.load(Ordering::Relaxed),
@@ -266,6 +317,7 @@ impl Counters {
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             faults: self.faults.load(Ordering::Relaxed),
             injected_latency_ns: self.injected_latency_ns.load(Ordering::Relaxed),
+            max_inflight: self.inflight.peak(),
         }
     }
 
@@ -276,6 +328,7 @@ impl Counters {
         self.bytes_written.store(0, Ordering::Relaxed);
         self.faults.store(0, Ordering::Relaxed);
         self.injected_latency_ns.store(0, Ordering::Relaxed);
+        self.inflight.reset();
         self.latency.read.reset();
         self.latency.write.reset();
     }
@@ -298,10 +351,15 @@ pub struct CounterSnapshot {
     /// in nanoseconds (always 0 for plain backends) — separates modelled
     /// device time from engine overhead in rebuild accounting.
     pub injected_latency_ns: u64,
+    /// Peak queue depth: the most operations concurrently inside the
+    /// device since construction (or the last counter reset).
+    pub max_inflight: u64,
 }
 
 impl CounterSnapshot {
-    /// Counter deltas since `earlier` (saturating).
+    /// Counter deltas since `earlier` (saturating). `max_inflight` is a
+    /// peak, not an accumulator, so the later snapshot's value carries
+    /// through unchanged.
     pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
         CounterSnapshot {
             reads: self.reads.saturating_sub(earlier.reads),
@@ -312,6 +370,7 @@ impl CounterSnapshot {
             injected_latency_ns: self
                 .injected_latency_ns
                 .saturating_sub(earlier.injected_latency_ns),
+            max_inflight: self.max_inflight,
         }
     }
 
@@ -400,6 +459,32 @@ mod tests {
         assert_eq!(b.ops(), 4);
         c.reset();
         assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn inflight_peak_tracks_concurrent_guards() {
+        let t = InflightTracker::default();
+        assert_eq!(t.peak(), 0);
+        let a = t.begin();
+        let b = t.begin();
+        assert_eq!(t.peak(), 2);
+        drop(b);
+        let _c = t.begin();
+        assert_eq!(t.peak(), 2, "peak is sticky across drops");
+        drop(a);
+        // Reset keeps the still-in-flight op (`_c`) in the new peak.
+        t.reset();
+        assert_eq!(t.peak(), 1);
+        // The counter snapshot surfaces the peak and `since` keeps the
+        // later snapshot's value (a peak is not a delta).
+        let c = Counters::default();
+        {
+            let _one = c.begin_io();
+            let _two = c.begin_io();
+        }
+        let early = CounterSnapshot::default();
+        assert_eq!(c.snapshot().max_inflight, 2);
+        assert_eq!(c.snapshot().since(&early).max_inflight, 2);
     }
 
     #[test]

@@ -69,6 +69,7 @@ impl BlockDevice for MemDevice {
 
     fn read_chunk(&self, chunk: usize, buf: &mut [u8]) -> Result<(), DeviceError> {
         check_io(chunk, self.chunks, buf.len(), self.chunk_size)?;
+        let _io = self.counters.begin_io();
         let began = Instant::now();
         let guard = self.data.read().expect("mem lock");
         let data = guard.as_ref().ok_or(DeviceError::Failed)?;
@@ -82,6 +83,7 @@ impl BlockDevice for MemDevice {
     /// Contiguous storage: a run of chunks is one copy and one I/O op.
     fn read_chunks(&self, first: usize, count: usize, buf: &mut [u8]) -> Result<(), DeviceError> {
         check_io_run(first, count, self.chunks, buf.len(), self.chunk_size)?;
+        let _io = self.counters.begin_io();
         let began = Instant::now();
         let guard = self.data.read().expect("mem lock");
         let data = guard.as_ref().ok_or(DeviceError::Failed)?;
@@ -94,6 +96,7 @@ impl BlockDevice for MemDevice {
 
     fn write_chunk(&self, chunk: usize, data: &[u8]) -> Result<(), DeviceError> {
         check_io(chunk, self.chunks, data.len(), self.chunk_size)?;
+        let _io = self.counters.begin_io();
         let began = Instant::now();
         let mut guard = self.data.write().expect("mem lock");
         let store = guard.as_mut().ok_or(DeviceError::Failed)?;

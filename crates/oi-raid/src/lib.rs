@@ -72,7 +72,6 @@
 pub mod analysis;
 mod array;
 mod config;
-mod degraded;
 mod degraded_read;
 mod geometry;
 mod multifail;
@@ -85,8 +84,7 @@ mod store;
 
 pub use array::{ChunkInfo, OiRaid};
 pub use config::{OiRaidConfig, SkewMode};
-pub use degraded::{reference_scenario, DegradedRun, DegradedScenario};
-pub use degraded_read::ReadPlan;
+pub use degraded_read::{reference_scenario, DegradedRun, DegradedScenario, ReadPlan};
 pub use observe::{HealCounters, RebuildObserver, StageSummary, StageTimings};
 pub use qos::{QosConfig, QosCounters};
 pub use rebuild::{RebuildMode, RebuildOutcome, RebuildReport};

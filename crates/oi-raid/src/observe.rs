@@ -106,6 +106,11 @@ pub struct RebuildObserver {
     pub stages: StageTimings,
     /// Self-healing counters (retries, reroutes, escalations, repairs).
     pub heal: HealCounters,
+    /// Live DAG-scheduler gauges (ready-queue depth, in-flight ops,
+    /// steals), ticking while a [`RebuildMode::Dag`] round is executing.
+    ///
+    /// [`RebuildMode::Dag`]: crate::RebuildMode::Dag
+    pub sched: sched::SchedMetrics,
 }
 
 impl Default for RebuildObserver {
@@ -122,6 +127,7 @@ impl RebuildObserver {
             progress: Arc::new(Progress::new()),
             stages: StageTimings::default(),
             heal: HealCounters::default(),
+            sched: sched::SchedMetrics::default(),
         }
     }
 
@@ -182,6 +188,7 @@ impl RebuildObserver {
         ] {
             reg.register_counter(name, help, &[], c.clone());
         }
+        self.sched.export(reg);
     }
 }
 
@@ -209,7 +216,11 @@ mod tests {
         let obs = RebuildObserver::default();
         let reg = Registry::new();
         obs.export_metrics(&reg);
-        assert_eq!(reg.len(), 11, "4 stages + queue depth + 6 heal counters");
+        assert_eq!(
+            reg.len(),
+            14,
+            "4 stages + queue depth + 6 heal counters + 3 scheduler series"
+        );
         // Live: recording after registration shows up in the export.
         obs.stages.combine.record(1234);
         obs.heal.reroutes.inc_by(3);

@@ -17,9 +17,14 @@
 //! round recomputes them from the updated parity.
 
 use std::collections::{BTreeSet, HashSet};
-use std::sync::{Mutex, MutexGuard};
+use std::hash::{Hash, Hasher};
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use layout::ChunkAddr;
+
+/// Number of lock stripes parity relations hash onto. More stripes mean
+/// less false sharing between unrelated writers; the cost is only memory.
+const LOCK_STRIPES: usize = 64;
 
 /// One parity relation of the two-layer code, used as the granularity of
 /// dirty tracking: a foreground write invalidates reconstructions that
@@ -45,14 +50,48 @@ pub(crate) struct RebuildWindow {
     pub dirty: HashSet<Region>,
 }
 
+/// Guards held for the duration of one region-scoped read-modify-write:
+/// a shared hold on the store lock (excluding whole-array phases) plus
+/// the stripe mutexes covering every relation the operation touches.
+/// Dropping the struct releases everything.
+pub(crate) struct RegionGuards<'a> {
+    _all: RwLockReadGuard<'a, ()>,
+    _stripes: Vec<MutexGuard<'a, ()>>,
+}
+
 /// Per-store online-I/O state. Cloning a store starts with fresh state
 /// (no rebuild in flight), mirroring how telemetry clones.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct OnlineState {
-    /// Serializes every parity read-modify-write cycle: foreground
-    /// writes, degraded reconstructions, and rebuild writebacks.
-    update_lock: Mutex<()>,
+    /// Two-tier update locking. Region-scoped read-modify-writes (a
+    /// foreground RMW, a rebuild writeback) hold this *shared* plus the
+    /// stripe mutexes their relations hash to; whole-array phases (the
+    /// dense reconstruction fixpoint, the dirty-epoch reset) hold it
+    /// *exclusive* and need no stripes. Two operations whose relation
+    /// sets intersect always share at least one stripe mutex, so the
+    /// old single-lock atomicity is preserved per relation — without
+    /// serializing writers that touch disjoint relations.
+    all: RwLock<()>,
+    stripes: Vec<Mutex<()>>,
     window: Mutex<Option<RebuildWindow>>,
+}
+
+impl Default for OnlineState {
+    fn default() -> Self {
+        Self {
+            all: RwLock::new(()),
+            stripes: (0..LOCK_STRIPES).map(|_| Mutex::new(())).collect(),
+            window: Mutex::new(None),
+        }
+    }
+}
+
+impl std::fmt::Debug for RegionGuards<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegionGuards")
+            .field("stripes", &self._stripes.len())
+            .finish()
+    }
 }
 
 impl Clone for OnlineState {
@@ -61,15 +100,49 @@ impl Clone for OnlineState {
     }
 }
 
+fn stripe_of(region: &Region) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    region.hash(&mut h);
+    (h.finish() % LOCK_STRIPES as u64) as usize
+}
+
 impl OnlineState {
-    /// Takes the update lock. Hold the guard across the whole
-    /// read-modify-write of a parity relation.
-    pub fn lock_updates(&self) -> MutexGuard<'_, ()> {
-        match self.update_lock.lock() {
+    /// Takes the update lock exclusively. Hold the guard across any
+    /// operation whose read set cannot be bounded to known relations —
+    /// the whole-array reconstruction fixpoint, a legacy offline disk
+    /// rebuild, or the dirty-epoch reset at the start of a round.
+    pub fn lock_updates(&self) -> RwLockWriteGuard<'_, ()> {
+        match self.all.write() {
             Ok(g) => g,
             // A panic while holding the lock (e.g. an assert in a test
             // thread) must not wedge every subsequent I/O.
             Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Takes the update lock for one bounded operation: shared on the
+    /// store-wide lock plus the stripe mutex of every relation in
+    /// `regions`. Stripe indices are deduplicated and acquired in
+    /// ascending order, so concurrent callers cannot deadlock; callers
+    /// whose relation sets intersect always contend on a common stripe.
+    pub fn lock_regions(&self, regions: &[Region]) -> RegionGuards<'_> {
+        let all = match self.all.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let mut idx: Vec<usize> = regions.iter().map(stripe_of).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        let stripes = idx
+            .into_iter()
+            .map(|i| match self.stripes[i].lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            })
+            .collect();
+        RegionGuards {
+            _all: all,
+            _stripes: stripes,
         }
     }
 
@@ -204,6 +277,77 @@ mod tests {
         assert!(!s.any_dirty(&[Region::Stripe(2, 4)]));
         s.clear_dirty();
         assert!(!s.any_dirty(&[Region::Row(0, 3)]));
+    }
+
+    /// A second region whose stripe differs from `a`'s (the hash may
+    /// collide for any fixed pair, so search instead of hard-coding).
+    fn disjoint_from(a: Region) -> Region {
+        (0..)
+            .map(|i| Region::Stripe(7, i))
+            .find(|b| stripe_of(b) != stripe_of(&a))
+            .expect("some stripe hashes differently")
+    }
+
+    #[test]
+    fn disjoint_regions_lock_independently() {
+        let s = OnlineState::default();
+        let a = Region::Row(0, 0);
+        let b = disjoint_from(a);
+        let _ga = s.lock_regions(&[a]);
+        // Would deadlock here if disjoint relations shared a lock.
+        let _gb = s.lock_regions(&[b]);
+    }
+
+    #[test]
+    fn duplicate_and_colliding_regions_lock_once() {
+        let s = OnlineState::default();
+        // The same relation listed twice (data region + parity region of
+        // one row can coincide) must not self-deadlock.
+        let g = s.lock_regions(&[Region::Row(1, 2), Region::Row(1, 2)]);
+        assert_eq!(format!("{g:?}"), "RegionGuards { stripes: 1 }");
+    }
+
+    #[test]
+    fn intersecting_regions_serialize() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let s = OnlineState::default();
+        let shared = Region::Stripe(3, 4);
+        let entered = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let g = s.lock_regions(&[Region::Row(0, 1), shared]);
+            scope.spawn(|| {
+                let _g = s.lock_regions(&[shared, disjoint_from(shared)]);
+                entered.store(true, Ordering::SeqCst);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert!(
+                !entered.load(Ordering::SeqCst),
+                "overlapping region sets must contend"
+            );
+            drop(g);
+        });
+        assert!(entered.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn exclusive_lock_excludes_region_holders() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let s = OnlineState::default();
+        let entered = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let g = s.lock_regions(&[Region::Row(2, 2)]);
+            scope.spawn(|| {
+                let _g = s.lock_updates();
+                entered.store(true, Ordering::SeqCst);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert!(
+                !entered.load(Ordering::SeqCst),
+                "whole-array phase must wait for region holders"
+            );
+            drop(g);
+        });
+        assert!(entered.load(Ordering::SeqCst));
     }
 
     #[test]

@@ -74,6 +74,11 @@ pub enum RebuildMode {
     /// One reader thread per surviving disk with scheduled reads; a combiner
     /// on the calling thread decodes as inputs arrive.
     Parallel,
+    /// The plan lowered into an explicit op DAG (read → combine → writeback
+    /// nodes with atomic indegrees) executed by a work-stealing pool over
+    /// per-device ready queues — no round barrier between read, decode, and
+    /// writeback; see [`crates/sched`](sched).
+    Dag,
 }
 
 impl fmt::Display for RebuildMode {
@@ -81,6 +86,7 @@ impl fmt::Display for RebuildMode {
         match self {
             Self::Serial => write!(f, "serial"),
             Self::Parallel => write!(f, "parallel"),
+            Self::Dag => write!(f, "dag"),
         }
     }
 }
@@ -136,7 +142,8 @@ pub struct RebuildReport {
     pub outcome: RebuildOutcome,
     /// Execution rounds: 1 for a fault-free run, +1 per re-plan.
     pub rounds: u32,
-    /// Reader threads used in the first round (0 for serial mode).
+    /// Workers used in the first round: reader threads in parallel mode,
+    /// pool threads in DAG mode (0 for serial mode).
     pub workers: usize,
     /// Wall-clock time of plan execution (excludes planning and healing).
     pub wall: Duration,
@@ -170,11 +177,18 @@ pub struct RebuildReport {
     /// Per-stage latency summaries (`read`/`coalesce`/`combine`/
     /// `writeback`), in pipeline order.
     pub stages: Vec<StageSummary>,
-    /// Busy time per reader thread (time inside device reads), in worker
-    /// order — compare against [`RebuildReport::wall`] for utilization.
+    /// Busy time per worker, in worker order: time inside device reads for
+    /// parallel readers, time inside any op (read/combine/writeback) for
+    /// DAG pool workers — compare against [`RebuildReport::wall`] for
+    /// utilization.
     pub worker_busy: Vec<Duration>,
-    /// Combiner input-queue depth distribution (empty for serial mode).
+    /// Combiner input-queue depth distribution (parallel mode), or the
+    /// scheduler's peak ready-queue depth per round (DAG mode); empty for
+    /// serial mode.
     pub queue_depth: HistogramSnapshot,
+    /// DAG-scheduler statistics summed over all rounds (all-zero for the
+    /// serial and parallel modes).
+    pub sched: sched::SchedStats,
 }
 
 impl RebuildReport {
@@ -194,8 +208,11 @@ impl RebuildReport {
         self.stages.iter().find(|s| s.stage == name)
     }
 
-    /// Mean reader-thread utilization: busy time over wall time, in
-    /// `0.0..=1.0` (0.0 for serial mode).
+    /// Mean worker utilization over the whole pool: total busy time
+    /// divided by `wall × workers`, in `0.0..=1.0` (0.0 for serial mode).
+    /// Workers are parallel-mode reader threads or DAG-mode pool threads;
+    /// either way each entry of [`RebuildReport::worker_busy`] is one
+    /// worker's time spent inside ops.
     pub fn worker_utilization(&self) -> f64 {
         if self.worker_busy.is_empty() || self.wall.is_zero() {
             return 0.0;
@@ -397,22 +414,10 @@ impl<'p> Combiner<'p> {
         // Read-less, dependency-less items are co-decoded siblings: link
         // them to the nearest earlier item of the same inner row that has
         // sources, so they wait for that row decode.
-        for idx in 0..n {
-            if !items[idx].reads.is_empty() || !items[idx].depends.is_empty() {
-                continue;
+        for (idx, deps) in depends.iter_mut().enumerate() {
+            if let Some(provider) = sibling_provider(geo, items, idx) {
+                deps.push((provider, true));
             }
-            let lost = items[idx].lost;
-            let (grp, row) = (geo.group_of(lost.disk), lost.offset);
-            let provider = (0..idx)
-                .rev()
-                .find(|&j| {
-                    let l = items[j].lost;
-                    geo.group_of(l.disk) == grp
-                        && l.offset == row
-                        && !(items[j].reads.is_empty() && items[j].depends.is_empty())
-                })
-                .expect("sibling item has a row-decode provider");
-            depends[idx].push((provider, true));
         }
         let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut output_uses = vec![0usize; n];
@@ -509,20 +514,112 @@ impl<'p> Combiner<'p> {
 }
 
 /// Splits a per-disk read queue into maximal runs of consecutive chunk
-/// offsets, preserving queue order; each run becomes one
-/// [`BlockDevice::read_chunks`] call. Serial and parallel execution coalesce
-/// the same queues, so their device read counts stay equal.
-fn coalesce_runs(queue: &[(usize, ChunkAddr)]) -> Vec<&[(usize, ChunkAddr)]> {
+/// offsets (as `start..end` index pairs), preserving queue order; each run
+/// becomes one [`BlockDevice::read_chunks`] call. Every execution mode
+/// coalesces the same queues, so their device read counts stay equal.
+fn coalesce_bounds(queue: &[(usize, ChunkAddr)]) -> Vec<(usize, usize)> {
     let mut runs = Vec::new();
     let mut start = 0;
     for i in 1..=queue.len() {
         if i == queue.len() || queue[i].1.offset != queue[i - 1].1.offset + 1 {
-            runs.push(&queue[start..i]);
+            runs.push((start, i));
             start = i;
         }
     }
     runs
 }
+
+/// The sibling linkage rule shared by the combiner, the dirty footprints,
+/// and the DAG builder: a read-less, dependency-less plan item is a
+/// co-decoded *sibling* whose value comes from the nearest **earlier**
+/// same-inner-row item that has sources of its own (multi-failure plans
+/// emit one item carrying a row's shared reads, then read-less items for
+/// the other chunks co-decoded from them). `None` when `idx` is not a
+/// sibling.
+fn sibling_provider(geo: &Geometry, items: &[layout::ChunkRecovery], idx: usize) -> Option<usize> {
+    if !items[idx].reads.is_empty() || !items[idx].depends.is_empty() {
+        return None;
+    }
+    let lost = items[idx].lost;
+    let (grp, row) = (geo.group_of(lost.disk), lost.offset);
+    let provider = (0..idx)
+        .rev()
+        .find(|&j| {
+            let l = items[j].lost;
+            geo.group_of(l.disk) == grp
+                && l.offset == row
+                && !(items[j].reads.is_empty() && items[j].depends.is_empty())
+        })
+        .expect("sibling item has a row-decode provider");
+    Some(provider)
+}
+
+/// The plan's per-disk read queues, pre-coalesced into runs, with the QoS
+/// charge applied at dequeue. Every executor — the serial loop, the
+/// parallel per-disk readers, and the DAG read ops — takes runs through
+/// [`RunQueues::dequeue`], so rebuild I/O pays the store's token bucket in
+/// exactly one place: concurrent executors (a rebuild and a repairing
+/// scrub, say) draw from the same bucket instead of each charging its own
+/// copy of the accounting against the same refill window.
+struct RunQueues {
+    /// `(disk, read queue)` per surviving disk with scheduled reads.
+    queues: Vec<(usize, Vec<(usize, ChunkAddr)>)>,
+    /// Per-queue run boundaries (`start..end` into the queue), maximal
+    /// consecutive-offset spans in queue order — identical across modes,
+    /// which is what keeps per-device read counters equal.
+    runs: Vec<Vec<(usize, usize)>>,
+}
+
+impl RunQueues {
+    /// Builds the queues from the plan, recording per-queue coalesce time.
+    fn build(plan: &RecoveryPlan, obs: &RebuildObserver) -> Self {
+        let queues = plan.reads_by_disk();
+        let runs = queues
+            .iter()
+            .map(|(_, queue)| {
+                let began = Instant::now();
+                let runs = coalesce_bounds(queue);
+                obs.stages.coalesce.record_duration(began.elapsed());
+                runs
+            })
+            .collect();
+        Self { queues, runs }
+    }
+
+    /// Number of per-disk queues.
+    fn len(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The disk queue `qi` reads from.
+    fn disk(&self, qi: usize) -> usize {
+        self.queues[qi].0
+    }
+
+    /// Number of coalesced runs in queue `qi`.
+    fn runs_in(&self, qi: usize) -> usize {
+        self.runs[qi].len()
+    }
+
+    /// Run `ri` of queue `qi` without dequeuing it — no QoS charge. For
+    /// graph building and for skipping runs on a dead disk.
+    fn peek(&self, qi: usize, ri: usize) -> Run<'_> {
+        let (start, end) = self.runs[qi][ri];
+        &self.queues[qi].1[start..end]
+    }
+
+    /// Takes run `ri` of queue `qi`, paying the rebuild token bucket for
+    /// its chunks. This is the single QoS charge point for rebuild reads.
+    fn dequeue<'a>(&'a self, qos: &crate::qos::QosState, qi: usize, ri: usize) -> Run<'a> {
+        let run = self.peek(qi, ri);
+        qos.throttle_rebuild(run.len());
+        run
+    }
+}
+
+/// One coalesced read run: `(item index, source address)` pairs with
+/// consecutive offsets on a single disk.
+type Run<'a> = &'a [(usize, ChunkAddr)];
 
 /// Serves one coalesced run through a retrying reader, degrading instead of
 /// failing: transient faults are retried, a chunk that stays unreadable is
@@ -577,7 +674,8 @@ fn read_run_healing<B: BlockDevice>(
 /// around instead of errors that abort the rebuild. Shared with the
 /// repairing scrub in [`crate::store`].
 pub(crate) struct RoundOutput {
-    /// Reconstructed chunks, in completion order.
+    /// Reconstructed chunks, in completion order. Empty in DAG mode, whose
+    /// pool writes chunks back itself — see `writes`.
     pub(crate) finished: Finished,
     /// Source chunks that stayed unreadable after their retry budget.
     pub(crate) unreadable: Vec<(ChunkAddr, DeviceError)>,
@@ -587,6 +685,45 @@ pub(crate) struct RoundOutput {
     pub(crate) retry: RetryCounters,
     workers: usize,
     worker_busy: Vec<Duration>,
+    /// `Some` when writebacks already happened inside the executor (DAG
+    /// mode): the driver folds them into its bookkeeping instead of
+    /// issuing its own writes.
+    writes: Option<DagWrites>,
+    /// Scheduler statistics (all-zero outside DAG mode).
+    sched: sched::SchedStats,
+}
+
+/// Writeback results of one DAG round: the pool wrote each reconstructed
+/// chunk back as soon as its combine op finished (under that item's region
+/// locks, with the same dirty check the barrier modes apply).
+struct DagWrites {
+    /// Chunks written back and marked valid.
+    written: Vec<ChunkAddr>,
+    /// Writebacks discarded because a foreground write dirtied an input
+    /// relation since the round began.
+    dirty_skips: u32,
+}
+
+/// One node of the lowered rebuild DAG (see
+/// [`OiRaidStore::execute_dag_round`]'s graph construction for the edges
+/// between them).
+#[derive(Debug, Clone, Copy)]
+enum DagOp {
+    /// Serve coalesced run `ri` of per-disk queue `qi`; feeds every combine
+    /// whose item reads from the run.
+    Read { qi: usize, ri: usize },
+    /// Reconstruct plan item `idx` from its delivered reads and dependency
+    /// outputs.
+    Combine { idx: usize },
+    /// Write item `idx`'s reconstructed value back to the rebuilt disk,
+    /// dirty-checked under the item's region locks.
+    Write { idx: usize },
+}
+
+/// Locks a mutex, tolerating poisoning: a panicking op callback must not
+/// wedge the rest of the pool.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
 impl<B: BlockDevice> OiRaidStore<B> {
@@ -669,6 +806,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
                 stages: Vec::new(),
                 worker_busy: Vec::new(),
                 queue_depth: HistogramSnapshot::default(),
+                sched: sched::SchedStats::default(),
             });
         }
         let root = obs.tracer.span("rebuild");
@@ -736,6 +874,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
         let write_stats = RetryStats::default();
         let mut workers = 0usize;
         let mut worker_busy: Vec<Duration> = Vec::new();
+        let mut sched_stats = sched::SchedStats::default();
         let mut stall = 0u32;
         let mut aborted: Option<Vec<usize>> = None;
 
@@ -764,6 +903,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
                 match mode {
                     RebuildMode::Serial => self.execute_serial_round(&plan, obs),
                     RebuildMode::Parallel => self.execute_parallel_round(&plan, obs, &exec),
+                    RebuildMode::Dag => self.execute_dag_round(&plan, &regions, obs, &exec),
                 }
             };
             if rounds == 1 {
@@ -771,68 +911,87 @@ impl<B: BlockDevice> OiRaidStore<B> {
                 worker_busy = out.worker_busy;
             }
             retry = retry.merged(&out.retry);
+            sched_stats.absorb(&out.sched);
             let mut died = out.dead_disks;
             let mut progressed = false;
             let mut dirty_skips = 0u32;
             {
                 let _s = root.child("writeback");
-                for (addr, value) in out.finished {
-                    if died.contains(&addr.disk) {
-                        continue;
+                // Credits one successfully-written chunk in the heal loop's
+                // books (used by both the in-round DAG writebacks and the
+                // barrier modes' writeback pass below).
+                let mut credit = |addr: ChunkAddr| {
+                    let mut fresh = false;
+                    if lost.contains(&addr) {
+                        fresh |= rebuilt.insert(addr);
                     }
-                    let began = Instant::now();
-                    // The dirty check, the write, and the validity mark form
-                    // one atom under the update lock: no foreground write
-                    // can slip between "inputs were clean" and "chunk is
-                    // live" and then be clobbered.
-                    let guard = self.online().lock_updates();
-                    if item_of
-                        .get(&addr)
-                        .is_some_and(|&i| self.online().any_dirty(&regions[i]))
-                    {
-                        // A foreground write touched a relation this value
-                        // was derived from: the reconstruction may be stale
-                        // or torn. Drop it; next round recomputes it from
-                        // the updated parity.
+                    if avoid.contains(&addr) && repaired.insert(addr) {
+                        obs.heal.latent_repairs.inc();
+                        fresh = true;
+                    }
+                    if fresh {
+                        obs.progress.chunk_written(chunk_size as u64);
+                        progressed = true;
+                    }
+                };
+                if let Some(w) = out.writes {
+                    // DAG rounds write back inside the round, each chunk
+                    // under its own region locks the moment its combine
+                    // finishes; only the bookkeeping is left to do here.
+                    dirty_skips = w.dirty_skips;
+                    for addr in w.written {
+                        credit(addr);
+                    }
+                } else {
+                    for (addr, value) in out.finished {
+                        if died.contains(&addr.disk) {
+                            continue;
+                        }
+                        let began = Instant::now();
+                        // The dirty check, the write, and the validity mark
+                        // form one atom under the item's region locks: no
+                        // foreground write can slip between "inputs were
+                        // clean" and "chunk is live" and then be clobbered,
+                        // yet writes to unrelated relations proceed freely.
+                        let footprint = item_of
+                            .get(&addr)
+                            .map(|&i| regions[i].as_slice())
+                            .unwrap_or_default();
+                        let guard = self.online().lock_regions(footprint);
+                        if self.online().any_dirty(footprint) {
+                            // A foreground write touched a relation this
+                            // value was derived from: the reconstruction may
+                            // be stale or torn. Drop it; next round
+                            // recomputes it from the updated parity.
+                            drop(guard);
+                            dirty_skips += 1;
+                            continue;
+                        }
+                        let wrote = write_chunk_retrying(
+                            &self.devices()[addr.disk],
+                            &policy,
+                            &write_stats,
+                            addr.offset,
+                            &value,
+                        );
+                        if wrote.is_ok() {
+                            self.online().mark_valid(addr);
+                        }
                         drop(guard);
-                        dirty_skips += 1;
-                        continue;
-                    }
-                    let wrote = write_chunk_retrying(
-                        &self.devices()[addr.disk],
-                        &policy,
-                        &write_stats,
-                        addr.offset,
-                        &value,
-                    );
-                    if wrote.is_ok() {
-                        self.online().mark_valid(addr);
-                    }
-                    drop(guard);
-                    match wrote {
-                        Ok(()) => {
-                            obs.stages.writeback.record_duration(began.elapsed());
-                            let mut fresh = false;
-                            if lost.contains(&addr) {
-                                fresh |= rebuilt.insert(addr);
+                        match wrote {
+                            Ok(()) => {
+                                obs.stages.writeback.record_duration(began.elapsed());
+                                credit(addr);
                             }
-                            if avoid.contains(&addr) && repaired.insert(addr) {
-                                obs.heal.latent_repairs.inc();
-                                fresh = true;
+                            Err(e) if e.is_transient() => {
+                                // Write retry budget exhausted: the chunk
+                                // stays un-rebuilt, the next round retries.
                             }
-                            if fresh {
-                                obs.progress.chunk_written(chunk_size as u64);
-                                progressed = true;
+                            Err(_) => {
+                                // The disk died (or broke permanently) under
+                                // write: escalate it.
+                                died.insert(addr.disk);
                             }
-                        }
-                        Err(e) if e.is_transient() => {
-                            // Write retry budget exhausted: the chunk stays
-                            // un-rebuilt and the next round retries it.
-                        }
-                        Err(_) => {
-                            // The disk died (or broke permanently) under
-                            // write: escalate it.
-                            died.insert(addr.disk);
                         }
                     }
                 }
@@ -977,6 +1136,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
             stages: obs.stages.summaries(),
             worker_busy,
             queue_depth: obs.stages.queue_depth.snapshot(),
+            sched: sched_stats,
         })
     }
 
@@ -996,19 +1156,11 @@ impl<B: BlockDevice> OiRaidStore<B> {
             for &d in &it.depends {
                 rs.extend(out[d].iter().copied());
             }
-            if it.reads.is_empty() && it.depends.is_empty() {
-                // Co-decoded sibling: its value comes from an earlier
-                // same-row decode, so it inherits that provider's footprint
-                // (the same linkage rule the combiner uses).
-                let (grp, row) = (geo.group_of(it.lost.disk), it.lost.offset);
-                if let Some(p) = (0..idx).rev().find(|&j| {
-                    let l = items[j].lost;
-                    geo.group_of(l.disk) == grp
-                        && l.offset == row
-                        && !(items[j].reads.is_empty() && items[j].depends.is_empty())
-                }) {
-                    rs.extend(out[p].iter().copied());
-                }
+            // Co-decoded sibling: its value comes from an earlier same-row
+            // decode, so it inherits that provider's footprint (the same
+            // linkage rule the combiner and the DAG builder use).
+            if let Some(p) = sibling_provider(geo, items, idx) {
+                rs.extend(out[p].iter().copied());
             }
             out.push(rs.into_iter().collect());
         }
@@ -1032,16 +1184,15 @@ impl<B: BlockDevice> OiRaidStore<B> {
         let mut unreadable = Vec::new();
         let mut dead_disks = BTreeSet::new();
         let mut retry = RetryCounters::default();
-        for (disk, queue) in plan.reads_by_disk() {
+        let queues = RunQueues::build(plan, obs);
+        for qi in 0..queues.len() {
+            let disk = queues.disk(qi);
             let reader = RetryReader::new(&self.devices()[disk], self.retry_policy());
-            let began = Instant::now();
-            let runs = coalesce_runs(&queue);
-            obs.stages.coalesce.record_duration(began.elapsed());
-            for run in runs {
+            for ri in 0..queues.runs_in(qi) {
                 if dead_disks.contains(&disk) {
                     break; // the disk died mid-queue; the rest is moot
                 }
-                self.qos().throttle_rebuild(run.len());
+                let run = queues.dequeue(self.qos(), qi, ri);
                 let began = Instant::now();
                 let (batch, failed, died) = read_run_healing(&reader, run, chunk_size, &pool);
                 obs.stages.read.record_duration(began.elapsed());
@@ -1069,6 +1220,8 @@ impl<B: BlockDevice> OiRaidStore<B> {
             retry,
             workers: 0,
             worker_busy: Vec::new(),
+            writes: None,
+            sched: sched::SchedStats::default(),
         }
     }
 
@@ -1085,7 +1238,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
         let geo = self.array().geometry().clone();
         let code = self.inner_code();
         let chunk_size = self.chunk_size();
-        let queues = plan.reads_by_disk();
+        let queues = RunQueues::build(plan, obs);
         let workers = queues.len();
         let pool = BufPool::new(chunk_size);
         let mut combiner = Combiner::new(&geo, code.as_ref(), plan, &pool, obs);
@@ -1099,9 +1252,8 @@ impl<B: BlockDevice> OiRaidStore<B> {
         // Readers only need `&B` (read_chunk takes `&self`), so lend each
         // surviving device to its reader thread via a shared retry wrapper.
         let devices: &[B] = self.devices();
-        let readers: Vec<RetryReader<'_, B>> = queues
-            .iter()
-            .map(|(disk, _)| RetryReader::new(&devices[*disk], self.retry_policy()))
+        let readers: Vec<RetryReader<'_, B>> = (0..workers)
+            .map(|qi| RetryReader::new(&devices[queues.disk(qi)], self.retry_policy()))
             .collect();
         let pool_ref = &pool;
         let qos = self.qos();
@@ -1113,18 +1265,16 @@ impl<B: BlockDevice> OiRaidStore<B> {
         let mut dead_disks = BTreeSet::new();
         std::thread::scope(|s| {
             let (tx, rx) = mpsc::channel::<ReadMsg>();
-            for (w, (disk, queue)) in queues.iter().enumerate() {
+            for w in 0..workers {
                 let reader = &readers[w];
                 let tx = tx.clone();
-                let disk = *disk;
+                let disk = queues.disk(w);
+                let queues = &queues;
                 let (depth, busy) = (&depth, &busy[w]);
                 s.spawn(move || {
                     let _reader_span = exec_span.child(format!("reader-disk-{disk}"));
-                    let began = Instant::now();
-                    let runs = coalesce_runs(queue);
-                    obs.stages.coalesce.record_duration(began.elapsed());
-                    for run in runs {
-                        qos.throttle_rebuild(run.len());
+                    for ri in 0..queues.runs_in(w) {
+                        let run = queues.dequeue(qos, w, ri);
                         let began = Instant::now();
                         let (batch, failed, died) =
                             read_run_healing(reader, run, chunk_size, pool_ref);
@@ -1188,6 +1338,274 @@ impl<B: BlockDevice> OiRaidStore<B> {
             retry,
             workers,
             worker_busy,
+            writes: None,
+            sched: sched::SchedStats::default(),
+        }
+    }
+
+    /// One DAG round: the plan lowered into read → combine → writeback ops
+    /// with explicit dependency edges, executed by a work-stealing pool
+    /// over per-device ready queues (see [`sched`]). Nothing here waits
+    /// for a phase: a chunk's writeback runs the moment its combine
+    /// finishes, while other chunks are still being read — so every
+    /// surviving disk's queue stays deep for the whole round.
+    ///
+    /// Faults follow the same healing contract as the barrier modes: an
+    /// unreadable source poisons exactly the items that needed it (their
+    /// combine ops fail and the scheduler cancels their dependents), a
+    /// dead disk stops only its own remaining reads, and writebacks apply
+    /// the dirty-window check under the item's region locks. `regions` is
+    /// the per-item dirty footprint from [`Self::plan_regions`].
+    fn execute_dag_round(
+        &self,
+        plan: &RecoveryPlan,
+        regions: &[Vec<Region>],
+        obs: &RebuildObserver,
+        exec_span: &Span<'_>,
+    ) -> RoundOutput {
+        let geo = self.array().geometry().clone();
+        let code = self.inner_code();
+        let chunk_size = self.chunk_size();
+        let queues = RunQueues::build(plan, obs);
+        let pool = BufPool::new(chunk_size);
+        let items = plan.items();
+        let n = items.len();
+
+        // Dependency shape, identical to the barrier modes' combiner: plan
+        // edges plus sibling links, and per-item output use counts (+1 for
+        // the write op, which consumes the value like any dependent).
+        let mut depends: Vec<Vec<(usize, bool)>> = items
+            .iter()
+            .map(|it| it.depends.iter().map(|&d| (d, false)).collect())
+            .collect();
+        for (idx, deps) in depends.iter_mut().enumerate() {
+            if let Some(provider) = sibling_provider(&geo, items, idx) {
+                deps.push((provider, true));
+            }
+        }
+        let mut uses = vec![1usize; n];
+        for deps in &depends {
+            for &(d, sibling) in deps {
+                if !sibling {
+                    uses[d] += 1;
+                }
+            }
+        }
+
+        // Lower the plan into the op graph: one read op per coalesced run
+        // (bound to its disk's ready queue), one combine op per item (any
+        // worker), one writeback op per item (bound to the rebuilt disk).
+        let mut graph: sched::OpGraph<DagOp> = sched::OpGraph::new();
+        let mut feeds: Vec<Vec<sched::OpId>> = vec![Vec::new(); n];
+        for qi in 0..queues.len() {
+            for ri in 0..queues.runs_in(qi) {
+                let op = graph.add_node(DagOp::Read { qi, ri }, Some(queues.disk(qi)));
+                for &(idx, _) in queues.peek(qi, ri) {
+                    feeds[idx].push(op);
+                }
+            }
+        }
+        let combine_ops: Vec<sched::OpId> = (0..n)
+            .map(|idx| graph.add_node(DagOp::Combine { idx }, None))
+            .collect();
+        for idx in 0..n {
+            for &op in &feeds[idx] {
+                graph.add_edge(op, combine_ops[idx]);
+            }
+            for &(d, _) in &depends[idx] {
+                graph.add_edge(combine_ops[d], combine_ops[idx]);
+            }
+            let write = graph.add_node(DagOp::Write { idx }, Some(items[idx].lost.disk));
+            graph.add_edge(combine_ops[idx], write);
+        }
+
+        // Shared executor state. Items poisoned by an unreadable source
+        // fail their combine op; the scheduler cancels everything
+        // downstream, which matches the barrier modes (those items simply
+        // never finish the round and the driver re-plans them).
+        let readers: Vec<RetryReader<'_, B>> = (0..queues.len())
+            .map(|qi| RetryReader::new(&self.devices()[queues.disk(qi)], self.retry_policy()))
+            .collect();
+        let poisoned: Vec<std::sync::atomic::AtomicBool> = (0..n)
+            .map(|_| std::sync::atomic::AtomicBool::new(false))
+            .collect();
+        let inputs: Vec<Mutex<HashMap<ChunkAddr, Vec<u8>>>> =
+            (0..n).map(|_| Mutex::new(HashMap::new())).collect();
+        let outputs: Vec<Mutex<(Option<Vec<u8>>, usize)>> =
+            uses.iter().map(|&u| Mutex::new((None, u))).collect();
+        let decoded: Mutex<HashMap<ChunkAddr, Vec<u8>>> = Mutex::new(HashMap::new());
+        let dead: Mutex<BTreeSet<usize>> = Mutex::new(BTreeSet::new());
+        let unreadable: Mutex<Vec<(ChunkAddr, DeviceError)>> = Mutex::new(Vec::new());
+        let written: Mutex<Vec<ChunkAddr>> = Mutex::new(Vec::new());
+        let dirty_skips = std::sync::atomic::AtomicU32::new(0);
+        let write_stats = RetryStats::default();
+        let policy = self.retry_policy();
+        let qos = self.qos();
+        let workers = self
+            .dag_workers()
+            .unwrap_or_else(|| (2 * queues.len()).max(1));
+        let _pool_span = exec_span.child(format!("dag-pool-{workers}"));
+
+        let report = sched::run(
+            workers,
+            self.array().disks(),
+            &obs.sched,
+            &graph,
+            |_w, _op, payload| {
+                use std::sync::atomic::Ordering;
+                match *payload {
+                    DagOp::Read { qi, ri } => {
+                        let disk = queues.disk(qi);
+                        if lock(&dead).contains(&disk) {
+                            // The disk died under an earlier run: deliver
+                            // nothing, poison the expecting items.
+                            for &(idx, _) in queues.peek(qi, ri) {
+                                poisoned[idx].store(true, Ordering::Release);
+                            }
+                            return sched::OpStatus::Done;
+                        }
+                        let run = queues.dequeue(qos, qi, ri);
+                        let began = Instant::now();
+                        let (batch, failed, died) =
+                            read_run_healing(&readers[qi], run, chunk_size, &pool);
+                        obs.stages.read.record_duration(began.elapsed());
+                        obs.progress
+                            .add_bytes_read((batch.len() * chunk_size) as u64);
+                        for (idx, addr, bytes) in batch {
+                            lock(&inputs[idx]).insert(addr, bytes);
+                        }
+                        if !failed.is_empty() {
+                            let mut u = lock(&unreadable);
+                            for (addr, e) in failed {
+                                for &(idx, a) in run {
+                                    if a == addr {
+                                        poisoned[idx].store(true, Ordering::Release);
+                                    }
+                                }
+                                u.push((addr, e));
+                            }
+                        }
+                        if died {
+                            lock(&dead).insert(disk);
+                        }
+                        sched::OpStatus::Done
+                    }
+                    DagOp::Combine { idx } => {
+                        if poisoned[idx].load(Ordering::Acquire) {
+                            return sched::OpStatus::Failed;
+                        }
+                        let mut my_inputs = std::mem::take(&mut *lock(&inputs[idx]));
+                        // Fold dependency outputs in, keyed by the dep's
+                        // lost address; the last consumer (use count under
+                        // the slot lock) moves instead of cloning.
+                        for &(d, sibling) in &depends[idx] {
+                            if sibling {
+                                continue;
+                            }
+                            let mut slot = lock(&outputs[d]);
+                            slot.1 -= 1;
+                            let out = if slot.1 == 0 {
+                                slot.0.take()
+                            } else {
+                                slot.0.clone()
+                            };
+                            my_inputs.insert(items[d].lost, out.expect("dependency completed"));
+                        }
+                        let began = Instant::now();
+                        let lost = items[idx].lost;
+                        let value = {
+                            // The decode cache is shared: holding it across
+                            // the combine serializes only the (tiny) compute,
+                            // never device I/O.
+                            let mut dec = lock(&decoded);
+                            combine(&geo, code.as_ref(), lost, &mut my_inputs, &mut dec, &pool)
+                        };
+                        for (_, b) in my_inputs.drain() {
+                            pool.put(b);
+                        }
+                        obs.stages.combine.record_duration(began.elapsed());
+                        obs.progress.chunk_combined();
+                        lock(&outputs[idx]).0 = Some(value);
+                        sched::OpStatus::Done
+                    }
+                    DagOp::Write { idx } => {
+                        let addr = items[idx].lost;
+                        let value = {
+                            let mut slot = lock(&outputs[idx]);
+                            slot.1 -= 1;
+                            if slot.1 == 0 {
+                                slot.0.take()
+                            } else {
+                                slot.0.clone()
+                            }
+                        }
+                        .expect("combine completed before write");
+                        if lock(&dead).contains(&addr.disk) {
+                            return sched::OpStatus::Done;
+                        }
+                        let began = Instant::now();
+                        // Dirty check, write, and validity mark form one
+                        // atom under the item's region locks — same
+                        // protocol as the barrier modes' writeback, but
+                        // only intersecting relations contend.
+                        let guard = self.online().lock_regions(&regions[idx]);
+                        if self.online().any_dirty(&regions[idx]) {
+                            drop(guard);
+                            dirty_skips.fetch_add(1, Ordering::Relaxed);
+                            return sched::OpStatus::Done;
+                        }
+                        let wrote = write_chunk_retrying(
+                            &self.devices()[addr.disk],
+                            &policy,
+                            &write_stats,
+                            addr.offset,
+                            &value,
+                        );
+                        if wrote.is_ok() {
+                            self.online().mark_valid(addr);
+                        }
+                        drop(guard);
+                        match wrote {
+                            Ok(()) => {
+                                obs.stages.writeback.record_duration(began.elapsed());
+                                lock(&written).push(addr);
+                            }
+                            Err(e) if e.is_transient() => {
+                                // Retry budget exhausted while transient:
+                                // the chunk stays un-rebuilt, next round
+                                // retries it.
+                            }
+                            Err(_) => {
+                                lock(&dead).insert(addr.disk);
+                            }
+                        }
+                        sched::OpStatus::Done
+                    }
+                }
+            },
+        );
+        debug_assert_eq!(
+            report.stats.executed + report.stats.cancelled,
+            graph.len() as u64,
+            "every op finalized exactly once"
+        );
+        obs.stages.queue_depth.record(report.stats.max_ready_depth);
+        let mut retry = readers
+            .iter()
+            .fold(RetryCounters::default(), |acc, r| acc.merged(&r.counters()));
+        retry = retry.merged(&write_stats.snapshot());
+        RoundOutput {
+            finished: Vec::new(),
+            unreadable: unreadable.into_inner().unwrap_or_else(|p| p.into_inner()),
+            dead_disks: dead.into_inner().unwrap_or_else(|p| p.into_inner()),
+            retry,
+            workers,
+            worker_busy: report.worker_busy,
+            writes: Some(DagWrites {
+                written: written.into_inner().unwrap_or_else(|p| p.into_inner()),
+                dirty_skips: dirty_skips.into_inner(),
+            }),
+            sched: report.stats,
         }
     }
 }
@@ -1283,6 +1701,47 @@ mod tests {
     }
 
     #[test]
+    fn dag_rebuild_bit_identical_to_serial_single_failure() {
+        for strategy in RecoveryStrategy::ALL {
+            let serial = filled(16);
+            let dag = filled(16);
+            serial.fail_disk(7).unwrap();
+            dag.fail_disk(7).unwrap();
+            let rs = serial.rebuild(RebuildMode::Serial, strategy).unwrap();
+            let rd = dag.rebuild(RebuildMode::Dag, strategy).unwrap();
+            assert_eq!(disk_image(&serial, 7), disk_image(&dag, 7), "{strategy:?}");
+            assert_eq!(rs.total_reads(), rd.total_reads(), "same read schedule");
+            assert_eq!(rs.chunks_rebuilt, rd.chunks_rebuilt);
+            // Per-device read counters match run for run, not just in sum.
+            for (d, (s, p)) in rs.device_io.iter().zip(&rd.device_io).enumerate() {
+                assert_eq!(s.reads, p.reads, "{strategy:?} disk {d} read count");
+            }
+            // The scheduler actually ran: one executed op per read run,
+            // combine, and writeback, none cancelled on a clean rebuild.
+            assert!(rd.workers > 0);
+            assert!(rd.sched.executed >= 2 * rd.chunks_rebuilt);
+            assert_eq!(rd.sched.cancelled, 0);
+            assert!(rd.sched.max_inflight >= 1);
+            assert_eq!(rs.sched, sched::SchedStats::default());
+        }
+    }
+
+    #[test]
+    fn dag_worker_override_is_honored() {
+        let mut store = filled(8);
+        store.set_dag_workers(Some(3));
+        store.fail_disk(11).unwrap();
+        let report = store
+            .rebuild(RebuildMode::Dag, RecoveryStrategy::Hybrid)
+            .unwrap();
+        assert_eq!(report.workers, 3);
+        assert_eq!(report.worker_busy.len(), 3);
+        assert_eq!(report.outcome, RebuildOutcome::Complete);
+        assert!(store.check_parity().is_empty());
+        assert!(report.worker_utilization() > 0.0);
+    }
+
+    #[test]
     fn parallel_rebuild_triple_failure() {
         let reference = filled(8);
         let store = filled(8);
@@ -1301,8 +1760,8 @@ mod tests {
     }
 
     #[test]
-    fn whole_group_rebuild_both_modes() {
-        for mode in [RebuildMode::Serial, RebuildMode::Parallel] {
+    fn whole_group_rebuild_all_modes() {
+        for mode in [RebuildMode::Serial, RebuildMode::Parallel, RebuildMode::Dag] {
             let reference = filled(8);
             let store = filled(8);
             for d in [6, 7, 8] {
@@ -1325,7 +1784,7 @@ mod tests {
             .unwrap()
             .with_inner_parities(2)
             .unwrap();
-        for mode in [RebuildMode::Serial, RebuildMode::Parallel] {
+        for mode in [RebuildMode::Serial, RebuildMode::Parallel, RebuildMode::Dag] {
             let store = OiRaidStore::new(cfg.clone(), 8).unwrap();
             for idx in 0..store.data_chunks() {
                 let chunk: Vec<u8> = (0..8).map(|j| (idx * 61 + j * 19 + 7) as u8).collect();
@@ -1429,6 +1888,7 @@ mod tests {
             stages: Vec::new(),
             worker_busy: Vec::new(),
             queue_depth: HistogramSnapshot::default(),
+            sched: sched::SchedStats::default(),
         };
         assert_eq!(
             report.to_string(),
@@ -1516,7 +1976,7 @@ mod tests {
         // transient): retry cannot save it, so the engine must re-route
         // every scheduled disk-3 read through alternate read sets — and
         // still finish bit-identical.
-        for mode in [RebuildMode::Serial, RebuildMode::Parallel] {
+        for mode in [RebuildMode::Serial, RebuildMode::Parallel, RebuildMode::Dag] {
             let reference = filled(8);
             let mut store = filled_faulty(8);
             store.set_retry_policy(blockdev::RetryPolicy::immediate(3));
@@ -1552,7 +2012,7 @@ mod tests {
 
     #[test]
     fn latent_sources_are_rerouted_and_repaired_in_place() {
-        for mode in [RebuildMode::Serial, RebuildMode::Parallel] {
+        for mode in [RebuildMode::Serial, RebuildMode::Parallel, RebuildMode::Dag] {
             let reference = filled(8);
             let store = filled_faulty(8);
             // Deterministic latent sector errors on disk 5, a row sibling
@@ -1593,7 +2053,7 @@ mod tests {
 
     #[test]
     fn mid_rebuild_disk_death_escalates_and_recovers() {
-        for mode in [RebuildMode::Serial, RebuildMode::Parallel] {
+        for mode in [RebuildMode::Serial, RebuildMode::Parallel, RebuildMode::Dag] {
             let reference = filled(8);
             let store = filled_faulty(8);
             // Disk 3 (a row sibling the Inner strategy reads 9 times) dies
@@ -1632,7 +2092,7 @@ mod tests {
         // Five candidate failures exceed the array's tolerance of three:
         // the engine must abort (not panic, not error) and re-fail every
         // rebuild target so no half-written disk looks healthy.
-        for mode in [RebuildMode::Serial, RebuildMode::Parallel] {
+        for mode in [RebuildMode::Serial, RebuildMode::Parallel, RebuildMode::Dag] {
             let store = filled_faulty(8);
             for d in [1, 2, 3, 4] {
                 store.devices()[d].set_config(FaultConfig {

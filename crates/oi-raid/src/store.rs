@@ -282,6 +282,9 @@ pub struct OiRaidStore<B: BlockDevice = MemDevice> {
     online: OnlineState,
     /// Foreground/rebuild bandwidth arbitration.
     qos: QosState,
+    /// Pool-size override for [`RebuildMode::Dag`](crate::RebuildMode::Dag)
+    /// rounds; `None` sizes the pool from the plan's queue count.
+    dag_workers: Option<usize>,
 }
 
 impl OiRaidStore<MemDevice> {
@@ -309,6 +312,7 @@ impl OiRaidStore<MemDevice> {
             retry: RetryPolicy::default(),
             online: OnlineState::default(),
             qos: QosState::new(QosConfig::from_env()),
+            dag_workers: None,
         })
     }
 }
@@ -360,6 +364,7 @@ impl OiRaidStore<FileDevice> {
             retry: RetryPolicy::default(),
             online: OnlineState::default(),
             qos: QosState::new(QosConfig::from_env()),
+            dag_workers: None,
         })
     }
 }
@@ -420,6 +425,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
             retry: RetryPolicy::default(),
             online: OnlineState::default(),
             qos: QosState::new(QosConfig::from_env()),
+            dag_workers: None,
         })
     }
 
@@ -473,6 +479,20 @@ impl<B: BlockDevice> OiRaidStore<B> {
     /// media).
     pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
         self.retry = policy;
+    }
+
+    /// Pool-size override for [`RebuildMode::Dag`](crate::RebuildMode::Dag)
+    /// rounds, if one was set.
+    pub fn dag_workers(&self) -> Option<usize> {
+        self.dag_workers
+    }
+
+    /// Overrides the DAG-mode worker-pool size. `None` (the default) sizes
+    /// the pool at twice the plan's per-disk queue count, enough to keep
+    /// every surviving disk's queue busy while combines and writebacks
+    /// overlap.
+    pub fn set_dag_workers(&mut self, workers: Option<usize>) {
+        self.dag_workers = workers;
     }
 
     /// Number of logical data chunks.
@@ -677,15 +697,56 @@ impl<B: BlockDevice> OiRaidStore<B> {
             .map_err(|error| StoreError::Layout { error })?;
         let outer = targets[1 + self.array.geometry().p_in];
         debug_assert_eq!(self.array.chunk_role(outer), layout::Role::Parity);
-        // The whole read-modify-write runs under the update lock: parity
-        // deltas from concurrent writers must not interleave, and the
-        // rebuilder's writebacks must not race the patches.
+        // The whole read-modify-write runs under the relations it touches:
+        // parity deltas from concurrent writers to *intersecting* relation
+        // sets must not interleave, and the rebuilder's writebacks must not
+        // race the patches — but writers to disjoint relations proceed in
+        // parallel on their own lock stripes.
+        let mut regions = self.regions_for(addr);
+        regions.extend(self.regions_for(outer));
+        {
+            let guard = self.online.lock_regions(&regions);
+            let degraded = targets.iter().any(|t| !self.chunk_available(*t));
+            let old = match self.chunk(addr)? {
+                Some(bytes) => Some(bytes),
+                None => self.reconstruct_chunk_local(addr),
+            };
+            if let Some(old) = old {
+                self.apply_write(addr, outer, data, &old)?;
+                drop(guard);
+                if degraded {
+                    self.telem.record_degraded_write(began.elapsed());
+                }
+                self.telem.record_foreground_write(began.elapsed());
+                return Ok(());
+            }
+        }
+        // The failure pattern is too dense for the local decode: the old
+        // value needs the whole-array fixpoint, whose read set no bounded
+        // region footprint covers. Re-run under the exclusive lock, which
+        // excludes every region holder and gives the decode a stable view.
         let _guard = self.online.lock_updates();
-        let degraded = targets.iter().any(|t| !self.chunk_available(*t));
         let old = match self.chunk(addr)? {
             Some(bytes) => bytes,
             None => self.reconstruct_chunk(addr)?,
         };
+        self.apply_write(addr, outer, data, &old)?;
+        drop(_guard);
+        self.telem.record_degraded_write(began.elapsed());
+        self.telem.record_foreground_write(began.elapsed());
+        Ok(())
+    }
+
+    /// The locked body of [`Self::write_data`]: applies `data` over the
+    /// already-read `old` value at `addr`. Callers hold either the region
+    /// guards covering `addr` and `outer` or the exclusive update lock.
+    fn apply_write(
+        &self,
+        addr: ChunkAddr,
+        outer: ChunkAddr,
+        data: &[u8],
+        old: &[u8],
+    ) -> Result<(), StoreError> {
         let delta: Vec<u8> = old.iter().zip(data).map(|(o, n)| o ^ n).collect();
         // Data chunk: we hold the full new value, so any writable device
         // takes it — including a mid-rebuild disk, whose chunk becomes
@@ -707,11 +768,6 @@ impl<B: BlockDevice> OiRaidStore<B> {
         let mut regions = self.regions_for(addr);
         regions.extend(self.regions_for(outer));
         self.online.mark_dirty(regions);
-        drop(_guard);
-        if degraded {
-            self.telem.record_degraded_write(began.elapsed());
-        }
-        self.telem.record_foreground_write(began.elapsed());
         Ok(())
     }
 
@@ -736,9 +792,24 @@ impl<B: BlockDevice> OiRaidStore<B> {
             self.telem.record_foreground_read(began.elapsed());
             return Ok(bytes);
         }
+        {
+            let guard = self.online.lock_regions(&self.regions_for(addr));
+            // Re-check under the lock: the rebuilder (or a degraded write)
+            // may have restored the chunk while we waited.
+            if let Some(bytes) = self.chunk(addr)? {
+                self.telem.record_foreground_read(began.elapsed());
+                return Ok(bytes);
+            }
+            if let Some(value) = self.reconstruct_chunk_local(addr) {
+                drop(guard);
+                self.telem.record(began.elapsed());
+                self.telem.record_foreground_read(began.elapsed());
+                return Ok(value);
+            }
+        }
+        // Local relations cannot decode it: fall back to the whole-array
+        // fixpoint under the exclusive lock (see `write_data`).
         let _guard = self.online.lock_updates();
-        // Re-check under the lock: the rebuilder (or a degraded write) may
-        // have restored the chunk while we waited.
         if let Some(bytes) = self.chunk(addr)? {
             self.telem.record_foreground_read(began.elapsed());
             return Ok(bytes);
@@ -750,12 +821,16 @@ impl<B: BlockDevice> OiRaidStore<B> {
         Ok(value)
     }
 
-    /// Reconstructs the current value of a single unavailable chunk
-    /// through the cheapest decodable relation: its inner row (`g − 1`
-    /// reads, up to `p_in` erasures), else its outer stripe (`k − 1`
-    /// reads; payload chunks only), else the whole-array decode fixpoint.
-    /// Callers must hold the update lock.
-    fn reconstruct_chunk(&self, addr: ChunkAddr) -> Result<Vec<u8>, StoreError> {
+    /// Reconstructs the current value of a single unavailable chunk using
+    /// only relations `addr` itself participates in: its inner row
+    /// (`g − 1` reads, up to `p_in` erasures), else its outer stripe
+    /// (`k − 1` reads; payload chunks only). These reads are exactly what
+    /// [`OnlineState::lock_regions`] over [`Self::regions_for`] covers, so
+    /// callers holding those guards see a consistent view. `None` means
+    /// the failure pattern is too dense for a local decode and the caller
+    /// must escalate to [`Self::reconstruct_chunk`] under the exclusive
+    /// update lock.
+    fn reconstruct_chunk_local(&self, addr: ChunkAddr) -> Option<Vec<u8>> {
         let geo = self.array.geometry();
         let grp = geo.group_of(addr.disk);
         let row = addr.offset;
@@ -777,7 +852,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
                 .expect("chunk is in its own row");
             if self.inner_code().reconstruct(&mut units).is_ok() {
                 if let Some(bytes) = units.swap_remove(pos) {
-                    return Ok(bytes);
+                    return Some(bytes);
                 }
             }
         }
@@ -799,8 +874,21 @@ impl<B: BlockDevice> OiRaidStore<B> {
                 }
             }
             if complete {
-                return Ok(acc);
+                return Some(acc);
             }
+        }
+        None
+    }
+
+    /// Reconstructs the current value of a single unavailable chunk
+    /// through the cheapest decodable relation — its inner row, else its
+    /// outer stripe, else the whole-array decode fixpoint. Because the
+    /// fixpoint's read set spans the array, callers must hold the update
+    /// lock *exclusively* ([`OnlineState::lock_updates`]); region guards
+    /// are not enough.
+    fn reconstruct_chunk(&self, addr: ChunkAddr) -> Result<Vec<u8>, StoreError> {
+        if let Some(bytes) = self.reconstruct_chunk_local(addr) {
+            return Ok(bytes);
         }
         // Dense failure patterns need multi-hop decoding across relations.
         let recovered = self.reconstruct_missing()?;

@@ -60,6 +60,12 @@ impl Gauge {
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)
     }
+
+    /// Raises the gauge to `v` if it is below it (atomic max): high-water
+    /// marks such as a scheduler's peak queue depth.
+    pub fn set_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -416,6 +422,41 @@ impl Registry {
     /// that without panicking).
     pub fn register_counter(&self, name: &str, help: &str, labels: &[(&str, &str)], c: Counter) {
         self.try_register_counter(name, help, labels, c)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Attaches an existing live gauge handle (replacing any gauge already
+    /// registered under the same name and labels) — the gauge analogue of
+    /// [`Registry::register_counter`], used e.g. for the DAG scheduler's
+    /// queue-depth and in-flight gauges.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::KindMismatch`] if `name` is registered with a
+    /// non-gauge type.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid metric/label names.
+    pub fn try_register_gauge(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        g: Gauge,
+    ) -> Result<(), RegistryError> {
+        self.attach(name, help, labels, Metric::Gauge(g))
+    }
+
+    /// Attaches an existing live gauge handle, panicking on conflict.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid names or if `name` is registered with a non-gauge
+    /// type (use [`Registry::try_register_gauge`] to handle that without
+    /// panicking).
+    pub fn register_gauge(&self, name: &str, help: &str, labels: &[(&str, &str)], g: Gauge) {
+        self.try_register_gauge(name, help, labels, g)
             .unwrap_or_else(|e| panic!("{e}"))
     }
 

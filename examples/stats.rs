@@ -2,10 +2,10 @@
 //! whole run exported as Prometheus text and JSON (both self-linted).
 //!
 //! Builds a reference-config array on latency-injected devices, fails a
-//! disk, and rebuilds it in parallel while a second thread polls the
-//! [`Progress`] handle. Afterwards it prints the per-stage latency
-//! summaries, worker utilization, and the metric registry in both
-//! exposition formats.
+//! disk, and rebuilds it with the DAG scheduler while a second thread
+//! polls the [`Progress`] handle. Afterwards it prints the per-stage
+//! latency summaries, worker utilization, the scheduler series, and the
+//! metric registry in both exposition formats.
 //!
 //! Run with `cargo run --example stats`.
 
@@ -50,16 +50,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 std::thread::sleep(Duration::from_millis(2));
             }
         });
-        let report = store.rebuild_observed(RebuildMode::Parallel, RecoveryStrategy::Hybrid, &obs);
+        let report = store.rebuild_observed(RebuildMode::Dag, RecoveryStrategy::Hybrid, &obs);
         stop.store(true, Ordering::Relaxed);
         report
     })?;
 
     println!("\n{report}");
     println!(
-        "worker utilization {:.0}%  queue depth p50 {}",
+        "worker utilization {:.0}%  peak ready depth {}  peak in-flight {}  steals {}",
         report.worker_utilization() * 100.0,
-        report.queue_depth.p50(),
+        report.sched.max_ready_depth,
+        report.sched.max_inflight,
+        report.sched.steals,
     );
     println!("\nper-stage latency:");
     for stage in &report.stages {
@@ -77,6 +79,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let text = reg.prometheus();
     lint_prometheus(&text).map_err(|errs| format!("exposition lint failed: {errs:?}"))?;
+    for name in [
+        "oi_sched_ready_queue_depth",
+        "oi_sched_inflight_ops",
+        "oi_sched_steals_total",
+    ] {
+        assert!(
+            text.contains(name),
+            "scheduler series {name} must be exported"
+        );
+    }
+    // The run is over: the live scheduler gauges must have drained to 0.
+    assert!(
+        text.contains("oi_sched_inflight_ops 0"),
+        "gauges drain after the run"
+    );
     println!("\n--- prometheus ({} series, lint-clean) ---", reg.len());
     println!("{text}");
 

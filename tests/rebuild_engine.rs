@@ -1,12 +1,14 @@
 //! Property tests for the plan-driven rebuild engine: for random data and
-//! random single/double/triple failure patterns, a parallel rebuild must be
-//! *bit-identical* to a serial one — and both must reproduce exactly what
-//! the disks held before they failed. Exercised over both the in-memory and
-//! the file-backed block devices.
+//! random single/double/triple failure patterns, the parallel and the
+//! DAG-scheduled rebuilds must be *bit-identical* to a serial one — and
+//! all three must reproduce exactly what the disks held before they
+//! failed. Exercised over both the in-memory and the file-backed block
+//! devices.
 //!
-//! Both modes share a pooled-buffer data path and coalesce adjacent
+//! All modes share a pooled-buffer data path and coalesce adjacent
 //! same-disk reads into single device operations, so the comparison also
-//! pins their per-device read counters to each other exactly.
+//! pins their per-device read counters to each other exactly — the serial
+//! executor is the oracle the work-stealing pool must never drift from.
 
 use proptest::prelude::*;
 
@@ -59,41 +61,59 @@ fn pick_failures(n: usize, count: usize, seed: u64) -> Vec<usize> {
     picked
 }
 
-/// Runs the serial-vs-parallel comparison on two identically-filled stores.
-fn assert_parallel_matches_serial<B: BlockDevice>(
+/// Rebuilds identically-filled stores — one per concurrent mode — against
+/// the serial oracle and checks bit-identity, parity, and per-device read
+/// counters across all of them.
+fn assert_modes_match_serial<B: BlockDevice>(
     serial: OiRaidStore<B>,
-    parallel: OiRaidStore<B>,
+    others: Vec<(RebuildMode, OiRaidStore<B>)>,
     failures: &[usize],
     strategy: RecoveryStrategy,
 ) -> Result<(), TestCaseError> {
     let pristine: Vec<Vec<u8>> = failures.iter().map(|&d| disk_image(&serial, d)).collect();
     for &d in failures {
         serial.fail_disk(d).unwrap();
-        parallel.fail_disk(d).unwrap();
+        for (_, store) in &others {
+            store.fail_disk(d).unwrap();
+        }
     }
     let rs = serial.rebuild(RebuildMode::Serial, strategy).unwrap();
-    let rp = parallel.rebuild(RebuildMode::Parallel, strategy).unwrap();
-    prop_assert_eq!(rs.chunks_rebuilt, rp.chunks_rebuilt);
-    prop_assert_eq!(rs.total_reads(), rp.total_reads(), "same read schedule");
     let serial_io: Vec<(u64, u64)> = rs
         .device_io
         .iter()
         .map(|c| (c.reads, c.bytes_read))
         .collect();
-    let parallel_io: Vec<(u64, u64)> = rp
-        .device_io
-        .iter()
-        .map(|c| (c.reads, c.bytes_read))
-        .collect();
-    prop_assert_eq!(serial_io, parallel_io, "coalesced runs must match per disk");
     for (&d, want) in failures.iter().zip(&pristine) {
         let s = disk_image(&serial, d);
-        let p = disk_image(&parallel, d);
         prop_assert_eq!(&s, want, "serial rebuild of disk {} lost bits", d);
-        prop_assert_eq!(&p, want, "parallel rebuild of disk {} lost bits", d);
     }
     prop_assert!(serial.check_parity().is_empty());
-    prop_assert!(parallel.check_parity().is_empty());
+    for (mode, store) in others {
+        let r = store.rebuild(mode, strategy).unwrap();
+        prop_assert_eq!(rs.chunks_rebuilt, r.chunks_rebuilt, "{} chunk count", mode);
+        prop_assert_eq!(
+            rs.total_reads(),
+            r.total_reads(),
+            "{} total read schedule",
+            mode
+        );
+        let io: Vec<(u64, u64)> = r
+            .device_io
+            .iter()
+            .map(|c| (c.reads, c.bytes_read))
+            .collect();
+        prop_assert_eq!(
+            serial_io.clone(),
+            io,
+            "{} coalesced runs must match per disk",
+            mode
+        );
+        for (&d, want) in failures.iter().zip(&pristine) {
+            let got = disk_image(&store, d);
+            prop_assert_eq!(&got, want, "{} rebuild of disk {} lost bits", mode, d);
+        }
+        prop_assert!(store.check_parity().is_empty(), "{} parity", mode);
+    }
     Ok(())
 }
 
@@ -105,7 +125,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     #[test]
-    fn mem_backed_parallel_rebuild_is_bit_identical(
+    fn mem_backed_concurrent_rebuilds_are_bit_identical(
         seed in any::<u64>(),
         nfail in 1usize..4,
         spick in any::<u32>(),
@@ -113,15 +133,18 @@ proptest! {
         let cfg = OiRaidConfig::reference();
         let mut serial = OiRaidStore::new(cfg.clone(), 32).unwrap();
         fill(&mut serial, seed);
-        let parallel = serial.clone();
+        let others = vec![
+            (RebuildMode::Parallel, serial.clone()),
+            (RebuildMode::Dag, serial.clone()),
+        ];
         let failures = pick_failures(serial.array().disks(), nfail, seed ^ 0xD1CE);
         // Strategy only applies to single failures; vary it anyway.
         let strategy = strategy_from(spick);
-        assert_parallel_matches_serial(serial, parallel, &failures, strategy)?;
+        assert_modes_match_serial(serial, others, &failures, strategy)?;
     }
 
     #[test]
-    fn file_backed_parallel_rebuild_is_bit_identical(
+    fn file_backed_concurrent_rebuilds_are_bit_identical(
         seed in any::<u64>(),
         nfail in 1usize..4,
         spick in any::<u32>(),
@@ -135,12 +158,18 @@ proptest! {
             OiRaidStore::create_in_dir(cfg.clone(), 32, base.join("serial")).unwrap();
         let mut parallel =
             OiRaidStore::create_in_dir(cfg.clone(), 32, base.join("parallel")).unwrap();
+        let mut dag = OiRaidStore::create_in_dir(cfg.clone(), 32, base.join("dag")).unwrap();
         fill(&mut serial, seed);
         fill(&mut parallel, seed);
+        fill(&mut dag, seed);
         let failures = pick_failures(serial.array().disks(), nfail, seed ^ 0xF11E);
         let strategy = strategy_from(spick);
-        let outcome =
-            assert_parallel_matches_serial(serial, parallel, &failures, strategy);
+        let outcome = assert_modes_match_serial(
+            serial,
+            vec![(RebuildMode::Parallel, parallel), (RebuildMode::Dag, dag)],
+            &failures,
+            strategy,
+        );
         let _ = std::fs::remove_dir_all(&base);
         outcome?;
     }
