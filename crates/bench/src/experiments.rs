@@ -1410,7 +1410,7 @@ pub fn e18_dag_scheduler() -> Vec<(String, Table)> {
     let run_engine = |mode: RebuildMode, pool: Option<usize>| {
         let mut best: Option<oi_raid::RebuildReport> = None;
         for _ in 0..3 {
-            let mut store = make_store();
+            let store = make_store();
             store.set_dag_workers(pool);
             for &d in &failed {
                 store.fail_disk(d).expect("valid disk");
@@ -1571,7 +1571,445 @@ pub fn e18_dag_scheduler() -> Vec<(String, Table)> {
     ]
 }
 
-/// Runs one experiment by id (`e1`..`e18`, `a1`, `a2`), or `all`.
+/// E19 — the multi-tenant volume layer under closed-loop load.
+///
+/// Three tables driven by the same zipfian record workload (YCSB-style
+/// `theta = 0.99`, 70/30 read/write, 512-byte records over 4 KiB chunks on
+/// 300 us spindles). **E19a** compares the unbatched one-call-per-op path
+/// against the sharded batching path at several group sizes: batching must
+/// win on throughput because zipf-hot reads dedupe and same-chunk writes
+/// coalesce into a single RMW. **E19b** holds the batched path fixed and
+/// sweeps the array state (healthy, two disks down, rebuild storm running).
+/// **E19c** measures tenant isolation: a rate-capped tenant hammering the
+/// same store must not move an uncapped tenant's p99 materially.
+///
+/// The client count (default 120 000 simulated closed-loop clients; override
+/// with `OI_E19_CLIENTS`) sets both the op volume and the per-client rng
+/// streams; each client issues at most one op per closed-loop turn.
+///
+/// # Panics
+///
+/// Panics if the batched path fails to beat the unbatched path by the
+/// `1.3x` acceptance bound, or if the capped tenant pushes the uncapped
+/// tenant's read p99 beyond `1.5x` its solo value.
+pub fn e19_volume_closed_loop() -> Vec<(String, Table)> {
+    use blockdev::{BlockDevice, FaultConfig, FaultInjectingDevice, MemDevice};
+    use oi_raid::{OiRaidStore, RebuildMode, RebuildOutcome};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+    use volume::{Op, TenantClass, TenantId, VolumeId, VolumeManager, Zipf};
+
+    telemetry::set_enabled(true);
+    const CHUNK: usize = 4096;
+    const RECORD: usize = 512;
+    const WORKERS: usize = 8;
+    const READ_FRAC: f64 = 0.7;
+    const THETA: f64 = 0.99;
+    let latency = Duration::from_micros(300);
+    let clients: usize = std::env::var("OI_E19_CLIENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120_000)
+        .max(WORKERS);
+    let cfg = OiRaidConfig::reference();
+    let chunks_per_disk = {
+        let probe = OiRaidStore::new(cfg.clone(), CHUNK).expect("reference store");
+        probe.devices()[0].chunks()
+    };
+
+    type Mgr = VolumeManager<FaultInjectingDevice<MemDevice>>;
+    // A fresh manager per measurement: prefill runs with latency off, then
+    // the spindle delay is switched on for the measured phase.
+    let make_mgr = |tenants: &[(&str, TenantClass)]| -> (Arc<Mgr>, Vec<(TenantId, VolumeId)>) {
+        let devices: Vec<_> = (0..21)
+            .map(|_| {
+                FaultInjectingDevice::new(
+                    MemDevice::new(CHUNK, chunks_per_disk),
+                    FaultConfig::default(),
+                )
+            })
+            .collect();
+        let store = OiRaidStore::with_devices(cfg.clone(), CHUNK, devices).expect("valid devices");
+        for idx in 0..store.data_chunks() {
+            let chunk: Vec<u8> = (0..CHUNK).map(|j| (idx * 131 + j * 17 + 3) as u8).collect();
+            store.write_data(idx, &chunk).expect("prefill write");
+        }
+        for dev in store.devices() {
+            dev.set_config(FaultConfig::latency(latency, latency));
+        }
+        let total_records = store.capacity_bytes() / RECORD as u64;
+        let per_volume = total_records / tenants.len() as u64;
+        let mgr = Arc::new(VolumeManager::new(Arc::new(store), WORKERS * 2));
+        let ids = tenants
+            .iter()
+            .map(|(name, class)| {
+                let t = mgr.add_tenant(name, *class);
+                let v = mgr
+                    .create_volume(t, name, RECORD, per_volume)
+                    .expect("volume fits");
+                (t, v)
+            })
+            .collect();
+        (mgr, ids)
+    };
+
+    struct LoopResult {
+        ops: usize,
+        wall: Duration,
+        read_p50: u64,
+        read_p99: u64,
+        read_p999: u64,
+        write_p99: u64,
+    }
+    impl LoopResult {
+        fn ops_per_sec(&self) -> f64 {
+            self.ops as f64 / self.wall.as_secs_f64()
+        }
+    }
+
+    // The closed loop: `WORKERS` threads share `clients` logical clients;
+    // each turn a worker collects one op from each of the next `group`
+    // clients and issues the group (one `submit` when batched, one store
+    // call per op when not). `seed` decorrelates phases; `done` (when
+    // given) lets another tenant's loop stop this one early.
+    let closed_loop = |mgr: &Arc<Mgr>,
+                       tenant: TenantId,
+                       vol: VolumeId,
+                       records: u64,
+                       total_ops: usize,
+                       group: usize,
+                       batched: bool,
+                       seed: u64,
+                       done: Option<&AtomicBool>,
+                       workers: usize|
+     -> LoopResult {
+        let zipf = Zipf::scrambled(records as usize, THETA, 0xE19 ^ seed);
+        let before_read = mgr
+            .tenant_read_latency(tenant)
+            .expect("tenant exists")
+            .snapshot()
+            .count;
+        let began = Instant::now();
+        let ops_done: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let zipf = &zipf;
+                    let mgr = Arc::clone(mgr);
+                    s.spawn(move || {
+                        let per_worker = (total_ops / workers).max(1);
+                        let my_clients = (clients / workers).max(1);
+                        let mut rngs: Vec<StdRng> = (0..my_clients.min(per_worker))
+                            .map(|c| StdRng::seed_from_u64(seed ^ ((w * my_clients + c) as u64)))
+                            .collect();
+                        let mut next = 0usize;
+                        let mut issued = 0usize;
+                        while issued < per_worker {
+                            if done.is_some_and(|d| d.load(Ordering::Relaxed)) {
+                                break;
+                            }
+                            let n = group.min(per_worker - issued);
+                            let mut ops = Vec::with_capacity(n);
+                            for _ in 0..n {
+                                let n_clients = rngs.len();
+                                let rng = &mut rngs[next];
+                                next = (next + 1) % n_clients;
+                                let record = zipf.sample(rng) as u64;
+                                if rng.gen::<f64>() < READ_FRAC {
+                                    ops.push(Op::Read {
+                                        volume: vol,
+                                        record,
+                                    });
+                                } else {
+                                    let tag = (rng.next_u64() & 0xFF) as u8;
+                                    ops.push(Op::Write {
+                                        volume: vol,
+                                        record,
+                                        data: vec![tag; RECORD],
+                                    });
+                                }
+                            }
+                            if batched {
+                                for res in mgr.submit(ops) {
+                                    res.expect("batched op");
+                                }
+                            } else {
+                                for op in ops {
+                                    match op {
+                                        Op::Read { record, .. } => {
+                                            mgr.read_record(vol, record).expect("direct read");
+                                        }
+                                        Op::Write { record, data, .. } => {
+                                            mgr.write_record(vol, record, &data)
+                                                .expect("direct write");
+                                        }
+                                    }
+                                }
+                            }
+                            issued += n;
+                        }
+                        issued
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).sum()
+        });
+        let wall = began.elapsed();
+        let reads = mgr
+            .tenant_read_latency(tenant)
+            .expect("tenant exists")
+            .snapshot();
+        let writes = mgr
+            .tenant_write_latency(tenant)
+            .expect("tenant exists")
+            .snapshot();
+        assert!(reads.count > before_read, "closed loop made no reads");
+        LoopResult {
+            ops: ops_done,
+            wall,
+            read_p50: reads.p50(),
+            read_p99: reads.p99(),
+            read_p999: reads.p999(),
+            write_p99: writes.p99(),
+        }
+    };
+
+    let ms = |ns: u64| f3(ns as f64 / 1e6);
+    let one_tenant: &[(&str, TenantClass)] = &[("t0", TenantClass::default())];
+    let ops_a = clients.clamp(4_096, 122_880);
+    let ops_unbatched = ops_a.min(12_288);
+
+    // E19a: unbatched baseline vs batched at several group sizes.
+    let mut t1 = Table::new(&[
+        "path",
+        "ops",
+        "wall (ms)",
+        "ops/s",
+        "read p50 (ms)",
+        "read p99 (ms)",
+        "read p999 (ms)",
+        "write p99 (ms)",
+    ]);
+    let mut row = |name: &str, r: &LoopResult| {
+        t1.row_owned(vec![
+            name.into(),
+            r.ops.to_string(),
+            f3(r.wall.as_secs_f64() * 1e3),
+            f3(r.ops_per_sec()),
+            ms(r.read_p50),
+            ms(r.read_p99),
+            ms(r.read_p999),
+            ms(r.write_p99),
+        ]);
+    };
+    let unbatched = {
+        let (mgr, ids) = make_mgr(one_tenant);
+        let records = mgr.store().capacity_bytes() / RECORD as u64;
+        closed_loop(
+            &mgr,
+            ids[0].0,
+            ids[0].1,
+            records,
+            ops_unbatched,
+            64,
+            false,
+            1,
+            None,
+            WORKERS,
+        )
+    };
+    row("unbatched", &unbatched);
+    let mut batched_best = 0.0f64;
+    let mut batched_p99 = u64::MAX;
+    for group in [64usize, 256, 1024] {
+        let (mgr, ids) = make_mgr(one_tenant);
+        let records = mgr.store().capacity_bytes() / RECORD as u64;
+        let r = closed_loop(
+            &mgr, ids[0].0, ids[0].1, records, ops_a, group, true, 2, None, WORKERS,
+        );
+        batched_best = batched_best.max(r.ops_per_sec());
+        batched_p99 = batched_p99.min(r.read_p99);
+        row(&format!("batched (group {group})"), &r);
+    }
+    // The headline acceptance bound: batching buys >= 1.3x on throughput
+    // or tail latency over one-call-per-op for the same workload.
+    let tput_ratio = batched_best / unbatched.ops_per_sec();
+    let p99_ratio = unbatched.read_p99 as f64 / batched_p99.max(1) as f64;
+    assert!(
+        tput_ratio >= 1.3 || p99_ratio >= 1.3,
+        "batching below the 1.3x bound: throughput {tput_ratio:.3}x, read p99 {p99_ratio:.3}x"
+    );
+
+    // E19b: the batched path across array states.
+    let ops_b = (clients / 4).clamp(4_096, 30_720);
+    let mut t2 = Table::new(&[
+        "state",
+        "ops",
+        "ops/s",
+        "read p50 (ms)",
+        "read p99 (ms)",
+        "read p999 (ms)",
+        "write p99 (ms)",
+        "degraded ops",
+    ]);
+    for state in ["healthy", "degraded (2 disks)", "rebuilding"] {
+        let (mgr, ids) = make_mgr(one_tenant);
+        let records = mgr.store().capacity_bytes() / RECORD as u64;
+        if state != "healthy" {
+            mgr.store().fail_disk(4).expect("valid disk");
+            mgr.store().fail_disk(9).expect("valid disk");
+        }
+        let r = if state == "rebuilding" {
+            let workload_done = AtomicBool::new(false);
+            std::thread::scope(|s| {
+                let storm = s.spawn(|| {
+                    // Keep a rebuild running for the whole measured window.
+                    loop {
+                        let rep = mgr
+                            .store()
+                            .rebuild(RebuildMode::Dag, RecoveryStrategy::Hybrid)
+                            .expect("rebuild");
+                        assert_eq!(rep.outcome, RebuildOutcome::Complete);
+                        if workload_done.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        mgr.store().fail_disk(4).expect("valid disk");
+                        mgr.store().fail_disk(9).expect("valid disk");
+                    }
+                });
+                let r = closed_loop(
+                    &mgr, ids[0].0, ids[0].1, records, ops_b, 256, true, 3, None, WORKERS,
+                );
+                workload_done.store(true, Ordering::Relaxed);
+                storm.join().expect("rebuild storm");
+                r
+            })
+        } else {
+            closed_loop(
+                &mgr, ids[0].0, ids[0].1, records, ops_b, 256, true, 3, None, WORKERS,
+            )
+        };
+        let degraded =
+            mgr.store().telemetry().degraded_reads() + mgr.store().telemetry().degraded_writes();
+        t2.row_owned(vec![
+            state.into(),
+            r.ops.to_string(),
+            f3(r.ops_per_sec()),
+            ms(r.read_p50),
+            ms(r.read_p99),
+            ms(r.read_p999),
+            ms(r.write_p99),
+            degraded.to_string(),
+        ]);
+    }
+
+    // E19c: QoS isolation. Tenant A (weight 4, uncapped) runs the same
+    // closed loop solo and then alongside tenant B, which is rate-capped
+    // and must not move A's tail.
+    let ops_c = (clients / 5).clamp(4_096, 24_576);
+    let two_tenants: &[(&str, TenantClass)] = &[
+        ("tenant-a", TenantClass::weighted(4)),
+        ("tenant-b", TenantClass::capped(600.0)),
+    ];
+    let solo = {
+        let (mgr, ids) = make_mgr(two_tenants);
+        let records = mgr.store().capacity_bytes() / RECORD as u64 / 2;
+        closed_loop(
+            &mgr, ids[0].0, ids[0].1, records, ops_c, 256, true, 4, None, WORKERS,
+        )
+    };
+    let (shared_a, shared_b) = {
+        let (mgr, ids) = make_mgr(two_tenants);
+        let records = mgr.store().capacity_bytes() / RECORD as u64 / 2;
+        let a_done = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let b = s.spawn(|| {
+                closed_loop(
+                    &mgr,
+                    ids[1].0,
+                    ids[1].1,
+                    records,
+                    usize::MAX / 2,
+                    8,
+                    true,
+                    5,
+                    Some(&a_done),
+                    2,
+                )
+            });
+            let a = closed_loop(
+                &mgr, ids[0].0, ids[0].1, records, ops_c, 256, true, 4, None, WORKERS,
+            );
+            a_done.store(true, Ordering::Relaxed);
+            (a, b.join().expect("tenant B loop"))
+        })
+    };
+    let p99_push = shared_a.read_p99 as f64 / solo.read_p99.max(1) as f64;
+    let mut t3 = Table::new(&[
+        "tenant",
+        "scenario",
+        "ops",
+        "ops/s",
+        "read p99 (ms)",
+        "write p99 (ms)",
+        "p99 vs solo (x)",
+    ]);
+    t3.row_owned(vec![
+        "A (weight 4)".into(),
+        "solo".into(),
+        solo.ops.to_string(),
+        f3(solo.ops_per_sec()),
+        ms(solo.read_p99),
+        ms(solo.write_p99),
+        "1.000".into(),
+    ]);
+    t3.row_owned(vec![
+        "A (weight 4)".into(),
+        "with capped B".into(),
+        shared_a.ops.to_string(),
+        f3(shared_a.ops_per_sec()),
+        ms(shared_a.read_p99),
+        ms(shared_a.write_p99),
+        f3(p99_push),
+    ]);
+    t3.row_owned(vec![
+        "B (600 ops/s cap)".into(),
+        "with A".into(),
+        shared_b.ops.to_string(),
+        f3(shared_b.ops_per_sec()),
+        ms(shared_b.read_p99),
+        ms(shared_b.write_p99),
+        "-".into(),
+    ]);
+    // The isolation acceptance bound: B cannot push A's read p99 past
+    // 1.5x its solo value.
+    assert!(
+        p99_push <= 1.5,
+        "capped tenant pushed the uncapped tenant's p99 {p99_push:.3}x (bound 1.5x)"
+    );
+
+    vec![
+        (
+            format!(
+                "E19a: closed-loop volume throughput — {clients} zipf(0.99) clients, \
+                 70/30 read/write, 512B records, 300us spindles"
+            ),
+            t1,
+        ),
+        (
+            "E19b: the batched path across array states (group 256)".into(),
+            t2,
+        ),
+        (
+            "E19c: tenant isolation — rate-capped B vs uncapped A's tail".into(),
+            t3,
+        ),
+    ]
+}
+
+/// Runs one experiment by id (`e1`..`e19`, `a1`, `a2`), or `all`.
 /// Returns the rendered tables; unknown ids return `None`.
 pub fn run(id: &str) -> Option<Vec<(String, Table)>> {
     match id {
@@ -1593,12 +2031,13 @@ pub fn run(id: &str) -> Option<Vec<(String, Table)>> {
         "e16" => Some(e16_self_healing()),
         "e17" => Some(e17_online_qos()),
         "e18" => Some(e18_dag_scheduler()),
+        "e19" => Some(e19_volume_closed_loop()),
         "a2" => Some(a2_strategy_ablation()),
         "all" => {
             let mut out = Vec::new();
             for id in [
                 "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-                "e14", "e15", "e16", "e17", "e18", "a2",
+                "e14", "e15", "e16", "e17", "e18", "e19", "a2",
             ] {
                 out.extend(run(id).expect("known id"));
             }

@@ -71,6 +71,7 @@
 
 pub mod analysis;
 mod array;
+mod bufpool;
 mod config;
 mod degraded_read;
 mod geometry;
@@ -89,4 +90,4 @@ pub use observe::{HealCounters, RebuildObserver, StageSummary, StageTimings};
 pub use qos::{QosConfig, QosCounters};
 pub use rebuild::{RebuildMode, RebuildOutcome, RebuildReport};
 pub use recovery::RecoveryStrategy;
-pub use store::{OiRaidStore, ScrubReport, StoreError, StoreTelemetry};
+pub use store::{BatchStats, OiRaidStore, ScrubReport, StoreError, StoreTelemetry};

@@ -59,6 +59,7 @@ use ecc::ErasureCode;
 use layout::{ChunkAddr, Layout, RecoveryPlan, SparePolicy};
 use telemetry::{HistogramSnapshot, Span};
 
+use crate::bufpool::BufPool;
 use crate::geometry::Geometry;
 use crate::observe::{RebuildObserver, StageSummary};
 use crate::online::Region;
@@ -247,40 +248,6 @@ impl fmt::Display for RebuildReport {
             self.escalations,
             self.latent_repairs,
         )
-    }
-}
-
-/// A shared pool of chunk-sized byte buffers: readers take buffers, the
-/// combiner recycles consumed inputs back, so steady-state rebuild performs
-/// no per-chunk allocation.
-struct BufPool {
-    chunk: usize,
-    free: Mutex<Vec<Vec<u8>>>,
-}
-
-impl BufPool {
-    fn new(chunk: usize) -> Self {
-        Self {
-            chunk,
-            free: Mutex::new(Vec::new()),
-        }
-    }
-
-    /// A zeroed chunk-sized buffer, recycled when one is available.
-    fn take(&self) -> Vec<u8> {
-        match self.free.lock().expect("pool lock").pop() {
-            Some(mut b) => {
-                b.fill(0);
-                b
-            }
-            None => vec![0u8; self.chunk],
-        }
-    }
-
-    fn put(&self, b: Vec<u8>) {
-        if b.len() == self.chunk {
-            self.free.lock().expect("pool lock").push(b);
-        }
     }
 }
 
@@ -1728,7 +1695,7 @@ mod tests {
 
     #[test]
     fn dag_worker_override_is_honored() {
-        let mut store = filled(8);
+        let store = filled(8);
         store.set_dag_workers(Some(3));
         store.fail_disk(11).unwrap();
         let report = store
@@ -1978,7 +1945,7 @@ mod tests {
         // still finish bit-identical.
         for mode in [RebuildMode::Serial, RebuildMode::Parallel, RebuildMode::Dag] {
             let reference = filled(8);
-            let mut store = filled_faulty(8);
+            let store = filled_faulty(8);
             store.set_retry_policy(blockdev::RetryPolicy::immediate(3));
             store.devices()[3].set_config(FaultConfig {
                 seed: 99,

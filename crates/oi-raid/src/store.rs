@@ -21,11 +21,11 @@
 //! update set, and leave the missing members to the rebuilder — the parity
 //! relations then imply the *new* values, so nothing is lost.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use blockdev::{
@@ -38,6 +38,7 @@ use layout::{ChunkAddr, Layout, LayoutError};
 use telemetry::{Histogram, Registry};
 
 use crate::array::OiRaid;
+use crate::bufpool::BufPool;
 use crate::config::OiRaidConfig;
 use crate::geometry::{Geometry, PayloadPos};
 use crate::observe::RebuildObserver;
@@ -171,6 +172,10 @@ pub struct StoreTelemetry {
     foreground_read_latency: Arc<Histogram>,
     foreground_writes: AtomicU64,
     foreground_write_latency: Arc<Histogram>,
+    batch_read_requests: AtomicU64,
+    batch_read_chunks: AtomicU64,
+    batch_write_requests: AtomicU64,
+    batch_write_chunks: AtomicU64,
 }
 
 impl Clone for StoreTelemetry {
@@ -242,7 +247,65 @@ impl StoreTelemetry {
         self.foreground_writes.fetch_add(1, Ordering::Relaxed);
         self.foreground_write_latency.record_duration(took);
     }
+
+    /// Logical read requests submitted through
+    /// [`OiRaidStore::read_data_batch`].
+    pub fn batch_read_requests(&self) -> u64 {
+        self.batch_read_requests.load(Ordering::Relaxed)
+    }
+
+    /// Distinct chunks actually fetched for those batched reads — the gap
+    /// to [`Self::batch_read_requests`] is the dedup win.
+    pub fn batch_read_chunks(&self) -> u64 {
+        self.batch_read_chunks.load(Ordering::Relaxed)
+    }
+
+    /// Logical byte-range requests submitted through
+    /// [`OiRaidStore::write_bytes_batch`].
+    pub fn batch_write_requests(&self) -> u64 {
+        self.batch_write_requests.load(Ordering::Relaxed)
+    }
+
+    /// Distinct chunk read-modify-writes performed for those batched
+    /// writes — the gap to [`Self::batch_write_requests`] is the
+    /// coalescing win.
+    pub fn batch_write_chunks(&self) -> u64 {
+        self.batch_write_chunks.load(Ordering::Relaxed)
+    }
+
+    fn record_batch_read(&self, requests: u64, chunks: u64) {
+        self.batch_read_requests
+            .fetch_add(requests, Ordering::Relaxed);
+        self.batch_read_chunks.fetch_add(chunks, Ordering::Relaxed);
+    }
+
+    fn record_batch_write(&self, stats: BatchStats) {
+        self.batch_write_requests
+            .fetch_add(stats.requests as u64, Ordering::Relaxed);
+        self.batch_write_chunks
+            .fetch_add(stats.chunks as u64, Ordering::Relaxed);
+    }
 }
+
+/// Aggregate outcome of one [`OiRaidStore::write_bytes_batch`] submission:
+/// how many logical byte-range requests collapsed into how many physical
+/// chunk read-modify-writes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Logical byte-range requests submitted.
+    pub requests: usize,
+    /// Distinct chunks touched (read-modify-write cycles performed).
+    pub chunks: usize,
+}
+
+/// Upper bound on chunks per batched-write commit group: caps the region
+/// lock footprint and in-flight scratch while still amortizing parity
+/// read-modify-writes across the group.
+const MAX_WRITE_GROUP: usize = 32;
+
+/// One touched chunk in a batched write: its data index and the
+/// `(offset-within-chunk, bytes)` patches targeting it, in submission order.
+type ChunkPatches<'a> = (usize, Vec<(usize, &'a [u8])>);
 
 /// An OI-RAID array storing real bytes on pluggable block devices.
 ///
@@ -269,22 +332,45 @@ impl StoreTelemetry {
 /// store.write_data(0, &[9u8; 64]).unwrap();
 /// assert_eq!(store.read_data(0).unwrap(), vec![9u8; 64]);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct OiRaidStore<B: BlockDevice = MemDevice> {
     array: OiRaid,
     chunk_size: usize,
     /// One device per disk; failed disks are failed *devices*.
     devices: Vec<B>,
     telem: StoreTelemetry,
-    /// Retry policy for rebuild/scrub device I/O.
-    retry: RetryPolicy,
+    /// Retry policy for rebuild/scrub device I/O. Behind a lock so it can
+    /// be swapped through `&self` during a live benchmark or rebuild.
+    retry: Mutex<RetryPolicy>,
     /// Rebuild-window availability + dirty tracking for online rebuilds.
     online: OnlineState,
     /// Foreground/rebuild bandwidth arbitration.
     qos: QosState,
     /// Pool-size override for [`RebuildMode::Dag`](crate::RebuildMode::Dag)
-    /// rounds; `None` sizes the pool from the plan's queue count.
-    dag_workers: Option<usize>,
+    /// rounds; `usize::MAX` is the "unset" sentinel (= size the pool from
+    /// the plan's queue count).
+    dag_workers: AtomicUsize,
+    /// Recycled chunk-sized scratch buffers for the RMW delta/parity legs.
+    pool: BufPool,
+}
+
+impl<B: BlockDevice + Clone> Clone for OiRaidStore<B> {
+    /// Clones the array geometry, devices, and policies. Telemetry starts
+    /// fresh (counters describe one store instance's history) and the
+    /// scratch pool starts empty.
+    fn clone(&self) -> Self {
+        Self {
+            array: self.array.clone(),
+            chunk_size: self.chunk_size,
+            devices: self.devices.clone(),
+            telem: self.telem.clone(),
+            retry: Mutex::new(self.retry_policy()),
+            online: self.online.clone(),
+            qos: self.qos.clone(),
+            dag_workers: AtomicUsize::new(self.dag_workers.load(Ordering::Relaxed)),
+            pool: BufPool::new(self.chunk_size),
+        }
+    }
 }
 
 impl OiRaidStore<MemDevice> {
@@ -309,10 +395,11 @@ impl OiRaidStore<MemDevice> {
             chunk_size,
             devices,
             telem: StoreTelemetry::default(),
-            retry: RetryPolicy::default(),
+            retry: Mutex::new(RetryPolicy::default()),
             online: OnlineState::default(),
             qos: QosState::new(QosConfig::from_env()),
-            dag_workers: None,
+            dag_workers: AtomicUsize::new(usize::MAX),
+            pool: BufPool::new(chunk_size),
         })
     }
 }
@@ -361,10 +448,11 @@ impl OiRaidStore<FileDevice> {
             chunk_size,
             devices,
             telem: StoreTelemetry::default(),
-            retry: RetryPolicy::default(),
+            retry: Mutex::new(RetryPolicy::default()),
             online: OnlineState::default(),
             qos: QosState::new(QosConfig::from_env()),
-            dag_workers: None,
+            dag_workers: AtomicUsize::new(usize::MAX),
+            pool: BufPool::new(chunk_size),
         })
     }
 }
@@ -422,10 +510,11 @@ impl<B: BlockDevice> OiRaidStore<B> {
             chunk_size,
             devices,
             telem: StoreTelemetry::default(),
-            retry: RetryPolicy::default(),
+            retry: Mutex::new(RetryPolicy::default()),
             online: OnlineState::default(),
             qos: QosState::new(QosConfig::from_env()),
-            dag_workers: None,
+            dag_workers: AtomicUsize::new(usize::MAX),
+            pool: BufPool::new(chunk_size),
         })
     }
 
@@ -471,28 +560,35 @@ impl<B: BlockDevice> OiRaidStore<B> {
 
     /// The retry policy rebuild and scrub use for device I/O.
     pub fn retry_policy(&self) -> RetryPolicy {
-        self.retry
+        *self.retry.lock().expect("retry policy lock")
     }
 
     /// Replaces the retry policy for subsequent rebuilds and scrubs (e.g.
     /// `RetryPolicy::none()` to fail fast, or a wider budget for flaky
-    /// media).
-    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
-        self.retry = policy;
+    /// media). Takes `&self` — safe to call while I/O or a rebuild is in
+    /// flight; operations pick up the new policy on their next device op.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.retry.lock().expect("retry policy lock") = policy;
     }
 
     /// Pool-size override for [`RebuildMode::Dag`](crate::RebuildMode::Dag)
     /// rounds, if one was set.
     pub fn dag_workers(&self) -> Option<usize> {
-        self.dag_workers
+        match self.dag_workers.load(Ordering::Relaxed) {
+            usize::MAX => None,
+            n => Some(n),
+        }
     }
 
     /// Overrides the DAG-mode worker-pool size. `None` (the default) sizes
     /// the pool at twice the plan's per-disk queue count, enough to keep
     /// every surviving disk's queue busy while combines and writebacks
-    /// overlap.
-    pub fn set_dag_workers(&mut self, workers: Option<usize>) {
-        self.dag_workers = workers;
+    /// overlap. Takes `&self` — the next DAG round picks up the new size.
+    /// (`Some(usize::MAX)` is reserved as the "unset" sentinel and reads
+    /// back as `None`.)
+    pub fn set_dag_workers(&self, workers: Option<usize>) {
+        self.dag_workers
+            .store(workers.unwrap_or(usize::MAX), Ordering::Relaxed);
     }
 
     /// Number of logical data chunks.
@@ -555,7 +651,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
             return Ok(None);
         }
         let mut buf = vec![0u8; self.chunk_size];
-        match RetryReader::new(dev, self.retry).read_chunk(addr.offset, &mut buf) {
+        match RetryReader::new(dev, self.retry_policy()).read_chunk(addr.offset, &mut buf) {
             Ok(()) => Ok(Some(buf)),
             Err(DeviceError::Failed) => Ok(None),
             Err(error) => Err(StoreError::Device {
@@ -579,7 +675,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
             return None;
         }
         let mut buf = vec![0u8; self.chunk_size];
-        RetryReader::new(dev, self.retry)
+        RetryReader::new(dev, self.retry_policy())
             .read_chunk(addr.offset, &mut buf)
             .ok()
             .map(|()| buf)
@@ -620,9 +716,12 @@ impl<B: BlockDevice> OiRaidStore<B> {
                 0 => self.xor_into(paddr, delta)?,
                 1 => {
                     let w = Raid6::generator_weight(pos);
-                    let mut scaled = vec![0u8; delta.len()];
+                    // `mul_slice` writes every byte, so dirty scratch is fine.
+                    let mut scaled = self.pool.take_dirty();
                     Gf256::get().mul_slice(w, delta, &mut scaled);
-                    self.xor_into(paddr, &scaled)?;
+                    let done = self.xor_into(paddr, &scaled);
+                    self.pool.put(scaled);
+                    done?;
                 }
                 _ => unreachable!("at most two inner parities"),
             }
@@ -637,7 +736,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
         let stats = RetryStats::default();
         match write_chunk_retrying(
             &self.devices[addr.disk],
-            &self.retry,
+            &self.retry_policy(),
             &stats,
             addr.offset,
             data,
@@ -653,10 +752,43 @@ impl<B: BlockDevice> OiRaidStore<B> {
 
     fn xor_into(&self, addr: ChunkAddr, delta: &[u8]) -> Result<(), StoreError> {
         let mut bytes = self
-            .chunk(addr)?
+            .chunk_pooled(addr)?
             .ok_or(StoreError::DiskFailed { disk: addr.disk })?;
         gf::kernels::xor_acc(&mut bytes, delta);
-        self.write_chunk(addr, &bytes)
+        let done = self.write_chunk(addr, &bytes);
+        self.pool.put(bytes);
+        done
+    }
+
+    /// Like [`Self::chunk`] but reads into a recycled scratch buffer from
+    /// the store's pool. Callers hand the buffer back with
+    /// `self.pool.put` once the bytes are dead (dropping it is safe, just
+    /// unpooled).
+    fn chunk_pooled(&self, addr: ChunkAddr) -> Result<Option<Vec<u8>>, StoreError> {
+        if self.online.chunk_invalid(addr) {
+            return Ok(None);
+        }
+        let dev = &self.devices[addr.disk];
+        if dev.is_failed() {
+            return Ok(None);
+        }
+        // `read_chunk` overwrites every byte on success, so the buffer
+        // needs no zeroing.
+        let mut buf = self.pool.take_dirty();
+        match RetryReader::new(dev, self.retry_policy()).read_chunk(addr.offset, &mut buf) {
+            Ok(()) => Ok(Some(buf)),
+            Err(DeviceError::Failed) => {
+                self.pool.put(buf);
+                Ok(None)
+            }
+            Err(error) => {
+                self.pool.put(buf);
+                Err(StoreError::Device {
+                    disk: addr.disk,
+                    error,
+                })
+            }
+        }
     }
 
     /// Writes logical data chunk `idx`, updating both parity layers
@@ -747,7 +879,10 @@ impl<B: BlockDevice> OiRaidStore<B> {
         data: &[u8],
         old: &[u8],
     ) -> Result<(), StoreError> {
-        let delta: Vec<u8> = old.iter().zip(data).map(|(o, n)| o ^ n).collect();
+        let mut delta = self.pool.take_dirty();
+        for ((d, o), n) in delta.iter_mut().zip(old).zip(data) {
+            *d = o ^ n;
+        }
         // Data chunk: we hold the full new value, so any writable device
         // takes it — including a mid-rebuild disk, whose chunk becomes
         // valid right here.
@@ -763,6 +898,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
         }
         self.patch_row_parities(addr, &delta)?;
         self.patch_row_parities(outer, &delta)?;
+        self.pool.put(delta);
         // Tell an in-flight rebuild that these relations changed under it:
         // reconstructions read from them this round are stale.
         let mut regions = self.regions_for(addr);
@@ -978,6 +1114,26 @@ impl<B: BlockDevice> OiRaidStore<B> {
                 self.telem.foreground_writes(),
             ),
             (
+                "oi_store_batch_read_requests_total",
+                "Logical read requests submitted through read_data_batch",
+                self.telem.batch_read_requests(),
+            ),
+            (
+                "oi_store_batch_read_chunks_total",
+                "Distinct chunks fetched for batched reads",
+                self.telem.batch_read_chunks(),
+            ),
+            (
+                "oi_store_batch_write_requests_total",
+                "Logical byte-range requests submitted through write_bytes_batch",
+                self.telem.batch_write_requests(),
+            ),
+            (
+                "oi_store_batch_write_chunks_total",
+                "Distinct chunk RMWs performed for batched writes",
+                self.telem.batch_write_chunks(),
+            ),
+            (
                 "oi_store_rebuild_throttle_waits_total",
                 "Rebuild batches delayed by the foreground QoS throttle",
                 self.qos.counters().throttle_waits,
@@ -1176,6 +1332,362 @@ impl<B: BlockDevice> OiRaidStore<B> {
         Ok(())
     }
 
+    /// Reads many logical data chunks in one submission, deduplicating
+    /// repeated indices and coalescing physically-adjacent healthy chunks
+    /// into single [`BlockDevice::read_chunks`] runs per disk. Unavailable
+    /// chunks fall back to the degraded [`Self::read_data`] machinery
+    /// one-by-one. Returns one chunk value per input index, in input order
+    /// (duplicates get copies of the same fetch).
+    ///
+    /// Foreground-read latency is recorded per *distinct* chunk at batch
+    /// completion — the latency a batched client actually observes.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::IndexOutOfRange`] if any index is out of range
+    /// (checked before any I/O); [`StoreError::DataLoss`] /
+    /// [`StoreError::Device`] from the degraded fallback, abandoning the
+    /// rest of the batch.
+    pub fn read_data_batch(&self, idxs: &[usize]) -> Result<Vec<Vec<u8>>, StoreError> {
+        for &idx in idxs {
+            if idx >= self.data_chunks() {
+                return Err(StoreError::IndexOutOfRange {
+                    index: idx,
+                    capacity: self.data_chunks(),
+                });
+            }
+        }
+        if idxs.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.qos.note_foreground();
+        let began = Instant::now();
+        let cs = self.chunk_size;
+        // Each distinct chunk is fetched once and fanned back out to every
+        // requesting slot.
+        let mut fetched: BTreeMap<usize, Vec<u8>> = BTreeMap::new();
+        let mut direct: Vec<(usize, ChunkAddr)> = Vec::new();
+        let mut fallback: Vec<usize> = Vec::new();
+        let mut remaining: BTreeMap<usize, usize> = BTreeMap::new();
+        for &idx in idxs {
+            let n = remaining.entry(idx).or_insert(0);
+            *n += 1;
+            if *n > 1 {
+                continue;
+            }
+            let addr = self.array.locate_data(idx);
+            if self.chunk_available(addr) {
+                direct.push((idx, addr));
+            } else {
+                fallback.push(idx);
+            }
+        }
+        // Healthy chunks: sort by physical placement and coalesce
+        // consecutive offsets on the same disk into one device run.
+        direct.sort_unstable_by_key(|(_, a)| (a.disk, a.offset));
+        let mut i = 0;
+        while i < direct.len() {
+            let mut j = i + 1;
+            while j < direct.len()
+                && direct[j].1.disk == direct[i].1.disk
+                && direct[j].1.offset == direct[i].1.offset + (j - i)
+            {
+                j += 1;
+            }
+            let run = &direct[i..j];
+            let disk = run[0].1.disk;
+            let first = run[0].1.offset;
+            let mut buf = vec![0u8; run.len() * cs];
+            let reader = RetryReader::new(&self.devices[disk], self.retry_policy());
+            let failures = reader.read_chunks_degrading(first, run.len(), &mut buf);
+            let failed: BTreeSet<usize> = failures.into_iter().map(|(c, _)| c).collect();
+            for (slot, (idx, addr)) in run.iter().enumerate() {
+                if failed.contains(&addr.offset) {
+                    // Went unreadable since the availability check (disk
+                    // died, latent sector): the degraded single-chunk path
+                    // sorts it out below.
+                    fallback.push(*idx);
+                } else {
+                    fetched.insert(*idx, buf[slot * cs..(slot + 1) * cs].to_vec());
+                }
+            }
+            i = j;
+        }
+        let direct_took = began.elapsed();
+        for _ in 0..fetched.len() {
+            self.telem.record_foreground_read(direct_took);
+        }
+        // Unavailable chunks: the one-at-a-time path reconstructs through
+        // the redundancy (and records its own degraded telemetry).
+        for &idx in &fallback {
+            fetched.insert(idx, self.read_data(idx)?);
+        }
+        self.telem
+            .record_batch_read(idxs.len() as u64, fetched.len() as u64);
+        let mut out = Vec::with_capacity(idxs.len());
+        for &idx in idxs {
+            let n = remaining.get_mut(&idx).expect("counted above");
+            *n -= 1;
+            if *n == 0 {
+                out.push(fetched.remove(&idx).expect("fetched above"));
+            } else {
+                out.push(fetched.get(&idx).cloned().expect("fetched above"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Writes many byte ranges in one submission, coalescing them into **one
+    /// read-modify-write per touched chunk** — one old-value reconstruct and
+    /// one parity update per touched relation, instead of one per request.
+    ///
+    /// Overlapping ranges apply in submission order (later writes win), so
+    /// the final contents are bit-identical to issuing the same writes
+    /// one-at-a-time through [`Self::write_bytes`] — including against
+    /// failed disks and mid-rebuild windows (property-tested in
+    /// `crates/volume`). Within each commit group the old values are
+    /// snapshotted under the union of the touched region locks before any
+    /// mutation, and every touched parity chunk absorbs its *accumulated*
+    /// XOR delta exactly once — equivalence with the sequential path
+    /// follows from the linearity of both code layers.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::IndexOutOfRange`] if any range exceeds
+    /// [`Self::capacity_bytes`] (checked before any I/O). Mid-batch
+    /// [`StoreError::DataLoss`] / [`StoreError::Device`] abandon the rest
+    /// of the batch: chunks of earlier commit groups are applied, the
+    /// failing group is rolled back to its pre-group state only if the
+    /// error struck before its first mutation (old-value snapshot phase).
+    pub fn write_bytes_batch(&self, writes: &[(u64, &[u8])]) -> Result<BatchStats, StoreError> {
+        let cap = self.capacity_bytes();
+        for &(off, data) in writes {
+            if off.checked_add(data.len() as u64).is_none_or(|e| e > cap) {
+                return Err(StoreError::IndexOutOfRange {
+                    index: off as usize,
+                    capacity: cap as usize,
+                });
+            }
+        }
+        if writes.is_empty() {
+            return Ok(BatchStats::default());
+        }
+        self.qos.note_foreground();
+        let cs = self.chunk_size as u64;
+        // Split every request into per-chunk patch lists, preserving
+        // submission order within each chunk (later writes win on overlap).
+        let mut patches: BTreeMap<usize, Vec<(usize, &[u8])>> = BTreeMap::new();
+        for &(off, data) in writes {
+            let mut done = 0usize;
+            while done < data.len() {
+                let pos = off + done as u64;
+                let idx = (pos / cs) as usize;
+                let within = (pos % cs) as usize;
+                let take = (self.chunk_size - within).min(data.len() - done);
+                patches
+                    .entry(idx)
+                    .or_default()
+                    .push((within, &data[done..done + take]));
+                done += take;
+            }
+        }
+        let stats = BatchStats {
+            requests: writes.len(),
+            chunks: patches.len(),
+        };
+        // Commit in bounded groups so the lock footprint and in-flight
+        // scratch stay small while parity updates still amortize.
+        let grouped: Vec<ChunkPatches<'_>> = patches.into_iter().collect();
+        for group in grouped.chunks(MAX_WRITE_GROUP) {
+            self.write_group(group)?;
+        }
+        self.telem.record_batch_write(stats);
+        Ok(stats)
+    }
+
+    /// Commits one bounded group of per-chunk patch lists: snapshot all old
+    /// values under the union of the group's region locks, then apply data
+    /// writes and accumulated parity deltas (see
+    /// [`Self::apply_write_group`]). Escalates the whole group to the
+    /// exclusive update lock when any old value needs the whole-array
+    /// decode fixpoint — same two-tier locking as [`Self::write_data`].
+    fn write_group(&self, group: &[ChunkPatches<'_>]) -> Result<(), StoreError> {
+        let began = Instant::now();
+        let mut items: Vec<(ChunkAddr, ChunkAddr, bool)> = Vec::with_capacity(group.len());
+        let mut regions: Vec<Region> = Vec::new();
+        for (idx, _) in group {
+            let addr = self.array.locate_data(*idx);
+            let targets = self
+                .array
+                .update_set(addr)
+                .map_err(|error| StoreError::Layout { error })?;
+            let outer = targets[1 + self.array.geometry().p_in];
+            debug_assert_eq!(self.array.chunk_role(outer), layout::Role::Parity);
+            regions.extend(self.regions_for(addr));
+            regions.extend(self.regions_for(outer));
+            let degraded = targets.iter().any(|t| !self.chunk_available(*t));
+            items.push((addr, outer, degraded));
+        }
+        let mut olds: Vec<Vec<u8>> = Vec::with_capacity(group.len());
+        {
+            let guard = self.online.lock_regions(&regions);
+            // Snapshot every old value before any mutation: group members
+            // that share relations must reconstruct against the pre-group
+            // state, exactly what each one-at-a-time write would have seen
+            // at its turn (parity patches cancel out of the reconstruction
+            // by linearity).
+            let mut local = true;
+            for (addr, _, _) in &items {
+                match self.chunk(*addr)? {
+                    Some(b) => olds.push(b),
+                    None => match self.reconstruct_chunk_local(*addr) {
+                        Some(b) => olds.push(b),
+                        None => {
+                            local = false;
+                            break;
+                        }
+                    },
+                }
+            }
+            if local {
+                self.apply_write_group(group, &items, &olds, &regions)?;
+                drop(guard);
+                let took = began.elapsed();
+                for (_, _, degraded) in &items {
+                    if *degraded {
+                        self.telem.record_degraded_write(took);
+                    }
+                    self.telem.record_foreground_write(took);
+                }
+                return Ok(());
+            }
+        }
+        // The failure pattern is too dense for a local decode somewhere in
+        // the group: re-run the whole group under the exclusive lock, whose
+        // stable view the whole-array fixpoint needs (see `write_data`).
+        let _guard = self.online.lock_updates();
+        olds.clear();
+        for (addr, _, _) in &items {
+            let old = match self.chunk(*addr)? {
+                Some(b) => b,
+                None => self.reconstruct_chunk(*addr)?,
+            };
+            olds.push(old);
+        }
+        self.apply_write_group(group, &items, &olds, &regions)?;
+        drop(_guard);
+        let took = began.elapsed();
+        for (_, _, degraded) in &items {
+            if *degraded {
+                self.telem.record_degraded_write(took);
+            }
+            self.telem.record_foreground_write(took);
+        }
+        Ok(())
+    }
+
+    /// The locked body of [`Self::write_group`]: writes each chunk's new
+    /// value and accumulates every parity delta across the group so each
+    /// touched parity chunk is read-modify-written **once**, not once per
+    /// member. Callers hold either the region guards covering `regions` or
+    /// the exclusive update lock, and have already snapshotted `olds`.
+    fn apply_write_group(
+        &self,
+        group: &[ChunkPatches<'_>],
+        items: &[(ChunkAddr, ChunkAddr, bool)],
+        olds: &[Vec<u8>],
+        regions: &[Region],
+    ) -> Result<(), StoreError> {
+        let mut parity: BTreeMap<ChunkAddr, Vec<u8>> = BTreeMap::new();
+        for (((_, chunk_patches), (addr, outer, _)), old) in group.iter().zip(items).zip(olds) {
+            // New value = old overlaid with this chunk's patches in
+            // submission order.
+            let mut new = self.pool.take_dirty();
+            new.copy_from_slice(old);
+            for (within, slice) in chunk_patches {
+                new[*within..*within + slice.len()].copy_from_slice(slice);
+            }
+            let mut delta = self.pool.take_dirty();
+            for ((d, o), n) in delta.iter_mut().zip(old).zip(&new) {
+                *d = o ^ n;
+            }
+            // Data chunk: any writable device takes the full new value —
+            // including a mid-rebuild disk, whose chunk becomes valid here.
+            if !self.disk_down(addr.disk) {
+                self.write_chunk(*addr, &new)?;
+                self.online.mark_valid(*addr);
+            }
+            self.pool.put(new);
+            // Outer parity absorbs Δ directly; each affected row's inner
+            // parities absorb the code-weighted Δ — all into the group
+            // accumulator rather than the devices.
+            Self::acc_parity(&mut parity, &self.pool, *outer, &delta, 1);
+            self.acc_row_parities(&mut parity, *addr, &delta);
+            self.acc_row_parities(&mut parity, *outer, &delta);
+            self.pool.put(delta);
+        }
+        // Apply each accumulated delta once. Unavailable members are
+        // skipped exactly as in `apply_write`: their implied values track
+        // the update through the surviving relations.
+        for (paddr, delta) in parity {
+            if self.chunk_available(paddr) {
+                self.xor_into(paddr, &delta)?;
+            }
+            self.pool.put(delta);
+        }
+        self.online.mark_dirty(regions.to_vec());
+        Ok(())
+    }
+
+    /// Accumulates the inner-parity deltas for an update of `delta` at
+    /// payload chunk `addr` into the group's parity accumulator — the
+    /// batched counterpart of [`Self::patch_row_parities`] (P gets `Δ`, the
+    /// RAID6 Q gets `2^pos · Δ`).
+    fn acc_row_parities(
+        &self,
+        parity: &mut BTreeMap<ChunkAddr, Vec<u8>>,
+        addr: ChunkAddr,
+        delta: &[u8],
+    ) {
+        let geo = self.array.geometry();
+        let group = geo.group_of(addr.disk);
+        let row = addr.offset;
+        let pos = geo
+            .row_payload(group, row)
+            .iter()
+            .position(|a| *a == addr)
+            .expect("payload chunk is in its row");
+        for (role, paddr) in geo
+            .inner_parities_of_row(group, row)
+            .into_iter()
+            .enumerate()
+        {
+            let w = match role {
+                0 => 1,
+                1 => Raid6::generator_weight(pos),
+                _ => unreachable!("at most two inner parities"),
+            };
+            Self::acc_parity(parity, &self.pool, paddr, delta, w);
+        }
+    }
+
+    /// `parity[paddr] ^= w · delta`, materialising the accumulator slot
+    /// from the scratch pool on first touch.
+    fn acc_parity(
+        parity: &mut BTreeMap<ChunkAddr, Vec<u8>>,
+        pool: &BufPool,
+        paddr: ChunkAddr,
+        delta: &[u8],
+        w: u8,
+    ) {
+        let slot = parity.entry(paddr).or_insert_with(|| pool.take());
+        if w == 1 {
+            gf::kernels::xor_acc(slot, delta);
+        } else {
+            Gf256::get().mul_acc_slice(w, delta, slot);
+        }
+    }
+
     /// Flips bits in a stored chunk — a *silent* corruption (the disk still
     /// answers reads). Test/chaos hook for the scrubbing machinery.
     ///
@@ -1225,7 +1737,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
     /// histograms time the repair reads/decodes.
     pub fn scrub_observed(&self, obs: &RebuildObserver) -> ScrubReport {
         let start = Instant::now();
-        let policy = self.retry;
+        let policy = self.retry_policy();
         let failed = self.failed_disks();
         let chunks_per_disk = self.array.geometry().chunks_per_disk;
         let mut scanned = 0u64;
@@ -1439,7 +1951,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
     fn xor_into_retrying(&self, addr: ChunkAddr, delta: &[u8]) -> Option<()> {
         let mut bytes = self.readable_chunk(addr)?;
         gf::kernels::xor_acc(&mut bytes, delta);
-        let policy = self.retry;
+        let policy = self.retry_policy();
         let stats = RetryStats::default();
         write_chunk_retrying(
             &self.devices[addr.disk],
@@ -2135,5 +2647,119 @@ mod tests {
             Err(StoreError::DiskOutOfRange { disk: 99 })
         ));
         assert!(OiRaidStore::new(OiRaidConfig::reference(), 0).is_err());
+    }
+
+    #[test]
+    fn batched_reads_match_sequential_and_dedupe() {
+        let (store, expect) = filled_store();
+        let idxs = [0usize, 5, 5, 1, 0, 9, 5];
+        let got = store.read_data_batch(&idxs).unwrap();
+        for (&idx, bytes) in idxs.iter().zip(&got) {
+            assert_eq!(bytes, &expect[idx]);
+        }
+        // 7 requests, 4 distinct chunks fetched.
+        assert_eq!(store.telemetry().batch_read_requests(), 7);
+        assert_eq!(store.telemetry().batch_read_chunks(), 4);
+    }
+
+    #[test]
+    fn batched_reads_reconstruct_through_failures() {
+        let (store, expect) = filled_store();
+        store.fail_disk(store.locate(0).disk).unwrap();
+        store.fail_disk(store.locate(7).disk).unwrap();
+        let idxs: Vec<usize> = (0..store.data_chunks()).collect();
+        let got = store.read_data_batch(&idxs).unwrap();
+        assert_eq!(got, expect);
+        assert!(store.telemetry().degraded_reads() >= 2);
+    }
+
+    #[test]
+    fn batched_writes_match_sequential_writes() {
+        // Same byte-range writes (with overlaps crossing chunk boundaries)
+        // through write_bytes one-at-a-time vs one write_bytes_batch call.
+        let (seq, _) = filled_store();
+        let (bat, _) = filled_store();
+        let writes: Vec<(u64, Vec<u8>)> = vec![
+            (3, vec![0x11; 20]),
+            (10, vec![0x22; 40]),  // overlaps the first
+            (100, vec![0x33; 16]), // chunk-aligned
+            (5, vec![0x44; 4]),    // rewrites part of the first
+            (250, vec![0x55; 33]),
+        ];
+        for (off, data) in &writes {
+            seq.write_bytes(*off, data).unwrap();
+        }
+        let refs: Vec<(u64, &[u8])> = writes.iter().map(|(o, d)| (*o, d.as_slice())).collect();
+        let stats = bat.write_bytes_batch(&refs).unwrap();
+        assert_eq!(stats.requests, 5);
+        // The 5 requests span 12 chunk-touches one-at-a-time but only 9
+        // distinct chunks — the batch performs exactly one RMW per chunk.
+        assert_eq!(stats.chunks, 9);
+        for idx in 0..seq.data_chunks() {
+            assert_eq!(seq.read_data(idx).unwrap(), bat.read_data(idx).unwrap());
+        }
+        assert!(bat.check_parity().is_empty());
+    }
+
+    #[test]
+    fn batched_writes_match_sequential_under_failures() {
+        let (seq, _) = filled_store();
+        let (bat, _) = filled_store();
+        for s in [&seq, &bat] {
+            s.fail_disk(s.locate(0).disk).unwrap();
+            s.fail_disk(s.locate(6).disk).unwrap();
+        }
+        let writes: Vec<(u64, Vec<u8>)> = (0..12)
+            .map(|i| (i as u64 * 13, vec![(0xA0 + i) as u8; 21]))
+            .collect();
+        for (off, data) in &writes {
+            seq.write_bytes(*off, data).unwrap();
+        }
+        let refs: Vec<(u64, &[u8])> = writes.iter().map(|(o, d)| (*o, d.as_slice())).collect();
+        bat.write_bytes_batch(&refs).unwrap();
+        // Degraded reads agree now, and every byte agrees after rebuild.
+        for idx in 0..seq.data_chunks() {
+            assert_eq!(seq.read_data(idx).unwrap(), bat.read_data(idx).unwrap());
+        }
+        for s in [&seq, &bat] {
+            for d in s.failed_disks() {
+                s.rebuild_disk(d).unwrap();
+            }
+            assert!(s.check_parity().is_empty());
+        }
+        for idx in 0..seq.data_chunks() {
+            assert_eq!(seq.read_data(idx).unwrap(), bat.read_data(idx).unwrap());
+        }
+    }
+
+    #[test]
+    fn batch_bounds_are_checked_before_any_io() {
+        let store = OiRaidStore::new(OiRaidConfig::reference(), 16).unwrap();
+        let cap = store.capacity_bytes();
+        let big = [0xFF; 8];
+        assert!(matches!(
+            store.write_bytes_batch(&[(0, &[1u8; 4][..]), (cap - 4, &big[..])]),
+            Err(StoreError::IndexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            store.read_data_batch(&[0, store.data_chunks()]),
+            Err(StoreError::IndexOutOfRange { .. })
+        ));
+        // Nothing was applied.
+        assert_eq!(store.read_data(0).unwrap(), vec![0u8; 16]);
+        assert_eq!(store.telemetry().foreground_writes(), 0);
+    }
+
+    #[test]
+    fn online_reconfig_through_shared_ref() {
+        // The satellite point: both setters now work through `&self`,
+        // even behind an Arc shared with live I/O.
+        let store = std::sync::Arc::new(OiRaidStore::new(OiRaidConfig::reference(), 16).unwrap());
+        store.set_retry_policy(RetryPolicy::none());
+        assert_eq!(store.retry_policy(), RetryPolicy::none());
+        store.set_dag_workers(Some(5));
+        assert_eq!(store.dag_workers(), Some(5));
+        store.set_dag_workers(None);
+        assert_eq!(store.dag_workers(), None);
     }
 }

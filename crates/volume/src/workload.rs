@@ -1,0 +1,139 @@
+//! Synthetic workload helpers: zipfian key popularity.
+//!
+//! The closed-loop benchmark (E19) and the equivalence tests both need a
+//! skewed key distribution; the vendored `rand` shim has no zipf sampler,
+//! so this one precomputes the CDF over the (small) record space and
+//! samples by binary search — O(log n) per draw, exact for any `theta`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A zipfian sampler over `0..n`: rank `i` is drawn with probability
+/// proportional to `(i + 1)^-theta`. `theta = 0` degenerates to uniform;
+/// YCSB's default skew is `theta ≈ 0.99`.
+///
+/// With `scrambled`, ranks are mapped through a seeded permutation so the
+/// hot keys spread across the key space (and therefore across chunks and
+/// shards) instead of clustering at the low addresses.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    perm: Option<Vec<u32>>,
+}
+
+impl Zipf {
+    /// A sampler over `0..n` with skew `theta`, hot ranks at low indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative/non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "zipf over an empty domain");
+        assert!(theta.is_finite() && theta >= 0.0, "bad theta {theta}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += ((i + 1) as f64).powf(-theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf, perm: None }
+    }
+
+    /// Like [`Zipf::new`] but ranks are scattered over the key space by a
+    /// seeded Fisher–Yates permutation.
+    pub fn scrambled(n: usize, theta: f64, seed: u64) -> Self {
+        let mut z = Self::new(n, theta);
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..i + 1);
+            perm.swap(i, j);
+        }
+        z.perm = Some(perm);
+        z
+    }
+
+    /// The domain size `n`.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws one key.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        let rank = match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+        .min(self.cdf.len() - 1);
+        match &self.perm {
+            Some(p) => p[rank] as usize,
+            None => rank,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..100_000 {
+            let k = z.sample(&mut rng);
+            counts[k] += 1;
+        }
+        // Rank 0 should dominate: zipf(0.99, n=1000) gives it ~13% mass.
+        assert!(counts[0] > 8_000, "rank0={}", counts[0]);
+        assert!(counts[0] > counts[500] * 10);
+    }
+
+    #[test]
+    fn uniform_theta_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0u64; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "not uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn scrambled_permutes_but_keeps_skew() {
+        let plain = Zipf::new(100, 1.2);
+        let scr = Zipf::scrambled(100, 1.2, 42);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..50_000 {
+            counts[scr.sample(&mut rng)] += 1;
+        }
+        // Same skew: some single key dominates, but it is (almost surely)
+        // not key 0 anymore.
+        let hot = counts.iter().copied().max().unwrap();
+        assert!(hot > 10_000, "hot={hot}");
+        let _ = plain;
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let z = Zipf::scrambled(64, 0.9, 5);
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        let xs: Vec<usize> = (0..100).map(|_| z.sample(&mut a)).collect();
+        let ys: Vec<usize> = (0..100).map(|_| z.sample(&mut b)).collect();
+        assert_eq!(xs, ys);
+    }
+}

@@ -41,6 +41,9 @@ pub mod prelude {
         child_coverage, exact_percentile_sorted, lint_prometheus, Histogram, HistogramSnapshot,
         Progress, ProgressSnapshot, Registry, SpanRecord, Tracer,
     };
+    pub use volume::{
+        Op, OpResult, TenantClass, TenantId, VolumeError, VolumeId, VolumeManager, Zipf,
+    };
 }
 
 #[cfg(test)]
