@@ -89,5 +89,70 @@ fn bench_export(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_histogram, bench_spans, bench_export);
+fn bench_trace_hooks(c: &mut Criterion) {
+    // The cross-layer hooks every foreground op may pay (E20): root
+    // sampling, ambient-context reads, ring pushes, and the scope helper.
+    let mut group = c.benchmark_group("trace_hooks");
+    group.sample_size(50);
+
+    // Kill switch off: the per-op cost when tracing is disabled entirely.
+    telemetry::set_enabled(false);
+    group.bench_function("sample_trace_disabled", |b| {
+        b.iter(|| black_box(telemetry::sample_trace()))
+    });
+    telemetry::set_enabled(true);
+
+    // Enabled but sampling switched off (`OI_RAID_TRACE_SAMPLE=off`).
+    telemetry::set_trace_sample(None);
+    group.bench_function("sample_trace_off", |b| {
+        b.iter(|| black_box(telemetry::sample_trace()))
+    });
+
+    // Default 1/64 sampling: mostly the counter increment, 1-in-64 an id.
+    telemetry::set_trace_sample(Some(64));
+    group.bench_function("sample_trace_1_in_64", |b| {
+        b.iter(|| black_box(telemetry::sample_trace()))
+    });
+
+    group.bench_function("current_trace", |b| {
+        b.iter(|| black_box(telemetry::current_trace()))
+    });
+
+    // Untraced request: the scope helper's fast path returns None.
+    group.bench_function("trace_scope_untraced", |b| {
+        b.iter(|| {
+            let g = telemetry::trace_scope(telemetry::EventKind::BatchRead, 1, 0);
+            black_box(g.is_none())
+        })
+    });
+
+    // Sampled request: a full edge event push into the trace ring.
+    group.bench_function("trace_event_push", |b| {
+        let parent = telemetry::alloc_trace_id();
+        b.iter(|| {
+            telemetry::trace_event(
+                telemetry::EventKind::DeviceRead,
+                telemetry::alloc_trace_id(),
+                black_box(parent),
+                7,
+                4096,
+            )
+        })
+    });
+
+    group.bench_function("flight_event_push", |b| {
+        b.iter(|| telemetry::flight_event(telemetry::EventKind::Retry, black_box(7), 1))
+    });
+
+    telemetry::set_trace_sample(Some(64));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_histogram,
+    bench_spans,
+    bench_export,
+    bench_trace_hooks
+);
 criterion_main!(benches);

@@ -2009,7 +2009,183 @@ pub fn e19_volume_closed_loop() -> Vec<(String, Table)> {
     ]
 }
 
-/// Runs one experiment by id (`e1`..`e19`, `a1`, `a2`), or `all`.
+/// E20: what end-to-end request tracing costs. The E19 batched closed
+/// loop (zipf clients, 70/30 mix, 300us spindles) runs three times over
+/// identical fresh arrays: sampling off, the default 1-in-64, and 1-in-1
+/// (every request traced through volume → wave → store → device). The
+/// acceptance bound is the default setting: within 5% of the untraced
+/// throughput.
+pub fn e20_tracing_overhead() -> Vec<(String, Table)> {
+    use blockdev::{BlockDevice, FaultConfig, FaultInjectingDevice, MemDevice};
+    use oi_raid::OiRaidStore;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+    use volume::{Op, TenantClass, VolumeManager, Zipf};
+
+    telemetry::set_enabled(true);
+    const CHUNK: usize = 4096;
+    const RECORD: usize = 512;
+    const WORKERS: usize = 8;
+    const GROUP: usize = 256;
+    const READ_FRAC: f64 = 0.7;
+    let latency = Duration::from_micros(300);
+    let clients: usize = std::env::var("OI_E20_CLIENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6_000)
+        .max(WORKERS);
+    let total_ops = (clients * 4).clamp(4_096, 24_576);
+    let cfg = OiRaidConfig::reference();
+    let chunks_per_disk = {
+        let probe = OiRaidStore::new(cfg.clone(), CHUNK).expect("reference store");
+        probe.devices()[0].chunks()
+    };
+
+    // One measured closed loop over a fresh prefilled array: `WORKERS`
+    // threads share `clients` logical clients and submit batched groups.
+    let measure = |sample: Option<u32>, seed: u64| -> (usize, Duration, u64) {
+        telemetry::set_trace_sample(sample);
+        let devices: Vec<_> = (0..21)
+            .map(|_| {
+                FaultInjectingDevice::new(
+                    MemDevice::new(CHUNK, chunks_per_disk),
+                    FaultConfig::default(),
+                )
+            })
+            .collect();
+        let store = OiRaidStore::with_devices(cfg.clone(), CHUNK, devices).expect("valid devices");
+        for idx in 0..store.data_chunks() {
+            let chunk: Vec<u8> = (0..CHUNK).map(|j| (idx * 131 + j * 17 + 3) as u8).collect();
+            store.write_data(idx, &chunk).expect("prefill write");
+        }
+        for dev in store.devices() {
+            dev.set_config(FaultConfig::latency(latency, latency));
+        }
+        let mgr = Arc::new(VolumeManager::new(Arc::new(store), WORKERS * 2));
+        let tenant = mgr.add_tenant("t0", TenantClass::default());
+        let records = mgr.store().capacity_bytes() / RECORD as u64;
+        let vol = mgr
+            .create_volume(tenant, "t0", RECORD, records)
+            .expect("volume fits");
+        let zipf = Zipf::scrambled(records as usize, 0.99, 0xE20 ^ seed);
+        let began = Instant::now();
+        let ops_done: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..WORKERS)
+                .map(|w| {
+                    let zipf = &zipf;
+                    let mgr = Arc::clone(&mgr);
+                    s.spawn(move || {
+                        let per_worker = (total_ops / WORKERS).max(1);
+                        let my_clients = (clients / WORKERS).max(1);
+                        let mut rngs: Vec<StdRng> = (0..my_clients.min(per_worker))
+                            .map(|c| StdRng::seed_from_u64(seed ^ ((w * my_clients + c) as u64)))
+                            .collect();
+                        let mut next = 0usize;
+                        let mut issued = 0usize;
+                        while issued < per_worker {
+                            let n = GROUP.min(per_worker - issued);
+                            let mut ops = Vec::with_capacity(n);
+                            for _ in 0..n {
+                                let n_clients = rngs.len();
+                                let rng = &mut rngs[next];
+                                next = (next + 1) % n_clients;
+                                let record = zipf.sample(rng) as u64;
+                                if rng.gen::<f64>() < READ_FRAC {
+                                    ops.push(Op::Read {
+                                        volume: vol,
+                                        record,
+                                    });
+                                } else {
+                                    let tag = (rng.next_u64() & 0xFF) as u8;
+                                    ops.push(Op::Write {
+                                        volume: vol,
+                                        record,
+                                        data: vec![tag; RECORD],
+                                    });
+                                }
+                            }
+                            for res in mgr.submit(ops) {
+                                res.expect("batched op");
+                            }
+                            issued += n;
+                        }
+                        issued
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).sum()
+        });
+        let wall = began.elapsed();
+        let p99 = mgr
+            .tenant_read_latency(tenant)
+            .expect("tenant exists")
+            .snapshot()
+            .p99();
+        (ops_done, wall, p99)
+    };
+
+    // Best of two runs per setting, interleaved, so scheduler noise does
+    // not masquerade as tracing overhead.
+    let modes: &[(&str, Option<u32>)] = &[
+        ("off", None),
+        ("1/64 (default)", Some(64)),
+        ("1/1 (every request)", Some(1)),
+    ];
+    let mut best: Vec<(usize, Duration, u64)> = vec![(0, Duration::MAX, 0); modes.len()];
+    for round in 0..2u64 {
+        for (i, (_, sample)) in modes.iter().enumerate() {
+            let r = measure(*sample, 11 + round);
+            if r.1 < best[i].1 {
+                best[i] = r;
+            }
+        }
+    }
+    telemetry::set_trace_sample(Some(64));
+
+    let off_rate = best[0].0 as f64 / best[0].1.as_secs_f64();
+    let mut t = Table::new(&[
+        "sampling",
+        "ops",
+        "wall (ms)",
+        "ops/s",
+        "read p99 (ms)",
+        "overhead vs off (%)",
+    ]);
+    let mut overhead_default = 0.0f64;
+    for (i, (name, _)) in modes.iter().enumerate() {
+        let (ops, wall, p99) = best[i];
+        let rate = ops as f64 / wall.as_secs_f64();
+        let overhead = (off_rate / rate - 1.0) * 100.0;
+        if i == 1 {
+            overhead_default = overhead;
+        }
+        t.row_owned(vec![
+            (*name).into(),
+            ops.to_string(),
+            f3(wall.as_secs_f64() * 1e3),
+            f3(rate),
+            f3(p99 as f64 / 1e6),
+            if i == 0 { "-".into() } else { f3(overhead) },
+        ]);
+    }
+    // The acceptance bound: default sampling costs < 5% throughput.
+    assert!(
+        overhead_default < 5.0,
+        "default 1/64 sampling cost {overhead_default:.2}% (bound 5%)"
+    );
+
+    vec![(
+        format!(
+            "E20: end-to-end tracing overhead — {clients} zipf(0.99) clients, \
+             70/30 read/write, batched group {GROUP}, 300us spindles"
+        ),
+        t,
+    )]
+}
+
+/// Runs one experiment by id (`e1`..`e20`, `a1`, `a2`), or `all`.
 /// Returns the rendered tables; unknown ids return `None`.
 pub fn run(id: &str) -> Option<Vec<(String, Table)>> {
     match id {
@@ -2032,12 +2208,13 @@ pub fn run(id: &str) -> Option<Vec<(String, Table)>> {
         "e17" => Some(e17_online_qos()),
         "e18" => Some(e18_dag_scheduler()),
         "e19" => Some(e19_volume_closed_loop()),
+        "e20" => Some(e20_tracing_overhead()),
         "a2" => Some(a2_strategy_ablation()),
         "all" => {
             let mut out = Vec::new();
             for id in [
                 "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-                "e14", "e15", "e16", "e17", "e18", "e19", "a2",
+                "e14", "e15", "e16", "e17", "e18", "e19", "e20", "a2",
             ] {
                 out.extend(run(id).expect("known id"));
             }

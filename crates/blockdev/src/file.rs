@@ -105,7 +105,7 @@ impl BlockDevice for FileDevice {
             .map_err(io_err)?;
         file.read_exact(buf).map_err(io_err)?;
         self.counters
-            .record_read(self.chunk_size as u64, began.elapsed());
+            .record_read(chunk, self.chunk_size as u64, began.elapsed());
         Ok(())
     }
 
@@ -121,7 +121,8 @@ impl BlockDevice for FileDevice {
         file.seek(SeekFrom::Start((first * self.chunk_size) as u64))
             .map_err(io_err)?;
         file.read_exact(buf).map_err(io_err)?;
-        self.counters.record_read(buf.len() as u64, began.elapsed());
+        self.counters
+            .record_read(first, buf.len() as u64, began.elapsed());
         Ok(())
     }
 
@@ -137,7 +138,7 @@ impl BlockDevice for FileDevice {
             .map_err(io_err)?;
         file.write_all(data).map_err(io_err)?;
         self.counters
-            .record_write(self.chunk_size as u64, began.elapsed());
+            .record_write(chunk, self.chunk_size as u64, began.elapsed());
         Ok(())
     }
 

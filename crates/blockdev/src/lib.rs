@@ -287,16 +287,38 @@ pub struct Counters {
 }
 
 impl Counters {
-    pub(crate) fn record_read(&self, bytes: u64, took: Duration) {
+    pub(crate) fn record_read(&self, chunk: usize, bytes: u64, took: Duration) {
         self.reads.fetch_add(1, Ordering::Relaxed);
         self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
         self.latency.read.record_duration(took);
+        // Leaf of the request causal tree: only sampled requests carry an
+        // ambient trace id, so untraced I/O pays one thread-local read.
+        let trace = telemetry::current_trace();
+        if trace != 0 {
+            telemetry::trace_event(
+                telemetry::EventKind::DeviceRead,
+                telemetry::alloc_trace_id(),
+                trace,
+                chunk as u64,
+                bytes,
+            );
+        }
     }
 
-    pub(crate) fn record_write(&self, bytes: u64, took: Duration) {
+    pub(crate) fn record_write(&self, chunk: usize, bytes: u64, took: Duration) {
         self.writes.fetch_add(1, Ordering::Relaxed);
         self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
         self.latency.write.record_duration(took);
+        let trace = telemetry::current_trace();
+        if trace != 0 {
+            telemetry::trace_event(
+                telemetry::EventKind::DeviceWrite,
+                telemetry::alloc_trace_id(),
+                trace,
+                chunk as u64,
+                bytes,
+            );
+        }
     }
 
     pub(crate) fn latency(&self) -> DeviceLatency {
@@ -446,11 +468,11 @@ mod tests {
     fn snapshot_deltas() {
         let c = Counters::default();
         let t = Duration::from_micros(1);
-        c.record_read(64, t);
-        c.record_read(64, t);
-        c.record_write(64, t);
+        c.record_read(0, 64, t);
+        c.record_read(0, 64, t);
+        c.record_write(0, 64, t);
         let a = c.snapshot();
-        c.record_read(64, t);
+        c.record_read(0, 64, t);
         let b = c.snapshot();
         let d = b.since(&a);
         assert_eq!(d.reads, 1);
@@ -491,8 +513,8 @@ mod tests {
     fn counters_feed_latency_histograms() {
         telemetry::set_enabled(true);
         let c = Counters::default();
-        c.record_read(64, Duration::from_micros(5));
-        c.record_write(64, Duration::from_micros(9));
+        c.record_read(0, 64, Duration::from_micros(5));
+        c.record_write(0, 64, Duration::from_micros(9));
         let lat = c.latency();
         assert_eq!(lat.read.count(), 1);
         assert!(lat.read.max() >= 5_000);

@@ -76,7 +76,7 @@ impl BlockDevice for MemDevice {
         let start = chunk * self.chunk_size;
         buf.copy_from_slice(&data[start..start + self.chunk_size]);
         self.counters
-            .record_read(self.chunk_size as u64, began.elapsed());
+            .record_read(chunk, self.chunk_size as u64, began.elapsed());
         Ok(())
     }
 
@@ -90,7 +90,7 @@ impl BlockDevice for MemDevice {
         let start = first * self.chunk_size;
         buf.copy_from_slice(&data[start..start + count * self.chunk_size]);
         self.counters
-            .record_read((count * self.chunk_size) as u64, began.elapsed());
+            .record_read(first, (count * self.chunk_size) as u64, began.elapsed());
         Ok(())
     }
 
@@ -103,7 +103,7 @@ impl BlockDevice for MemDevice {
         let start = chunk * self.chunk_size;
         store[start..start + self.chunk_size].copy_from_slice(data);
         self.counters
-            .record_write(self.chunk_size as u64, began.elapsed());
+            .record_write(chunk, self.chunk_size as u64, began.elapsed());
         Ok(())
     }
 

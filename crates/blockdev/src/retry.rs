@@ -150,6 +150,7 @@ impl RetryCounters {
 fn retry_op<T>(
     policy: &RetryPolicy,
     stats: &RetryStats,
+    chunk: usize,
     mut op: impl FnMut() -> Result<T, DeviceError>,
 ) -> Result<T, DeviceError> {
     let attempts = policy.attempts();
@@ -163,11 +164,17 @@ fn retry_op<T>(
                     std::thread::sleep(backoff);
                 }
                 stats.record_retry(backoff);
+                telemetry::flight_event(telemetry::EventKind::Retry, chunk as u64, attempt as u64);
                 attempt += 1;
             }
             Err(e) => {
                 if e.is_transient() {
                     stats.record_exhausted();
+                    telemetry::flight_event(
+                        telemetry::EventKind::RetryExhausted,
+                        chunk as u64,
+                        attempt as u64,
+                    );
                 }
                 return Err(e);
             }
@@ -208,7 +215,7 @@ impl<'d, B: BlockDevice + ?Sized> RetryReader<'d, B> {
 
     /// [`BlockDevice::read_chunk`] with bounded retry of transient faults.
     pub fn read_chunk(&self, chunk: usize, buf: &mut [u8]) -> Result<(), DeviceError> {
-        retry_op(&self.policy, &self.stats, || {
+        retry_op(&self.policy, &self.stats, chunk, || {
             self.dev.read_chunk(chunk, buf)
         })
     }
@@ -230,7 +237,7 @@ impl<'d, B: BlockDevice + ?Sized> RetryReader<'d, B> {
         count: usize,
         buf: &mut [u8],
     ) -> Vec<(usize, DeviceError)> {
-        if retry_op(&self.policy, &self.stats, || {
+        if retry_op(&self.policy, &self.stats, first, || {
             self.dev.read_chunks(first, count, buf)
         })
         .is_ok()
@@ -260,7 +267,7 @@ pub fn write_chunk_retrying<B: BlockDevice + ?Sized>(
     chunk: usize,
     data: &[u8],
 ) -> Result<(), DeviceError> {
-    retry_op(policy, stats, || dev.write_chunk(chunk, data))
+    retry_op(policy, stats, chunk, || dev.write_chunk(chunk, data))
 }
 
 #[cfg(test)]

@@ -188,6 +188,16 @@ impl RebuildObserver {
         ] {
             reg.register_counter(name, help, &[], c.clone());
         }
+        // Lossy-ring accounting: events silently dropped from the span
+        // ring and the global trace/flight rings, so dashboards can tell
+        // "quiet" from "overflowed".
+        reg.register_counter(
+            "oi_trace_dropped_total",
+            "Events dropped from a lossy telemetry ring",
+            &[("ring", "span")],
+            self.tracer.drop_counter(),
+        );
+        telemetry::export_trace_metrics(reg);
         self.sched.export(reg);
     }
 }
@@ -218,8 +228,9 @@ mod tests {
         obs.export_metrics(&reg);
         assert_eq!(
             reg.len(),
-            14,
-            "4 stages + queue depth + 6 heal counters + 3 scheduler series"
+            17,
+            "4 stages + queue depth + 6 heal counters + 3 ring-drop \
+             counters + 3 scheduler series"
         );
         // Live: recording after registration shows up in the export.
         obs.stages.combine.record(1234);

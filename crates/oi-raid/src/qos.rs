@@ -184,10 +184,9 @@ impl QosState {
         };
         std::thread::sleep(wait);
         self.waits.fetch_add(1, Ordering::Relaxed);
-        self.wait_ns.fetch_add(
-            wait.as_nanos().min(u64::MAX as u128) as u64,
-            Ordering::Relaxed,
-        );
+        let wait_ns = wait.as_nanos().min(u64::MAX as u128) as u64;
+        self.wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
+        telemetry::flight_event(telemetry::EventKind::ThrottleWait, chunks as u64, wait_ns);
     }
 
     pub(crate) fn counters(&self) -> QosCounters {

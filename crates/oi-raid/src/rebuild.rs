@@ -221,6 +221,114 @@ impl RebuildReport {
         let busy: f64 = self.worker_busy.iter().map(Duration::as_secs_f64).sum();
         (busy / (self.wall.as_secs_f64() * self.worker_busy.len() as f64)).min(1.0)
     }
+
+    /// Serializes the report as one JSON object — every field of the
+    /// pinned [`fmt::Display`] line plus the heal, per-device, per-stage,
+    /// and DAG-scheduler detail, for machine consumption (dashboards, the
+    /// `stats` example, CI artifacts). Latency distributions are collapsed
+    /// to `{count, mean, p50, p99, max}` summaries in nanoseconds.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let hist = |h: &HistogramSnapshot| {
+            format!(
+                "{{\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+                h.count,
+                h.mean(),
+                h.p50(),
+                h.p99(),
+                h.max
+            )
+        };
+        let (outcome, failed) = match &self.outcome {
+            RebuildOutcome::Complete => ("complete", Vec::new()),
+            RebuildOutcome::CompletedWithReroutes => ("complete_with_reroutes", Vec::new()),
+            RebuildOutcome::Escalated => ("escalated", Vec::new()),
+            RebuildOutcome::Aborted { failed } => ("aborted", failed.clone()),
+        };
+        let mut s = String::with_capacity(1024);
+        s.push('{');
+        let _ = write!(
+            s,
+            "\"mode\":{},\"rebuilt_disks\":{:?},\"outcome\":{},\"failed\":{:?},\
+             \"rounds\":{},\"workers\":{},\"wall_ns\":{},\"chunks_rebuilt\":{},\
+             \"bytes_rebuilt\":{},\"retries\":{},\"retries_exhausted\":{},\
+             \"retry_backoff_ns\":{},\"reroutes\":{},\"escalations\":{},\
+             \"latent_repairs\":{},\"throttle_waits\":{},\"throttle_wait_ns\":{},\
+             \"injected_faults\":{},\"total_reads\":{},\"max_device_reads\":{},\
+             \"worker_utilization\":{:.4}",
+            telemetry::json_escape(&self.mode.to_string()),
+            self.rebuilt_disks,
+            telemetry::json_escape(outcome),
+            failed,
+            self.rounds,
+            self.workers,
+            self.wall.as_nanos(),
+            self.chunks_rebuilt,
+            self.bytes_rebuilt,
+            self.retries,
+            self.retries_exhausted,
+            self.retry_backoff.as_nanos(),
+            self.reroutes,
+            self.escalations,
+            self.latent_repairs,
+            self.throttle_waits,
+            self.throttle_wait.as_nanos(),
+            self.injected_faults,
+            self.total_reads(),
+            self.max_device_reads(),
+            self.worker_utilization(),
+        );
+        s.push_str(",\"device_io\":[");
+        for (i, d) in self.device_io.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"disk\":{i},\"reads\":{},\"writes\":{},\"bytes_read\":{},\
+                 \"bytes_written\":{},\"faults\":{},\"injected_latency_ns\":{},\
+                 \"max_inflight\":{}}}",
+                d.reads,
+                d.writes,
+                d.bytes_read,
+                d.bytes_written,
+                d.faults,
+                d.injected_latency_ns,
+                d.max_inflight
+            );
+        }
+        s.push_str("],\"stages\":[");
+        for (i, st) in self.stages.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"stage\":{},\"latency\":{}}}",
+                telemetry::json_escape(st.stage),
+                hist(&st.latency)
+            );
+        }
+        s.push_str("],\"worker_busy_ns\":[");
+        for (i, w) in self.worker_busy.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{}", w.as_nanos());
+        }
+        let _ = write!(
+            s,
+            "],\"queue_depth\":{},\"sched\":{{\"executed\":{},\"cancelled\":{},\
+             \"steals\":{},\"max_ready_depth\":{},\"max_inflight\":{}}}}}",
+            hist(&self.queue_depth),
+            self.sched.executed,
+            self.sched.cancelled,
+            self.sched.steals,
+            self.sched.max_ready_depth,
+            self.sched.max_inflight,
+        );
+        s
+    }
 }
 
 impl fmt::Display for RebuildReport {
@@ -777,6 +885,19 @@ impl<B: BlockDevice> OiRaidStore<B> {
             });
         }
         let root = obs.tracer.span("rebuild");
+        // Rebuilds bypass request sampling (`trace_always`): there is at
+        // most one in flight and its causal tree — rounds, scheduled ops,
+        // device I/O — is the primary diagnostic for a slow recovery.
+        let rebuild_trace = telemetry::trace_always();
+        if rebuild_trace != 0 {
+            telemetry::trace_event(
+                telemetry::EventKind::Rebuild,
+                rebuild_trace,
+                0,
+                initially_failed.len() as u64,
+                initially_failed.first().map_or(0, |&d| d as u64),
+            );
+        }
         let mut plan = {
             let _s = root.child("plan");
             if initially_failed.len() == 1 {
@@ -847,6 +968,23 @@ impl<B: BlockDevice> OiRaidStore<B> {
 
         loop {
             rounds += 1;
+            // Each round is a child node; the whole round body (planning,
+            // execution, writeback) runs under it, so DAG nodes built this
+            // round link back through it to the rebuild root.
+            let round_trace = if rebuild_trace != 0 {
+                let t = telemetry::alloc_trace_id();
+                telemetry::trace_event(
+                    telemetry::EventKind::RebuildRound,
+                    t,
+                    rebuild_trace,
+                    u64::from(rounds),
+                    0,
+                );
+                t
+            } else {
+                0
+            };
+            let _round_guard = (round_trace != 0).then(|| telemetry::enter_trace(round_trace));
             let (regions, item_of) = {
                 let _s = root.child("plan");
                 {
@@ -894,6 +1032,11 @@ impl<B: BlockDevice> OiRaidStore<B> {
                     }
                     if avoid.contains(&addr) && repaired.insert(addr) {
                         obs.heal.latent_repairs.inc();
+                        telemetry::flight_event(
+                            telemetry::EventKind::LatentRepair,
+                            addr.disk as u64,
+                            addr.offset as u64,
+                        );
                         fresh = true;
                     }
                     if fresh {
@@ -972,6 +1115,11 @@ impl<B: BlockDevice> OiRaidStore<B> {
                 if newly_avoided {
                     reroutes += 1;
                     obs.heal.reroutes.inc();
+                    telemetry::flight_event(
+                        telemetry::EventKind::Reroute,
+                        addr.disk as u64,
+                        addr.offset as u64,
+                    );
                 }
                 progressed |= newly_avoided || un_repaired;
             }
@@ -983,6 +1131,11 @@ impl<B: BlockDevice> OiRaidStore<B> {
                 if newly_escalated {
                     escalations += 1;
                     obs.heal.escalations.inc();
+                    telemetry::flight_event(
+                        telemetry::EventKind::Escalation,
+                        d as u64,
+                        escalations,
+                    );
                     target_disks.push(d);
                     lost.extend((0..chunks_per_disk).map(|o| ChunkAddr::new(d, o)));
                 }
@@ -1019,11 +1172,23 @@ impl<B: BlockDevice> OiRaidStore<B> {
             // next round recomputes them from the updated parity. Only
             // rounds that neither progressed nor deferred count toward the
             // stall abort (round_cap still bounds a pathological writer).
+            if dirty_skips > 0 {
+                telemetry::flight_event(
+                    telemetry::EventKind::DirtySkip,
+                    u64::from(dirty_skips),
+                    u64::from(rounds),
+                );
+            }
             stall = if progressed {
                 0
             } else if dirty_skips > 0 {
                 stall
             } else {
+                telemetry::flight_event(
+                    telemetry::EventKind::Stall,
+                    u64::from(rounds),
+                    u64::from(stall + 1),
+                );
                 stall + 1
             };
             if stall >= 2 || rounds >= round_cap {
@@ -1052,6 +1217,15 @@ impl<B: BlockDevice> OiRaidStore<B> {
                 for &d in &failed {
                     self.devices()[d].fail();
                 }
+                telemetry::flight_event(
+                    telemetry::EventKind::Abort,
+                    failed.len() as u64,
+                    u64::from(rounds),
+                );
+                // An aborted rebuild is exactly the moment the flight
+                // recorder exists for: dump the recent retry / reroute /
+                // escalation history before anyone restarts the process.
+                let _ = telemetry::flight().dump(std::io::stderr().lock(), "rebuild aborted");
                 RebuildOutcome::Aborted { failed }
             }
             None => {

@@ -928,6 +928,14 @@ impl<B: BlockDevice> OiRaidStore<B> {
             self.telem.record_foreground_read(began.elapsed());
             return Ok(bytes);
         }
+        // The request is about to take the reconstruct path: hang a
+        // degraded-read node under whatever asked for this chunk so the
+        // redundancy reads below attribute to it.
+        let _trace = telemetry::trace_scope(
+            telemetry::EventKind::DegradedRead,
+            idx as u64,
+            addr.disk as u64,
+        );
         {
             let guard = self.online.lock_regions(&self.regions_for(addr));
             // Re-check under the lock: the rebuilder (or a degraded write)
@@ -1171,6 +1179,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
             return Err(StoreError::DiskOutOfRange { disk });
         }
         self.devices[disk].fail();
+        telemetry::flight_event(telemetry::EventKind::DegradedTransition, disk as u64, 1);
         Ok(())
     }
 
@@ -1361,6 +1370,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
             return Ok(Vec::new());
         }
         self.qos.note_foreground();
+        let _trace = telemetry::trace_scope(telemetry::EventKind::BatchRead, idxs.len() as u64, 0);
         let began = Instant::now();
         let cs = self.chunk_size;
         // Each distinct chunk is fetched once and fanned back out to every
@@ -1399,7 +1409,13 @@ impl<B: BlockDevice> OiRaidStore<B> {
             let first = run[0].1.offset;
             let mut buf = vec![0u8; run.len() * cs];
             let reader = RetryReader::new(&self.devices[disk], self.retry_policy());
+            let run_trace = telemetry::trace_scope(
+                telemetry::EventKind::DiskRun,
+                disk as u64,
+                run.len() as u64,
+            );
             let failures = reader.read_chunks_degrading(first, run.len(), &mut buf);
+            drop(run_trace);
             let failed: BTreeSet<usize> = failures.into_iter().map(|(c, _)| c).collect();
             for (slot, (idx, addr)) in run.iter().enumerate() {
                 if failed.contains(&addr.offset) {
@@ -1473,6 +1489,8 @@ impl<B: BlockDevice> OiRaidStore<B> {
             return Ok(BatchStats::default());
         }
         self.qos.note_foreground();
+        let _trace =
+            telemetry::trace_scope(telemetry::EventKind::BatchWrite, writes.len() as u64, 0);
         let cs = self.chunk_size as u64;
         // Split every request into per-chunk patch lists, preserving
         // submission order within each chunk (later writes win on overlap).
@@ -1512,6 +1530,8 @@ impl<B: BlockDevice> OiRaidStore<B> {
     /// exclusive update lock when any old value needs the whole-array
     /// decode fixpoint — same two-tier locking as [`Self::write_data`].
     fn write_group(&self, group: &[ChunkPatches<'_>]) -> Result<(), StoreError> {
+        let _trace =
+            telemetry::trace_scope(telemetry::EventKind::WriteGroup, group.len() as u64, 0);
         let began = Instant::now();
         let mut items: Vec<(ChunkAddr, ChunkAddr, bool)> = Vec::with_capacity(group.len());
         let mut regions: Vec<Region> = Vec::new();

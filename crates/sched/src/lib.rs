@@ -58,6 +58,7 @@ pub struct OpGraph<T> {
     device: Vec<Option<usize>>,
     dependents: Vec<Vec<OpId>>,
     indeg: Vec<u32>,
+    trace: Vec<u64>,
 }
 
 impl<T> Default for OpGraph<T> {
@@ -74,16 +75,22 @@ impl<T> OpGraph<T> {
             device: Vec::new(),
             dependents: Vec::new(),
             indeg: Vec::new(),
+            trace: Vec::new(),
         }
     }
 
     /// Adds an op with no edges yet. `device` is the ready-queue affinity
     /// (ops bound to a device land on its queue; `None` = shared queue).
+    ///
+    /// The builder thread's ambient trace id is captured into the node, so
+    /// when a worker later executes it (on a different thread) the op runs
+    /// under the trace of the request that planned it.
     pub fn add_node(&mut self, payload: T, device: Option<usize>) -> OpId {
         self.payloads.push(payload);
         self.device.push(device);
         self.dependents.push(Vec::new());
         self.indeg.push(0);
+        self.trace.push(telemetry::current_trace());
         self.payloads.len() - 1
     }
 
@@ -361,8 +368,26 @@ where
                     let d = shared.inflight.fetch_add(1, Ordering::Relaxed) + 1;
                     shared.max_inflight.fetch_max(d, Ordering::Relaxed);
                     shared.metrics.inflight_ops.add(1);
+                    // Re-enter the planning request's trace on this worker
+                    // thread, with a SchedOp node so device I/O inside the
+                    // callback hangs under this specific DAG node.
+                    let parent = shared.graph.trace[op];
+                    let _trace_guard = if parent != 0 {
+                        let node = telemetry::alloc_trace_id();
+                        telemetry::trace_event(
+                            telemetry::EventKind::SchedOp,
+                            node,
+                            parent,
+                            op as u64,
+                            shared.graph.device[op].map_or(u64::MAX, |d| d as u64),
+                        );
+                        Some(telemetry::enter_trace(node))
+                    } else {
+                        None
+                    };
                     let began = Instant::now();
                     let status = f(w, op, shared.graph.payload(op));
+                    drop(_trace_guard);
                     busy.fetch_add(
                         began.elapsed().as_nanos().min(u64::MAX as u128) as u64,
                         Ordering::Relaxed,

@@ -106,15 +106,15 @@ impl Registry {
             let _ = write!(
                 out,
                 "{{\"name\":{},\"type\":\"{}\",\"help\":{},\"labels\":{{",
-                json_str(name),
+                json_escape(name),
                 type_of(metric),
-                json_str(help)
+                json_escape(help)
             );
             for (i, (k, v)) in labels.iter().enumerate() {
                 if i > 0 {
                     out.push(',');
                 }
-                let _ = write!(out, "{}:{}", json_str(k), json_str(v));
+                let _ = write!(out, "{}:{}", json_escape(k), json_escape(v));
             }
             out.push('}');
             match metric {
@@ -162,7 +162,10 @@ fn type_of(metric: &Metric) -> &'static str {
     }
 }
 
-fn json_str(s: &str) -> String {
+/// Renders `s` as a quoted JSON string literal (quotes included), with
+/// the standard escapes. Shared by the registry's JSON export and by
+/// report serializers elsewhere in the workspace.
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -21,6 +21,13 @@
 //!   thread), for per-stage rebuild timing.
 //! * [`Progress`] — an atomic chunks-done / bytes-done handle pollable
 //!   from another thread while a rebuild runs (fraction, MiB/s, ETA).
+//! * Trace context ([`sample_trace`], [`enter_trace`]) and the global
+//!   event rings ([`traces`], [`flight`]) — cross-layer request tracing
+//!   and an always-on flight recorder; see the `context` and `events`
+//!   module docs.
+//! * [`ScrapeServer`] — a `std::net` HTTP endpoint serving `/metrics`,
+//!   `/traces`, `/events`, `/progress`, and `/health` for `curl` and
+//!   Prometheus.
 //!
 //! The whole layer can be switched off process-wide ([`set_enabled`], or
 //! `OI_RAID_TELEMETRY=off` in the environment) to measure its own
@@ -29,16 +36,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod context;
+mod events;
 mod export;
 mod histogram;
 mod progress;
 mod registry;
+mod serve;
 mod trace;
 
-pub use export::lint_prometheus;
+pub use context::{
+    alloc_trace_id, current_trace, enter_trace, sample_trace, set_trace_sample, trace_always,
+    tracing_active, TraceGuard,
+};
+pub use events::{
+    export_trace_metrics, flight, flight_dump_on_panic, flight_event, trace_event, trace_scope,
+    traces, Event, EventKind, EventRing,
+};
+pub use export::{json_escape, lint_prometheus};
 pub use histogram::{exact_percentile_sorted, Histogram, HistogramSnapshot, BUCKETS};
 pub use progress::{Progress, ProgressSnapshot};
 pub use registry::{Counter, Gauge, Registry, RegistryError};
+pub use serve::ScrapeServer;
 pub use trace::{child_coverage, Span, SpanRecord, Tracer};
 
 use std::sync::atomic::{AtomicU8, Ordering};

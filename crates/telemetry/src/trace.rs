@@ -14,6 +14,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use crate::registry::Counter;
+
 /// One completed span or instantaneous event.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanRecord {
@@ -59,7 +61,7 @@ fn thread_ordinal() -> u64 {
 pub struct Tracer {
     epoch: Instant,
     next_id: AtomicU64,
-    dropped: AtomicU64,
+    dropped: Counter,
     capacity: usize,
     ring: Mutex<VecDeque<SpanRecord>>,
 }
@@ -77,7 +79,7 @@ impl Tracer {
         Self {
             epoch: Instant::now(),
             next_id: AtomicU64::new(1),
-            dropped: AtomicU64::new(0),
+            dropped: Counter::default(),
             capacity: capacity.max(1),
             ring: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 1024))),
         }
@@ -113,7 +115,14 @@ impl Tracer {
 
     /// Records evicted because the ring was full.
     pub fn dropped(&self) -> u64 {
-        self.dropped.load(Ordering::Relaxed)
+        self.dropped.get()
+    }
+
+    /// The live drop counter, attachable to a registry (exported by the
+    /// rebuild observer as `oi_trace_dropped_total{ring="span"}`) so
+    /// silent span loss shows up on a scrape.
+    pub fn drop_counter(&self) -> Counter {
+        self.dropped.clone()
     }
 
     /// Ring capacity.
@@ -143,7 +152,7 @@ impl Tracer {
         let mut ring = self.ring.lock().expect("trace ring");
         if ring.len() == self.capacity {
             ring.pop_front();
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+            self.dropped.inc();
         }
         ring.push_back(rec);
     }

@@ -23,9 +23,11 @@
 #![warn(missing_docs)]
 
 pub mod manager;
+pub mod slo;
 pub mod tenant;
 pub mod workload;
 
 pub use manager::{Op, OpResult, VolumeError, VolumeId, VolumeManager};
+pub use slo::{SloPolicy, SloSnapshot, SLO_WINDOW_SECS};
 pub use tenant::{TenantClass, TenantId};
 pub use workload::Zipf;

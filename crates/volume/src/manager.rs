@@ -167,6 +167,9 @@ struct Pending {
     len: usize,
     /// `Some` for writes, `None` for reads.
     data: Option<Vec<u8>>,
+    /// Root trace id when this request was sampled, else 0. Whichever
+    /// thread drains the wave links the wave node back to this root.
+    trace: u64,
 }
 
 /// Shared completion state of one `submit` call.
@@ -284,7 +287,7 @@ impl<B: BlockDevice> VolumeManager<B> {
     pub fn add_tenant(&self, name: &str, class: TenantClass) -> TenantId {
         let mut tenants = self.tenants.write().expect("tenants lock");
         let id = TenantId(tenants.len());
-        tenants.push(Arc::new(Tenant::new(name, class)));
+        tenants.push(Arc::new(Tenant::new(id.0, name, class)));
         for shard in &self.shards {
             shard
                 .queues
@@ -382,14 +385,24 @@ impl<B: BlockDevice> VolumeManager<B> {
     /// other (they are concurrent — any interleaving is a valid
     /// serialization).
     pub fn submit(&self, ops: Vec<Op>) -> Vec<OpResult> {
+        self.submit_traced(ops).0
+    }
+
+    /// [`Self::submit`], additionally returning each slot's root trace id
+    /// (0 where the request was not sampled or failed validation). The ids
+    /// key into the global trace ring ([`telemetry::traces`]) — with
+    /// sampling at 1 (`OI_RAID_TRACE_SAMPLE=1`) every request's causal
+    /// tree down to individual device I/Os is reconstructible from them.
+    pub fn submit_traced(&self, ops: Vec<Op>) -> (Vec<OpResult>, Vec<u64>) {
         if ops.is_empty() {
-            return Vec::new();
+            return (Vec::new(), Vec::new());
         }
         // Validate and resolve every op up front; invalid slots complete
         // immediately.
         let mut planned: Vec<(usize, OpSpec)> = Vec::with_capacity(ops.len());
         let mut early: Vec<(usize, VolumeError)> = Vec::new();
         let mut per_tenant: BTreeMap<usize, u64> = BTreeMap::new();
+        let mut trace_ids: Vec<u64> = vec![0; ops.len()];
         for (slot, op) in ops.into_iter().enumerate() {
             let (volume, record, data) = match op {
                 Op::Read { volume, record } => (volume, record, None),
@@ -401,6 +414,21 @@ impl<B: BlockDevice> VolumeManager<B> {
             };
             match self.plan(volume, record, data.as_ref().map(Vec::len)) {
                 Ok((tenant, key, offset, len)) => {
+                    let trace = telemetry::sample_trace();
+                    if trace != 0 {
+                        telemetry::trace_event(
+                            if data.is_some() {
+                                telemetry::EventKind::VolumeWrite
+                            } else {
+                                telemetry::EventKind::VolumeRead
+                            },
+                            trace,
+                            0,
+                            volume.0 as u64,
+                            record,
+                        );
+                        trace_ids[slot] = trace;
+                    }
                     *per_tenant.entry(tenant).or_insert(0) += 1;
                     planned.push((
                         slot,
@@ -410,6 +438,7 @@ impl<B: BlockDevice> VolumeManager<B> {
                             offset,
                             len,
                             data,
+                            trace,
                         },
                     ));
                 }
@@ -449,6 +478,7 @@ impl<B: BlockDevice> VolumeManager<B> {
                     offset: spec.offset,
                     len: spec.len,
                     data: spec.data,
+                    trace: spec.trace,
                 },
             );
         }
@@ -459,7 +489,7 @@ impl<B: BlockDevice> VolumeManager<B> {
                 break;
             }
         }
-        batch.wait()
+        (batch.wait(), trace_ids)
     }
 
     /// Becomes the draining combiner for one shard: pulls weighted waves
@@ -527,6 +557,28 @@ impl<B: BlockDevice> VolumeManager<B> {
             let guard = self.tenants.read().expect("tenants lock");
             guard.clone()
         };
+        // Fan-in: every sampled request in the wave gets an edge to one
+        // shared wave node, and the store batches below execute under that
+        // node's context — so a request's tree shows exactly which
+        // combined wave served it and what I/O that wave did.
+        let wave_node = if wave.iter().any(|p| p.trace != 0) {
+            let node = telemetry::alloc_trace_id();
+            for (i, p) in wave.iter().enumerate() {
+                if p.trace != 0 {
+                    telemetry::trace_event(
+                        telemetry::EventKind::Wave,
+                        node,
+                        p.trace,
+                        i as u64,
+                        wave.len() as u64,
+                    );
+                }
+            }
+            node
+        } else {
+            0
+        };
+        let _wave_guard = (wave_node != 0).then(|| telemetry::enter_trace(wave_node));
         let cs = self.store.chunk_size() as u64;
         // Pass 1 (submission order): a read that follows a write to the
         // same record is absorbed from the pending write's bytes; earlier
@@ -637,6 +689,17 @@ impl<B: BlockDevice> VolumeManager<B> {
     /// Validation errors as in [`Self::submit`]; store errors pass through.
     pub fn read_record(&self, volume: VolumeId, record: u64) -> Result<Vec<u8>, VolumeError> {
         let (tenant, _, offset, len) = self.plan(volume, record, None)?;
+        let trace = telemetry::sample_trace();
+        let _guard = (trace != 0).then(|| {
+            telemetry::trace_event(
+                telemetry::EventKind::VolumeRead,
+                trace,
+                0,
+                volume.0 as u64,
+                record,
+            );
+            telemetry::enter_trace(trace)
+        });
         let t = Arc::clone(&self.tenants.read().expect("tenants lock")[tenant]);
         t.pay(1);
         let began = Instant::now();
@@ -660,6 +723,17 @@ impl<B: BlockDevice> VolumeManager<B> {
         data: &[u8],
     ) -> Result<(), VolumeError> {
         let (tenant, _, offset, _) = self.plan(volume, record, Some(data.len()))?;
+        let trace = telemetry::sample_trace();
+        let _guard = (trace != 0).then(|| {
+            telemetry::trace_event(
+                telemetry::EventKind::VolumeWrite,
+                trace,
+                0,
+                volume.0 as u64,
+                record,
+            );
+            telemetry::enter_trace(trace)
+        });
         let t = Arc::clone(&self.tenants.read().expect("tenants lock")[tenant]);
         t.pay(1);
         let began = Instant::now();
@@ -779,7 +853,64 @@ impl<B: BlockDevice> VolumeManager<B> {
                 &[("tenant", name), ("op", "write")],
                 Arc::clone(&t.write_latency),
             );
+            if let Some(slo) = &t.slo {
+                let (rg, rb, wg, wb) = slo.counters();
+                for (op, good, bad, snap) in [
+                    ("read", rg, rb, slo.snapshot(true)),
+                    ("write", wg, wb, slo.snapshot(false)),
+                ] {
+                    let labels = &[("tenant", name), ("op", op)];
+                    reg.register_counter(
+                        "oi_slo_good_total",
+                        "Requests completing within the tenant's latency objective",
+                        labels,
+                        good,
+                    );
+                    reg.register_counter(
+                        "oi_slo_bad_total",
+                        "Requests completing over the tenant's latency objective",
+                        labels,
+                        bad,
+                    );
+                    reg.gauge(
+                        "oi_slo_objective_ns",
+                        "The tenant's latency objective",
+                        labels,
+                    )
+                    .set(snap.objective_ns.min(i64::MAX as u64) as i64);
+                    reg.gauge(
+                        "oi_slo_window_good",
+                        "Within-objective requests in the burn-rate window",
+                        labels,
+                    )
+                    .set(snap.window_good.min(i64::MAX as u64) as i64);
+                    reg.gauge(
+                        "oi_slo_window_bad",
+                        "Over-objective requests in the burn-rate window",
+                        labels,
+                    )
+                    .set(snap.window_bad.min(i64::MAX as u64) as i64);
+                    reg.gauge(
+                        "oi_slo_burn_rate_milli",
+                        "Windowed bad fraction over error budget, in thousandths",
+                        labels,
+                    )
+                    .set(snap.burn_rate_milli.min(i64::MAX as u64) as i64);
+                }
+            }
         }
+    }
+
+    /// A point-in-time SLO view for one tenant and op kind (`true` =
+    /// reads), or `None` if the tenant is unknown or has no SLO policy.
+    pub fn slo_snapshot(&self, tenant: TenantId, read: bool) -> Option<crate::slo::SloSnapshot> {
+        self.tenants
+            .read()
+            .expect("tenants lock")
+            .get(tenant.0)?
+            .slo
+            .as_ref()
+            .map(|s| s.snapshot(read))
     }
 }
 
@@ -790,6 +921,7 @@ struct OpSpec {
     offset: u64,
     len: usize,
     data: Option<Vec<u8>>,
+    trace: u64,
 }
 
 /// `plan` result alias, for clippy's sake.

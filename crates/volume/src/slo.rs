@@ -1,0 +1,291 @@
+//! Per-tenant latency SLOs with windowed burn-rate tracking.
+//!
+//! A tenant's [`crate::TenantClass`] may carry an [`SloPolicy`]: a
+//! latency objective per op kind plus an error budget. Every completed
+//! request is classified *good* (within objective) or *bad* (over it)
+//! into two places at once:
+//!
+//! * cumulative good/bad counters — live [`Counter`] handles exported
+//!   as `oi_slo_good_total` / `oi_slo_bad_total`, the raw series an
+//!   external SLO pipeline would consume;
+//! * a ring of per-second window buckets — summed on demand into the
+//!   recent good/bad counts and a **burn rate**: the fraction of recent
+//!   requests that were bad, divided by the error budget. Burn rate 1000
+//!   (milli) means the tenant is consuming budget exactly as fast as the
+//!   objective allows; above it, the SLO is burning down and an operator
+//!   should look at `/traces` for the requests paying the price.
+//!
+//! Recording is a few relaxed atomic adds; bucket rotation is a CAS that
+//! tolerates racing writers (both land in the same fresh bucket).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use telemetry::Counter;
+
+/// Seconds of history the burn-rate window covers.
+pub const SLO_WINDOW_SECS: u64 = 30;
+
+/// A latency objective pair plus error budget for one tenant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloPolicy {
+    /// Reads completing within this are *good*.
+    pub read_objective: Duration,
+    /// Writes completing within this are *good*.
+    pub write_objective: Duration,
+    /// Permitted bad fraction, in thousandths: 1 = 99.9 % objective,
+    /// 10 = 99 %. Clamped to at least 1 when computing burn rate.
+    pub error_budget_milli: u64,
+}
+
+impl SloPolicy {
+    /// A 99.9 % policy (`error_budget_milli = 1`) with the given
+    /// objectives.
+    pub fn new(read_objective: Duration, write_objective: Duration) -> Self {
+        Self {
+            read_objective,
+            write_objective,
+            error_budget_milli: 1,
+        }
+    }
+}
+
+/// One second of window history.
+#[derive(Debug, Default)]
+struct WindowBucket {
+    /// Second index + 1 (0 = never used).
+    stamp: AtomicU64,
+    good: AtomicU64,
+    bad: AtomicU64,
+}
+
+/// Good/bad accounting for one op kind (reads or writes).
+#[derive(Debug)]
+struct OpSlo {
+    objective_ns: u64,
+    good: Counter,
+    bad: Counter,
+    window: Vec<WindowBucket>,
+}
+
+impl OpSlo {
+    fn new(objective: Duration) -> Self {
+        Self {
+            objective_ns: objective.as_nanos().min(u64::MAX as u128) as u64,
+            good: Counter::default(),
+            bad: Counter::default(),
+            window: (0..SLO_WINDOW_SECS)
+                .map(|_| WindowBucket::default())
+                .collect(),
+        }
+    }
+
+    fn record(&self, took_ns: u64, now_sec: u64) {
+        let good = took_ns <= self.objective_ns;
+        if good {
+            self.good.inc();
+        } else {
+            self.bad.inc();
+        }
+        let bucket = &self.window[(now_sec % SLO_WINDOW_SECS) as usize];
+        let stamp = now_sec + 1;
+        let seen = bucket.stamp.load(Ordering::Relaxed);
+        if seen != stamp {
+            // Rotate the bucket into the new second. Losing the CAS means
+            // another recorder already rotated it — just count into it.
+            if bucket
+                .stamp
+                .compare_exchange(seen, stamp, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                bucket.good.store(0, Ordering::Relaxed);
+                bucket.bad.store(0, Ordering::Relaxed);
+            }
+        }
+        if good {
+            bucket.good.fetch_add(1, Ordering::Relaxed);
+        } else {
+            bucket.bad.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn window_totals(&self, now_sec: u64) -> (u64, u64) {
+        let oldest_valid = (now_sec + 1).saturating_sub(SLO_WINDOW_SECS);
+        let mut good = 0;
+        let mut bad = 0;
+        for b in &self.window {
+            let stamp = b.stamp.load(Ordering::Relaxed);
+            if stamp > oldest_valid {
+                good += b.good.load(Ordering::Relaxed);
+                bad += b.bad.load(Ordering::Relaxed);
+            }
+        }
+        (good, bad)
+    }
+}
+
+/// A point-in-time view of one tenant/op SLO series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloSnapshot {
+    /// The latency objective, in nanoseconds.
+    pub objective_ns: u64,
+    /// Requests within objective since the tracker was created.
+    pub good: u64,
+    /// Requests over objective since the tracker was created.
+    pub bad: u64,
+    /// Requests within objective in the last [`SLO_WINDOW_SECS`] seconds.
+    pub window_good: u64,
+    /// Requests over objective in the last [`SLO_WINDOW_SECS`] seconds.
+    pub window_bad: u64,
+    /// Windowed bad fraction divided by the error budget, in
+    /// thousandths: 1000 = burning budget exactly at the permitted rate.
+    pub burn_rate_milli: u64,
+}
+
+/// Live good/bad tracking for one tenant under one [`SloPolicy`].
+#[derive(Debug)]
+pub(crate) struct SloTracker {
+    epoch: Instant,
+    budget_milli: u64,
+    read: OpSlo,
+    write: OpSlo,
+}
+
+impl SloTracker {
+    pub(crate) fn new(policy: SloPolicy) -> Self {
+        Self {
+            epoch: Instant::now(),
+            budget_milli: policy.error_budget_milli.max(1),
+            read: OpSlo::new(policy.read_objective),
+            write: OpSlo::new(policy.write_objective),
+        }
+    }
+
+    fn now_sec(&self) -> u64 {
+        self.epoch.elapsed().as_secs()
+    }
+
+    pub(crate) fn record_read(&self, took: Duration) {
+        let ns = took.as_nanos().min(u64::MAX as u128) as u64;
+        self.read.record(ns, self.now_sec());
+    }
+
+    pub(crate) fn record_write(&self, took: Duration) {
+        let ns = took.as_nanos().min(u64::MAX as u128) as u64;
+        self.write.record(ns, self.now_sec());
+    }
+
+    /// Live cumulative counters for `(read good, read bad, write good,
+    /// write bad)` — attach these to a registry.
+    pub(crate) fn counters(&self) -> (Counter, Counter, Counter, Counter) {
+        (
+            self.read.good.clone(),
+            self.read.bad.clone(),
+            self.write.good.clone(),
+            self.write.bad.clone(),
+        )
+    }
+
+    pub(crate) fn snapshot(&self, op_is_read: bool) -> SloSnapshot {
+        let op = if op_is_read { &self.read } else { &self.write };
+        let (window_good, window_bad) = op.window_totals(self.now_sec());
+        let total = window_good + window_bad;
+        // bad_fraction_milli / (budget_milli / 1000); empty window burns 0.
+        let burn_rate_milli = (window_bad * 1_000_000)
+            .checked_div(total)
+            .map_or(0, |f| f / self.budget_milli);
+        SloSnapshot {
+            objective_ns: op.objective_ns,
+            good: op.good.get(),
+            bad: op.bad.get(),
+            window_good,
+            window_bad,
+            burn_rate_milli,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(read_us: u64, write_us: u64) -> SloPolicy {
+        SloPolicy::new(
+            Duration::from_micros(read_us),
+            Duration::from_micros(write_us),
+        )
+    }
+
+    #[test]
+    fn classification_against_objectives() {
+        let t = SloTracker::new(policy(100, 50));
+        t.record_read(Duration::from_micros(99));
+        t.record_read(Duration::from_micros(100));
+        t.record_read(Duration::from_micros(101));
+        t.record_write(Duration::from_micros(200));
+        let r = t.snapshot(true);
+        assert_eq!(r.good, 2, "at-objective counts as good");
+        assert_eq!(r.bad, 1);
+        assert_eq!(r.window_good, 2);
+        assert_eq!(r.window_bad, 1);
+        let w = t.snapshot(false);
+        assert_eq!((w.good, w.bad), (0, 1));
+        assert_eq!(w.objective_ns, 50_000);
+    }
+
+    #[test]
+    fn burn_rate_scales_with_bad_fraction_and_budget() {
+        // 10% bad under a 99.9% objective: burning 100x the budget.
+        let t = SloTracker::new(policy(100, 100));
+        for _ in 0..90 {
+            t.record_read(Duration::from_micros(1));
+        }
+        for _ in 0..10 {
+            t.record_read(Duration::from_millis(5));
+        }
+        let s = t.snapshot(true);
+        assert_eq!(s.burn_rate_milli, 100_000, "100x budget, in milli");
+        // Same traffic, a 10x larger budget: 10x the burn.
+        let mut p = policy(100, 100);
+        p.error_budget_milli = 10;
+        let t = SloTracker::new(p);
+        for _ in 0..90 {
+            t.record_read(Duration::from_micros(1));
+        }
+        for _ in 0..10 {
+            t.record_read(Duration::from_millis(5));
+        }
+        assert_eq!(t.snapshot(true).burn_rate_milli, 10_000);
+    }
+
+    #[test]
+    fn empty_window_reads_zero_burn() {
+        let t = SloTracker::new(policy(100, 100));
+        let s = t.snapshot(true);
+        assert_eq!(s.burn_rate_milli, 0);
+        assert_eq!((s.window_good, s.window_bad), (0, 0));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing_cumulatively() {
+        let t = std::sync::Arc::new(SloTracker::new(policy(100, 100)));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let t = std::sync::Arc::clone(&t);
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        let d = if i % 10 == 0 {
+                            Duration::from_millis(1)
+                        } else {
+                            Duration::from_micros(1)
+                        };
+                        t.record_read(d);
+                    }
+                });
+            }
+        });
+        let s = t.snapshot(true);
+        assert_eq!(s.good + s.bad, 4000, "cumulative counters are exact");
+        assert_eq!(s.bad, 400);
+    }
+}

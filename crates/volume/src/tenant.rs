@@ -14,6 +14,8 @@ use std::time::{Duration, Instant};
 
 use telemetry::Histogram;
 
+use crate::slo::{SloPolicy, SloTracker};
+
 /// Identifies a tenant within one [`VolumeManager`](crate::VolumeManager).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TenantId(pub(crate) usize);
@@ -38,6 +40,10 @@ pub struct TenantClass {
     /// Bucket depth for capped tenants: how many ops may burst through
     /// before pacing engages.
     pub burst_ops: f64,
+    /// Optional latency SLO. When set, every completed request is
+    /// classified good/bad against the objective and exported as the
+    /// `oi_slo_*` series (see [`crate::slo`]).
+    pub slo: Option<SloPolicy>,
 }
 
 impl Default for TenantClass {
@@ -46,6 +52,7 @@ impl Default for TenantClass {
             weight: 1,
             rate_ops_per_sec: None,
             burst_ops: 64.0,
+            slo: None,
         }
     }
 }
@@ -66,6 +73,12 @@ impl TenantClass {
             ..Self::default()
         }
     }
+
+    /// Attaches a latency SLO to this class.
+    pub fn with_slo(mut self, slo: SloPolicy) -> Self {
+        self.slo = Some(slo);
+        self
+    }
 }
 
 /// Token-bucket state for one capped tenant.
@@ -78,6 +91,9 @@ struct Bucket {
 /// One registered tenant: class, token bucket, and live metrics.
 #[derive(Debug)]
 pub(crate) struct Tenant {
+    /// Registration index, used as the flight-event payload when the rate
+    /// cap forces a wait.
+    pub(crate) id: usize,
     pub(crate) name: String,
     pub(crate) class: TenantClass,
     bucket: Mutex<Bucket>,
@@ -88,11 +104,13 @@ pub(crate) struct Tenant {
     pub(crate) throttle_wait_ns: AtomicU64,
     pub(crate) read_latency: Arc<Histogram>,
     pub(crate) write_latency: Arc<Histogram>,
+    pub(crate) slo: Option<SloTracker>,
 }
 
 impl Tenant {
-    pub(crate) fn new(name: &str, class: TenantClass) -> Self {
+    pub(crate) fn new(id: usize, name: &str, class: TenantClass) -> Self {
         Self {
+            id,
             name: name.to_string(),
             class,
             bucket: Mutex::new(Bucket {
@@ -106,6 +124,7 @@ impl Tenant {
             throttle_wait_ns: AtomicU64::new(0),
             read_latency: Arc::new(Histogram::new()),
             write_latency: Arc::new(Histogram::new()),
+            slo: class.slo.map(SloTracker::new),
         }
     }
 
@@ -139,6 +158,11 @@ impl Tenant {
             self.throttle_waits.fetch_add(1, Ordering::Relaxed);
             self.throttle_wait_ns
                 .fetch_add(wait.as_nanos() as u64, Ordering::Relaxed);
+            telemetry::flight_event(
+                telemetry::EventKind::TenantCapWait,
+                self.id as u64,
+                wait.as_nanos().min(u64::MAX as u128) as u64,
+            );
             std::thread::sleep(wait);
         }
     }
@@ -146,11 +170,17 @@ impl Tenant {
     pub(crate) fn record_read(&self, took: Duration) {
         self.reads.fetch_add(1, Ordering::Relaxed);
         self.read_latency.record_duration(took);
+        if let Some(slo) = &self.slo {
+            slo.record_read(took);
+        }
     }
 
     pub(crate) fn record_write(&self, took: Duration) {
         self.writes.fetch_add(1, Ordering::Relaxed);
         self.write_latency.record_duration(took);
+        if let Some(slo) = &self.slo {
+            slo.record_write(took);
+        }
     }
 }
 
@@ -160,7 +190,7 @@ mod tests {
 
     #[test]
     fn uncapped_tenant_never_sleeps() {
-        let t = Tenant::new("free", TenantClass::default());
+        let t = Tenant::new(0, "free", TenantClass::default());
         let start = Instant::now();
         t.pay(1_000_000);
         assert!(start.elapsed() < Duration::from_millis(50));
@@ -171,6 +201,7 @@ mod tests {
     fn capped_tenant_paces_to_its_rate() {
         // 1000 ops/s, burst 10: paying 60 ops must take roughly 50ms.
         let t = Tenant::new(
+            0,
             "slow",
             TenantClass {
                 rate_ops_per_sec: Some(1000.0),

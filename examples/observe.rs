@@ -1,0 +1,162 @@
+//! Self-scraping observability smoke: stand up the full stack — store,
+//! volume manager with an SLO-tracked tenant, observed DAG rebuild —
+//! behind a live [`ScrapeServer`], then scrape our own endpoint over real
+//! HTTP and verify every route answers.
+//!
+//! Run with `cargo run --example observe`. Environment knobs:
+//!
+//! * `OI_OBSERVE_PORT` — listen port (default `0`, an ephemeral port).
+//! * `OI_OBSERVE_LINGER_SECS` — keep serving this long after the
+//!   demo finishes (default `0`), so an external `curl` can scrape too:
+//!   `OI_OBSERVE_PORT=9184 OI_OBSERVE_LINGER_SECS=30 cargo run --example observe &`
+//!   `curl -s localhost:9184/metrics | head`
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use oi_raid_repro::prelude::*;
+
+const CHUNK: usize = 1024;
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> std::io::Result<String> {
+    let mut s = TcpStream::connect(addr)?;
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: o\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut out = String::new();
+    s.read_to_string(&mut out)?;
+    Ok(out)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    telemetry::set_enabled(true);
+    telemetry::set_trace_sample(Some(1));
+
+    // The stack: latency-injected devices under a reference-config store,
+    // fronted by a volume manager with one SLO-tracked tenant.
+    let cfg = OiRaidConfig::reference();
+    let probe = OiRaidStore::new(cfg.clone(), CHUNK)?;
+    let chunks = probe.devices()[0].chunks();
+    let latency = FaultConfig::latency(Duration::from_micros(150), Duration::from_micros(150));
+    let devices: Vec<_> = (0..probe.array().disks())
+        .map(|_| FaultInjectingDevice::new(MemDevice::new(CHUNK, chunks), latency))
+        .collect();
+    let store = Arc::new(OiRaidStore::with_devices(cfg, CHUNK, devices)?);
+    store.set_qos(QosConfig::throttled(200.0));
+
+    let manager = VolumeManager::new(Arc::clone(&store), 4);
+    let tenant = manager.add_tenant(
+        "demo",
+        TenantClass::default().with_slo(SloPolicy::new(
+            Duration::from_millis(20),
+            Duration::from_millis(40),
+        )),
+    );
+    let records = 64u64;
+    let volume = manager.create_volume(tenant, "demo-v", 128, records)?;
+    for r in 0..records {
+        manager.write_record(volume, r, &[(r % 251) as u8 + 1; 128])?;
+    }
+
+    // Serve the union of every exporter plus live rebuild progress.
+    let obs = RebuildObserver::default();
+    let reg = Arc::new(Registry::new());
+    store.export_metrics(&reg);
+    obs.export_metrics(&reg);
+    manager.export_metrics(&reg);
+
+    let port: u16 = std::env::var("OI_OBSERVE_PORT")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0);
+    let mut server = ScrapeServer::start(
+        ("127.0.0.1", port),
+        Arc::clone(&reg),
+        Some(Arc::clone(&obs.progress)),
+    )?;
+    let addr = server.local_addr();
+    println!("serving http://{addr}  (routes: /metrics /metrics.json /traces /events /progress /health)\n");
+
+    // Generate the story the endpoint tells: degraded reads during a live
+    // rebuild, traced end to end.
+    store.fail_disk(4)?;
+    let report = std::thread::scope(|s| {
+        let rebuild =
+            s.spawn(|| store.rebuild_observed(RebuildMode::Dag, RecoveryStrategy::Hybrid, &obs));
+        while obs.progress.snapshot().fraction == 0.0 {
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        for _ in 0..4 {
+            let ops: Vec<Op> = (0..records)
+                .map(|record| Op::Read { volume, record })
+                .collect();
+            for res in manager.submit(ops) {
+                res.expect("degraded read succeeds");
+            }
+        }
+        rebuild.join().expect("rebuild thread")
+    })?;
+    println!("rebuild: {report}\n");
+
+    // Scrape ourselves over real HTTP.
+    for path in [
+        "/metrics",
+        "/metrics.json",
+        "/traces",
+        "/events",
+        "/progress",
+        "/health",
+    ] {
+        let resp = http_get(addr, path)?;
+        let status = resp.lines().next().unwrap_or("<empty>").to_string();
+        let body = resp.split("\r\n\r\n").nth(1).unwrap_or("");
+        assert!(status.contains("200"), "{path}: {status}");
+        let note = if path == "/metrics" {
+            lint_prometheus(body).map_err(|e| format!("lint: {e:?}"))?;
+            ", lint-clean"
+        } else {
+            ""
+        };
+        println!("GET {path:<14} -> {status}  ({} bytes{note})", body.len());
+    }
+
+    // Show a sampled trace tree straight off the ring.
+    let events = telemetry::traces().snapshot();
+    let roots: Vec<u64> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::VolumeRead && e.parent == 0)
+        .map(|e| e.trace)
+        .take(1)
+        .collect();
+    if let Some(&root) = roots.first() {
+        println!("\ntrace {root} (one sampled volume read):");
+        let mut frontier = vec![(root, 1usize)];
+        while let Some((id, depth)) = frontier.pop() {
+            for e in events.iter().filter(|e| e.parent == id).take(4) {
+                println!(
+                    "{:indent$}{:?} a={} b={}",
+                    "",
+                    e.kind,
+                    e.a,
+                    e.b,
+                    indent = depth * 2
+                );
+                frontier.push((e.trace, depth + 1));
+            }
+        }
+    }
+
+    let linger: u64 = std::env::var("OI_OBSERVE_LINGER_SECS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0);
+    if linger > 0 {
+        println!("\nlingering {linger}s for external scrapes at http://{addr} ...");
+        std::thread::sleep(Duration::from_secs(linger));
+    }
+    server.stop();
+    Ok(())
+}

@@ -101,6 +101,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("--- json ({} bytes) ---", json.len());
     println!("{json}");
 
+    // The whole report as one JSON document — what a harness would archive
+    // per run instead of scraping the human-readable display.
+    let report_json = report.to_json();
+    assert!(report_json.contains("\"outcome\":\"complete\""));
+    println!("--- report json ({} bytes) ---", report_json.len());
+    println!("{report_json}");
+
     // Spans: show the rebuild's structure from the trace ring.
     let recs = obs.tracer.records();
     let root = recs.iter().find(|r| r.label == "rebuild").expect("root");

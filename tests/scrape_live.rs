@@ -1,0 +1,163 @@
+//! The scrape endpoint under fire: concurrent HTTP clients hammering
+//! every route while a fault-injected DAG rebuild runs and a volume
+//! manager pushes foreground traffic. Every response must be a 200, and
+//! every `/metrics` body must lint clean — the endpoint may never serve
+//! a torn exposition, deadlock against the exporters, or slow the
+//! rebuild to a halt.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use oi_raid_repro::prelude::*;
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect scrape server");
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("read response");
+    out
+}
+
+#[test]
+fn concurrent_scrapes_during_rebuild_are_complete_and_lint_clean() {
+    telemetry::set_enabled(true);
+
+    let cfg = OiRaidConfig::reference();
+    let probe = OiRaidStore::new(cfg.clone(), 16).unwrap();
+    let chunks = probe.devices()[0].chunks();
+    let fault = FaultConfig {
+        seed: 7,
+        transient_read_per_mille: 30,
+        read_latency: Duration::from_micros(100),
+        write_latency: Duration::from_micros(100),
+        ..FaultConfig::default()
+    };
+    let devices: Vec<_> = (0..probe.array().disks())
+        .map(|_| FaultInjectingDevice::new(MemDevice::new(16, chunks), fault))
+        .collect();
+    let store = Arc::new(OiRaidStore::with_devices(cfg, 16, devices).unwrap());
+    // Keep the rebuild window open while foreground traffic flows, so the
+    // scrapes genuinely observe a live rebuild.
+    store.set_qos(QosConfig {
+        rebuild_chunks_per_sec: Some(50.0),
+        burst_chunks: 1,
+        foreground_window: Duration::from_millis(500),
+    });
+
+    let manager = VolumeManager::new(Arc::clone(&store), 4);
+    let tenant = manager.add_tenant(
+        "scraped",
+        TenantClass::default().with_slo(SloPolicy::new(
+            Duration::from_millis(100),
+            Duration::from_millis(100),
+        )),
+    );
+    let records = 32u64;
+    let volume = manager.create_volume(tenant, "v", 24, records).unwrap();
+    for r in 0..records {
+        manager.write_record(volume, r, &[r as u8; 24]).unwrap();
+    }
+
+    // Export everything into one registry and serve it.
+    let obs = RebuildObserver::default();
+    let reg = Arc::new(Registry::new());
+    store.export_metrics(&reg);
+    obs.export_metrics(&reg);
+    manager.export_metrics(&reg);
+    let mut server = ScrapeServer::start(
+        "127.0.0.1:0",
+        Arc::clone(&reg),
+        Some(Arc::clone(&obs.progress)),
+    )
+    .expect("scrape server starts");
+    let addr = server.local_addr();
+
+    // Prime the throttle so the rebuild starts paced.
+    let ops: Vec<Op> = (0..records)
+        .map(|record| Op::Read { volume, record })
+        .collect();
+    manager.submit(ops);
+
+    store.fail_disk(3).unwrap();
+    let report = std::thread::scope(|s| {
+        let rebuild = s.spawn(|| {
+            store
+                .rebuild_observed(RebuildMode::Dag, RecoveryStrategy::Hybrid, &obs)
+                .unwrap()
+        });
+        while obs.progress.snapshot().fraction == 0.0 {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+
+        // Four hammer threads cycling every route.
+        let hammers: Vec<_> = (0..4)
+            .map(|h| {
+                s.spawn(move || {
+                    const ROUTES: [&str; 6] = [
+                        "/metrics",
+                        "/metrics.json",
+                        "/traces",
+                        "/events",
+                        "/progress",
+                        "/health",
+                    ];
+                    for i in 0..40 {
+                        let path = ROUTES[(h + i) % ROUTES.len()];
+                        let resp = http_get(addr, path);
+                        assert!(
+                            resp.starts_with("HTTP/1.1 200"),
+                            "{path} -> {}",
+                            resp.lines().next().unwrap_or("<empty>")
+                        );
+                        let body = resp.split("\r\n\r\n").nth(1).unwrap_or("");
+                        assert!(!body.is_empty(), "{path} body non-empty");
+                        if path == "/metrics" {
+                            lint_prometheus(body).unwrap_or_else(|e| {
+                                panic!("mid-rebuild /metrics lints clean: {e:?}")
+                            });
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        // Meanwhile the main thread keeps foreground traffic (and the
+        // throttle window) alive until the hammers drain.
+        let mut batches = 0u32;
+        loop {
+            let done = hammers.iter().all(|h| h.is_finished());
+            let ops: Vec<Op> = (0..records)
+                .map(|record| Op::Read { volume, record })
+                .collect();
+            for (r, res) in manager.submit(ops).into_iter().enumerate() {
+                let bytes = res.unwrap().expect("read returns bytes");
+                assert_eq!(bytes, vec![r as u8; 24], "record {r} intact");
+            }
+            batches += 1;
+            if done {
+                break;
+            }
+        }
+        for h in hammers {
+            h.join().unwrap();
+        }
+        assert!(batches > 0);
+        rebuild.join().unwrap()
+    });
+    assert!(report.outcome.is_recovered(), "{report}");
+
+    // After the dust settles the endpoint still serves a healthy, final
+    // view: progress finished, metrics linting clean.
+    let progress = http_get(addr, "/progress");
+    assert!(progress.contains("\"finished\":true"), "{progress}");
+    let metrics = http_get(addr, "/metrics");
+    let body = metrics.split("\r\n\r\n").nth(1).expect("body");
+    lint_prometheus(body).expect("final /metrics lints clean");
+    server.stop();
+}
