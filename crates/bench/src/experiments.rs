@@ -2185,7 +2185,282 @@ pub fn e20_tracing_overhead() -> Vec<(String, Table)> {
     )]
 }
 
-/// Runs one experiment by id (`e1`..`e20`, `a1`, `a2`), or `all`.
+/// E21: what crash consistency costs — and what replay buys back. Two
+/// tables over real file-backed devices:
+///
+/// 1. The E19-style batched closed loop (zipf clients, 70/30 mix) runs
+///    over identical fresh arrays of latency-injected file devices
+///    (E19's 300us spindle model) with the parity journal off and on —
+///    on, every multi-member update writes a checksummed intent with one
+///    group-commit `fdatasync` per coalesced wave. Acceptance: journaled
+///    throughput within 15% of unjournaled.
+/// 2. Crash-storm replay: the journal is loaded with committed-but-
+///    unapplied intents (the worst case a kill-anywhere storm can leave
+///    behind), one covered chunk is scribbled over, and `open_durable`
+///    redoes the log. Reports replay throughput; asserts the scribbled
+///    chunk comes back and parity is clean.
+pub fn e21_journal_overhead() -> Vec<(String, Table)> {
+    use blockdev::{
+        BlockDevice, FaultConfig, FaultInjectingDevice, FileDevice, Journal, MemberWrite,
+    };
+    use oi_raid::OiRaidStore;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+    use volume::{Op, TenantClass, VolumeManager, Zipf};
+
+    const CHUNK: usize = 4096;
+    const RECORD: usize = 512;
+    const WORKERS: usize = 8;
+    const GROUP: usize = 256;
+    const READ_FRAC: f64 = 0.7;
+    let latency = Duration::from_micros(300);
+    let total_ops: usize = std::env::var("OI_E21_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6_144)
+        .max(WORKERS);
+    let cfg = OiRaidConfig::reference();
+    let chunks_per_disk = {
+        let probe = OiRaidStore::new(cfg.clone(), CHUNK).expect("reference store");
+        probe.devices()[0].chunks()
+    };
+    let base = std::env::temp_dir().join(format!("oi-raid-e21-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    // One measured closed loop over a fresh prefilled array of real file
+    // devices behind E19's 300us spindle model; the only variable is
+    // whether the parity journal (intent write + group-commit fdatasync
+    // per wave) is in the update path.
+    let measure = |journaled: bool, round: u64| -> (usize, Duration, u64) {
+        let seed = 0xE21 ^ round;
+        let dir = base.join(format!("{}-{round}", if journaled { "on" } else { "off" }));
+        std::fs::create_dir_all(&dir).expect("bench dir");
+        let devices: Vec<_> = (0..21)
+            .map(|d| {
+                let file = FileDevice::create(
+                    dir.join(format!("disk-{d:03}.img")),
+                    CHUNK,
+                    chunks_per_disk,
+                )
+                .expect("device file");
+                FaultInjectingDevice::new(file, FaultConfig::default())
+            })
+            .collect();
+        let mut store =
+            OiRaidStore::with_devices(cfg.clone(), CHUNK, devices).expect("valid devices");
+        if journaled {
+            store.attach_journal(Journal::create(dir.join("journal.log")).expect("journal"));
+        }
+        for idx in 0..store.data_chunks() {
+            let chunk: Vec<u8> = (0..CHUNK).map(|j| (idx * 131 + j * 17 + 3) as u8).collect();
+            store.write_data(idx, &chunk).expect("prefill write");
+        }
+        for dev in store.devices() {
+            dev.set_config(FaultConfig::latency(latency, latency));
+        }
+        let mgr = Arc::new(VolumeManager::new(Arc::new(store), WORKERS * 2));
+        let tenant = mgr.add_tenant("t0", TenantClass::default());
+        let records = mgr.store().capacity_bytes() / RECORD as u64;
+        let vol = mgr
+            .create_volume(tenant, "t0", RECORD, records)
+            .expect("volume fits");
+        let zipf = Zipf::scrambled(records as usize, 0.99, seed);
+        let began = Instant::now();
+        let ops_done: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..WORKERS)
+                .map(|w| {
+                    let zipf = &zipf;
+                    let mgr = Arc::clone(&mgr);
+                    s.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(seed ^ w as u64);
+                        let per_worker = (total_ops / WORKERS).max(1);
+                        let mut issued = 0usize;
+                        while issued < per_worker {
+                            let n = GROUP.min(per_worker - issued);
+                            let mut ops = Vec::with_capacity(n);
+                            for _ in 0..n {
+                                let record = zipf.sample(&mut rng) as u64;
+                                if rng.gen::<f64>() < READ_FRAC {
+                                    ops.push(Op::Read {
+                                        volume: vol,
+                                        record,
+                                    });
+                                } else {
+                                    let tag = (rng.next_u64() & 0xFF) as u8;
+                                    ops.push(Op::Write {
+                                        volume: vol,
+                                        record,
+                                        data: vec![tag; RECORD],
+                                    });
+                                }
+                            }
+                            for res in mgr.submit(ops) {
+                                res.expect("batched op");
+                            }
+                            issued += n;
+                        }
+                        issued
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).sum()
+        });
+        let wall = began.elapsed();
+        let p99 = mgr
+            .tenant_read_latency(tenant)
+            .expect("tenant exists")
+            .snapshot()
+            .p99();
+        let _ = std::fs::remove_dir_all(&dir);
+        (ops_done, wall, p99)
+    };
+
+    // Best of two interleaved rounds per setting, so filesystem noise
+    // does not masquerade as journal overhead.
+    let mut best = [(0usize, Duration::MAX, 0u64); 2];
+    for round in 0..2u64 {
+        for (i, journaled) in [false, true].into_iter().enumerate() {
+            let r = measure(journaled, round);
+            if r.1 < best[i].1 {
+                best[i] = r;
+            }
+        }
+    }
+    let off_rate = best[0].0 as f64 / best[0].1.as_secs_f64();
+    let on_rate = best[1].0 as f64 / best[1].1.as_secs_f64();
+    let overhead = (off_rate / on_rate - 1.0) * 100.0;
+    let mut t1 = Table::new(&[
+        "journal",
+        "ops",
+        "wall (ms)",
+        "ops/s",
+        "read p99 (ms)",
+        "overhead vs off (%)",
+    ]);
+    for (i, name) in ["off", "on (group commit)"].iter().enumerate() {
+        let (ops, wall, p99) = best[i];
+        t1.row_owned(vec![
+            (*name).into(),
+            ops.to_string(),
+            f3(wall.as_secs_f64() * 1e3),
+            f3(ops as f64 / wall.as_secs_f64()),
+            f3(p99 as f64 / 1e6),
+            if i == 0 { "-".into() } else { f3(overhead) },
+        ]);
+    }
+    // The acceptance bound: crash consistency costs at most 15% of the
+    // unjournaled closed-loop throughput.
+    assert!(
+        overhead <= 15.0,
+        "journal cost {overhead:.2}% of closed-loop throughput (bound 15%)"
+    );
+
+    // ---- replay: redo a log full of committed-but-unapplied intents ----
+    let intents: usize = std::env::var("OI_E21_REPLAY")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(512)
+        .max(1);
+    const MEMBERS: usize = 4; // one data chunk + 3 parity chunks per wave
+    let dir = base.join("replay");
+    let (victim, want) = {
+        let store = OiRaidStore::create_durable(cfg.clone(), CHUNK, &dir).expect("durable store");
+        for idx in 0..store.data_chunks() {
+            let chunk: Vec<u8> = (0..CHUNK).map(|j| (idx * 37 + j * 11 + 5) as u8).collect();
+            store.write_data(idx, &chunk).expect("prefill write");
+        }
+        // Intents that rewrite chunks with the bytes they already hold:
+        // exactly what a crash after commit-before-apply leaves behind
+        // (redo is idempotent because records carry absolute values).
+        let journal = store.journal().expect("durable store has a journal");
+        let devices = store.devices();
+        let chunks_per_disk = devices[0].chunks();
+        let mut buf = vec![0u8; CHUNK];
+        for i in 0..intents {
+            let writes: Vec<MemberWrite> = (0..MEMBERS)
+                .map(|m| {
+                    let at = i * MEMBERS + m;
+                    let disk = at % devices.len();
+                    let chunk = (at / devices.len()) % chunks_per_disk;
+                    devices[disk].read_chunk(chunk, &mut buf).expect("read");
+                    MemberWrite {
+                        disk: disk as u32,
+                        chunk: chunk as u32,
+                        data: buf.clone(),
+                    }
+                })
+                .collect();
+            let seq = journal.append_intent(&writes).expect("append");
+            journal.commit(seq).expect("commit");
+        }
+        // Scribble over one covered chunk: the redo pass must undo this.
+        let want = {
+            devices[0].read_chunk(0, &mut buf).expect("read victim");
+            buf.clone()
+        };
+        devices[0]
+            .write_chunk(0, &vec![0xEE; CHUNK])
+            .expect("scribble");
+        ((0usize, 0usize), want)
+    };
+    let began = Instant::now();
+    let store = OiRaidStore::open_durable(cfg.clone(), CHUNK, &dir).expect("replay");
+    let replay_wall = began.elapsed();
+    let mut buf = vec![0u8; CHUNK];
+    store.devices()[victim.0]
+        .read_chunk(victim.1, &mut buf)
+        .expect("read back");
+    assert_eq!(buf, want, "replay must redo the scribbled chunk");
+    assert!(
+        store.check_parity().is_empty(),
+        "parity clean after crash-storm replay"
+    );
+    assert_eq!(
+        store.journal().expect("journal").outstanding(),
+        0,
+        "replay leaves no outstanding intents"
+    );
+    let bytes = (intents * MEMBERS * CHUNK) as f64;
+    let mut t2 = Table::new(&[
+        "intents",
+        "member writes",
+        "log (MiB)",
+        "replay wall (ms)",
+        "intents/s",
+        "MiB/s",
+    ]);
+    t2.row_owned(vec![
+        intents.to_string(),
+        (intents * MEMBERS).to_string(),
+        f3(bytes / (1 << 20) as f64),
+        f3(replay_wall.as_secs_f64() * 1e3),
+        f3(intents as f64 / replay_wall.as_secs_f64()),
+        f3(bytes / (1 << 20) as f64 / replay_wall.as_secs_f64()),
+    ]);
+    drop(store);
+    let _ = std::fs::remove_dir_all(&base);
+
+    vec![
+        (
+            format!(
+                "E21: parity-journal overhead — E19 closed loop on file devices \
+                 with 300us spindles, {total_ops} ops, group {GROUP}, journal off vs on"
+            ),
+            t1,
+        ),
+        (
+            format!(
+                "E21: crash-storm replay — {intents} committed-but-unapplied \
+                 intents ({MEMBERS} member writes each) redone on open"
+            ),
+            t2,
+        ),
+    ]
+}
+
+/// Runs one experiment by id (`e1`..`e21`, `a1`, `a2`), or `all`.
 /// Returns the rendered tables; unknown ids return `None`.
 pub fn run(id: &str) -> Option<Vec<(String, Table)>> {
     match id {
@@ -2209,12 +2484,13 @@ pub fn run(id: &str) -> Option<Vec<(String, Table)>> {
         "e18" => Some(e18_dag_scheduler()),
         "e19" => Some(e19_volume_closed_loop()),
         "e20" => Some(e20_tracing_overhead()),
+        "e21" => Some(e21_journal_overhead()),
         "a2" => Some(a2_strategy_ablation()),
         "all" => {
             let mut out = Vec::new();
             for id in [
                 "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-                "e14", "e15", "e16", "e17", "e18", "e19", "e20", "a2",
+                "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "a2",
             ] {
                 out.extend(run(id).expect("known id"));
             }

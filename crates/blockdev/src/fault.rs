@@ -24,6 +24,10 @@ pub struct FaultConfig {
     /// sequence counter, so enabling write faults does not perturb the
     /// read-fault sequence).
     pub transient_write_per_mille: u16,
+    /// Per-mille of [`BlockDevice::flush`] calls failing *transiently*
+    /// (own sequence counter, so arming flush faults perturbs neither the
+    /// read nor the write dice). Models a lost/failed cache-flush command.
+    pub flush_fail_per_mille: u16,
     /// If nonzero, the device dies (all I/O returns
     /// [`DeviceError::Failed`], `is_failed` turns true) once this many
     /// reads have been served — the deterministic way to stage a
@@ -87,6 +91,8 @@ pub struct FaultInjectingDevice<B> {
     ops: AtomicU64,
     /// Write-op sequence number for the transient-write dice.
     write_ops: AtomicU64,
+    /// Flush-op sequence number for the flush-failure dice.
+    flush_ops: AtomicU64,
     /// Total reads served, for [`FaultConfig::fail_after_reads`].
     reads_seen: AtomicU64,
     /// Set when `fail_after_reads` fires; cleared by heal.
@@ -111,6 +117,7 @@ impl<B: BlockDevice> FaultInjectingDevice<B> {
             spindle: Mutex::new(()),
             ops: AtomicU64::new(0),
             write_ops: AtomicU64::new(0),
+            flush_ops: AtomicU64::new(0),
             reads_seen: AtomicU64::new(0),
             died: AtomicBool::new(false),
             remapped: Mutex::new(HashSet::new()),
@@ -155,6 +162,7 @@ impl<B: BlockDevice> FaultInjectingDevice<B> {
         *self.cfg.lock().expect("cfg lock") = cfg;
         self.ops.store(0, Ordering::Relaxed);
         self.write_ops.store(0, Ordering::Relaxed);
+        self.flush_ops.store(0, Ordering::Relaxed);
         self.reads_seen.store(0, Ordering::Relaxed);
     }
 
@@ -188,6 +196,15 @@ impl<B: BlockDevice> FaultInjectingDevice<B> {
         let op = self.write_ops.fetch_add(1, Ordering::Relaxed);
         splitmix(cfg.seed ^ op.wrapping_mul(0x27D4_EB2F) ^ 0x5851_F42D) % 1000
             < cfg.transient_write_per_mille as u64
+    }
+
+    fn flush_fault(&self, cfg: &FaultConfig) -> bool {
+        if cfg.flush_fail_per_mille == 0 {
+            return false;
+        }
+        let op = self.flush_ops.fetch_add(1, Ordering::Relaxed);
+        splitmix(cfg.seed ^ op.wrapping_mul(0x1657_67B1) ^ 0x94D0_49BB) % 1000
+            < cfg.flush_fail_per_mille as u64
     }
 
     /// Counts one served read against `fail_after_reads`; returns `true`
@@ -270,6 +287,25 @@ impl<B: BlockDevice> BlockDevice for FaultInjectingDevice<B> {
         }
         self.latency.write.record_duration(began.elapsed());
         Ok(())
+    }
+
+    /// Durability barrier with injected failures: a faulted flush returns a
+    /// *transient* [`DeviceError::Io`] (kind `Interrupted`) — the caller
+    /// must retry the flush before trusting its commit point, exactly as
+    /// with a real lost cache-flush command.
+    fn flush(&self) -> Result<(), DeviceError> {
+        let cfg = self.config();
+        if self.died.load(Ordering::Relaxed) {
+            return Err(DeviceError::Failed);
+        }
+        if self.flush_fault(&cfg) {
+            self.faults.fetch_add(1, Ordering::Relaxed);
+            return Err(DeviceError::Io {
+                kind: std::io::ErrorKind::Interrupted,
+                message: "injected flush failure".into(),
+            });
+        }
+        self.inner.flush()
     }
 
     fn fail(&self) {
@@ -530,6 +566,34 @@ mod tests {
             let mut buf = [0u8; 16];
             d.read_chunks(start, 2, &mut buf).unwrap();
             assert_eq!(d.counters().reads, 2, "wrapper does not coalesce ops");
+        }
+    }
+
+    #[test]
+    fn flush_faults_are_transient_and_isolated() {
+        let cfg = FaultConfig {
+            seed: 7,
+            flush_fail_per_mille: 300,
+            ..FaultConfig::default()
+        };
+        let d = FaultInjectingDevice::new(MemDevice::new(8, 4), cfg);
+        let mut faults = 0;
+        for _ in 0..1000 {
+            match d.flush() {
+                Ok(()) => {}
+                Err(e) => {
+                    assert!(e.is_transient(), "{e}");
+                    faults += 1;
+                }
+            }
+        }
+        assert!((150..450).contains(&faults), "got {faults} of ~300");
+        assert_eq!(d.counters().faults, faults as u64);
+        // Flush dice are independent: reads and writes stay clean.
+        let mut buf = [0u8; 8];
+        for i in 0..100 {
+            d.write_chunk(i % 4, &[i as u8; 8]).unwrap();
+            d.read_chunk(i % 4, &mut buf).unwrap();
         }
     }
 

@@ -74,6 +74,54 @@ impl FileDevice {
         })
     }
 
+    /// Opens an *existing* device file without truncating it — the
+    /// reopen-after-crash path. The file must already be exactly
+    /// `chunk_size * chunks` bytes long; a size mismatch means the caller's
+    /// geometry is wrong, and silently resizing would fabricate or drop
+    /// data.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::Io`] on filesystem errors or a size mismatch;
+    /// [`DeviceError::WrongBufferSize`] for `chunk_size == 0`.
+    pub fn open(
+        path: impl AsRef<Path>,
+        chunk_size: usize,
+        chunks: usize,
+    ) -> Result<Self, DeviceError> {
+        if chunk_size == 0 {
+            return Err(DeviceError::WrongBufferSize {
+                found: 0,
+                expected: 1,
+            });
+        }
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(io_err)?;
+        let expected = (chunk_size * chunks) as u64;
+        let found = file.metadata().map_err(io_err)?.len();
+        if found != expected {
+            return Err(DeviceError::Io {
+                kind: std::io::ErrorKind::InvalidData,
+                message: format!(
+                    "device file {} is {found} bytes, geometry expects {expected}",
+                    path.display()
+                ),
+            });
+        }
+        Ok(Self {
+            path,
+            chunk_size,
+            chunks,
+            failed: AtomicBool::new(false),
+            file: Mutex::new(file),
+            counters: Counters::default(),
+        })
+    }
+
     /// The backing file's path.
     pub fn path(&self) -> &Path {
         &self.path
@@ -140,6 +188,17 @@ impl BlockDevice for FileDevice {
         self.counters
             .record_write(chunk, self.chunk_size as u64, began.elapsed());
         Ok(())
+    }
+
+    /// Real durability barrier: `fdatasync` the backing file, so every
+    /// accepted write is on stable media before the journal drops its redo
+    /// records.
+    fn flush(&self) -> Result<(), DeviceError> {
+        if self.is_failed() {
+            return Err(DeviceError::Failed);
+        }
+        let file = self.file.lock().expect("file lock");
+        file.sync_data().map_err(io_err)
     }
 
     fn fail(&self) {
@@ -234,5 +293,32 @@ mod tests {
     #[test]
     fn zero_chunk_size_rejected() {
         assert!(FileDevice::create(temp_path("zero"), 0, 4).is_err());
+    }
+
+    #[test]
+    fn open_preserves_contents_and_checks_geometry() {
+        let path = temp_path("reopen");
+        {
+            let d = FileDevice::create(&path, 16, 8).unwrap();
+            d.write_chunk(2, &[0x7F; 16]).unwrap();
+            d.flush().unwrap();
+        }
+        let d = FileDevice::open(&path, 16, 8).unwrap();
+        let mut buf = [0u8; 16];
+        d.read_chunk(2, &mut buf).unwrap();
+        assert_eq!(buf, [0x7F; 16], "open does not truncate");
+        assert!(FileDevice::open(&path, 16, 9).is_err(), "size mismatch");
+        assert!(FileDevice::open(temp_path("absent"), 16, 8).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flush_respects_failure() {
+        let path = temp_path("flushfail");
+        let d = FileDevice::create(&path, 8, 4).unwrap();
+        d.flush().unwrap();
+        d.fail();
+        assert_eq!(d.flush(), Err(DeviceError::Failed));
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,539 @@
+//! Write-ahead parity journal: crash consistency for multi-member updates.
+//!
+//! A RAID small write touches several members (data chunk + one or more
+//! parities); a process crash between those writes tears the relation —
+//! the classic write hole. The journal closes it with physical redo
+//! logging: before any member is touched, the *absolute new bytes* of
+//! every member in the update are appended as one checksummed, sequence-
+//! numbered **intent** record and made durable. The intent's durability is
+//! the commit point:
+//!
+//! 1. `append_intent(writes)` — serialize all member new-values into one
+//!    record (page cache only; cheap).
+//! 2. `commit(seq)` — group-commit flush: one `fdatasync` covers every
+//!    intent appended since the last flush, so coalesced volume waves
+//!    amortize a single sync per wave. Concurrent committers piggyback.
+//! 3. caller writes the members (any order, crash-anywhere safe).
+//! 4. `mark_applied(seq)` — append an **applied** marker so recovery can
+//!    skip redo; when no intents are outstanding the journal truncates
+//!    itself back to empty.
+//!
+//! Recovery ([`Journal::open`]) scans the log: intents without applied
+//! markers are returned for **redo** (absolute values, so replay is
+//! idempotent — unlike XOR deltas, applying twice is harmless); a torn or
+//! checksum-failed tail is **rolled back** by truncation at the last valid
+//! record boundary — those updates never reported commit, and no member
+//! was written, so dropping them is correct.
+//!
+//! The durability model targets *process* crashes (abort anywhere, page
+//! cache survives): member writes and applied markers need no sync of
+//! their own. Power-loss safety would additionally require a device flush
+//! barrier before each applied marker — the [`BlockDevice::flush`] hook
+//! exists for exactly that, at the cost of one device sync per update.
+//!
+//! [`BlockDevice::flush`]: crate::BlockDevice::flush
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use telemetry::Histogram;
+
+use crate::crash::crash_point;
+
+/// Per-record magic, so a scan can tell records from garbage.
+const MAGIC: [u8; 4] = *b"OIJL";
+const KIND_INTENT: u8 = 1;
+const KIND_APPLIED: u8 = 2;
+/// Fixed header: magic(4) + kind(1) + seq(8) + payload_len(4).
+const HEADER: usize = 17;
+/// Truncate the log back to empty once it grows past this with no
+/// outstanding intents.
+const RESET_BYTES: u64 = 1 << 20;
+
+/// CRC-32 (IEEE 802.3), bitwise — the journal's record sizes are a few KiB
+/// at most, so a lookup table buys nothing. Public because the rebuild
+/// checkpoint format reuses it.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// One member's new contents inside an intent record: the absolute bytes
+/// that `chunk` of `disk` must hold after the update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemberWrite {
+    /// Device index within the array.
+    pub disk: u32,
+    /// Chunk index on that device.
+    pub chunk: u32,
+    /// The chunk's new contents (absolute, not a delta).
+    pub data: Vec<u8>,
+}
+
+/// What [`Journal::open`] found in an existing log.
+#[derive(Debug, Default)]
+pub struct ReplaySummary {
+    /// Committed-but-unapplied intents to redo, in sequence order.
+    pub redo: Vec<(u64, Vec<MemberWrite>)>,
+    /// Intents confirmed applied (skipped).
+    pub applied: u64,
+    /// 1 if a torn/corrupt tail was truncated away, else 0.
+    pub rolled_back: u64,
+}
+
+/// Counters a store exports as `oi_journal_*` metrics.
+#[derive(Debug)]
+pub struct JournalStats {
+    /// Intent records appended.
+    pub appends: AtomicU64,
+    /// `fdatasync` calls on the journal file.
+    pub flushes: AtomicU64,
+    /// Times the log was truncated back to empty.
+    pub resets: AtomicU64,
+    /// Intents covered per flush (the group-commit batch size).
+    pub batch: Arc<Histogram>,
+}
+
+impl Default for JournalStats {
+    fn default() -> Self {
+        Self {
+            appends: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            resets: AtomicU64::new(0),
+            batch: Arc::new(Histogram::new()),
+        }
+    }
+}
+
+/// The write-ahead intent log. All methods take `&self`; appends serialize
+/// on an internal file lock, flushes group-commit behind a flush lock.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<File>,
+    /// Next sequence number to hand out (monotonic across resets).
+    next_seq: AtomicU64,
+    /// Highest seq fully appended to the file (record write completed).
+    last_appended: AtomicU64,
+    /// Highest seq known durable (covered by a completed flush).
+    flushed_seq: AtomicU64,
+    /// Intents appended but not yet marked applied.
+    outstanding: AtomicU64,
+    /// Serializes `fdatasync`; waiters piggyback on the in-flight sync.
+    flush_lock: Mutex<()>,
+    stats: JournalStats,
+}
+
+impl Journal {
+    /// Creates (or truncates) a fresh journal at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(Self::from_file(path, file, 1))
+    }
+
+    /// Opens an existing journal (creating an empty one if absent), scans
+    /// it, and returns the recovery work: intents to redo and how much was
+    /// rolled back. The log is truncated at the last valid record
+    /// boundary, discarding any torn tail. The caller must apply every
+    /// redo write to the devices and then call [`Journal::reset`] — if it
+    /// crashes in between, the next open simply replays again (redo is
+    /// idempotent).
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<(Self, ReplaySummary)> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.seek(SeekFrom::Start(0))?;
+        file.read_to_end(&mut bytes)?;
+
+        let mut intents: BTreeMap<u64, Vec<MemberWrite>> = BTreeMap::new();
+        let mut applied = 0u64;
+        let mut max_seq = 0u64;
+        let mut offset = 0usize;
+        let valid_end = loop {
+            match parse_record(&bytes[offset..]) {
+                Some((consumed, seq, record)) => {
+                    max_seq = max_seq.max(seq);
+                    match record {
+                        Record::Intent(writes) => {
+                            intents.insert(seq, writes);
+                        }
+                        Record::Applied => {
+                            if intents.remove(&seq).is_some() {
+                                applied += 1;
+                            }
+                        }
+                    }
+                    offset += consumed;
+                }
+                None => break offset,
+            }
+        };
+        let rolled_back = u64::from(valid_end < bytes.len());
+        if rolled_back == 1 {
+            // Drop the torn tail so later appends start at a clean record
+            // boundary.
+            file.set_len(valid_end as u64)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+
+        let summary = ReplaySummary {
+            redo: intents.into_iter().collect(),
+            applied,
+            rolled_back,
+        };
+        let mut journal = Self::from_file(path, file, max_seq + 1);
+        *journal.outstanding.get_mut() = summary.redo.len() as u64;
+        Ok((journal, summary))
+    }
+
+    fn from_file(path: PathBuf, file: File, next_seq: u64) -> Self {
+        Self {
+            path,
+            file: Mutex::new(file),
+            next_seq: AtomicU64::new(next_seq),
+            last_appended: AtomicU64::new(next_seq - 1),
+            flushed_seq: AtomicU64::new(next_seq - 1),
+            outstanding: AtomicU64::new(0),
+            flush_lock: Mutex::new(()),
+            stats: JournalStats::default(),
+        }
+    }
+
+    /// The journal file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Lifetime counters for metrics export.
+    pub fn stats(&self) -> &JournalStats {
+        &self.stats
+    }
+
+    /// Appends one intent record (all member new-values of one update) and
+    /// returns its sequence number. Page-cache only — call
+    /// [`Journal::commit`] before touching any member.
+    pub fn append_intent(&self, writes: &[MemberWrite]) -> std::io::Result<u64> {
+        let mut payload =
+            Vec::with_capacity(4 + writes.iter().map(|w| 12 + w.data.len()).sum::<usize>());
+        payload.extend_from_slice(&(writes.len() as u32).to_le_bytes());
+        for w in writes {
+            payload.extend_from_slice(&w.disk.to_le_bytes());
+            payload.extend_from_slice(&w.chunk.to_le_bytes());
+            payload.extend_from_slice(&(w.data.len() as u32).to_le_bytes());
+            payload.extend_from_slice(&w.data);
+        }
+
+        let mut file = self.file.lock().expect("journal file lock");
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        append_record(&mut file, KIND_INTENT, seq, &payload)?;
+        self.outstanding.fetch_add(1, Ordering::Relaxed);
+        self.last_appended.store(seq, Ordering::Release);
+        drop(file);
+        self.stats.appends.fetch_add(1, Ordering::Relaxed);
+        crash_point("journal_append");
+        Ok(seq)
+    }
+
+    /// Makes every intent up to and including `seq` durable. This is the
+    /// commit point: returning `Ok` means the update will survive a crash.
+    ///
+    /// Group commit: one `fdatasync` covers all records appended before
+    /// it, so concurrent committers (a coalesced volume wave) share a
+    /// single sync — callers whose seq is already covered return without
+    /// touching the file.
+    pub fn commit(&self, seq: u64) -> std::io::Result<()> {
+        if self.flushed_seq.load(Ordering::Acquire) >= seq {
+            return Ok(());
+        }
+        let _flush = self.flush_lock.lock().expect("journal flush lock");
+        // Re-check: the sync we queued behind may have covered us.
+        let prev = self.flushed_seq.load(Ordering::Acquire);
+        if prev >= seq {
+            return Ok(());
+        }
+        // Every record with seq <= last_appended is fully written (the
+        // counter is only advanced after write_all completes), so one sync
+        // commits the whole batch.
+        let target = self.last_appended.load(Ordering::Acquire);
+        {
+            let file = self.file.lock().expect("journal file lock");
+            file.sync_data()?;
+        }
+        self.flushed_seq.store(target, Ordering::Release);
+        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        self.stats.batch.record(target - prev);
+        crash_point("journal_flush");
+        Ok(())
+    }
+
+    /// Records that the members of intent `seq` have been written. Once no
+    /// intents are outstanding and the log has grown past a threshold, it
+    /// truncates back to empty (sequence numbers stay monotonic).
+    pub fn mark_applied(&self, seq: u64) -> std::io::Result<()> {
+        let mut file = self.file.lock().expect("journal file lock");
+        append_record(&mut file, KIND_APPLIED, seq, &[])?;
+        let outstanding = self.outstanding.fetch_sub(1, Ordering::Relaxed) - 1;
+        if outstanding == 0 && file.metadata()?.len() > RESET_BYTES {
+            self.truncate_locked(&file)?;
+        }
+        Ok(())
+    }
+
+    /// Truncates the log to empty. Call after every redo write from
+    /// [`Journal::open`] has been applied to the devices.
+    pub fn reset(&self) -> std::io::Result<()> {
+        let file = self.file.lock().expect("journal file lock");
+        self.outstanding.store(0, Ordering::Relaxed);
+        self.truncate_locked(&file)
+    }
+
+    fn truncate_locked(&self, file: &File) -> std::io::Result<()> {
+        file.set_len(0)?;
+        file.sync_data()?;
+        self.flushed_seq.store(
+            self.last_appended.load(Ordering::Acquire),
+            Ordering::Release,
+        );
+        self.stats.resets.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Intents appended but not yet marked applied.
+    pub fn outstanding(&self) -> u64 {
+        self.outstanding.load(Ordering::Relaxed)
+    }
+}
+
+enum Record {
+    Intent(Vec<MemberWrite>),
+    Applied,
+}
+
+fn append_record(file: &mut File, kind: u8, seq: u64, payload: &[u8]) -> std::io::Result<()> {
+    let mut rec = Vec::with_capacity(HEADER + payload.len() + 4);
+    rec.extend_from_slice(&MAGIC);
+    rec.push(kind);
+    rec.extend_from_slice(&seq.to_le_bytes());
+    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    rec.extend_from_slice(payload);
+    let crc = crc32(&rec[4..]);
+    rec.extend_from_slice(&crc.to_le_bytes());
+    file.seek(SeekFrom::End(0))?;
+    file.write_all(&rec)
+}
+
+/// Parses one record from the front of `bytes`. Returns `None` on a torn,
+/// corrupt, or absent record — the scan's stop condition.
+fn parse_record(bytes: &[u8]) -> Option<(usize, u64, Record)> {
+    if bytes.len() < HEADER + 4 || bytes[..4] != MAGIC {
+        return None;
+    }
+    let kind = bytes[4];
+    let seq = u64::from_le_bytes(bytes[5..13].try_into().ok()?);
+    let len = u32::from_le_bytes(bytes[13..17].try_into().ok()?) as usize;
+    let total = HEADER + len + 4;
+    if bytes.len() < total {
+        return None;
+    }
+    let stored = u32::from_le_bytes(bytes[HEADER + len..total].try_into().ok()?);
+    if crc32(&bytes[4..HEADER + len]) != stored {
+        return None;
+    }
+    let payload = &bytes[HEADER..HEADER + len];
+    let record = match kind {
+        KIND_APPLIED => Record::Applied,
+        KIND_INTENT => Record::Intent(parse_intent(payload)?),
+        _ => return None,
+    };
+    Some((total, seq, record))
+}
+
+fn parse_intent(payload: &[u8]) -> Option<Vec<MemberWrite>> {
+    let n = u32::from_le_bytes(payload.get(..4)?.try_into().ok()?) as usize;
+    let mut offset = 4;
+    let mut writes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let disk = u32::from_le_bytes(payload.get(offset..offset + 4)?.try_into().ok()?);
+        let chunk = u32::from_le_bytes(payload.get(offset + 4..offset + 8)?.try_into().ok()?);
+        let len =
+            u32::from_le_bytes(payload.get(offset + 8..offset + 12)?.try_into().ok()?) as usize;
+        let data = payload.get(offset + 12..offset + 12 + len)?.to_vec();
+        offset += 12 + len;
+        writes.push(MemberWrite { disk, chunk, data });
+    }
+    (offset == payload.len()).then_some(writes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64 as TestCounter, Ordering as TestOrdering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static UNIQUE: TestCounter = TestCounter::new(0);
+        let n = UNIQUE.fetch_add(1, TestOrdering::Relaxed);
+        std::env::temp_dir().join(format!("journal-test-{}-{tag}-{n}.log", std::process::id()))
+    }
+
+    fn write(disk: u32, chunk: u32, byte: u8) -> MemberWrite {
+        MemberWrite {
+            disk,
+            chunk,
+            data: vec![byte; 16],
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_commit_apply_reset() {
+        let path = temp_path("roundtrip");
+        let j = Journal::create(&path).unwrap();
+        let seq = j
+            .append_intent(&[write(0, 3, 0xAA), write(5, 3, 0xBB)])
+            .unwrap();
+        j.commit(seq).unwrap();
+        assert_eq!(j.outstanding(), 1);
+
+        // Reopen before mark_applied: the intent must come back verbatim.
+        let (_j2, summary) = Journal::open(&path).unwrap();
+        assert_eq!(summary.rolled_back, 0);
+        assert_eq!(summary.redo.len(), 1);
+        let (got_seq, writes) = &summary.redo[0];
+        assert_eq!(*got_seq, seq);
+        assert_eq!(writes, &[write(0, 3, 0xAA), write(5, 3, 0xBB)]);
+
+        // Applied intents are skipped on the next open.
+        j.mark_applied(seq).unwrap();
+        assert_eq!(j.outstanding(), 0);
+        let (_, summary) = Journal::open(&path).unwrap();
+        assert!(summary.redo.is_empty());
+        assert_eq!(summary.applied, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_rolls_back_only_the_tail() {
+        let path = temp_path("torn");
+        let j = Journal::create(&path).unwrap();
+        let s1 = j.append_intent(&[write(1, 1, 0x11)]).unwrap();
+        j.commit(s1).unwrap();
+        let s2 = j.append_intent(&[write(2, 2, 0x22)]).unwrap();
+        j.commit(s2).unwrap();
+        drop(j);
+
+        // Tear the second record mid-payload.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 7).unwrap();
+        drop(f);
+
+        let (j2, summary) = Journal::open(&path).unwrap();
+        assert_eq!(summary.rolled_back, 1);
+        assert_eq!(summary.redo.len(), 1, "first record survives");
+        assert_eq!(summary.redo[0].0, s1);
+        // The torn tail is gone: appends after recovery parse cleanly.
+        let s3 = j2.append_intent(&[write(3, 3, 0x33)]).unwrap();
+        j2.commit(s3).unwrap();
+        drop(j2);
+        let (_, summary) = Journal::open(&path).unwrap();
+        assert_eq!(summary.rolled_back, 0);
+        assert_eq!(summary.redo.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_crc_stops_the_scan() {
+        let path = temp_path("crc");
+        let j = Journal::create(&path).unwrap();
+        let s1 = j.append_intent(&[write(1, 1, 0x11)]).unwrap();
+        j.commit(s1).unwrap();
+        drop(j);
+        // Flip one payload byte.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = HEADER + 5;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, summary) = Journal::open(&path).unwrap();
+        assert!(summary.redo.is_empty());
+        assert_eq!(summary.rolled_back, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn group_commit_batches_concurrent_appends() {
+        let path = temp_path("group");
+        let j = Journal::create(&path).unwrap();
+        let seqs: Vec<u64> = (0..8)
+            .map(|i| j.append_intent(&[write(i, 0, i as u8)]).unwrap())
+            .collect();
+        // One commit of the highest seq covers the whole batch...
+        j.commit(*seqs.last().unwrap()).unwrap();
+        // ...so earlier commits are free.
+        for &s in &seqs {
+            j.commit(s).unwrap();
+        }
+        let flushes = j.stats().flushes.load(Ordering::Relaxed);
+        assert_eq!(flushes, 1, "one sync covered all 8 intents");
+        assert_eq!(j.stats().batch.max(), 8);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reset_truncates_and_later_records_still_parse() {
+        let path = temp_path("reset");
+        let j = Journal::create(&path).unwrap();
+        let s = j.append_intent(&[write(0, 0, 1)]).unwrap();
+        j.commit(s).unwrap();
+        j.mark_applied(s).unwrap();
+        j.reset().unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        let s2 = j.append_intent(&[write(0, 1, 2)]).unwrap();
+        assert!(s2 > s, "sequence numbers stay monotonic across resets");
+        j.commit(s2).unwrap();
+        drop(j);
+        let (_, summary) = Journal::open(&path).unwrap();
+        assert_eq!(summary.redo.len(), 1);
+        assert_eq!(summary.redo[0].0, s2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_and_missing_journals_open_clean() {
+        let path = temp_path("fresh");
+        let (j, summary) = Journal::open(&path).unwrap();
+        assert!(summary.redo.is_empty());
+        assert_eq!(summary.rolled_back, 0);
+        let s = j.append_intent(&[write(0, 0, 9)]).unwrap();
+        j.commit(s).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+}

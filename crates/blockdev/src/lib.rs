@@ -24,13 +24,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crash;
 mod fault;
 mod file;
+pub mod journal;
 mod mem;
 mod retry;
 
+pub use crash::crash_point;
 pub use fault::{FaultConfig, FaultInjectingDevice};
 pub use file::FileDevice;
+pub use journal::{Journal, JournalStats, MemberWrite, ReplaySummary};
 pub use mem::MemDevice;
 pub use retry::{write_chunk_retrying, RetryCounters, RetryPolicy, RetryReader, RetryStats};
 
@@ -195,6 +199,16 @@ pub trait BlockDevice: Send + Sync {
 
     /// Writes `data` (exactly one chunk) to chunk `chunk`.
     fn write_chunk(&self, chunk: usize, data: &[u8]) -> Result<(), DeviceError>;
+
+    /// Durability barrier: blocks until every write accepted so far is on
+    /// stable storage. [`FileDevice`] issues a real `fdatasync`; memory
+    /// backends are a no-op (the default) because their writes are
+    /// "durable" the moment they land. The journal layer calls this
+    /// before discarding redo records, so commit ordering is real on the
+    /// file backend.
+    fn flush(&self) -> Result<(), DeviceError> {
+        Ok(())
+    }
 
     /// Marks the device failed and discards its contents.
     fn fail(&self);

@@ -1,0 +1,203 @@
+//! Rebuild checkpoints: restartable recovery.
+//!
+//! A rebuild of a multi-TB disk takes hours; losing all progress to a
+//! process crash means re-reading every surviving disk from scratch. The
+//! rebuild engine periodically serializes its window state — the target
+//! disks and the set of chunks already restored (by writeback *or* by a
+//! foreground write that landed the full new value) — next to the journal.
+//! After a restart, [`crate::OiRaidStore::resume_rebuild`] loads the
+//! checkpoint, re-opens the window with the restored chunks pre-marked
+//! valid, and plans recovery only for what is still missing.
+//!
+//! The format is deliberately paranoid about its own durability story:
+//! writes go to a temp file that is fsynced and renamed into place, so a
+//! crash mid-checkpoint leaves the previous checkpoint intact; loads
+//! verify a magic and a CRC-32 and return `None` on *any* defect — a
+//! corrupt or truncated checkpoint silently degrades to a full rebuild,
+//! never an abort (the checkpoint is an optimization, the journal and the
+//! parity math are the correctness story).
+
+use std::collections::BTreeSet;
+use std::io::Write;
+use std::path::Path;
+
+use blockdev::crash_point;
+use blockdev::journal::crc32;
+use layout::ChunkAddr;
+
+/// File magic: "OICK".
+const MAGIC: [u8; 4] = *b"OICK";
+
+/// A serialized rebuild position: which disks were being rebuilt and which
+/// of their chunks already hold trustworthy bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RebuildCheckpoint {
+    /// Disks under rebuild when the checkpoint was taken.
+    pub targets: BTreeSet<usize>,
+    /// Chunks on those disks already restored (ascending).
+    pub valid: Vec<ChunkAddr>,
+}
+
+impl RebuildCheckpoint {
+    /// Serializes to `path` atomically: temp file, fsync, rename. A crash
+    /// at any point leaves either the old checkpoint or the new one —
+    /// never a torn mix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; the rebuild engine treats a failed
+    /// checkpoint as a skipped optimization, not a fatal error.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut body = Vec::with_capacity(8 + self.targets.len() * 4 + self.valid.len() * 8);
+        body.extend_from_slice(&(self.targets.len() as u32).to_le_bytes());
+        for &d in &self.targets {
+            body.extend_from_slice(&(d as u32).to_le_bytes());
+        }
+        body.extend_from_slice(&(self.valid.len() as u32).to_le_bytes());
+        for a in &self.valid {
+            body.extend_from_slice(&(a.disk as u32).to_le_bytes());
+            body.extend_from_slice(&(a.offset as u32).to_le_bytes());
+        }
+        let crc = crc32(&body);
+
+        let tmp = path.with_extension("ckpt.tmp");
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&MAGIC)?;
+        f.write_all(&body)?;
+        f.write_all(&crc.to_le_bytes())?;
+        f.sync_data()?;
+        drop(f);
+        crash_point("checkpoint_write");
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads a checkpoint, returning `None` on a missing, truncated,
+    /// wrong-magic, or checksum-failed file — every defect degrades to
+    /// "no checkpoint" (full rebuild), never an error.
+    pub fn load(path: &Path) -> Option<Self> {
+        let bytes = std::fs::read(path).ok()?;
+        if bytes.len() < 12 || bytes[..4] != MAGIC {
+            return None;
+        }
+        let body = &bytes[4..bytes.len() - 4];
+        let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().ok()?);
+        if crc32(body) != stored {
+            return None;
+        }
+        let mut offset = 0usize;
+        let mut take_u32 = |body: &[u8]| -> Option<u32> {
+            let v = u32::from_le_bytes(body.get(offset..offset + 4)?.try_into().ok()?);
+            offset += 4;
+            Some(v)
+        };
+        let n_targets = take_u32(body)? as usize;
+        let mut targets = BTreeSet::new();
+        for _ in 0..n_targets {
+            targets.insert(take_u32(body)? as usize);
+        }
+        let n_valid = take_u32(body)? as usize;
+        let mut valid = Vec::with_capacity(n_valid);
+        for _ in 0..n_valid {
+            let disk = take_u32(body)? as usize;
+            let chunk = take_u32(body)? as usize;
+            valid.push(ChunkAddr::new(disk, chunk));
+        }
+        (offset == body.len()).then_some(Self { targets, valid })
+    }
+
+    /// Deletes the checkpoint (rebuild completed or aborted — either way
+    /// the position it recorded is obsolete). Missing files are fine.
+    pub fn remove(path: &Path) {
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(path.with_extension("ckpt.tmp"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static UNIQUE: AtomicU64 = AtomicU64::new(0);
+        let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("ckpt-test-{}-{tag}-{n}.ckpt", std::process::id()))
+    }
+
+    fn sample() -> RebuildCheckpoint {
+        RebuildCheckpoint {
+            targets: [3usize, 7].into_iter().collect(),
+            valid: vec![
+                ChunkAddr::new(3, 0),
+                ChunkAddr::new(3, 5),
+                ChunkAddr::new(7, 2),
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrips() {
+        let path = temp_path("rt");
+        let ckpt = sample();
+        ckpt.save(&path).unwrap();
+        assert_eq!(RebuildCheckpoint::load(&path), Some(ckpt));
+        RebuildCheckpoint::remove(&path);
+        assert_eq!(RebuildCheckpoint::load(&path), None, "removed");
+    }
+
+    #[test]
+    fn empty_checkpoint_roundtrips() {
+        let path = temp_path("empty");
+        let ckpt = RebuildCheckpoint::default();
+        ckpt.save(&path).unwrap();
+        assert_eq!(RebuildCheckpoint::load(&path), Some(ckpt));
+        RebuildCheckpoint::remove(&path);
+    }
+
+    #[test]
+    fn corrupt_and_truncated_load_as_none() {
+        let path = temp_path("corrupt");
+        sample().save(&path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        // Flip a body byte: CRC fails.
+        let mut bad = good.clone();
+        bad[6] ^= 0x40;
+        std::fs::write(&path, &bad).unwrap();
+        assert_eq!(RebuildCheckpoint::load(&path), None);
+
+        // Truncate mid-body.
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        assert_eq!(RebuildCheckpoint::load(&path), None);
+
+        // Wrong magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        std::fs::write(&path, &bad).unwrap();
+        assert_eq!(RebuildCheckpoint::load(&path), None);
+
+        // Trailing garbage after a valid body fails the length check.
+        let mut bad = good.clone();
+        bad.extend_from_slice(&[0u8; 3]);
+        std::fs::write(&path, &bad).unwrap();
+        assert_eq!(RebuildCheckpoint::load(&path), None);
+
+        // Absent file.
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(RebuildCheckpoint::load(&path), None);
+    }
+
+    #[test]
+    fn save_replaces_atomically() {
+        let path = temp_path("replace");
+        sample().save(&path).unwrap();
+        let newer = RebuildCheckpoint {
+            targets: [1usize].into_iter().collect(),
+            valid: vec![ChunkAddr::new(1, 1)],
+        };
+        newer.save(&path).unwrap();
+        assert_eq!(RebuildCheckpoint::load(&path), Some(newer));
+        RebuildCheckpoint::remove(&path);
+    }
+}

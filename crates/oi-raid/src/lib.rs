@@ -72,6 +72,7 @@
 pub mod analysis;
 mod array;
 mod bufpool;
+mod checkpoint;
 mod config;
 mod degraded_read;
 mod geometry;
@@ -84,10 +85,13 @@ mod recovery;
 mod store;
 
 pub use array::{ChunkInfo, OiRaid};
+pub use checkpoint::RebuildCheckpoint;
 pub use config::{OiRaidConfig, SkewMode};
 pub use degraded_read::{reference_scenario, DegradedRun, DegradedScenario, ReadPlan};
 pub use observe::{HealCounters, RebuildObserver, StageSummary, StageTimings};
 pub use qos::{QosConfig, QosCounters};
 pub use rebuild::{RebuildMode, RebuildOutcome, RebuildReport};
 pub use recovery::RecoveryStrategy;
-pub use store::{BatchStats, OiRaidStore, ScrubReport, StoreError, StoreTelemetry};
+pub use store::{
+    BatchStats, CheckpointPolicy, OiRaidStore, ScrubReport, StoreError, StoreTelemetry,
+};

@@ -193,6 +193,31 @@ impl OnlineState {
         }
     }
 
+    /// A point-in-time copy of the window's state: `(target disks,
+    /// chunks already valid)`. `None` without an open window. This is what
+    /// a rebuild checkpoint serializes — it captures both rebuilder
+    /// writebacks *and* foreground writes that validated target chunks.
+    pub fn valid_snapshot(&self) -> Option<(BTreeSet<usize>, Vec<ChunkAddr>)> {
+        self.window().as_ref().map(|w| {
+            let mut valid: Vec<ChunkAddr> = w.valid.iter().copied().collect();
+            valid.sort_unstable();
+            (w.disks.clone(), valid)
+        })
+    }
+
+    /// Pre-marks `valid` chunks of an open window as already trustworthy —
+    /// the checkpoint-resume path. Chunks outside the window's disks are
+    /// ignored.
+    pub fn restore_valid(&self, valid: impl IntoIterator<Item = ChunkAddr>) {
+        if let Some(w) = self.window().as_mut() {
+            for addr in valid {
+                if w.disks.contains(&addr.disk) {
+                    w.valid.insert(addr);
+                }
+            }
+        }
+    }
+
     /// Adds a freshly failed disk to the window (mid-rebuild escalation):
     /// everything on it is garbage again. Call *before* healing it.
     pub fn escalate(&self, disk: usize) {

@@ -52,19 +52,20 @@ use std::time::{Duration, Instant};
 use gf::kernels::xor_acc;
 
 use blockdev::{
-    write_chunk_retrying, BlockDevice, CounterSnapshot, DeviceError, RetryCounters, RetryReader,
-    RetryStats,
+    crash_point, write_chunk_retrying, BlockDevice, CounterSnapshot, DeviceError, RetryCounters,
+    RetryReader, RetryStats,
 };
 use ecc::ErasureCode;
 use layout::{ChunkAddr, Layout, RecoveryPlan, SparePolicy};
 use telemetry::{HistogramSnapshot, Span};
 
 use crate::bufpool::BufPool;
+use crate::checkpoint::RebuildCheckpoint;
 use crate::geometry::Geometry;
 use crate::observe::{RebuildObserver, StageSummary};
 use crate::online::Region;
 use crate::recovery::single_failure_plan;
-use crate::store::{OiRaidStore, StoreError};
+use crate::store::{CheckpointPolicy, OiRaidStore, StoreError};
 use crate::RecoveryStrategy;
 
 /// How the rebuild engine executes a recovery plan.
@@ -856,7 +857,86 @@ impl<B: BlockDevice> OiRaidStore<B> {
         strategy: RecoveryStrategy,
         obs: &RebuildObserver,
     ) -> Result<RebuildReport, StoreError> {
-        let initially_failed = self.failed_disks();
+        self.rebuild_inner(mode, strategy, obs, None)
+    }
+
+    /// Resumes a crashed rebuild from the store's checkpoint (see
+    /// [`crate::RebuildCheckpoint`] and
+    /// [`OiRaidStore::set_checkpoint_policy`]): chunks the checkpoint
+    /// records as already restored are pre-marked valid, the progress
+    /// gauge starts pre-credited (never "0% again" after a restart), and
+    /// recovery is planned only for what is still missing — a resumed
+    /// rebuild reads strictly fewer source chunks than a from-scratch one.
+    ///
+    /// Degrades, never aborts: with no checkpoint policy, a missing /
+    /// corrupt / truncated checkpoint file, or a checkpoint that does not
+    /// cover the currently-failed disks (it is stale), this falls back to
+    /// a full [`OiRaidStore::rebuild_observed`].
+    ///
+    /// Failure state decides what the checkpoint is worth per disk. A
+    /// *healthy* target disk survived as a device (the process crashed,
+    /// the platter did not): its checkpointed chunks are trusted and
+    /// skipped. A *currently-failed* target disk is a real (re)failure —
+    /// healing replaces it with a blank device (see
+    /// [`blockdev::FileDevice`]'s heal semantics) — so its checkpointed
+    /// chunks are discarded and the whole disk is rebuilt. Do **not**
+    /// re-fail an intact mid-rebuild disk before resuming; re-fail only
+    /// disks that are genuinely dead (see [`OiRaidStore::open_durable`]).
+    ///
+    /// The returned report's `chunks_rebuilt` counts every chunk that is
+    /// valid when the rebuild finishes, including the checkpointed ones —
+    /// compare device read counters, not the report, to measure the work
+    /// saved by resuming.
+    ///
+    /// # Errors
+    ///
+    /// As for [`OiRaidStore::rebuild`].
+    pub fn resume_rebuild(
+        &self,
+        mode: RebuildMode,
+        strategy: RecoveryStrategy,
+        obs: &RebuildObserver,
+    ) -> Result<RebuildReport, StoreError> {
+        let Some(policy) = self.checkpoint_policy() else {
+            return self.rebuild_inner(mode, strategy, obs, None);
+        };
+        let Some(mut ckpt) = RebuildCheckpoint::load(&policy.path) else {
+            return self.rebuild_inner(mode, strategy, obs, None);
+        };
+        let disks = self.array().disks();
+        let chunks_per_disk = self.array().chunks_per_disk();
+        let failed = self.failed_disks();
+        let usable = !ckpt.targets.is_empty()
+            && ckpt.targets.iter().all(|&d| d < disks)
+            && ckpt
+                .valid
+                .iter()
+                .all(|a| ckpt.targets.contains(&a.disk) && a.offset < chunks_per_disk)
+            && failed.iter().all(|d| ckpt.targets.contains(d));
+        if !usable {
+            // A checkpoint that fails sanity (geometry drift, or a disk
+            // failed that it knows nothing about) is stale: discard it and
+            // rebuild everything that is down from scratch.
+            RebuildCheckpoint::remove(&policy.path);
+            return self.rebuild_inner(mode, strategy, obs, None);
+        }
+        // A currently-failed target is a real (re)failure: healing swaps in
+        // a blank device, so whatever the checkpoint restored there is gone.
+        ckpt.valid.retain(|a| !failed.contains(&a.disk));
+        self.rebuild_inner(mode, strategy, obs, Some(ckpt))
+    }
+
+    fn rebuild_inner(
+        &self,
+        mode: RebuildMode,
+        strategy: RecoveryStrategy,
+        obs: &RebuildObserver,
+        resume: Option<RebuildCheckpoint>,
+    ) -> Result<RebuildReport, StoreError> {
+        let initially_failed = match &resume {
+            Some(ckpt) => ckpt.targets.iter().copied().collect(),
+            None => self.failed_disks(),
+        };
         let before: Vec<CounterSnapshot> = self.devices().iter().map(|d| d.counters()).collect();
         if initially_failed.is_empty() {
             return Ok(RebuildReport {
@@ -898,21 +978,54 @@ impl<B: BlockDevice> OiRaidStore<B> {
                 initially_failed.first().map_or(0, |&d| d as u64),
             );
         }
+        let chunks_per_disk = self.array().chunks_per_disk();
+        let mut lost: BTreeSet<ChunkAddr> = initially_failed
+            .iter()
+            .flat_map(|&d| (0..chunks_per_disk).map(move |o| ChunkAddr::new(d, o)))
+            .collect();
+        let mut rebuilt: BTreeSet<ChunkAddr> = match &resume {
+            Some(ckpt) => ckpt
+                .valid
+                .iter()
+                .copied()
+                .filter(|a| lost.contains(a))
+                .collect(),
+            None => BTreeSet::new(),
+        };
         let mut plan = {
             let _s = root.child("plan");
-            if initially_failed.len() == 1 {
+            if resume.is_some() {
+                // Resume: only what the checkpoint does not cover needs
+                // recovery — chunk-granular, same planner reroutes use.
+                let missing: BTreeSet<ChunkAddr> = lost.difference(&rebuilt).copied().collect();
+                self.array()
+                    .chunk_recovery_plan(&missing)
+                    .map_err(|_| StoreError::DataLoss)?
+            } else if initially_failed.len() == 1 {
                 single_failure_plan(
                     self.array(),
                     initially_failed[0],
                     SparePolicy::Distributed,
                     strategy,
                 )
+                .map_err(|_| StoreError::DataLoss)?
             } else {
                 Layout::recovery_plan(self.array(), &initially_failed, SparePolicy::Distributed)
+                    .map_err(|_| StoreError::DataLoss)?
             }
-            .map_err(|_| StoreError::DataLoss)?
         };
-        obs.progress.begin(plan.items().len() as u64);
+        match &resume {
+            Some(_) => {
+                obs.progress
+                    .begin_resumed(lost.len() as u64, rebuilt.len() as u64);
+                telemetry::flight_event(
+                    telemetry::EventKind::CheckpointResume,
+                    rebuilt.len() as u64,
+                    lost.len() as u64,
+                );
+            }
+            None => obs.progress.begin(plan.items().len() as u64),
+        }
 
         {
             let _s = root.child("heal");
@@ -920,6 +1033,11 @@ impl<B: BlockDevice> OiRaidStore<B> {
             // answers reads again, its not-yet-rebuilt chunks must already
             // read as missing to concurrent foreground I/O.
             self.online().begin(initially_failed.iter().copied());
+            if let Some(ckpt) = &resume {
+                // Checkpointed chunks hold trustworthy bytes: readable the
+                // moment the devices heal, and excluded from re-recovery.
+                self.online().restore_valid(ckpt.valid.iter().copied());
+            }
             for &d in &initially_failed {
                 if let Err(error) = self.devices()[d].heal() {
                     for &t in &initially_failed {
@@ -933,7 +1051,6 @@ impl<B: BlockDevice> OiRaidStore<B> {
         let qos_before = self.qos().counters();
         let start = Instant::now();
         let chunk_size = self.chunk_size();
-        let chunks_per_disk = self.array().chunks_per_disk();
         let tolerance = self.array().fault_tolerance() as u64;
         let policy = self.retry_policy();
         // A generous hard ceiling on rounds: each round must either rebuild
@@ -947,11 +1064,6 @@ impl<B: BlockDevice> OiRaidStore<B> {
         // `repaired` marks avoided chunks whose re-derived value was
         // rewritten in place (readable again unless they fail anew).
         let mut target_disks = initially_failed.clone();
-        let mut lost: BTreeSet<ChunkAddr> = initially_failed
-            .iter()
-            .flat_map(|&d| (0..chunks_per_disk).map(move |o| ChunkAddr::new(d, o)))
-            .collect();
-        let mut rebuilt: BTreeSet<ChunkAddr> = BTreeSet::new();
         let mut avoid: BTreeSet<ChunkAddr> = BTreeSet::new();
         let mut repaired: BTreeSet<ChunkAddr> = BTreeSet::new();
 
@@ -965,6 +1077,12 @@ impl<B: BlockDevice> OiRaidStore<B> {
         let mut sched_stats = sched::SchedStats::default();
         let mut stall = 0u32;
         let mut aborted: Option<Vec<usize>> = None;
+        // Checkpoint cadence: every `interval` credited chunks (and at each
+        // round boundary) the window's valid set is persisted so a crashed
+        // process resumes instead of restarting.
+        let ckpt_policy = self.checkpoint_policy();
+        let ckpt_interval = ckpt_policy.as_ref().map_or(u64::MAX, |p| p.interval.max(1));
+        let mut credits_since_ckpt = 0u64;
 
         loop {
             rounds += 1;
@@ -1042,6 +1160,13 @@ impl<B: BlockDevice> OiRaidStore<B> {
                     if fresh {
                         obs.progress.chunk_written(chunk_size as u64);
                         progressed = true;
+                        credits_since_ckpt += 1;
+                        if credits_since_ckpt >= ckpt_interval {
+                            credits_since_ckpt = 0;
+                            if let Some(p) = ckpt_policy.as_ref() {
+                                self.save_checkpoint_now(p);
+                            }
+                        }
                     }
                 };
                 if let Some(w) = out.writes {
@@ -1091,6 +1216,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
                         match wrote {
                             Ok(()) => {
                                 obs.stages.writeback.record_duration(began.elapsed());
+                                crash_point("rebuild_writeback");
                                 credit(addr);
                             }
                             Err(e) if e.is_transient() => {
@@ -1195,6 +1321,12 @@ impl<B: BlockDevice> OiRaidStore<B> {
                 aborted = Some(target_disks.clone());
                 break;
             }
+            if let Some(p) = ckpt_policy.as_ref() {
+                // Round boundary: persist the position before re-planning,
+                // so a crash anywhere in the next round resumes from here.
+                credits_since_ckpt = 0;
+                self.save_checkpoint_now(p);
+            }
             plan = {
                 let _s = root.child("plan");
                 match self.array().chunk_recovery_plan(&missing) {
@@ -1239,6 +1371,11 @@ impl<B: BlockDevice> OiRaidStore<B> {
                 }
             }
         };
+        if let Some(p) = ckpt_policy.as_ref() {
+            // Complete or aborted, the recorded position is obsolete — a
+            // leftover checkpoint must not hijack the next rebuild.
+            RebuildCheckpoint::remove(&p.path);
+        }
         // Close the window only after an abort has re-failed the targets:
         // their half-written contents must never become readable.
         self.online().end();
@@ -1279,6 +1416,16 @@ impl<B: BlockDevice> OiRaidStore<B> {
             queue_depth: obs.stages.queue_depth.snapshot(),
             sched: sched_stats,
         })
+    }
+
+    /// Best-effort snapshot of the rebuild position (window targets + valid
+    /// chunks) to the policy's checkpoint path. Failures are swallowed: a
+    /// checkpoint is an optimization; the journal and the parity math own
+    /// correctness.
+    fn save_checkpoint_now(&self, policy: &CheckpointPolicy) {
+        if let Some((targets, valid)) = self.online().valid_snapshot() {
+            let _ = RebuildCheckpoint { targets, valid }.save(&policy.path);
+        }
     }
 
     /// The conservative dirty-dependency footprint of every plan item: the
@@ -1709,6 +1856,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
                         match wrote {
                             Ok(()) => {
                                 obs.stages.writeback.record_duration(began.elapsed());
+                                crash_point("rebuild_writeback");
                                 lock(&written).push(addr);
                             }
                             Err(e) if e.is_transient() => {

@@ -29,8 +29,8 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use blockdev::{
-    write_chunk_retrying, BlockDevice, DeviceError, FileDevice, MemDevice, RetryCounters,
-    RetryPolicy, RetryReader, RetryStats,
+    crash_point, write_chunk_retrying, BlockDevice, DeviceError, FileDevice, Journal, MemDevice,
+    MemberWrite, RetryCounters, RetryPolicy, RetryReader, RetryStats,
 };
 use ecc::{ErasureCode, Raid6, XorParity};
 use gf::Gf256;
@@ -88,6 +88,14 @@ pub enum StoreError {
         /// The underlying layout error.
         error: LayoutError,
     },
+    /// The write-ahead journal failed (append, flush, or truncate) — the
+    /// update was not made durable and no member was written.
+    Journal {
+        /// The underlying I/O error kind.
+        kind: std::io::ErrorKind,
+        /// Human-readable description.
+        message: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -104,6 +112,7 @@ impl fmt::Display for StoreError {
             Self::DataLoss => write!(f, "failure pattern is unrecoverable"),
             Self::Device { disk, error } => write!(f, "device {disk}: {error}"),
             Self::Layout { error } => write!(f, "layout: {error}"),
+            Self::Journal { message, .. } => write!(f, "journal: {message}"),
         }
     }
 }
@@ -300,12 +309,36 @@ pub struct BatchStats {
 
 /// Upper bound on chunks per batched-write commit group: caps the region
 /// lock footprint and in-flight scratch while still amortizing parity
-/// read-modify-writes across the group.
+/// read-modify-writes across the group. A journal-attached store widens
+/// this to the whole batch so one coalesced volume wave costs exactly one
+/// journal flush (see [`OiRaidStore::write_bytes_batch`]).
 const MAX_WRITE_GROUP: usize = 32;
+
+fn journal_err(e: std::io::Error) -> StoreError {
+    StoreError::Journal {
+        kind: e.kind(),
+        message: e.to_string(),
+    }
+}
+
+/// Chunk credits between mid-round rebuild checkpoints
+/// (`OI_RAID_CKPT_INTERVAL`, default 128).
+fn ckpt_interval_from_env() -> u64 {
+    std::env::var("OI_RAID_CKPT_INTERVAL")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(128)
+}
 
 /// One touched chunk in a batched write: its data index and the
 /// `(offset-within-chunk, bytes)` patches targeting it, in submission order.
 type ChunkPatches<'a> = (usize, Vec<(usize, &'a [u8])>);
+
+/// One member's computed new value awaiting commit: `(address, absolute
+/// new bytes, is-data-chunk)` — data chunks become window-valid at commit,
+/// parity chunks do not.
+type MemberNew = (ChunkAddr, Vec<u8>, bool);
 
 /// An OI-RAID array storing real bytes on pluggable block devices.
 ///
@@ -352,6 +385,35 @@ pub struct OiRaidStore<B: BlockDevice = MemDevice> {
     dag_workers: AtomicUsize,
     /// Recycled chunk-sized scratch buffers for the RMW delta/parity legs.
     pool: BufPool,
+    /// Write-ahead parity journal: when attached, every multi-member
+    /// update logs its absolute member new-values as one intent record and
+    /// group-commits it before any device write (see `commit_members`).
+    durable: Option<Arc<DurableState>>,
+    /// Rebuild checkpoint policy: when set, the rebuild engine serializes
+    /// its valid-set every `interval` chunk credits (and each round) so a
+    /// restarted process can resume instead of starting over.
+    ckpt: Mutex<Option<CheckpointPolicy>>,
+}
+
+/// Journal handle plus the recovery counters from the open that created it.
+#[derive(Debug)]
+struct DurableState {
+    journal: Journal,
+    /// Intents redone at `open_durable` (0 for a fresh store).
+    replayed: AtomicU64,
+    /// Torn journal tails truncated at `open_durable`.
+    rolled_back: AtomicU64,
+}
+
+/// Where and how often the rebuild engine checkpoints (see
+/// [`OiRaidStore::set_checkpoint_policy`]).
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Checkpoint file path (written atomically via temp + rename).
+    pub path: std::path::PathBuf,
+    /// Chunk credits between mid-round checkpoints; each round boundary
+    /// also checkpoints regardless.
+    pub interval: u64,
 }
 
 impl<B: BlockDevice + Clone> Clone for OiRaidStore<B> {
@@ -369,6 +431,8 @@ impl<B: BlockDevice + Clone> Clone for OiRaidStore<B> {
             qos: self.qos.clone(),
             dag_workers: AtomicUsize::new(self.dag_workers.load(Ordering::Relaxed)),
             pool: BufPool::new(self.chunk_size),
+            durable: self.durable.clone(),
+            ckpt: Mutex::new(self.ckpt.lock().expect("ckpt lock").clone()),
         }
     }
 }
@@ -400,6 +464,8 @@ impl OiRaidStore<MemDevice> {
             qos: QosState::new(QosConfig::from_env()),
             dag_workers: AtomicUsize::new(usize::MAX),
             pool: BufPool::new(chunk_size),
+            durable: None,
+            ckpt: Mutex::new(None),
         })
     }
 }
@@ -453,7 +519,126 @@ impl OiRaidStore<FileDevice> {
             qos: QosState::new(QosConfig::from_env()),
             dag_workers: AtomicUsize::new(usize::MAX),
             pool: BufPool::new(chunk_size),
+            durable: None,
+            ckpt: Mutex::new(None),
         })
+    }
+
+    /// Creates a *crash-consistent* file-backed store under `dir`: device
+    /// files as [`Self::create_in_dir`], plus a write-ahead parity journal
+    /// (`journal.log`) threaded through every multi-member update and a
+    /// rebuild checkpoint policy (`rebuild.ckpt`, interval from
+    /// `OI_RAID_CKPT_INTERVAL`, default 128 chunk credits).
+    ///
+    /// Use [`Self::open_durable`] to reopen the same directory after a
+    /// crash or clean shutdown.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::create_in_dir`], plus [`StoreError::Journal`] if the
+    /// journal file cannot be created.
+    pub fn create_durable(
+        cfg: OiRaidConfig,
+        chunk_size: usize,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self, StoreError> {
+        let dir = dir.as_ref();
+        let mut store = Self::create_in_dir(cfg, chunk_size, dir)?;
+        let journal = Journal::create(dir.join("journal.log")).map_err(journal_err)?;
+        store.durable = Some(Arc::new(DurableState {
+            journal,
+            replayed: AtomicU64::new(0),
+            rolled_back: AtomicU64::new(0),
+        }));
+        *store.ckpt.lock().expect("ckpt lock") = Some(CheckpointPolicy {
+            path: dir.join("rebuild.ckpt"),
+            interval: ckpt_interval_from_env(),
+        });
+        Ok(store)
+    }
+
+    /// Reopens a durable store created by [`Self::create_durable`] —
+    /// the crash-recovery path. Device files are opened *without*
+    /// truncation, the journal is scanned, committed-but-unapplied intents
+    /// are redone onto the devices (absolute values, so replay is
+    /// idempotent), torn tails are rolled back, and the journal is reset.
+    /// A [`telemetry::EventKind::JournalReplay`] flight event records the
+    /// counts; `oi_journal_replayed_total` / `oi_journal_rolled_back_total`
+    /// export them.
+    ///
+    /// All devices come back *healthy*: disk-failure state is not
+    /// persistent. Callers tracking failed disks across the crash must
+    /// re-fail the ones that are genuinely dead (healing later swaps in a
+    /// blank replacement) and may then [`Self::resume_rebuild`] from the
+    /// checkpoint. Do *not* re-fail a disk whose device file survived the
+    /// crash intact mid-rebuild — `resume_rebuild` reopens the rebuild
+    /// window from the checkpoint and keeps its restored chunks.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Device`] if any device file is missing or has the
+    /// wrong size, [`StoreError::Journal`] on journal I/O errors.
+    pub fn open_durable(
+        cfg: OiRaidConfig,
+        chunk_size: usize,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self, StoreError> {
+        if chunk_size == 0 {
+            return Err(StoreError::WrongChunkSize {
+                found: 0,
+                expected: 1,
+            });
+        }
+        let dir = dir.as_ref();
+        let array = OiRaid::new(cfg.clone()).expect("validated config constructs");
+        let devices = (0..array.disks())
+            .map(|d| {
+                FileDevice::open(
+                    dir.join(format!("disk-{d:03}.img")),
+                    chunk_size,
+                    array.chunks_per_disk(),
+                )
+                .map_err(|error| StoreError::Device { disk: d, error })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut store = Self::with_devices(cfg, chunk_size, devices)?;
+
+        let (journal, summary) = Journal::open(dir.join("journal.log")).map_err(journal_err)?;
+        let replayed = summary.redo.len() as u64;
+        for (_seq, writes) in &summary.redo {
+            for w in writes {
+                if w.data.len() != chunk_size {
+                    return Err(StoreError::Journal {
+                        kind: std::io::ErrorKind::InvalidData,
+                        message: format!(
+                            "intent member has {} bytes, store uses {chunk_size}",
+                            w.data.len()
+                        ),
+                    });
+                }
+                store.write_chunk(ChunkAddr::new(w.disk as usize, w.chunk as usize), &w.data)?;
+            }
+        }
+        // Only after every redo write landed may the log be dropped — a
+        // crash before this point simply replays again on the next open.
+        journal.reset().map_err(journal_err)?;
+        if replayed > 0 || summary.rolled_back > 0 {
+            telemetry::flight_event(
+                telemetry::EventKind::JournalReplay,
+                replayed,
+                summary.rolled_back,
+            );
+        }
+        store.durable = Some(Arc::new(DurableState {
+            journal,
+            replayed: AtomicU64::new(replayed),
+            rolled_back: AtomicU64::new(summary.rolled_back),
+        }));
+        *store.ckpt.lock().expect("ckpt lock") = Some(CheckpointPolicy {
+            path: dir.join("rebuild.ckpt"),
+            interval: ckpt_interval_from_env(),
+        });
+        Ok(store)
     }
 }
 
@@ -515,6 +700,8 @@ impl<B: BlockDevice> OiRaidStore<B> {
             qos: QosState::new(QosConfig::from_env()),
             dag_workers: AtomicUsize::new(usize::MAX),
             pool: BufPool::new(chunk_size),
+            durable: None,
+            ckpt: Mutex::new(None),
         })
     }
 
@@ -692,43 +879,6 @@ impl<B: BlockDevice> OiRaidStore<B> {
         }
     }
 
-    /// Applies the inner-parity deltas for an update of `delta` at payload
-    /// chunk `addr` (P gets `Δ`; the RAID6 Q gets `2^pos · Δ`, matching
-    /// [`Raid6::encode`]'s generator). Parity chunks that are currently
-    /// unavailable (failed disk, un-rebuilt window chunk) are skipped —
-    /// their implied value tracks the update through the surviving
-    /// relations and the rebuilder re-derives them at the new state.
-    fn patch_row_parities(&self, addr: ChunkAddr, delta: &[u8]) -> Result<(), StoreError> {
-        let geo = self.array.geometry();
-        let group = geo.group_of(addr.disk);
-        let row = addr.offset;
-        let pos = geo
-            .row_payload(group, row)
-            .iter()
-            .position(|a| *a == addr)
-            .expect("payload chunk is in its row");
-        let parities = geo.inner_parities_of_row(group, row);
-        for (role, paddr) in parities.into_iter().enumerate() {
-            if !self.chunk_available(paddr) {
-                continue;
-            }
-            match role {
-                0 => self.xor_into(paddr, delta)?,
-                1 => {
-                    let w = Raid6::generator_weight(pos);
-                    // `mul_slice` writes every byte, so dirty scratch is fine.
-                    let mut scaled = self.pool.take_dirty();
-                    Gf256::get().mul_slice(w, delta, &mut scaled);
-                    let done = self.xor_into(paddr, &scaled);
-                    self.pool.put(scaled);
-                    done?;
-                }
-                _ => unreachable!("at most two inner parities"),
-            }
-        }
-        Ok(())
-    }
-
     /// Writes one chunk, retrying transient device faults under the store
     /// policy so a flaky sector does not abort a multi-chunk parity update
     /// half-way through.
@@ -872,6 +1022,15 @@ impl<B: BlockDevice> OiRaidStore<B> {
     /// The locked body of [`Self::write_data`]: applies `data` over the
     /// already-read `old` value at `addr`. Callers hold either the region
     /// guards covering `addr` and `outer` or the exclusive update lock.
+    ///
+    /// Compute-then-commit: every member's absolute new value is derived
+    /// *before* any device is touched (outer parity absorbs Δ directly,
+    /// each affected row's inner parities the code-weighted Δ; unavailable
+    /// members are skipped — their implied values track the update through
+    /// the surviving relations), then the whole set commits through
+    /// [`Self::commit_members`] — journaled as one intent record when a
+    /// journal is attached. Same reads and writes per device as patching
+    /// members one at a time; only the ordering moves.
     fn apply_write(
         &self,
         addr: ChunkAddr,
@@ -883,27 +1042,90 @@ impl<B: BlockDevice> OiRaidStore<B> {
         for ((d, o), n) in delta.iter_mut().zip(old).zip(data) {
             *d = o ^ n;
         }
+        let mut parity: BTreeMap<ChunkAddr, Vec<u8>> = BTreeMap::new();
+        Self::acc_parity(&mut parity, &self.pool, outer, &delta, 1);
+        self.acc_row_parities(&mut parity, addr, &delta);
+        self.acc_row_parities(&mut parity, outer, &delta);
+        self.pool.put(delta);
+        let mut news: Vec<MemberNew> = Vec::with_capacity(1 + parity.len());
         // Data chunk: we hold the full new value, so any writable device
         // takes it — including a mid-rebuild disk, whose chunk becomes
-        // valid right here.
+        // valid at commit.
         if !self.disk_down(addr.disk) {
-            self.write_chunk(addr, data)?;
-            self.online.mark_valid(addr);
+            let mut buf = self.pool.take_dirty();
+            buf.copy_from_slice(data);
+            news.push((addr, buf, true));
         }
-        // Outer parity absorbs Δ directly; each affected row's inner
-        // parities absorb the code-weighted Δ. Unavailable members are
-        // skipped (see above).
-        if self.chunk_available(outer) {
-            self.xor_into(outer, &delta)?;
+        self.resolve_parity_news(parity, &mut news)?;
+        self.commit_members(&news)?;
+        for (_, buf, _) in news {
+            self.pool.put(buf);
         }
-        self.patch_row_parities(addr, &delta)?;
-        self.patch_row_parities(outer, &delta)?;
-        self.pool.put(delta);
         // Tell an in-flight rebuild that these relations changed under it:
         // reconstructions read from them this round are stale.
         let mut regions = self.regions_for(addr);
         regions.extend(self.regions_for(outer));
         self.online.mark_dirty(regions);
+        Ok(())
+    }
+
+    /// Converts accumulated parity deltas into absolute member new values:
+    /// one read per available parity member, XORed with its delta.
+    /// Unavailable members are skipped exactly as the one-at-a-time path
+    /// skipped them.
+    fn resolve_parity_news(
+        &self,
+        parity: BTreeMap<ChunkAddr, Vec<u8>>,
+        news: &mut Vec<MemberNew>,
+    ) -> Result<(), StoreError> {
+        for (paddr, pdelta) in parity {
+            if self.chunk_available(paddr) {
+                if let Some(mut bytes) = self.chunk_pooled(paddr)? {
+                    gf::kernels::xor_acc(&mut bytes, &pdelta);
+                    news.push((paddr, bytes, false));
+                }
+            }
+            self.pool.put(pdelta);
+        }
+        Ok(())
+    }
+
+    /// Commits one update's member new-values crash-consistently:
+    /// journal intent (absolute bytes) → group-commit flush → member
+    /// writes → applied marker. The journal flush is the commit point:
+    /// after it, a crash anywhere leaves the update redoable from the log;
+    /// before it, no member has been touched, so the update atomically
+    /// never happened. Redo uses absolute values, so replaying an update
+    /// whose members were partially (or fully) written is idempotent.
+    /// Without a journal attached this is just the member writes.
+    fn commit_members(&self, news: &[MemberNew]) -> Result<(), StoreError> {
+        let seq = match &self.durable {
+            Some(d) => {
+                let writes: Vec<MemberWrite> = news
+                    .iter()
+                    .map(|(a, bytes, _)| MemberWrite {
+                        disk: a.disk as u32,
+                        chunk: a.offset as u32,
+                        data: bytes.clone(),
+                    })
+                    .collect();
+                let seq = d.journal.append_intent(&writes).map_err(journal_err)?;
+                d.journal.commit(seq).map_err(journal_err)?;
+                Some(seq)
+            }
+            None => None,
+        };
+        for (maddr, bytes, is_data) in news {
+            self.write_chunk(*maddr, bytes)?;
+            crash_point("member_write");
+            if *is_data {
+                self.online.mark_valid(*maddr);
+            }
+        }
+        if let Some(seq) = seq {
+            let d = self.durable.as_ref().expect("journaled above");
+            d.journal.mark_applied(seq).map_err(journal_err)?;
+        }
         Ok(())
     }
 
@@ -1044,6 +1266,41 @@ impl<B: BlockDevice> OiRaidStore<B> {
         &self.telem
     }
 
+    /// The attached write-ahead journal, if this store is durable.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.durable.as_deref().map(|d| &d.journal)
+    }
+
+    /// Attaches `journal` to an existing store: every subsequent
+    /// multi-member update runs through the write-ahead intent path
+    /// exactly as on a [`Self::create_durable`] store. This is the hook
+    /// for journaling device stacks the durable constructors cannot
+    /// build — e.g. fault-injected file devices in benchmarks or tests.
+    ///
+    /// Crash *recovery* stays the caller's problem: replay on reopen only
+    /// happens through [`Self::open_durable`], so attach a journal over
+    /// non-persistent devices only to measure the journaling cost, not to
+    /// survive anything.
+    pub fn attach_journal(&mut self, journal: Journal) {
+        self.durable = Some(Arc::new(DurableState {
+            journal,
+            replayed: AtomicU64::new(0),
+            rolled_back: AtomicU64::new(0),
+        }));
+    }
+
+    /// Replaces the rebuild checkpoint policy (`None` disables
+    /// checkpointing). [`OiRaidStore::create_durable`] /
+    /// [`OiRaidStore::open_durable`] install one automatically.
+    pub fn set_checkpoint_policy(&self, policy: Option<CheckpointPolicy>) {
+        *self.ckpt.lock().expect("ckpt lock") = policy;
+    }
+
+    /// The current rebuild checkpoint policy.
+    pub fn checkpoint_policy(&self) -> Option<CheckpointPolicy> {
+        self.ckpt.lock().expect("ckpt lock").clone()
+    }
+
     /// Registers this store's observable state with a metric registry:
     /// per-device I/O counters (mirrored from the current
     /// [`BlockDevice::counters`] snapshots — call again to refresh),
@@ -1165,6 +1422,60 @@ impl<B: BlockDevice> OiRaidStore<B> {
             "End-to-end foreground write latency in nanoseconds",
             &[],
             self.telem.foreground_write_latency(),
+        );
+        // Journal series export even without a journal attached (as zeros
+        // / an empty histogram), so dashboards and the metrics lint see a
+        // stable universe across durable and in-memory stores.
+        let (appends, flushes, resets, replayed, rolled_back) = match &self.durable {
+            Some(d) => {
+                let s = d.journal.stats();
+                (
+                    s.appends.load(Ordering::Relaxed),
+                    s.flushes.load(Ordering::Relaxed),
+                    s.resets.load(Ordering::Relaxed),
+                    d.replayed.load(Ordering::Relaxed),
+                    d.rolled_back.load(Ordering::Relaxed),
+                )
+            }
+            None => (0, 0, 0, 0, 0),
+        };
+        for (name, help, value) in [
+            (
+                "oi_journal_appends_total",
+                "Intent records appended to the write-ahead parity journal",
+                appends,
+            ),
+            (
+                "oi_journal_flushes_total",
+                "Group-commit flushes of the write-ahead parity journal",
+                flushes,
+            ),
+            (
+                "oi_journal_resets_total",
+                "Times the journal truncated back to empty (no outstanding intents)",
+                resets,
+            ),
+            (
+                "oi_journal_replayed_total",
+                "Committed-but-unapplied intents redone during crash recovery",
+                replayed,
+            ),
+            (
+                "oi_journal_rolled_back_total",
+                "Torn journal tails rolled back during crash recovery",
+                rolled_back,
+            ),
+        ] {
+            reg.counter(name, help, &[]).set(value);
+        }
+        reg.register_histogram(
+            "oi_journal_batch_records",
+            "Intent records covered per journal group-commit flush",
+            &[],
+            match &self.durable {
+                Some(d) => Arc::clone(&d.journal.stats().batch),
+                None => Arc::new(Histogram::new()),
+            },
         );
     }
 
@@ -1514,9 +1825,17 @@ impl<B: BlockDevice> OiRaidStore<B> {
             chunks: patches.len(),
         };
         // Commit in bounded groups so the lock footprint and in-flight
-        // scratch stay small while parity updates still amortize.
+        // scratch stay small while parity updates still amortize. A
+        // journal-attached store commits the whole wave as ONE group —
+        // one intent record and one group-commit flush per submission —
+        // because per-update flushes would dominate the batch.
         let grouped: Vec<ChunkPatches<'_>> = patches.into_iter().collect();
-        for group in grouped.chunks(MAX_WRITE_GROUP) {
+        let group_cap = if self.durable.is_some() {
+            grouped.len()
+        } else {
+            MAX_WRITE_GROUP
+        };
+        for group in grouped.chunks(group_cap) {
             self.write_group(group)?;
         }
         self.telem.record_batch_write(stats);
@@ -1619,6 +1938,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
         regions: &[Region],
     ) -> Result<(), StoreError> {
         let mut parity: BTreeMap<ChunkAddr, Vec<u8>> = BTreeMap::new();
+        let mut news: Vec<MemberNew> = Vec::with_capacity(group.len());
         for (((_, chunk_patches), (addr, outer, _)), old) in group.iter().zip(items).zip(olds) {
             // New value = old overlaid with this chunk's patches in
             // submission order.
@@ -1631,13 +1951,6 @@ impl<B: BlockDevice> OiRaidStore<B> {
             for ((d, o), n) in delta.iter_mut().zip(old).zip(&new) {
                 *d = o ^ n;
             }
-            // Data chunk: any writable device takes the full new value —
-            // including a mid-rebuild disk, whose chunk becomes valid here.
-            if !self.disk_down(addr.disk) {
-                self.write_chunk(*addr, &new)?;
-                self.online.mark_valid(*addr);
-            }
-            self.pool.put(new);
             // Outer parity absorbs Δ directly; each affected row's inner
             // parities absorb the code-weighted Δ — all into the group
             // accumulator rather than the devices.
@@ -1645,24 +1958,33 @@ impl<B: BlockDevice> OiRaidStore<B> {
             self.acc_row_parities(&mut parity, *addr, &delta);
             self.acc_row_parities(&mut parity, *outer, &delta);
             self.pool.put(delta);
-        }
-        // Apply each accumulated delta once. Unavailable members are
-        // skipped exactly as in `apply_write`: their implied values track
-        // the update through the surviving relations.
-        for (paddr, delta) in parity {
-            if self.chunk_available(paddr) {
-                self.xor_into(paddr, &delta)?;
+            // Data chunk: any writable device takes the full new value at
+            // commit — including a mid-rebuild disk, whose chunk becomes
+            // valid there.
+            if !self.disk_down(addr.disk) {
+                news.push((*addr, new, true));
+            } else {
+                self.pool.put(new);
             }
-            self.pool.put(delta);
+        }
+        // Each accumulated parity delta resolves to one absolute new value
+        // (one read-modify per touched parity chunk, not one per member);
+        // the whole group then commits as a single journal intent — one
+        // record, one flush, however many chunks the wave coalesced.
+        self.resolve_parity_news(parity, &mut news)?;
+        self.commit_members(&news)?;
+        for (_, buf, _) in news {
+            self.pool.put(buf);
         }
         self.online.mark_dirty(regions.to_vec());
         Ok(())
     }
 
     /// Accumulates the inner-parity deltas for an update of `delta` at
-    /// payload chunk `addr` into the group's parity accumulator — the
-    /// batched counterpart of [`Self::patch_row_parities`] (P gets `Δ`, the
-    /// RAID6 Q gets `2^pos · Δ`).
+    /// payload chunk `addr` into the update's parity accumulator (P gets
+    /// `Δ`; the RAID6 Q gets `2^pos · Δ`, matching [`Raid6::encode`]'s
+    /// generator). Availability is checked when the accumulator resolves
+    /// to absolute values in [`Self::resolve_parity_news`].
     fn acc_row_parities(
         &self,
         parity: &mut BTreeMap<ChunkAddr, Vec<u8>>,

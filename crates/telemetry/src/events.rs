@@ -107,6 +107,10 @@ pub enum EventKind {
     Stall = 42,
     /// A latent sector error was repaired in passing (`a` = disk, `b` = chunk).
     LatentRepair = 43,
+    /// Journal recovery replayed intents on open (`a` = redone, `b` = rolled back).
+    JournalReplay = 44,
+    /// A rebuild resumed from a checkpoint (`a` = chunks already valid, `b` = total).
+    CheckpointResume = 45,
 }
 
 impl EventKind {
@@ -138,6 +142,8 @@ impl EventKind {
             Self::Abort => "abort",
             Self::Stall => "stall",
             Self::LatentRepair => "latent_repair",
+            Self::JournalReplay => "journal_replay",
+            Self::CheckpointResume => "checkpoint_resume",
         }
     }
 
@@ -168,6 +174,8 @@ impl EventKind {
             41 => Self::Abort,
             42 => Self::Stall,
             43 => Self::LatentRepair,
+            44 => Self::JournalReplay,
+            45 => Self::CheckpointResume,
             _ => return None,
         })
     }

@@ -23,6 +23,7 @@ pub struct Progress {
     total_chunks: AtomicU64,
     chunks_combined: AtomicU64,
     chunks_written: AtomicU64,
+    resumed_chunks: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
     finished: AtomicBool,
@@ -38,8 +39,19 @@ impl Progress {
     /// Starts (or restarts) a job of `total_chunks` chunks, resetting all
     /// counters and the clock.
     pub fn begin(&self, total_chunks: u64) {
-        self.chunks_combined.store(0, Ordering::Relaxed);
-        self.chunks_written.store(0, Ordering::Relaxed);
+        self.begin_resumed(total_chunks, 0);
+    }
+
+    /// Starts a job of `total_chunks` chunks of which `resumed` were
+    /// already completed by an earlier run (a checkpoint-resumed rebuild).
+    /// The resumed chunks are pre-credited through both gates, so the
+    /// fraction starts at `resumed / total_chunks` instead of restarting
+    /// from zero; rate and ETA count only this run's work.
+    pub fn begin_resumed(&self, total_chunks: u64, resumed: u64) {
+        let resumed = resumed.min(total_chunks);
+        self.chunks_combined.store(resumed, Ordering::Relaxed);
+        self.chunks_written.store(resumed, Ordering::Relaxed);
+        self.resumed_chunks.store(resumed, Ordering::Relaxed);
         self.bytes_read.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
         self.finished.store(false, Ordering::Relaxed);
@@ -94,6 +106,7 @@ impl Progress {
         let total = self.total_chunks.load(Ordering::Relaxed);
         let combined = self.chunks_combined.load(Ordering::Relaxed);
         let written = self.chunks_written.load(Ordering::Relaxed);
+        let resumed = self.resumed_chunks.load(Ordering::Relaxed);
         let bytes_read = self.bytes_read.load(Ordering::Relaxed);
         let bytes_written = self.bytes_written.load(Ordering::Relaxed);
         let finished = self.finished.load(Ordering::Relaxed);
@@ -119,6 +132,7 @@ impl Progress {
             total_chunks: total,
             chunks_combined: combined,
             chunks_written: written,
+            resumed_chunks: resumed,
             bytes_read,
             bytes_written,
             elapsed,
@@ -139,6 +153,9 @@ pub struct ProgressSnapshot {
     pub chunks_combined: u64,
     /// Chunks written back so far.
     pub chunks_written: u64,
+    /// Chunks pre-credited from a checkpoint at [`Progress::begin_resumed`]
+    /// (0 for a from-scratch job); included in the combined/written counts.
+    pub resumed_chunks: u64,
     /// Bytes read from surviving devices so far.
     pub bytes_read: u64,
     /// Bytes written back so far.
@@ -168,6 +185,9 @@ impl std::fmt::Display for ProgressSnapshot {
             self.rate_mib_s,
             self.elapsed,
         )?;
+        if self.resumed_chunks > 0 {
+            write!(f, " (resumed past {} chunks)", self.resumed_chunks)?;
+        }
         if let Some(eta) = self.eta {
             write!(f, " eta {eta:?}")?;
         }
@@ -235,6 +255,28 @@ mod tests {
         assert_eq!(s.fraction, 0.0);
         assert_eq!(s.bytes_written, 0);
         assert!(!s.finished);
+    }
+
+    #[test]
+    fn resumed_jobs_do_not_restart_from_zero() {
+        let p = Progress::new();
+        p.begin_resumed(8, 4);
+        let s = p.snapshot();
+        assert_eq!(s.resumed_chunks, 4);
+        assert!((s.fraction - 0.5).abs() < 1e-9, "starts at 50%: {s}");
+        p.chunk_combined();
+        p.chunk_written(64);
+        let s = p.snapshot();
+        assert!((s.fraction - 0.625).abs() < 1e-9, "{s}");
+        assert_eq!(s.bytes_written, 64, "bytes count only this run");
+        assert!(s.to_string().contains("resumed past 4"));
+        // A plain begin clears the resumed credit.
+        p.begin(8);
+        let s = p.snapshot();
+        assert_eq!((s.resumed_chunks, s.fraction), (0, 0.0));
+        // Over-crediting clamps to the total.
+        p.begin_resumed(4, 9);
+        assert_eq!(p.snapshot().fraction, 1.0);
     }
 
     #[test]

@@ -167,11 +167,12 @@ fn progress_json(progress: Option<&Progress>) -> String {
     let s = p.snapshot();
     format!(
         "{{\"attached\":true,\"total_chunks\":{},\"chunks_combined\":{},\"chunks_written\":{},\
-         \"bytes_read\":{},\"bytes_written\":{},\"elapsed_ns\":{},\"fraction\":{:.6},\
-         \"rate_mib_s\":{:.3},\"eta_ns\":{},\"finished\":{}}}",
+         \"resumed_chunks\":{},\"bytes_read\":{},\"bytes_written\":{},\"elapsed_ns\":{},\
+         \"fraction\":{:.6},\"rate_mib_s\":{:.3},\"eta_ns\":{},\"finished\":{}}}",
         s.total_chunks,
         s.chunks_combined,
         s.chunks_written,
+        s.resumed_chunks,
         s.bytes_read,
         s.bytes_written,
         s.elapsed.as_nanos(),

@@ -121,6 +121,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ""
         };
         println!("GET {path:<14} -> {status}  ({} bytes{note})", body.len());
+        if path == "/progress" {
+            // The live progress document carries the checkpoint-resume
+            // state: `resumed_chunks` is how many chunks a restarted
+            // rebuild was pre-credited from the on-disk checkpoint
+            // (0 here — this rebuild ran start to finish).
+            assert!(
+                body.contains("\"resumed_chunks\":"),
+                "/progress surfaces checkpoint-resume state: {body}"
+            );
+            println!("    progress body: {}", body.trim());
+        }
     }
 
     // Show a sampled trace tree straight off the ring.

@@ -5,7 +5,11 @@
 //! disk, and rebuilds it with the DAG scheduler while a second thread
 //! polls the [`Progress`] handle. Afterwards it prints the per-stage
 //! latency summaries, worker utilization, the scheduler series, and the
-//! metric registry in both exposition formats.
+//! metric registry in both exposition formats — then closes with a real
+//! crash: it re-execs itself against a durable (journaled) file-backed
+//! store, kills the child mid-rebuild at a [`blockdev`] crash point, and
+//! resumes from the on-disk checkpoint, showing `resumed_chunks` in the
+//! progress snapshot.
 //!
 //! Run with `cargo run --example stats`.
 
@@ -17,7 +21,21 @@ use oi_raid_repro::prelude::*;
 
 const CHUNK: usize = 4096;
 
+/// Child mode for the crash demo: open the durable store, fail a disk,
+/// and rebuild — the inherited `OI_CRASH_*` environment aborts the
+/// process partway through, leaving a checkpoint behind.
+fn crash_child(dir: &std::path::Path) -> Result<(), Box<dyn std::error::Error>> {
+    let store = OiRaidStore::open_durable(OiRaidConfig::reference(), CHUNK, dir)?;
+    store.fail_disk(4)?;
+    let obs = RebuildObserver::default();
+    store.resume_rebuild(RebuildMode::Serial, RecoveryStrategy::Hybrid, &obs)?;
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(dir) = std::env::var_os("OI_STATS_CRASH_DIR") {
+        return crash_child(std::path::Path::new(&dir));
+    }
     telemetry::set_enabled(true);
 
     // Latency-injected devices make the rebuild slow enough to watch.
@@ -123,6 +141,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cov = child_coverage(&recs, root.id);
     println!("stage-span coverage of the rebuild: {:.1}%", cov * 100.0);
     assert!(cov >= 0.95, "stage spans must cover the rebuild wall time");
+
+    // --- crash, checkpoint, resume -------------------------------------
+    // A durable file-backed store this time: re-exec ourselves as a child
+    // that fails a disk and rebuilds, with a crash point armed so the
+    // child aborts mid-rebuild. The checkpoint it left behind lets the
+    // resumed rebuild skip the chunks the crashed run already restored.
+    let dir = std::env::temp_dir().join(format!("oi-raid-stats-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let durable = OiRaidStore::create_durable(OiRaidConfig::reference(), CHUNK, &dir)?;
+    for idx in 0..durable.data_chunks() {
+        durable.write_data(idx, &vec![(idx % 250) as u8 + 1; CHUNK])?;
+    }
+    drop(durable);
+
+    let status = std::process::Command::new(std::env::current_exe()?)
+        .env("OI_STATS_CRASH_DIR", &dir)
+        .env("OI_CRASH_POINT", "rebuild_writeback")
+        .env("OI_CRASH_HITS", "6")
+        .env("OI_RAID_CKPT_INTERVAL", "1")
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()?;
+    assert!(!status.success(), "child must abort mid-rebuild");
+    println!("\n--- crash demo: child killed mid-rebuild ({status}) ---");
+
+    // The device files survived the process crash intact, so the disk is
+    // NOT re-failed here — the checkpoint reopens the rebuild window and
+    // keeps the chunks the crashed run already wrote.
+    let store = OiRaidStore::open_durable(OiRaidConfig::reference(), CHUNK, &dir)?;
+    let obs = RebuildObserver::default();
+    let report = store.resume_rebuild(RebuildMode::Serial, RecoveryStrategy::Hybrid, &obs)?;
+    let snap = obs.progress.snapshot();
+    println!("resumed:  {report}");
+    println!(
+        "progress: {snap}\n          resumed past {} of {} chunks — the same field a live \
+         scrape sees as \"resumed_chunks\" on /progress",
+        snap.resumed_chunks, snap.total_chunks
+    );
+    assert!(report.outcome.is_recovered(), "{report}");
+    assert!(
+        snap.resumed_chunks > 0,
+        "checkpoint must pre-credit restored chunks"
+    );
+    assert!(store.check_parity().is_empty(), "parity clean after resume");
+    std::fs::remove_dir_all(&dir)?;
 
     Ok(())
 }

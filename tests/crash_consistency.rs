@@ -1,0 +1,614 @@
+//! Kill-anywhere crash-consistency harness: spawns *subprocess* copies of
+//! this test binary with the `blockdev::crash_point` hooks armed, lets them
+//! die by `abort()` at randomized points inside journaled writes, degraded
+//! RMWs, rebuild writebacks, and checkpoint writes — then reopens the
+//! directory, replays the journal, and asserts convergence:
+//!
+//! * **Zero data loss** — every write acknowledged before the crash reads
+//!   back exactly; the at-most-partially-applied unacknowledged tail reads
+//!   as *either* its old or its new value per chunk (atomicity), never a
+//!   torn mix.
+//! * **Parity-clean** — `check_parity()` is empty after replay (plus a
+//!   rebuild when the cycle ran degraded with a failed disk).
+//!
+//! The model is a write-ahead log of the harness's own: each operation
+//! appends a synced `begin` line before issuing and a synced `ack` line
+//! after the store acknowledges, so the verifier knows exactly which
+//! patterns a chunk is allowed to hold no matter where the child died.
+//!
+//! Knobs: `OI_CRASH_CYCLES` (default 100) sizes the kill-anywhere sweep;
+//! `OI_CRASH_MATRIX=1` additionally runs the targeted point × hit grid.
+
+#![cfg(unix)]
+
+use std::collections::HashMap;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::os::unix::process::ExitStatusExt;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+use oi_raid_repro::prelude::*;
+
+const CHUNK: usize = 256;
+/// Distinct payload chunks the workload cycles over (overlap pressure).
+const SPAN: usize = 24;
+/// Linux SIGABRT — how `std::process::abort()` exits.
+const SIGABRT: i32 = 6;
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The deterministic chunk pattern for a model seed; seed 0 is the initial
+/// all-zeros state.
+fn fill(seed: u64, len: usize) -> Vec<u8> {
+    if seed == 0 {
+        return vec![0; len];
+    }
+    (0..len)
+        .map(|i| (splitmix(seed ^ i as u64) & 0xFF) as u8)
+        .collect()
+}
+
+fn unique_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static UNIQUE: AtomicU64 = AtomicU64::new(0);
+    let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("oi-crash-{tag}-{}-{n}", std::process::id()))
+}
+
+fn failed_path(dir: &Path) -> PathBuf {
+    dir.join("failed-disks")
+}
+
+fn read_failed(dir: &Path) -> Vec<usize> {
+    std::fs::read_to_string(failed_path(dir))
+        .unwrap_or_default()
+        .split_whitespace()
+        .filter_map(|t| t.parse().ok())
+        .collect()
+}
+
+/// Appends synced lines to the harness's model log. Syncing before the
+/// store op is what makes the log a valid oracle: the `begin` record is
+/// durable before any member write it describes can land.
+fn log_lines(dir: &Path, lines: &[String]) {
+    let mut f = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join("model.log"))
+        .expect("open model log");
+    for l in lines {
+        writeln!(f, "{l}").expect("append model log");
+    }
+    f.sync_data().expect("sync model log");
+}
+
+/// The per-chunk allowed-pattern model replayed from the log: `ack`
+/// collapses a chunk to one pattern, a `begin` that never acked stays in
+/// the set forever (its write may or may not have applied — and once it is
+/// a candidate, a later crash can still leave either value).
+fn allowed_patterns(dir: &Path) -> HashMap<usize, Vec<u64>> {
+    let mut allowed: HashMap<usize, Vec<u64>> = HashMap::new();
+    let text = std::fs::read_to_string(dir.join("model.log")).unwrap_or_default();
+    for line in text.lines() {
+        let mut it = line.split_whitespace();
+        let (Some(kind), Some(p), Some(seed)) = (it.next(), it.next(), it.next()) else {
+            continue;
+        };
+        let (p, seed): (usize, u64) = match (p.parse(), seed.parse()) {
+            (Ok(p), Ok(s)) => (p, s),
+            _ => continue,
+        };
+        let entry = allowed.entry(p).or_insert_with(|| vec![0]);
+        match kind {
+            "begin" if !entry.contains(&seed) => entry.push(seed),
+            "ack" => *entry = vec![seed],
+            _ => {}
+        }
+    }
+    allowed
+}
+
+fn spawn_child(test: &str, dir: &Path, envs: &[(&str, String)]) -> std::process::ExitStatus {
+    let exe = std::env::current_exe().expect("test exe");
+    let mut cmd = Command::new(exe);
+    cmd.arg(test)
+        .arg("--exact")
+        .arg("--ignored")
+        .env_remove("OI_CRASH_COUNT")
+        .env_remove("OI_CRASH_POINT")
+        .env_remove("OI_CRASH_HITS")
+        .env("OI_CRASH_DIR", dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.status().expect("spawn crash child")
+}
+
+/// A child either finishes its workload (the armed count exceeded the run's
+/// crash-point hits) or dies by SIGABRT at the armed point. Anything else —
+/// a panic, a store error — is a real bug, not a simulated crash.
+fn assert_clean_or_aborted(status: std::process::ExitStatus, what: &str) {
+    assert!(
+        status.success() || status.signal() == Some(SIGABRT),
+        "{what}: child ended with {status:?} (expected success or SIGABRT)"
+    );
+}
+
+/// Reopens the directory (journal replay), repairs any persisted disk
+/// failure by rebuilding, and asserts the converged state: parity clean,
+/// every chunk holding an allowed pattern. Returns the journal replay
+/// count this open performed.
+fn verify_converged(dir: &Path, cfg: &OiRaidConfig, what: &str) -> u64 {
+    let store = OiRaidStore::open_durable(cfg.clone(), CHUNK, dir).expect("reopen after crash");
+    let reg = Registry::new();
+    store.export_metrics(&reg);
+    let replayed = metric_value(&reg.prometheus(), "oi_journal_replayed_total");
+
+    let failed = read_failed(dir);
+    if !failed.is_empty() {
+        for &d in &failed {
+            store.fail_disk(d).expect("re-fail persisted failure");
+        }
+        let report = store
+            .resume_rebuild(
+                RebuildMode::Serial,
+                RecoveryStrategy::Hybrid,
+                &RebuildObserver::default(),
+            )
+            .expect("rebuild persisted failure");
+        assert!(report.outcome.is_recovered(), "{what}: {report}");
+        std::fs::write(failed_path(dir), "").expect("clear failed set");
+    }
+
+    let bad = store.check_parity();
+    assert!(bad.is_empty(), "{what}: parity inconsistent at {bad:?}");
+
+    let mut buf = vec![0u8; CHUNK];
+    for (&p, seeds) in &allowed_patterns(dir) {
+        store
+            .read_bytes((p * CHUNK) as u64, &mut buf)
+            .expect("read converged chunk");
+        let ok = seeds.iter().any(|&s| buf == fill(s, CHUNK));
+        assert!(
+            ok,
+            "{what}: payload chunk {p} matches none of its {} allowed patterns \
+             (torn or lost write)",
+            seeds.len()
+        );
+    }
+    replayed
+}
+
+/// Pulls an unlabelled counter's value out of a Prometheus exposition.
+fn metric_value(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find(|l| l.starts_with(name) && !l.starts_with('#'))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Subprocess body: reopens the durable store (replaying whatever the last
+/// crash left), re-fails persisted failures, and runs a deterministic
+/// journaled workload — singles plus batched waves — logging `begin`/`ack`
+/// around every acknowledged write. Armed crash points kill it anywhere.
+#[test]
+#[ignore = "subprocess body for the crash harness; spawned by the tests below"]
+fn crash_child() {
+    let Ok(dir) = std::env::var("OI_CRASH_DIR") else {
+        return;
+    };
+    let dir = PathBuf::from(dir);
+    let cycle: u64 = std::env::var("OI_CRASH_CYCLE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let cfg = OiRaidConfig::reference();
+    let store = OiRaidStore::open_durable(cfg, CHUNK, &dir).expect("child open");
+    for d in read_failed(&dir) {
+        store.fail_disk(d).expect("child re-fail");
+    }
+    let span = SPAN.min((store.capacity_bytes() as usize / CHUNK).max(1));
+
+    // Twelve single-chunk writes: each is one journaled multi-member RMW
+    // (data + inner + outer parities).
+    for i in 0..12u64 {
+        let h = splitmix(cycle.wrapping_mul(131) ^ i);
+        let p = (h % span as u64) as usize;
+        let seed = h | 1;
+        log_lines(&dir, &[format!("begin {p} {seed}")]);
+        store
+            .write_bytes((p * CHUNK) as u64, &fill(seed, CHUNK))
+            .expect("child write");
+        log_lines(&dir, &[format!("ack {p} {seed}")]);
+    }
+
+    // Two batched waves of four distinct chunks: journaled stores commit
+    // the whole wave as ONE intent record and one flush, so the wave is
+    // atomic — its records ack together.
+    for b in 0..2u64 {
+        let h = splitmix(cycle.wrapping_mul(137) ^ (0x1000 + b));
+        let base = (h % span as u64) as usize;
+        let ps: Vec<usize> = (0..4).map(|j| (base + j * 7) % span).collect();
+        let seeds: Vec<u64> = (0..4).map(|j| splitmix(h ^ (j + 1)) | 1).collect();
+        let begins: Vec<String> = ps
+            .iter()
+            .zip(&seeds)
+            .map(|(p, s)| format!("begin {p} {s}"))
+            .collect();
+        log_lines(&dir, &begins);
+        let datas: Vec<Vec<u8>> = seeds.iter().map(|&s| fill(s, CHUNK)).collect();
+        let writes: Vec<(u64, &[u8])> = ps
+            .iter()
+            .zip(&datas)
+            .map(|(&p, d)| ((p * CHUNK) as u64, d.as_slice()))
+            .collect();
+        store.write_bytes_batch(&writes).expect("child batch");
+        let acks: Vec<String> = ps
+            .iter()
+            .zip(&seeds)
+            .map(|(p, s)| format!("ack {p} {s}"))
+            .collect();
+        log_lines(&dir, &acks);
+    }
+}
+
+/// Subprocess body for rebuild crash cycles: reopens, re-fails the
+/// persisted disks, and runs a checkpointing rebuild until an armed point
+/// (typically `rebuild_writeback` or `checkpoint_write`) kills it.
+#[test]
+#[ignore = "subprocess body for the crash harness; spawned by the tests below"]
+fn rebuild_child() {
+    let Ok(dir) = std::env::var("OI_CRASH_DIR") else {
+        return;
+    };
+    let dir = PathBuf::from(dir);
+    let cfg = OiRaidConfig::reference();
+    let store = OiRaidStore::open_durable(cfg, CHUNK, &dir).expect("rebuild child open");
+    // Fail the persisted disks only when no checkpoint exists yet (the
+    // first attempt: a real disk replacement). On a resume attempt the
+    // device file holds the partial rebuild — re-failing would blank it.
+    let has_ckpt = store
+        .checkpoint_policy()
+        .is_some_and(|p| RebuildCheckpoint::load(&p.path).is_some());
+    if !has_ckpt {
+        let failed = read_failed(&dir);
+        assert!(
+            !failed.is_empty(),
+            "rebuild child needs a persisted failure"
+        );
+        for d in failed {
+            store.fail_disk(d).expect("rebuild child re-fail");
+        }
+    }
+    let report = store
+        .resume_rebuild(
+            RebuildMode::Serial,
+            RecoveryStrategy::Hybrid,
+            &RebuildObserver::default(),
+        )
+        .expect("rebuild child rebuild");
+    assert!(report.outcome.is_recovered(), "{report}");
+}
+
+/// The tentpole acceptance test: ≥100 randomized kill-anywhere
+/// crash/restart cycles over one durable directory. Every third cycle runs
+/// degraded (a persisted failed disk, so the journaled path is the degraded
+/// RMW); after every crash the verifier replays, rebuilds if needed, and
+/// asserts parity-clean convergence with zero acknowledged-data loss.
+#[test]
+fn kill_anywhere_crash_cycles_converge() {
+    let cycles: u64 = std::env::var("OI_CRASH_CYCLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100);
+    let dir = unique_dir("anywhere");
+    let cfg = OiRaidConfig::reference();
+    let store = OiRaidStore::create_durable(cfg.clone(), CHUNK, &dir).expect("create durable");
+    let disks = store.array().disks();
+    drop(store);
+
+    let mut crashes = 0u64;
+    let mut clean = 0u64;
+    let mut replays = 0u64;
+    for cycle in 0..cycles {
+        // Every third cycle runs degraded: persist a failed disk for the
+        // child to re-fail, exercising the degraded-RMW journal path.
+        if cycle % 3 == 1 {
+            let d = (splitmix(0xD15C ^ cycle) % disks as u64) as usize;
+            std::fs::write(failed_path(&dir), format!("{d}")).expect("persist failed disk");
+        }
+        // 1-based kill site, swept past the cycle's total hit count so some
+        // children finish cleanly (the no-crash path stays covered too).
+        let count = 1 + splitmix(0xC4A5 ^ cycle) % 140;
+        let status = spawn_child(
+            "crash_child",
+            &dir,
+            &[
+                ("OI_CRASH_COUNT", count.to_string()),
+                ("OI_CRASH_CYCLE", cycle.to_string()),
+            ],
+        );
+        assert_clean_or_aborted(status, &format!("cycle {cycle} (count {count})"));
+        if status.success() {
+            clean += 1;
+        } else {
+            crashes += 1;
+        }
+        replays += verify_converged(&dir, &cfg, &format!("cycle {cycle}"));
+    }
+
+    assert!(
+        crashes > 0,
+        "sweep never crashed a child ({clean} clean) — crash points unarmed?"
+    );
+    if cycles >= 20 {
+        // With member_write dominating the hit space, many kills land
+        // after the journal commit: replay must actually fire.
+        assert!(
+            replays > 0,
+            "{crashes} crashes but no journal replay ever redone"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Targeted point × hit grid (gated on `OI_CRASH_MATRIX=1`): kills the
+/// child at the 1st / 2nd / 5th hit of each named crash point — write-path
+/// points through the write workload, rebuild points through a
+/// checkpointing rebuild — and verifies convergence after each.
+#[test]
+fn targeted_crash_matrix_converges() {
+    if std::env::var("OI_CRASH_MATRIX")
+        .map(|v| v != "1")
+        .unwrap_or(true)
+    {
+        return;
+    }
+    let cfg = OiRaidConfig::reference();
+    let write_points = ["journal_append", "journal_flush", "member_write"];
+    let rebuild_points = ["rebuild_writeback", "checkpoint_write"];
+    let dir = unique_dir("matrix");
+    let store = OiRaidStore::create_durable(cfg.clone(), CHUNK, &dir).expect("create durable");
+    let disks = store.array().disks();
+    drop(store);
+
+    let mut cycle = 0u64;
+    for hits in [1u64, 2, 5] {
+        for point in write_points {
+            let status = spawn_child(
+                "crash_child",
+                &dir,
+                &[
+                    ("OI_CRASH_POINT", point.to_string()),
+                    ("OI_CRASH_HITS", hits.to_string()),
+                    ("OI_CRASH_CYCLE", (0x4000 + cycle).to_string()),
+                ],
+            );
+            // Every grid cell's hit count is reachable (≥14 appends/flushes
+            // and ~4× that many member writes per run): the child must die.
+            assert_eq!(
+                status.signal(),
+                Some(SIGABRT),
+                "{point} hit {hits}: child must crash, got {status:?}"
+            );
+            verify_converged(&dir, &cfg, &format!("{point} hit {hits}"));
+            cycle += 1;
+        }
+        for point in rebuild_points {
+            let d = (splitmix(0xFA11 ^ cycle) % disks as u64) as usize;
+            std::fs::write(failed_path(&dir), format!("{d}")).expect("persist failed disk");
+            let status = spawn_child(
+                "rebuild_child",
+                &dir,
+                &[
+                    ("OI_CRASH_POINT", point.to_string()),
+                    ("OI_CRASH_HITS", hits.to_string()),
+                    ("OI_RAID_CKPT_INTERVAL", "1".to_string()),
+                ],
+            );
+            // 9 writebacks and 9 interval-1 checkpoint saves per rebuild:
+            // hits ≤ 5 is always reached.
+            assert_eq!(
+                status.signal(),
+                Some(SIGABRT),
+                "{point} hit {hits}: child must crash, got {status:?}"
+            );
+            verify_converged(&dir, &cfg, &format!("{point} hit {hits}"));
+            cycle += 1;
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Acceptance: a rebuild resumed from its checkpoint re-reads *strictly
+/// fewer* source chunks than an identical from-scratch rebuild, measured
+/// with per-device read counters over two byte-identical directories — and
+/// its progress gauge starts pre-credited instead of from zero.
+#[test]
+fn resumed_rebuild_reads_strictly_fewer_source_chunks() {
+    let cfg = OiRaidConfig::reference();
+    let dir_a = unique_dir("resume-a");
+    let dir_b = unique_dir("resume-b");
+
+    // Build one store, fill every payload chunk, then clone the directory
+    // byte-for-byte so both rebuilds start from identical contents.
+    let store = OiRaidStore::create_durable(cfg.clone(), CHUNK, &dir_a).expect("create durable");
+    let payload = store.capacity_bytes() as usize / CHUNK;
+    for p in 0..payload {
+        store
+            .write_bytes((p * CHUNK) as u64, &fill(0xF1E1D ^ p as u64 | 1, CHUNK))
+            .expect("prefill");
+    }
+    let chunks_per_disk = store.array().chunks_per_disk();
+    drop(store);
+    std::fs::create_dir_all(&dir_b).expect("mkdir b");
+    for entry in std::fs::read_dir(&dir_a).expect("list a") {
+        let entry = entry.expect("entry");
+        std::fs::copy(entry.path(), dir_b.join(entry.file_name())).expect("clone file");
+    }
+
+    // Crash a checkpointing rebuild in dir A partway through writeback:
+    // with interval 1, every credited chunk persists a checkpoint, so
+    // dying at the 6th writeback leaves ~5 chunks checkpointed.
+    let target = 4usize;
+    std::fs::write(failed_path(&dir_a), format!("{target}")).expect("persist failure a");
+    let status = spawn_child(
+        "rebuild_child",
+        &dir_a,
+        &[
+            ("OI_CRASH_POINT", "rebuild_writeback".to_string()),
+            ("OI_CRASH_HITS", "6".to_string()),
+            ("OI_RAID_CKPT_INTERVAL", "1".to_string()),
+        ],
+    );
+    assert_eq!(status.signal(), Some(SIGABRT), "rebuild child must crash");
+
+    let measure = |dir: &Path, resumed: bool| -> (u64, u64) {
+        let store = OiRaidStore::open_durable(cfg.clone(), CHUNK, dir).expect("reopen");
+        if !resumed {
+            // The from-scratch baseline starts as a real disk replacement;
+            // the resumed side must NOT re-fail — its device file survived
+            // the process crash with the partial rebuild intact.
+            store.fail_disk(target).expect("fail for scratch baseline");
+        }
+        let before: Vec<CounterSnapshot> = store.devices().iter().map(|d| d.counters()).collect();
+        let obs = RebuildObserver::default();
+        let report = store
+            .resume_rebuild(RebuildMode::Serial, RecoveryStrategy::Hybrid, &obs)
+            .expect("rebuild");
+        assert!(report.outcome.is_recovered(), "{report}");
+        let snap = obs.progress.snapshot();
+        if resumed {
+            assert!(
+                snap.resumed_chunks > 0,
+                "resumed rebuild must pre-credit its progress gauge"
+            );
+            assert!(
+                snap.resumed_chunks < chunks_per_disk as u64,
+                "a mid-rebuild crash cannot have checkpointed the whole disk"
+            );
+        } else {
+            assert_eq!(snap.resumed_chunks, 0, "fresh rebuild starts from zero");
+        }
+        let bad = store.check_parity();
+        assert!(
+            bad.is_empty(),
+            "parity after rebuild (resumed={resumed}): {bad:?}"
+        );
+        let mut buf = vec![0u8; CHUNK];
+        for p in 0..payload {
+            store
+                .read_bytes((p * CHUNK) as u64, &mut buf)
+                .expect("read");
+            assert_eq!(
+                buf,
+                fill(0xF1E1D ^ p as u64 | 1, CHUNK),
+                "chunk {p} content"
+            );
+        }
+        let reads: u64 = store
+            .devices()
+            .iter()
+            .zip(&before)
+            .map(|(d, b)| d.counters().since(b).reads)
+            .sum();
+        (reads, snap.resumed_chunks)
+    };
+
+    let (resumed_reads, resumed_chunks) = measure(&dir_a, true);
+    let (scratch_reads, _) = measure(&dir_b, false);
+    assert!(
+        resumed_reads < scratch_reads,
+        "resume must re-read strictly fewer source chunks: \
+         {resumed_reads} (resumed past {resumed_chunks}) vs {scratch_reads} from scratch"
+    );
+
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}
+
+/// A corrupt or truncated checkpoint must degrade to a full rebuild —
+/// never abort, never resume from garbage.
+#[test]
+fn corrupt_checkpoint_falls_back_to_full_rebuild() {
+    let cfg = OiRaidConfig::reference();
+    let dir = unique_dir("badckpt");
+    let store = OiRaidStore::create_durable(cfg.clone(), CHUNK, &dir).expect("create durable");
+    let payload = store.capacity_bytes() as usize / CHUNK;
+    for p in 0..payload.min(SPAN) {
+        store
+            .write_bytes((p * CHUNK) as u64, &fill(0xBAD ^ p as u64 | 1, CHUNK))
+            .expect("prefill");
+    }
+    let ckpt_path = store.checkpoint_policy().expect("durable has policy").path;
+    std::fs::write(&ckpt_path, b"OICKgarbage-that-will-not-crc").expect("plant corrupt ckpt");
+
+    store.fail_disk(2).expect("fail");
+    let obs = RebuildObserver::default();
+    let report = store
+        .resume_rebuild(RebuildMode::Serial, RecoveryStrategy::Hybrid, &obs)
+        .expect("resume with corrupt checkpoint");
+    assert!(report.outcome.is_recovered(), "{report}");
+    assert_eq!(
+        obs.progress.snapshot().resumed_chunks,
+        0,
+        "corrupt checkpoint must not pre-credit anything"
+    );
+    assert!(store.check_parity().is_empty());
+    assert!(
+        !ckpt_path.exists(),
+        "rebuild removes the (corrupt) checkpoint when it finishes"
+    );
+    let mut buf = vec![0u8; CHUNK];
+    for p in 0..payload.min(SPAN) {
+        store
+            .read_bytes((p * CHUNK) as u64, &mut buf)
+            .expect("read");
+        assert_eq!(buf, fill(0xBAD ^ p as u64 | 1, CHUNK), "chunk {p} content");
+    }
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A checkpoint that does not cover a currently-failed disk is stale: the
+/// resume path must discard it and rebuild everything that is down.
+#[test]
+fn stale_checkpoint_is_discarded_when_new_disks_fail() {
+    let cfg = OiRaidConfig::reference();
+    let dir = unique_dir("stale");
+    let store = OiRaidStore::create_durable(cfg.clone(), CHUNK, &dir).expect("create durable");
+    let ckpt_path = store.checkpoint_policy().expect("policy").path;
+    // A genuine checkpoint for disk 1 only.
+    RebuildCheckpoint {
+        targets: [1usize].into_iter().collect(),
+        valid: vec![ChunkAddr::new(1, 0)],
+    }
+    .save(&ckpt_path)
+    .expect("save stale ckpt");
+
+    store.fail_disk(1).expect("fail 1");
+    store.fail_disk(8).expect("fail 8");
+    let obs = RebuildObserver::default();
+    let report = store
+        .resume_rebuild(RebuildMode::Serial, RecoveryStrategy::Hybrid, &obs)
+        .expect("resume with stale checkpoint");
+    assert!(report.outcome.is_recovered(), "{report}");
+    assert_eq!(
+        obs.progress.snapshot().resumed_chunks,
+        0,
+        "stale ckpt discarded"
+    );
+    assert_eq!(report.rebuilt_disks, vec![1, 8]);
+    assert!(store.check_parity().is_empty());
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+}

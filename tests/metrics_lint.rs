@@ -76,6 +76,14 @@ fn union_of_all_exporters_lints_clean_and_covers_every_family() {
         "oi_store_degraded_reads_total",
         "oi_store_batch_read_chunks_total",
         "oi_store_rebuild_throttle_waits_total",
+        // parity journal (zeros on a MemDevice store — exported regardless
+        // so dashboards don't go blank on non-durable deployments)
+        "oi_journal_appends_total",
+        "oi_journal_flushes_total",
+        "oi_journal_resets_total",
+        "oi_journal_replayed_total",
+        "oi_journal_rolled_back_total",
+        "oi_journal_batch_records",
         // rebuild engine
         "oi_rebuild_stage_latency_ns",
         "oi_rebuild_retries_total",

@@ -193,3 +193,104 @@ proptest! {
         prop_assert!(same, "backends diverged");
     }
 }
+
+/// Value of a scalar field `"key":<digits>` in a flat JSON rendering.
+fn json_u64(json: &str, key: &str) -> u64 {
+    let tag = format!("\"{key}\":");
+    let at = json.find(&tag).unwrap_or_else(|| panic!("missing {key}"));
+    json[at + tag.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("{key} is not an integer"))
+}
+
+/// Structural validity without a JSON library: every brace/bracket closes
+/// in order and every string literal terminates.
+fn assert_balanced_json(json: &str) {
+    let mut stack = Vec::new();
+    let mut chars = json.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => loop {
+                match chars.next() {
+                    Some('\\') => {
+                        chars.next();
+                    }
+                    Some('"') => break,
+                    Some(_) => {}
+                    None => panic!("unterminated string"),
+                }
+            },
+            '{' | '[' => stack.push(c),
+            '}' => assert_eq!(stack.pop(), Some('{'), "mismatched }}"),
+            ']' => assert_eq!(stack.pop(), Some('['), "mismatched ]"),
+            _ => {}
+        }
+    }
+    assert!(stack.is_empty(), "unclosed {stack:?}");
+}
+
+/// `RebuildReport::to_json` must stay loadable by the dashboards: the
+/// document is structurally valid JSON, and every counter a consumer
+/// would chart round-trips bit-exactly back to the report's accessors.
+#[test]
+fn rebuild_report_json_round_trips() {
+    let cfg = OiRaidConfig::reference();
+    let mut store = OiRaidStore::new(cfg, 32).unwrap();
+    fill(&mut store, 0x1A7E);
+    store.fail_disk(5).unwrap();
+    let obs = RebuildObserver::default();
+    let report = store
+        .rebuild_observed(RebuildMode::Dag, RecoveryStrategy::Hybrid, &obs)
+        .unwrap();
+    assert!(report.outcome.is_recovered(), "{report}");
+
+    let json = report.to_json();
+    assert_balanced_json(&json);
+    assert!(json.starts_with('{') && json.ends_with('}'));
+
+    // Scalar counters round-trip exactly.
+    assert_eq!(json_u64(&json, "rounds"), report.rounds as u64);
+    assert_eq!(json_u64(&json, "workers"), report.workers as u64);
+    assert_eq!(json_u64(&json, "chunks_rebuilt"), report.chunks_rebuilt);
+    assert_eq!(json_u64(&json, "bytes_rebuilt"), report.bytes_rebuilt);
+    assert_eq!(json_u64(&json, "retries"), report.retries);
+    assert_eq!(json_u64(&json, "total_reads"), report.total_reads());
+    assert_eq!(
+        json_u64(&json, "max_device_reads"),
+        report.max_device_reads()
+    );
+    assert_eq!(json_u64(&json, "wall_ns"), report.wall.as_nanos() as u64);
+
+    // Enums and arrays keep their shape.
+    assert!(json.contains("\"outcome\":\"complete"), "outcome tag");
+    assert!(json.contains("\"rebuilt_disks\":[5]"), "rebuilt disk list");
+    assert_eq!(
+        json.matches("\"disk\":").count(),
+        report.device_io.len(),
+        "one device_io object per disk"
+    );
+    for st in &report.stages {
+        assert!(
+            json.contains(&format!("\"stage\":\"{}\"", st.stage)),
+            "stage {} present",
+            st.stage
+        );
+    }
+    // Per-device read counters survive the trip: the sum of the embedded
+    // objects equals the report total.
+    let mut sum = 0;
+    let mut rest = &json[json.find("\"device_io\":[").unwrap()..];
+    while let Some(at) = rest.find("\"reads\":") {
+        rest = &rest[at + "\"reads\":".len()..];
+        sum += rest
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse::<u64>()
+            .unwrap();
+    }
+    assert_eq!(sum, report.total_reads(), "device_io reads sum");
+}
