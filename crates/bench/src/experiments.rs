@@ -2251,7 +2251,10 @@ pub fn e21_journal_overhead() -> Vec<(String, Table)> {
         let mut store =
             OiRaidStore::with_devices(cfg.clone(), CHUNK, devices).expect("valid devices");
         if journaled {
-            store.attach_journal(Journal::create(dir.join("journal.log")).expect("journal"));
+            store.attach_journal(
+                Journal::create(dir.join("journal.log")).expect("journal"),
+                blockdev::FlushPolicy::Never,
+            );
         }
         for idx in 0..store.data_chunks() {
             let chunk: Vec<u8> = (0..CHUNK).map(|j| (idx * 131 + j * 17 + 3) as u8).collect();
@@ -2460,7 +2463,225 @@ pub fn e21_journal_overhead() -> Vec<(String, Table)> {
     ]
 }
 
-/// Runs one experiment by id (`e1`..`e21`, `a1`, `a2`), or `all`.
+/// E22: member-flush policy cost. The E21 closed loop with the parity
+/// journal always on, sweeping [`blockdev::FlushPolicy`]:
+///
+/// * `Never` — journal-on baseline (process-crash durability, E21's "on"
+///   row);
+/// * `Timed(2ms)` — a background flusher walks the applied-marker
+///   high-water mark, so commits never wait on member fsyncs;
+/// * `PerWave` — every commit flushes the wave's touched members before
+///   its applied marker (full power-loss durability on the ack path).
+///
+/// Asserts the acceptance bounds: PerWave costs at most 2.5x of the
+/// journal-on closed-loop throughput, Timed at most 1.3x. `OI_E22_OPS`
+/// trims the op count for smoke runs.
+pub fn e22_flush_policy() -> Vec<(String, Table)> {
+    use blockdev::{
+        BlockDevice, FaultConfig, FaultInjectingDevice, FileDevice, FlushPolicy, Journal,
+    };
+    use oi_raid::OiRaidStore;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+    use telemetry::Registry;
+    use volume::{Op, TenantClass, VolumeManager, Zipf};
+
+    const CHUNK: usize = 4096;
+    const RECORD: usize = 512;
+    const WORKERS: usize = 8;
+    const GROUP: usize = 256;
+    const READ_FRAC: f64 = 0.7;
+    let latency = Duration::from_micros(300);
+    let total_ops: usize = std::env::var("OI_E22_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6_144)
+        .max(WORKERS);
+    let cfg = OiRaidConfig::reference();
+    let chunks_per_disk = {
+        let probe = OiRaidStore::new(cfg.clone(), CHUNK).expect("reference store");
+        probe.devices()[0].chunks()
+    };
+    let base = std::env::temp_dir().join(format!("oi-raid-e22-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    let policies: [(&str, FlushPolicy); 3] = [
+        ("never (journal-on baseline)", FlushPolicy::Never),
+        ("timed 2ms", FlushPolicy::Timed(Duration::from_millis(2))),
+        ("perwave", FlushPolicy::PerWave),
+    ];
+
+    // One measured closed loop per policy, same harness as E21: real file
+    // devices behind 300us spindles, Zipf 0.99 keys, 70/30 read/write.
+    let measure = |name: &str, policy: FlushPolicy, round: u64| -> (usize, Duration, u64, u64) {
+        let seed = 0xE22 ^ round;
+        let dir = base.join(format!(
+            "{}-{round}",
+            name.split_whitespace().next().unwrap()
+        ));
+        std::fs::create_dir_all(&dir).expect("bench dir");
+        let devices: Vec<_> = (0..21)
+            .map(|d| {
+                let file = FileDevice::create(
+                    dir.join(format!("disk-{d:03}.img")),
+                    CHUNK,
+                    chunks_per_disk,
+                )
+                .expect("device file");
+                FaultInjectingDevice::new(file, FaultConfig::default())
+            })
+            .collect();
+        let mut store =
+            OiRaidStore::with_devices(cfg.clone(), CHUNK, devices).expect("valid devices");
+        store.attach_journal(
+            Journal::create(dir.join("journal.log")).expect("journal"),
+            policy,
+        );
+        for idx in 0..store.data_chunks() {
+            let chunk: Vec<u8> = (0..CHUNK).map(|j| (idx * 131 + j * 17 + 3) as u8).collect();
+            store.write_data(idx, &chunk).expect("prefill write");
+        }
+        for dev in store.devices() {
+            dev.set_config(FaultConfig::latency(latency, latency));
+        }
+        let store = Arc::new(store);
+        // Timed runs get the background flusher a production deployment
+        // would have; the other policies return None here.
+        let flusher = store.spawn_flusher();
+        let mgr = Arc::new(VolumeManager::new(Arc::clone(&store), WORKERS * 2));
+        let tenant = mgr.add_tenant("t0", TenantClass::default());
+        let records = mgr.store().capacity_bytes() / RECORD as u64;
+        let vol = mgr
+            .create_volume(tenant, "t0", RECORD, records)
+            .expect("volume fits");
+        let zipf = Zipf::scrambled(records as usize, 0.99, seed);
+        let began = Instant::now();
+        let ops_done: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..WORKERS)
+                .map(|w| {
+                    let zipf = &zipf;
+                    let mgr = Arc::clone(&mgr);
+                    s.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(seed ^ w as u64);
+                        let per_worker = (total_ops / WORKERS).max(1);
+                        let mut issued = 0usize;
+                        while issued < per_worker {
+                            let n = GROUP.min(per_worker - issued);
+                            let mut ops = Vec::with_capacity(n);
+                            for _ in 0..n {
+                                let record = zipf.sample(&mut rng) as u64;
+                                if rng.gen::<f64>() < READ_FRAC {
+                                    ops.push(Op::Read {
+                                        volume: vol,
+                                        record,
+                                    });
+                                } else {
+                                    let tag = (rng.next_u64() & 0xFF) as u8;
+                                    ops.push(Op::Write {
+                                        volume: vol,
+                                        record,
+                                        data: vec![tag; RECORD],
+                                    });
+                                }
+                            }
+                            for res in mgr.submit(ops) {
+                                res.expect("batched op");
+                            }
+                            issued += n;
+                        }
+                        issued
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).sum()
+        });
+        let wall = began.elapsed();
+        drop(flusher);
+        let reg = Registry::new();
+        store.export_metrics(&reg);
+        let waves = reg
+            .prometheus()
+            .lines()
+            .find(|l| l.starts_with("oi_flush_waves_total") && !l.starts_with('#'))
+            .and_then(|l| l.split_whitespace().last())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let p99 = mgr
+            .tenant_read_latency(tenant)
+            .expect("tenant exists")
+            .snapshot()
+            .p99();
+        drop(mgr);
+        let _ = std::fs::remove_dir_all(&dir);
+        (ops_done, wall, p99, waves)
+    };
+
+    // Best of two interleaved rounds per policy, as in E21, so filesystem
+    // noise does not masquerade as flush cost.
+    let mut best = [(0usize, Duration::MAX, 0u64, 0u64); 3];
+    for round in 0..2u64 {
+        for (i, (name, policy)) in policies.iter().enumerate() {
+            let r = measure(name, *policy, round);
+            if r.1 < best[i].1 {
+                best[i] = r;
+            }
+        }
+    }
+    let rate = |i: usize| best[i].0 as f64 / best[i].1.as_secs_f64();
+    let baseline = rate(0);
+    let cost_timed = baseline / rate(1);
+    let cost_perwave = baseline / rate(2);
+
+    let mut t = Table::new(&[
+        "flush policy",
+        "ops",
+        "wall (ms)",
+        "ops/s",
+        "read p99 (ms)",
+        "flush waves",
+        "cost vs never (x)",
+    ]);
+    for (i, (name, _)) in policies.iter().enumerate() {
+        let (ops, wall, p99, waves) = best[i];
+        t.row_owned(vec![
+            (*name).into(),
+            ops.to_string(),
+            f3(wall.as_secs_f64() * 1e3),
+            f3(ops as f64 / wall.as_secs_f64()),
+            f3(p99 as f64 / 1e6),
+            waves.to_string(),
+            if i == 0 {
+                "1.000".into()
+            } else {
+                f3(baseline / rate(i))
+            },
+        ]);
+    }
+    // Acceptance bounds: whole-host durability on the ack path costs at
+    // most 2.5x of the journal-on closed loop; deferred (timed) flushing
+    // at most 1.3x.
+    assert!(
+        cost_perwave <= 2.5,
+        "PerWave costs {cost_perwave:.3}x of journal-on throughput (bound 2.5x)"
+    );
+    assert!(
+        cost_timed <= 1.3,
+        "Timed costs {cost_timed:.3}x of journal-on throughput (bound 1.3x)"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+
+    vec![(
+        format!(
+            "E22: member-flush policy cost — E21 closed loop, journal on, \
+             {total_ops} ops, group {GROUP}, FlushPolicy never vs timed(2ms) vs perwave"
+        ),
+        t,
+    )]
+}
+
+/// Runs one experiment by id (`e1`..`e22`, `a1`, `a2`), or `all`.
 /// Returns the rendered tables; unknown ids return `None`.
 pub fn run(id: &str) -> Option<Vec<(String, Table)>> {
     match id {
@@ -2485,12 +2706,13 @@ pub fn run(id: &str) -> Option<Vec<(String, Table)>> {
         "e19" => Some(e19_volume_closed_loop()),
         "e20" => Some(e20_tracing_overhead()),
         "e21" => Some(e21_journal_overhead()),
+        "e22" => Some(e22_flush_policy()),
         "a2" => Some(a2_strategy_ablation()),
         "all" => {
             let mut out = Vec::new();
             for id in [
                 "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-                "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "a2",
+                "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "a2",
             ] {
                 out.extend(run(id).expect("known id"));
             }

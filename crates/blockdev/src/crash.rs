@@ -15,10 +15,19 @@
 //! * `OI_CRASH_POINT=name` + `OI_CRASH_HITS=n` — targeted mode: abort at
 //!   the `n`-th hit of the named point only (`OI_CRASH_HITS` defaults
 //!   to 1).
+//! * `OI_CRASH_POWER=1` — power-loss mode, orthogonal to the two kill
+//!   modes above: the child must route member I/O through
+//!   [`crate::WriteBackDevice`] wrappers (see [`power_loss_armed`]), so
+//!   the abort also drops every buffered-but-unflushed member write, the
+//!   way a power loss drops a drive's volatile write cache. Without it,
+//!   the abort models a *process* crash: the page cache — and thus every
+//!   completed file write — survives.
 //!
 //! The abort is [`std::process::abort`]: no destructors, no unwinding, no
-//! flushes — the closest safe stand-in for power loss. The point name is
-//! printed to stderr first so a harness can record *where* it died.
+//! flushes — a process-crash stand-in on its own, a power-loss stand-in
+//! when combined with `OI_CRASH_POWER=1` write-back buffering. The point
+//! name is printed to stderr first so a harness can record *where* it
+//! died.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;
@@ -91,6 +100,20 @@ pub fn crash_point(name: &str) {
 /// harness size `OI_CRASH_COUNT` to the actual number of opportunities.
 pub fn crash_point_hits() -> u64 {
     TOTAL_HITS.load(Ordering::Relaxed)
+}
+
+/// Whether `OI_CRASH_POWER=1` is set: the harness wants this process to
+/// model *power loss*, so device stacks should be built with
+/// [`crate::WriteBackDevice`] wrappers whose unflushed buffers die with
+/// the abort. Parsed once and cached.
+pub fn power_loss_armed() -> bool {
+    static POWER: OnceLock<bool> = OnceLock::new();
+    *POWER.get_or_init(|| {
+        std::env::var("OI_CRASH_POWER").is_ok_and(|v| {
+            let v = v.trim();
+            !v.is_empty() && v != "0"
+        })
+    })
 }
 
 fn die(name: &str) -> ! {

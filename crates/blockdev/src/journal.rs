@@ -21,15 +21,28 @@
 //! Recovery ([`Journal::open`]) scans the log: intents without applied
 //! markers are returned for **redo** (absolute values, so replay is
 //! idempotent — unlike XOR deltas, applying twice is harmless); a torn or
-//! checksum-failed tail is **rolled back** by truncation at the last valid
-//! record boundary — those updates never reported commit, and no member
-//! was written, so dropping them is correct.
+//! checksum-failed *tail* is **rolled back** by truncation at the last
+//! valid record boundary — those updates never reported commit, and no
+//! member was written, so dropping them is correct. A checksum failure in
+//! the *middle* of the log is different: records after it may be committed
+//! intents, so the scan resynchronizes at the next valid record boundary
+//! instead of treating everything after the bad record as a torn tail.
+//! Skipped garbage is counted in [`ReplaySummary`] and reported to the
+//! flight recorder.
 //!
-//! The durability model targets *process* crashes (abort anywhere, page
-//! cache survives): member writes and applied markers need no sync of
-//! their own. Power-loss safety would additionally require a device flush
-//! barrier before each applied marker — the [`BlockDevice::flush`] hook
-//! exists for exactly that, at the cost of one device sync per update.
+//! Whether an applied marker is *trustworthy* depends on the caller's
+//! [`FlushPolicy`]. Under `Never` the model covers *process* crashes only
+//! (abort anywhere, page cache survives): member writes and applied
+//! markers need no sync of their own, but a power loss can drop member
+//! writes whose applied markers survive — recovery then skips their redo
+//! and the update is lost. `PerWave` pushes every touched member through
+//! [`BlockDevice::flush`] *before* its applied marker is appended, and
+//! `Timed` batches that barrier behind a deadline with an applied-marker
+//! high-water mark, so markers never claim more durability than the
+//! devices have. The same rule governs truncation: the log may only be
+//! discarded ([`Journal::try_truncate`], [`Journal::reset`]) once the
+//! member writes it covers have been flushed, because truncation destroys
+//! the redo records that would otherwise re-create them.
 //!
 //! [`BlockDevice::flush`]: crate::BlockDevice::flush
 
@@ -39,10 +52,64 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use telemetry::Histogram;
 
 use crate::crash::crash_point;
+
+/// When member writes are pushed through `BlockDevice::flush` relative to
+/// the journal's applied markers — the knob that decides whether
+/// acknowledged writes survive *power loss* or only *process crashes*.
+///
+/// | policy | applied marker means | survives |
+/// |---|---|---|
+/// | `PerWave` | members of this update are on stable storage | power loss |
+/// | `Timed` | members flushed within the interval; older acks recoverable via redo | power loss |
+/// | `Never` | members were *written* (page cache) | process crash only |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlushPolicy {
+    /// Flush every member device touched by an update before appending its
+    /// applied marker. Strongest: an applied marker always covers durable
+    /// member bytes, at the cost of one device-flush barrier per wave.
+    PerWave,
+    /// Background/deadline flushing: applied markers are deferred and
+    /// appended in batches once the covering member flush completes, at
+    /// most this long after the update. Acknowledged writes inside the
+    /// window stay recoverable through journal redo (their intents are
+    /// already durable at commit).
+    Timed(Duration),
+    /// Never flush member devices (the pre-flush-policy semantics):
+    /// correct for process crashes, demonstrably lossy under power loss.
+    #[default]
+    Never,
+}
+
+impl FlushPolicy {
+    /// Reads `OI_RAID_FLUSH_POLICY` (`never`, `perwave`, or `timed:<ms>`),
+    /// defaulting to [`FlushPolicy::Never`] when unset or unparsable —
+    /// crash-harness children select their policy this way.
+    pub fn from_env() -> Self {
+        std::env::var("OI_RAID_FLUSH_POLICY")
+            .ok()
+            .and_then(|v| Self::parse(&v))
+            .unwrap_or_default()
+    }
+
+    /// Parses a policy string: `never`, `perwave` (or `per-wave`,
+    /// `per_wave`), `timed:<ms>`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.trim().to_ascii_lowercase();
+        match s.as_str() {
+            "never" => Some(Self::Never),
+            "perwave" | "per-wave" | "per_wave" => Some(Self::PerWave),
+            _ => {
+                let ms: u64 = s.strip_prefix("timed:")?.trim().parse().ok()?;
+                Some(Self::Timed(Duration::from_millis(ms)))
+            }
+        }
+    }
+}
 
 /// Per-record magic, so a scan can tell records from garbage.
 const MAGIC: [u8; 4] = *b"OIJL";
@@ -90,6 +157,12 @@ pub struct ReplaySummary {
     pub applied: u64,
     /// 1 if a torn/corrupt tail was truncated away, else 0.
     pub rolled_back: u64,
+    /// Corrupt mid-log regions skipped by resynchronizing to the next
+    /// valid record boundary (each region is one or more unreadable
+    /// records whose exact count is unknowable).
+    pub skipped: u64,
+    /// Total bytes inside those skipped regions.
+    pub skipped_bytes: u64,
 }
 
 /// Counters a store exports as `oi_journal_*` metrics.
@@ -170,8 +243,11 @@ impl Journal {
         let mut intents: BTreeMap<u64, Vec<MemberWrite>> = BTreeMap::new();
         let mut applied = 0u64;
         let mut max_seq = 0u64;
+        let mut skipped = 0u64;
+        let mut skipped_bytes = 0u64;
         let mut offset = 0usize;
-        let valid_end = loop {
+        let mut valid_end = 0usize;
+        while offset < bytes.len() {
             match parse_record(&bytes[offset..]) {
                 Some((consumed, seq, record)) => {
                     max_seq = max_seq.max(seq);
@@ -186,23 +262,49 @@ impl Journal {
                         }
                     }
                     offset += consumed;
+                    valid_end = offset;
                 }
-                None => break offset,
+                // A bad record here is either a torn tail (nothing valid
+                // follows — roll it back) or mid-log corruption (committed
+                // records follow — resynchronize past the garbage rather
+                // than silently dropping them as if they were torn).
+                None => match find_next_valid(&bytes, offset + 1) {
+                    Some(next) => {
+                        skipped += 1;
+                        skipped_bytes += (next - offset) as u64;
+                        offset = next;
+                    }
+                    None => break,
+                },
             }
-        };
+        }
         let rolled_back = u64::from(valid_end < bytes.len());
         if rolled_back == 1 {
             // Drop the torn tail so later appends start at a clean record
-            // boundary.
+            // boundary. (Mid-log garbage before `valid_end` is kept as-is:
+            // reopening simply re-skips it, and recovery normally resets
+            // the whole log right after redo anyway.)
             file.set_len(valid_end as u64)?;
-            file.sync_data()?;
         }
+        // Surviving records may include appended-but-never-synced tails
+        // (the crash hit between append and group commit); sync now so the
+        // recovered journal's flushed_seq == max_seq claim below is true.
+        file.sync_data()?;
         file.seek(SeekFrom::End(0))?;
 
+        if skipped > 0 {
+            telemetry::flight_event(
+                telemetry::EventKind::JournalCorruption,
+                skipped,
+                skipped_bytes,
+            );
+        }
         let summary = ReplaySummary {
             redo: intents.into_iter().collect(),
             applied,
             rolled_back,
+            skipped,
+            skipped_bytes,
         };
         let mut journal = Self::from_file(path, file, max_seq + 1);
         *journal.outstanding.get_mut() = summary.redo.len() as u64;
@@ -282,9 +384,13 @@ impl Journal {
             let file = self.file.lock().expect("journal file lock");
             file.sync_data()?;
         }
-        self.flushed_seq.store(target, Ordering::Release);
+        // fetch_max, not store: a concurrent truncation (which holds only
+        // the file lock, not this flush lock) may already have advanced
+        // flushed_seq past our target; writing an older value back would
+        // let a later committer skip a sync it still needs.
+        self.flushed_seq.fetch_max(target, Ordering::AcqRel);
         self.stats.flushes.fetch_add(1, Ordering::Relaxed);
-        self.stats.batch.record(target - prev);
+        self.stats.batch.record(target.saturating_sub(prev));
         crash_point("journal_flush");
         Ok(())
     }
@@ -292,11 +398,56 @@ impl Journal {
     /// Records that the members of intent `seq` have been written. Once no
     /// intents are outstanding and the log has grown past a threshold, it
     /// truncates back to empty (sequence numbers stay monotonic).
+    ///
+    /// Only valid under [`FlushPolicy::Never`]-style callers: the embedded
+    /// truncation does not flush member devices first. Flush-policy
+    /// callers use [`Journal::mark_applied_no_truncate`] and decide when
+    /// [`Journal::try_truncate`] is safe.
     pub fn mark_applied(&self, seq: u64) -> std::io::Result<()> {
-        let mut file = self.file.lock().expect("journal file lock");
-        append_record(&mut file, KIND_APPLIED, seq, &[])?;
-        let outstanding = self.outstanding.fetch_sub(1, Ordering::Relaxed) - 1;
-        if outstanding == 0 && file.metadata()?.len() > RESET_BYTES {
+        if self.mark_applied_no_truncate(seq)? {
+            self.try_truncate()?;
+        }
+        Ok(())
+    }
+
+    /// Appends the applied marker for `seq` and decrements the outstanding
+    /// count, but never truncates. Returns `true` when the log has drained
+    /// (no intents outstanding) and grown past the reset threshold — i.e.
+    /// a [`Journal::try_truncate`] is due once the caller has flushed the
+    /// member devices the log covers.
+    pub fn mark_applied_no_truncate(&self, seq: u64) -> std::io::Result<bool> {
+        let prev;
+        let due;
+        {
+            let mut file = self.file.lock().expect("journal file lock");
+            append_record(&mut file, KIND_APPLIED, seq, &[])?;
+            // Saturating: a double apply (or an apply racing reset) must
+            // not wrap outstanding to u64::MAX and wedge truncation
+            // forever. The closure always returns Some, so fetch_update
+            // cannot fail.
+            prev = self
+                .outstanding
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                    Some(n.saturating_sub(1))
+                })
+                .unwrap_or_else(|n| n);
+            due = prev == 1 && file.metadata()?.len() > RESET_BYTES;
+        }
+        // Outside the file lock, so a debug-build panic cannot poison it.
+        debug_assert!(
+            prev > 0,
+            "mark_applied(seq={seq}) with no outstanding intents (double apply or apply after reset)"
+        );
+        Ok(due)
+    }
+
+    /// Truncates the log back to empty if nothing is outstanding and it
+    /// has grown past the reset threshold. Callers operating under a flush
+    /// policy must flush the member devices covered by the log *before*
+    /// calling — truncation destroys the redo records.
+    pub fn try_truncate(&self) -> std::io::Result<()> {
+        let file = self.file.lock().expect("journal file lock");
+        if self.outstanding.load(Ordering::Relaxed) == 0 && file.metadata()?.len() > RESET_BYTES {
             self.truncate_locked(&file)?;
         }
         Ok(())
@@ -313,10 +464,11 @@ impl Journal {
     fn truncate_locked(&self, file: &File) -> std::io::Result<()> {
         file.set_len(0)?;
         file.sync_data()?;
-        self.flushed_seq.store(
-            self.last_appended.load(Ordering::Acquire),
-            Ordering::Release,
-        );
+        // An empty log trivially covers every appended record; fetch_max
+        // (not store) so we never move flushed_seq backwards under a
+        // racing group commit.
+        self.flushed_seq
+            .fetch_max(self.last_appended.load(Ordering::Acquire), Ordering::AcqRel);
         self.stats.resets.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -325,6 +477,31 @@ impl Journal {
     pub fn outstanding(&self) -> u64 {
         self.outstanding.load(Ordering::Relaxed)
     }
+
+    /// Highest sequence number known durable (covered by a completed
+    /// flush). Monotonic: never regresses, even across truncations.
+    pub fn flushed_seq(&self) -> u64 {
+        self.flushed_seq.load(Ordering::Acquire)
+    }
+
+    /// Highest sequence number fully appended to the file.
+    pub fn last_appended(&self) -> u64 {
+        self.last_appended.load(Ordering::Acquire)
+    }
+}
+
+/// Scans forward from `from` for the next offset where a complete record
+/// parses (magic, header, payload, CRC all good) — the resync point after
+/// mid-log corruption. `None` means the rest of the file is a torn tail.
+fn find_next_valid(bytes: &[u8], from: usize) -> Option<usize> {
+    let mut i = from;
+    while i + HEADER + 4 <= bytes.len() {
+        if bytes[i..i + 4] == MAGIC && parse_record(&bytes[i..]).is_some() {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
 }
 
 enum Record {
@@ -535,5 +712,189 @@ mod tests {
         let s = j.append_intent(&[write(0, 0, 9)]).unwrap();
         j.commit(s).unwrap();
         std::fs::remove_file(&path).ok();
+    }
+
+    /// Calls `f` expecting the saturating-decrement debug assertion: in
+    /// debug builds the call must panic (the bug is loud), in release it
+    /// must return `Ok` (the counter saturates instead of wrapping).
+    fn assert_saturates(j: &Journal, seq: u64) {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| j.mark_applied(seq)));
+        if cfg!(debug_assertions) {
+            assert!(result.is_err(), "debug build asserts on over-apply");
+        } else {
+            result.expect("no panic in release").unwrap();
+        }
+        assert_eq!(
+            j.outstanding(),
+            0,
+            "outstanding saturates at zero instead of wrapping to u64::MAX"
+        );
+    }
+
+    #[test]
+    fn double_apply_saturates_instead_of_wrapping() {
+        let path = temp_path("double-apply");
+        let j = Journal::create(&path).unwrap();
+        let s = j.append_intent(&[write(0, 0, 1)]).unwrap();
+        j.commit(s).unwrap();
+        j.mark_applied(s).unwrap();
+        assert_eq!(j.outstanding(), 0);
+        // Second apply of the same seq: before the fix this wrapped
+        // outstanding to u64::MAX, permanently disabling truncation.
+        assert_saturates(&j, s);
+        // The journal still works afterwards (file lock not poisoned).
+        let s2 = j.append_intent(&[write(0, 1, 2)]).unwrap();
+        j.commit(s2).unwrap();
+        j.mark_applied(s2).unwrap();
+        assert_eq!(j.outstanding(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn apply_after_reset_saturates_instead_of_wrapping() {
+        let path = temp_path("apply-after-reset");
+        let j = Journal::create(&path).unwrap();
+        let s = j.append_intent(&[write(0, 0, 1)]).unwrap();
+        j.commit(s).unwrap();
+        // Reset zeroes the outstanding count while `s` is still unapplied;
+        // a late mark_applied(s) must not wrap it negative.
+        j.reset().unwrap();
+        assert_eq!(j.outstanding(), 0);
+        assert_saturates(&j, s);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Flips one payload byte of the `n`-th record in the file (0-based).
+    fn corrupt_record(path: &Path, n: usize) {
+        let mut bytes = std::fs::read(path).unwrap();
+        let mut offset = 0usize;
+        for _ in 0..n {
+            let (consumed, _, _) = parse_record(&bytes[offset..]).unwrap();
+            offset += consumed;
+        }
+        bytes[offset + HEADER + 2] ^= 0xFF;
+        std::fs::write(path, &bytes).unwrap();
+    }
+
+    #[test]
+    fn mid_log_corruption_resyncs_and_keeps_later_intents() {
+        let path = temp_path("midlog");
+        let j = Journal::create(&path).unwrap();
+        let s1 = j.append_intent(&[write(1, 1, 0x11)]).unwrap();
+        let _s2 = j.append_intent(&[write(2, 2, 0x22)]).unwrap();
+        let s3 = j.append_intent(&[write(3, 3, 0x33)]).unwrap();
+        j.commit(s3).unwrap();
+        drop(j);
+        // Corrupt the middle record: before the fix, the scan treated it
+        // as a torn tail and silently dropped the committed s3 as well.
+        corrupt_record(&path, 1);
+
+        let (j2, summary) = Journal::open(&path).unwrap();
+        assert_eq!(summary.skipped, 1, "one corrupt region skipped");
+        assert!(summary.skipped_bytes > 0);
+        assert_eq!(summary.rolled_back, 0, "the tail itself is intact");
+        let seqs: Vec<u64> = summary.redo.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![s1, s3], "s2 is lost, s1 and s3 survive");
+        assert_eq!(summary.redo[1].1, vec![write(3, 3, 0x33)]);
+        // New appends after resync land past the garbage and parse fine.
+        let s4 = j2.append_intent(&[write(4, 4, 0x44)]).unwrap();
+        j2.commit(s4).unwrap();
+        drop(j2);
+        let (_, summary) = Journal::open(&path).unwrap();
+        assert_eq!(summary.skipped, 1, "garbage region is re-skipped");
+        let seqs: Vec<u64> = summary.redo.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![s1, s3, s4]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mid_log_corruption_plus_torn_tail_handles_both() {
+        let path = temp_path("midlog-torn");
+        let j = Journal::create(&path).unwrap();
+        let s1 = j.append_intent(&[write(1, 1, 0x11)]).unwrap();
+        let _s2 = j.append_intent(&[write(2, 2, 0x22)]).unwrap();
+        let s3 = j.append_intent(&[write(3, 3, 0x33)]).unwrap();
+        j.commit(s3).unwrap();
+        drop(j);
+        corrupt_record(&path, 1);
+        // Tear the last record mid-payload as well.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 5).unwrap();
+        drop(f);
+
+        let (_, summary) = Journal::open(&path).unwrap();
+        assert_eq!(summary.skipped, 0, "nothing valid after the corruption");
+        assert_eq!(
+            summary.rolled_back, 1,
+            "corrupt region + torn s3 rolled back"
+        );
+        let seqs: Vec<u64> = summary.redo.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![s1]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_replay_crash_open_converges_and_seqs_stay_monotonic() {
+        let path = temp_path("reopen-crash");
+        let j = Journal::create(&path).unwrap();
+        let s1 = j.append_intent(&[write(0, 0, 0xAA)]).unwrap();
+        let s2 = j.append_intent(&[write(1, 0, 0xBB)]).unwrap();
+        j.commit(s2).unwrap();
+        drop(j);
+
+        // First recovery: sees both intents outstanding. Simulate a crash
+        // after the redo writes but before reset() — the journal object is
+        // simply dropped with the log untouched.
+        let (j1, sum1) = Journal::open(&path).unwrap();
+        assert_eq!(sum1.redo.len(), 2);
+        assert_eq!(j1.outstanding(), 2);
+        let first_flushed = j1.flushed_seq();
+        assert_eq!(
+            first_flushed, s2,
+            "open syncs, so survivors count as flushed"
+        );
+        drop(j1);
+
+        // Second recovery converges to the same answer (redo is
+        // idempotent, so replaying again is harmless).
+        let (j2, sum2) = Journal::open(&path).unwrap();
+        let seqs1: Vec<u64> = sum1.redo.iter().map(|(s, _)| *s).collect();
+        let seqs2: Vec<u64> = sum2.redo.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs1, seqs2);
+        assert_eq!(seqs2, vec![s1, s2]);
+
+        // Sequence numbers handed out after any number of recoveries stay
+        // strictly above everything in the log.
+        let s3 = j2.append_intent(&[write(2, 0, 0xCC)]).unwrap();
+        assert!(s3 > s2);
+        j2.commit(s3).unwrap();
+        assert!(j2.flushed_seq() >= s3);
+        j2.mark_applied(s3).unwrap();
+        j2.reset().unwrap();
+        let s4 = j2.append_intent(&[write(3, 0, 0xDD)]).unwrap();
+        assert!(s4 > s3, "monotonic across reset after recovery");
+        drop(j2);
+        let (j3, sum3) = Journal::open(&path).unwrap();
+        assert_eq!(sum3.redo.len(), 1, "post-reset log holds only s4");
+        assert_eq!(sum3.redo[0].0, s4);
+        let s5 = j3.append_intent(&[write(4, 0, 0xEE)]).unwrap();
+        assert!(s5 > s4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flush_policy_parses_and_defaults() {
+        assert_eq!(FlushPolicy::parse("never"), Some(FlushPolicy::Never));
+        assert_eq!(FlushPolicy::parse("PerWave"), Some(FlushPolicy::PerWave));
+        assert_eq!(FlushPolicy::parse("per-wave"), Some(FlushPolicy::PerWave));
+        assert_eq!(FlushPolicy::parse(" per_wave "), Some(FlushPolicy::PerWave));
+        assert_eq!(
+            FlushPolicy::parse("timed:25"),
+            Some(FlushPolicy::Timed(Duration::from_millis(25)))
+        );
+        assert_eq!(FlushPolicy::parse("timed:"), None);
+        assert_eq!(FlushPolicy::parse("sometimes"), None);
+        assert_eq!(FlushPolicy::default(), FlushPolicy::Never);
     }
 }

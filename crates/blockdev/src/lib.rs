@@ -30,13 +30,15 @@ mod file;
 pub mod journal;
 mod mem;
 mod retry;
+mod writeback;
 
 pub use crash::crash_point;
 pub use fault::{FaultConfig, FaultInjectingDevice};
 pub use file::FileDevice;
-pub use journal::{Journal, JournalStats, MemberWrite, ReplaySummary};
+pub use journal::{FlushPolicy, Journal, JournalStats, MemberWrite, ReplaySummary};
 pub use mem::MemDevice;
 pub use retry::{write_chunk_retrying, RetryCounters, RetryPolicy, RetryReader, RetryStats};
+pub use writeback::WriteBackDevice;
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};

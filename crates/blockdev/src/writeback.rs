@@ -1,0 +1,278 @@
+//! A write-back cache wrapper that models a volatile device cache: writes
+//! land in an in-memory buffer and only reach the wrapped backend at
+//! [`BlockDevice::flush`].
+//!
+//! This is the harness half of the power-loss durability model. A process
+//! abort (the crash harness's kill) leaves the page cache — and therefore
+//! a [`crate::FileDevice`]'s written bytes — intact, so plain file-backed
+//! crash tests can only exercise *process* crashes. Wrapping each device
+//! in a [`WriteBackDevice`] moves unflushed bytes into process memory:
+//! when the harness aborts the child, everything not yet flushed is gone,
+//! exactly as a power loss drops a real drive's volatile write cache. A
+//! store running [`crate::journal::FlushPolicy::Never`] then demonstrably
+//! loses acknowledged writes (the negative control), while `PerWave` and
+//! `Timed` keep them.
+//!
+//! The wrapper composes: `WriteBackDevice<FaultInjectingDevice<FileDevice>>`
+//! is the fault-injectable variant (flush faults from the inner wrapper
+//! surface through this one's `flush`).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::{check_io, BlockDevice, CounterSnapshot, DeviceError, DeviceLatency};
+
+/// Buffers writes in memory until [`BlockDevice::flush`] pushes them to
+/// the wrapped backend (see the module docs for why).
+///
+/// Reads are read-your-writes: a buffered chunk is served from the buffer,
+/// everything else from the backend. [`BlockDevice::fail`] and
+/// [`BlockDevice::heal`] discard the buffer (a failed or replaced drive
+/// loses its cache). The wrapped device's I/O counters see writes only
+/// when they are flushed through.
+#[derive(Debug)]
+pub struct WriteBackDevice<B> {
+    inner: B,
+    /// Dirty chunks not yet flushed to `inner`. BTreeMap so flushes write
+    /// in chunk order (deterministic, and kind to file backends).
+    dirty: Mutex<BTreeMap<usize, Vec<u8>>>,
+    flushes: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl<B: BlockDevice> WriteBackDevice<B> {
+    /// Wraps `inner` with an empty write-back buffer.
+    pub fn new(inner: B) -> Self {
+        Self {
+            inner,
+            dirty: Mutex::new(BTreeMap::new()),
+            flushes: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the wrapped device. Buffered writes
+    /// are discarded — flush first if they matter.
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+
+    /// Dirty chunks currently buffered (not yet flushed).
+    pub fn dirty_chunks(&self) -> usize {
+        self.dirty.lock().expect("writeback dirty lock").len()
+    }
+
+    /// Flushes performed so far.
+    pub fn flushes(&self) -> u64 {
+        self.flushes.load(Ordering::Relaxed)
+    }
+
+    /// Discards every buffered write without flushing it, returning how
+    /// many chunks were lost — an *in-process* power-loss simulation for
+    /// tests that cannot afford a subprocess kill. (The crash harness
+    /// itself does not need this: aborting the child loses the in-memory
+    /// buffer for free.)
+    pub fn drop_dirty(&self) -> usize {
+        let mut dirty = self.dirty.lock().expect("writeback dirty lock");
+        let n = dirty.len();
+        dirty.clear();
+        self.dropped.fetch_add(n as u64, Ordering::Relaxed);
+        n
+    }
+
+    /// Total chunks ever discarded by [`WriteBackDevice::drop_dirty`],
+    /// fail, or heal.
+    pub fn dropped_chunks(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl<B: BlockDevice> BlockDevice for WriteBackDevice<B> {
+    fn chunk_size(&self) -> usize {
+        self.inner.chunk_size()
+    }
+
+    fn chunks(&self) -> usize {
+        self.inner.chunks()
+    }
+
+    fn is_failed(&self) -> bool {
+        self.inner.is_failed()
+    }
+
+    fn read_chunk(&self, chunk: usize, buf: &mut [u8]) -> Result<(), DeviceError> {
+        check_io(chunk, self.chunks(), buf.len(), self.chunk_size())?;
+        if self.inner.is_failed() {
+            return Err(DeviceError::Failed);
+        }
+        // Read-your-writes: serve buffered chunks from the buffer. The
+        // lock is held only for the copy, not for backend I/O.
+        {
+            let dirty = self.dirty.lock().expect("writeback dirty lock");
+            if let Some(data) = dirty.get(&chunk) {
+                buf.copy_from_slice(data);
+                return Ok(());
+            }
+        }
+        self.inner.read_chunk(chunk, buf)
+    }
+
+    fn write_chunk(&self, chunk: usize, data: &[u8]) -> Result<(), DeviceError> {
+        check_io(chunk, self.chunks(), data.len(), self.chunk_size())?;
+        if self.inner.is_failed() {
+            return Err(DeviceError::Failed);
+        }
+        self.dirty
+            .lock()
+            .expect("writeback dirty lock")
+            .insert(chunk, data.to_vec());
+        Ok(())
+    }
+
+    /// Pushes every buffered chunk to the backend, then flushes the
+    /// backend itself. The buffer lock is held for the whole drain, so a
+    /// concurrent writer stalls behind the flush instead of racing its own
+    /// bytes — that stall is exactly what the `oi_flush_stall_ns`
+    /// histogram measures at the store layer. On error the unwritten
+    /// chunks (including the failed one) stay buffered for a retry.
+    fn flush(&self) -> Result<(), DeviceError> {
+        let mut dirty = self.dirty.lock().expect("writeback dirty lock");
+        while let Some((&chunk, _)) = dirty.iter().next() {
+            let data = dirty.remove(&chunk).expect("key just observed");
+            if let Err(e) = self.inner.write_chunk(chunk, &data) {
+                dirty.insert(chunk, data);
+                return Err(e);
+            }
+        }
+        drop(dirty);
+        self.inner.flush()?;
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn fail(&self) {
+        // A failed drive's volatile cache is gone with it.
+        self.drop_dirty();
+        self.inner.fail();
+    }
+
+    fn heal(&self) -> Result<(), DeviceError> {
+        self.drop_dirty();
+        self.inner.heal()
+    }
+
+    fn counters(&self) -> CounterSnapshot {
+        self.inner.counters()
+    }
+
+    fn reset_counters(&self) {
+        self.inner.reset_counters();
+    }
+
+    fn latency(&self) -> DeviceLatency {
+        self.inner.latency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultConfig, FaultInjectingDevice, MemDevice};
+
+    #[test]
+    fn buffers_until_flush_and_serves_read_your_writes() {
+        let wb = WriteBackDevice::new(MemDevice::new(8, 4));
+        wb.write_chunk(1, &[7u8; 8]).unwrap();
+        assert_eq!(wb.dirty_chunks(), 1);
+        // The buffer serves the read; the backend never saw the write.
+        let mut buf = [0u8; 8];
+        wb.read_chunk(1, &mut buf).unwrap();
+        assert_eq!(buf, [7u8; 8]);
+        assert_eq!(wb.inner().counters().writes, 0);
+        wb.flush().unwrap();
+        assert_eq!(wb.dirty_chunks(), 0);
+        assert_eq!(wb.flushes(), 1);
+        assert_eq!(wb.inner().counters().writes, 1);
+        let mut buf = [0u8; 8];
+        wb.read_chunk(1, &mut buf).unwrap();
+        assert_eq!(buf, [7u8; 8]);
+    }
+
+    #[test]
+    fn drop_dirty_loses_unflushed_writes_only() {
+        let wb = WriteBackDevice::new(MemDevice::new(8, 4));
+        wb.write_chunk(0, &[1u8; 8]).unwrap();
+        wb.flush().unwrap();
+        wb.write_chunk(0, &[2u8; 8]).unwrap();
+        wb.write_chunk(3, &[3u8; 8]).unwrap();
+        assert_eq!(wb.drop_dirty(), 2, "both unflushed chunks dropped");
+        assert_eq!(wb.dropped_chunks(), 2);
+        let mut buf = [0u8; 8];
+        wb.read_chunk(0, &mut buf).unwrap();
+        assert_eq!(buf, [1u8; 8], "flushed contents survive the power loss");
+        wb.read_chunk(3, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 8], "never-flushed chunk reverts to backend");
+    }
+
+    #[test]
+    fn validates_before_buffering() {
+        let wb = WriteBackDevice::new(MemDevice::new(8, 4));
+        assert!(matches!(
+            wb.write_chunk(9, &[0u8; 8]),
+            Err(DeviceError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            wb.write_chunk(0, &[0u8; 3]),
+            Err(DeviceError::WrongBufferSize { .. })
+        ));
+        let mut small = [0u8; 3];
+        assert!(matches!(
+            wb.read_chunk(0, &mut small),
+            Err(DeviceError::WrongBufferSize { .. })
+        ));
+        assert_eq!(wb.dirty_chunks(), 0);
+    }
+
+    #[test]
+    fn fail_discards_the_buffer_and_heal_starts_clean() {
+        let wb = WriteBackDevice::new(MemDevice::new(8, 4));
+        wb.write_chunk(2, &[9u8; 8]).unwrap();
+        wb.fail();
+        assert!(wb.is_failed());
+        let mut buf = [0u8; 8];
+        assert_eq!(wb.read_chunk(2, &mut buf), Err(DeviceError::Failed));
+        assert_eq!(wb.write_chunk(2, &[1u8; 8]), Err(DeviceError::Failed));
+        wb.heal().unwrap();
+        assert_eq!(wb.dirty_chunks(), 0, "no pre-failure bytes resurface");
+        wb.read_chunk(2, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 8]);
+    }
+
+    #[test]
+    fn flush_failure_keeps_chunks_buffered_for_retry() {
+        // Compose with the fault injector set to fail every flush: the
+        // buffered chunks must stay put so a retry can complete them.
+        let cfg = FaultConfig {
+            seed: 3,
+            flush_fail_per_mille: 1000,
+            ..FaultConfig::default()
+        };
+        let inner = FaultInjectingDevice::new(MemDevice::new(8, 4), cfg);
+        let wb = WriteBackDevice::new(inner);
+        wb.write_chunk(1, &[5u8; 8]).unwrap();
+        assert!(wb.flush().is_err());
+        // Member bytes reached the backend but the barrier failed; the
+        // caller must not treat the flush as complete. Disarm and retry.
+        wb.inner().set_config(FaultConfig::default());
+        wb.flush().unwrap();
+        let mut buf = [0u8; 8];
+        wb.inner().read_chunk(1, &mut buf).unwrap();
+        assert_eq!(buf, [5u8; 8]);
+    }
+}

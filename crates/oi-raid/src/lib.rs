@@ -93,5 +93,6 @@ pub use qos::{QosConfig, QosCounters};
 pub use rebuild::{RebuildMode, RebuildOutcome, RebuildReport};
 pub use recovery::RecoveryStrategy;
 pub use store::{
-    BatchStats, CheckpointPolicy, OiRaidStore, ScrubReport, StoreError, StoreTelemetry,
+    BatchStats, CheckpointPolicy, FlusherHandle, OiRaidStore, ScrubReport, StoreError,
+    StoreTelemetry,
 };

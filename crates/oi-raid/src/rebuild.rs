@@ -1424,6 +1424,14 @@ impl<B: BlockDevice> OiRaidStore<B> {
     /// correctness.
     fn save_checkpoint_now(&self, policy: &CheckpointPolicy) {
         if let Some((targets, valid)) = self.online().valid_snapshot() {
+            // The checkpoint file is fsynced, so under a power-loss flush
+            // policy it must not vouch for writeback chunks still in a
+            // volatile device cache: flush the targets first, and skip
+            // this checkpoint if the flush fails (it is an optimization).
+            let target_disks: Vec<usize> = targets.iter().copied().collect();
+            if self.flush_for_checkpoint(&target_disks).is_err() {
+                return;
+            }
             let _ = RebuildCheckpoint { targets, valid }.save(&policy.path);
         }
     }

@@ -24,13 +24,13 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use blockdev::{
-    crash_point, write_chunk_retrying, BlockDevice, DeviceError, FileDevice, Journal, MemDevice,
-    MemberWrite, RetryCounters, RetryPolicy, RetryReader, RetryStats,
+    crash_point, write_chunk_retrying, BlockDevice, DeviceError, FileDevice, FlushPolicy, Journal,
+    MemDevice, MemberWrite, RetryCounters, RetryPolicy, RetryReader, RetryStats,
 };
 use ecc::{ErasureCode, Raid6, XorParity};
 use gf::Gf256;
@@ -399,10 +399,100 @@ pub struct OiRaidStore<B: BlockDevice = MemDevice> {
 #[derive(Debug)]
 struct DurableState {
     journal: Journal,
+    /// When member devices are flushed relative to applied markers: the
+    /// process-crash vs power-loss durability knob (see [`FlushPolicy`]).
+    policy: FlushPolicy,
     /// Intents redone at `open_durable` (0 for a fresh store).
     replayed: AtomicU64,
     /// Torn journal tails truncated at `open_durable`.
     rolled_back: AtomicU64,
+    /// Corrupt mid-log regions skipped during recovery.
+    skipped: AtomicU64,
+    /// `FlushPolicy::Timed` bookkeeping: applied markers deferred until
+    /// the covering member flush completes.
+    pending: Mutex<PendingFlush>,
+    /// Member-flush counters and histograms (`oi_flush_*`).
+    flush_stats: FlushStats,
+}
+
+impl DurableState {
+    fn new(journal: Journal, policy: FlushPolicy) -> Self {
+        Self {
+            journal,
+            policy,
+            replayed: AtomicU64::new(0),
+            rolled_back: AtomicU64::new(0),
+            skipped: AtomicU64::new(0),
+            pending: Mutex::new(PendingFlush::new()),
+            flush_stats: FlushStats::default(),
+        }
+    }
+}
+
+/// Applied markers waiting for their covering member flush under
+/// [`FlushPolicy::Timed`]: the high-water mark of sequence numbers whose
+/// member writes have completed but not yet been flushed, plus the disks
+/// those writes dirtied.
+#[derive(Debug)]
+struct PendingFlush {
+    /// Intent sequence numbers whose applied markers are deferred.
+    seqs: Vec<u64>,
+    /// Disks dirtied by those intents' member writes.
+    dirty: BTreeSet<usize>,
+    /// When the last flush cycle started (deadline baseline).
+    last_flush: Instant,
+}
+
+impl PendingFlush {
+    fn new() -> Self {
+        Self {
+            seqs: Vec::new(),
+            dirty: BTreeSet::new(),
+            last_flush: Instant::now(),
+        }
+    }
+}
+
+/// Counters a store exports as `oi_flush_*` metrics.
+#[derive(Debug)]
+struct FlushStats {
+    /// Member-flush barriers performed (one per wave or timed cycle).
+    waves: AtomicU64,
+    /// Individual device flushes issued across all barriers.
+    devices: AtomicU64,
+    /// Devices flushed per barrier (the flush batch size).
+    batch: Arc<Histogram>,
+    /// Wall time a commit stalled behind one barrier, in nanoseconds.
+    stall: Arc<Histogram>,
+}
+
+impl Default for FlushStats {
+    fn default() -> Self {
+        Self {
+            waves: AtomicU64::new(0),
+            devices: AtomicU64::new(0),
+            batch: Arc::new(Histogram::new()),
+            stall: Arc::new(Histogram::new()),
+        }
+    }
+}
+
+/// Handle to the background flusher thread of a [`FlushPolicy::Timed`]
+/// store (see [`OiRaidStore::spawn_flusher`]). Dropping it stops the
+/// thread after one final flush cycle.
+#[derive(Debug)]
+pub struct FlusherHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for FlusherHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
 }
 
 /// Where and how often the rebuild engine checkpoints (see
@@ -533,6 +623,10 @@ impl OiRaidStore<FileDevice> {
     /// Use [`Self::open_durable`] to reopen the same directory after a
     /// crash or clean shutdown.
     ///
+    /// The member-flush policy comes from `OI_RAID_FLUSH_POLICY`
+    /// (default [`FlushPolicy::Never`] — process-crash durability); use
+    /// [`Self::create_durable_with`] to pass one explicitly.
+    ///
     /// # Errors
     ///
     /// As [`Self::create_in_dir`], plus [`StoreError::Journal`] if the
@@ -542,19 +636,20 @@ impl OiRaidStore<FileDevice> {
         chunk_size: usize,
         dir: impl AsRef<Path>,
     ) -> Result<Self, StoreError> {
+        Self::create_durable_with(cfg, chunk_size, dir, FlushPolicy::from_env())
+    }
+
+    /// [`Self::create_durable`] with an explicit [`FlushPolicy`] instead
+    /// of the environment default.
+    pub fn create_durable_with(
+        cfg: OiRaidConfig,
+        chunk_size: usize,
+        dir: impl AsRef<Path>,
+        policy: FlushPolicy,
+    ) -> Result<Self, StoreError> {
         let dir = dir.as_ref();
-        let mut store = Self::create_in_dir(cfg, chunk_size, dir)?;
-        let journal = Journal::create(dir.join("journal.log")).map_err(journal_err)?;
-        store.durable = Some(Arc::new(DurableState {
-            journal,
-            replayed: AtomicU64::new(0),
-            rolled_back: AtomicU64::new(0),
-        }));
-        *store.ckpt.lock().expect("ckpt lock") = Some(CheckpointPolicy {
-            path: dir.join("rebuild.ckpt"),
-            interval: ckpt_interval_from_env(),
-        });
-        Ok(store)
+        let store = Self::create_in_dir(cfg, chunk_size, dir)?;
+        store.into_durable_created(dir, policy)
     }
 
     /// Reopens a durable store created by [`Self::create_durable`] —
@@ -578,10 +673,25 @@ impl OiRaidStore<FileDevice> {
     ///
     /// [`StoreError::Device`] if any device file is missing or has the
     /// wrong size, [`StoreError::Journal`] on journal I/O errors.
+    ///
+    /// The member-flush policy comes from `OI_RAID_FLUSH_POLICY` (default
+    /// [`FlushPolicy::Never`]); use [`Self::open_durable_with`] to pass
+    /// one explicitly.
     pub fn open_durable(
         cfg: OiRaidConfig,
         chunk_size: usize,
         dir: impl AsRef<Path>,
+    ) -> Result<Self, StoreError> {
+        Self::open_durable_with(cfg, chunk_size, dir, FlushPolicy::from_env())
+    }
+
+    /// [`Self::open_durable`] with an explicit [`FlushPolicy`] instead of
+    /// the environment default.
+    pub fn open_durable_with(
+        cfg: OiRaidConfig,
+        chunk_size: usize,
+        dir: impl AsRef<Path>,
+        policy: FlushPolicy,
     ) -> Result<Self, StoreError> {
         if chunk_size == 0 {
             return Err(StoreError::WrongChunkSize {
@@ -601,44 +711,7 @@ impl OiRaidStore<FileDevice> {
                 .map_err(|error| StoreError::Device { disk: d, error })
             })
             .collect::<Result<Vec<_>, _>>()?;
-        let mut store = Self::with_devices(cfg, chunk_size, devices)?;
-
-        let (journal, summary) = Journal::open(dir.join("journal.log")).map_err(journal_err)?;
-        let replayed = summary.redo.len() as u64;
-        for (_seq, writes) in &summary.redo {
-            for w in writes {
-                if w.data.len() != chunk_size {
-                    return Err(StoreError::Journal {
-                        kind: std::io::ErrorKind::InvalidData,
-                        message: format!(
-                            "intent member has {} bytes, store uses {chunk_size}",
-                            w.data.len()
-                        ),
-                    });
-                }
-                store.write_chunk(ChunkAddr::new(w.disk as usize, w.chunk as usize), &w.data)?;
-            }
-        }
-        // Only after every redo write landed may the log be dropped — a
-        // crash before this point simply replays again on the next open.
-        journal.reset().map_err(journal_err)?;
-        if replayed > 0 || summary.rolled_back > 0 {
-            telemetry::flight_event(
-                telemetry::EventKind::JournalReplay,
-                replayed,
-                summary.rolled_back,
-            );
-        }
-        store.durable = Some(Arc::new(DurableState {
-            journal,
-            replayed: AtomicU64::new(replayed),
-            rolled_back: AtomicU64::new(summary.rolled_back),
-        }));
-        *store.ckpt.lock().expect("ckpt lock") = Some(CheckpointPolicy {
-            path: dir.join("rebuild.ckpt"),
-            interval: ckpt_interval_from_env(),
-        });
-        Ok(store)
+        Self::open_durable_on(cfg, chunk_size, devices, dir, policy)
     }
 }
 
@@ -1124,9 +1197,165 @@ impl<B: BlockDevice> OiRaidStore<B> {
         }
         if let Some(seq) = seq {
             let d = self.durable.as_ref().expect("journaled above");
-            d.journal.mark_applied(seq).map_err(journal_err)?;
+            match d.policy {
+                // Process-crash model: the page cache keeps member writes
+                // alive through the abort, so the marker needs no barrier.
+                FlushPolicy::Never => d.journal.mark_applied(seq).map_err(journal_err)?,
+                // Power-loss model: the applied marker may only be
+                // appended once the member flush completed, and truncation
+                // is safe because every earlier marker obeyed the same
+                // rule — the whole log's member writes are on stable
+                // storage by the time it drains.
+                FlushPolicy::PerWave => {
+                    let disks = news.iter().map(|(a, _, _)| a.disk).collect::<BTreeSet<_>>();
+                    self.flush_disks_inner(&d.flush_stats, disks)?;
+                    crash_point("member_flush");
+                    if d.journal
+                        .mark_applied_no_truncate(seq)
+                        .map_err(journal_err)?
+                    {
+                        d.journal.try_truncate().map_err(journal_err)?;
+                    }
+                }
+                // Deferred barrier: park the marker behind the flush
+                // high-water mark; a commit past the deadline runs the
+                // flush cycle inline (a background flusher can run it too,
+                // see `spawn_flusher`).
+                FlushPolicy::Timed(interval) => {
+                    let due = {
+                        let mut p = d.pending.lock().expect("pending flush lock");
+                        p.seqs.push(seq);
+                        p.dirty.extend(news.iter().map(|(a, _, _)| a.disk));
+                        p.last_flush.elapsed() >= interval
+                    };
+                    if due {
+                        self.flush_pending()?;
+                    }
+                }
+            }
         }
         Ok(())
+    }
+
+    /// Runs one `FlushPolicy::Timed` flush cycle now: flushes every disk
+    /// dirtied since the last cycle, then appends the deferred applied
+    /// markers those flushes cover (and truncates the drained log).
+    /// Returns how many intents were marked applied. A no-op `Ok(0)` for
+    /// non-durable stores, other policies, and empty cycles. Call before
+    /// dropping a `Timed` store for a clean shutdown — skipping it is
+    /// *safe* (the intents replay from the log on the next open) but makes
+    /// reopening do redundant redo work.
+    pub fn flush_pending(&self) -> Result<usize, StoreError> {
+        let Some(d) = &self.durable else {
+            return Ok(0);
+        };
+        let (seqs, dirty) = {
+            let mut p = d.pending.lock().expect("pending flush lock");
+            p.last_flush = Instant::now();
+            if p.seqs.is_empty() {
+                return Ok(0);
+            }
+            (std::mem::take(&mut p.seqs), std::mem::take(&mut p.dirty))
+        };
+        if let Err(e) = self.flush_disks_inner(&d.flush_stats, dirty.iter().copied()) {
+            // Markers were never appended, so the intents stay redoable;
+            // re-park them for the next cycle's retry.
+            let mut p = d.pending.lock().expect("pending flush lock");
+            p.seqs.extend(seqs);
+            p.dirty.extend(dirty);
+            return Err(e);
+        }
+        crash_point("member_flush");
+        for &seq in &seqs {
+            d.journal
+                .mark_applied_no_truncate(seq)
+                .map_err(journal_err)?;
+        }
+        d.journal.try_truncate().map_err(journal_err)?;
+        Ok(seqs.len())
+    }
+
+    /// Flushes `disks` through [`BlockDevice::flush`], retrying transient
+    /// failures (a lost cache-flush command must be reissued before the
+    /// barrier counts), and records the `oi_flush_*` stats for the
+    /// barrier. Failed disks are skipped — their contents are gone either
+    /// way.
+    fn flush_disks_inner(
+        &self,
+        stats: &FlushStats,
+        disks: impl IntoIterator<Item = usize>,
+    ) -> Result<(), StoreError> {
+        let began = Instant::now();
+        let mut flushed = 0u64;
+        for disk in disks {
+            if self.disk_down(disk) {
+                continue;
+            }
+            let mut attempts = 0u32;
+            loop {
+                match self.devices[disk].flush() {
+                    Ok(()) => break,
+                    Err(error) if error.is_transient() && attempts < 8 => attempts += 1,
+                    Err(error) => return Err(StoreError::Device { disk, error }),
+                }
+            }
+            flushed += 1;
+        }
+        stats.waves.fetch_add(1, Ordering::Relaxed);
+        stats.devices.fetch_add(flushed, Ordering::Relaxed);
+        stats.batch.record(flushed);
+        stats.stall.record_duration(began.elapsed());
+        Ok(())
+    }
+
+    /// Flushes the rebuild target disks before a checkpoint save when the
+    /// flush policy models power loss: the checkpoint file is fsynced, so
+    /// it must not vouch for writeback chunks still sitting in a volatile
+    /// device cache. A no-op under [`FlushPolicy::Never`] or without a
+    /// journal.
+    pub(crate) fn flush_for_checkpoint(&self, targets: &[usize]) -> Result<(), StoreError> {
+        let Some(d) = &self.durable else {
+            return Ok(());
+        };
+        if d.policy == FlushPolicy::Never {
+            return Ok(());
+        }
+        self.flush_disks_inner(&d.flush_stats, targets.iter().copied())
+    }
+
+    /// Spawns the background flusher for a [`FlushPolicy::Timed`] store:
+    /// a thread waking every half-interval to run [`Self::flush_pending`],
+    /// so applied markers advance even when no foreground commit crosses
+    /// the deadline. Returns `None` for non-durable stores and other
+    /// policies. Dropping the handle stops the thread after one final
+    /// flush cycle.
+    pub fn spawn_flusher(self: &Arc<Self>) -> Option<FlusherHandle>
+    where
+        B: 'static,
+    {
+        let Some(FlushPolicy::Timed(interval)) = self.flush_policy() else {
+            return None;
+        };
+        let stop = Arc::new(AtomicBool::new(false));
+        let store = Arc::clone(self);
+        let flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("oi-flusher".into())
+            .spawn(move || {
+                let tick = (interval / 2).max(Duration::from_millis(1));
+                while !flag.load(Ordering::Relaxed) {
+                    std::thread::sleep(tick);
+                    // Transient flush errors re-park the pending markers;
+                    // the next tick retries them.
+                    let _ = store.flush_pending();
+                }
+                let _ = store.flush_pending();
+            })
+            .expect("spawn flusher thread");
+        Some(FlusherHandle {
+            stop,
+            thread: Some(thread),
+        })
     }
 
     /// Reads logical data chunk `idx`, reconstructing through the
@@ -1266,9 +1495,113 @@ impl<B: BlockDevice> OiRaidStore<B> {
         &self.telem
     }
 
+    /// Finishes durable creation over an already-built store: fresh
+    /// journal in `dir`, checkpoint policy, flush policy.
+    fn into_durable_created(mut self, dir: &Path, policy: FlushPolicy) -> Result<Self, StoreError> {
+        let journal = Journal::create(dir.join("journal.log")).map_err(journal_err)?;
+        self.durable = Some(Arc::new(DurableState::new(journal, policy)));
+        *self.ckpt.lock().expect("ckpt lock") = Some(CheckpointPolicy {
+            path: dir.join("rebuild.ckpt"),
+            interval: ckpt_interval_from_env(),
+        });
+        Ok(self)
+    }
+
+    /// [`OiRaidStore::create_durable_with`] over a caller-built device
+    /// stack: wraps `devices` (one per disk, as
+    /// [`OiRaidStore::with_devices`]) and creates a fresh journal plus
+    /// checkpoint policy in `dir`. The caller owns device persistence —
+    /// the crash harness uses this to journal
+    /// [`blockdev::WriteBackDevice`]-wrapped file devices whose unflushed
+    /// buffers model a volatile write cache.
+    pub fn create_durable_on(
+        cfg: OiRaidConfig,
+        chunk_size: usize,
+        devices: Vec<B>,
+        dir: impl AsRef<Path>,
+        policy: FlushPolicy,
+    ) -> Result<Self, StoreError> {
+        let store = Self::with_devices(cfg, chunk_size, devices)?;
+        store.into_durable_created(dir.as_ref(), policy)
+    }
+
+    /// [`OiRaidStore::open_durable_with`] over a caller-built device
+    /// stack: wraps `devices`, scans the journal in `dir`, redoes
+    /// committed-but-unapplied intents onto them, and resets the log.
+    /// Under a power-loss policy ([`FlushPolicy::PerWave`] or
+    /// [`FlushPolicy::Timed`]) every device is flushed *before* the reset:
+    /// truncation destroys the redo records, so the member writes they
+    /// re-created must be on stable storage first.
+    pub fn open_durable_on(
+        cfg: OiRaidConfig,
+        chunk_size: usize,
+        devices: Vec<B>,
+        dir: impl AsRef<Path>,
+        policy: FlushPolicy,
+    ) -> Result<Self, StoreError> {
+        let dir = dir.as_ref();
+        let mut store = Self::with_devices(cfg, chunk_size, devices)?;
+
+        let (journal, summary) = Journal::open(dir.join("journal.log")).map_err(journal_err)?;
+        let replayed = summary.redo.len() as u64;
+        for (_seq, writes) in &summary.redo {
+            for w in writes {
+                if w.data.len() != chunk_size {
+                    return Err(StoreError::Journal {
+                        kind: std::io::ErrorKind::InvalidData,
+                        message: format!(
+                            "intent member has {} bytes, store uses {chunk_size}",
+                            w.data.len()
+                        ),
+                    });
+                }
+                store.write_chunk(ChunkAddr::new(w.disk as usize, w.chunk as usize), &w.data)?;
+            }
+        }
+        let durable = DurableState::new(journal, policy);
+        if policy != FlushPolicy::Never && replayed > 0 {
+            // Push the redo writes through the devices' volatile caches
+            // before the journal forgets them. A crash mid-flush is fine:
+            // the log is still intact, so the next open replays again.
+            let disks: BTreeSet<usize> = summary
+                .redo
+                .iter()
+                .flat_map(|(_, ws)| ws.iter().map(|w| w.disk as usize))
+                .collect();
+            store.flush_disks_inner(&durable.flush_stats, disks)?;
+        }
+        // Only after every redo write landed (and, under a power-loss
+        // policy, was flushed) may the log be dropped — a crash before
+        // this point simply replays again on the next open.
+        durable.journal.reset().map_err(journal_err)?;
+        if replayed > 0 || summary.rolled_back > 0 || summary.skipped > 0 {
+            telemetry::flight_event(
+                telemetry::EventKind::JournalReplay,
+                replayed,
+                summary.rolled_back,
+            );
+        }
+        durable.replayed.store(replayed, Ordering::Relaxed);
+        durable
+            .rolled_back
+            .store(summary.rolled_back, Ordering::Relaxed);
+        durable.skipped.store(summary.skipped, Ordering::Relaxed);
+        store.durable = Some(Arc::new(durable));
+        *store.ckpt.lock().expect("ckpt lock") = Some(CheckpointPolicy {
+            path: dir.join("rebuild.ckpt"),
+            interval: ckpt_interval_from_env(),
+        });
+        Ok(store)
+    }
+
     /// The attached write-ahead journal, if this store is durable.
     pub fn journal(&self) -> Option<&Journal> {
         self.durable.as_deref().map(|d| &d.journal)
+    }
+
+    /// The member-flush policy, if this store is durable.
+    pub fn flush_policy(&self) -> Option<FlushPolicy> {
+        self.durable.as_deref().map(|d| d.policy)
     }
 
     /// Attaches `journal` to an existing store: every subsequent
@@ -1278,15 +1611,11 @@ impl<B: BlockDevice> OiRaidStore<B> {
     /// build — e.g. fault-injected file devices in benchmarks or tests.
     ///
     /// Crash *recovery* stays the caller's problem: replay on reopen only
-    /// happens through [`Self::open_durable`], so attach a journal over
-    /// non-persistent devices only to measure the journaling cost, not to
-    /// survive anything.
-    pub fn attach_journal(&mut self, journal: Journal) {
-        self.durable = Some(Arc::new(DurableState {
-            journal,
-            replayed: AtomicU64::new(0),
-            rolled_back: AtomicU64::new(0),
-        }));
+    /// happens through [`Self::open_durable`] / [`Self::open_durable_on`],
+    /// so attach a journal over non-persistent devices only to measure the
+    /// journaling cost, not to survive anything.
+    pub fn attach_journal(&mut self, journal: Journal, policy: FlushPolicy) {
+        self.durable = Some(Arc::new(DurableState::new(journal, policy)));
     }
 
     /// Replaces the rebuild checkpoint policy (`None` disables
@@ -1426,7 +1755,7 @@ impl<B: BlockDevice> OiRaidStore<B> {
         // Journal series export even without a journal attached (as zeros
         // / an empty histogram), so dashboards and the metrics lint see a
         // stable universe across durable and in-memory stores.
-        let (appends, flushes, resets, replayed, rolled_back) = match &self.durable {
+        let (appends, flushes, resets, replayed, rolled_back, skipped) = match &self.durable {
             Some(d) => {
                 let s = d.journal.stats();
                 (
@@ -1435,9 +1764,10 @@ impl<B: BlockDevice> OiRaidStore<B> {
                     s.resets.load(Ordering::Relaxed),
                     d.replayed.load(Ordering::Relaxed),
                     d.rolled_back.load(Ordering::Relaxed),
+                    d.skipped.load(Ordering::Relaxed),
                 )
             }
-            None => (0, 0, 0, 0, 0),
+            None => (0, 0, 0, 0, 0, 0),
         };
         for (name, help, value) in [
             (
@@ -1465,6 +1795,11 @@ impl<B: BlockDevice> OiRaidStore<B> {
                 "Torn journal tails rolled back during crash recovery",
                 rolled_back,
             ),
+            (
+                "oi_journal_skipped_total",
+                "Corrupt mid-log regions skipped by resync during crash recovery",
+                skipped,
+            ),
         ] {
             reg.counter(name, help, &[]).set(value);
         }
@@ -1474,6 +1809,46 @@ impl<B: BlockDevice> OiRaidStore<B> {
             &[],
             match &self.durable {
                 Some(d) => Arc::clone(&d.journal.stats().batch),
+                None => Arc::new(Histogram::new()),
+            },
+        );
+        // Member-flush series: same always-exported contract as the
+        // journal series (zeros / empty histograms when no flush policy is
+        // doing any work).
+        let (flush_waves, flush_devices) = match &self.durable {
+            Some(d) => (
+                d.flush_stats.waves.load(Ordering::Relaxed),
+                d.flush_stats.devices.load(Ordering::Relaxed),
+            ),
+            None => (0, 0),
+        };
+        reg.counter(
+            "oi_flush_waves_total",
+            "Member-flush barriers performed before applied markers",
+            &[],
+        )
+        .set(flush_waves);
+        reg.counter(
+            "oi_flush_devices_total",
+            "Individual device flushes issued across all barriers",
+            &[],
+        )
+        .set(flush_devices);
+        reg.register_histogram(
+            "oi_flush_batch_devices",
+            "Devices flushed per member-flush barrier",
+            &[],
+            match &self.durable {
+                Some(d) => Arc::clone(&d.flush_stats.batch),
+                None => Arc::new(Histogram::new()),
+            },
+        );
+        reg.register_histogram(
+            "oi_flush_stall_ns",
+            "Commit stall behind one member-flush barrier in nanoseconds",
+            &[],
+            match &self.durable {
+                Some(d) => Arc::clone(&d.flush_stats.stall),
                 None => Arc::new(Histogram::new()),
             },
         );

@@ -111,6 +111,10 @@ pub enum EventKind {
     JournalReplay = 44,
     /// A rebuild resumed from a checkpoint (`a` = chunks already valid, `b` = total).
     CheckpointResume = 45,
+    /// Journal recovery skipped corrupt mid-log records by resynchronizing
+    /// to the next valid record boundary (`a` = corrupt gaps, `b` = bytes
+    /// skipped).
+    JournalCorruption = 46,
 }
 
 impl EventKind {
@@ -144,6 +148,7 @@ impl EventKind {
             Self::LatentRepair => "latent_repair",
             Self::JournalReplay => "journal_replay",
             Self::CheckpointResume => "checkpoint_resume",
+            Self::JournalCorruption => "journal_corruption",
         }
     }
 
@@ -176,6 +181,7 @@ impl EventKind {
             43 => Self::LatentRepair,
             44 => Self::JournalReplay,
             45 => Self::CheckpointResume,
+            46 => Self::JournalCorruption,
             _ => return None,
         })
     }

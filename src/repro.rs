@@ -20,7 +20,7 @@ pub mod prelude {
     pub use bibd::{fano, find_design, Bibd};
     pub use blockdev::{
         BlockDevice, CounterSnapshot, DeviceError, FaultConfig, FaultInjectingDevice, FileDevice,
-        Journal, MemDevice, RetryPolicy,
+        FlushPolicy, Journal, MemDevice, RetryPolicy, WriteBackDevice,
     };
     pub use disksim::{ArrivalProcess, DiskSpec, SimTime, Simulation, Workload, WorkloadKind};
     pub use ecc::{ErasureCode, EvenOdd, Lrc, Raid6, Rdp, ReedSolomon, Replication, XorParity};
@@ -29,10 +29,10 @@ pub mod prelude {
         SparePolicy,
     };
     pub use oi_raid::{
-        analysis::Model, CheckpointPolicy, DegradedScenario, HealCounters, OiRaid, OiRaidConfig,
-        OiRaidStore, QosConfig, QosCounters, ReadPlan, RebuildCheckpoint, RebuildMode,
-        RebuildObserver, RebuildOutcome, RebuildReport, RecoveryStrategy, ScrubReport, SkewMode,
-        StageSummary, StageTimings, StoreError, StoreTelemetry,
+        analysis::Model, CheckpointPolicy, DegradedScenario, FlusherHandle, HealCounters, OiRaid,
+        OiRaidConfig, OiRaidStore, QosConfig, QosCounters, ReadPlan, RebuildCheckpoint,
+        RebuildMode, RebuildObserver, RebuildOutcome, RebuildReport, RecoveryStrategy, ScrubReport,
+        SkewMode, StageSummary, StageTimings, StoreError, StoreTelemetry,
     };
     pub use reliability::markov::array_mttdl;
     pub use reliability::montecarlo::{simulate_lifetime, Lifetime, LifetimeConfig};

@@ -16,7 +16,16 @@
 //! after the store acknowledges, so the verifier knows exactly which
 //! patterns a chunk is allowed to hold no matter where the child died.
 //!
+//! With `OI_CRASH_POWER=1` the children additionally model *power loss*:
+//! member I/O runs through [`WriteBackDevice`] wrappers whose unflushed
+//! buffers — a drive's volatile write cache — die with the abort. Under
+//! [`FlushPolicy::PerWave`] / [`FlushPolicy::Timed`] the acknowledged
+//! writes must still converge (the journal's fdatasync'd intents redo
+//! them); under [`FlushPolicy::Never`] they demonstrably do not — the
+//! negative control below asserts the data loss.
+//!
 //! Knobs: `OI_CRASH_CYCLES` (default 100) sizes the kill-anywhere sweep;
+//! `OI_CRASH_POWER_CYCLES` (default 50) sizes each power-loss sweep;
 //! `OI_CRASH_MATRIX=1` additionally runs the targeted point × hit grid.
 
 #![cfg(unix)]
@@ -123,6 +132,8 @@ fn spawn_child(test: &str, dir: &Path, envs: &[(&str, String)]) -> std::process:
         .env_remove("OI_CRASH_COUNT")
         .env_remove("OI_CRASH_POINT")
         .env_remove("OI_CRASH_HITS")
+        .env_remove("OI_CRASH_POWER")
+        .env_remove("OI_RAID_FLUSH_POLICY")
         .env("OI_CRASH_DIR", dir)
         .stdout(Stdio::null())
         .stderr(Stdio::null());
@@ -196,26 +207,33 @@ fn metric_value(text: &str, name: &str) -> u64 {
         .unwrap_or(0)
 }
 
-/// Subprocess body: reopens the durable store (replaying whatever the last
-/// crash left), re-fails persisted failures, and runs a deterministic
-/// journaled workload — singles plus batched waves — logging `begin`/`ack`
-/// around every acknowledged write. Armed crash points kill it anywhere.
-#[test]
-#[ignore = "subprocess body for the crash harness; spawned by the tests below"]
-fn crash_child() {
-    let Ok(dir) = std::env::var("OI_CRASH_DIR") else {
-        return;
-    };
-    let dir = PathBuf::from(dir);
-    let cycle: u64 = std::env::var("OI_CRASH_CYCLE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
-    let cfg = OiRaidConfig::reference();
-    let store = OiRaidStore::open_durable(cfg, CHUNK, &dir).expect("child open");
-    for d in read_failed(&dir) {
-        store.fail_disk(d).expect("child re-fail");
-    }
+/// Power-loss reopen for a harness child: every member device is a
+/// [`WriteBackDevice`] over the persisted file, so writes sit in a
+/// simulated volatile cache until [`BlockDevice::flush`] pushes them down
+/// — and die with the abort if nothing ever flushed them. The flush policy
+/// comes from `OI_RAID_FLUSH_POLICY` exactly as in the plain open.
+fn open_power(cfg: &OiRaidConfig, dir: &Path) -> OiRaidStore<WriteBackDevice<FileDevice>> {
+    let array = OiRaid::new(cfg.clone()).expect("reference config");
+    let devices: Vec<_> = (0..array.disks())
+        .map(|d| {
+            WriteBackDevice::new(
+                FileDevice::open(
+                    dir.join(format!("disk-{d:03}.img")),
+                    CHUNK,
+                    array.chunks_per_disk(),
+                )
+                .expect("child disk file"),
+            )
+        })
+        .collect();
+    OiRaidStore::open_durable_on(cfg.clone(), CHUNK, devices, dir, FlushPolicy::from_env())
+        .expect("child power open")
+}
+
+/// The shared crash-child workload, generic over the device stack so the
+/// same body runs on plain file devices (process-crash model) and on
+/// write-back-wrapped ones (power-loss model).
+fn child_workload<B: BlockDevice>(store: &OiRaidStore<B>, dir: &Path, cycle: u64) {
     let span = SPAN.min((store.capacity_bytes() as usize / CHUNK).max(1));
 
     // Twelve single-chunk writes: each is one journaled multi-member RMW
@@ -224,11 +242,11 @@ fn crash_child() {
         let h = splitmix(cycle.wrapping_mul(131) ^ i);
         let p = (h % span as u64) as usize;
         let seed = h | 1;
-        log_lines(&dir, &[format!("begin {p} {seed}")]);
+        log_lines(dir, &[format!("begin {p} {seed}")]);
         store
             .write_bytes((p * CHUNK) as u64, &fill(seed, CHUNK))
             .expect("child write");
-        log_lines(&dir, &[format!("ack {p} {seed}")]);
+        log_lines(dir, &[format!("ack {p} {seed}")]);
     }
 
     // Two batched waves of four distinct chunks: journaled stores commit
@@ -244,7 +262,7 @@ fn crash_child() {
             .zip(&seeds)
             .map(|(p, s)| format!("begin {p} {s}"))
             .collect();
-        log_lines(&dir, &begins);
+        log_lines(dir, &begins);
         let datas: Vec<Vec<u8>> = seeds.iter().map(|&s| fill(s, CHUNK)).collect();
         let writes: Vec<(u64, &[u8])> = ps
             .iter()
@@ -257,22 +275,46 @@ fn crash_child() {
             .zip(&seeds)
             .map(|(p, s)| format!("ack {p} {s}"))
             .collect();
-        log_lines(&dir, &acks);
+        log_lines(dir, &acks);
     }
 }
 
-/// Subprocess body for rebuild crash cycles: reopens, re-fails the
-/// persisted disks, and runs a checkpointing rebuild until an armed point
-/// (typically `rebuild_writeback` or `checkpoint_write`) kills it.
+/// Subprocess body: reopens the durable store (replaying whatever the last
+/// crash left), re-fails persisted failures, and runs a deterministic
+/// journaled workload — singles plus batched waves — logging `begin`/`ack`
+/// around every acknowledged write. Armed crash points kill it anywhere;
+/// with `OI_CRASH_POWER=1` the member devices are write-back wrapped so
+/// the kill also drops their unflushed caches.
 #[test]
 #[ignore = "subprocess body for the crash harness; spawned by the tests below"]
-fn rebuild_child() {
+fn crash_child() {
     let Ok(dir) = std::env::var("OI_CRASH_DIR") else {
         return;
     };
     let dir = PathBuf::from(dir);
+    let cycle: u64 = std::env::var("OI_CRASH_CYCLE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     let cfg = OiRaidConfig::reference();
-    let store = OiRaidStore::open_durable(cfg, CHUNK, &dir).expect("rebuild child open");
+    if blockdev::crash::power_loss_armed() {
+        let store = open_power(&cfg, &dir);
+        for d in read_failed(&dir) {
+            store.fail_disk(d).expect("child re-fail");
+        }
+        child_workload(&store, &dir, cycle);
+    } else {
+        let store = OiRaidStore::open_durable(cfg, CHUNK, &dir).expect("child open");
+        for d in read_failed(&dir) {
+            store.fail_disk(d).expect("child re-fail");
+        }
+        child_workload(&store, &dir, cycle);
+    }
+}
+
+/// The shared rebuild-child body, generic over the device stack for the
+/// same reason as [`child_workload`].
+fn rebuild_body<B: BlockDevice>(store: &OiRaidStore<B>, dir: &Path) {
     // Fail the persisted disks only when no checkpoint exists yet (the
     // first attempt: a real disk replacement). On a resume attempt the
     // device file holds the partial rebuild — re-failing would blank it.
@@ -280,7 +322,7 @@ fn rebuild_child() {
         .checkpoint_policy()
         .is_some_and(|p| RebuildCheckpoint::load(&p.path).is_some());
     if !has_ckpt {
-        let failed = read_failed(&dir);
+        let failed = read_failed(dir);
         assert!(
             !failed.is_empty(),
             "rebuild child needs a persisted failure"
@@ -297,6 +339,25 @@ fn rebuild_child() {
         )
         .expect("rebuild child rebuild");
     assert!(report.outcome.is_recovered(), "{report}");
+}
+
+/// Subprocess body for rebuild crash cycles: reopens, re-fails the
+/// persisted disks, and runs a checkpointing rebuild until an armed point
+/// (typically `rebuild_writeback` or `checkpoint_write`) kills it.
+#[test]
+#[ignore = "subprocess body for the crash harness; spawned by the tests below"]
+fn rebuild_child() {
+    let Ok(dir) = std::env::var("OI_CRASH_DIR") else {
+        return;
+    };
+    let dir = PathBuf::from(dir);
+    let cfg = OiRaidConfig::reference();
+    if blockdev::crash::power_loss_armed() {
+        rebuild_body(&open_power(&cfg, &dir), &dir);
+    } else {
+        let store = OiRaidStore::open_durable(cfg, CHUNK, &dir).expect("rebuild child open");
+        rebuild_body(&store, &dir);
+    }
 }
 
 /// The tentpole acceptance test: ≥100 randomized kill-anywhere
@@ -358,6 +419,194 @@ fn kill_anywhere_crash_cycles_converge() {
             "{crashes} crashes but no journal replay ever redone"
         );
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Shared driver for the power-loss sweeps: randomized kill-anywhere
+/// cycles where the child routes member I/O through write-back caches
+/// (`OI_CRASH_POWER=1`) under the given flush policy, and every abort
+/// drops whatever the policy had not yet flushed. The verifier reopens on
+/// plain file devices — the power loss already happened at the kill — and
+/// asserts full convergence.
+fn power_loss_cycles(policy: &str, tag: &str) {
+    let cycles: u64 = std::env::var("OI_CRASH_POWER_CYCLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50);
+    let dir = unique_dir(&format!("power-{tag}"));
+    let cfg = OiRaidConfig::reference();
+    drop(OiRaidStore::create_durable(cfg.clone(), CHUNK, &dir).expect("create durable"));
+
+    let mut crashes = 0u64;
+    let mut replays = 0u64;
+    for cycle in 0..cycles {
+        // 1-based kill site swept past the run's total hit count (which is
+        // larger than the process-crash sweep's: flush barriers add
+        // member_flush hits), so some children still finish cleanly.
+        let count = 1 + splitmix(0x90E7 ^ cycle ^ (tag.len() as u64) << 32) % 170;
+        let status = spawn_child(
+            "crash_child",
+            &dir,
+            &[
+                ("OI_CRASH_COUNT", count.to_string()),
+                ("OI_CRASH_CYCLE", (0x8000 + cycle).to_string()),
+                ("OI_CRASH_POWER", "1".to_string()),
+                ("OI_RAID_FLUSH_POLICY", policy.to_string()),
+            ],
+        );
+        assert_clean_or_aborted(status, &format!("power {policy} cycle {cycle}"));
+        if !status.success() {
+            crashes += 1;
+        }
+        replays += verify_converged(&dir, &cfg, &format!("power {policy} cycle {cycle}"));
+    }
+    assert!(
+        crashes > 0,
+        "power sweep ({policy}) never crashed a child — crash points unarmed?"
+    );
+    if cycles >= 20 {
+        assert!(
+            replays > 0,
+            "{crashes} power-loss crashes ({policy}) but no journal replay ever redone"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Power-loss acceptance: ≥50 kill/drop/replay cycles under
+/// [`FlushPolicy::PerWave`] converge — every acknowledged write survives
+/// the loss of all unflushed write-back caches, and parity stays clean.
+#[test]
+fn power_loss_cycles_converge_per_wave() {
+    power_loss_cycles("perwave", "pw");
+}
+
+/// Same sweep under [`FlushPolicy::Timed`] with a 2ms interval: most
+/// kills land between flush barriers, so convergence leans entirely on
+/// journal replay covering the un-applied (and now dropped) tail.
+#[test]
+fn power_loss_cycles_converge_timed() {
+    power_loss_cycles("timed:2", "timed");
+}
+
+/// The negative control: under [`FlushPolicy::Never`] the applied markers
+/// land in the (surviving) journal file while the member writes they vouch
+/// for die in the write-back caches — so replay skips them and
+/// acknowledged data is genuinely lost. If this test ever finds *no* loss,
+/// the power-loss harness has stopped simulating power loss and the
+/// converging sweeps above prove nothing.
+#[test]
+fn power_loss_never_policy_loses_data() {
+    let cfg = OiRaidConfig::reference();
+    let mut lost = 0u64;
+    let attempts = 4u64;
+    for attempt in 0..attempts {
+        let dir = unique_dir(&format!("power-never-{attempt}"));
+        drop(OiRaidStore::create_durable(cfg.clone(), CHUNK, &dir).expect("create durable"));
+        // Kill late: a Never-policy run hits ~84+ points (appends, group
+        // flushes, member writes), so count 80 lands after many acked
+        // singles whose buffered members then drop with the abort.
+        let status = spawn_child(
+            "crash_child",
+            &dir,
+            &[
+                ("OI_CRASH_COUNT", "80".to_string()),
+                ("OI_CRASH_CYCLE", (0xA000 + attempt).to_string()),
+                ("OI_CRASH_POWER", "1".to_string()),
+                ("OI_RAID_FLUSH_POLICY", "never".to_string()),
+            ],
+        );
+        assert_eq!(
+            status.signal(),
+            Some(SIGABRT),
+            "negative-control child must be killed, got {status:?}"
+        );
+        // Count violations instead of asserting convergence: chunks whose
+        // content matches no allowed pattern are acknowledged writes the
+        // power loss destroyed.
+        let store = OiRaidStore::open_durable(cfg.clone(), CHUNK, &dir).expect("reopen");
+        let mut buf = vec![0u8; CHUNK];
+        for (&p, seeds) in &allowed_patterns(&dir) {
+            store
+                .read_bytes((p * CHUNK) as u64, &mut buf)
+                .expect("read chunk");
+            if !seeds.iter().any(|&s| buf == fill(s, CHUNK)) {
+                lost += 1;
+            }
+        }
+        lost += store.check_parity().len() as u64;
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    assert!(
+        lost > 0,
+        "FlushPolicy::Never survived {attempts} power losses unscathed — \
+         the write-back harness is not dropping unflushed state"
+    );
+}
+
+/// Rebuild checkpoints must stay honest under power loss: an fsynced
+/// checkpoint may only vouch for writeback chunks that were flushed out of
+/// the volatile caches first. A rebuild under `perwave` is killed
+/// mid-writeback (dropping its caches); the resume must still produce a
+/// parity-clean array with every prefilled chunk intact.
+#[test]
+fn power_loss_rebuild_checkpoint_stays_honest() {
+    let cfg = OiRaidConfig::reference();
+    let dir = unique_dir("power-rebuild");
+    let store = OiRaidStore::create_durable(cfg.clone(), CHUNK, &dir).expect("create durable");
+    let payload = store.capacity_bytes() as usize / CHUNK;
+    for p in 0..payload {
+        store
+            .write_bytes((p * CHUNK) as u64, &fill(0x9B1D ^ p as u64 | 1, CHUNK))
+            .expect("prefill");
+    }
+    drop(store);
+
+    let target = 3usize;
+    std::fs::write(failed_path(&dir), format!("{target}")).expect("persist failure");
+    let status = spawn_child(
+        "rebuild_child",
+        &dir,
+        &[
+            ("OI_CRASH_POINT", "rebuild_writeback".to_string()),
+            ("OI_CRASH_HITS", "6".to_string()),
+            ("OI_RAID_CKPT_INTERVAL", "1".to_string()),
+            ("OI_CRASH_POWER", "1".to_string()),
+            ("OI_RAID_FLUSH_POLICY", "perwave".to_string()),
+        ],
+    );
+    assert_eq!(
+        status.signal(),
+        Some(SIGABRT),
+        "power rebuild child must crash, got {status:?}"
+    );
+
+    // The checkpoint (if any survived) pre-credits only flushed chunks, so
+    // the resume rebuilds everything the dropped caches swallowed.
+    let store = OiRaidStore::open_durable(cfg.clone(), CHUNK, &dir).expect("reopen");
+    let report = store
+        .resume_rebuild(
+            RebuildMode::Serial,
+            RecoveryStrategy::Hybrid,
+            &RebuildObserver::default(),
+        )
+        .expect("resume after power loss");
+    assert!(report.outcome.is_recovered(), "{report}");
+    let bad = store.check_parity();
+    assert!(bad.is_empty(), "parity after power-loss resume: {bad:?}");
+    let mut buf = vec![0u8; CHUNK];
+    for p in 0..payload {
+        store
+            .read_bytes((p * CHUNK) as u64, &mut buf)
+            .expect("read");
+        assert_eq!(
+            buf,
+            fill(0x9B1D ^ p as u64 | 1, CHUNK),
+            "chunk {p} after power-loss rebuild resume"
+        );
+    }
+    drop(store);
     std::fs::remove_dir_all(&dir).ok();
 }
 
